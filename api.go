@@ -1,0 +1,118 @@
+package slms
+
+import (
+	"slms/internal/core"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/pipeline"
+	"slms/internal/slc"
+	"slms/internal/source"
+)
+
+// This file is the public API: thin aliases and convenience wrappers
+// over the internal packages, so that downstream users can consume the
+// library without reaching into internal/ (which Go forbids anyway).
+
+// Program is a parsed mini-C compilation unit.
+type Program = source.Program
+
+// Options configures the SLMS transformation (see DefaultOptions).
+type Options = core.Options
+
+// Result describes one SLMS application (II, stages, unroll factor, the
+// replacement statement, and the decision log).
+type Result = core.Result
+
+// SLCOptions configures the full source-level-compiler driver.
+type SLCOptions = slc.Options
+
+// SLCResult is the driver outcome: the optimized program plus the
+// per-loop action transcript.
+type SLCResult = slc.Result
+
+// Machine is a simulated target machine description.
+type Machine = machine.Desc
+
+// Compiler is a simulated final-compiler configuration.
+type Compiler = pipeline.Compiler
+
+// Metrics is a simulation outcome (cycles, energy, instruction and
+// memory counts).
+type Metrics = pipeline.Outcome
+
+// Env carries program inputs and outputs for execution.
+type Env = interp.Env
+
+// Parse parses mini-C source text.
+func Parse(src string) (*Program, error) { return source.Parse(src) }
+
+// Print renders a program back to (re-parseable) source text.
+func Print(p *Program) string { return source.Print(p) }
+
+// PrintPaper renders a program with par groups in the paper's
+// `a; || b;` style.
+func PrintPaper(p *Program) string { return source.PrintPaper(p) }
+
+// DefaultOptions returns the paper's SLMS configuration: bad-case filter
+// at 0.85, modulo variable expansion, guarded output.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Transform applies source-level modulo scheduling to every innermost
+// canonical loop of the program and returns the transformed program with
+// one Result per loop encountered. The input is not modified.
+func Transform(p *Program, opts Options) (*Program, []*Result, error) {
+	return core.TransformProgram(p, opts)
+}
+
+// TransformSource is the string-to-string convenience form of Transform.
+func TransformSource(src string, opts Options) (string, []*Result, error) {
+	p, err := source.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	out, results, err := core.TransformProgram(p, opts)
+	if err != nil {
+		return "", nil, err
+	}
+	return source.Print(out), results, nil
+}
+
+// DefaultSLCOptions enables the whole source-level compiler: SLMS plus
+// fusion, interchange, downward-loop mirroring, reduction splitting and
+// while-loop pipelining as enabling transformations.
+func DefaultSLCOptions() SLCOptions { return slc.DefaultOptions() }
+
+// Optimize runs the source-level compiler driver over the program.
+func Optimize(p *Program, opts SLCOptions) (*SLCResult, error) {
+	return slc.Optimize(p, opts)
+}
+
+// Run executes the program in the reference interpreter against env
+// (pre-load inputs with env.SetFloatArray / SetScalar; results are read
+// back from env).
+func Run(p *Program, env *Env) error { return interp.Run(p, env) }
+
+// NewEnv returns an empty execution environment.
+func NewEnv() *Env { return interp.NewEnv() }
+
+// Simulated machines of the paper's evaluation.
+func MachineIA64() *Machine    { return machine.IA64Like() }
+func MachinePower4() *Machine  { return machine.Power4Like() }
+func MachinePentium() *Machine { return machine.PentiumLike() }
+func MachineARM7() *Machine    { return machine.ARM7Like() }
+
+// Simulated final-compiler configurations.
+var (
+	CompilerWeak   = pipeline.WeakO3   // GCC-like: list scheduling only
+	CompilerStrong = pipeline.StrongO3 // ICC/XLC-like: + machine-level modulo scheduling
+)
+
+// Measure compiles and simulates the program twice — as written and
+// after SLMS — on the given machine/compiler pair, verifies both compute
+// identical results, and reports cycles, energy and the speedup. seed
+// (optional) pre-loads inputs into a fresh environment for each run.
+func Measure(p *Program, m *Machine, cc Compiler, opts Options, seed func(*Env)) (*Metrics, error) {
+	return pipeline.RunExperiment(p, pipeline.Experiment{
+		Machine: m, Compiler: cc, SLMS: opts,
+	}, seed)
+}

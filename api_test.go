@@ -1,0 +1,81 @@
+package slms_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"slms"
+)
+
+// ExampleTransformSource is the one-screen library quickstart.
+func ExampleTransformSource() {
+	out, results, err := slms.TransformSource(`
+		float A[64];
+		float t = 0.0;
+		for (i = 1; i < 60; i++) {
+			t = A[i+1];
+			A[i] = A[i-1] + t;
+		}
+	`, slms.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	_ = out
+	r := results[0]
+	fmt.Printf("applied=%v II=%d stages=%d unroll=%d\n", r.Applied, r.II, r.Stages, r.Unroll)
+	// Output:
+	// applied=true II=1 stages=2 unroll=2
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prog, err := slms.Parse(`
+		float A[128]; float B[128];
+		for (z = 0; z < 128; z++) { A[z] = 0.25*z; B[z] = 1.0; }
+		float t = 0.0;
+		for (i = 1; i < 120; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transform and print.
+	out, results, err := slms.Transform(prog, slms.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	for _, r := range results {
+		applied = applied || r.Applied
+	}
+	if !applied {
+		t.Fatal("not applied")
+	}
+	if !strings.Contains(slms.PrintPaper(out), "||") {
+		t.Error("paper style output lacks rows")
+	}
+	// Interpret.
+	env := slms.NewEnv()
+	if err := slms.Run(out, env); err != nil {
+		t.Fatal(err)
+	}
+	// Measure on a machine.
+	m, err := slms.Measure(prog, slms.MachineIA64(), slms.CompilerWeak, slms.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Base.Cycles <= 0 || m.SLMS.Cycles <= 0 {
+		t.Errorf("degenerate measurement: %+v", m)
+	}
+	t.Logf("speedup on ia64/weak: %.3f", m.Speedup)
+	// The SLC driver.
+	res, err := slms.Optimize(prog, slms.DefaultSLCOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled == 0 {
+		t.Error("SLC scheduled nothing")
+	}
+}

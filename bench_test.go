@@ -1,0 +1,290 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Figures 14–22 and the two in-text case studies), plus component
+// micro-benchmarks for the transformation and the simulator. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark reports the figure's headline number (the
+// geometric-mean SLMS speedup over the applied loops, or the
+// case-study's bundle/cycle counts) as a custom metric so a benchmark
+// run doubles as a reproduction log.
+package slms_test
+
+import (
+	"math"
+	"testing"
+
+	"slms/internal/bench"
+	"slms/internal/core"
+	"slms/internal/ddg"
+	"slms/internal/dep"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/mii"
+	"slms/internal/pipeline"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// benchFigure runs one figure generator per iteration and reports its
+// geometric-mean value over the applied rows.
+func benchFigure(b *testing.B, gen func() (*bench.Figure, error)) {
+	b.Helper()
+	var last *bench.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	prod, n := 1.0, 0
+	for _, r := range last.Rows {
+		if r.Applied && r.Value > 0 {
+			prod *= r.Value
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(math.Pow(prod, 1/float64(n)), "geomean-ratio")
+		b.ReportMetric(float64(n), "loops-applied")
+	}
+}
+
+// ---- one benchmark per evaluation figure ----
+
+func BenchmarkFig14_LivLinGCC(b *testing.B)   { benchFigure(b, bench.Figure14) }
+func BenchmarkFig15_StoneNASGCC(b *testing.B) { benchFigure(b, bench.Figure15) }
+func BenchmarkFig16_CloseO3Gap(b *testing.B)  { benchFigure(b, bench.Figure16) }
+func BenchmarkFig17_Superscalar(b *testing.B) { benchFigure(b, bench.Figure17) }
+func BenchmarkFig18_LivLinICC(b *testing.B)   { benchFigure(b, bench.Figure18) }
+func BenchmarkFig19_StoneNASICC(b *testing.B) { benchFigure(b, bench.Figure19) }
+func BenchmarkFig20_XLC(b *testing.B)         { benchFigure(b, bench.Figure20) }
+func BenchmarkFig21_ARMPower(b *testing.B)    { benchFigure(b, bench.Figure21) }
+func BenchmarkFig22_ARMCycles(b *testing.B)   { benchFigure(b, bench.Figure22) }
+
+func BenchmarkCaseA_Kernel8Bundles(b *testing.B) {
+	var last *bench.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := bench.CaseA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.ReportMetric(last.Rows[0].Value, "bundles-original")
+	b.ReportMetric(last.Rows[0].Value2, "bundles-slms")
+}
+
+func BenchmarkCaseB_FloatBundles(b *testing.B) {
+	var last *bench.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := bench.CaseB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.ReportMetric(last.Rows[0].Value, "cyc/iter-original")
+	b.ReportMetric(last.Rows[0].Value2, "cyc/iter-slms")
+}
+
+// BenchmarkFilter_MemRefRatio measures the §4 bad-case filter on the
+// paper's swap loop (it must reject) and a compute-heavy loop (accept).
+func BenchmarkFilter_MemRefRatio(b *testing.B) {
+	swap := source.MustParse(`
+		float X[20][20];
+		int i1 = 1; int j1 = 2;
+		float CT = 0.0;
+		for (k = 0; k < 20; k++) {
+			CT = X[k][i1];
+			X[k][i1] = X[k][j1] * 2.0;
+			X[k][j1] = CT;
+		}
+	`)
+	rejected := 0
+	for i := 0; i < b.N; i++ {
+		_, results, err := core.TransformProgram(swap, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Applied {
+				rejected++
+			}
+		}
+	}
+	b.ReportMetric(float64(rejected)/float64(b.N), "loops-filtered")
+}
+
+// BenchmarkSec6_Combos measures the §6 interaction: neither half of the
+// coupled loop pair can be modulo scheduled alone; after fusion SLMS
+// succeeds with the paper's II = 3. The reported metrics are the II and
+// the cycle ratio (the claim is the *enabling* effect — the II=3
+// schedule itself is roughly timing-neutral on these machines, since
+// list scheduling already covers the fused body's parallelism).
+func BenchmarkSec6_Combos(b *testing.B) {
+	src := `
+		int n = 200;
+		float A[210]; float B[210]; float C[210];
+		float t = 0.0; float q = 0.0;
+		for (i = 1; i < n; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			A[i] = t + B[i];
+			q = C[i-1];
+			B[i] = B[i] + q;
+			C[i] = q * B[i];
+		}
+	`
+	prog := source.MustParse(src)
+	seed := func(env *interp.Env) {
+		mk := func(base float64) []float64 {
+			v := make([]float64, 210)
+			for i := range v {
+				v[i] = base + 0.01*float64(i)
+			}
+			return v
+		}
+		env.SetFloatArray("A", mk(1))
+		env.SetFloatArray("B", mk(2))
+		env.SetFloatArray("C", mk(0.5))
+	}
+	var speedup float64
+	var ii int64
+	for i := 0; i < b.N; i++ {
+		out, err := pipeline.RunExperiment(prog, pipeline.Experiment{
+			Machine: machine.IA64Like(), Compiler: pipeline.WeakO3, SLMS: core.DefaultOptions(),
+		}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = out.Speedup
+		for _, r := range out.Results {
+			if r.Applied && r.MIs == 6 {
+				ii = r.II
+			}
+		}
+	}
+	b.ReportMetric(speedup, "fused-loop-speedup")
+	b.ReportMetric(float64(ii), "fused-loop-II")
+}
+
+// ---- component micro-benchmarks ----
+
+func BenchmarkSLMSTransform(b *testing.B) {
+	src := `
+		int n = 100;
+		float A[120];
+		float t = 0.0;
+		for (i = 2; i < n; i++) {
+			t = A[i+1];
+			A[i] = A[i-1] + A[i-2] + t + A[i+2];
+		}
+	`
+	prog := source.MustParse(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.TransformProgram(prog, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDependenceAnalysis(b *testing.B) {
+	k := bench.Lookup("kernel8")
+	prog := source.MustParse(k.Source)
+	info, err := sem.Check(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var loop *source.For
+	for _, s := range prog.Stmts {
+		if f, ok := s.(*source.For); ok {
+			loop = f
+		}
+	}
+	l, err := sem.Canonicalize(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Analyze(loop.Body.Stmts, l.Var, info.Table, dep.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMIISearch(b *testing.B) {
+	k := bench.Lookup("kernel8")
+	prog := source.MustParse(k.Source)
+	info, _ := sem.Check(prog)
+	var loop *source.For
+	for _, s := range prog.Stmts {
+		if f, ok := s.(*source.For); ok {
+			loop = f
+		}
+	}
+	l, _ := sem.Canonicalize(loop)
+	an, err := dep.Analyze(loop.Body.Stmts, l.Var, info.Table, dep.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ddg.Build(an, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mii.Find(g, mii.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorVLIW(b *testing.B) {
+	k := bench.Lookup("kernel1")
+	prog := source.MustParse(k.Source)
+	d := machine.IA64Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := interp.NewEnv()
+		k.Setup(env)
+		if _, _, err := pipeline.Run(prog, d, pipeline.WeakO3, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorARM(b *testing.B) {
+	k := bench.Lookup("kernel1")
+	prog := source.MustParse(k.Source)
+	d := machine.ARM7Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := interp.NewEnv()
+		k.Setup(env)
+		if _, _, err := pipeline.Run(prog, d, pipeline.WeakO3, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	k := bench.Lookup("kernel1")
+	prog := source.MustParse(k.Source)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := interp.NewEnv()
+		k.Setup(env)
+		if err := interp.Run(prog, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks (design choices called out in DESIGN.md) ----
+
+func BenchmarkAblationFilter(b *testing.B)    { benchFigure(b, bench.AblationFilter) }
+func BenchmarkAblationExpansion(b *testing.B) { benchFigure(b, bench.AblationExpansion) }
+func BenchmarkAblationTags(b *testing.B)      { benchFigure(b, bench.AblationTags) }
+func BenchmarkAblationGuard(b *testing.B)     { benchFigure(b, bench.AblationGuard) }
+func BenchmarkAblationWindow(b *testing.B)    { benchFigure(b, bench.AblationWindow) }

@@ -1,0 +1,164 @@
+package slms_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, stdin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s",
+			filepath.Base(bin), args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+const cliLoop = `float A[64];
+for (i = 2; i < 50; i++) {
+	A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+}
+`
+
+func TestCLISlmsc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmsc")
+
+	// Stdin, paper style.
+	out, _ := runTool(t, bin, cliLoop, "-paper", "-noguard", "-")
+	if !strings.Contains(out, "||") || !strings.Contains(out, "reg1_2 = A[i + 2]") {
+		t.Errorf("paper-style output unexpected:\n%s", out)
+	}
+	// File input, default style must reparse (verified by feeding it back).
+	dir := t.TempDir()
+	file := filepath.Join(dir, "loop.c")
+	if err := os.WriteFile(file, []byte(cliLoop), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, stderr := runTool(t, bin, "", "-verbose", file)
+	if !strings.Contains(stderr, "applied=true") {
+		t.Errorf("verbose log missing:\n%s", stderr)
+	}
+	_, _ = runTool(t, bin, out2, "-") // output is valid input again
+
+	// The SLC driver flag.
+	fused := `float A[100]; float B[100]; float C[100];
+float t = 0.0; float q = 0.0;
+for (i = 1; i < 100; i++) { t = A[i-1]; B[i] = B[i] + t; A[i] = t + B[i]; }
+for (i = 1; i < 100; i++) { q = C[i-1]; B[i] = B[i] + q; C[i] = q * B[i]; }
+`
+	_, stderr2 := runTool(t, bin, fused, "-slc", "-verbose", "-")
+	if !strings.Contains(stderr2, "fusion+slms applied") {
+		t.Errorf("slc driver did not fuse:\n%s", stderr2)
+	}
+}
+
+func TestCLISlmsexplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmsexplain")
+	out, _ := runTool(t, bin, cliLoop, "-")
+	for _, want := range []string{"canonical:", "MI0:", "DDG", "MII", "SLMS applied"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output lacks %q:\n%s", want, out)
+		}
+	}
+	dot, _ := runTool(t, bin, cliLoop, "-dot", "-")
+	if !strings.Contains(dot, "digraph ddg") {
+		t.Errorf("dot output missing:\n%s", dot)
+	}
+}
+
+func TestCLISlmssim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmssim")
+	prog := `float A[200]; float B[200];
+for (z = 0; z < 200; z++) { A[z] = 0.1 * z; }
+float t = 0.0;
+for (i = 1; i < 190; i++) { t = A[i-1]; B[i] = B[i] + t; }
+`
+	out, _ := runTool(t, bin, prog, "-machine", "ia64", "-compiler", "strong", "-compare", "-")
+	if !strings.Contains(out, "speedup:") || !strings.Contains(out, "slms applied: true") {
+		t.Errorf("compare output unexpected:\n%s", out)
+	}
+	out2, _ := runTool(t, bin, prog, "-machine", "arm7", "-")
+	if !strings.Contains(out2, "cycles=") {
+		t.Errorf("metrics missing:\n%s", out2)
+	}
+}
+
+func TestCLISlmsbenchSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs a figure")
+	}
+	bin := buildTool(t, "slmsbench")
+	out, _ := runTool(t, bin, "", "-list")
+	if !strings.Contains(out, "14") || !strings.Contains(out, "caseA") {
+		t.Errorf("list output unexpected:\n%s", out)
+	}
+	fig, _ := runTool(t, bin, "", "-figure", "caseB")
+	if !strings.Contains(fig, "Case B") || !strings.Contains(fig, "xpow") {
+		t.Errorf("figure output unexpected:\n%s", fig)
+	}
+}
+
+// TestExamplesRun builds and runs every example program end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cases := map[string]string{
+		"quickstart": "speedup:",
+		"slcsession": "II=3 (paper: II=3)",
+		"embedded":   "verdict",
+		"whileloops": "results identical to the original",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			var stdout bytes.Buffer
+			cmd := exec.Command(bin)
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stdout
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("run: %v\n%s", err, stdout.String())
+			}
+			if !strings.Contains(stdout.String(), want) {
+				t.Errorf("output lacks %q:\n%s", want, stdout.String())
+			}
+		})
+	}
+}

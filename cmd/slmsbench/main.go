@@ -1,0 +1,94 @@
+// Command slmsbench regenerates the paper's evaluation figures (14–22
+// plus the two in-text bundle-count case studies) as text tables.
+//
+// Usage:
+//
+//	slmsbench              # all figures
+//	slmsbench -figure 14   # one figure
+//	slmsbench -ablations   # design-choice ablation studies
+//	slmsbench -list        # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slms/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "", "regenerate a single figure (e.g. 14, caseA)")
+	list := flag.Bool("list", false, "list available figures")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation studies instead")
+	census := flag.Bool("census", false, "report machine-MS application before/after SLMS (paper §9.2)")
+	extensions := flag.Bool("extensions", false, "measure the §10 while-loop and frequent-path extensions")
+	summary := flag.Bool("summary", false, "one line per figure: the reproduction scoreboard")
+	flag.Parse()
+
+	if *summary {
+		out, err := bench.Summary()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *extensions {
+		f, err := bench.Extensions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(f.Table())
+		return
+	}
+
+	if *census {
+		rows, err := bench.Census()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.CensusTable(rows))
+		return
+	}
+
+	if *ablations {
+		figs, err := bench.AllAblations()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.Table())
+		}
+		return
+	}
+
+	if *list {
+		for _, id := range bench.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *figure != "" {
+		f, err := bench.ByID(*figure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(f.Table())
+		return
+	}
+	figs, err := bench.AllFigures()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		fmt.Println(f.Table())
+	}
+}

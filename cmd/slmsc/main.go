@@ -1,0 +1,120 @@
+// Command slmsc is the source-level compiler CLI: it parses a mini-C
+// program, applies source-level modulo scheduling (and optionally other
+// loop transformations) to its innermost loops, and prints the
+// transformed source.
+//
+// Usage:
+//
+//	slmsc [flags] file.c      # transform a file
+//	slmsc [flags] -           # read from stdin
+//
+// Flags:
+//
+//	-paper            print par groups in the paper's `a; || b;` style
+//	-nofilter         disable the §4 bad-case filter
+//	-speculate        schedule across unproven dependences
+//	-expand=mve|array choose MVE or scalar expansion (§3.3 / §3.4)
+//	-noguard          omit the short-trip guard + fallback loop
+//	-slc              run the full SLC driver (adds fusion, interchange,
+//	                  downward-loop mirroring and reduction splitting)
+//	-verbose          print the per-loop transformation log to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slms/internal/core"
+	"slms/internal/slc"
+	"slms/internal/source"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "print par groups in paper style (a; || b;)")
+	noFilter := flag.Bool("nofilter", false, "disable the bad-case filter")
+	speculate := flag.Bool("speculate", false, "schedule across unproven dependences")
+	expand := flag.String("expand", "mve", "variant expansion: mve or array")
+	noGuard := flag.Bool("noguard", false, "omit the short-trip guard")
+	verbose := flag.Bool("verbose", false, "print the transformation log")
+	useSLC := flag.Bool("slc", false, "run the full source-level-compiler driver (SLMS + fusion/interchange/mirroring/reduction-splitting)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slmsc [flags] file.c  (use - for stdin)")
+		os.Exit(2)
+	}
+	var text []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog, err := source.Parse(string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Filter = !*noFilter
+	opts.Speculate = *speculate
+	opts.NoGuard = *noGuard
+	if *expand == "array" {
+		opts.Expansion = core.ExpandScalar
+	}
+
+	if *useSLC {
+		slcOpts := slc.DefaultOptions()
+		slcOpts.SLMS = opts
+		res, err := slc.Optimize(prog, slcOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			for _, a := range res.Actions {
+				fmt.Fprintln(os.Stderr, a)
+			}
+		}
+		if *paper {
+			fmt.Print(source.PrintPaper(res.Program))
+		} else {
+			fmt.Print(source.Print(res.Program))
+		}
+		return
+	}
+
+	out, results, err := core.TransformProgram(prog, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *verbose {
+		for i, r := range results {
+			fmt.Fprintf(os.Stderr, "loop %d: applied=%v", i+1, r.Applied)
+			if r.Applied {
+				fmt.Fprintf(os.Stderr, " II=%d MIs=%d stages=%d unroll=%d mode=%s",
+					r.II, r.MIs, r.Stages, r.Unroll, r.Mode)
+			} else {
+				fmt.Fprintf(os.Stderr, " (%s)", r.Reason)
+			}
+			fmt.Fprintln(os.Stderr)
+			for _, l := range r.Log {
+				fmt.Fprintf(os.Stderr, "  %s\n", l)
+			}
+		}
+	}
+	if *paper {
+		fmt.Print(source.PrintPaper(out))
+	} else {
+		fmt.Print(source.Print(out))
+	}
+}

@@ -1,0 +1,184 @@
+// Command slmsexplain shows the SLMS algorithm's intermediate artifacts
+// for every innermost loop of a program: the multi-instructions, the
+// data dependence graph with <distance, delay> labels, the MII
+// derivation, and the chosen schedule. This is the "interactive source
+// level compiler" view of §2/§8 of the paper — the output a user reads
+// to decide how to restructure a loop.
+//
+// Usage:
+//
+//	slmsexplain file.c   (use - for stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"slms/internal/core"
+	"slms/internal/ddg"
+	"slms/internal/dep"
+	"slms/internal/mii"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+var dotOut = flag.Bool("dot", false, "emit the DDG of each loop as graphviz dot instead of text")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slmsexplain file.c  (use - for stdin)")
+		os.Exit(2)
+	}
+	var text []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := source.Parse(string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	n := 0
+	explainStmts(prog.Stmts, info.Table, &n)
+	if n == 0 {
+		fmt.Println("no innermost canonical loops found")
+	}
+}
+
+func explainStmts(stmts []source.Stmt, tab *sem.Table, n *int) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *source.For:
+			if hasNestedLoop(s.Body) {
+				explainStmts(s.Body.Stmts, tab, n)
+				continue
+			}
+			*n++
+			explainLoop(s, tab, *n)
+		case *source.Block:
+			explainStmts(s.Stmts, tab, n)
+		case *source.If:
+			explainStmts(s.Then.Stmts, tab, n)
+			if s.Else != nil {
+				explainStmts(s.Else.Stmts, tab, n)
+			}
+		case *source.While:
+			explainStmts(s.Body.Stmts, tab, n)
+		}
+	}
+}
+
+// dotDDG renders the dependence graph in graphviz dot format: solid
+// edges are data dependences labelled <dist,delay>, dashed edges the
+// implicit sequential chain.
+func dotDDG(g *ddg.Graph, mis []source.Stmt) string {
+	var b strings.Builder
+	b.WriteString("digraph ddg {\n  rankdir=TB;\n  node [shape=box, fontname=monospace];\n")
+	for i := 0; i < g.N; i++ {
+		label := fmt.Sprintf("MI%d", i)
+		if i < len(mis) {
+			label = fmt.Sprintf("MI%d: %s", i, strings.ReplaceAll(source.PrintStmt(mis[i]), "\"", "'"))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, label)
+	}
+	for _, e := range g.Edges {
+		if e.Chain {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, color=gray];\n", e.From, e.To)
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%s <%d,%d>\"];\n", e.From, e.To, e.Kind, e.Dist, e.Delay)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func hasNestedLoop(b *source.Block) bool {
+	found := false
+	source.WalkStmt(b, func(s source.Stmt) bool {
+		switch s.(type) {
+		case *source.For, *source.While:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func explainLoop(f *source.For, tab *sem.Table, idx int) {
+	fmt.Printf("==== loop %d ====\n", idx)
+	fmt.Println(source.PrintStmt(f))
+
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		fmt.Printf("not canonical: %v\n\n", err)
+		return
+	}
+	fmt.Printf("canonical: var=%s lo=%s hi=%s step=%d\n",
+		l.Var, source.ExprString(l.Lo), source.ExprString(l.Hi), l.Step)
+
+	an, err := dep.Analyze(f.Body.Stmts, l.Var, tab, dep.Options{})
+	if err != nil {
+		fmt.Printf("dependence analysis failed: %v\n\n", err)
+		return
+	}
+	fmt.Printf("MIs: %d, memory refs: %d, arithmetic ops: %d\n",
+		an.NumMIs, an.MemRefs, an.ArithOps)
+	for i, mi := range f.Body.Stmts {
+		fmt.Printf("  MI%d: %s\n", i, source.PrintStmt(mi))
+	}
+	if len(an.Scalars) > 0 {
+		fmt.Println("scalars:")
+		for _, si := range an.Scalars {
+			fmt.Printf("  %-10s %s (defs=%v reads=%v exposed=%v)\n",
+				si.Name, si.Class, si.Defs, si.Reads, si.ExposedReads)
+		}
+	}
+	g := ddg.Build(an, true)
+	if *dotOut {
+		fmt.Print(dotDDG(g, f.Body.Stmts))
+	} else {
+		fmt.Print(g.Dump())
+	}
+
+	ii, err := mii.Find(g, mii.Options{})
+	if err != nil {
+		fmt.Printf("MII: %v\n", err)
+	} else {
+		fmt.Printf("MII = %d\n", ii)
+	}
+
+	r, err := core.Transform(f, tab, core.DefaultOptions())
+	if err != nil {
+		fmt.Printf("transform error: %v\n\n", err)
+		return
+	}
+	if !r.Applied {
+		fmt.Printf("SLMS not applied: %s\n\n", r.Reason)
+		return
+	}
+	fmt.Printf("SLMS applied: II=%d MIs=%d stages=%d unroll=%d decompositions=%d\n",
+		r.II, r.MIs, r.Stages, r.Unroll, r.Decompositions)
+	for _, line := range r.Log {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Println("---- transformed ----")
+	fmt.Println(source.PrintStmt(r.Replacement))
+	fmt.Println()
+}

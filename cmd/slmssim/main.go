@@ -1,0 +1,145 @@
+// Command slmssim compiles a mini-C program with one of the simulated
+// final compilers and executes it on one of the simulated machines,
+// printing the performance metrics — the measurement half of the tool
+// chain, usable on arbitrary programs.
+//
+// Usage:
+//
+//	slmssim [flags] file.c        (use - for stdin)
+//
+// Flags:
+//
+//	-machine ia64|power4|pentium|arm7   target machine (default ia64)
+//	-compiler weak|strong               final compiler class (default weak)
+//	-O0                                 disable compiler scheduling
+//	-slms                               apply SLMS before compiling
+//	-compare                            run with and without SLMS and report the speedup
+//	-dump                               print the lowered virtual ISA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slms/internal/core"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/pipeline"
+	"slms/internal/source"
+)
+
+func main() {
+	machineName := flag.String("machine", "ia64", "ia64, power4, pentium or arm7")
+	compiler := flag.String("compiler", "weak", "weak (GCC-like) or strong (ICC/XLC-like)")
+	o0 := flag.Bool("O0", false, "disable compiler scheduling")
+	slms := flag.Bool("slms", false, "apply SLMS before compiling")
+	compare := flag.Bool("compare", false, "measure base vs SLMS and report the speedup")
+	dump := flag.Bool("dump", false, "print the lowered virtual ISA")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slmssim [flags] file.c  (use - for stdin)")
+		os.Exit(2)
+	}
+	var text []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := source.Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+
+	var d *machine.Desc
+	switch *machineName {
+	case "ia64":
+		d = machine.IA64Like()
+	case "power4":
+		d = machine.Power4Like()
+	case "pentium":
+		d = machine.PentiumLike()
+	case "arm7":
+		d = machine.ARM7Like()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+	var cc pipeline.Compiler
+	switch {
+	case *compiler == "weak" && *o0:
+		cc = pipeline.WeakNoO3
+	case *compiler == "weak":
+		cc = pipeline.WeakO3
+	case *compiler == "strong" && *o0:
+		cc = pipeline.StrongNoO3
+	case *compiler == "strong":
+		cc = pipeline.StrongO3
+	default:
+		fatal(fmt.Errorf("unknown compiler %q", *compiler))
+	}
+	fmt.Printf("machine: %s; compiler: %s\n", d.Name, cc.Name)
+
+	if *compare {
+		out, err := pipeline.RunExperiment(prog, pipeline.Experiment{
+			Machine: d, Compiler: cc, SLMS: core.DefaultOptions(),
+		}, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("base: %s\n", out.Base)
+		fmt.Printf("slms: %s\n", out.SLMS)
+		fmt.Printf("speedup: %.3f  energy ratio: %.3f  (slms applied: %v)\n",
+			out.Speedup, out.PowerRatio, out.Applied)
+		return
+	}
+
+	if *slms {
+		transformed, results, err := core.TransformProgram(prog, core.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		applied := 0
+		for _, r := range results {
+			if r.Applied {
+				applied++
+			}
+		}
+		fmt.Printf("slms: transformed %d of %d loops\n", applied, len(results))
+		prog = transformed
+	}
+
+	env := interp.NewEnv()
+	m, art, err := pipeline.Run(prog, d, cc, env)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		fmt.Print(art.Func.Dump())
+	}
+	fmt.Println(m)
+	if art.Alloc.SpilledRegs > 0 {
+		fmt.Printf("register allocation: %d values spilled (%d reloads, %d stores); pressure int=%d fp=%d\n",
+			art.Alloc.SpilledRegs, m.SpillLoads, m.SpillStores,
+			art.Alloc.MaxLiveInt, art.Alloc.MaxLiveFloat)
+	}
+	for id, r := range art.IMSResults {
+		if r.OK {
+			fmt.Printf("loop body b%d: modulo scheduled II=%d SL=%d stages=%d (ResMII=%d RecMII=%d)\n",
+				id, r.II, r.SL, r.Stages, r.ResMII, r.RecMII)
+		} else {
+			fmt.Printf("loop body b%d: modulo scheduling rejected: %s\n", id, r.Reason)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

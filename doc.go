@@ -1,0 +1,34 @@
+// Package slms is a reproduction of "Towards a Source Level Compiler:
+// Source Level Modulo Scheduling" (Ben-Asher & Meisler, ICPP 2006): a
+// source-to-source loop optimizer that applies modulo scheduling at the
+// abstract-syntax-tree level, together with the full simulated tool
+// chain the paper evaluates it on.
+//
+// The implementation lives under internal/:
+//
+//   - internal/source    mini-C front end (lexer, parser, AST, printer)
+//   - internal/sem       symbol tables, typing, canonical-loop analysis
+//   - internal/dep       data dependence analysis (affine distances)
+//   - internal/ddg       MI dependence graph with source-level delays
+//   - internal/mii       minimum initiation interval (difMin / ISP)
+//   - internal/core      the SLMS transformation itself (§3–§5)
+//   - internal/xform     interchange, fusion, distribution, unrolling,
+//     peeling, reversal, tiling, reduction splitting,
+//     while-loop unrolling, frequent-path pipelining,
+//     downward-loop mirroring (§6, §10)
+//   - internal/slc       the Source Level Compiler driver: SLMS combined
+//     with enabling transformations, automatically
+//   - internal/interp    reference interpreter (the semantic oracle)
+//   - internal/ir        three-address virtual ISA
+//   - internal/backend   code generation, CSE, register allocation,
+//     list scheduling (the "final compiler")
+//   - internal/ims       machine-level iterative modulo scheduling (Rau)
+//   - internal/machine   ia64/power4/pentium/arm7-like machine models
+//   - internal/sim       cycle-level execution-driven timing simulator
+//   - internal/pipeline  end-to-end driver and experiment harness
+//   - internal/bench     the 31 benchmark loops and figure generators
+//
+// Command-line tools: cmd/slmsc (source-to-source compiler), cmd/slmsexplain
+// (the interactive SLC view), cmd/slmsbench (regenerates every evaluation
+// figure). Runnable walkthroughs are under examples/.
+package slms

@@ -1,0 +1,3 @@
+module slms
+
+go 1.22

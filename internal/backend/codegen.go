@@ -1,0 +1,714 @@
+// Package backend implements the "final compiler" of the paper's tool
+// chain: code generation from the mini-C AST to the virtual ISA in
+// internal/ir, linear-scan register allocation with spilling, and basic
+// block list scheduling into machine bundles. Together with internal/ims
+// (machine-level modulo scheduling) it models the two final-compiler
+// classes the paper evaluates against: a weak GCC-like compiler (list
+// scheduling only) and strong ICC/XLC-like compilers (list scheduling +
+// iterative modulo scheduling).
+package backend
+
+import (
+	"fmt"
+
+	"slms/internal/dep"
+	"slms/internal/ir"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// Compile lowers a mini-C program to the virtual ISA.
+func Compile(p *source.Program) (*ir.Func, error) {
+	info, err := sem.Check(p)
+	if err != nil {
+		return nil, err
+	}
+	cg := &codegen{
+		f: &ir.Func{
+			ScalarRegs: map[string]int{},
+			Arrays:     map[string]*ir.ArrayInfo{},
+		},
+		info: info,
+	}
+	cg.cur = cg.f.NewBlock()
+	// Home registers for every scalar (declared or inferred), so the
+	// simulator can seed inputs and extract outputs.
+	for _, sym := range info.Table.Symbols() {
+		if !sym.IsArray() {
+			cg.f.ScalarRegs[sym.Name] = cg.f.NewReg(sym.Type)
+		}
+	}
+	if err := cg.stmts(p.Stmts); err != nil {
+		return nil, err
+	}
+	cg.emit(&ir.Instr{Op: ir.Halt})
+	return cg.f, nil
+}
+
+// loopCtx tracks the enclosing loop during compilation.
+type loopCtx struct {
+	id      int
+	varName string // canonical loop variable ("" when unknown)
+	headID  int    // condition block (continue target)
+	exitID  int    // set after the loop is closed; breaks are patched
+	breaks  []*ir.Instr
+	nonFlat bool // body created extra blocks: not modulo-schedulable
+	isInner bool
+}
+
+type codegen struct {
+	f     *ir.Func
+	cur   *ir.Block
+	info  *sem.Info
+	loops []*loopCtx
+}
+
+func (cg *codegen) emit(in *ir.Instr) *ir.Instr {
+	cg.cur.Instrs = append(cg.cur.Instrs, in)
+	return in
+}
+
+func (cg *codegen) newBlock() *ir.Block {
+	b := cg.f.NewBlock()
+	if len(cg.loops) > 0 {
+		b.LoopID = cg.loops[len(cg.loops)-1].id
+	}
+	return b
+}
+
+func (cg *codegen) scalarReg(name string) int {
+	if r, ok := cg.f.ScalarRegs[name]; ok {
+		return r
+	}
+	// Scalars can appear that sem inferred late; give them a register.
+	r := cg.f.NewReg(source.TFloat)
+	cg.f.ScalarRegs[name] = r
+	return r
+}
+
+func (cg *codegen) typeOfName(name string) source.Type {
+	if s := cg.info.Table.Lookup(name); s != nil {
+		return s.Type
+	}
+	return source.TFloat
+}
+
+// innerLoopVar returns the innermost enclosing loop's induction variable
+// and loop ID ("" when not in a recognizable loop).
+func (cg *codegen) innerLoopVar() (string, int) {
+	if len(cg.loops) == 0 {
+		return "", 0
+	}
+	l := cg.loops[len(cg.loops)-1]
+	return l.varName, l.id
+}
+
+func (cg *codegen) stmts(ss []source.Stmt) error {
+	for _, s := range ss {
+		if err := cg.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) stmt(s source.Stmt) error {
+	switch s := s.(type) {
+	case *source.Decl:
+		return cg.decl(s)
+	case *source.Assign:
+		return cg.assign(s)
+	case *source.If:
+		return cg.ifStmt(s)
+	case *source.For:
+		return cg.forStmt(s)
+	case *source.While:
+		return cg.whileStmt(s)
+	case *source.Block:
+		return cg.stmts(s.Stmts)
+	case *source.Par:
+		// Par groups flatten: the schedulers rediscover the parallelism
+		// from the dependence-free instructions.
+		return cg.stmts(s.Stmts)
+	case *source.Break:
+		if len(cg.loops) == 0 {
+			return fmt.Errorf("backend: break outside loop")
+		}
+		l := cg.loops[len(cg.loops)-1]
+		br := cg.emit(&ir.Instr{Op: ir.Br})
+		l.breaks = append(l.breaks, br)
+		cg.cur = cg.newBlock()
+		l.nonFlat = true
+		return nil
+	case *source.Continue:
+		if len(cg.loops) == 0 {
+			return fmt.Errorf("backend: continue outside loop")
+		}
+		l := cg.loops[len(cg.loops)-1]
+		cg.emit(&ir.Instr{Op: ir.Br, Target: l.headID})
+		cg.cur = cg.newBlock()
+		l.nonFlat = true
+		return nil
+	case *source.ExprStmt:
+		_, _, err := cg.expr(s.X)
+		return err
+	}
+	return fmt.Errorf("backend: cannot compile %T", s)
+}
+
+func (cg *codegen) decl(d *source.Decl) error {
+	if len(d.Dims) == 0 {
+		r := cg.scalarReg(d.Name)
+		if d.Init != nil {
+			v, t, err := cg.expr(d.Init)
+			if err != nil {
+				return err
+			}
+			v = cg.convert(v, t, d.Type)
+			cg.emit(&ir.Instr{Op: ir.Mov, Type: d.Type, Dst: r, Args: []ir.Val{v}})
+		}
+		return nil
+	}
+	ai := &ir.ArrayInfo{Type: d.Type}
+	for _, de := range d.Dims {
+		v, t, err := cg.expr(de)
+		if err != nil {
+			return err
+		}
+		if t != source.TInt {
+			return fmt.Errorf("backend: array dimension must be int")
+		}
+		r := cg.f.NewReg(source.TInt)
+		cg.emit(&ir.Instr{Op: ir.Mov, Type: source.TInt, Dst: r, Args: []ir.Val{v}})
+		ai.DimRegs = append(ai.DimRegs, r)
+	}
+	cg.f.Arrays[d.Name] = ai
+	return nil
+}
+
+// address computes the flattened element index of an array reference and
+// builds its affine disambiguation tag.
+func (cg *codegen) address(ix *source.IndexExpr) (ir.Val, ir.AffineTag, error) {
+	ai, ok := cg.f.Arrays[ix.Name]
+	if !ok {
+		return ir.Val{}, ir.AffineTag{}, fmt.Errorf("backend: array %q not declared before use", ix.Name)
+	}
+	if len(ix.Indices) != len(ai.DimRegs) {
+		return ir.Val{}, ir.AffineTag{}, fmt.Errorf("backend: rank mismatch on %q", ix.Name)
+	}
+	loopVar, loopID := cg.innerLoopVar()
+	tag := ir.AffineTag{Valid: loopVar != "", LoopID: loopID}
+	var flat ir.Val
+	for k, sub := range ix.Indices {
+		v, t, err := cg.expr(sub)
+		if err != nil {
+			return ir.Val{}, ir.AffineTag{}, err
+		}
+		if t != source.TInt {
+			return ir.Val{}, ir.AffineTag{}, fmt.Errorf("backend: subscript of %q must be int", ix.Name)
+		}
+		if tag.Valid {
+			a := dep.ExtractAffine(sub, loopVar)
+			if !a.OK {
+				tag.Valid = false
+			} else {
+				tag.Dims = append(tag.Dims, a)
+			}
+		}
+		if k == 0 {
+			flat = v
+			continue
+		}
+		// flat = flat * dim_k + v
+		m := cg.f.NewReg(source.TInt)
+		cg.emit(&ir.Instr{Op: ir.Mul, Type: source.TInt, Dst: m,
+			Args: []ir.Val{flat, ir.R(ai.DimRegs[k])}})
+		a2 := cg.f.NewReg(source.TInt)
+		cg.emit(&ir.Instr{Op: ir.Add, Type: source.TInt, Dst: a2,
+			Args: []ir.Val{ir.R(m), v}})
+		flat = ir.R(a2)
+	}
+	return flat, tag, nil
+}
+
+func (cg *codegen) assign(a *source.Assign) error {
+	rhs, rt, err := cg.expr(a.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := a.LHS.(type) {
+	case *source.VarRef:
+		r := cg.scalarReg(lhs.Name)
+		t := cg.typeOfName(lhs.Name)
+		if a.Op != source.AEq {
+			rhs = cg.binArith(a.Op.BinOp(), ir.R(r), t, rhs, rt)
+			rt = promoted(t, rt)
+		}
+		rhs = cg.convert(rhs, rt, t)
+		cg.emit(&ir.Instr{Op: ir.Mov, Type: t, Dst: r, Args: []ir.Val{rhs}})
+		return nil
+	case *source.IndexExpr:
+		addr, tag, err := cg.address(lhs)
+		if err != nil {
+			return err
+		}
+		t := cg.typeOfName(lhs.Name)
+		if a.Op != source.AEq {
+			old := cg.f.NewReg(t)
+			cg.emit(&ir.Instr{Op: ir.Load, Type: t, Dst: old, Args: []ir.Val{addr},
+				Arr: lhs.Name, Tag: tag})
+			rhs = cg.binArith(a.Op.BinOp(), ir.R(old), t, rhs, rt)
+			rt = promoted(t, rt)
+		}
+		rhs = cg.convert(rhs, rt, t)
+		cg.emit(&ir.Instr{Op: ir.Store, Type: t, Dst: -1,
+			Args: []ir.Val{addr, rhs}, Arr: lhs.Name, Tag: tag})
+		return nil
+	}
+	return fmt.Errorf("backend: bad assignment target")
+}
+
+// ifStmt compiles predicable single-assignment ifs into Select
+// instructions (keeping loop bodies branch-free, as the paper's
+// if-conversion intends) and general ifs into control flow.
+func (cg *codegen) ifStmt(s *source.If) error {
+	if as, ok := predicableAssign(s); ok {
+		return cg.predicated(s.Cond, as)
+	}
+	cond, t, err := cg.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if t != source.TBool {
+		return fmt.Errorf("backend: if condition must be bool")
+	}
+	brf := cg.emit(&ir.Instr{Op: ir.BrFalse, Args: []ir.Val{cond}})
+	if len(cg.loops) > 0 {
+		cg.loops[len(cg.loops)-1].nonFlat = true
+	}
+	cg.cur = cg.newBlock()
+	if err := cg.stmts(s.Then.Stmts); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		next := cg.newBlock()
+		cg.cur = next
+		brf.Target = next.ID
+		return nil
+	}
+	brEnd := cg.emit(&ir.Instr{Op: ir.Br})
+	elseBlk := cg.newBlock()
+	brf.Target = elseBlk.ID
+	cg.cur = elseBlk
+	if err := cg.stmts(s.Else.Stmts); err != nil {
+		return err
+	}
+	end := cg.newBlock()
+	brEnd.Target = end.ID
+	cg.cur = end
+	return nil
+}
+
+// predicableAssign reports whether the if is a single predicated
+// assignment with no else.
+func predicableAssign(s *source.If) (*source.Assign, bool) {
+	if s.Else != nil || len(s.Then.Stmts) != 1 {
+		return nil, false
+	}
+	as, ok := s.Then.Stmts[0].(*source.Assign)
+	return as, ok
+}
+
+// predicated lowers `if (c) lhs = rhs` as a conditional select: the new
+// value is computed, then merged with the old value under the predicate.
+func (cg *codegen) predicated(cond source.Expr, a *source.Assign) error {
+	cv, ct, err := cg.expr(cond)
+	if err != nil {
+		return err
+	}
+	if ct != source.TBool {
+		return fmt.Errorf("backend: predicate must be bool")
+	}
+	rhs, rt, err := cg.expr(a.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := a.LHS.(type) {
+	case *source.VarRef:
+		r := cg.scalarReg(lhs.Name)
+		t := cg.typeOfName(lhs.Name)
+		if a.Op != source.AEq {
+			rhs = cg.binArith(a.Op.BinOp(), ir.R(r), t, rhs, rt)
+			rt = promoted(t, rt)
+		}
+		rhs = cg.convert(rhs, rt, t)
+		sel := cg.f.NewReg(t)
+		cg.emit(&ir.Instr{Op: ir.Select, Type: t, Dst: sel, Args: []ir.Val{cv, rhs, ir.R(r)}})
+		cg.emit(&ir.Instr{Op: ir.Mov, Type: t, Dst: r, Args: []ir.Val{ir.R(sel)}})
+		return nil
+	case *source.IndexExpr:
+		addr, tag, err := cg.address(lhs)
+		if err != nil {
+			return err
+		}
+		t := cg.typeOfName(lhs.Name)
+		old := cg.f.NewReg(t)
+		cg.emit(&ir.Instr{Op: ir.Load, Type: t, Dst: old, Args: []ir.Val{addr},
+			Arr: lhs.Name, Tag: tag})
+		if a.Op != source.AEq {
+			rhs = cg.binArith(a.Op.BinOp(), ir.R(old), t, rhs, rt)
+			rt = promoted(t, rt)
+		}
+		rhs = cg.convert(rhs, rt, t)
+		sel := cg.f.NewReg(t)
+		cg.emit(&ir.Instr{Op: ir.Select, Type: t, Dst: sel, Args: []ir.Val{cv, rhs, ir.R(old)}})
+		cg.emit(&ir.Instr{Op: ir.Store, Type: t, Dst: -1,
+			Args: []ir.Val{addr, ir.R(sel)}, Arr: lhs.Name, Tag: tag})
+		return nil
+	}
+	return fmt.Errorf("backend: bad predicated assignment target")
+}
+
+func (cg *codegen) forStmt(s *source.For) error {
+	if s.Init != nil {
+		if err := cg.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	cg.f.NumLoops++
+	lc := &loopCtx{id: cg.f.NumLoops}
+	if l, err := sem.Canonicalize(s); err == nil {
+		lc.varName = l.Var
+	}
+	head := cg.newBlock()
+	lc.headID = head.ID
+	cg.cur = head
+	cg.loops = append(cg.loops, lc)
+
+	var brExit *ir.Instr
+	if s.Cond != nil {
+		cond, _, err := cg.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		brExit = cg.emit(&ir.Instr{Op: ir.BrFalse, Args: []ir.Val{cond}})
+	}
+	body := cg.newBlock()
+	cg.cur = body
+	blocksBefore := len(cg.f.Blocks)
+	if err := cg.stmts(s.Body.Stmts); err != nil {
+		return err
+	}
+	if s.Post != nil {
+		if err := cg.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	cg.emit(&ir.Instr{Op: ir.Br, Target: head.ID})
+	flat := len(cg.f.Blocks) == blocksBefore && !lc.nonFlat
+	if flat && lc.varName != "" {
+		body.IsLoopBody = true
+		body.Counted = true
+		body.LoopID = lc.id
+	}
+
+	exit := cg.f.NewBlock() // outside the loop: no LoopID
+	if brExit != nil {
+		brExit.Target = exit.ID
+	}
+	for _, br := range lc.breaks {
+		br.Target = exit.ID
+	}
+	cg.loops = cg.loops[:len(cg.loops)-1]
+	cg.cur = exit
+	return nil
+}
+
+func (cg *codegen) whileStmt(s *source.While) error {
+	cg.f.NumLoops++
+	lc := &loopCtx{id: cg.f.NumLoops}
+	// While-loops whose last statement is an induction update have a
+	// consistent affine view for every reference in the body (they all
+	// precede the update), so memory tags stay valid.
+	lc.varName = whileInductionVar(s)
+	head := cg.newBlock()
+	lc.headID = head.ID
+	cg.cur = head
+	cg.loops = append(cg.loops, lc)
+	cond, _, err := cg.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	brExit := cg.emit(&ir.Instr{Op: ir.BrFalse, Args: []ir.Val{cond}})
+	body := cg.newBlock()
+	cg.cur = body
+	blocksBefore := len(cg.f.Blocks)
+	if err := cg.stmts(s.Body.Stmts); err != nil {
+		return err
+	}
+	cg.emit(&ir.Instr{Op: ir.Br, Target: head.ID})
+	// A flat while body is rotated like a counted loop (do-while
+	// conversion), but never modulo scheduled (Counted stays false).
+	if len(cg.f.Blocks) == blocksBefore && !lc.nonFlat {
+		body.IsLoopBody = true
+		body.LoopID = lc.id
+	}
+	exit := cg.f.NewBlock()
+	brExit.Target = exit.ID
+	for _, br := range lc.breaks {
+		br.Target = exit.ID
+	}
+	cg.loops = cg.loops[:len(cg.loops)-1]
+	cg.cur = exit
+	return nil
+}
+
+// whileInductionVar recognizes `v += c` / `v = v + c` as the last body
+// statement, with v read by the condition, and returns v ("" otherwise).
+func whileInductionVar(s *source.While) string {
+	if len(s.Body.Stmts) == 0 {
+		return ""
+	}
+	as, ok := s.Body.Stmts[len(s.Body.Stmts)-1].(*source.Assign)
+	if !ok {
+		return ""
+	}
+	v, ok := as.LHS.(*source.VarRef)
+	if !ok {
+		return ""
+	}
+	isInd := false
+	switch as.Op {
+	case source.AAdd, source.ASub:
+		_, isInd = source.ConstInt(as.RHS)
+	case source.AEq:
+		if b, okb := as.RHS.(*source.Binary); okb && (b.Op == source.OpAdd || b.Op == source.OpSub) {
+			if bv, okv := b.X.(*source.VarRef); okv && bv.Name == v.Name {
+				_, isInd = source.ConstInt(b.Y)
+			}
+		}
+	}
+	if !isInd {
+		return ""
+	}
+	// No other statement may write v (tags would go stale).
+	for _, st := range s.Body.Stmts[:len(s.Body.Stmts)-1] {
+		bad := false
+		source.WalkStmt(st, func(x source.Stmt) bool {
+			if a2, ok := x.(*source.Assign); ok {
+				if v2, ok := a2.LHS.(*source.VarRef); ok && v2.Name == v.Name {
+					bad = true
+					return false
+				}
+			}
+			return true
+		})
+		if bad {
+			return ""
+		}
+	}
+	used := false
+	source.WalkExprs(s.Cond, func(e source.Expr) bool {
+		if vr, ok := e.(*source.VarRef); ok && vr.Name == v.Name {
+			used = true
+			return false
+		}
+		return true
+	})
+	if !used {
+		return ""
+	}
+	return v.Name
+}
+
+// ------------------------------------------------------------ expressions
+
+func promoted(a, b source.Type) source.Type {
+	if a == source.TFloat || b == source.TFloat {
+		return source.TFloat
+	}
+	return source.TInt
+}
+
+// convert inserts a Cvt when the value's type differs from want.
+func (cg *codegen) convert(v ir.Val, have, want source.Type) ir.Val {
+	if have == want || want == source.TUnknown || have == source.TBool || want == source.TBool {
+		return v
+	}
+	// Fold immediate conversions.
+	switch v.Kind {
+	case ir.KInt:
+		if want == source.TFloat {
+			return ir.ImmF(float64(v.I))
+		}
+		return v
+	case ir.KFloat:
+		if want == source.TInt {
+			return ir.ImmI(int64(v.F))
+		}
+		return v
+	}
+	r := cg.f.NewReg(want)
+	cg.emit(&ir.Instr{Op: ir.Cvt, Type: want, Dst: r, Args: []ir.Val{v}})
+	return ir.R(r)
+}
+
+// binArith emits a binary arithmetic op with promotion, returning the
+// result operand.
+func (cg *codegen) binArith(op source.Op, x ir.Val, xt source.Type, y ir.Val, yt source.Type) ir.Val {
+	t := promoted(xt, yt)
+	x = cg.convert(x, xt, t)
+	y = cg.convert(y, yt, t)
+	var o ir.Op
+	switch op {
+	case source.OpAdd:
+		o = ir.Add
+	case source.OpSub:
+		o = ir.Sub
+	case source.OpMul:
+		o = ir.Mul
+	case source.OpDiv:
+		o = ir.Div
+	case source.OpMod:
+		o = ir.Mod
+	}
+	r := cg.f.NewReg(t)
+	cg.emit(&ir.Instr{Op: o, Type: t, Dst: r, Args: []ir.Val{x, y}})
+	return ir.R(r)
+}
+
+// expr compiles an expression, returning its operand and type. Logical
+// operators evaluate both operands (machine-style eager evaluation).
+func (cg *codegen) expr(e source.Expr) (ir.Val, source.Type, error) {
+	switch e := e.(type) {
+	case *source.IntLit:
+		return ir.ImmI(e.Value), source.TInt, nil
+	case *source.FloatLit:
+		return ir.ImmF(e.Value), source.TFloat, nil
+	case *source.BoolLit:
+		return ir.ImmB(e.Value), source.TBool, nil
+	case *source.VarRef:
+		if sym := cg.info.Table.Lookup(e.Name); sym != nil && sym.IsArray() {
+			return ir.Val{}, 0, fmt.Errorf("backend: array %q used as scalar", e.Name)
+		}
+		return ir.R(cg.scalarReg(e.Name)), cg.typeOfName(e.Name), nil
+	case *source.IndexExpr:
+		addr, tag, err := cg.address(e)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		t := cg.typeOfName(e.Name)
+		r := cg.f.NewReg(t)
+		cg.emit(&ir.Instr{Op: ir.Load, Type: t, Dst: r, Args: []ir.Val{addr},
+			Arr: e.Name, Tag: tag})
+		return ir.R(r), t, nil
+	case *source.Unary:
+		x, t, err := cg.expr(e.X)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		switch e.Op {
+		case source.OpNeg:
+			r := cg.f.NewReg(t)
+			cg.emit(&ir.Instr{Op: ir.Neg, Type: t, Dst: r, Args: []ir.Val{x}})
+			return ir.R(r), t, nil
+		case source.OpNot:
+			r := cg.f.NewReg(source.TBool)
+			cg.emit(&ir.Instr{Op: ir.Not, Type: source.TBool, Dst: r, Args: []ir.Val{x}})
+			return ir.R(r), source.TBool, nil
+		}
+		return ir.Val{}, 0, fmt.Errorf("backend: bad unary op")
+	case *source.Binary:
+		x, xt, err := cg.expr(e.X)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		y, yt, err := cg.expr(e.Y)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		switch {
+		case e.Op == source.OpAnd || e.Op == source.OpOr:
+			o := ir.And
+			if e.Op == source.OpOr {
+				o = ir.Or
+			}
+			r := cg.f.NewReg(source.TBool)
+			cg.emit(&ir.Instr{Op: o, Type: source.TBool, Dst: r, Args: []ir.Val{x, y}})
+			return ir.R(r), source.TBool, nil
+		case e.Op.IsComparison():
+			t := promoted(xt, yt)
+			if xt == source.TBool && yt == source.TBool {
+				t = source.TBool
+			}
+			x = cg.convert(x, xt, t)
+			y = cg.convert(y, yt, t)
+			var o ir.Op
+			switch e.Op {
+			case source.OpLT:
+				o = ir.CmpLT
+			case source.OpLE:
+				o = ir.CmpLE
+			case source.OpGT:
+				o = ir.CmpGT
+			case source.OpGE:
+				o = ir.CmpGE
+			case source.OpEQ:
+				o = ir.CmpEQ
+			case source.OpNE:
+				o = ir.CmpNE
+			}
+			r := cg.f.NewReg(source.TBool)
+			cg.emit(&ir.Instr{Op: o, Type: t, Dst: r, Args: []ir.Val{x, y}})
+			return ir.R(r), source.TBool, nil
+		default:
+			v := cg.binArith(e.Op, x, xt, y, yt)
+			return v, promoted(xt, yt), nil
+		}
+	case *source.CondExpr:
+		c, _, err := cg.expr(e.Cond)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		a, at, err := cg.expr(e.A)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		b, bt, err := cg.expr(e.B)
+		if err != nil {
+			return ir.Val{}, 0, err
+		}
+		t := promoted(at, bt)
+		if at == source.TBool {
+			t = source.TBool
+		}
+		a = cg.convert(a, at, t)
+		b = cg.convert(b, bt, t)
+		r := cg.f.NewReg(t)
+		cg.emit(&ir.Instr{Op: ir.Select, Type: t, Dst: r, Args: []ir.Val{c, a, b}})
+		return ir.R(r), t, nil
+	case *source.Call:
+		var args []ir.Val
+		widest := source.TInt
+		for _, a := range e.Args {
+			v, t, err := cg.expr(a)
+			if err != nil {
+				return ir.Val{}, 0, err
+			}
+			widest = promoted(widest, t)
+			args = append(args, v)
+		}
+		in, ok := sem.Intrinsics[e.Name]
+		if !ok {
+			return ir.Val{}, 0, fmt.Errorf("backend: unknown function %q", e.Name)
+		}
+		rt := in.Result
+		if rt == source.TUnknown {
+			rt = widest
+		}
+		r := cg.f.NewReg(rt)
+		cg.emit(&ir.Instr{Op: ir.Call, Type: rt, Dst: r, Args: args, Fn: e.Name})
+		return ir.R(r), rt, nil
+	}
+	return ir.Val{}, 0, fmt.Errorf("backend: cannot compile expression %T", e)
+}

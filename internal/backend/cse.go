@@ -1,0 +1,119 @@
+package backend
+
+import (
+	"fmt"
+
+	"slms/internal/ir"
+	"slms/internal/source"
+)
+
+// LocalCSE performs local value numbering within each basic block on
+// pure integer/address arithmetic (Add/Sub/Mul/Neg/Cvt/Mov of int
+// operands): repeated computations of the same value are replaced by a
+// copy of the first result. Every compiler the paper evaluates performs
+// at least this much cleanup; without it, the shifted array subscripts
+// SLMS introduces (A[i+2], A[i+3], ...) would be charged one extra add
+// per reference and bias the comparison against SLMS.
+//
+// Only int-typed pure ops participate: float arithmetic is never touched
+// (preserving rounding behaviour exactly), and loads/stores/calls are
+// barriers for nothing — the pass only tracks register definitions.
+func LocalCSE(f *ir.Func) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		removed += cseBlock(f, b)
+	}
+	return removed
+}
+
+func cseBlock(f *ir.Func, b *ir.Block) int {
+	avail := map[string]int{} // value key -> register holding it
+	keyOf := map[int]string{} // register -> the key it currently holds
+	removed := 0
+
+	kill := func(reg int) {
+		if k, ok := keyOf[reg]; ok {
+			delete(avail, k)
+			delete(keyOf, reg)
+		}
+		// Any key mentioning reg as an operand is stale.
+		for k, r := range avail {
+			if mentionsReg(k, reg) {
+				delete(avail, k)
+				delete(keyOf, r)
+			}
+		}
+	}
+
+	for _, in := range b.Instrs {
+		if in.Dst < 0 {
+			continue
+		}
+		if key, ok := pureIntKey(in); ok {
+			if src, hit := avail[key]; hit && src != in.Dst {
+				// Replace with a register copy; the scheduler treats Mov
+				// as a 1-cycle int op, and steady-state it often folds
+				// into existing slots.
+				kill(in.Dst)
+				in.Op = ir.Mov
+				in.Type = source.TInt
+				in.Args = []ir.Val{ir.R(src)}
+				removed++
+				continue
+			}
+			kill(in.Dst)
+			avail[key] = in.Dst
+			keyOf[in.Dst] = key
+			continue
+		}
+		kill(in.Dst)
+	}
+	return removed
+}
+
+// pureIntKey builds a value-numbering key for pure int ops whose
+// operands are immediates or registers.
+func pureIntKey(in *ir.Instr) (string, bool) {
+	if in.Type != source.TInt {
+		return "", false
+	}
+	switch in.Op {
+	case ir.Add, ir.Sub, ir.Mul, ir.Neg, ir.Mov:
+	default:
+		return "", false
+	}
+	ops := make([]string, 0, len(in.Args))
+	for _, a := range in.Args {
+		switch a.Kind {
+		case ir.KReg:
+			ops = append(ops, fmt.Sprintf("r%d", a.Reg))
+		case ir.KInt:
+			ops = append(ops, fmt.Sprintf("#%d", a.I))
+		default:
+			return "", false
+		}
+	}
+	// Canonicalize commutative operand order.
+	if (in.Op == ir.Add || in.Op == ir.Mul) && len(ops) == 2 && ops[1] < ops[0] {
+		ops[0], ops[1] = ops[1], ops[0]
+	}
+	key := in.Op.String()
+	for _, o := range ops {
+		key += "|" + o
+	}
+	return key, true
+}
+
+func mentionsReg(key string, reg int) bool {
+	needle := fmt.Sprintf("|r%d", reg)
+	// Exact operand match: the operand is followed by '|' or end.
+	for i := 0; i+len(needle) <= len(key); i++ {
+		if key[i:i+len(needle)] == needle {
+			end := i + len(needle)
+			if end == len(key) || key[end] == '|' {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+package backend
+
+import (
+	"sort"
+
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// SpillArray is the reserved array name used for spill slots; the
+// simulator treats it like any other array, so spill traffic goes
+// through the cache model.
+const SpillArray = "__spill"
+
+// AllocResult reports the effect of register allocation.
+type AllocResult struct {
+	SpilledRegs int
+	SpillLoads  int
+	SpillStores int
+	// MaxLiveInt/Float are the pre-allocation pressure peaks.
+	MaxLiveInt   int
+	MaxLiveFloat int
+}
+
+// Allocate performs linear-scan register allocation for the machine's
+// register-file sizes and rewrites the function with spill code for the
+// intervals that do not fit. Virtual register names are kept (the
+// simulator has no physical file); what matters for timing and energy is
+// the inserted spill traffic. It returns statistics about the spills.
+func Allocate(f *ir.Func, d *machine.Desc) *AllocResult {
+	res := &AllocResult{}
+	intervals := liveIntervals(f)
+
+	isFloat := func(r int) bool { return f.RegTypes[r] == source.TFloat }
+
+	// Pressure statistics and linear scan per class.
+	spilled := map[int]bool{}
+	for _, class := range []bool{false, true} {
+		var ivs []interval
+		for _, iv := range intervals {
+			if isFloat(iv.reg) == class {
+				ivs = append(ivs, iv)
+			}
+		}
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+		limit := d.IntRegs
+		if class {
+			limit = d.FPRegs
+		}
+		// Reserve two scratch registers per class for spill reloads.
+		limit -= 2
+		if limit < 1 {
+			limit = 1
+		}
+		// True pressure (no eviction), for reporting.
+		maxLive := 0
+		{
+			var active []interval
+			for _, iv := range ivs {
+				keep := active[:0]
+				for _, a := range active {
+					if a.end >= iv.start {
+						keep = append(keep, a)
+					}
+				}
+				active = append(keep, iv)
+				if len(active) > maxLive {
+					maxLive = len(active)
+				}
+			}
+		}
+		var active []interval
+		for _, iv := range ivs {
+			keep := active[:0]
+			for _, a := range active {
+				if a.end >= iv.start {
+					keep = append(keep, a)
+				}
+			}
+			active = append(keep, iv)
+			if len(active) > limit {
+				// Spill the interval ending last. Scalar home registers can
+				// be spilled like any other value: definitions keep writing
+				// the home register (and additionally store to the slot), so
+				// the register always holds the latest value at Halt.
+				worst := 0
+				for k := 1; k < len(active); k++ {
+					if active[k].end > active[worst].end {
+						worst = k
+					}
+				}
+				spilled[active[worst].reg] = true
+				active = append(active[:worst], active[worst+1:]...)
+			}
+		}
+		if class {
+			res.MaxLiveFloat = maxLive
+		} else {
+			res.MaxLiveInt = maxLive
+		}
+	}
+	if len(spilled) == 0 {
+		return res
+	}
+	res.SpilledRegs = len(spilled)
+
+	// Assign spill slots.
+	slot := map[int]int{}
+	for r := range spilled {
+		slot[r] = len(slot)
+	}
+	if f.Arrays[SpillArray] == nil {
+		f.Arrays[SpillArray] = &ir.ArrayInfo{Type: source.TFloat, StaticLen: len(slot)}
+	}
+
+	// Rewrite: reload before uses, store after defs.
+	for _, b := range f.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			reloads := map[int]int{}
+			for ai, a := range in.Args {
+				if a.Kind != ir.KReg || !spilled[a.Reg] {
+					continue
+				}
+				tmp, ok := reloads[a.Reg]
+				if !ok {
+					tmp = f.NewReg(f.RegTypes[a.Reg])
+					reloads[a.Reg] = tmp
+					out = append(out, &ir.Instr{
+						Op: ir.Load, Type: f.RegTypes[a.Reg], Dst: tmp,
+						Args: []ir.Val{ir.ImmI(int64(slot[a.Reg]))},
+						Arr:  SpillArray,
+					})
+					res.SpillLoads++
+				}
+				in.Args[ai] = ir.R(tmp)
+			}
+			out = append(out, in)
+			if in.Dst >= 0 && spilled[in.Dst] {
+				out = append(out, &ir.Instr{
+					Op: ir.Store, Type: f.RegTypes[in.Dst], Dst: -1,
+					Args: []ir.Val{ir.ImmI(int64(slot[in.Dst])), ir.R(in.Dst)},
+					Arr:  SpillArray,
+				})
+				res.SpillStores++
+			}
+		}
+		// Keep the branch last: spill stores inserted after a trailing
+		// branch must move before it.
+		if n := len(out); n >= 2 && out[n-2].Op.IsBranch() && !out[n-1].Op.IsBranch() {
+			out[n-2], out[n-1] = out[n-1], out[n-2]
+		}
+		b.Instrs = out
+	}
+	return res
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// interval is a live range in global instruction positions.
+type interval struct {
+	reg        int
+	start, end int
+}
+
+// liveIntervals computes conservative live intervals over the layout
+// order using iterative liveness on the CFG.
+func liveIntervals(f *ir.Func) []interval {
+	n := len(f.Blocks)
+	// Block position ranges.
+	startPos := make([]int, n)
+	endPos := make([]int, n)
+	pos := 0
+	for i, b := range f.Blocks {
+		startPos[i] = pos
+		pos += len(b.Instrs)
+		endPos[i] = pos
+	}
+	use := make([]map[int]bool, n)
+	def := make([]map[int]bool, n)
+	for i, b := range f.Blocks {
+		use[i] = map[int]bool{}
+		def[i] = map[int]bool{}
+		for _, in := range b.Instrs {
+			for _, r := range in.Uses() {
+				if !def[i][r] {
+					use[i][r] = true
+				}
+			}
+			if in.Dst >= 0 {
+				def[i][in.Dst] = true
+			}
+		}
+	}
+	liveIn := make([]map[int]bool, n)
+	liveOut := make([]map[int]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[int]bool{}
+		liveOut[i] = map[int]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := map[int]bool{}
+			for _, s := range b.Succs(n) {
+				for r := range liveIn[s] {
+					out[r] = true
+				}
+			}
+			in := map[int]bool{}
+			for r := range out {
+				if !def[i][r] {
+					in[r] = true
+				}
+			}
+			for r := range use[i] {
+				in[r] = true
+			}
+			if !sameSet(out, liveOut[i]) || !sameSet(in, liveIn[i]) {
+				changed = true
+			}
+			liveOut[i], liveIn[i] = out, in
+		}
+	}
+	// Build intervals.
+	start := map[int]int{}
+	end := map[int]int{}
+	touch := func(r, p int) {
+		if s, ok := start[r]; !ok || p < s {
+			start[r] = p
+		}
+		if e, ok := end[r]; !ok || p > e {
+			end[r] = p
+		}
+	}
+	for i, b := range f.Blocks {
+		for r := range liveIn[i] {
+			touch(r, startPos[i])
+		}
+		for r := range liveOut[i] {
+			touch(r, endPos[i])
+		}
+		p := startPos[i]
+		for _, in := range b.Instrs {
+			for _, r := range in.Uses() {
+				touch(r, p)
+			}
+			if in.Dst >= 0 {
+				touch(in.Dst, p)
+			}
+			p++
+		}
+	}
+	var ivs []interval
+	for reg, s := range start {
+		ivs = append(ivs, interval{reg: reg, start: s, end: end[reg]})
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].reg < ivs[b].reg })
+	return ivs
+}

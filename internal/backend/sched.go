@@ -1,0 +1,298 @@
+package backend
+
+import (
+	"sort"
+
+	"slms/internal/dep"
+	"slms/internal/ir"
+	"slms/internal/machine"
+)
+
+// BlockSched is the static timing of one basic block on a Static-policy
+// (VLIW) machine.
+type BlockSched struct {
+	// CycleOf is the issue cycle of each instruction.
+	CycleOf []int
+	// Len is the cycles one pass through the block takes (fill).
+	Len int
+	// SteadyLen is the per-iteration cost when the block is a loop body
+	// executed back to back: Len plus any loop-carried stall the static
+	// schedule exposes.
+	SteadyLen int
+	// Bundles is the number of non-empty issue groups (the "bundle count"
+	// metric of the paper's IA-64 analysis).
+	Bundles int
+}
+
+// depEdge is a scheduling dependence within a block.
+type depEdge struct {
+	from, to int
+	lat      int
+}
+
+// blockDeps builds the intra-block scheduling DAG. useTags enables
+// affine memory disambiguation (the strong-compiler front end forwards
+// subscript analysis to the back end); without it any two accesses to
+// the same array conflict.
+func blockDeps(ins []*ir.Instr, d *machine.Desc, useTags bool) []depEdge {
+	var edges []depEdge
+	lastDef := map[int]int{}    // reg -> instr index
+	lastUses := map[int][]int{} // reg -> instr indexes since last def
+
+	addMem := func(i, j int, lat int) { edges = append(edges, depEdge{i, j, lat}) }
+
+	for j, in := range ins {
+		// Register dependences.
+		for _, r := range in.Uses() {
+			if i, ok := lastDef[r]; ok {
+				edges = append(edges, depEdge{i, j, d.Latency(ins[i])}) // RAW
+			}
+			lastUses[r] = append(lastUses[r], j)
+		}
+		if in.Dst >= 0 {
+			if i, ok := lastDef[in.Dst]; ok {
+				edges = append(edges, depEdge{i, j, 1}) // WAW
+			}
+			for _, u := range lastUses[in.Dst] {
+				if u != j {
+					edges = append(edges, depEdge{u, j, 0}) // WAR
+				}
+			}
+			lastDef[in.Dst] = j
+			lastUses[in.Dst] = nil
+		}
+		// Memory dependences.
+		if in.Op.IsMem() {
+			for i := j - 1; i >= 0; i-- {
+				p := ins[i]
+				if !p.Op.IsMem() {
+					continue
+				}
+				if p.Op == ir.Load && in.Op == ir.Load {
+					continue
+				}
+				if !memConflict(p, in, useTags) {
+					continue
+				}
+				lat := 0
+				if p.Op == ir.Store {
+					lat = d.Lat.Store // store→load/store ordering
+				}
+				addMem(i, j, lat)
+			}
+		}
+		// Everything stays before the terminating branch.
+		if in.Op.IsBranch() {
+			for i := 0; i < j; i++ {
+				edges = append(edges, depEdge{i, j, 0})
+			}
+		}
+	}
+	return edges
+}
+
+// memConflict decides whether two memory ops to possibly-equal addresses
+// must stay ordered within one loop iteration.
+func memConflict(a, b *ir.Instr, useTags bool) bool {
+	if a.Arr != b.Arr {
+		return false // distinct arrays never alias in mini-C
+	}
+	if !useTags {
+		return true
+	}
+	res, dist := ir.TagDistance(a.Tag, b.Tag)
+	switch res {
+	case dep.DistNone:
+		return false
+	case dep.DistExact:
+		// Within a single iteration only distance 0 collides.
+		return dist == 0
+	default:
+		return true
+	}
+}
+
+// ListSchedule performs resource-constrained list scheduling of one
+// block (critical-path priority), returning the static timing.
+//
+// window bounds the scheduler's lookahead in program order (0 =
+// unbounded): an instruction can only be picked while fewer than
+// `window` earlier instructions remain unscheduled. Small windows model
+// the limited scheduling regions of weak compilers — the reason SLMS
+// helps them is precisely that it moves parallel work syntactically
+// close together.
+func ListSchedule(b *ir.Block, d *machine.Desc, useTags bool, window int) *BlockSched {
+	ins := b.Instrs
+	n := len(ins)
+	s := &BlockSched{CycleOf: make([]int, n)}
+	if n == 0 {
+		s.Len, s.SteadyLen = 1, 1
+		return s
+	}
+	edges := blockDeps(ins, d, useTags)
+	succs := make([][]depEdge, n)
+	npreds := make([]int, n)
+	for _, e := range edges {
+		succs[e.from] = append(succs[e.from], e)
+		npreds[e.to]++
+	}
+	// Heights: longest latency path to any sink.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := 0
+		for _, e := range succs[i] {
+			if v := height[e.to] + e.lat; v > h {
+				h = v
+			}
+		}
+		height[i] = h
+	}
+	ready := make([]int, 0, n)
+	readyAt := make([]int, n)
+	pending := make([]int, n)
+	copy(pending, npreds)
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	isScheduled := make([]bool, n)
+	scheduled := 0
+	cycle := 0
+	for scheduled < n {
+		// The weak-compiler window: only instructions close (in program
+		// order) to the earliest unscheduled one are candidates.
+		horizon := n
+		if window > 0 {
+			first := 0
+			for first < n && isScheduled[first] {
+				first++
+			}
+			horizon = first + window
+		}
+		// Candidates ready this cycle, by height then source order.
+		sort.Slice(ready, func(a, b int) bool {
+			if height[ready[a]] != height[ready[b]] {
+				return height[ready[a]] > height[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		var used [4]int
+		issued := 0
+		var rest []int
+		for _, i := range ready {
+			fu := machine.UnitOf(ins[i])
+			if i >= horizon || readyAt[i] > cycle || issued >= d.IssueWidth || used[fu] >= d.Units[fu] {
+				rest = append(rest, i)
+				continue
+			}
+			s.CycleOf[i] = cycle
+			isScheduled[i] = true
+			used[fu]++
+			issued++
+			scheduled++
+			for _, e := range succs[i] {
+				pending[e.to]--
+				if t := cycle + e.lat; t > readyAt[e.to] {
+					readyAt[e.to] = t
+				}
+				if pending[e.to] == 0 {
+					rest = append(rest, e.to)
+				}
+			}
+		}
+		ready = rest
+		if issued > 0 {
+			s.Bundles++
+		}
+		cycle++
+	}
+	last := 0
+	for i := 0; i < n; i++ {
+		if s.CycleOf[i] > last {
+			last = s.CycleOf[i]
+		}
+	}
+	s.Len = last + d.Lat.Branch
+	s.SteadyLen = s.Len + carriedStall(ins, s.CycleOf, s.Len, d, useTags)
+	return s
+}
+
+// SequentialSchedule models a compiler that performs no reordering (the
+// no-O3 configuration): instructions fill issue slots strictly in
+// program order, stalling on hazards.
+func SequentialSchedule(b *ir.Block, d *machine.Desc) *BlockSched {
+	ins := b.Instrs
+	n := len(ins)
+	s := &BlockSched{CycleOf: make([]int, n)}
+	if n == 0 {
+		s.Len, s.SteadyLen = 1, 1
+		return s
+	}
+	regReady := map[int]int{}
+	memReady := 0
+	cycle, issued := 0, 0
+	var used [4]int
+	for i, in := range ins {
+		earliest := cycle
+		for _, r := range in.Uses() {
+			if t, ok := regReady[r]; ok && t > earliest {
+				earliest = t
+			}
+		}
+		if in.Op.IsMem() && memReady > earliest {
+			earliest = memReady
+		}
+		fu := machine.UnitOf(in)
+		for earliest > cycle || issued >= d.IssueWidth || used[fu] >= d.Units[fu] {
+			cycle++
+			issued = 0
+			used = [4]int{}
+		}
+		s.CycleOf[i] = cycle
+		issued++
+		used[fu]++
+		if issued == 1 {
+			s.Bundles++
+		}
+		if in.Dst >= 0 {
+			regReady[in.Dst] = cycle + d.Latency(in)
+		}
+		if in.Op == ir.Store {
+			memReady = cycle + d.Lat.Store
+		}
+	}
+	s.Len = s.CycleOf[n-1] + d.Lat.Branch
+	s.SteadyLen = s.Len + carriedStall(ins, s.CycleOf, s.Len, d, true)
+	return s
+}
+
+// carriedStall computes the extra stall a back-to-back re-execution of
+// the block suffers from loop-carried register dependences: a value
+// produced late in iteration i and consumed early in iteration i+1.
+func carriedStall(ins []*ir.Instr, cycleOf []int, length int, d *machine.Desc, useTags bool) int {
+	defCycle := map[int]int{}
+	defLat := map[int]int{}
+	for i, in := range ins {
+		if in.Dst >= 0 {
+			if c := cycleOf[i]; c >= defCycle[in.Dst] {
+				defCycle[in.Dst] = c
+				defLat[in.Dst] = d.Latency(in)
+			}
+		}
+	}
+	stall := 0
+	for i, in := range ins {
+		for _, r := range in.Uses() {
+			dc, ok := defCycle[r]
+			if !ok {
+				continue
+			}
+			// Next-iteration use at length+cycleOf[i] needs dc+lat.
+			if s := dc + defLat[r] - (length + cycleOf[i]); s > stall {
+				stall = s
+			}
+		}
+	}
+	return stall
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// decompose implements §3.2: split one MI into two so that a valid II can
+// be found. The primary strategy peels an array load that has no flow
+// dependence with any store of the same MI into a fresh temporary MI
+// placed before it:
+//
+//	A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+//
+// becomes
+//
+//	reg1 = A[i+2];
+//	A[i] = A[i-1] + A[i-2] + A[i+1] + reg1;
+//
+// The secondary strategy (resource decomposition) splits a large
+// arithmetic expression in half through a temporary. decompose returns
+// the new MI list, the declaration for the introduced temporary, and the
+// index of the MI it split, or an error when nothing can be decomposed.
+func decompose(mis []source.Stmt, loopVar string, step int64, tab *sem.Table,
+	typeOf func(source.Expr) source.Type) ([]source.Stmt, *source.Decl, int, error) {
+
+	// Scalars written anywhere in the body: loads subscripted by them are
+	// poor peeling candidates (hoisting them moves an exposed read of the
+	// induction scalar earlier, lengthening its carried dependence).
+	written := map[string]bool{}
+	for _, mi := range mis {
+		source.WalkStmt(mi, func(s source.Stmt) bool {
+			if as, ok := s.(*source.Assign); ok {
+				if v, ok := as.LHS.(*source.VarRef); ok {
+					written[v.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Strategy 1: peel a flow-free array load.
+	for k, mi := range mis {
+		as, ok := mi.(*source.Assign)
+		if !ok {
+			continue
+		}
+		writes := collectWrites(as, loopVar)
+		load := pickPeelableLoad(as.RHS, writes, loopVar, step, written)
+		if load == nil {
+			continue
+		}
+		t := typeOf(load)
+		if t == source.TUnknown {
+			t = source.TFloat
+		}
+		name := tab.Fresh("reg", t)
+		decl := &source.Decl{Type: t, Name: name}
+		newMI := &source.Assign{LHS: source.Var(name), Op: source.AEq, RHS: source.CloneExpr(load)}
+		replaced := false
+		as.RHS = source.MapExpr(as.RHS, func(e source.Expr) source.Expr {
+			if !replaced && sameIndexExpr(e, load) {
+				replaced = true
+				return source.Var(name)
+			}
+			return e
+		})
+		if !replaced {
+			return nil, nil, 0, fmt.Errorf("slms: internal error: peeled load not found in MI %d", k)
+		}
+		out := append(append(append([]source.Stmt{}, mis[:k]...), source.Stmt(newMI)), mis[k:]...)
+		return out, decl, k, nil
+	}
+
+	// Strategy 2: split a large expression (resource decomposition).
+	for k, mi := range mis {
+		as, ok := mi.(*source.Assign)
+		if !ok {
+			continue
+		}
+		sub := pickHalfExpr(as.RHS)
+		if sub == nil {
+			continue
+		}
+		t := typeOf(sub)
+		if t == source.TUnknown {
+			t = source.TFloat
+		}
+		name := tab.Fresh("reg", t)
+		decl := &source.Decl{Type: t, Name: name}
+		newMI := &source.Assign{LHS: source.Var(name), Op: source.AEq, RHS: source.CloneExpr(sub)}
+		replaced := false
+		as.RHS = source.MapExpr(as.RHS, func(e source.Expr) source.Expr {
+			if !replaced && exprEqual(e, sub) {
+				replaced = true
+				return source.Var(name)
+			}
+			return e
+		})
+		if !replaced {
+			continue
+		}
+		out := append(append(append([]source.Stmt{}, mis[:k]...), source.Stmt(newMI)), mis[k:]...)
+		return out, decl, k, nil
+	}
+	return nil, nil, 0, fmt.Errorf("slms: no MI can be decomposed")
+}
+
+// collectWrites gathers the array writes of an assignment (the LHS).
+func collectWrites(as *source.Assign, loopVar string) []*source.IndexExpr {
+	var ws []*source.IndexExpr
+	if ix, ok := as.LHS.(*source.IndexExpr); ok {
+		ws = append(ws, ix)
+	}
+	return ws
+}
+
+// pickPeelableLoad returns an array read in e that has no flow dependence
+// with any of the writes: for every write to the same array, the read
+// must refer to an element written only at the same or a later iteration
+// (distance ≤ 0), so hoisting the load before the store changes nothing.
+// Among candidates, loads whose subscripts are pure affine functions of
+// the loop variable are preferred over loads subscripted by loop-written
+// scalars (§5: "selection ... by data dependence analysis").
+func pickPeelableLoad(e source.Expr, writes []*source.IndexExpr, loopVar string, step int64, written map[string]bool) *source.IndexExpr {
+	var best, fallback *source.IndexExpr
+	source.WalkExprs(e, func(x source.Expr) bool {
+		if best != nil {
+			return false
+		}
+		ix, ok := x.(*source.IndexExpr)
+		if !ok {
+			return true
+		}
+		ok = true
+		for _, w := range writes {
+			if w.Name != ix.Name {
+				continue
+			}
+			if len(w.Indices) != len(ix.Indices) {
+				ok = false
+				break
+			}
+			// Flow from write (at iter i) to this read (at iter i+d)
+			// exists when d > 0 in some dimension solution; require the
+			// read to be anti-or-independent instead.
+			if mayFlowInto(w, ix, loopVar, step) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return true
+		}
+		if subscriptsUseWritten(ix, written, loopVar) {
+			if fallback == nil {
+				fallback = ix
+			}
+			return true
+		}
+		best = ix
+		return false
+	})
+	if best != nil {
+		return best
+	}
+	return fallback
+}
+
+// subscriptsUseWritten reports whether any subscript of ix references a
+// scalar (other than the loop variable) that the loop body writes.
+func subscriptsUseWritten(ix *source.IndexExpr, written map[string]bool, loopVar string) bool {
+	bad := false
+	for _, sub := range ix.Indices {
+		source.WalkExprs(sub, func(e source.Expr) bool {
+			if v, ok := e.(*source.VarRef); ok && v.Name != loopVar && written[v.Name] {
+				bad = true
+				return false
+			}
+			return true
+		})
+	}
+	return bad
+}
+
+// mayFlowInto reports whether the write w could produce a value the read
+// r consumes at a later iteration (flow dependence with distance > 0) or
+// at an unknown distance.
+func mayFlowInto(w, r *source.IndexExpr, loopVar string, step int64) bool {
+	// Compare dimension-wise like the dependence analysis.
+	dist, exact, never := int64(0), false, false
+	for k := range w.Indices {
+		aw := dep.ExtractAffine(w.Indices[k], loopVar)
+		ar := dep.ExtractAffine(r.Indices[k], loopVar)
+		if !aw.OK || !ar.OK {
+			return true // unknown: conservative
+		}
+		res, d := dep.SubscriptDistance(aw, ar)
+		switch res {
+		case dep.DistNone:
+			never = true
+		case dep.DistExact:
+			if exact && d != dist {
+				never = true
+			}
+			exact, dist = true, d
+		case dep.DistUnknown:
+			return true
+		}
+	}
+	if never {
+		return false
+	}
+	if exact {
+		// dist is in loop-variable units; offsets the stride never hits
+		// are independent.
+		if dist%step != 0 {
+			return false
+		}
+		return dist > 0
+	}
+	// distAlways in every dimension: same element every iteration.
+	return true
+}
+
+// pickHalfExpr finds a subtree of e holding roughly half of a large
+// arithmetic expression (≥ 4 operations), for resource decomposition.
+func pickHalfExpr(e source.Expr) source.Expr {
+	total := countOps(e)
+	if total < 4 {
+		return nil
+	}
+	var best source.Expr
+	bestScore := 1 << 30
+	source.WalkExprs(e, func(x source.Expr) bool {
+		if b, ok := x.(*source.Binary); ok && b.Op.IsArith() {
+			n := countOps(b)
+			if n == total {
+				return true // the whole RHS: splitting it changes nothing
+			}
+			score := abs(2*n - total)
+			if score < bestScore && n >= 1 {
+				bestScore, best = score, b
+			}
+		}
+		return true
+	})
+	return best
+}
+
+func countOps(e source.Expr) int {
+	n := 0
+	source.WalkExprs(e, func(x source.Expr) bool {
+		if b, ok := x.(*source.Binary); ok && b.Op.IsArith() {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sameIndexExpr reports pointer identity or structural equality for the
+// peeled load (pointer identity is what we want, but MapExpr rebuilds the
+// tree, so structural comparison is used).
+func sameIndexExpr(e source.Expr, target *source.IndexExpr) bool {
+	ix, ok := e.(*source.IndexExpr)
+	if !ok {
+		return false
+	}
+	return exprEqual(ix, target)
+}
+
+// exprEqual is structural equality via the printer (expressions are small).
+func exprEqual(a, b source.Expr) bool {
+	return source.ExprString(a) == source.ExprString(b)
+}

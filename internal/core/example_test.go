@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"slms/internal/core"
+	"slms/internal/source"
+)
+
+// ExampleTransformProgram shows the paper's §3.2/§3.3 running example:
+// a four-point stencil with a loop-carried self dependence is decomposed
+// (one look-ahead load peeled into a temporary), scheduled at II = 1,
+// and the kernel is unrolled twice by modulo variable expansion.
+func ExampleTransformProgram() {
+	prog := source.MustParse(`
+		float A[64];
+		for (i = 2; i < 50; i++) {
+			A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+		}
+	`)
+	opts := core.DefaultOptions()
+	opts.NoGuard = true // print the paper-style output without the fallback
+	out, results, err := core.TransformProgram(prog, opts)
+	if err != nil {
+		panic(err)
+	}
+	r := results[0]
+	fmt.Printf("II=%d MIs=%d stages=%d unroll=%d\n", r.II, r.MIs, r.Stages, r.Unroll)
+	fmt.Print(source.PrintPaper(out))
+	// Output:
+	// II=1 MIs=2 stages=2 unroll=2
+	// float A[64];
+	// {
+	//   float reg1;
+	//   float reg1_1;
+	//   float reg1_2;
+	//   reg1_1 = A[3];
+	//   for (i = 2; i < 48; i += 2) {
+	//     A[i] = A[i - 1] + A[i - 2] + reg1_1 + A[i + 2]; || reg1_2 = A[i + 2];
+	//     A[i + 1] = A[i] + A[i - 1] + reg1_2 + A[i + 3]; || reg1_1 = A[i + 3];
+	//   }
+	//   A[i] = A[i - 1] + A[i - 2] + reg1_1 + A[i + 2];
+	//   reg1 = reg1_1;
+	//   for (i++; i < 50; i++) {
+	//     reg1 = A[i + 1];
+	//     A[i] = A[i - 1] + A[i - 2] + reg1 + A[i + 2];
+	//   }
+	// }
+}
+
+// ExampleTransform_dotProduct shows the introduction's dot-product
+// pipelining: after SLMS the accumulation of iteration i runs in
+// parallel with the multiply of iteration i+1.
+func ExampleTransform_dotProduct() {
+	prog := source.MustParse(`
+		float A[100]; float B[100];
+		float t = 0.0; float s = 0.0;
+		for (i = 0; i < 100; i++) {
+			t = A[i] * B[i];
+			s = s + t;
+		}
+	`)
+	_, results, err := core.TransformProgram(prog, core.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	r := results[0]
+	fmt.Printf("applied=%v II=%d stages=%d\n", r.Applied, r.II, r.Stages)
+	// Output:
+	// applied=true II=1 stages=2
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"slms/internal/dep"
+)
+
+// FilterResult reports the §4 bad-case filter decision for a loop.
+type FilterResult struct {
+	Skip        bool
+	Reason      string
+	LS          int     // load/store-like references
+	AO          int     // arithmetic operations
+	MemRefRatio float64 // LS / (LS + AO)
+}
+
+// applyFilter implements the bad-case filter of §4: loops whose
+// memory-reference ratio LS/(LS+AO) is at or above the threshold are
+// skipped, because overlapping iterations would put too many parallel
+// load/store operations in one row and stall on memory pressure.
+//
+// LS counts array references plus references to renamable variant
+// scalars (which the overlap forces out of a single register), matching
+// the paper's count of 6 for the X[k][i]-swap example. AO counts
+// arithmetic operations.
+func applyFilter(a *dep.Analysis, threshold float64, isBool func(string) bool) FilterResult {
+	ls := a.MemRefs
+	for _, si := range a.Scalars {
+		// Predicate (bool) variants live in flag registers, not memory.
+		if si.Class == dep.Variant && !isBool(si.Name) {
+			ls += si.NumRefs
+		}
+	}
+	ao := a.ArithOps
+	r := FilterResult{LS: ls, AO: ao}
+	if ls+ao == 0 {
+		r.Skip = true
+		r.Reason = "empty loop body"
+		return r
+	}
+	r.MemRefRatio = float64(ls) / float64(ls+ao)
+	if r.MemRefRatio >= threshold {
+		r.Skip = true
+		r.Reason = fmt.Sprintf("memory-ref ratio %.3f >= %.2f (LS=%d, AO=%d)",
+			r.MemRefRatio, threshold, ls, ao)
+	}
+	return r
+}
+
+// applyArithFilter implements the §11 refinement: require at least
+// minRatio arithmetic operations per array reference.
+func applyArithFilter(a *dep.Analysis, minRatio float64) (FilterResult, bool) {
+	r := FilterResult{LS: a.MemRefs, AO: a.ArithOps}
+	if a.MemRefs == 0 {
+		return r, false
+	}
+	ratio := float64(a.ArithOps) / float64(a.MemRefs)
+	if ratio < minRatio {
+		r.Skip = true
+		r.Reason = fmt.Sprintf("only %.2f arithmetic ops per array reference (< %.2f, §11 filter)",
+			ratio, minRatio)
+		return r, true
+	}
+	return r, false
+}

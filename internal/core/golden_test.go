@@ -1,0 +1,74 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slms/internal/source"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden pins the exact transformed output of a corpus of paper
+// examples: any change to the scheduling, naming or printing shows up as
+// a readable diff. Regenerate intentionally with `go test -update`.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := source.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			opts := DefaultOptions()
+			opts.NoGuard = true
+			out, results, err := TransformProgram(prog, opts)
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			var b strings.Builder
+			for _, r := range results {
+				if r.Applied {
+					b.WriteString("// ")
+					for i, l := range r.Log {
+						if i > 0 {
+							b.WriteString("; ")
+						}
+						b.WriteString(l)
+					}
+					b.WriteString("\n")
+				} else {
+					b.WriteString("// not applied: " + r.Reason + "\n")
+				}
+			}
+			b.WriteString(source.PrintPaper(out))
+			got := b.String()
+
+			golden := strings.TrimSuffix(file, ".c") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}

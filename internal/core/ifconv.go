@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: Source Level
+// Modulo Scheduling (SLMS), an AST-to-AST loop transformation that
+// overlaps iterations of a counted loop so that a simple final compiler
+// (or the hardware of a superscalar CPU) can execute multi-instructions
+// from different iterations in parallel.
+//
+// The top-level entry points are Transform (one loop) and
+// TransformProgram (every eligible loop of a program). The phases follow
+// §5 of the paper: bad-case filtering (§4), source-level if-conversion
+// (§3.1), multi-instruction generation with scalar renaming, MII
+// computation over the dependence graph (§3.5–3.6), decomposition of MIs
+// when no valid II exists (§3.2), construction of the prologue / kernel /
+// epilogue, and modulo variable expansion (§3.3) or scalar expansion
+// (§3.4) to remove the false dependences the overlap introduces.
+package core
+
+import (
+	"fmt"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// ifConvert applies source-level if-conversion (§3.1) to a loop body:
+//
+//	if (x < y) { a; b; } else { c; }
+//
+// becomes
+//
+//	p = x < y;
+//	if (p) a;
+//	if (p) b;
+//	if (!p) c;
+//
+// Nested if statements compose their predicates with &&. The returned
+// statement list contains only assignments and single-assignment
+// predicated ifs; decls records the fresh bool predicate declarations
+// that must be emitted before the loop.
+func ifConvert(stmts []source.Stmt, tab *sem.Table) (out []source.Stmt, decls []*source.Decl, err error) {
+	var conv func(ss []source.Stmt, pred source.Expr) error
+	conv = func(ss []source.Stmt, pred source.Expr) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *source.If:
+				cond := source.Expr(source.CloneExpr(s.Cond))
+				// A compound condition or any else-branch needs a predicate
+				// variable; a lone simple predicated assignment can stay as is.
+				if isSimplePredicated(s) && pred == nil {
+					out = append(out, source.CloneStmt(s))
+					continue
+				}
+				name := tab.Fresh("pred", source.TBool)
+				decls = append(decls, &source.Decl{Type: source.TBool, Name: name})
+				if pred != nil {
+					cond = &source.Binary{Op: source.OpAnd, X: source.CloneExpr(pred), Y: cond}
+				}
+				out = append(out, &source.Assign{LHS: source.Var(name), Op: source.AEq, RHS: cond})
+				if err := conv(s.Then.Stmts, source.Var(name)); err != nil {
+					return err
+				}
+				if s.Else != nil {
+					if err := conv(s.Else.Stmts, source.Not(source.Var(name))); err != nil {
+						return err
+					}
+				}
+			case *source.Assign:
+				c := source.CloneStmt(s)
+				if pred != nil {
+					c = &source.If{
+						Cond: source.CloneExpr(pred),
+						Then: &source.Block{Stmts: []source.Stmt{c}},
+					}
+				}
+				out = append(out, c)
+			case *source.Block:
+				if err := conv(s.Stmts, pred); err != nil {
+					return err
+				}
+			case *source.ExprStmt:
+				c := source.CloneStmt(s)
+				if pred != nil {
+					c = &source.If{Cond: source.CloneExpr(pred), Then: &source.Block{Stmts: []source.Stmt{c}}}
+				}
+				out = append(out, c)
+			default:
+				return fmt.Errorf("slms: cannot if-convert statement %T", s)
+			}
+		}
+		return nil
+	}
+	if err := conv(stmts, nil); err != nil {
+		return nil, nil, err
+	}
+	return out, decls, nil
+}
+
+// isSimplePredicated reports whether s is already in predicated-MI form:
+// `if (simpleCond) oneAssignment;` with no else.
+func isSimplePredicated(s *source.If) bool {
+	if s.Else != nil || len(s.Then.Stmts) != 1 {
+		return false
+	}
+	if _, ok := s.Then.Stmts[0].(*source.Assign); !ok {
+		return false
+	}
+	switch c := s.Cond.(type) {
+	case *source.VarRef, *source.BoolLit:
+		return true
+	case *source.Unary:
+		_, isVar := c.X.(*source.VarRef)
+		return c.Op == source.OpNot && isVar
+	}
+	return false
+}
+
+// renameMultiDef renames "multi defined-used scalars" (§5 step 3): when a
+// renamable variant scalar is written by more than one MI, each def after
+// the first starts a fresh name and subsequent uses follow the nearest
+// preceding def. This keeps one def per variant so that MVE instance
+// numbering stays simple. It returns the extra declarations needed and
+// the final name of each renamed chain (the caller must restore the
+// original name from it after the loop, since the original program's
+// scalar would hold the last definition's value).
+func renameMultiDef(mis []source.Stmt, variants map[string]bool, tab *sem.Table, typeOf func(string) source.Type) ([]*source.Decl, map[string]string) {
+	var decls []*source.Decl
+	// current maps an original name to its active replacement.
+	current := map[string]string{}
+	defsSeen := map[string]int{}
+
+	for _, mi := range mis {
+		// Rewrite reads first (they see the previous def's name).
+		source.MapStmtExprs(mi, func(e source.Expr) source.Expr {
+			if v, ok := e.(*source.VarRef); ok {
+				if repl, ok2 := current[v.Name]; ok2 {
+					return source.Var(repl)
+				}
+			}
+			return e
+		})
+		// Then process writes: a second *unconditional* def of a variant
+		// starts a new name. A conditional def (a predicated MI) must keep
+		// writing the current name — it only partially updates the value,
+		// and renaming it would lose the merge with the previous
+		// definition on the not-taken path.
+		as, ok := mi.(*source.Assign)
+		if !ok {
+			continue
+		}
+		v, ok := as.LHS.(*source.VarRef)
+		if !ok {
+			continue
+		}
+		orig := originalOf(v.Name, current)
+		if !variants[orig] {
+			continue
+		}
+		defsSeen[orig]++
+		if defsSeen[orig] > 1 {
+			fresh := tab.Fresh(orig, typeOf(orig))
+			decls = append(decls, &source.Decl{Type: typeOf(orig), Name: fresh})
+			as.LHS = source.Var(fresh)
+			current[orig] = fresh
+		}
+	}
+	return decls, current
+}
+
+func originalOf(name string, current map[string]string) string {
+	for orig, repl := range current {
+		if repl == name {
+			return orig
+		}
+	}
+	return name
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slms/internal/interp"
+	"slms/internal/source"
+)
+
+// lcg is a tiny deterministic generator for building random loops.
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *lcg) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+// randomLoopProgram builds a random but well-formed benchmark-style
+// program: seeded arrays, then one canonical loop whose body mixes array
+// updates, variant temporaries, accumulators and predicated statements.
+// All subscripts stay within [0, 64).
+func randomLoopProgram(r *lcg) string {
+	arrays := []string{"A", "B", "C"}[:1+r.intn(3)]
+	var sb strings.Builder
+	for _, a := range arrays {
+		fmt.Fprintf(&sb, "float %s[64];\n", a)
+	}
+	// Seeding loop (itself subject to SLMS — extra coverage).
+	fmt.Fprintf(&sb, "for (z = 0; z < 64; z++) {\n")
+	for i, a := range arrays {
+		fmt.Fprintf(&sb, "  %s[z] = 0.%d1 * z + %d.0;\n", a, i+1, i+1)
+	}
+	fmt.Fprintf(&sb, "}\n")
+	fmt.Fprintf(&sb, "float t = 0.0;\nfloat acc = 1.5;\n")
+
+	lo := 3 + r.intn(2)
+	hi := lo + r.intn(40)
+	step := 1 + r.intn(3)
+	fmt.Fprintf(&sb, "for (i = %d; i < %d; i += %d) {\n", lo, hi, step)
+
+	ref := func() string {
+		a := r.pick(arrays)
+		off := r.intn(8) - 3 // -3..4
+		switch {
+		case off > 0:
+			return fmt.Sprintf("%s[i + %d]", a, off)
+		case off < 0:
+			return fmt.Sprintf("%s[i - %d]", a, -off)
+		default:
+			return fmt.Sprintf("%s[i]", a)
+		}
+	}
+	expr := func() string {
+		ops := []string{"+", "-", "*"}
+		e := ref()
+		for k := 0; k < r.intn(3); k++ {
+			if r.intn(3) == 0 {
+				e = fmt.Sprintf("%s %s 0.%d", e, r.pick(ops), 1+r.intn(8))
+			} else {
+				e = fmt.Sprintf("%s %s %s", e, r.pick(ops), ref())
+			}
+		}
+		return e
+	}
+
+	nstmts := 1 + r.intn(4)
+	tDefined := false
+	for k := 0; k < nstmts; k++ {
+		switch r.intn(6) {
+		case 0: // variant temporary
+			fmt.Fprintf(&sb, "  t = %s;\n", expr())
+			tDefined = true
+		case 5: // unconditional def + conditional redefinition + read
+			fmt.Fprintf(&sb, "  t = 0.%d;\n", 1+r.intn(8))
+			fmt.Fprintf(&sb, "  if (%s > 1.0) {\n    t = %s;\n  }\n", ref(), expr())
+			fmt.Fprintf(&sb, "  %s = %s + t;\n", ref(), ref())
+			tDefined = true
+		case 1: // accumulator
+			fmt.Fprintf(&sb, "  acc += %s;\n", expr())
+		case 2: // predicated statement
+			fmt.Fprintf(&sb, "  if (%s > 1.0) {\n    %s = %s;\n  }\n", ref(), ref(), expr())
+		default: // array update
+			rhs := expr()
+			if tDefined && r.intn(2) == 0 {
+				rhs += " + t"
+			}
+			fmt.Fprintf(&sb, "  %s = %s;\n", ref(), rhs)
+		}
+	}
+	fmt.Fprintf(&sb, "}\n")
+	return sb.String()
+}
+
+// runEquiv transforms src and compares the interpreter state; returns a
+// description of the failure, or "".
+func runEquiv(src string, opts Options) string {
+	p, err := source.Parse(src)
+	if err != nil {
+		return "parse: " + err.Error()
+	}
+	p2, _, err := TransformProgram(p, opts)
+	if err != nil {
+		return "transform: " + err.Error()
+	}
+	env1, env2 := interp.NewEnv(), interp.NewEnv()
+	if err := interp.Run(p, env1); err != nil {
+		return "" // original program traps (e.g. unlucky bounds): skip
+	}
+	if err := interp.Run(p2, env2); err != nil {
+		return "transformed run: " + err.Error() + "\n" + source.Print(p2)
+	}
+	if diffs := interp.Compare(env1, env2, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+		return fmt.Sprintf("state mismatch: %v\n%s", diffs, source.Print(p2))
+	}
+	// Verify the ‖ rows under true parallel (reads-then-writes) semantics.
+	env3 := interp.NewEnv()
+	env3.ParallelPar = true
+	if err := interp.Run(p2, env3); err != nil {
+		return "parallel-row run: " + err.Error() + "\n" + source.Print(p2)
+	}
+	if diffs := interp.Compare(env1, env3, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+		return fmt.Sprintf("parallel-row mismatch: %v\n%s", diffs, source.Print(p2))
+	}
+	return ""
+}
+
+// Property: SLMS preserves semantics on randomly generated loops, with
+// both MVE and scalar expansion, with and without the bad-case filter.
+func TestRandomLoopsEquivalentQuick(t *testing.T) {
+	count := 250
+	if testing.Short() {
+		count = 40
+	}
+	cfg := &quick.Config{MaxCount: count}
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		src := randomLoopProgram(r)
+		for _, opts := range []Options{
+			{Filter: false, Expansion: ExpandMVE, MaxDecompositions: 8},
+			{Filter: false, Expansion: ExpandScalar, MaxDecompositions: 8},
+			{Filter: true, MemRefThreshold: 0.85, Expansion: ExpandMVE, MaxDecompositions: 8},
+		} {
+			if msg := runEquiv(src, opts); msg != "" {
+				t.Logf("seed %d (%+v):\n%s\n%s", seed, opts, src, msg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every applied schedule satisfies II < #MIs and stages ≥ 2
+// (the paper's definition of a useful schedule).
+func TestRandomLoopsScheduleInvariantsQuick(t *testing.T) {
+	count := 150
+	if testing.Short() {
+		count = 30
+	}
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		src := randomLoopProgram(r)
+		p, err := source.Parse(src)
+		if err != nil {
+			return true
+		}
+		_, results, err := TransformProgram(p, Options{Filter: false, Expansion: ExpandMVE, MaxDecompositions: 8})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, res := range results {
+			if !res.Applied {
+				continue
+			}
+			if res.II >= int64(res.MIs) {
+				t.Logf("seed %d: II %d not < MIs %d", seed, res.II, res.MIs)
+				return false
+			}
+			if res.Stages < 2 || res.Unroll < 1 {
+				t.Logf("seed %d: stages %d unroll %d", seed, res.Stages, res.Unroll)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the transformed program always re-parses and re-transforms
+// (output stays inside the language).
+func TestRandomLoopsOutputReparsesQuick(t *testing.T) {
+	count := 100
+	if testing.Short() {
+		count = 20
+	}
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		src := randomLoopProgram(r)
+		p, err := source.Parse(src)
+		if err != nil {
+			return true
+		}
+		p2, _, err := TransformProgram(p, Options{Filter: false, Expansion: ExpandMVE, MaxDecompositions: 8})
+		if err != nil {
+			return false
+		}
+		if _, err := source.Parse(source.Print(p2)); err != nil {
+			t.Logf("seed %d: output not reparseable: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}

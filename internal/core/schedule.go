@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// ExpandMode selects how cross-stage loop variants are renamed (§5 step
+// 6c gives the choice to the user: MVE unrolls the kernel and uses
+// registers, scalar expansion uses temporary arrays).
+type ExpandMode int
+
+// Expansion modes.
+const (
+	ExpandMVE ExpandMode = iota
+	ExpandScalar
+)
+
+// String renders the mode.
+func (m ExpandMode) String() string {
+	if m == ExpandScalar {
+		return "scalar-expansion"
+	}
+	return "MVE"
+}
+
+// builder constructs the prologue / kernel / epilogue for a chosen II.
+type builder struct {
+	loop *sem.Loop
+	mis  []source.Stmt
+	ii   int64
+	smax int // stages - 1
+	tab  *sem.Table
+	mode ExpandMode
+
+	// u is the MVE unroll factor (1 when no variant crosses stages or
+	// scalar expansion is used).
+	u int
+	// expand maps a variant scalar to its per-instance names (MVE) with
+	// len == u.
+	expand map[string][]string
+	// expandArr maps a variant scalar to its expansion array name.
+	expandArr map[string]string
+	// inductions maps an induction scalar to its substitution info.
+	inductions map[string]*inductionSub
+	// extra declarations to emit before the transformed loop.
+	decls []source.Stmt
+	// restores run after the epilogue (live-out values of renamed
+	// variants).
+	restores []source.Stmt
+	// varTypes resolves a scalar's declared type.
+	varType func(string) source.Type
+}
+
+type inductionSub struct {
+	name  string
+	entry string // fresh scalar capturing the value at loop entry
+	step  int64  // per-iteration increment
+	defMI int    // the MI performing the update
+}
+
+func stageOf(k int, ii int64) int { return int(int64(k) / ii) }
+
+// planExpansion decides which renamable scalars need renaming under the
+// chosen II (their def and a later use fall into different stages) and
+// prepares instance names / expansion arrays / induction substitutions.
+func (b *builder) planExpansion(an *dep.Analysis) error {
+	maxSpan := 0
+	for _, name := range sortedKeys(an.Scalars) {
+		si := an.Scalars[name]
+		if !si.Renamable() || len(si.Defs) == 0 {
+			continue
+		}
+		span := 0
+		for _, d := range si.Defs {
+			for _, r := range si.Reads {
+				if r > d { // use after def in the same iteration
+					if s := stageOf(r, b.ii) - stageOf(d, b.ii); s > span {
+						span = s
+					}
+				}
+			}
+		}
+		if span == 0 {
+			continue // def and all uses share a stage: nothing to do
+		}
+		switch si.Class {
+		case dep.Induction:
+			entry := b.tab.Fresh(si.Name+"_in", source.TInt)
+			b.decls = append(b.decls,
+				&source.Decl{Type: source.TInt, Name: entry, Init: source.Var(si.Name)})
+			b.inductions[si.Name] = &inductionSub{
+				name: si.Name, entry: entry, step: si.InductionStep, defMI: si.Defs[0],
+			}
+		case dep.Variant:
+			if b.mode == ExpandScalar {
+				t := b.varType(si.Name)
+				arr := b.tab.Fresh(si.Name+"Arr", t)
+				// The expansion array is indexed by the iteration value;
+				// size it by the loop's upper bound plus slack for the
+				// deepest prologue/epilogue offset.
+				b.tab.Lookup(arr).Dims = []source.Expr{source.AddConst(b.loop.Hi, 1)}
+				b.decls = append(b.decls, &source.Decl{
+					Type: t, Name: arr,
+					Dims: []source.Expr{source.AddConst(source.CloneExpr(b.loop.Hi), 1)},
+				})
+				b.expandArr[si.Name] = arr
+			} else {
+				if span+1 > maxSpan {
+					maxSpan = span + 1
+				}
+				b.expand[si.Name] = nil // instance names assigned below
+			}
+		}
+	}
+	if b.mode == ExpandMVE && len(b.expand) > 0 {
+		b.u = maxSpan
+		for _, name := range sortedKeys(b.expand) {
+			t := b.varType(name)
+			insts := make([]string, b.u)
+			for m := 0; m < b.u; m++ {
+				insts[m] = b.tab.Fresh(name+"_", t)
+				b.decls = append(b.decls, &source.Decl{Type: t, Name: insts[m]})
+			}
+			b.expand[name] = insts
+		}
+	}
+	if b.u == 0 {
+		b.u = 1
+	}
+	return nil
+}
+
+// lowPlusExpr returns Lo + m*step, simplified.
+func (b *builder) lowPlus(m int) source.Expr {
+	return source.Add(source.CloneExpr(b.loop.Lo), source.Int(int64(m)*b.loop.Step))
+}
+
+// sortedKeys returns a map's keys in sorted order so that generated
+// code is deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// copyMI clones MI k for a pipeline slot. When rel is true the iteration
+// is loopVar + m*step (kernel and epilogue copies, using the live loop
+// variable); otherwise it is Lo + m*step (prologue copies). m is the
+// slot's iteration index offset, which also selects MVE instances
+// (m mod u is statically correct because the kernel advances the loop
+// variable by u*step per pass).
+func (b *builder) copyMI(k, m int, rel bool) source.Stmt {
+	var iter source.Expr
+	if rel {
+		iter = source.Add(source.Var(b.loop.Var), source.Int(int64(m)*b.loop.Step))
+	} else {
+		iter = b.lowPlus(m)
+	}
+	c := source.CloneStmt(b.mis[k])
+	// Substitute the loop variable.
+	source.SubstVarStmt(c, b.loop.Var, iter)
+
+	// Induction reads: replace with the closed form. Reads before the
+	// defining MI see entry + idx*step; reads after it see one more step.
+	for _, name := range sortedKeys(b.inductions) {
+		ind := b.inductions[name]
+		if k == ind.defMI {
+			continue // the update statement itself is kept verbatim
+		}
+		idx := b.iterIndexExpr(iter)
+		val := source.Add(source.Var(ind.entry),
+			source.Mul(idx, source.Int(ind.step)))
+		if k > ind.defMI {
+			val = source.Add(val, source.Int(ind.step))
+		}
+		source.SubstVarStmt(c, name, val)
+	}
+	// MVE instance renaming.
+	for _, name := range sortedKeys(b.expand) {
+		insts := b.expand[name]
+		inst := ((m % b.u) + b.u) % b.u
+		source.RenameVarStmt(c, name, insts[inst])
+	}
+	// Scalar expansion: v -> vArr[iter].
+	for _, name := range sortedKeys(b.expandArr) {
+		arr := b.expandArr[name]
+		source.SubstVarStmt(c, name, source.Index(arr, source.CloneExpr(iter)))
+	}
+	source.MapStmtExprs(c, func(e source.Expr) source.Expr { return source.Simplify(e) })
+	return c
+}
+
+// iterIndexExpr converts an iteration value expression into a 0-based
+// iteration index: (iter - Lo) / step.
+func (b *builder) iterIndexExpr(iter source.Expr) source.Expr {
+	diff := source.Sub(source.CloneExpr(iter), source.CloneExpr(b.loop.Lo))
+	if b.loop.Step == 1 {
+		return diff
+	}
+	return source.Bin(source.OpDiv, diff, source.Int(b.loop.Step))
+}
+
+// row builds one parallel row from the given statements.
+func row(stmts []source.Stmt) source.Stmt {
+	if len(stmts) == 1 {
+		return stmts[0]
+	}
+	return &source.Par{Stmts: stmts}
+}
+
+// build assembles the full replacement statement list (to run under the
+// trip-count guard).
+func (b *builder) build() []source.Stmt {
+	n := len(b.mis)
+	ii := int(b.ii)
+	var out []source.Stmt
+
+	// ---- prologue: blocks t = 0..smax-1, rows r = 0..II-1, MIs with
+	// stage ≤ t in descending k order, at iteration index t - stage.
+	for t := 0; t < b.smax; t++ {
+		for r := 0; r < ii; r++ {
+			var stmts []source.Stmt
+			for k := n - 1; k >= 0; k-- {
+				if k%ii != r {
+					continue
+				}
+				if s := stageOf(k, b.ii); s <= t {
+					stmts = append(stmts, b.copyMI(k, t-s, false))
+				}
+			}
+			if len(stmts) > 0 {
+				out = append(out, row(stmts))
+			}
+		}
+	}
+
+	// ---- kernel: unrolled u times; copy c, row r holds MIs with
+	// k mod II == r at offset c + smax - stage(k).
+	var body []source.Stmt
+	for c := 0; c < b.u; c++ {
+		for r := 0; r < ii; r++ {
+			var stmts []source.Stmt
+			for k := n - 1; k >= 0; k-- {
+				if k%ii != r {
+					continue
+				}
+				stmts = append(stmts, b.copyMI(k, c+b.smax-stageOf(k, b.ii), true))
+			}
+			if len(stmts) > 0 {
+				body = append(body, row(stmts))
+			}
+		}
+	}
+	depth := int64(b.smax+b.u-1) * b.loop.Step
+	kernel := &source.For{
+		Init: nil, // the loop variable continues from Lo (prologue does not advance it)
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(b.loop.Var),
+			Y: source.Sub(source.CloneExpr(b.loop.Hi), source.Int(depth))},
+		Post: &source.Assign{LHS: source.Var(b.loop.Var), Op: source.AAdd,
+			RHS: source.Int(int64(b.u) * b.loop.Step)},
+		Body: &source.Block{Stmts: body},
+	}
+	// Initialize the loop variable exactly like the original loop did.
+	kernel.Init = &source.Assign{LHS: source.Var(b.loop.Var), Op: source.AEq,
+		RHS: source.CloneExpr(b.loop.Lo)}
+	out = append(out, kernel)
+
+	// ---- epilogue: blocks t = 1..smax, rows r, MIs with stage ≥ t at
+	// offset (t-1) + smax - stage(k) from the kernel exit value.
+	for t := 1; t <= b.smax; t++ {
+		for r := 0; r < ii; r++ {
+			var stmts []source.Stmt
+			for k := n - 1; k >= 0; k-- {
+				if k%ii != r {
+					continue
+				}
+				if s := stageOf(k, b.ii); s >= t {
+					stmts = append(stmts, b.copyMI(k, (t-1)+b.smax-s, true))
+				}
+			}
+			if len(stmts) > 0 {
+				out = append(out, row(stmts))
+			}
+		}
+	}
+
+	// ---- live-out restores for renamed variants.
+	out = append(out, b.restoreStmts()...)
+
+	// ---- advance the loop variable past the drained iterations; with
+	// MVE unrolling a cleanup loop completes the left-over iterations.
+	if b.u == 1 {
+		out = append(out, &source.Assign{LHS: source.Var(b.loop.Var), Op: source.AAdd,
+			RHS: source.Int(int64(b.smax) * b.loop.Step)})
+	} else {
+		cleanBody := make([]source.Stmt, 0, n)
+		for _, mi := range b.mis {
+			cleanBody = append(cleanBody, source.CloneStmt(mi))
+		}
+		cleanup := &source.For{
+			Init: &source.Assign{LHS: source.Var(b.loop.Var), Op: source.AAdd,
+				RHS: source.Int(int64(b.smax) * b.loop.Step)},
+			Cond: &source.Binary{Op: source.OpLT, X: source.Var(b.loop.Var),
+				Y: source.CloneExpr(b.loop.Hi)},
+			Post: &source.Assign{LHS: source.Var(b.loop.Var), Op: source.AAdd,
+				RHS: source.Int(b.loop.Step)},
+			Body: &source.Block{Stmts: cleanBody},
+		}
+		out = append(out, cleanup)
+	}
+	return out
+}
+
+// restoreStmts rebuilds the original scalar names from their last renamed
+// instance so that values live after the loop stay correct. The last
+// fully drained iteration has index ≡ smax-1 (mod u) relative to the
+// region start, so the instance is static. A cleanup loop (if any)
+// overwrites these values with even later iterations.
+func (b *builder) restoreStmts() []source.Stmt {
+	var out []source.Stmt
+	for _, name := range sortedKeys(b.expand) {
+		insts := b.expand[name]
+		inst := ((b.smax-1)%b.u + b.u) % b.u
+		out = append(out, &source.Assign{
+			LHS: source.Var(name), Op: source.AEq, RHS: source.Var(insts[inst]),
+		})
+	}
+	for _, name := range sortedKeys(b.expandArr) {
+		arr := b.expandArr[name]
+		// Last drained iteration value: loopVar + (smax-1)*step.
+		iter := source.Add(source.Var(b.loop.Var), source.Int(int64(b.smax-1)*b.loop.Step))
+		out = append(out, &source.Assign{
+			LHS: source.Var(name), Op: source.AEq,
+			RHS: source.Index(arr, iter),
+		})
+	}
+	return out
+}
+
+// guardExpr is the trip-count guard: the pipelined version needs at
+// least smax iterations (Hi - Lo > (smax-1)*step).
+func (b *builder) guardExpr() source.Expr {
+	return &source.Binary{
+		Op: source.OpGT,
+		X:  source.Sub(source.CloneExpr(b.loop.Hi), source.CloneExpr(b.loop.Lo)),
+		Y:  source.Int(int64(b.smax-1) * b.loop.Step),
+	}
+}
+
+// validateAgainstDDG re-checks the generated schedule parameters against
+// every dependence edge (defense in depth: the MII search already
+// guarantees this, but schedule construction must never emit a kernel
+// that violates a dependence).
+func validateAgainstDDG(edges []dep.Edge, ii int64) error {
+	for _, e := range edges {
+		delay := int64(1)
+		if e.To > e.From {
+			delay = int64(e.To - e.From)
+		}
+		if e.Dist*ii+int64(e.To-e.From) < delay {
+			return fmt.Errorf("slms: internal error: schedule with II=%d violates %s", ii, e)
+		}
+	}
+	return nil
+}

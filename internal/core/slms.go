@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"slms/internal/ddg"
+	"slms/internal/dep"
+	"slms/internal/mii"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// Options controls the SLMS transformation.
+type Options struct {
+	// Filter applies the §4 bad-case filter before scheduling.
+	Filter bool
+	// MemRefThreshold is the memory-ref ratio above which a loop is
+	// skipped (paper value 0.85). Zero means 0.85.
+	MemRefThreshold float64
+	// Speculate allows scheduling across unproven dependences (§2: the
+	// user acknowledges speculative operations).
+	Speculate bool
+	// Expansion picks MVE (kernel unrolling + register renaming) or
+	// scalar expansion (temporary arrays) for cross-stage variants.
+	Expansion ExpandMode
+	// MaxDecompositions bounds the §3.2 decomposition loop (default 8).
+	MaxDecompositions int
+	// MinArithPerMemRef, when positive, adds the paper's §11 filter
+	// refinement: SLMS is applied only to loops with at least this many
+	// arithmetic operations per array reference ("applying SLMS to loops
+	// with more than six arithmetic operations per each array reference"
+	// eliminated almost all bad cases).
+	MinArithPerMemRef float64
+	// MinTrip disables the fallback guard when the caller can prove the
+	// loop always runs at least `stages` iterations (keeps the output
+	// closest to the paper's listings). When false a guard+fallback is
+	// emitted, which is always safe.
+	NoGuard bool
+}
+
+// DefaultOptions returns the configuration used in the paper's
+// experiments: filter on at 0.85, MVE expansion, guarded output.
+func DefaultOptions() Options {
+	return Options{Filter: true, MemRefThreshold: 0.85, Expansion: ExpandMVE, MaxDecompositions: 8}
+}
+
+// Result describes one SLMS application.
+type Result struct {
+	// Applied is false when the loop was skipped (filter, no valid II,
+	// unsupported shape); Reason then explains why.
+	Applied bool
+	Reason  string
+
+	II             int64
+	MIs            int
+	Stages         int
+	Unroll         int // MVE unroll factor (1 = none)
+	Decompositions int
+	Mode           ExpandMode
+	Filter         FilterResult
+
+	// Replacement is the statement that replaces the original loop
+	// (a Block containing declarations, the guard, and the pipelined
+	// loop). Nil when not applied.
+	Replacement source.Stmt
+	// Log records the algorithm's steps for the interactive SLC view.
+	Log []string
+}
+
+func (r *Result) logf(format string, args ...any) {
+	r.Log = append(r.Log, fmt.Sprintf(format, args...))
+}
+
+// Transform applies source-level modulo scheduling to one canonical
+// counted loop. tab is the program's symbol table (used to resolve array
+// ranks and to mint fresh temporaries). The original loop is not
+// modified; on success Result.Replacement holds the transformed code.
+func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
+	res := &Result{Mode: opts.Expansion, Unroll: 1}
+	if opts.MemRefThreshold == 0 {
+		opts.MemRefThreshold = 0.85
+	}
+	if opts.MaxDecompositions == 0 {
+		opts.MaxDecompositions = 8
+	}
+
+	loop, err := sem.Canonicalize(f)
+	if err != nil {
+		res.Reason = err.Error()
+		return res, nil
+	}
+	res.logf("canonical loop: var=%s step=%d", loop.Var, loop.Step)
+
+	// Work on a deep copy of the body.
+	work := source.CloneBlock(f.Body)
+
+	// Step 2 (§5): source-level if-conversion.
+	mis, predDecls, err := ifConvert(work.Stmts, tab)
+	if err != nil {
+		res.Reason = err.Error()
+		return res, nil
+	}
+	var decls []source.Stmt
+	for _, d := range predDecls {
+		decls = append(decls, d)
+	}
+	if len(predDecls) > 0 {
+		res.logf("if-conversion introduced %d predicate(s)", len(predDecls))
+	}
+
+	typeOfName := func(name string) source.Type {
+		if s := tab.Lookup(name); s != nil && s.Type != source.TUnknown {
+			return s.Type
+		}
+		return source.TFloat
+	}
+
+	// First analysis: classification + filter.
+	an, err := dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step})
+	if err != nil {
+		res.Reason = err.Error()
+		return res, nil
+	}
+
+	// Step 1 (§5): bad-case filter.
+	res.Filter = applyFilter(an, opts.MemRefThreshold, func(name string) bool {
+		return typeOfName(name) == source.TBool
+	})
+	if opts.Filter && res.Filter.Skip {
+		res.Reason = "filtered: " + res.Filter.Reason
+		res.logf("%s", res.Reason)
+		return res, nil
+	}
+	if opts.MinArithPerMemRef > 0 {
+		if fr, skip := applyArithFilter(an, opts.MinArithPerMemRef); skip {
+			res.Filter = fr
+			res.Reason = "filtered: " + fr.Reason
+			res.logf("%s", res.Reason)
+			return res, nil
+		}
+	}
+
+	// Step 3 (§5): rename multi defined-used variant scalars.
+	variants := map[string]bool{}
+	for name, si := range an.Scalars {
+		if si.Class == dep.Variant {
+			variants[name] = true
+		}
+	}
+	renameDecls, renameFinal := renameMultiDef(mis, variants, tab, typeOfName)
+	for _, d := range renameDecls {
+		decls = append(decls, d)
+	}
+	if len(renameDecls) > 0 {
+		res.logf("renamed %d multi-defined variant(s)", len(renameDecls))
+		if an, err = dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step}); err != nil {
+			res.Reason = err.Error()
+			return res, nil
+		}
+	}
+
+	// Steps 4–5 (§5): find the MII, decomposing MIs as needed.
+	var ii int64
+	for {
+		g := ddg.Build(an, true)
+		ii, err = mii.Find(g, mii.Options{Speculate: opts.Speculate})
+		if err == nil {
+			break
+		}
+		if errors.Is(err, mii.ErrUnknownDeps) {
+			res.Reason = err.Error()
+			res.logf("unproven dependences; SLMS not applied")
+			return res, nil
+		}
+		if res.Decompositions >= opts.MaxDecompositions {
+			res.Reason = fmt.Sprintf("no valid II after %d decomposition(s)", res.Decompositions)
+			res.logf("%s", res.Reason)
+			return res, nil
+		}
+		newMIs, decl, at, derr := decompose(mis, loop.Var, loop.Step, tab, exprTypeOf(tab))
+		if derr != nil {
+			res.Reason = fmt.Sprintf("no valid II and %v", derr)
+			res.logf("%s", res.Reason)
+			return res, nil
+		}
+		res.Decompositions++
+		res.logf("decomposed MI %d introducing %s", at, decl.Name)
+		mis = newMIs
+		decls = append(decls, decl)
+		if an, err = dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step}); err != nil {
+			res.Reason = err.Error()
+			return res, nil
+		}
+	}
+	n := len(mis)
+	res.MIs = n
+	res.II = ii
+	res.Stages = (n + int(ii) - 1) / int(ii)
+	res.logf("II = %d with %d MIs (%d stages)", ii, n, res.Stages)
+
+	// Defense in depth: the fixed schedule must satisfy every edge.
+	if verr := validateAgainstDDG(an.Edges, ii); verr != nil {
+		return nil, verr
+	}
+
+	// Step 6 (§5): build prologue/kernel/epilogue with MVE or scalar
+	// expansion for cross-stage variants.
+	b := &builder{
+		loop: loop, mis: mis, ii: ii, smax: res.Stages - 1,
+		tab: tab, mode: opts.Expansion, u: 1,
+		expand:     map[string][]string{},
+		expandArr:  map[string]string{},
+		inductions: map[string]*inductionSub{},
+		varType:    typeOfName,
+	}
+	if err := b.planExpansion(an); err != nil {
+		return nil, err
+	}
+	res.Unroll = b.u
+	if b.u > 1 {
+		res.logf("MVE: kernel unrolled %d times; %d variant(s) expanded", b.u, len(b.expand))
+	}
+	if len(b.expandArr) > 0 {
+		res.logf("scalar expansion of %d variant(s)", len(b.expandArr))
+	}
+	if len(b.inductions) > 0 {
+		res.logf("closed-form substitution of %d induction variable(s)", len(b.inductions))
+	}
+
+	pipelined := b.build()
+	// Renamed multi-def chains: the original scalar's final value is the
+	// last chain's value (the cleanup loop, when present, writes the
+	// chain names too, so this restore comes last).
+	for _, orig := range sortedKeys(renameFinal) {
+		pipelined = append(pipelined, &source.Assign{
+			LHS: source.Var(orig), Op: source.AEq, RHS: source.Var(renameFinal[orig]),
+		})
+	}
+	decls = append(decls, b.decls...)
+
+	var replacement source.Stmt
+	if opts.NoGuard {
+		replacement = &source.Block{Stmts: append(decls, pipelined...)}
+	} else {
+		orig := source.CloneStmt(f)
+		guarded := &source.If{
+			Cond: b.guardExpr(),
+			Then: &source.Block{Stmts: pipelined},
+			Else: &source.Block{Stmts: []source.Stmt{orig}},
+		}
+		replacement = &source.Block{Stmts: append(decls, guarded)}
+	}
+	res.Applied = true
+	res.Replacement = replacement
+	return res, nil
+}
+
+// exprTypeOf returns a best-effort expression typer from the symbol table
+// (used to type decomposition temporaries).
+func exprTypeOf(tab *sem.Table) func(source.Expr) source.Type {
+	var typ func(e source.Expr) source.Type
+	typ = func(e source.Expr) source.Type {
+		switch e := e.(type) {
+		case *source.IntLit:
+			return source.TInt
+		case *source.FloatLit:
+			return source.TFloat
+		case *source.BoolLit:
+			return source.TBool
+		case *source.VarRef:
+			if s := tab.Lookup(e.Name); s != nil {
+				return s.Type
+			}
+		case *source.IndexExpr:
+			if s := tab.Lookup(e.Name); s != nil {
+				return s.Type
+			}
+		case *source.Unary:
+			return typ(e.X)
+		case *source.Binary:
+			if e.Op.IsComparison() || e.Op == source.OpAnd || e.Op == source.OpOr {
+				return source.TBool
+			}
+			xt, yt := typ(e.X), typ(e.Y)
+			if xt == source.TFloat || yt == source.TFloat {
+				return source.TFloat
+			}
+			if xt == source.TUnknown || yt == source.TUnknown {
+				return source.TUnknown
+			}
+			return source.TInt
+		case *source.CondExpr:
+			return typ(e.A)
+		case *source.Call:
+			return source.TFloat
+		}
+		return source.TUnknown
+	}
+	return typ
+}
+
+// TransformProgram applies SLMS to every innermost canonical loop of the
+// program, replacing the ones where it succeeds. It returns the
+// transformed program (the input is not modified) and one Result per
+// loop encountered, in source order.
+func TransformProgram(p *source.Program, opts Options) (*source.Program, []*Result, error) {
+	out := source.CloneProgram(p)
+	info, err := sem.Check(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []*Result
+	if err := transformStmts(out.Stmts, info.Table, opts, &results); err != nil {
+		return nil, nil, err
+	}
+	// Re-check: the transformation must produce a well-typed program.
+	if _, err := sem.Check(out); err != nil {
+		return nil, nil, fmt.Errorf("slms: transformed program fails type check: %w", err)
+	}
+	return out, results, nil
+}
+
+// transformStmts rewrites innermost for-loops in place within the slice.
+func transformStmts(stmts []source.Stmt, tab *sem.Table, opts Options, results *[]*Result) error {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *source.For:
+			if containsLoop(s.Body) {
+				// Not innermost: recurse.
+				if err := transformStmts(s.Body.Stmts, tab, opts, results); err != nil {
+					return err
+				}
+				continue
+			}
+			r, err := Transform(s, tab, opts)
+			if err != nil {
+				return err
+			}
+			*results = append(*results, r)
+			if r.Applied {
+				stmts[i] = r.Replacement
+			}
+		case *source.While:
+			if err := transformStmts(s.Body.Stmts, tab, opts, results); err != nil {
+				return err
+			}
+		case *source.Block:
+			if err := transformStmts(s.Stmts, tab, opts, results); err != nil {
+				return err
+			}
+		case *source.If:
+			if err := transformStmts(s.Then.Stmts, tab, opts, results); err != nil {
+				return err
+			}
+			if s.Else != nil {
+				if err := transformStmts(s.Else.Stmts, tab, opts, results); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func containsLoop(b *source.Block) bool {
+	found := false
+	source.WalkStmt(b, func(s source.Stmt) bool {
+		switch s.(type) {
+		case *source.For, *source.While:
+			if !found {
+				// The block itself is passed as a *Block, not a loop; any
+				// For/While nested below counts.
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}

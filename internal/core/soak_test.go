@@ -1,0 +1,31 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSoakRandomLoops is a long-running randomized soak, enabled with
+// SLMS_SOAK=1: thousands of random loops through both expansion modes.
+func TestSoakRandomLoops(t *testing.T) {
+	if os.Getenv("SLMS_SOAK") == "" {
+		t.Skip("set SLMS_SOAK=1 to run the soak")
+	}
+	fail := 0
+	for seed := int64(1); seed <= 4000; seed++ {
+		r := newLCG(seed)
+		src := randomLoopProgram(r)
+		for _, opts := range []Options{
+			{Filter: false, Expansion: ExpandMVE, MaxDecompositions: 8},
+			{Filter: false, Expansion: ExpandScalar, MaxDecompositions: 8},
+		} {
+			if msg := runEquiv(src, opts); msg != "" {
+				t.Errorf("seed %d (%v):\n%s\n%s", seed, opts.Expansion, src, msg)
+				fail++
+				if fail > 3 {
+					t.Fatal("too many failures")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,6 @@
+float A[100]; float B[100];
+float t = 0.0; float s = 0.0;
+for (i = 0; i < 100; i++) {
+	t = A[i] * B[i];
+	s = s + t;
+}

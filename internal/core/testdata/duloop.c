@@ -1,0 +1,10 @@
+float U1[300]; float U2[300]; float U3[300];
+float DU1[300]; float DU2[300]; float DU3[300];
+for (ky = 1; ky < 100; ky++) {
+	DU1[ky] = U1[ky+1] - U1[ky-1];
+	DU2[ky] = U2[ky+1] - U2[ky-1];
+	DU3[ky] = U3[ky+1] - U3[ky-1];
+	U1[ky+101] = U1[ky] + 2.0*DU1[ky] + 2.0*DU2[ky] + 2.0*DU3[ky];
+	U2[ky+101] = U2[ky] + 2.0*DU1[ky] + 2.0*DU2[ky] + 2.0*DU3[ky];
+	U3[ky+101] = U3[ky] + 2.0*DU1[ky] + 2.0*DU2[ky] + 2.0*DU3[ky];
+}

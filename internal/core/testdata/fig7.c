@@ -1,0 +1,8 @@
+float A[40]; float B[40]; float C[40];
+float reg = 0.0; float scal = 0.0;
+for (i = 1; i < 30; i++) {
+	reg = A[i+1];
+	A[i] = A[i-1] + reg;
+	scal = B[i] / 2.0;
+	C[i] = scal * 3.0;
+}

@@ -1,0 +1,7 @@
+float x[100]; float y[100];
+float temp = 100.0;
+int lw = 6;
+for (j = 4; j < 90; j = j + 2) {
+	lw++;
+	temp -= x[lw] * y[j];
+}

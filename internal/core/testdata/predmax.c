@@ -1,0 +1,7 @@
+float arr[50];
+float mx = arr[0];
+bool pred = false;
+for (i = 1; i < 50; i++) {
+	pred = mx < arr[i];
+	if (pred) mx = arr[i];
+}

@@ -1,0 +1,4 @@
+float A[64];
+for (i = 2; i < 50; i++) {
+	A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+}

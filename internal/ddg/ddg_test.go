@@ -1,0 +1,72 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/dep"
+)
+
+func TestDelayRules(t *testing.T) {
+	cases := []struct {
+		u, v, want int
+	}{
+		{0, 0, 1}, // self
+		{2, 3, 1}, // consecutive
+		{0, 4, 4}, // forward: max path delay = positional distance
+		{5, 1, 1}, // back edge
+	}
+	for _, c := range cases {
+		if got := Delay(c.u, c.v); got != int64(c.want) {
+			t.Errorf("Delay(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestBuildAddsChainEdges(t *testing.T) {
+	an := &dep.Analysis{NumMIs: 4, Edges: []dep.Edge{
+		{Kind: dep.Flow, From: 3, To: 0, Dist: 1, Var: "A"},
+	}}
+	g := Build(an, true)
+	chain, data := 0, 0
+	for _, e := range g.Edges {
+		if e.Chain {
+			chain++
+			if e.Dist != 0 || e.Delay != 1 {
+				t.Errorf("chain edge labelled wrong: %v", e)
+			}
+		} else {
+			data++
+			if e.Delay != 1 { // back edge delay
+				t.Errorf("back edge delay = %d", e.Delay)
+			}
+		}
+	}
+	if chain != 3 || data != 1 {
+		t.Errorf("chain=%d data=%d, want 3/1", chain, data)
+	}
+	g2 := Build(an, false)
+	if len(g2.Edges) != 1 {
+		t.Errorf("without chain: %d edges", len(g2.Edges))
+	}
+}
+
+func TestUnknownPropagates(t *testing.T) {
+	an := &dep.Analysis{NumMIs: 2, Edges: []dep.Edge{
+		{Kind: dep.Flow, From: 0, To: 1, Dist: 0, Var: "A", Unknown: true},
+	}}
+	g := Build(an, true)
+	if !g.HasUnknown() {
+		t.Error("unknown flag lost")
+	}
+}
+
+func TestDumpReadable(t *testing.T) {
+	an := &dep.Analysis{NumMIs: 2, Edges: []dep.Edge{
+		{Kind: dep.Anti, From: 0, To: 1, Dist: 2, Var: "B"},
+	}}
+	out := Build(an, true).Dump()
+	if !strings.Contains(out, "anti(B)") || !strings.Contains(out, "dist=2") {
+		t.Errorf("dump unreadable:\n%s", out)
+	}
+}

@@ -1,0 +1,182 @@
+// Package dep implements the data dependence analysis the SLMS algorithm
+// consumes. For the innermost loop being scheduled it classifies every
+// scalar (loop-invariant, renamable variant, induction, recurrence) and
+// produces dependence edges between multi-instructions labelled with
+// exact iteration distances wherever the subscripts are affine in the
+// loop variable — the cases the paper's Omega-test-based Tiny analysis
+// resolves for the benchmark loops. Non-affine subscripts yield
+// conservative "unknown" edges the scheduler refuses to violate unless
+// the user explicitly speculates.
+package dep
+
+import (
+	"slms/internal/source"
+)
+
+// Affine is a subscript expression decomposed as
+//
+//	Coeff*loopVar + Const + Σ Syms[name]*name
+//
+// where every name in Syms is loop-invariant.
+type Affine struct {
+	Coeff int64
+	Const int64
+	Syms  map[string]int64
+	OK    bool
+}
+
+func (a Affine) withSym(name string, c int64) Affine {
+	if a.Syms == nil {
+		a.Syms = map[string]int64{}
+	}
+	a.Syms[name] += c
+	if a.Syms[name] == 0 {
+		delete(a.Syms, name)
+	}
+	return a
+}
+
+func (a Affine) add(b Affine) Affine {
+	r := Affine{Coeff: a.Coeff + b.Coeff, Const: a.Const + b.Const, OK: a.OK && b.OK}
+	for n, c := range a.Syms {
+		r = r.withSym(n, c)
+	}
+	for n, c := range b.Syms {
+		r = r.withSym(n, c)
+	}
+	r.OK = a.OK && b.OK
+	return r
+}
+
+func (a Affine) neg() Affine {
+	r := Affine{Coeff: -a.Coeff, Const: -a.Const, OK: a.OK}
+	for n, c := range a.Syms {
+		r = r.withSym(n, -c)
+	}
+	return r
+}
+
+func (a Affine) scale(k int64) Affine {
+	r := Affine{Coeff: a.Coeff * k, Const: a.Const * k, OK: a.OK}
+	for n, c := range a.Syms {
+		r = r.withSym(n, c*k)
+	}
+	return r
+}
+
+// symsEqual reports whether two affine forms have identical symbolic parts.
+func symsEqual(a, b Affine) bool {
+	if len(a.Syms) != len(b.Syms) {
+		return false
+	}
+	for n, c := range a.Syms {
+		if b.Syms[n] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractAffine decomposes e as an affine function of loopVar. Scalars
+// other than loopVar are treated as symbolic constants; the caller is
+// responsible for only trusting the result when they are loop-invariant
+// (Analyze checks this).
+func ExtractAffine(e source.Expr, loopVar string) Affine {
+	switch e := e.(type) {
+	case *source.IntLit:
+		return Affine{Const: e.Value, OK: true}
+	case *source.VarRef:
+		if e.Name == loopVar {
+			return Affine{Coeff: 1, OK: true}
+		}
+		return Affine{OK: true}.withSym(e.Name, 1)
+	case *source.Unary:
+		if e.Op == source.OpNeg {
+			return ExtractAffine(e.X, loopVar).neg()
+		}
+	case *source.Binary:
+		switch e.Op {
+		case source.OpAdd:
+			return ExtractAffine(e.X, loopVar).add(ExtractAffine(e.Y, loopVar))
+		case source.OpSub:
+			return ExtractAffine(e.X, loopVar).add(ExtractAffine(e.Y, loopVar).neg())
+		case source.OpMul:
+			if k, ok := source.ConstInt(e.X); ok {
+				return ExtractAffine(e.Y, loopVar).scale(k)
+			}
+			if k, ok := source.ConstInt(e.Y); ok {
+				return ExtractAffine(e.X, loopVar).scale(k)
+			}
+		case source.OpDiv:
+			// Exact constant division only.
+			if v, ok := source.ConstInt(e); ok {
+				return Affine{Const: v, OK: true}
+			}
+		}
+	}
+	return Affine{OK: false}
+}
+
+// DistResult is the outcome of comparing two affine subscripts.
+type DistResult int
+
+const (
+	DistNone    DistResult = iota // provably never equal: independent
+	DistExact                     // equal exactly at iteration distance D
+	DistAlways                    // equal at every iteration (loop-invariant subscripts)
+	DistUnknown                   // cannot decide
+)
+
+// SubscriptDistance compares subscripts f1 (at iteration i1) and f2 (at
+// iteration i2) and reports when f1(i1) == f2(i2) in terms of
+// d = i2 - i1.
+func SubscriptDistance(f1, f2 Affine) (DistResult, int64) {
+	if !f1.OK || !f2.OK {
+		return DistUnknown, 0
+	}
+	if !symsEqual(f1, f2) {
+		// Different symbolic content: with unknown symbol values the
+		// subscripts may or may not collide.
+		return DistUnknown, 0
+	}
+	switch {
+	case f1.Coeff == 0 && f2.Coeff == 0:
+		if f1.Const == f2.Const {
+			return DistAlways, 0
+		}
+		return DistNone, 0
+	case f1.Coeff == f2.Coeff:
+		// c*i1 + k1 = c*i2 + k2  =>  i2 - i1 = (k1-k2)/c
+		delta := f1.Const - f2.Const
+		c := f1.Coeff
+		if delta%c != 0 {
+			return DistNone, 0 // e.g. A[2i] vs A[2i+1]
+		}
+		return DistExact, delta / c
+	default:
+		// Different strides (A[i] vs A[2i]): a GCD test decides whether
+		// any collision is possible at all.
+		g := gcd(abs64(f1.Coeff), abs64(f2.Coeff))
+		if (f1.Const-f2.Const)%g != 0 {
+			return DistNone, 0
+		}
+		return DistUnknown, 0
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

@@ -1,0 +1,329 @@
+package dep
+
+import (
+	"fmt"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// Kind classifies a dependence edge.
+type Kind int
+
+// Dependence kinds.
+const (
+	Flow   Kind = iota // write → read (true dependence)
+	Anti               // read → write
+	Output             // write → write
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	}
+	return "?"
+}
+
+// Edge is a dependence between two multi-instructions: instance
+// (To, i+Dist) depends on instance (From, i).
+type Edge struct {
+	Kind    Kind
+	From    int // MI index in body order
+	To      int // MI index in body order
+	Dist    int64
+	Var     string // the array or scalar causing the dependence
+	Unknown bool   // distance is conservative, not exact
+}
+
+// String renders the edge for diagnostics.
+func (e Edge) String() string {
+	u := ""
+	if e.Unknown {
+		u = "?"
+	}
+	return fmt.Sprintf("%s MI%d->MI%d dist=%d%s (%s)", e.Kind, e.From, e.To, e.Dist, u, e.Var)
+}
+
+// ScalarClass classifies a scalar's role inside the loop body.
+type ScalarClass int
+
+// Scalar classes.
+const (
+	// Invariant scalars are read but never written in the loop.
+	Invariant ScalarClass = iota
+	// Variant scalars are written every iteration and all their reads are
+	// reached by a same-iteration write (no upward-exposed read). MVE or
+	// scalar expansion can rename them freely.
+	Variant
+	// Induction scalars are updated only by x = x ± const and read
+	// (possibly exposed) elsewhere; MVE can split them into per-copy
+	// chains with a scaled step.
+	Induction
+	// Recurrence scalars carry a value across iterations in a way MVE
+	// cannot rename (general accumulators). Reductions (s += e, s = s op e,
+	// min/max patterns) are a recognizable sub-case.
+	Recurrence
+)
+
+// String renders the class.
+func (c ScalarClass) String() string {
+	switch c {
+	case Invariant:
+		return "invariant"
+	case Variant:
+		return "variant"
+	case Induction:
+		return "induction"
+	case Recurrence:
+		return "recurrence"
+	}
+	return "?"
+}
+
+// ScalarInfo describes one scalar used by the loop body.
+type ScalarInfo struct {
+	Name         string
+	Class        ScalarClass
+	Defs         []int // MI indices that may write it
+	Reads        []int // MI indices that may read it
+	ExposedReads []int // reads not preceded by an unconditional same-iteration write
+	NumRefs      int   // total occurrence count (reads + writes), for the §4 filter
+	// InductionStep is the per-iteration increment for Induction scalars.
+	InductionStep int64
+	// Reduction describes the reduction op for recognizable reductions
+	// (OpAdd for s += e, OpMul for s *= e); OpNone otherwise. MinMax is
+	// set for the predicated min/max idiom.
+	Reduction source.Op
+}
+
+// Renamable reports whether MVE/scalar expansion can rename the scalar.
+func (s *ScalarInfo) Renamable() bool {
+	return s.Class == Variant || s.Class == Induction
+}
+
+// Analysis is the dependence information for one loop body.
+type Analysis struct {
+	LoopVar string
+	// Step is the loop increment all iteration distances are relative to.
+	Step    int64
+	Edges   []Edge
+	Scalars map[string]*ScalarInfo
+	// Refs counts: loads+stores and arithmetic ops, for the §4 filter.
+	MemRefs  int
+	ArithOps int
+	NumMIs   int
+}
+
+// HasUnknown reports whether any edge has an unknown distance.
+func (a *Analysis) HasUnknown() bool {
+	for _, e := range a.Edges {
+		if e.Unknown {
+			return true
+		}
+	}
+	return false
+}
+
+// ref is one array or scalar access inside an MI.
+type ref struct {
+	mi    int
+	name  string
+	write bool
+	cond  bool     // the access is control-dependent (predicated)
+	subs  []Affine // affine view of each subscript (arrays only)
+	order int      // global collection order, for d==0 tie-breaking
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// IgnoreScalars lists scalar names to exclude from dependence
+	// generation entirely (used for speculation experiments).
+	IgnoreScalars map[string]bool
+	// Step is the canonical loop's increment (0 means 1). Subscript
+	// distances are computed in loop-variable units and must be divided
+	// by the step to become iteration distances; distances that are not
+	// multiples of the step prove independence (the iterations never
+	// touch those offsets).
+	Step int64
+}
+
+// Analyze computes the dependence edges between the multi-instructions
+// of a loop body. mis are the top-level statements of the body in source
+// order; loopVar is the induction variable of the canonical loop; tab
+// resolves which names are arrays.
+func Analyze(mis []source.Stmt, loopVar string, tab *sem.Table, opts Options) (*Analysis, error) {
+	step := opts.Step
+	if step == 0 {
+		step = 1
+	}
+	a := &Analysis{LoopVar: loopVar, Step: step, Scalars: map[string]*ScalarInfo{}, NumMIs: len(mis)}
+	col := &collector{loopVar: loopVar, tab: tab}
+	for i, mi := range mis {
+		if err := col.stmt(mi, i, false); err != nil {
+			return nil, err
+		}
+	}
+	a.MemRefs = col.memRefs
+	a.ArithOps = col.arithOps
+
+	writtenScalars := map[string]bool{}
+	for _, r := range col.refs {
+		if len(r.subs) == 0 && r.write {
+			writtenScalars[r.name] = true
+		}
+	}
+
+	// ---- array dependences ----
+	var arrayRefs []ref
+	for _, r := range col.refs {
+		if len(r.subs) > 0 {
+			// A subscript that mentions a written (non-induction-variable)
+			// scalar is not loop-invariant in the affine sense; demote it.
+			arrayRefs = append(arrayRefs, demoteVaryingSyms(r, writtenScalars))
+		}
+	}
+	for i := 0; i < len(arrayRefs); i++ {
+		for j := i; j < len(arrayRefs); j++ {
+			r1, r2 := arrayRefs[i], arrayRefs[j]
+			if r1.name != r2.name || (!r1.write && !r2.write) {
+				continue
+			}
+			if i == j {
+				continue // a single reference cannot conflict with itself
+			}
+			a.addArrayPair(r1, r2)
+		}
+	}
+
+	// ---- scalar classification and dependences ----
+	if err := a.classifyScalars(col, mis, opts); err != nil {
+		return nil, err
+	}
+	a.scalarEdges(col, opts)
+	a.dedup()
+	return a, nil
+}
+
+// demoteVaryingSyms marks subscripts non-affine when they mention scalars
+// written inside the loop (e.g. A[lw] where lw++ runs in the body —
+// unless lw is a recognized induction handled elsewhere, the subscript
+// is not a static affine function of the loop variable).
+func demoteVaryingSyms(r ref, written map[string]bool) ref {
+	for k := range r.subs {
+		for n := range r.subs[k].Syms {
+			if written[n] {
+				r.subs[k].OK = false
+			}
+		}
+	}
+	return r
+}
+
+// addArrayPair emits the dependence edge (if any) between two array refs.
+func (a *Analysis) addArrayPair(r1, r2 ref) {
+	// Combine all dimensions: every dimension must be able to collide,
+	// and dimensions with the loop variable must agree on the distance.
+	res := DistAlways
+	var dist int64
+	haveExact := false
+	for k := range r1.subs {
+		dr, d := SubscriptDistance(r1.subs[k], r2.subs[k])
+		switch dr {
+		case DistNone:
+			return // provably independent
+		case DistUnknown:
+			if res != DistNone {
+				res = DistUnknown
+			}
+		case DistExact:
+			if haveExact && d != dist {
+				return // inconsistent required distances: independent
+			}
+			haveExact = true
+			dist = d
+			if res == DistAlways {
+				res = DistExact
+			}
+		case DistAlways:
+			// no constraint from this dimension
+		}
+	}
+	if res == DistUnknown {
+		// Conservative: dependence at distance 0 and at distance 1 in both
+		// directions, flagged unknown so the scheduler can refuse.
+		a.emit(r1, r2, 0, true)
+		a.emit(r1, r2, 1, true)
+		a.emit(r2, r1, 1, true)
+		return
+	}
+	if res == DistAlways {
+		// Same element every iteration (no loop-variable in any subscript):
+		// behaves like an unrenamable scalar held in memory.
+		a.emit(r1, r2, 0, false)
+		a.emit(r1, r2, 1, false)
+		a.emit(r2, r1, 1, false)
+		return
+	}
+	// dist is in loop-variable units; convert to iterations.
+	if dist%a.Step != 0 {
+		return // the stride never lands on this offset: independent
+	}
+	a.emit(r1, r2, dist/a.Step, false)
+}
+
+// emit adds one edge given raw distance d meaning: r2 at iteration i+d
+// touches the element r1 touches at iteration i. Negative d flips the
+// direction; d == 0 orders by source position.
+func (a *Analysis) emit(r1, r2 ref, d int64, unknown bool) {
+	src, dst := r1, r2
+	if d < 0 {
+		src, dst, d = r2, r1, -d
+	} else if d == 0 {
+		if r1.mi == r2.mi {
+			return // intra-MI: the MI executes atomically
+		}
+		if r1.mi > r2.mi || (r1.mi == r2.mi && r1.order > r2.order) {
+			src, dst = r2, r1
+		}
+	}
+	kind := Flow
+	switch {
+	case src.write && dst.write:
+		kind = Output
+	case src.write && !dst.write:
+		kind = Flow
+	case !src.write && dst.write:
+		kind = Anti
+	default:
+		return // read-read
+	}
+	a.Edges = append(a.Edges, Edge{
+		Kind: kind, From: src.mi, To: dst.mi, Dist: d, Var: src.name, Unknown: unknown,
+	})
+}
+
+func (a *Analysis) dedup() {
+	type key struct {
+		k        Kind
+		from, to int
+		d        int64
+		v        string
+		u        bool
+	}
+	seen := map[key]bool{}
+	out := a.Edges[:0]
+	for _, e := range a.Edges {
+		k := key{e.Kind, e.From, e.To, e.Dist, e.Var, e.Unknown}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	a.Edges = out
+}

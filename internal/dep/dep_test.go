@@ -1,0 +1,402 @@
+package dep
+
+import (
+	"testing"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// analyzeLoop parses a program whose last statement is a canonical for
+// loop and runs the dependence analysis on its body.
+func analyzeLoop(t *testing.T, src string) *Analysis {
+	t.Helper()
+	p := source.MustParse(src)
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	var f *source.For
+	for _, s := range p.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			f = ff
+		}
+	}
+	if f == nil {
+		t.Fatal("no for loop in source")
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	a, err := Analyze(f.Body.Stmts, l.Var, info.Table, Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func findEdge(a *Analysis, kind Kind, from, to int, dist int64) *Edge {
+	for i, e := range a.Edges {
+		if e.Kind == kind && e.From == from && e.To == to && e.Dist == dist {
+			return &a.Edges[i]
+		}
+	}
+	return nil
+}
+
+func TestAffineExtraction(t *testing.T) {
+	cases := map[string]struct {
+		coeff, konst int64
+		ok           bool
+	}{
+		"i":           {1, 0, true},
+		"i + 1":       {1, 1, true},
+		"i - 3":       {1, -3, true},
+		"2 * i + 5":   {2, 5, true},
+		"i * 2":       {2, 0, true},
+		"-i":          {-1, 0, true},
+		"3 - i":       {-1, 3, true},
+		"2 * (i + 1)": {2, 2, true},
+		"i + i":       {2, 0, true},
+		"7":           {0, 7, true},
+		"i * i":       {0, 0, false},
+		"i / 2":       {0, 0, false},
+		"i % 4":       {0, 0, false},
+	}
+	for src, want := range cases {
+		e, err := source.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ExtractAffine(e, "i")
+		if a.OK != want.ok {
+			t.Errorf("%q: OK=%v, want %v", src, a.OK, want.ok)
+			continue
+		}
+		if a.OK && (a.Coeff != want.coeff || a.Const != want.konst) {
+			t.Errorf("%q: %d*i%+d, want %d*i%+d", src, a.Coeff, a.Const, want.coeff, want.konst)
+		}
+	}
+}
+
+func TestAffineSymbolic(t *testing.T) {
+	e, _ := source.ParseExpr("i + n - 2")
+	a := ExtractAffine(e, "i")
+	if !a.OK || a.Coeff != 1 || a.Const != -2 || a.Syms["n"] != 1 {
+		t.Errorf("got %+v", a)
+	}
+	e2, _ := source.ParseExpr("i + n - 3")
+	b := ExtractAffine(e2, "i")
+	// f1(i1)=f2(i2): i1+n-2 = i2+n-3 → i2 = i1+1 → d = +1.
+	res, d := SubscriptDistance(a, b)
+	if res != DistExact || d != 1 {
+		t.Errorf("symbolic distance: res=%v d=%d", res, d)
+	}
+	// Different symbols: unknown.
+	e3, _ := source.ParseExpr("i + m")
+	c := ExtractAffine(e3, "i")
+	if res, _ := SubscriptDistance(a, c); res != DistUnknown {
+		t.Errorf("different symbols should be unknown, got %v", res)
+	}
+}
+
+func TestSubscriptDistanceCases(t *testing.T) {
+	mk := func(coeff, konst int64) Affine { return Affine{Coeff: coeff, Const: konst, OK: true} }
+	// A[2i] vs A[2i+1]: never equal.
+	if res, _ := SubscriptDistance(mk(2, 0), mk(2, 1)); res != DistNone {
+		t.Errorf("A[2i] vs A[2i+1]: %v", res)
+	}
+	// A[2i] vs A[2i+4]: distance -2 (i2 = i1 - 2).
+	if res, d := SubscriptDistance(mk(2, 0), mk(2, 4)); res != DistExact || d != -2 {
+		t.Errorf("A[2i] vs A[2i+4]: %v %d", res, d)
+	}
+	// A[5] vs A[5]: always.
+	if res, _ := SubscriptDistance(mk(0, 5), mk(0, 5)); res != DistAlways {
+		t.Error("A[5] vs A[5] should be DistAlways")
+	}
+	// A[5] vs A[6]: never.
+	if res, _ := SubscriptDistance(mk(0, 5), mk(0, 6)); res != DistNone {
+		t.Error("A[5] vs A[6] should be independent")
+	}
+	// A[i] vs A[2i]: GCD passes, unknown.
+	if res, _ := SubscriptDistance(mk(1, 0), mk(2, 0)); res != DistUnknown {
+		t.Error("A[i] vs A[2i] should be unknown")
+	}
+	// A[2i] vs A[4i+1]: gcd 2 does not divide 1: independent.
+	if res, _ := SubscriptDistance(mk(2, 0), mk(4, 1)); res != DistNone {
+		t.Error("A[2i] vs A[4i+1] should be independent")
+	}
+}
+
+func TestSelfFlowRecurrence(t *testing.T) {
+	a := analyzeLoop(t, `
+		float A[100];
+		for (i = 1; i < 100; i++) { A[i] += A[i-1]; }
+	`)
+	if e := findEdge(a, Flow, 0, 0, 1); e == nil {
+		t.Errorf("missing self flow dist 1; edges: %v", a.Edges)
+	}
+}
+
+func TestIntroExampleDotProduct(t *testing.T) {
+	// S1: t = A[i]*B[i];  S2: s = s + t;
+	a := analyzeLoop(t, `
+		float A[100]; float B[100];
+		float t = 0.0; float s = 0.0;
+		for (i = 0; i < 100; i++) {
+			t = A[i] * B[i];
+			s = s + t;
+		}
+	`)
+	if e := findEdge(a, Flow, 0, 1, 0); e == nil || e.Var != "t" {
+		t.Errorf("missing flow t MI0->MI1: %v", a.Edges)
+	}
+	// t is a renamable variant: no carried anti edge MI1->MI0.
+	if e := findEdge(a, Anti, 1, 0, 1); e != nil {
+		t.Errorf("unexpected carried anti on variant t: %v", e)
+	}
+	if got := a.Scalars["t"].Class; got != Variant {
+		t.Errorf("t class = %v, want variant", got)
+	}
+	if got := a.Scalars["s"].Class; got != Recurrence {
+		t.Errorf("s class = %v, want recurrence", got)
+	}
+	if got := a.Scalars["s"].Reduction; got != source.OpAdd {
+		t.Errorf("s reduction = %v, want +", got)
+	}
+	// s has a self flow at distance 1.
+	if e := findEdge(a, Flow, 1, 1, 1); e == nil {
+		t.Errorf("missing self flow on s: %v", a.Edges)
+	}
+}
+
+func TestFourPointStencil(t *testing.T) {
+	// A[i] = A[i-1]+A[i-2]+A[i+1]+A[i+2] (§3.2).
+	a := analyzeLoop(t, `
+		float A[100];
+		for (i = 2; i < 98; i++) {
+			A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+		}
+	`)
+	for _, want := range []struct {
+		kind Kind
+		dist int64
+	}{{Flow, 1}, {Flow, 2}, {Anti, 1}, {Anti, 2}} {
+		if e := findEdge(a, want.kind, 0, 0, want.dist); e == nil {
+			t.Errorf("missing self %v dist %d: %v", want.kind, want.dist, a.Edges)
+		}
+	}
+}
+
+func TestInductionScalar(t *testing.T) {
+	// §8: temp -= x[lw]*y[j]; lw++  (j is the loop variable).
+	a := analyzeLoop(t, `
+		float x[100]; float y[100];
+		float temp = 0.0;
+		int lw = 6;
+		for (j = 4; j < 90; j = j + 2) {
+			temp -= x[lw] * y[j];
+			lw++;
+		}
+	`)
+	lw := a.Scalars["lw"]
+	if lw == nil || lw.Class != Induction || lw.InductionStep != 1 {
+		t.Fatalf("lw: %+v", lw)
+	}
+	// Carried flow from the def (MI1) to the exposed read (MI0).
+	if e := findEdge(a, Flow, 1, 0, 1); e == nil || e.Var != "lw" {
+		t.Errorf("missing carried flow lw MI1->MI0: %v", a.Edges)
+	}
+	// Renamable: no carried anti.
+	if e := findEdge(a, Anti, 0, 1, 1); e != nil && e.Var == "lw" {
+		t.Errorf("unexpected carried anti on induction lw")
+	}
+	// temp is a sum reduction recurrence.
+	if tv := a.Scalars["temp"]; tv.Class != Recurrence || tv.Reduction != source.OpAdd {
+		t.Errorf("temp: %+v", tv)
+	}
+}
+
+func TestArrayBackEdgeAcrossMIs(t *testing.T) {
+	// §6 fusion input: t=A[i-1]; B[i]=B[i]+t; A[i]=t+B[i];
+	a := analyzeLoop(t, `
+		float A[100]; float B[100];
+		float t = 0.0;
+		for (i = 1; i < 100; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			A[i] = t + B[i];
+		}
+	`)
+	// A written by MI2 at i, read by MI0 at i+1: carried flow MI2->MI0.
+	if e := findEdge(a, Flow, 2, 0, 1); e == nil || e.Var != "A" {
+		t.Errorf("missing carried flow A MI2->MI0: %v", a.Edges)
+	}
+	// B: flow MI1->MI2 dist 0.
+	if e := findEdge(a, Flow, 1, 2, 0); e == nil {
+		t.Errorf("missing flow B MI1->MI2: %v", a.Edges)
+	}
+}
+
+func Test2DInterchange(t *testing.T) {
+	// Inner j loop: t=a[i][j]; a[i][j+1]=t → flow at distance 1 from MI1 to MI0.
+	a := analyzeLoop(t, `
+		float a[10][10];
+		int i = 1;
+		for (j = 0; j < 9; j++) {
+			t = a[i][j];
+			a[i][j+1] = t;
+		}
+	`)
+	if e := findEdge(a, Flow, 1, 0, 1); e == nil || e.Var != "a" {
+		t.Errorf("missing carried flow a MI1->MI0: %v", a.Edges)
+	}
+}
+
+func Test2DOuterLoopIndependent(t *testing.T) {
+	// Outer i loop over rows: a[i][j+1] vs a[i][j] differ in the second
+	// dimension by a constant: independent across i iterations.
+	a := analyzeLoop(t, `
+		float a[10][10];
+		int j = 3;
+		for (i = 0; i < 9; i++) {
+			t = a[i][j];
+			a[i][j+1] = t;
+		}
+	`)
+	for _, e := range a.Edges {
+		if e.Var == "a" {
+			t.Errorf("unexpected array dependence after interchange: %v", e)
+		}
+	}
+}
+
+func TestUnknownSubscript(t *testing.T) {
+	a := analyzeLoop(t, `
+		float A[100]; int idx[100];
+		for (i = 0; i < 100; i++) {
+			A[idx[i]] = A[i] + 1.0;
+		}
+	`)
+	if !a.HasUnknown() {
+		t.Errorf("indirect subscript should produce unknown edges: %v", a.Edges)
+	}
+}
+
+func TestVaryingSymbolDemoted(t *testing.T) {
+	// A[k] with k updated non-inductively in the loop: unknown.
+	a := analyzeLoop(t, `
+		float A[100]; int B[100];
+		int k = 0;
+		for (i = 0; i < 50; i++) {
+			A[k] = A[k] + 1.0;
+			k = B[i];
+		}
+	`)
+	if !a.HasUnknown() {
+		t.Errorf("subscript via loop-written scalar should be unknown: %v", a.Edges)
+	}
+}
+
+func TestNoDepIndependentArrays(t *testing.T) {
+	a := analyzeLoop(t, `
+		float A[100]; float B[100]; float C[100];
+		for (i = 0; i < 100; i++) {
+			A[i] = B[i] * 2.0;
+			C[i] = B[i] + 1.0;
+		}
+	`)
+	for _, e := range a.Edges {
+		if e.Var == "A" || e.Var == "B" || e.Var == "C" {
+			t.Errorf("unexpected dependence: %v", e)
+		}
+	}
+}
+
+func TestStrideTwoNoDep(t *testing.T) {
+	a := analyzeLoop(t, `
+		float A[200];
+		for (i = 0; i < 99; i++) {
+			A[2*i] = A[2*i+1] + 1.0;
+		}
+	`)
+	for _, e := range a.Edges {
+		if e.Var == "A" {
+			t.Errorf("A[2i] vs A[2i+1] must be independent: %v", e)
+		}
+	}
+}
+
+func TestMemRefRatioCounts(t *testing.T) {
+	// §4 example: CT=X[k][i]; X[k][i]=X[k][j]*2; X[k][j]=CT → LS=6 counting
+	// the scalar CT as register-allocated (the paper counts array refs):
+	// loads/stores = 4 array refs + ... we count array references only.
+	a := analyzeLoop(t, `
+		float X[50][50];
+		int i = 1; int j = 2;
+		float CT = 0.0;
+		for (k = 0; k < 50; k++) {
+			CT = X[k][i];
+			X[k][i] = X[k][j] * 2.0;
+			X[k][j] = CT;
+		}
+	`)
+	if a.MemRefs != 4 {
+		t.Errorf("MemRefs = %d, want 4", a.MemRefs)
+	}
+	if a.ArithOps != 1 {
+		t.Errorf("ArithOps = %d, want 1", a.ArithOps)
+	}
+}
+
+func TestOutputDependence(t *testing.T) {
+	a := analyzeLoop(t, `
+		float A[100];
+		for (i = 0; i < 99; i++) {
+			A[i] = 1.0;
+			A[i+1] = 2.0;
+		}
+	`)
+	// A[i+1] at iteration i and A[i] at iteration i+1 are the same
+	// element: output dependence MI1 -> MI0 at distance 1.
+	if e := findEdge(a, Output, 1, 0, 1); e == nil {
+		t.Errorf("missing output dep MI1->MI0 dist 1: %v", a.Edges)
+	}
+	// A[i] and A[i+1] never collide within one iteration: no dist-0 edge.
+	if e := findEdge(a, Output, 0, 1, 0); e != nil {
+		t.Errorf("spurious intra-iteration output dep: %v", e)
+	}
+}
+
+func TestPredicatedWritesStayConditional(t *testing.T) {
+	// if (c) x = A[i]: the write is conditional, so a later read of x is
+	// still upward exposed → x is a recurrence, not a variant.
+	a := analyzeLoop(t, `
+		float A[100];
+		float x = 0.0;
+		bool c = true;
+		for (i = 0; i < 100; i++) {
+			if (c) x = A[i];
+			A[i] = x + 1.0;
+		}
+	`)
+	if got := a.Scalars["x"].Class; got != Recurrence {
+		t.Errorf("x class = %v, want recurrence (conditional write)", got)
+	}
+}
+
+func TestNestedLoopRejected(t *testing.T) {
+	p := source.MustParse(`
+		float A[10][10];
+		for (i = 0; i < 10; i++) {
+			for (j = 0; j < 10; j++) { A[i][j] = 0.0; }
+		}
+	`)
+	info, _ := sem.Check(p)
+	f := p.Stmts[1].(*source.For)
+	l, _ := sem.Canonicalize(f)
+	if _, err := Analyze(f.Body.Stmts, l.Var, info.Table, Options{}); err == nil {
+		t.Error("expected error for nested loop body")
+	}
+}

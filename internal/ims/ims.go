@@ -1,0 +1,435 @@
+// Package ims implements machine-level iterative modulo scheduling
+// (Rau, MICRO 1994) over the virtual ISA: the optimization the paper's
+// strong final compilers (ICC, XLC) apply to innermost loops, and the
+// baseline SLMS is compared against. The scheduler computes
+// ResMII/RecMII from the instruction-level dependence graph (using the
+// affine memory tags for disambiguation), fills a modulo reservation
+// table with a height-priority worklist and a backtracking budget, and
+// rejects schedules whose register pressure exceeds the machine file —
+// the failure mode of the paper's Figure 11.
+package ims
+
+import (
+	"fmt"
+
+	"slms/internal/ddg"
+	"slms/internal/dep"
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/mii"
+	"slms/internal/source"
+)
+
+// Result describes a modulo-scheduling attempt on one loop body.
+type Result struct {
+	OK         bool
+	Reason     string // why scheduling was rejected, when !OK
+	II         int    // initiation interval (cycles per iteration)
+	SL         int    // schedule length of one iteration (fill/drain cost)
+	Stages     int
+	ResMII     int
+	RecMII     int
+	PressInt   int // estimated integer register pressure
+	PressFloat int
+}
+
+// edge is an instruction-level dependence with <distance, latency>.
+type edge struct {
+	from, to int
+	dist     int64
+	lat      int64
+}
+
+// Schedule modulo-schedules the body block of an innermost loop.
+// useTags enables affine memory disambiguation. maxII bounds the search;
+// budgetFactor controls backtracking effort (Rau uses a small multiple
+// of the instruction count).
+func Schedule(b *ir.Block, d *machine.Desc, useTags bool) *Result {
+	ins := withoutBranch(b.Instrs)
+	n := len(ins)
+	res := &Result{}
+	if n == 0 {
+		res.Reason = "empty body"
+		return res
+	}
+	edges := buildDDG(ins, d, useTags)
+
+	res.ResMII = resMII(ins, d)
+	res.RecMII = recMII(n, edges, 4*n+16)
+	if res.RecMII < 0 {
+		res.Reason = "no feasible II (unresolvable recurrence)"
+		return res
+	}
+	start := res.ResMII
+	if res.RecMII > start {
+		start = res.RecMII
+	}
+	if start < 1 {
+		start = 1
+	}
+	maxII := start + n + 8
+	for ii := start; ii <= maxII; ii++ {
+		sigma, ok := tryII(ins, edges, d, ii, 6*n+32)
+		if !ok {
+			continue
+		}
+		sl := 0
+		for i, s := range sigma {
+			if e := s + d.Latency(ins[i]); e > sl {
+				sl = e
+			}
+		}
+		res.II = ii
+		res.SL = sl + d.Lat.Branch
+		res.Stages = (res.SL + ii - 1) / ii
+		res.PressInt, res.PressFloat = pressure(ins, sigma, ii)
+		if res.PressInt > d.IntRegs || res.PressFloat > d.FPRegs {
+			res.Reason = fmt.Sprintf("register pressure (%d int / %d fp) exceeds file (%d/%d)",
+				res.PressInt, res.PressFloat, d.IntRegs, d.FPRegs)
+			return res
+		}
+		res.OK = true
+		return res
+	}
+	res.Reason = fmt.Sprintf("no schedule up to II=%d", maxII)
+	return res
+}
+
+func withoutBranch(ins []*ir.Instr) []*ir.Instr {
+	if len(ins) > 0 && ins[len(ins)-1].Op.IsBranch() {
+		return ins[:len(ins)-1]
+	}
+	return ins
+}
+
+// buildDDG constructs the <dist, latency> dependence edges.
+func buildDDG(ins []*ir.Instr, d *machine.Desc, useTags bool) []edge {
+	var edges []edge
+	n := len(ins)
+
+	// Register dependences. Block-local temporaries are written before
+	// every use; scalar home registers (accumulators, induction
+	// variables) have upward-exposed uses that carry values between
+	// iterations.
+	firstDef := map[int]int{}
+	for i, in := range ins {
+		if in.Dst >= 0 {
+			if _, ok := firstDef[in.Dst]; !ok {
+				firstDef[in.Dst] = i
+			}
+		}
+	}
+	lastDef := map[int]int{}
+	for j, in := range ins {
+		for _, r := range in.Uses() {
+			if i, ok := lastDef[r]; ok {
+				edges = append(edges, edge{i, j, 0, int64(d.Latency(ins[i]))}) // RAW
+			} else if i, ok := firstDef[r]; ok {
+				// Upward-exposed use: value from the previous iteration.
+				edges = append(edges, edge{i, j, 1, int64(d.Latency(ins[i]))})
+			}
+		}
+		if in.Dst >= 0 {
+			lastDef[in.Dst] = j
+		}
+	}
+	// Rotating-register model: carried WAR/WAW on registers are handled
+	// by modulo variable expansion, so no edges — their cost shows up as
+	// register pressure instead.
+
+	// Memory dependences.
+	for j := 0; j < n; j++ {
+		if !ins[j].Op.IsMem() {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if !ins[i].Op.IsMem() || ins[i].Arr != ins[j].Arr {
+				continue
+			}
+			if ins[i].Op == ir.Load && ins[j].Op == ir.Load {
+				continue
+			}
+			lat := int64(0)
+			if ins[i].Op == ir.Store {
+				lat = int64(d.Lat.Store)
+			}
+			if !useTags {
+				edges = append(edges, edge{i, j, 0, lat})
+				edges = append(edges, edge{i, j, 1, lat})
+				edges = append(edges, edge{j, i, 1, int64(d.Lat.Store)})
+				continue
+			}
+			res, dist := ir.TagDistance(ins[i].Tag, ins[j].Tag)
+			switch res {
+			case dep.DistNone:
+			case dep.DistExact:
+				switch {
+				case dist == 0:
+					edges = append(edges, edge{i, j, 0, lat})
+				case dist > 0:
+					edges = append(edges, edge{i, j, dist, lat})
+				default:
+					edges = append(edges, edge{j, i, -dist, int64(d.Lat.Store)})
+				}
+			default:
+				edges = append(edges, edge{i, j, 0, lat})
+				edges = append(edges, edge{i, j, 1, lat})
+				edges = append(edges, edge{j, i, 1, int64(d.Lat.Store)})
+			}
+		}
+	}
+	return edges
+}
+
+// resMII is the resource-constrained lower bound.
+func resMII(ins []*ir.Instr, d *machine.Desc) int {
+	var counts [4]int
+	for _, in := range ins {
+		counts[machine.UnitOf(in)]++
+	}
+	m := (len(ins) + d.IssueWidth - 1) / d.IssueWidth
+	for fu, c := range counts {
+		if c == 0 {
+			continue
+		}
+		units := d.Units[fu]
+		if units == 0 {
+			units = 1
+		}
+		if v := (c + units - 1) / units; v > m {
+			m = v
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// recMII is the recurrence-constrained lower bound, computed by testing
+// increasing II values against the cycle condition (reusing the
+// difMin/ISP machinery). Returns -1 when no II up to maxII works.
+func recMII(n int, edges []edge, maxII int) int {
+	g := &ddg.Graph{N: n}
+	for _, e := range edges {
+		g.Edges = append(g.Edges, ddg.Edge{From: e.from, To: e.to, Dist: e.dist, Delay: e.lat})
+	}
+	for ii := 1; ii <= maxII; ii++ {
+		if mii.Valid(g, int64(ii)) {
+			return ii
+		}
+	}
+	return -1
+}
+
+// tryII attempts to place every instruction into a modulo reservation
+// table with the given II, with eviction-based backtracking (Rau's
+// iterative scheme).
+func tryII(ins []*ir.Instr, edges []edge, d *machine.Desc, ii int, budget int) ([]int, bool) {
+	n := len(ins)
+	preds := make([][]edge, n)
+	succs := make([][]edge, n)
+	for _, e := range edges {
+		preds[e.to] = append(preds[e.to], e)
+		succs[e.from] = append(succs[e.from], e)
+	}
+	// Height priority on the distance-0 subgraph.
+	height := make([]int64, n)
+	for changed, rounds := true, 0; changed && rounds < n+2; rounds++ {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			h := int64(0)
+			for _, e := range succs[i] {
+				if e.dist == 0 {
+					if v := height[e.to] + e.lat; v > h {
+						h = v
+					}
+				}
+			}
+			if h > height[i] {
+				height[i] = h
+				changed = true
+			}
+		}
+	}
+
+	sigma := make([]int, n)
+	placed := make([]bool, n)
+	prevTime := make([]int, n)
+	for i := range prevTime {
+		prevTime[i] = -1
+	}
+	// Modulo reservation table: per row, per FU usage and total issue.
+	type rowUse struct {
+		fu    [4]int
+		total int
+	}
+	rt := make([]rowUse, ii)
+
+	fits := func(i, t int) bool {
+		row := ((t % ii) + ii) % ii
+		fu := machine.UnitOf(ins[i])
+		return rt[row].fu[fu] < d.Units[fu] && rt[row].total < d.IssueWidth
+	}
+	place := func(i, t int) {
+		row := ((t % ii) + ii) % ii
+		fu := machine.UnitOf(ins[i])
+		rt[row].fu[fu]++
+		rt[row].total++
+		sigma[i] = t
+		placed[i] = true
+		prevTime[i] = t
+	}
+	remove := func(i int) {
+		row := ((sigma[i] % ii) + ii) % ii
+		fu := machine.UnitOf(ins[i])
+		rt[row].fu[fu]--
+		rt[row].total--
+		placed[i] = false
+	}
+
+	// Worklist ordered by height (simple priority queue by rescan).
+	work := make([]int, n)
+	for i := range work {
+		work[i] = i
+	}
+	pick := func() int {
+		best := -1
+		for _, i := range work {
+			if placed[i] {
+				continue
+			}
+			if best == -1 || height[i] > height[best] || (height[i] == height[best] && i < best) {
+				best = i
+			}
+		}
+		return best
+	}
+
+	for remaining := n; remaining > 0; {
+		i := pick()
+		if i < 0 {
+			break
+		}
+		est := 0
+		for _, e := range preds[i] {
+			if placed[e.from] {
+				if v := sigma[e.from] + int(e.lat) - ii*int(e.dist); v > est {
+					est = v
+				}
+			}
+		}
+		if prevTime[i] >= 0 && est <= prevTime[i] {
+			est = prevTime[i] + 1
+		}
+		slot := -1
+		for t := est; t < est+ii; t++ {
+			if fits(i, t) {
+				slot = t
+				break
+			}
+		}
+		force := false
+		if slot < 0 {
+			slot = est
+			force = true
+		}
+		if force {
+			// Evict conflicting instructions in the target row.
+			row := ((slot % ii) + ii) % ii
+			fu := machine.UnitOf(ins[i])
+			for j := 0; j < n; j++ {
+				if !placed[j] || j == i {
+					continue
+				}
+				jr := ((sigma[j] % ii) + ii) % ii
+				if jr == row && (machine.UnitOf(ins[j]) == fu || rt[row].total >= d.IssueWidth) {
+					remove(j)
+					remaining++
+				}
+				if fits(i, slot) {
+					break
+				}
+			}
+			if !fits(i, slot) {
+				return nil, false
+			}
+		}
+		place(i, slot)
+		remaining--
+		// Displace placed successors whose constraint broke.
+		for _, e := range succs[i] {
+			if placed[e.to] && sigma[e.to] < sigma[i]+int(e.lat)-ii*int(e.dist) {
+				remove(e.to)
+				remaining++
+			}
+		}
+		budget--
+		if budget <= 0 && remaining > 0 {
+			return nil, false
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !placed[i] {
+			return nil, false
+		}
+	}
+	// Normalize: shift so the earliest slot is 0.
+	min := sigma[0]
+	for _, s := range sigma {
+		if s < min {
+			min = s
+		}
+	}
+	for i := range sigma {
+		sigma[i] -= min
+	}
+	return sigma, true
+}
+
+// pressure estimates register pressure of the pipelined schedule: each
+// value's lifetime (def to last use, plus II per carried-dependence
+// distance) spans ceil(lifetime/II) concurrent copies.
+func pressure(ins []*ir.Instr, sigma []int, ii int) (pInt, pFloat int) {
+	lastUse := map[int]int{} // reg -> latest consuming time
+	defTime := map[int]int{}
+	defType := map[int]source.Type{}
+	for i, in := range ins {
+		if in.Dst >= 0 {
+			defTime[in.Dst] = sigma[i]
+			defType[in.Dst] = in.Type
+		}
+	}
+	for j, in := range ins {
+		for _, r := range in.Uses() {
+			dt, ok := defTime[r]
+			if !ok {
+				continue
+			}
+			use := sigma[j]
+			if use < dt {
+				use += ii // consumed by the next iteration's slot
+			}
+			if use > lastUse[r] {
+				lastUse[r] = use
+			}
+		}
+	}
+	for r, dt := range defTime {
+		lu, ok := lastUse[r]
+		if !ok {
+			lu = dt + 1
+		}
+		life := lu - dt
+		if life < 1 {
+			life = 1
+		}
+		copies := (life + ii - 1) / ii
+		if defType[r] == source.TFloat {
+			pFloat += copies
+		} else {
+			pInt += copies
+		}
+	}
+	return pInt, pFloat
+}

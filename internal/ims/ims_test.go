@@ -1,0 +1,164 @@
+package ims
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/backend"
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// loopBody compiles src and returns its innermost loop body block.
+func loopBody(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	f, err := backend.Compile(source.MustParse(src))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	backend.LocalCSE(f)
+	for _, b := range f.Blocks {
+		if b.IsLoopBody {
+			return b
+		}
+	}
+	t.Fatal("no loop body block")
+	return nil
+}
+
+func TestParallelLoopHitsResMII(t *testing.T) {
+	d := machine.IA64Like()
+	b := loopBody(t, `
+		float A[128]; float B[128]; float C[128];
+		for (i = 0; i < 120; i++) {
+			C[i] = A[i] * B[i] + 2.0;
+		}
+	`)
+	r := Schedule(b, d, true)
+	if !r.OK {
+		t.Fatalf("IMS rejected a parallel loop: %s", r.Reason)
+	}
+	// 2 loads + 1 store on 2 memory ports: ResMII ≥ 2; a fully parallel
+	// loop must reach it (or very close).
+	if r.ResMII < 2 {
+		t.Errorf("ResMII = %d, want >= 2", r.ResMII)
+	}
+	if r.II > r.ResMII+1 {
+		t.Errorf("II = %d far above ResMII %d", r.II, r.ResMII)
+	}
+	if r.SL < r.II {
+		t.Errorf("SL %d < II %d", r.SL, r.II)
+	}
+}
+
+func TestRecurrenceBoundsRecMII(t *testing.T) {
+	d := machine.IA64Like()
+	// x[i] = x[i-1]*z[i]: carried chain through an fmul (latency 4):
+	// RecMII >= 4.
+	b := loopBody(t, `
+		float x[128]; float z[128];
+		for (i = 1; i < 120; i++) {
+			x[i] = x[i-1] * z[i];
+		}
+	`)
+	r := Schedule(b, d, true)
+	if !r.OK {
+		t.Fatalf("IMS rejected: %s", r.Reason)
+	}
+	if r.RecMII < d.Lat.FloatMul {
+		t.Errorf("RecMII = %d, want >= %d (carried fmul chain)", r.RecMII, d.Lat.FloatMul)
+	}
+	if r.II < r.RecMII {
+		t.Errorf("II %d below RecMII %d", r.II, r.RecMII)
+	}
+}
+
+func TestWeakDisambiguationInflatesII(t *testing.T) {
+	d := machine.IA64Like()
+	src := `
+		float A[128];
+		for (i = 0; i < 120; i++) {
+			A[i] = A[i] * 2.0 + 1.0;
+		}
+	`
+	b := loopBody(t, src)
+	strong := Schedule(b, d, true)
+	weak := Schedule(b, d, false)
+	if !strong.OK {
+		t.Fatalf("strong rejected: %s", strong.Reason)
+	}
+	if weak.OK && weak.II < strong.II {
+		t.Errorf("weak disambiguation should never give a smaller II: %d < %d", weak.II, strong.II)
+	}
+}
+
+func TestAccumulatorII(t *testing.T) {
+	d := machine.IA64Like()
+	b := loopBody(t, `
+		float A[128]; float B[128];
+		float s = 0.0;
+		for (i = 0; i < 120; i++) {
+			s += A[i] * B[i];
+		}
+	`)
+	r := Schedule(b, d, true)
+	if !r.OK {
+		t.Fatalf("rejected: %s", r.Reason)
+	}
+	// The s chain is one fadd per iteration: RecMII = fadd latency.
+	if r.II < d.Lat.FloatOp {
+		t.Errorf("II = %d cannot beat the carried fadd latency %d", r.II, d.Lat.FloatOp)
+	}
+}
+
+func TestRegisterPressureRejection(t *testing.T) {
+	// A loop with long fp latencies and many live values: on a machine
+	// with a tiny register file the pipelined schedule must be rejected
+	// (the paper's Figure 11 failure mode).
+	tiny := machine.IA64Like()
+	tiny.IntRegs = 6
+	tiny.FPRegs = 4
+	b := loopBody(t, `
+		float A[256]; float B[256]; float C[256]; float D[256];
+		for (i = 0; i < 250; i++) {
+			D[i] = A[i]*B[i] + B[i]*C[i] + A[i]*C[i] + A[i+1]*B[i+1] + 0.5;
+		}
+	`)
+	r := Schedule(b, tiny, true)
+	if r.OK {
+		t.Fatalf("expected register-pressure rejection, got II=%d press=(%d,%d)",
+			r.II, r.PressInt, r.PressFloat)
+	}
+	if !strings.Contains(r.Reason, "register pressure") {
+		t.Errorf("reason = %q, want register pressure", r.Reason)
+	}
+	// The same loop fits the real machine.
+	if r2 := Schedule(b, machine.IA64Like(), true); !r2.OK {
+		t.Errorf("full-size file should accept: %s", r2.Reason)
+	}
+}
+
+func TestStagesConsistent(t *testing.T) {
+	d := machine.Power4Like()
+	b := loopBody(t, `
+		float A[128]; float B[128];
+		for (i = 0; i < 120; i++) {
+			B[i] = A[i] * 1.5 + A[i+1] * 2.5;
+		}
+	`)
+	r := Schedule(b, d, true)
+	if !r.OK {
+		t.Fatalf("rejected: %s", r.Reason)
+	}
+	if r.Stages != (r.SL+r.II-1)/r.II {
+		t.Errorf("stages %d inconsistent with SL %d / II %d", r.Stages, r.SL, r.II)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	b := &ir.Block{}
+	if r := Schedule(b, machine.IA64Like(), true); r.OK {
+		t.Error("empty body must not schedule")
+	}
+}

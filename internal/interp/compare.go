@@ -1,0 +1,126 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"slms/internal/source"
+)
+
+// Diff describes one discrepancy between two environments.
+type Diff struct {
+	Where string
+	A, B  string
+}
+
+// String renders the diff.
+func (d Diff) String() string { return fmt.Sprintf("%s: %s vs %s", d.Where, d.A, d.B) }
+
+// CompareOpts controls environment comparison.
+type CompareOpts struct {
+	// FloatTol is the relative tolerance for float comparison. Modulo
+	// scheduling reassociates no arithmetic, so results should normally be
+	// bit-identical; a small tolerance absorbs reduction-splitting (MVE of
+	// sum reductions changes the addition order).
+	FloatTol float64
+	// IgnoreScalars lists scalar names excluded from comparison
+	// (compiler-introduced temporaries, induction variables whose final
+	// value differs between schedules).
+	IgnoreScalars map[string]bool
+	// MaxDiffs bounds the report length (default 10).
+	MaxDiffs int
+}
+
+// Compare reports the differences in visible state between two
+// environments: all arrays, and all scalars present in both (scalars
+// introduced by a transformation exist on one side only and are ignored,
+// as are names listed in IgnoreScalars).
+func Compare(a, b *Env, opts CompareOpts) []Diff {
+	maxd := opts.MaxDiffs
+	if maxd == 0 {
+		maxd = 10
+	}
+	var diffs []Diff
+	add := func(d Diff) bool {
+		if len(diffs) < maxd {
+			diffs = append(diffs, d)
+		}
+		return len(diffs) < maxd
+	}
+
+	names := make([]string, 0, len(a.Arrays))
+	for n := range a.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		aa, ba := a.Arrays[n], b.Arrays[n]
+		if ba == nil {
+			add(Diff{Where: "array " + n, A: "present", B: "missing"})
+			continue
+		}
+		if !sameDims(aa.Dims, ba.Dims) {
+			add(Diff{Where: "array " + n, A: fmt.Sprint(aa.Dims), B: fmt.Sprint(ba.Dims)})
+			continue
+		}
+		if aa.Type != ba.Type {
+			add(Diff{Where: "array " + n, A: aa.Type.String(), B: ba.Type.String()})
+			continue
+		}
+		for i := 0; i < aa.Len(); i++ {
+			var av, bv Value
+			if aa.Type == source.TInt {
+				av, bv = IntVal(aa.I[i]), IntVal(ba.I[i])
+			} else {
+				av, bv = FloatVal(aa.F[i]), FloatVal(ba.F[i])
+			}
+			if !valueEq(av, bv, opts.FloatTol) {
+				if !add(Diff{Where: fmt.Sprintf("array %s[%d]", n, i), A: av.String(), B: bv.String()}) {
+					break
+				}
+			}
+		}
+	}
+
+	snames := make([]string, 0, len(a.Scalars))
+	for n := range a.Scalars {
+		snames = append(snames, n)
+	}
+	sort.Strings(snames)
+	for _, n := range snames {
+		if opts.IgnoreScalars[n] {
+			continue
+		}
+		bv, ok := b.Scalars[n]
+		if !ok {
+			continue // introduced/removed temporary
+		}
+		if !valueEq(a.Scalars[n], bv, opts.FloatTol) {
+			add(Diff{Where: "scalar " + n, A: a.Scalars[n].String(), B: bv.String()})
+		}
+	}
+	return diffs
+}
+
+func valueEq(a, b Value, tol float64) bool {
+	// Compare numerically where possible.
+	if isNum(a) && isNum(b) {
+		x, y := a.AsFloat(), b.AsFloat()
+		if x == y {
+			return true
+		}
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return true
+		}
+		if tol > 0 {
+			d := math.Abs(x - y)
+			m := math.Max(math.Abs(x), math.Abs(y))
+			return d <= tol*math.Max(m, 1)
+		}
+		return false
+	}
+	return a.B == b.B
+}
+
+func isNum(v Value) bool { return v.T == source.TInt || v.T == source.TFloat }

@@ -1,0 +1,969 @@
+// Package interp is a tree-walking interpreter for mini-C programs. It
+// defines the reference semantics of the language: every transformation
+// in this repository (SLMS, the classic loop transformations, the final
+// compiler's code generation) is validated by running the original and
+// the transformed program in this interpreter on identical inputs and
+// comparing all resulting memory state.
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"slms/internal/source"
+)
+
+// Value is a runtime value: an int, a float or a bool.
+type Value struct {
+	T source.Type
+	I int64
+	F float64
+	B bool
+}
+
+// IntVal returns an int value.
+func IntVal(v int64) Value { return Value{T: source.TInt, I: v} }
+
+// FloatVal returns a float value.
+func FloatVal(v float64) Value { return Value{T: source.TFloat, F: v} }
+
+// BoolVal returns a bool value.
+func BoolVal(v bool) Value { return Value{T: source.TBool, B: v} }
+
+// AsFloat converts a numeric value to float64.
+func (v Value) AsFloat() float64 {
+	if v.T == source.TInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// AsInt converts a numeric value to int64 (floats truncate, as in C).
+func (v Value) AsInt() int64 {
+	if v.T == source.TFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.T {
+	case source.TInt:
+		return fmt.Sprintf("%d", v.I)
+	case source.TFloat:
+		return fmt.Sprintf("%g", v.F)
+	case source.TBool:
+		return fmt.Sprintf("%t", v.B)
+	}
+	return "?"
+}
+
+// Array is array storage with row-major layout.
+type Array struct {
+	Type source.Type
+	Dims []int
+	F    []float64 // used when Type == TFloat
+	I    []int64   // used when Type == TInt
+}
+
+// NewArray allocates a zeroed array.
+func NewArray(t source.Type, dims ...int) *Array {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	a := &Array{Type: t, Dims: append([]int(nil), dims...)}
+	if t == source.TInt {
+		a.I = make([]int64, n)
+	} else {
+		a.F = make([]float64, n)
+	}
+	return a
+}
+
+// Len returns the total element count.
+func (a *Array) Len() int {
+	n := 1
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+func (a *Array) flatten(idx []int) (int, error) {
+	if len(idx) != len(a.Dims) {
+		return 0, fmt.Errorf("interp: rank mismatch: %d subscripts for rank-%d array", len(idx), len(a.Dims))
+	}
+	off := 0
+	for k, i := range idx {
+		if i < 0 || i >= a.Dims[k] {
+			return 0, fmt.Errorf("interp: index %d out of range [0,%d)", i, a.Dims[k])
+		}
+		off = off*a.Dims[k] + i
+	}
+	return off, nil
+}
+
+// Get returns the element at idx.
+func (a *Array) Get(idx ...int) (Value, error) {
+	off, err := a.flatten(idx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch a.Type {
+	case source.TInt:
+		return IntVal(a.I[off]), nil
+	case source.TBool:
+		return BoolVal(a.F[off] != 0), nil
+	default:
+		return FloatVal(a.F[off]), nil
+	}
+}
+
+// Set stores v at idx, converting as needed. Bool arrays store 0/1 in
+// the float backing (they exist only as scalar-expansion temporaries).
+func (a *Array) Set(v Value, idx ...int) error {
+	off, err := a.flatten(idx)
+	if err != nil {
+		return err
+	}
+	switch a.Type {
+	case source.TInt:
+		a.I[off] = v.AsInt()
+	case source.TBool:
+		if v.T == source.TBool {
+			if v.B {
+				a.F[off] = 1
+			} else {
+				a.F[off] = 0
+			}
+		} else if v.AsFloat() != 0 {
+			a.F[off] = 1
+		} else {
+			a.F[off] = 0
+		}
+	default:
+		if v.T == source.TBool {
+			if v.B {
+				a.F[off] = 1
+			} else {
+				a.F[off] = 0
+			}
+		} else {
+			a.F[off] = v.AsFloat()
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the array.
+func (a *Array) Clone() *Array {
+	c := &Array{Type: a.Type, Dims: append([]int(nil), a.Dims...)}
+	c.F = append([]float64(nil), a.F...)
+	c.I = append([]int64(nil), a.I...)
+	return c
+}
+
+// Env is the mutable program state: scalar bindings and array storage.
+type Env struct {
+	Scalars map[string]Value
+	Arrays  map[string]*Array
+	// Steps counts executed simple statements, for run-away protection
+	// and as a crude work metric.
+	Steps    int64
+	MaxSteps int64 // 0 means the default (100M)
+	// ParallelPar switches par-group execution to true VLIW row
+	// semantics: every member's reads (conditions, subscripts, right-hand
+	// sides) are evaluated against the state BEFORE the row, then all
+	// writes commit in order — the paper's footnote-1 model. Sequential
+	// execution of a valid row must give the same result; running the
+	// test suite under both modes verifies the scheduler's ‖ claims.
+	ParallelPar bool
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{Scalars: make(map[string]Value), Arrays: make(map[string]*Array)}
+}
+
+// Clone deep-copies the environment (used to run a program twice on the
+// same inputs).
+func (e *Env) Clone() *Env {
+	c := NewEnv()
+	for k, v := range e.Scalars {
+		c.Scalars[k] = v
+	}
+	for k, a := range e.Arrays {
+		c.Arrays[k] = a.Clone()
+	}
+	c.MaxSteps = e.MaxSteps
+	return c
+}
+
+// SetScalar binds a scalar.
+func (e *Env) SetScalar(name string, v Value) { e.Scalars[name] = v }
+
+// SetFloatArray installs a float array with the given data (1-D).
+func (e *Env) SetFloatArray(name string, data []float64) {
+	a := &Array{Type: source.TFloat, Dims: []int{len(data)}, F: append([]float64(nil), data...)}
+	e.Arrays[name] = a
+}
+
+// SetFloatArrayDims installs a float array with explicit dimensions; the
+// row-major data length must equal the product of dims.
+func (e *Env) SetFloatArrayDims(name string, dims []int, data []float64) {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("interp: SetFloatArrayDims(%s): %d elements for dims %v", name, len(data), dims))
+	}
+	e.Arrays[name] = &Array{
+		Type: source.TFloat,
+		Dims: append([]int(nil), dims...),
+		F:    append([]float64(nil), data...),
+	}
+}
+
+// SetIntArray installs an int array with the given data (1-D).
+func (e *Env) SetIntArray(name string, data []int64) {
+	a := &Array{Type: source.TInt, Dims: []int{len(data)}, I: append([]int64(nil), data...)}
+	e.Arrays[name] = a
+}
+
+// control models break/continue propagation.
+type control int
+
+const (
+	ctlNone control = iota
+	ctlBreak
+	ctlContinue
+)
+
+type interp struct {
+	env *Env
+	max int64
+}
+
+// Run executes the program against env. Declarations allocate (or
+// re-shape) variables; arrays already present in env keep their data if
+// the shape matches, so harnesses can pre-load inputs before running.
+func Run(p *source.Program, env *Env) error {
+	in := &interp{env: env, max: env.MaxSteps}
+	if in.max == 0 {
+		in.max = 100_000_000
+	}
+	_, err := in.block(p.Stmts)
+	return err
+}
+
+func (in *interp) tick() error {
+	in.env.Steps++
+	if in.env.Steps > in.max {
+		return fmt.Errorf("interp: step limit %d exceeded (infinite loop?)", in.max)
+	}
+	return nil
+}
+
+func (in *interp) block(stmts []source.Stmt) (control, error) {
+	for _, s := range stmts {
+		c, err := in.stmt(s)
+		if err != nil {
+			return ctlNone, err
+		}
+		if c != ctlNone {
+			return c, nil
+		}
+	}
+	return ctlNone, nil
+}
+
+func (in *interp) stmt(s source.Stmt) (control, error) {
+	if err := in.tick(); err != nil {
+		return ctlNone, err
+	}
+	switch s := s.(type) {
+	case *source.Decl:
+		return ctlNone, in.decl(s)
+	case *source.Assign:
+		return ctlNone, in.assign(s)
+	case *source.If:
+		c, err := in.eval(s.Cond)
+		if err != nil {
+			return ctlNone, err
+		}
+		if c.B {
+			return in.block(s.Then.Stmts)
+		}
+		if s.Else != nil {
+			return in.block(s.Else.Stmts)
+		}
+		return ctlNone, nil
+	case *source.For:
+		if s.Init != nil {
+			if _, err := in.stmt(s.Init); err != nil {
+				return ctlNone, err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				c, err := in.eval(s.Cond)
+				if err != nil {
+					return ctlNone, err
+				}
+				if !c.B {
+					break
+				}
+			}
+			ctl, err := in.block(s.Body.Stmts)
+			if err != nil {
+				return ctlNone, err
+			}
+			if ctl == ctlBreak {
+				break
+			}
+			if s.Post != nil {
+				if _, err := in.stmt(s.Post); err != nil {
+					return ctlNone, err
+				}
+			}
+			if err := in.tick(); err != nil {
+				return ctlNone, err
+			}
+		}
+		return ctlNone, nil
+	case *source.While:
+		for {
+			c, err := in.eval(s.Cond)
+			if err != nil {
+				return ctlNone, err
+			}
+			if !c.B {
+				return ctlNone, nil
+			}
+			ctl, err := in.block(s.Body.Stmts)
+			if err != nil {
+				return ctlNone, err
+			}
+			if ctl == ctlBreak {
+				return ctlNone, nil
+			}
+			if err := in.tick(); err != nil {
+				return ctlNone, err
+			}
+		}
+	case *source.Block:
+		return in.block(s.Stmts)
+	case *source.Par:
+		if in.env.ParallelPar {
+			return ctlNone, in.parallelPar(s)
+		}
+		// Reference semantics of a par group is sequential execution; the
+		// scheduler guarantees the members are independent.
+		return in.block(s.Stmts)
+	case *source.Break:
+		return ctlBreak, nil
+	case *source.Continue:
+		return ctlContinue, nil
+	case *source.ExprStmt:
+		_, err := in.eval(s.X)
+		return ctlNone, err
+	}
+	return ctlNone, fmt.Errorf("interp: unknown statement %T", s)
+}
+
+// pendingWrite is one deferred store of a VLIW row.
+type pendingWrite struct {
+	scalar string // non-empty for scalar targets
+	arr    *Array
+	idx    []int
+	val    Value
+	want   source.Type
+	skip   bool // predicated member whose predicate was false
+}
+
+// parallelPar executes a par group with read-before-write semantics:
+// every top-level member evaluates its reads against the pre-row state
+// (a Block member is one unit and sees its own earlier writes — it
+// occupies one issue slot chain), then all members' writes commit in
+// member order. This is the paper's footnote-1 VLIW model; sequential
+// elaboration of a valid row must give identical results.
+func (in *interp) parallelPar(p *source.Par) error {
+	var writes []pendingWrite
+	for _, st := range p.Stmts {
+		if err := in.tick(); err != nil {
+			return err
+		}
+		ov := &overlay{in: in}
+		if err := ov.eval(st); err != nil {
+			return err
+		}
+		writes = append(writes, ov.writes...)
+	}
+	for _, w := range writes {
+		if w.skip {
+			continue
+		}
+		if w.scalar != "" {
+			in.env.Scalars[w.scalar] = convert(w.val, w.want)
+			continue
+		}
+		if err := w.arr.Set(w.val, w.idx...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overlay evaluates one row member: reads see the pre-row state plus the
+// member's OWN earlier pending writes.
+type overlay struct {
+	in     *interp
+	writes []pendingWrite
+}
+
+func (ov *overlay) eval(s source.Stmt) error {
+	switch s := s.(type) {
+	case *source.Assign:
+		w, err := ov.evalWrite(s)
+		if err != nil {
+			return err
+		}
+		ov.writes = append(ov.writes, w)
+		return nil
+	case *source.If:
+		c, err := ov.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		branch := s.Then
+		if !c.B {
+			branch = s.Else
+		}
+		if branch == nil {
+			return nil
+		}
+		for _, st := range branch.Stmts {
+			if err := ov.eval(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *source.Block:
+		for _, st := range s.Stmts {
+			if err := ov.eval(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *source.ExprStmt:
+		_, err := ov.expr(s.X)
+		return err
+	default:
+		return fmt.Errorf("interp: statement %T cannot run in a parallel row", s)
+	}
+}
+
+// expr evaluates e, resolving reads through the member's pending writes.
+func (ov *overlay) expr(e source.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *source.VarRef:
+		for k := len(ov.writes) - 1; k >= 0; k-- {
+			w := ov.writes[k]
+			if !w.skip && w.scalar == e.Name {
+				return convert(w.val, w.want), nil
+			}
+		}
+		return ov.in.eval(e)
+	case *source.IndexExpr:
+		arr, idx, err := ov.indexOf(e)
+		if err != nil {
+			return Value{}, err
+		}
+		for k := len(ov.writes) - 1; k >= 0; k-- {
+			w := ov.writes[k]
+			if !w.skip && w.arr == arr && sameIdx(w.idx, idx) {
+				return w.val, nil
+			}
+		}
+		return arr.Get(idx...)
+	case *source.Binary:
+		if e.Op == source.OpAnd || e.Op == source.OpOr {
+			x, err := ov.expr(e.X)
+			if err != nil {
+				return Value{}, err
+			}
+			if e.Op == source.OpAnd && !x.B {
+				return BoolVal(false), nil
+			}
+			if e.Op == source.OpOr && x.B {
+				return BoolVal(true), nil
+			}
+			y, err := ov.expr(e.Y)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(y.B), nil
+		}
+		x, err := ov.expr(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := ov.expr(e.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		return binop(e.Op, x, y)
+	case *source.Unary:
+		x, err := ov.expr(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == source.OpNot {
+			return BoolVal(!x.B), nil
+		}
+		if x.T == source.TInt {
+			return IntVal(-x.I), nil
+		}
+		return FloatVal(-x.F), nil
+	case *source.CondExpr:
+		c, err := ov.expr(e.Cond)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.B {
+			return ov.expr(e.A)
+		}
+		return ov.expr(e.B)
+	case *source.Call:
+		// Rebuild a Call with pre-evaluated arguments is overkill; the
+		// arguments may read overlaid values, so evaluate them here and
+		// delegate through a literal rewrite.
+		clone := &source.Call{P: e.P, Name: e.Name}
+		for _, a := range e.Args {
+			v, err := ov.expr(a)
+			if err != nil {
+				return Value{}, err
+			}
+			clone.Args = append(clone.Args, litOf(v))
+		}
+		return ov.in.call(clone)
+	default:
+		return ov.in.eval(e)
+	}
+}
+
+func litOf(v Value) source.Expr {
+	switch v.T {
+	case source.TInt:
+		return &source.IntLit{Value: v.I}
+	case source.TBool:
+		return &source.BoolLit{Value: v.B}
+	default:
+		return &source.FloatLit{Value: v.F}
+	}
+}
+
+func (ov *overlay) indexOf(ix *source.IndexExpr) (*Array, []int, error) {
+	arr, ok := ov.in.env.Arrays[ix.Name]
+	if !ok {
+		return nil, nil, fmt.Errorf("interp: array %q not allocated", ix.Name)
+	}
+	idx := make([]int, len(ix.Indices))
+	for k, e := range ix.Indices {
+		v, err := ov.expr(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[k] = int(v.AsInt())
+	}
+	return arr, idx, nil
+}
+
+func sameIdx(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalWrite evaluates an assignment against the member's view without
+// committing it.
+func (ov *overlay) evalWrite(a *source.Assign) (pendingWrite, error) {
+	rhs, err := ov.expr(a.RHS)
+	if err != nil {
+		return pendingWrite{}, err
+	}
+	if a.Op != source.AEq {
+		cur, err := ov.expr(a.LHS)
+		if err != nil {
+			return pendingWrite{}, err
+		}
+		rhs, err = binop(a.Op.BinOp(), cur, rhs)
+		if err != nil {
+			return pendingWrite{}, err
+		}
+	}
+	switch lhs := a.LHS.(type) {
+	case *source.VarRef:
+		want := rhs.T
+		if old, ok := ov.in.env.Scalars[lhs.Name]; ok {
+			want = old.T
+		}
+		return pendingWrite{scalar: lhs.Name, val: rhs, want: want}, nil
+	case *source.IndexExpr:
+		arr, idx, err := ov.indexOf(lhs)
+		if err != nil {
+			return pendingWrite{}, err
+		}
+		if _, err := arr.flatten(idx); err != nil {
+			return pendingWrite{}, err
+		}
+		return pendingWrite{arr: arr, idx: idx, val: rhs}, nil
+	}
+	return pendingWrite{}, fmt.Errorf("interp: invalid assignment target %T", a.LHS)
+}
+
+func (in *interp) decl(d *source.Decl) error {
+	if len(d.Dims) == 0 {
+		v := Value{T: d.Type}
+		if d.Init != nil {
+			iv, err := in.eval(d.Init)
+			if err != nil {
+				return err
+			}
+			v = convert(iv, d.Type)
+		}
+		// Keep pre-loaded scalar inputs when there is no initializer.
+		if _, ok := in.env.Scalars[d.Name]; !ok || d.Init != nil {
+			in.env.Scalars[d.Name] = v
+		}
+		return nil
+	}
+	dims := make([]int, len(d.Dims))
+	for i, de := range d.Dims {
+		dv, err := in.eval(de)
+		if err != nil {
+			return err
+		}
+		if dv.AsInt() <= 0 {
+			return fmt.Errorf("interp: array %q has non-positive dimension %d", d.Name, dv.AsInt())
+		}
+		dims[i] = int(dv.AsInt())
+	}
+	// Keep pre-loaded array data if the shape matches.
+	if old, ok := in.env.Arrays[d.Name]; ok && sameDims(old.Dims, dims) && old.Type == d.Type {
+		return nil
+	}
+	in.env.Arrays[d.Name] = NewArray(d.Type, dims...)
+	return nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *interp) assign(a *source.Assign) error {
+	rhs, err := in.eval(a.RHS)
+	if err != nil {
+		return err
+	}
+	if a.Op != source.AEq {
+		cur, err := in.eval(a.LHS)
+		if err != nil {
+			return err
+		}
+		rhs, err = binop(a.Op.BinOp(), cur, rhs)
+		if err != nil {
+			return err
+		}
+	}
+	switch lhs := a.LHS.(type) {
+	case *source.VarRef:
+		if old, ok := in.env.Scalars[lhs.Name]; ok {
+			in.env.Scalars[lhs.Name] = convert(rhs, old.T)
+		} else {
+			in.env.Scalars[lhs.Name] = rhs
+		}
+		return nil
+	case *source.IndexExpr:
+		arr, idx, err := in.indexOf(lhs)
+		if err != nil {
+			return err
+		}
+		return arr.Set(rhs, idx...)
+	}
+	return fmt.Errorf("interp: invalid assignment target %T", a.LHS)
+}
+
+func convert(v Value, t source.Type) Value {
+	if v.T == t || t == source.TUnknown {
+		return v
+	}
+	switch t {
+	case source.TInt:
+		return IntVal(v.AsInt())
+	case source.TFloat:
+		return FloatVal(v.AsFloat())
+	}
+	return v
+}
+
+func (in *interp) indexOf(ix *source.IndexExpr) (*Array, []int, error) {
+	arr, ok := in.env.Arrays[ix.Name]
+	if !ok {
+		return nil, nil, fmt.Errorf("interp: array %q not allocated", ix.Name)
+	}
+	idx := make([]int, len(ix.Indices))
+	for k, e := range ix.Indices {
+		v, err := in.eval(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[k] = int(v.AsInt())
+	}
+	return arr, idx, nil
+}
+
+func (in *interp) eval(e source.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *source.IntLit:
+		return IntVal(e.Value), nil
+	case *source.FloatLit:
+		return FloatVal(e.Value), nil
+	case *source.BoolLit:
+		return BoolVal(e.Value), nil
+	case *source.VarRef:
+		v, ok := in.env.Scalars[e.Name]
+		if !ok {
+			// Implicit scalars read before any write start at zero; their
+			// type is unknown so default to int 0 which converts freely.
+			return IntVal(0), nil
+		}
+		return v, nil
+	case *source.IndexExpr:
+		arr, idx, err := in.indexOf(e)
+		if err != nil {
+			return Value{}, fmt.Errorf("%v (array %q at %s)", err, e.Name, e.Pos())
+		}
+		return arr.Get(idx...)
+	case *source.Unary:
+		x, err := in.eval(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case source.OpNot:
+			return BoolVal(!x.B), nil
+		case source.OpNeg:
+			if x.T == source.TInt {
+				return IntVal(-x.I), nil
+			}
+			return FloatVal(-x.F), nil
+		}
+		return Value{}, fmt.Errorf("interp: bad unary op")
+	case *source.Binary:
+		// Short-circuit booleans.
+		if e.Op == source.OpAnd || e.Op == source.OpOr {
+			x, err := in.eval(e.X)
+			if err != nil {
+				return Value{}, err
+			}
+			if e.Op == source.OpAnd && !x.B {
+				return BoolVal(false), nil
+			}
+			if e.Op == source.OpOr && x.B {
+				return BoolVal(true), nil
+			}
+			y, err := in.eval(e.Y)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(y.B), nil
+		}
+		x, err := in.eval(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := in.eval(e.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		return binop(e.Op, x, y)
+	case *source.CondExpr:
+		c, err := in.eval(e.Cond)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.B {
+			return in.eval(e.A)
+		}
+		return in.eval(e.B)
+	case *source.Call:
+		return in.call(e)
+	}
+	return Value{}, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func binop(op source.Op, x, y Value) (Value, error) {
+	if op.IsComparison() {
+		if x.T == source.TBool || y.T == source.TBool {
+			switch op {
+			case source.OpEQ:
+				return BoolVal(x.B == y.B), nil
+			case source.OpNE:
+				return BoolVal(x.B != y.B), nil
+			}
+			return Value{}, fmt.Errorf("interp: ordered comparison of bools")
+		}
+		if x.T == source.TInt && y.T == source.TInt {
+			a, b := x.I, y.I
+			switch op {
+			case source.OpLT:
+				return BoolVal(a < b), nil
+			case source.OpLE:
+				return BoolVal(a <= b), nil
+			case source.OpGT:
+				return BoolVal(a > b), nil
+			case source.OpGE:
+				return BoolVal(a >= b), nil
+			case source.OpEQ:
+				return BoolVal(a == b), nil
+			case source.OpNE:
+				return BoolVal(a != b), nil
+			}
+		}
+		a, b := x.AsFloat(), y.AsFloat()
+		switch op {
+		case source.OpLT:
+			return BoolVal(a < b), nil
+		case source.OpLE:
+			return BoolVal(a <= b), nil
+		case source.OpGT:
+			return BoolVal(a > b), nil
+		case source.OpGE:
+			return BoolVal(a >= b), nil
+		case source.OpEQ:
+			return BoolVal(a == b), nil
+		case source.OpNE:
+			return BoolVal(a != b), nil
+		}
+	}
+	if x.T == source.TInt && y.T == source.TInt {
+		a, b := x.I, y.I
+		switch op {
+		case source.OpAdd:
+			return IntVal(a + b), nil
+		case source.OpSub:
+			return IntVal(a - b), nil
+		case source.OpMul:
+			return IntVal(a * b), nil
+		case source.OpDiv:
+			if b == 0 {
+				return Value{}, fmt.Errorf("interp: integer division by zero")
+			}
+			return IntVal(a / b), nil
+		case source.OpMod:
+			if b == 0 {
+				return Value{}, fmt.Errorf("interp: integer modulo by zero")
+			}
+			return IntVal(a % b), nil
+		}
+	}
+	a, b := x.AsFloat(), y.AsFloat()
+	switch op {
+	case source.OpAdd:
+		return FloatVal(a + b), nil
+	case source.OpSub:
+		return FloatVal(a - b), nil
+	case source.OpMul:
+		return FloatVal(a * b), nil
+	case source.OpDiv:
+		return FloatVal(a / b), nil
+	case source.OpMod:
+		return Value{}, fmt.Errorf("interp: %% requires int operands")
+	}
+	return Value{}, fmt.Errorf("interp: bad binary op %v", op)
+}
+
+func (in *interp) call(c *source.Call) (Value, error) {
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := in.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	name := strings.ToLower(c.Name)
+	switch name {
+	case "abs":
+		if args[0].T == source.TInt {
+			if args[0].I < 0 {
+				return IntVal(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		return FloatVal(math.Abs(args[0].F)), nil
+	case "sqrt":
+		return FloatVal(math.Sqrt(args[0].AsFloat())), nil
+	case "exp":
+		return FloatVal(math.Exp(args[0].AsFloat())), nil
+	case "log":
+		return FloatVal(math.Log(args[0].AsFloat())), nil
+	case "sin":
+		return FloatVal(math.Sin(args[0].AsFloat())), nil
+	case "cos":
+		return FloatVal(math.Cos(args[0].AsFloat())), nil
+	case "pow":
+		return FloatVal(math.Pow(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "min":
+		if args[0].T == source.TInt && args[1].T == source.TInt {
+			return IntVal(min(args[0].I, args[1].I)), nil
+		}
+		return FloatVal(math.Min(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "max":
+		if args[0].T == source.TInt && args[1].T == source.TInt {
+			return IntVal(max(args[0].I, args[1].I)), nil
+		}
+		return FloatVal(math.Max(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "sign":
+		// Fortran SIGN(a, b): |a| with the sign of b.
+		if args[0].T == source.TInt && args[1].T == source.TInt {
+			a := args[0].I
+			if a < 0 {
+				a = -a
+			}
+			if args[1].I < 0 {
+				a = -a
+			}
+			return IntVal(a), nil
+		}
+		return FloatVal(math.Copysign(math.Abs(args[0].AsFloat()), args[1].AsFloat())), nil
+	case "mod":
+		if args[0].T == source.TInt && args[1].T == source.TInt {
+			if args[1].I == 0 {
+				return Value{}, fmt.Errorf("interp: mod by zero")
+			}
+			return IntVal(args[0].I % args[1].I), nil
+		}
+		return FloatVal(math.Mod(args[0].AsFloat(), args[1].AsFloat())), nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown function %q", c.Name)
+}

@@ -1,0 +1,322 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slms/internal/source"
+)
+
+func run(t *testing.T, src string, env *Env) *Env {
+	t.Helper()
+	if env == nil {
+		env = NewEnv()
+	}
+	if err := Run(source.MustParse(src), env); err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return env
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	env := run(t, `
+		int a = 7;
+		int b = 3;
+		int q = a / b;
+		int r = a % b;
+		float x = a / 2.0;
+	`, nil)
+	if env.Scalars["q"].I != 2 || env.Scalars["r"].I != 1 {
+		t.Errorf("int div/mod: q=%v r=%v", env.Scalars["q"], env.Scalars["r"])
+	}
+	if env.Scalars["x"].F != 3.5 {
+		t.Errorf("float div: %v", env.Scalars["x"])
+	}
+}
+
+func TestForLoopSum(t *testing.T) {
+	env := run(t, `
+		int n = 10;
+		int s = 0;
+		for (i = 0; i < n; i++) { s += i; }
+	`, nil)
+	if env.Scalars["s"].I != 45 {
+		t.Errorf("s = %v, want 45", env.Scalars["s"])
+	}
+}
+
+func TestArrayRecurrence(t *testing.T) {
+	env := run(t, `
+		float A[8];
+		A[0] = 1.0;
+		for (i = 1; i < 8; i++) { A[i] = A[i-1] * 2.0; }
+	`, nil)
+	a := env.Arrays["A"]
+	for i := 0; i < 8; i++ {
+		if a.F[i] != math.Pow(2, float64(i)) {
+			t.Errorf("A[%d] = %v", i, a.F[i])
+		}
+	}
+}
+
+func Test2DArray(t *testing.T) {
+	env := run(t, `
+		float X[3][4];
+		for (i = 0; i < 3; i++) {
+			for (j = 0; j < 4; j++) { X[i][j] = i * 10 + j; }
+		}
+		float v = X[2][3];
+	`, nil)
+	if env.Scalars["v"].F != 23 {
+		t.Errorf("X[2][3] = %v, want 23", env.Scalars["v"])
+	}
+}
+
+func TestIfElseAndPredication(t *testing.T) {
+	env := run(t, `
+		int x = 5;
+		int y = 0;
+		if (x > 3) { y = 1; } else { y = 2; }
+		bool c = x < 10;
+		if (c) y += 10;
+		if (!c) y += 100;
+	`, nil)
+	if env.Scalars["y"].I != 11 {
+		t.Errorf("y = %v, want 11", env.Scalars["y"])
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	env := run(t, `
+		int i = 0;
+		int s = 0;
+		while (true) {
+			i++;
+			if (i > 10) break;
+			if (i % 2 == 0) continue;
+			s += i;
+		}
+	`, nil)
+	if env.Scalars["s"].I != 25 { // 1+3+5+7+9
+		t.Errorf("s = %v, want 25", env.Scalars["s"])
+	}
+}
+
+func TestParSequentialSemantics(t *testing.T) {
+	env := run(t, `
+		float a = 0.0;
+		par { a = 1.0; b = a + 1.0; }
+	`, nil)
+	if env.Scalars["b"].F != 2 {
+		t.Errorf("par is not sequential: b = %v", env.Scalars["b"])
+	}
+}
+
+func TestPreloadedInputsSurviveDecl(t *testing.T) {
+	env := NewEnv()
+	env.SetFloatArray("A", []float64{5, 6, 7})
+	env.SetScalar("n", IntVal(3))
+	run(t, `
+		int n;
+		float A[3];
+		float s = 0.0;
+		for (i = 0; i < n; i++) { s += A[i]; }
+	`, env)
+	if env.Scalars["s"].F != 18 {
+		t.Errorf("s = %v, want 18", env.Scalars["s"])
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	env := NewEnv()
+	err := Run(source.MustParse("float A[4]; x = A[4];"), env)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected out-of-range error, got %v", err)
+	}
+	err = Run(source.MustParse("float A[4]; A[0-1] = 2.0;"), NewEnv())
+	if err == nil {
+		t.Error("expected negative-index error")
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if err := Run(source.MustParse("int a = 1 / 0;"), NewEnv()); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+	// Float division by zero is IEEE inf, not an error.
+	env := run(t, "float x = 1.0 / 0.0;", nil)
+	if !math.IsInf(env.Scalars["x"].F, 1) {
+		t.Errorf("float 1/0 = %v, want +inf", env.Scalars["x"])
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	env := NewEnv()
+	env.MaxSteps = 1000
+	err := Run(source.MustParse("while (true) { x = 1.0; }"), env)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	env := run(t, `
+		float a = sqrt(16.0);
+		float b = abs(0.0 - 3.5);
+		int c = abs(0 - 4);
+		float d = max(2.0, 7.0);
+		int e = min(4, 2);
+		float f = sign(3.0, 0.0 - 1.0);
+		float g = pow(2.0, 10.0);
+	`, nil)
+	checks := map[string]float64{"a": 4, "b": 3.5, "d": 7, "f": -3, "g": 1024}
+	for k, want := range checks {
+		if got := env.Scalars[k].F; got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+	if env.Scalars["c"].I != 4 || env.Scalars["e"].I != 2 {
+		t.Errorf("int intrinsics: c=%v e=%v", env.Scalars["c"], env.Scalars["e"])
+	}
+}
+
+func TestTernaryAndShortCircuit(t *testing.T) {
+	env := run(t, `
+		float A[2];
+		A[0] = 5.0;
+		int i = 0;
+		// Short circuit must protect the out-of-bounds access.
+		bool ok = i < 0 && A[i - 100] > 0.0;
+		x = ok ? 1.0 : 2.0;
+	`, nil)
+	if env.Scalars["x"].F != 2 {
+		t.Errorf("x = %v, want 2", env.Scalars["x"])
+	}
+}
+
+func TestCompoundAssignOnArray(t *testing.T) {
+	env := run(t, `
+		float A[3];
+		A[1] = 10.0;
+		A[1] += 5.0;
+		A[1] *= 2.0;
+		A[1] -= 3.0;
+		A[1] /= 9.0;
+	`, nil)
+	if got := env.Arrays["A"].F[1]; got != 3 {
+		t.Errorf("A[1] = %v, want 3", got)
+	}
+}
+
+func TestIntArrayStoresTruncate(t *testing.T) {
+	env := run(t, `
+		int A[2];
+		A[0] = 3.9;
+	`, nil)
+	if got := env.Arrays["A"].I[0]; got != 3 {
+		t.Errorf("A[0] = %v, want 3 (C truncation)", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	e1 := NewEnv()
+	e1.SetFloatArray("A", []float64{1, 2, 3})
+	e1.SetScalar("x", FloatVal(1.0))
+	e1.SetScalar("tmp9", FloatVal(42))
+	e2 := e1.Clone()
+	if d := Compare(e1, e2, CompareOpts{}); len(d) != 0 {
+		t.Errorf("identical envs differ: %v", d)
+	}
+	e2.Arrays["A"].F[1] = 2.5
+	if d := Compare(e1, e2, CompareOpts{}); len(d) != 1 {
+		t.Errorf("want 1 diff, got %v", d)
+	}
+	// Tolerance absorbs small drift.
+	e2.Arrays["A"].F[1] = 2 + 1e-12
+	if d := Compare(e1, e2, CompareOpts{FloatTol: 1e-9}); len(d) != 0 {
+		t.Errorf("tolerance ignored: %v", d)
+	}
+	// Scalar present on one side only is not a diff.
+	delete(e2.Scalars, "tmp9")
+	e2.Arrays["A"].F[1] = 2
+	if d := Compare(e1, e2, CompareOpts{}); len(d) != 0 {
+		t.Errorf("one-sided scalar reported: %v", d)
+	}
+}
+
+func TestVLADecl(t *testing.T) {
+	env := NewEnv()
+	env.SetScalar("n", IntVal(5))
+	run(t, `
+		int n;
+		float T[n + 2];
+		for (i = 0; i < n + 2; i++) { T[i] = i; }
+	`, env)
+	if got := env.Arrays["T"].Len(); got != 7 {
+		t.Errorf("VLA length = %d, want 7", got)
+	}
+}
+
+func TestParallelParSemantics(t *testing.T) {
+	// Under parallel row semantics, reads see the pre-row state; a valid
+	// anti-dependent row gives the same result either way, and a
+	// flow-dependent row (invalid as a parallel row) differs.
+	anti := `
+		float a = 1.0; float b = 0.0;
+		par { b = a + 1.0; a = 10.0; }
+	`
+	seq, par := interp2(t, anti)
+	if seq.Scalars["b"].F != 2 || par.Scalars["b"].F != 2 {
+		t.Errorf("anti row: seq b=%v par b=%v, want 2", seq.Scalars["b"], par.Scalars["b"])
+	}
+	if par.Scalars["a"].F != 10 {
+		t.Errorf("write lost: a=%v", par.Scalars["a"])
+	}
+	flow := `
+		float a = 1.0; float b = 0.0;
+		par { a = 10.0; b = a + 1.0; }
+	`
+	seq2, par2 := interp2(t, flow)
+	if seq2.Scalars["b"].F != 11 {
+		t.Errorf("sequential flow row: b=%v, want 11", seq2.Scalars["b"])
+	}
+	if par2.Scalars["b"].F != 2 {
+		t.Errorf("parallel flow row must read the OLD a: b=%v, want 2", par2.Scalars["b"])
+	}
+}
+
+func TestParallelParPredicated(t *testing.T) {
+	src := `
+		float a[8];
+		a[0] = 1.0; a[1] = 5.0;
+		bool p = true;
+		par {
+			if (p) a[2] = a[0] + a[1];
+			p = a[0] > 2.0;
+		}
+	`
+	seq, par := interp2(t, src)
+	for _, env := range []*Env{seq, par} {
+		if env.Arrays["a"].F[2] != 6 {
+			t.Errorf("a[2] = %v, want 6", env.Arrays["a"].F[2])
+		}
+		if env.Scalars["p"].B {
+			t.Error("p should be false after the row")
+		}
+	}
+}
+
+func interp2(t *testing.T, src string) (*Env, *Env) {
+	t.Helper()
+	seq := NewEnv()
+	if err := Run(source.MustParse(src), seq); err != nil {
+		t.Fatal(err)
+	}
+	par := NewEnv()
+	par.ParallelPar = true
+	if err := Run(source.MustParse(src), par); err != nil {
+		t.Fatal(err)
+	}
+	return seq, par
+}

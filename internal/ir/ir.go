@@ -1,0 +1,328 @@
+// Package ir defines the three-address virtual instruction set the final
+// compiler lowers mini-C programs into. The representation is a CFG of
+// basic blocks over an unbounded set of virtual registers; loads and
+// stores address named arrays by flattened element index and carry an
+// optional affine tag (the subscript as an affine function of the
+// innermost loop variable) that the schedulers use for memory
+// disambiguation — modelling a compiler front end that forwards its
+// dependence analysis to the back end.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"slms/internal/dep"
+	"slms/internal/source"
+)
+
+// Op is a virtual instruction opcode.
+type Op int
+
+// Opcodes.
+const (
+	Nop     Op = iota
+	Mov        // dst = a
+	Add        // dst = a + b
+	Sub        // dst = a - b
+	Mul        // dst = a * b
+	Div        // dst = a / b
+	Mod        // dst = a % b (int)
+	Neg        // dst = -a
+	CmpLT      // dst = a < b
+	CmpLE      // dst = a <= b
+	CmpGT      // dst = a > b
+	CmpGE      // dst = a >= b
+	CmpEQ      // dst = a == b
+	CmpNE      // dst = a != b
+	And        // dst = a && b
+	Or         // dst = a || b
+	Not        // dst = !a
+	Cvt        // dst = convert a to Type
+	Load       // dst = Arr[a]         (a = flattened element index)
+	Store      // Arr[a] = b
+	Call       // dst = Fn(args...)    (math intrinsic)
+	Select     // dst = a ? b : c      (predication / conditional move)
+	Br         // goto Target
+	BrTrue     // if a goto Target else fall through
+	BrFalse    // if !a goto Target else fall through
+	Halt       // end of program
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Mov: "mov", Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+	Mod: "mod", Neg: "neg",
+	CmpLT: "cmplt", CmpLE: "cmple", CmpGT: "cmpgt", CmpGE: "cmpge",
+	CmpEQ: "cmpeq", CmpNE: "cmpne",
+	And: "and", Or: "or", Not: "not", Cvt: "cvt",
+	Load: "ld", Store: "st", Call: "call", Select: "sel",
+	Br: "br", BrTrue: "brt", BrFalse: "brf", Halt: "halt",
+}
+
+// String renders the opcode mnemonic.
+func (o Op) String() string { return opNames[o] }
+
+// IsBranch reports whether the op ends a basic block.
+func (o Op) IsBranch() bool { return o == Br || o == BrTrue || o == BrFalse || o == Halt }
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// ValKind discriminates operand kinds.
+type ValKind int
+
+// Operand kinds.
+const (
+	KReg ValKind = iota
+	KInt
+	KFloat
+	KBool
+)
+
+// Val is an instruction operand: a virtual register or an immediate.
+type Val struct {
+	Kind ValKind
+	Reg  int
+	I    int64
+	F    float64
+	B    bool
+}
+
+// R makes a register operand.
+func R(reg int) Val { return Val{Kind: KReg, Reg: reg} }
+
+// ImmI makes an integer immediate.
+func ImmI(v int64) Val { return Val{Kind: KInt, I: v} }
+
+// ImmF makes a float immediate.
+func ImmF(v float64) Val { return Val{Kind: KFloat, F: v} }
+
+// ImmB makes a bool immediate.
+func ImmB(v bool) Val { return Val{Kind: KBool, B: v} }
+
+// String renders the operand.
+func (v Val) String() string {
+	switch v.Kind {
+	case KReg:
+		return fmt.Sprintf("r%d", v.Reg)
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KBool:
+		return fmt.Sprintf("%t", v.B)
+	}
+	return "?"
+}
+
+// AffineTag is the memory-disambiguation tag on loads/stores: the
+// original source subscripts as affine functions of the innermost loop
+// variable, valid only within the tagged loop (LoopID). A "strong" final
+// compiler uses the tags to compute exact cross-iteration memory
+// dependence distances; a "weak" one ignores them and treats every
+// same-array pair as dependent.
+type AffineTag struct {
+	Valid  bool
+	LoopID int
+	Dims   []dep.Affine // one per source subscript dimension
+}
+
+// TagDistance compares two memory tags like the source-level dependence
+// test: it reports whether the accesses can collide and at which
+// iteration distance (d = iteration(b) - iteration(a)).
+func TagDistance(a, b AffineTag) (dep.DistResult, int64) {
+	if !a.Valid || !b.Valid || a.LoopID != b.LoopID || len(a.Dims) != len(b.Dims) {
+		return dep.DistUnknown, 0
+	}
+	res := dep.DistAlways
+	var dist int64
+	have := false
+	for k := range a.Dims {
+		r, d := dep.SubscriptDistance(a.Dims[k], b.Dims[k])
+		switch r {
+		case dep.DistNone:
+			return dep.DistNone, 0
+		case dep.DistUnknown:
+			res = dep.DistUnknown
+		case dep.DistExact:
+			if have && d != dist {
+				return dep.DistNone, 0
+			}
+			have, dist = true, d
+			if res == dep.DistAlways {
+				res = dep.DistExact
+			}
+		}
+	}
+	if res == dep.DistExact {
+		return res, dist
+	}
+	return res, 0
+}
+
+// Instr is one three-address instruction.
+type Instr struct {
+	Op   Op
+	Type source.Type // operation/result type
+	Dst  int         // destination virtual register, -1 if none
+	Args []Val
+	Arr  string // Load/Store: array name
+	Fn   string // Call: intrinsic name
+	// Target is the destination block ID for branches.
+	Target int
+	// Tag disambiguates memory accesses.
+	Tag AffineTag
+}
+
+// String renders the instruction.
+func (in *Instr) String() string {
+	var args []string
+	for _, a := range in.Args {
+		args = append(args, a.String())
+	}
+	switch in.Op {
+	case Load:
+		return fmt.Sprintf("r%d = ld %s[%s]", in.Dst, in.Arr, args[0])
+	case Store:
+		return fmt.Sprintf("st %s[%s], %s", in.Arr, args[0], args[1])
+	case Br:
+		return fmt.Sprintf("br b%d", in.Target)
+	case BrTrue:
+		return fmt.Sprintf("brt %s, b%d", args[0], in.Target)
+	case BrFalse:
+		return fmt.Sprintf("brf %s, b%d", args[0], in.Target)
+	case Halt:
+		return "halt"
+	case Call:
+		return fmt.Sprintf("r%d = call %s(%s)", in.Dst, in.Fn, strings.Join(args, ", "))
+	}
+	if in.Dst >= 0 {
+		return fmt.Sprintf("r%d = %s %s", in.Dst, in.Op, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("%s %s", in.Op, strings.Join(args, ", "))
+}
+
+// Uses returns the registers read by the instruction.
+func (in *Instr) Uses() []int {
+	var rs []int
+	for _, a := range in.Args {
+		if a.Kind == KReg {
+			rs = append(rs, a.Reg)
+		}
+	}
+	return rs
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Instrs []*Instr
+	// LoopID != 0 marks the block as (part of) the body of that loop;
+	// the innermost-loop body blocks are candidates for modulo
+	// scheduling by the strong final compiler.
+	LoopID int
+	// IsLoopBody is true for the single body block of an innermost loop
+	// whose body is branch-free (counted or while).
+	IsLoopBody bool
+	// Counted marks bodies of canonical counted loops — the only ones a
+	// machine-level modulo scheduler may pipeline (while-loop bodies are
+	// rotated but never modulo scheduled).
+	Counted bool
+}
+
+// Succs returns the possible successor block IDs (fallthrough is ID+1 by
+// construction; the builder guarantees the next block exists).
+func (b *Block) Succs(numBlocks int) []int {
+	if len(b.Instrs) == 0 {
+		if b.ID+1 < numBlocks {
+			return []int{b.ID + 1}
+		}
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	switch last.Op {
+	case Br:
+		return []int{last.Target}
+	case BrTrue, BrFalse:
+		if b.ID+1 < numBlocks {
+			return []int{last.Target, b.ID + 1}
+		}
+		return []int{last.Target}
+	case Halt:
+		return nil
+	default:
+		if b.ID+1 < numBlocks {
+			return []int{b.ID + 1}
+		}
+		return nil
+	}
+}
+
+// ArrayInfo describes a named array: its element type and the registers
+// holding its dimension sizes (computed in the entry block).
+type ArrayInfo struct {
+	Type source.Type
+	// DimRegs hold each dimension's size at run time.
+	DimRegs []int
+	// StaticLen, when non-zero, fixes the total element count at compile
+	// time (used for the spill area, whose size is known after register
+	// allocation and which must not depend on any register).
+	StaticLen int
+	// Base is the array's base address in the flat byte-address space the
+	// cache model sees (assigned by the simulator at initialization).
+	Base int64
+}
+
+// Func is a whole lowered program.
+type Func struct {
+	Blocks  []*Block
+	NumRegs int
+	// ScalarRegs maps source scalar names to their home register; the
+	// simulator seeds them from the environment before execution and
+	// writes them back at halt.
+	ScalarRegs map[string]int
+	// RegTypes records each virtual register's value type.
+	RegTypes []source.Type
+	Arrays   map[string]*ArrayInfo
+	// NumLoops counts loops (loop IDs are 1-based).
+	NumLoops int
+}
+
+// NewReg allocates a fresh virtual register of the given type.
+func (f *Func) NewReg(t source.Type) int {
+	f.RegTypes = append(f.RegTypes, t)
+	f.NumRegs++
+	return f.NumRegs - 1
+}
+
+// NewBlock appends a fresh basic block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Dump renders the whole function.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	for _, b := range f.Blocks {
+		tag := ""
+		if b.IsLoopBody {
+			tag = fmt.Sprintf("  ; loop %d body", b.LoopID)
+		}
+		fmt.Fprintf(&sb, "b%d:%s\n", b.ID, tag)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}
+
+// InstrCount returns the total instruction count.
+func (f *Func) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/dep"
+	"slms/internal/source"
+)
+
+func affine(coeff, konst int64) dep.Affine {
+	return dep.Affine{Coeff: coeff, Const: konst, OK: true}
+}
+
+func TestTagDistanceExact(t *testing.T) {
+	a := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(1, 0)}}
+	b := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(1, 2)}}
+	res, d := TagDistance(b, a) // b=i+2 at iter i; a=i at iter i+d: d=2
+	if res != dep.DistExact || d != 2 {
+		t.Errorf("got %v,%d", res, d)
+	}
+}
+
+func TestTagDistanceIndependent(t *testing.T) {
+	a := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(2, 0)}}
+	b := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(2, 1)}}
+	if res, _ := TagDistance(a, b); res != dep.DistNone {
+		t.Errorf("A[2i] vs A[2i+1]: %v", res)
+	}
+}
+
+func TestTagDistance2DInconsistent(t *testing.T) {
+	// dims require different distances: independent.
+	a := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(1, 0), affine(1, 1)}}
+	b := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(1, 0), affine(1, 0)}}
+	if res, _ := TagDistance(a, b); res != dep.DistNone {
+		t.Errorf("inconsistent dims should be independent: %v", res)
+	}
+}
+
+func TestTagDistanceDifferentLoops(t *testing.T) {
+	a := AffineTag{Valid: true, LoopID: 1, Dims: []dep.Affine{affine(1, 0)}}
+	b := AffineTag{Valid: true, LoopID: 2, Dims: []dep.Affine{affine(1, 0)}}
+	if res, _ := TagDistance(a, b); res != dep.DistUnknown {
+		t.Errorf("tags from different loops must be unknown: %v", res)
+	}
+	if res, _ := TagDistance(AffineTag{}, a); res != dep.DistUnknown {
+		t.Error("invalid tag must be unknown")
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	f := &Func{ScalarRegs: map[string]int{}, Arrays: map[string]*ArrayInfo{}}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	r := f.NewReg(source.TBool)
+	b0.Instrs = []*Instr{{Op: BrFalse, Args: []Val{R(r)}, Target: 2}}
+	b1.Instrs = []*Instr{{Op: Br, Target: 0}}
+	b2.Instrs = []*Instr{{Op: Halt}}
+	n := len(f.Blocks)
+	if s := b0.Succs(n); len(s) != 2 || s[0] != 2 || s[1] != 1 {
+		t.Errorf("b0 succs = %v", s)
+	}
+	if s := b1.Succs(n); len(s) != 1 || s[0] != 0 {
+		t.Errorf("b1 succs = %v", s)
+	}
+	if s := b2.Succs(n); len(s) != 0 {
+		t.Errorf("b2 succs = %v", s)
+	}
+}
+
+func TestInstrStringAndUses(t *testing.T) {
+	in := &Instr{Op: Add, Type: source.TInt, Dst: 3, Args: []Val{R(1), ImmI(5)}}
+	if got := in.String(); got != "r3 = add r1, 5" {
+		t.Errorf("String = %q", got)
+	}
+	if u := in.Uses(); len(u) != 1 || u[0] != 1 {
+		t.Errorf("Uses = %v", u)
+	}
+	ld := &Instr{Op: Load, Dst: 2, Args: []Val{R(7)}, Arr: "A"}
+	if got := ld.String(); got != "r2 = ld A[r7]" {
+		t.Errorf("String = %q", got)
+	}
+	st := &Instr{Op: Store, Dst: -1, Args: []Val{ImmI(0), ImmF(1.5)}, Arr: "B"}
+	if !strings.Contains(st.String(), "st B[0], 1.5") {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestDumpMarksLoopBodies(t *testing.T) {
+	f := &Func{ScalarRegs: map[string]int{}, Arrays: map[string]*ArrayInfo{}}
+	b := f.NewBlock()
+	b.IsLoopBody = true
+	b.LoopID = 3
+	b.Instrs = []*Instr{{Op: Halt}}
+	if !strings.Contains(f.Dump(), "loop 3 body") {
+		t.Errorf("dump lacks loop marker:\n%s", f.Dump())
+	}
+	if f.InstrCount() != 1 {
+		t.Errorf("InstrCount = %d", f.InstrCount())
+	}
+}

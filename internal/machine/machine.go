@@ -1,0 +1,250 @@
+// Package machine holds the target-machine descriptions the simulated
+// final compilers and the cycle-level simulator share: issue width,
+// functional-unit counts, operation latencies, register-file sizes, an
+// L1 cache model and a Panalyzer-style per-event energy model. Four
+// descriptions stand in for the paper's evaluation hardware: an
+// Itanium-II-like VLIW, a Power4-like wide core, a Pentium-like
+// superscalar with a small register file, and an ARM7TDMI-like scalar
+// embedded core.
+package machine
+
+import (
+	"slms/internal/ir"
+	"slms/internal/source"
+)
+
+// FU is a functional-unit class.
+type FU int
+
+// Functional unit classes.
+const (
+	FUInt FU = iota // integer ALU / logic / compares / selects
+	FUFloat
+	FUMem
+	FUBranch
+	numFU
+)
+
+// String renders the unit class.
+func (f FU) String() string {
+	switch f {
+	case FUInt:
+		return "int"
+	case FUFloat:
+		return "fp"
+	case FUMem:
+		return "mem"
+	case FUBranch:
+		return "br"
+	}
+	return "?"
+}
+
+// Policy selects how instructions reach the units.
+type Policy int
+
+// Issue policies.
+const (
+	// Static: the compiler's (re)ordering is final; bundles are built by
+	// list scheduling (VLIW machines).
+	Static Policy = iota
+	// InOrder: the hardware issues the sequential instruction stream in
+	// order, multiple per cycle until a hazard (superscalar and scalar
+	// pipelines).
+	InOrder
+)
+
+// Lat bundles the operation latencies (result availability in cycles).
+type Lat struct {
+	IntOp    int // add/sub/logic/compare/select/mov
+	IntMul   int
+	IntDiv   int
+	FloatOp  int // fp add/sub/neg/convert
+	FloatMul int
+	FloatDiv int
+	Call     int // math intrinsics
+	Load     int // L1 hit latency
+	Store    int
+	Branch   int
+}
+
+// Energy is the per-event energy model (arbitrary units, Panalyzer
+// style: per instruction class, per cache event, plus static leakage per
+// cycle).
+type Energy struct {
+	IntOp   float64
+	FloatOp float64
+	Mem     float64 // cache access
+	Miss    float64 // additional energy per L1 miss (bus + DRAM)
+	Branch  float64
+	Static  float64 // per cycle
+}
+
+// Cache is a simple set-associative L1 data cache model.
+type Cache struct {
+	SizeBytes   int
+	LineBytes   int
+	Assoc       int
+	MissPenalty int // cycles
+}
+
+// Desc is a complete machine description.
+type Desc struct {
+	Name       string
+	Policy     Policy
+	IssueWidth int
+	Units      [numFU]int
+	Lat        Lat
+	IntRegs    int
+	FPRegs     int
+	Cache      Cache
+	Energy     Energy
+}
+
+// UnitOf classifies an instruction onto a functional-unit class.
+func UnitOf(in *ir.Instr) FU {
+	switch in.Op {
+	case ir.Load, ir.Store:
+		return FUMem
+	case ir.Br, ir.BrTrue, ir.BrFalse, ir.Halt:
+		return FUBranch
+	case ir.Call:
+		return FUFloat
+	default:
+		if in.Type == source.TFloat {
+			return FUFloat
+		}
+		return FUInt
+	}
+}
+
+// Latency returns the cycles until the instruction's result is usable.
+func (d *Desc) Latency(in *ir.Instr) int {
+	isF := in.Type == source.TFloat
+	switch in.Op {
+	case ir.Mov, ir.Select:
+		// Register moves and conditional selects are single-cycle renames
+		// regardless of the value type.
+		return d.Lat.IntOp
+	case ir.Load:
+		return d.Lat.Load
+	case ir.Store:
+		return d.Lat.Store
+	case ir.Br, ir.BrTrue, ir.BrFalse, ir.Halt:
+		return d.Lat.Branch
+	case ir.Call:
+		return d.Lat.Call
+	case ir.Mul:
+		if isF {
+			return d.Lat.FloatMul
+		}
+		return d.Lat.IntMul
+	case ir.Div, ir.Mod:
+		if isF {
+			return d.Lat.FloatDiv
+		}
+		return d.Lat.IntDiv
+	case ir.Cvt:
+		return d.Lat.FloatOp
+	default:
+		if isF {
+			return d.Lat.FloatOp
+		}
+		return d.Lat.IntOp
+	}
+}
+
+// OpEnergy returns the energy charged for executing the instruction
+// (cache events are charged separately by the simulator).
+func (d *Desc) OpEnergy(in *ir.Instr) float64 {
+	switch UnitOf(in) {
+	case FUMem:
+		return d.Energy.Mem
+	case FUBranch:
+		return d.Energy.Branch
+	case FUFloat:
+		return d.Energy.FloatOp
+	default:
+		return d.Energy.IntOp
+	}
+}
+
+// IA64Like models an Itanium-II class VLIW: two three-slot bundles per
+// cycle, two memory ports, two FP units, large register files, and
+// modest FP latencies.
+func IA64Like() *Desc {
+	return &Desc{
+		Name:       "ia64-like VLIW",
+		Policy:     Static,
+		IssueWidth: 6,
+		Units:      [numFU]int{FUInt: 4, FUFloat: 2, FUMem: 2, FUBranch: 1},
+		Lat: Lat{
+			IntOp: 1, IntMul: 3, IntDiv: 12,
+			FloatOp: 4, FloatMul: 4, FloatDiv: 16, Call: 12,
+			Load: 2, Store: 1, Branch: 1,
+		},
+		IntRegs: 128, FPRegs: 128,
+		Cache:  Cache{SizeBytes: 16 * 1024, LineBytes: 64, Assoc: 4, MissPenalty: 12},
+		Energy: Energy{IntOp: 1, FloatOp: 2.5, Mem: 2, Miss: 20, Branch: 1, Static: 0.5},
+	}
+}
+
+// Power4Like models a Power4-class core used via static scheduling (the
+// XLC configuration): wide issue, two FP and two memory units.
+func Power4Like() *Desc {
+	return &Desc{
+		Name:       "power4-like",
+		Policy:     Static,
+		IssueWidth: 5,
+		Units:      [numFU]int{FUInt: 2, FUFloat: 2, FUMem: 2, FUBranch: 1},
+		Lat: Lat{
+			IntOp: 1, IntMul: 4, IntDiv: 16,
+			FloatOp: 6, FloatMul: 6, FloatDiv: 22, Call: 16,
+			Load: 3, Store: 1, Branch: 1,
+		},
+		IntRegs: 80, FPRegs: 72,
+		Cache:  Cache{SizeBytes: 32 * 1024, LineBytes: 128, Assoc: 2, MissPenalty: 14},
+		Energy: Energy{IntOp: 1.2, FloatOp: 3, Mem: 2.2, Miss: 24, Branch: 1, Static: 0.8},
+	}
+}
+
+// PentiumLike models a Pentium-class in-order superscalar: the hardware
+// extracts the parallelism from the sequential stream, and the x86
+// register file is tiny, so register pressure causes spills.
+func PentiumLike() *Desc {
+	return &Desc{
+		Name:       "pentium-like superscalar",
+		Policy:     InOrder,
+		IssueWidth: 3,
+		Units:      [numFU]int{FUInt: 2, FUFloat: 1, FUMem: 1, FUBranch: 1},
+		Lat: Lat{
+			IntOp: 1, IntMul: 4, IntDiv: 18,
+			FloatOp: 3, FloatMul: 5, FloatDiv: 20, Call: 20,
+			Load: 2, Store: 1, Branch: 1,
+		},
+		IntRegs: 8, FPRegs: 8,
+		Cache:  Cache{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 4, MissPenalty: 10},
+		Energy: Energy{IntOp: 1, FloatOp: 2.2, Mem: 1.8, Miss: 16, Branch: 1, Static: 0.6},
+	}
+}
+
+// ARM7Like models an ARM7TDMI-class embedded scalar core: single issue,
+// one ALU, software floating point (long FP latencies), a small cache
+// and an energy model emphasizing memory traffic — the Panalyzer
+// substitute for Figures 21/22.
+func ARM7Like() *Desc {
+	return &Desc{
+		Name:       "arm7-like embedded",
+		Policy:     InOrder,
+		IssueWidth: 1,
+		Units:      [numFU]int{FUInt: 1, FUFloat: 1, FUMem: 1, FUBranch: 1},
+		Lat: Lat{
+			IntOp: 1, IntMul: 3, IntDiv: 20,
+			FloatOp: 8, FloatMul: 10, FloatDiv: 30, Call: 30,
+			Load: 3, Store: 2, Branch: 2,
+		},
+		IntRegs: 12, FPRegs: 8,
+		Cache:  Cache{SizeBytes: 4 * 1024, LineBytes: 16, Assoc: 2, MissPenalty: 20},
+		Energy: Energy{IntOp: 1, FloatOp: 4, Mem: 3, Miss: 40, Branch: 1.5, Static: 2.5},
+	}
+}

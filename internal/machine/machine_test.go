@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"testing"
+
+	"slms/internal/ir"
+	"slms/internal/source"
+)
+
+func TestUnitClassification(t *testing.T) {
+	cases := []struct {
+		in   ir.Instr
+		want FU
+	}{
+		{ir.Instr{Op: ir.Load}, FUMem},
+		{ir.Instr{Op: ir.Store}, FUMem},
+		{ir.Instr{Op: ir.Br}, FUBranch},
+		{ir.Instr{Op: ir.BrTrue}, FUBranch},
+		{ir.Instr{Op: ir.Halt}, FUBranch},
+		{ir.Instr{Op: ir.Call}, FUFloat},
+		{ir.Instr{Op: ir.Add, Type: source.TFloat}, FUFloat},
+		{ir.Instr{Op: ir.Add, Type: source.TInt}, FUInt},
+		{ir.Instr{Op: ir.CmpLT, Type: source.TInt}, FUInt},
+		{ir.Instr{Op: ir.Select, Type: source.TFloat}, FUFloat},
+	}
+	for _, c := range cases {
+		if got := UnitOf(&c.in); got != c.want {
+			t.Errorf("UnitOf(%v/%v) = %v, want %v", c.in.Op, c.in.Type, got, c.want)
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	for _, d := range []*Desc{IA64Like(), Power4Like(), PentiumLike(), ARM7Like()} {
+		fadd := &ir.Instr{Op: ir.Add, Type: source.TFloat}
+		iadd := &ir.Instr{Op: ir.Add, Type: source.TInt}
+		fdiv := &ir.Instr{Op: ir.Div, Type: source.TFloat}
+		fmul := &ir.Instr{Op: ir.Mul, Type: source.TFloat}
+		if d.Latency(iadd) > d.Latency(fadd) {
+			t.Errorf("%s: int add slower than fp add", d.Name)
+		}
+		if d.Latency(fmul) > d.Latency(fdiv) {
+			t.Errorf("%s: fp mul slower than fp div", d.Name)
+		}
+		if d.Latency(&ir.Instr{Op: ir.Load}) < 1 {
+			t.Errorf("%s: load latency < 1", d.Name)
+		}
+	}
+}
+
+func TestMachineShapes(t *testing.T) {
+	ia := IA64Like()
+	if ia.Policy != Static || ia.IssueWidth < 4 || ia.IntRegs < 64 {
+		t.Errorf("ia64-like misconfigured: %+v", ia)
+	}
+	p := PentiumLike()
+	if p.Policy != InOrder || p.IntRegs != 8 || p.FPRegs != 8 {
+		t.Errorf("pentium-like must have the tiny x86 register file: %+v", p)
+	}
+	arm := ARM7Like()
+	if arm.IssueWidth != 1 {
+		t.Errorf("arm7-like must be single-issue: %+v", arm)
+	}
+	if arm.Lat.FloatMul <= IA64Like().Lat.FloatMul {
+		t.Error("software floating point on the ARM must be slower than the VLIW's FPU")
+	}
+}
+
+func TestEnergyModelPositive(t *testing.T) {
+	for _, d := range []*Desc{IA64Like(), Power4Like(), PentiumLike(), ARM7Like()} {
+		for _, in := range []*ir.Instr{
+			{Op: ir.Add, Type: source.TInt},
+			{Op: ir.Mul, Type: source.TFloat},
+			{Op: ir.Load},
+			{Op: ir.Br},
+		} {
+			if d.OpEnergy(in) <= 0 {
+				t.Errorf("%s: non-positive energy for %v", d.Name, in.Op)
+			}
+		}
+		if d.Energy.Static <= 0 || d.Energy.Miss <= 0 {
+			t.Errorf("%s: energy model incomplete", d.Name)
+		}
+	}
+}

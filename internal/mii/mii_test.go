@@ -1,0 +1,307 @@
+package mii
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"slms/internal/ddg"
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// buildLoop runs the front half of the pipeline on a program whose last
+// statement is the loop of interest and returns the DDG (with chain
+// edges).
+func buildLoop(t *testing.T, src string) *ddg.Graph {
+	t.Helper()
+	p := source.MustParse(src)
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	var f *source.For
+	for _, s := range p.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			f = ff
+		}
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	a, err := dep.Analyze(f.Body.Stmts, l.Var, info.Table, dep.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return ddg.Build(a, true)
+}
+
+func TestDelayRules(t *testing.T) {
+	if d := ddg.Delay(3, 3); d != 1 {
+		t.Errorf("self delay = %d", d)
+	}
+	if d := ddg.Delay(1, 2); d != 1 {
+		t.Errorf("consecutive delay = %d", d)
+	}
+	if d := ddg.Delay(1, 3); d != 2 {
+		t.Errorf("forward delay = %d", d)
+	}
+	if d := ddg.Delay(3, 0); d != 1 {
+		t.Errorf("back delay = %d", d)
+	}
+}
+
+func TestIntroExampleMII1(t *testing.T) {
+	g := buildLoop(t, `
+		float A[100]; float B[100];
+		float t = 0.0; float s = 0.0;
+		for (i = 0; i < 100; i++) {
+			t = A[i] * B[i];
+			s = s + t;
+		}
+	`)
+	ii, err := Find(g, Options{})
+	if err != nil || ii != 1 {
+		t.Errorf("MII = %d, %v; want 1", ii, err)
+	}
+}
+
+func TestSingleMIFails(t *testing.T) {
+	g := buildLoop(t, `
+		float A[100];
+		for (i = 1; i < 100; i++) { A[i] += A[i-1]; }
+	`)
+	if _, err := Find(g, Options{}); !errors.Is(err, ErrNoValidII) {
+		t.Errorf("want ErrNoValidII, got %v", err)
+	}
+}
+
+func TestSection8InductionII2ThenII1(t *testing.T) {
+	// Original order: temp -= x[lw]*y[j]; lw++  → II = 2.
+	g := buildLoop(t, `
+		float x[100]; float y[100];
+		float temp = 0.0; int lw = 6;
+		for (j = 4; j < 90; j = j + 2) {
+			temp -= x[lw] * y[j];
+			lw++;
+		}
+	`)
+	ii, err := Find(g, Options{})
+	if err == nil && ii != 2 {
+		t.Errorf("original order: II = %d, want 2 (per §8)", ii)
+	}
+	if err != nil {
+		// With only 2 MIs, a required II of 2 is rejected (II < #MIs).
+		if !errors.Is(err, ErrNoValidII) {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	// User fix: move lw++ first → II = 1.
+	g2 := buildLoop(t, `
+		float x[100]; float y[100];
+		float temp = 0.0; int lw = 6;
+		for (j = 4; j < 90; j = j + 2) {
+			lw++;
+			temp -= x[lw] * y[j];
+		}
+	`)
+	ii2, err := Find(g2, Options{})
+	if err != nil || ii2 != 1 {
+		t.Errorf("after fix: II = %d, %v; want 1", ii2, err)
+	}
+}
+
+func TestSection6FusionMII3(t *testing.T) {
+	// The fused loop of §6 schedules with II = 3.
+	g := buildLoop(t, `
+		float A[100]; float B[100]; float C[100];
+		float t = 0.0; float q = 0.0;
+		for (i = 1; i < 100; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			A[i] = t + B[i];
+			q = C[i-1];
+			B[i] = B[i] + q;
+			C[i] = q * B[i];
+		}
+	`)
+	ii, err := Find(g, Options{})
+	if err != nil || ii != 3 {
+		t.Errorf("fused loop II = %d, %v; want 3 (paper §6)", ii, err)
+	}
+}
+
+func TestSection6UnfusedFails(t *testing.T) {
+	// Each of the two §6 loops alone cannot be SLMSed: the carried flow
+	// from the last MI to the first needs II ≥ 3 but only 3 MIs exist.
+	g := buildLoop(t, `
+		float A[100]; float B[100];
+		float t = 0.0;
+		for (i = 1; i < 100; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			A[i] = t + B[i];
+		}
+	`)
+	if _, err := Find(g, Options{}); !errors.Is(err, ErrNoValidII) {
+		t.Errorf("want ErrNoValidII for unfused loop, got %v", err)
+	}
+}
+
+func TestInterchangeEnablesII1(t *testing.T) {
+	// §6 interchange example: inner loop fails, outer succeeds.
+	inner := buildLoop(t, `
+		float a[10][10];
+		int i = 1;
+		float t = 0.0;
+		for (j = 0; j < 9; j++) {
+			t = a[i][j];
+			a[i][j+1] = t;
+		}
+	`)
+	if _, err := Find(inner, Options{}); !errors.Is(err, ErrNoValidII) {
+		t.Errorf("inner loop should fail, got %v", err)
+	}
+	outer := buildLoop(t, `
+		float a[10][10];
+		int j = 1;
+		float t = 0.0;
+		for (i = 0; i < 9; i++) {
+			t = a[i][j];
+			a[i][j+1] = t;
+		}
+	`)
+	ii, err := Find(outer, Options{})
+	if err != nil || ii != 1 {
+		t.Errorf("outer loop II = %d, %v; want 1", ii, err)
+	}
+}
+
+func TestNoCarriedDepsMII1(t *testing.T) {
+	// The §5 DU1/DU2/DU3 loop: big body, MII = 1.
+	g := buildLoop(t, `
+		float U1[300]; float U2[300]; float U3[300];
+		float DU1[300]; float DU2[300]; float DU3[300];
+		for (ky = 1; ky < 100; ky++) {
+			DU1[ky] = U1[ky+1] - U1[ky-1];
+			DU2[ky] = U2[ky+1] - U2[ky-1];
+			DU3[ky] = U3[ky+1] - U3[ky-1];
+			U1[ky+101] = U1[ky] + 2.0*DU1[ky] + 2.0*DU2[ky] + 2.0*DU3[ky];
+			U2[ky+101] = U2[ky] + 2.0*DU1[ky] + 2.0*DU2[ky] + 2.0*DU3[ky];
+			U3[ky+101] = U3[ky] + 2.0*DU1[ky] + 2.0*DU2[ky] + 2.0*DU3[ky];
+		}
+	`)
+	ii, err := Find(g, Options{})
+	if err != nil || ii != 1 {
+		t.Errorf("DU loop II = %d, %v; want 1", ii, err)
+	}
+}
+
+func TestFigure8Graph(t *testing.T) {
+	// Hand-built graph of Figure 8: MIs c,d,e,f = 0..3.
+	// Dependence edges: e→f dist 2, f→c dist 2, d→f dist 0 (delay 2).
+	g := &ddg.Graph{N: 4}
+	add := func(u, v int, dist int64) {
+		g.Edges = append(g.Edges, ddg.Edge{From: u, To: v, Dist: dist, Delay: ddg.Delay(u, v)})
+	}
+	add(2, 3, 2) // e→f
+	add(3, 0, 2) // f→c back edge, delay 1
+	add(1, 3, 0) // d→f forward, delay 2
+	for k := 0; k < 3; k++ {
+		g.Edges = append(g.Edges, ddg.Edge{From: k, To: k + 1, Dist: 0, Delay: 1, Chain: true})
+	}
+	if Valid(g, 1) {
+		t.Error("II=1 should violate the back edge f→c")
+	}
+	if !Valid(g, 2) {
+		t.Error("II=2 should be feasible (paper figure 8)")
+	}
+	ii, err := Find(g, Options{})
+	if err != nil || ii != 2 {
+		t.Errorf("MII = %d, %v; want 2", ii, err)
+	}
+}
+
+func TestUnknownRequiresSpeculation(t *testing.T) {
+	g := buildLoop(t, `
+		float A[100]; int idx[100];
+		for (i = 0; i < 100; i++) {
+			A[idx[i]] = A[i] + 1.0;
+			A[i] = A[i] * 2.0;
+		}
+	`)
+	if _, err := Find(g, Options{}); !errors.Is(err, ErrUnknownDeps) {
+		t.Errorf("want ErrUnknownDeps, got %v", err)
+	}
+	if _, err := Find(g, Options{Speculate: true}); err != nil {
+		t.Errorf("speculation should allow scheduling: %v", err)
+	}
+}
+
+// Property: the cycle-based ISP validity test (with chain edges) agrees
+// with the fixed-position per-edge check on random dependence graphs.
+func TestValidEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed
+		next := func(n int64) int64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := (r >> 33) % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := int(next(6)) + 2
+		g := &ddg.Graph{N: n}
+		for k := 0; k+1 < n; k++ {
+			g.Edges = append(g.Edges, ddg.Edge{From: k, To: k + 1, Dist: 0, Delay: 1, Chain: true})
+		}
+		edges := int(next(8))
+		for e := 0; e < edges; e++ {
+			u := int(next(int64(n)))
+			v := int(next(int64(n)))
+			var dist int64
+			if v > u {
+				dist = next(3) // forward: distance may be 0
+			} else {
+				dist = next(3) + 1 // back/self edges must carry a distance
+			}
+			g.Edges = append(g.Edges, ddg.Edge{
+				From: u, To: v, Dist: dist, Delay: ddg.Delay(u, v),
+			})
+		}
+		for ii := int64(1); ii <= int64(n); ii++ {
+			if Valid(g, ii) != ValidFixed(g, ii) {
+				t.Logf("disagreement at II=%d on %+v", ii, g.Edges)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: validity is monotone in II — if II is valid, II+1 is valid.
+func TestValidMonotoneQuick(t *testing.T) {
+	g := buildLoop(t, `
+		float A[100]; float B[100];
+		float t = 0.0;
+		for (i = 2; i < 98; i++) {
+			t = A[i-2];
+			B[i] = t * 2.0;
+			A[i] = B[i-1] + 1.0;
+		}
+	`)
+	prev := false
+	for ii := int64(1); ii < 10; ii++ {
+		v := Valid(g, ii)
+		if prev && !v {
+			t.Errorf("validity not monotone at II=%d", ii)
+		}
+		prev = v
+	}
+}

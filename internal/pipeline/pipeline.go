@@ -1,0 +1,229 @@
+// Package pipeline is the end-to-end driver of the simulated tool chain:
+// mini-C source → (optional SLMS at source level) → final compiler
+// (code generation, register allocation, block scheduling, optional
+// machine-level modulo scheduling) → cycle-level simulation. It models
+// the final-compiler classes of the paper's evaluation:
+//
+//   - Weak (GCC-class):  -O3 = list scheduling; no modulo scheduling, no
+//     dependence info forwarded to the back end.
+//   - Strong (ICC/XLC-class): -O3 = list scheduling + iterative modulo
+//     scheduling of innermost loops with affine memory disambiguation.
+//   - NoO3: no compiler reordering at all (sequential issue order).
+package pipeline
+
+import (
+	"fmt"
+
+	"slms/internal/backend"
+	"slms/internal/core"
+	"slms/internal/ims"
+	"slms/internal/interp"
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/sim"
+	"slms/internal/source"
+)
+
+// Compiler describes a final-compiler configuration.
+type Compiler struct {
+	Name string
+	// Reorder enables basic-block list scheduling (-O3).
+	Reorder bool
+	// IMS enables machine-level iterative modulo scheduling of innermost
+	// loop bodies (strong compilers only).
+	IMS bool
+	// Tags forwards the front end's affine dependence analysis to the
+	// schedulers (strong compilers only).
+	Tags bool
+	// Window bounds the list scheduler's program-order lookahead
+	// (0 = unbounded). Weak compilers schedule within a small window.
+	Window int
+}
+
+// Standard final-compiler configurations.
+var (
+	WeakNoO3   = Compiler{Name: "weak -O0"}
+	WeakO3     = Compiler{Name: "weak -O3 (GCC-like)", Reorder: true}
+	StrongO3   = Compiler{Name: "strong -O3 (ICC/XLC-like)", Reorder: true, IMS: true, Tags: true}
+	StrongNoO3 = Compiler{Name: "strong -O0", Tags: true}
+)
+
+// Artifact is a fully compiled program plus its timing plan.
+type Artifact struct {
+	Func  *ir.Func
+	Plan  *sim.Plan
+	Alloc *backend.AllocResult
+	// IMSResults records the modulo-scheduling outcome per loop body
+	// block ID (including rejected attempts, for reporting).
+	IMSResults map[int]*ims.Result
+	// LoopSched records the static block schedule of each innermost
+	// loop-body block (bundle statistics).
+	LoopSched map[int]*backend.BlockSched
+}
+
+// CompileFor lowers and schedules a program for the machine/compiler pair.
+func CompileFor(p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
+	f, err := backend.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	backend.LocalCSE(f)
+	alloc := backend.Allocate(f, d)
+	art := &Artifact{
+		Func: f, Alloc: alloc,
+		IMSResults: map[int]*ims.Result{},
+		LoopSched:  map[int]*backend.BlockSched{},
+	}
+	plan := &sim.Plan{Blocks: make([]sim.BlockTiming, len(f.Blocks))}
+	art.Plan = plan
+
+	for _, b := range f.Blocks {
+		// Reordering compilers physically reorder the instructions so the
+		// in-order hardware of superscalar machines benefits too.
+		var sched *backend.BlockSched
+		if cc.Reorder {
+			sched = backend.ListSchedule(b, d, cc.Tags, cc.Window)
+			applyOrder(b, sched)
+			// Recompute cycle numbers against the new physical order.
+			sched = backend.SequentialSchedule(b, d)
+		} else {
+			sched = backend.SequentialSchedule(b, d)
+		}
+		if d.Policy == machine.Static {
+			plan.Blocks[b.ID].Sched = sched
+		}
+		if b.IsLoopBody {
+			art.LoopSched[b.ID] = sched
+			// The final compiler rotates counted loops: mark the head
+			// (the target of the body's back edge) so repeat tests are
+			// folded into the body's per-iteration cost.
+			if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op == ir.Br {
+				head := b.Instrs[n-1].Target
+				if head >= 0 && head < len(plan.Blocks) {
+					plan.Blocks[head].LoopHead = true
+					plan.Blocks[head].BodyID = b.ID
+				}
+			}
+			if cc.IMS && d.Policy == machine.Static && b.Counted {
+				r := ims.Schedule(b, d, cc.Tags)
+				art.IMSResults[b.ID] = r
+				if r.OK {
+					plan.Blocks[b.ID].IMS = r
+				}
+			}
+		}
+	}
+	return art, nil
+}
+
+// applyOrder permutes a block's instructions into schedule order
+// (stable by cycle, then original index), keeping the branch last.
+func applyOrder(b *ir.Block, s *backend.BlockSched) {
+	type slot struct {
+		cycle, idx int
+	}
+	n := len(b.Instrs)
+	slots := make([]slot, n)
+	for i := range b.Instrs {
+		slots[i] = slot{s.CycleOf[i], i}
+	}
+	// insertion sort (n is small, stability required)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (slots[j].cycle < slots[j-1].cycle ||
+			(slots[j].cycle == slots[j-1].cycle && slots[j].idx < slots[j-1].idx)); j-- {
+			slots[j], slots[j-1] = slots[j-1], slots[j]
+		}
+	}
+	out := make([]*ir.Instr, n)
+	for k, sl := range slots {
+		out[k] = b.Instrs[sl.idx]
+	}
+	b.Instrs = out
+}
+
+// Run compiles and simulates a program, seeding and updating env.
+func Run(p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
+	art, err := CompileFor(p, d, cc)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := sim.Run(art.Func, d, art.Plan, env, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: %w\n%s", err, art.Func.Dump())
+	}
+	return m, art, nil
+}
+
+// Experiment compares a program with and without SLMS under one
+// machine/compiler pair, running both on identical inputs.
+type Experiment struct {
+	Machine  *machine.Desc
+	Compiler Compiler
+	SLMS     core.Options
+}
+
+// Outcome is one before/after measurement.
+type Outcome struct {
+	Base    *sim.Metrics
+	SLMS    *sim.Metrics
+	Applied bool    // SLMS transformed at least one loop
+	Speedup float64 // base cycles / slms cycles
+	// PowerRatio is base energy / slms energy (>1 = SLMS saves energy).
+	PowerRatio float64
+	BaseArt    *Artifact
+	SLMSArt    *Artifact
+	Results    []*core.Result
+}
+
+// RunExperiment measures the SLMS speedup of prog under the experiment
+// configuration. seed populates the environment before each run (called
+// twice with fresh environments).
+func RunExperiment(prog *source.Program, ex Experiment, seed func(*interp.Env)) (*Outcome, error) {
+	out := &Outcome{}
+
+	envBase := interp.NewEnv()
+	if seed != nil {
+		seed(envBase)
+	}
+	mBase, artBase, err := Run(prog, ex.Machine, ex.Compiler, envBase)
+	if err != nil {
+		return nil, fmt.Errorf("base run: %w", err)
+	}
+	out.Base, out.BaseArt = mBase, artBase
+
+	transformed, results, err := core.TransformProgram(prog, ex.SLMS)
+	if err != nil {
+		return nil, fmt.Errorf("slms: %w", err)
+	}
+	out.Results = results
+	for _, r := range results {
+		if r.Applied {
+			out.Applied = true
+		}
+	}
+	envSLMS := interp.NewEnv()
+	if seed != nil {
+		seed(envSLMS)
+	}
+	mSLMS, artSLMS, err := Run(transformed, ex.Machine, ex.Compiler, envSLMS)
+	if err != nil {
+		return nil, fmt.Errorf("slms run: %w", err)
+	}
+	out.SLMS, out.SLMSArt = mSLMS, artSLMS
+
+	// Correctness: both executions must leave identical state (modulo
+	// reduction reassociation tolerance). Spill slots are
+	// simulator-internal storage.
+	delete(envBase.Arrays, backend.SpillArray)
+	delete(envSLMS.Arrays, backend.SpillArray)
+	if diffs := interp.Compare(envBase, envSLMS, interp.CompareOpts{FloatTol: 1e-6}); len(diffs) > 0 {
+		return nil, fmt.Errorf("SLMS changed program results: %v", diffs)
+	}
+	if mSLMS.Cycles > 0 {
+		out.Speedup = float64(mBase.Cycles) / float64(mSLMS.Cycles)
+	}
+	if mSLMS.Energy > 0 {
+		out.PowerRatio = mBase.Energy / mSLMS.Energy
+	}
+	return out, nil
+}

@@ -1,0 +1,413 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"slms/internal/core"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// machines and compilers under test.
+func allMachines() []*machine.Desc {
+	return []*machine.Desc{
+		machine.IA64Like(), machine.Power4Like(), machine.PentiumLike(), machine.ARM7Like(),
+	}
+}
+
+func allCompilers() []Compiler {
+	return []Compiler{WeakNoO3, WeakO3, StrongO3, StrongNoO3}
+}
+
+// checkSimMatchesInterp compiles+simulates src under every machine and
+// compiler configuration and verifies the simulated results equal the
+// reference interpreter's.
+func checkSimMatchesInterp(t *testing.T, src string) {
+	t.Helper()
+	prog := source.MustParse(src)
+	ref := interp.NewEnv()
+	if err := interp.Run(prog, ref); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	for _, d := range allMachines() {
+		for _, cc := range allCompilers() {
+			env := interp.NewEnv()
+			m, _, err := Run(prog, d, cc, env)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, cc.Name, err)
+			}
+			// Spill bookkeeping arrays are simulator-internal.
+			delete(env.Arrays, "__spill")
+			if diffs := interp.Compare(ref, env, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+				t.Errorf("%s/%s: simulation diverges from interpreter: %v", d.Name, cc.Name, diffs)
+			}
+			if m.Cycles <= 0 {
+				t.Errorf("%s/%s: non-positive cycle count %d", d.Name, cc.Name, m.Cycles)
+			}
+		}
+	}
+}
+
+func TestSimScalarProgram(t *testing.T) {
+	checkSimMatchesInterp(t, `
+		int a = 7; int b = 3;
+		int q = a / b; int r = a % b;
+		float x = a / 2.0;
+		float y = x * x - 1.5;
+		bool c = y > 10.0;
+		z = c ? y : -y;
+	`)
+}
+
+func TestSimLoopsAndArrays(t *testing.T) {
+	checkSimMatchesInterp(t, `
+		int n = 50;
+		float A[50]; float B[50];
+		for (i = 0; i < n; i++) { A[i] = 0.5 * i + 1.0; }
+		for (i = 1; i < n; i++) { B[i] = A[i] - A[i-1]; }
+		float s = 0.0;
+		for (i = 0; i < n; i++) { s += B[i]; }
+	`)
+}
+
+func Test2DArraysAndIfs(t *testing.T) {
+	checkSimMatchesInterp(t, `
+		float X[8][9];
+		for (i = 0; i < 8; i++) {
+			for (j = 0; j < 9; j++) {
+				X[i][j] = i * 10 + j;
+				if (X[i][j] > 40.0) {
+					X[i][j] = X[i][j] - 40.0;
+				} else {
+					X[i][j] = X[i][j] + 1.0;
+				}
+			}
+		}
+	`)
+}
+
+func TestPredicatedAndIntrinsics(t *testing.T) {
+	checkSimMatchesInterp(t, `
+		float A[30];
+		for (i = 0; i < 30; i++) { A[i] = (i * 13 % 7) - 3.0; }
+		float mx = A[0];
+		bool p = false;
+		for (i = 1; i < 30; i++) {
+			p = mx < A[i];
+			if (p) mx = A[i];
+		}
+		float r = sqrt(abs(mx)) + max(mx, 2.0);
+	`)
+}
+
+func TestWhileLoop(t *testing.T) {
+	checkSimMatchesInterp(t, `
+		int i = 0;
+		int s = 0;
+		while (i < 20) {
+			s += i;
+			i++;
+			if (s > 50) break;
+		}
+	`)
+}
+
+func TestSpillPressure(t *testing.T) {
+	// Many simultaneously live floats force spills on the 8-register
+	// machines; results must still be exact and spill traffic visible.
+	src := `
+		float A[40];
+		for (i = 0; i < 40; i++) { A[i] = 0.1 * i; }
+		float s = 0.0;
+		for (i = 0; i < 28; i++) {
+			t1 = A[i]; t2 = A[i+1]; t3 = A[i+2]; t4 = A[i+3];
+			t5 = A[i+4]; t6 = A[i+5]; t7 = A[i+6]; t8 = A[i+7];
+			t9 = A[i+8]; t10 = A[i+9]; t11 = A[i+10]; t12 = A[i+11];
+			s = s + t1*t12 + t2*t11 + t3*t10 + t4*t9 + t5*t8 + t6*t7;
+		}
+	`
+	checkSimMatchesInterp(t, src)
+	prog := source.MustParse(src)
+	env := interp.NewEnv()
+	m, art, err := Run(prog, machine.PentiumLike(), WeakO3, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Alloc.SpilledRegs == 0 || m.SpillLoads == 0 {
+		t.Errorf("expected spills on pentium-like: %+v, %v", art.Alloc, m)
+	}
+	// The large register file must not spill.
+	env2 := interp.NewEnv()
+	_, art2, err := Run(prog, machine.IA64Like(), WeakO3, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art2.Alloc.SpilledRegs != 0 {
+		t.Errorf("unexpected spills on ia64-like: %+v", art2.Alloc)
+	}
+}
+
+func TestIMSSpeedsUpStrongCompiler(t *testing.T) {
+	// A parallel loop with a long critical path per iteration: machine
+	// MS should beat plain list scheduling on the VLIW.
+	src := `
+		int n = 200;
+		float A[210]; float B[210]; float C[210];
+		for (i = 0; i < 205; i++) { A[i] = 0.3*i; B[i] = 1.0; C[i] = 0.0; }
+		for (i = 0; i < n; i++) {
+			C[i] = A[i] * B[i] + A[i] * 2.0 + B[i] * 3.0;
+		}
+	`
+	prog := source.MustParse(src)
+	d := machine.IA64Like()
+	envWeak, envStrong := interp.NewEnv(), interp.NewEnv()
+	mWeak, _, err := Run(prog, d, WeakO3, envWeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStrong, art, err := Run(prog, d, StrongO3, envStrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	for _, r := range art.IMSResults {
+		if r.OK {
+			applied = true
+			t.Logf("IMS: II=%d SL=%d stages=%d (ResMII=%d RecMII=%d)", r.II, r.SL, r.Stages, r.ResMII, r.RecMII)
+		}
+	}
+	if !applied {
+		for _, r := range art.IMSResults {
+			t.Logf("IMS rejected: %s", r.Reason)
+		}
+		t.Fatal("IMS was not applied to any loop")
+	}
+	if mStrong.Cycles >= mWeak.Cycles {
+		t.Errorf("IMS should speed up the VLIW: weak=%d strong=%d", mWeak.Cycles, mStrong.Cycles)
+	}
+}
+
+func TestO3BeatsNoO3(t *testing.T) {
+	src := `
+		int n = 100;
+		float A[110]; float B[110];
+		for (i = 0; i < 105; i++) { A[i] = 0.25*i; B[i] = 0.0; }
+		for (i = 0; i < n; i++) {
+			B[i] = A[i]*A[i] + A[i]*3.0 + 7.0;
+		}
+	`
+	prog := source.MustParse(src)
+	d := machine.IA64Like()
+	env1, env2 := interp.NewEnv(), interp.NewEnv()
+	mNo, _, err := Run(prog, d, WeakNoO3, env1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mO3, _, err := Run(prog, d, WeakO3, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mO3.Cycles > mNo.Cycles {
+		t.Errorf("-O3 slower than -O0: %d vs %d", mO3.Cycles, mNo.Cycles)
+	}
+}
+
+func TestRunExperimentDotProduct(t *testing.T) {
+	// The paper's flagship claim on the weak compiler: SLMS speeds up the
+	// dot-product style loop.
+	src := `
+		int n = 300;
+		float A[310]; float B[310];
+		for (i = 0; i < 305; i++) { A[i] = 0.01*i + 0.5; B[i] = 1.0 - 0.001*i; }
+		float t = 0.0; float s = 0.0;
+		for (i = 0; i < n; i++) {
+			t = A[i] * B[i];
+			s = s + t;
+		}
+	`
+	prog := source.MustParse(src)
+	ex := Experiment{Machine: machine.IA64Like(), Compiler: WeakO3, SLMS: core.DefaultOptions()}
+	out, err := RunExperiment(prog, ex, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Applied {
+		for _, r := range out.Results {
+			t.Logf("loop: applied=%v reason=%s", r.Applied, r.Reason)
+		}
+		t.Fatal("SLMS not applied")
+	}
+	t.Logf("weak-O3 ia64: base=%d slms=%d speedup=%.3f", out.Base.Cycles, out.SLMS.Cycles, out.Speedup)
+	if out.Speedup < 1.0 {
+		t.Errorf("SLMS slowed the dot product on the weak compiler: %.3f", out.Speedup)
+	}
+}
+
+func TestExperimentAcrossMachines(t *testing.T) {
+	// Equivalence (checked inside RunExperiment) across the matrix for a
+	// mixed kernel.
+	src := `
+		int n = 120;
+		float A[130]; float B[130]; float C[130];
+		for (i = 0; i < 125; i++) { A[i] = 0.02*i; B[i] = 3.0 - 0.01*i; C[i] = 0.0; }
+		float t = 0.0;
+		for (i = 1; i < n; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			C[i] = t * 2.0;
+		}
+	`
+	for _, d := range allMachines() {
+		for _, cc := range []Compiler{WeakO3, StrongO3} {
+			prog := source.MustParse(src)
+			out, err := RunExperiment(prog, Experiment{Machine: d, Compiler: cc, SLMS: core.DefaultOptions()}, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, cc.Name, err)
+			}
+			t.Logf("%s / %s: speedup=%.3f (applied=%v)", d.Name, cc.Name, out.Speedup, out.Applied)
+		}
+	}
+}
+
+func TestBundleCountsReported(t *testing.T) {
+	src := `
+		int n = 64;
+		float A[70]; float B[70];
+		for (i = 0; i < 66; i++) { A[i] = 1.0*i; B[i] = 0.0; }
+		for (i = 0; i < n; i++) { B[i] = A[i] * 2.0 + 1.0; }
+	`
+	prog := source.MustParse(src)
+	_, art, err := Run(prog, machine.IA64Like(), WeakO3, interp.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for id, s := range art.LoopSched {
+		if s.Bundles > 0 {
+			found = true
+		}
+		_ = id
+	}
+	if !found {
+		t.Error("no bundle statistics recorded for loop bodies")
+	}
+}
+
+func TestSimManyTripCounts(t *testing.T) {
+	for _, hi := range []int{0, 1, 2, 3, 7, 31} {
+		src := fmt.Sprintf(`
+			float A[40];
+			for (i = 0; i < 35; i++) { A[i] = 0.5*i; }
+			float s = 0.0;
+			for (i = 0; i < %d; i++) { s += A[i]; }
+		`, hi)
+		checkSimMatchesInterp(t, src)
+	}
+}
+
+// TestSection7SLMSBeatsMachineMS verifies the §7 claim: there are loops
+// where source-level MS leads the (already modulo-scheduling) strong
+// compiler to a better schedule than it finds alone — because SLMS
+// changes the dependence graph (reindexing loads across iterations)
+// in ways the machine-level scheduler cannot.
+func TestSection7SLMSBeatsMachineMS(t *testing.T) {
+	// ddot-style: the accumulator chain limits machine MS; after SLMS the
+	// decomposed/overlapped source lets the backend do better.
+	src := `
+		int n = 400;
+		float dx[400]; float dy[400];
+		for (z = 0; z < 400; z++) { dx[z] = 0.01*z; dy[z] = 1.0 - 0.002*z; }
+		float dtemp = 0.0; float t = 0.0;
+		for (i = 0; i < n; i++) {
+			t = dx[i] * dy[i];
+			dtemp = dtemp + t;
+		}
+	`
+	prog := source.MustParse(src)
+	out, err := RunExperiment(prog, Experiment{
+		Machine: machine.IA64Like(), Compiler: StrongO3, SLMS: core.DefaultOptions(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Applied {
+		t.Fatal("SLMS not applied")
+	}
+	if out.Speedup <= 1.0 {
+		t.Errorf("§7: expected SLMS to beat the machine-level MS on the accumulator loop, got %.3f", out.Speedup)
+	}
+	t.Logf("strong compiler alone: %d cycles; SLMS + strong: %d cycles (%.2fx)",
+		out.Base.Cycles, out.SLMS.Cycles, out.Speedup)
+}
+
+// TestRetargetabilityGap verifies the Figure-16 mechanism on one loop:
+// SLMS in front of the weak compiler recovers a large share of what the
+// strong compiler's machine-level MS is worth.
+func TestRetargetabilityGap(t *testing.T) {
+	// kernel-1 style hydro loop: machine MS is worth a lot here and SLMS
+	// recovers most of it for the weak compiler (Figure 16's mechanism).
+	src := `
+		int n = 300;
+		float x[340]; float y[340]; float z[340];
+		for (w = 0; w < 340; w++) { x[w] = 0.2*w; y[w] = 1.0 - 0.01*w; z[w] = 0.5 + 0.02*w; }
+		float q = 0.5; float r = 0.2; float t = 0.1;
+		for (k = 0; k < n; k++) {
+			x[k] = q + y[k] * (r * z[k+10] + t * z[k+11]);
+		}
+	`
+	prog := source.MustParse(src)
+	d := machine.IA64Like()
+	envW, envS := interp.NewEnv(), interp.NewEnv()
+	mWeak, _, err := Run(prog, d, WeakO3, envW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStrong, _, err := Run(prog, d, StrongO3, envS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunExperiment(prog, Experiment{
+		Machine: d, Compiler: WeakO3, SLMS: core.DefaultOptions(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := float64(mWeak.Cycles - mStrong.Cycles)
+	if gap <= 0 {
+		t.Skip("machine MS gains nothing on this loop in this configuration")
+	}
+	closure := float64(mWeak.Cycles-out.SLMS.Cycles) / gap
+	t.Logf("weak=%d strong=%d weak+SLMS=%d closure=%.2f",
+		mWeak.Cycles, mStrong.Cycles, out.SLMS.Cycles, closure)
+	if closure < 0.25 {
+		t.Errorf("SLMS closes only %.2f of the weak→strong gap (want ≥ 0.25)", closure)
+	}
+}
+
+// TestSimOperatorSoup drives every operator and conversion through the
+// simulator on all machines.
+func TestSimOperatorSoup(t *testing.T) {
+	checkSimMatchesInterp(t, `
+		int a = 17; int b = 5;
+		int m1 = a % b;
+		int d1 = a / b;
+		int neg = -a;
+		float f = 2.5;
+		float fneg = -f;
+		float fd = f / 4.0;
+		bool p = a > b;
+		bool q = !p || (a == 17 && b != 4);
+		x = q ? f * a : f - b;
+		int c1 = f * 2.0;
+		float c2 = a + 0.5;
+		bool r1 = a >= 17;
+		bool r2 = f <= 2.5;
+		bool r3 = p == q;
+		bool r4 = p != q;
+		y = r1 && r2 && r3 ? 1.0 : 0.0;
+		z = min(a, b) + max(a, b) + abs(neg) + sign(3, -1);
+		w = sqrt(16.0) + pow(2.0, 3.0) + log(exp(1.0)) + sin(0.0) + cos(0.0) + mod(7.0, 3.0);
+	`)
+}

@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slms/internal/backend"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// lcg mirrors the generator used by the core property tests.
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randomProgram builds a random structured program exercising scalars,
+// arrays, nested control flow and loops — for checking that the whole
+// compile+simulate path agrees with the interpreter.
+func randomProgram(r *lcg) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "float A[48]; float B[48];\nint n = %d;\n", 8+r.intn(40))
+	fmt.Fprintf(&b, "for (z = 0; z < 48; z++) { A[z] = 0.13*z + 0.5; B[z] = 2.0 - 0.04*z; }\n")
+	fmt.Fprintf(&b, "float s = 0.0;\nint cnt = 0;\n")
+	switch r.intn(4) {
+	case 0: // nested loops with 2-D style flat access
+		fmt.Fprintf(&b, `
+			for (i = 0; i < 6; i++) {
+				for (j = 0; j < 6; j++) {
+					s = s + A[i*6 + j] * B[j];
+				}
+			}
+		`)
+	case 1: // while with break/continue
+		fmt.Fprintf(&b, `
+			int i = 0;
+			while (i < n) {
+				i++;
+				if (i %% 3 == 0) continue;
+				s += A[i];
+				if (s > 14.0) break;
+				cnt++;
+			}
+		`)
+	case 2: // branches inside a loop
+		fmt.Fprintf(&b, `
+			for (i = 1; i < n; i++) {
+				if (A[i] > B[i]) {
+					B[i] = B[i] + A[i-1];
+					cnt++;
+				} else {
+					B[i] = B[i] - 0.25;
+				}
+				s += B[i];
+			}
+		`)
+	default: // arithmetic soup with intrinsics
+		fmt.Fprintf(&b, `
+			for (i = 0; i < n; i++) {
+				s += sqrt(abs(A[i] - B[i])) + max(A[i], B[i]) * 0.5;
+			}
+			v = s > 10.0 ? s - 10.0 : s;
+		`)
+	}
+	return b.String()
+}
+
+// Property: for every machine and compiler configuration, the simulator
+// computes exactly what the reference interpreter computes.
+func TestSimMatchesInterpQuick(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 10
+	}
+	machines := allMachines()
+	compilers := allCompilers()
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		src := randomProgram(r)
+		prog, err := source.Parse(src)
+		if err != nil {
+			t.Logf("seed %d: parse: %v\n%s", seed, err, src)
+			return false
+		}
+		ref := interp.NewEnv()
+		if err := interp.Run(prog, ref); err != nil {
+			return true // e.g. degenerate arithmetic; nothing to check
+		}
+		d := machines[r.intn(len(machines))]
+		cc := compilers[r.intn(len(compilers))]
+		env := interp.NewEnv()
+		if _, _, err := Run(prog, d, cc, env); err != nil {
+			t.Logf("seed %d (%s/%s): sim: %v\n%s", seed, d.Name, cc.Name, err, src)
+			return false
+		}
+		delete(env.Arrays, backend.SpillArray)
+		if diffs := interp.Compare(ref, env, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+			t.Logf("seed %d (%s/%s): %v\n%s", seed, d.Name, cc.Name, diffs, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cycle counts are monotone in machine capability — a machine
+// with strictly more resources never runs slower under the same static
+// compiler (checked for the two Static-policy machines by widening one).
+func TestWiderMachineNotSlowerQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		src := randomProgram(r)
+		prog, err := source.Parse(src)
+		if err != nil {
+			return true
+		}
+		narrow := machine.IA64Like()
+		wide := machine.IA64Like()
+		wide.IssueWidth *= 2
+		for k := range wide.Units {
+			wide.Units[k] *= 2
+		}
+		ref := interp.NewEnv()
+		if err := interp.Run(prog, ref); err != nil {
+			return true
+		}
+		e1, e2 := interp.NewEnv(), interp.NewEnv()
+		m1, _, err := Run(prog, narrow, WeakO3, e1)
+		if err != nil {
+			return true
+		}
+		m2, _, err := Run(prog, wide, WeakO3, e2)
+		if err != nil {
+			return true
+		}
+		if m2.Cycles > m1.Cycles {
+			t.Logf("seed %d: wider machine slower: %d vs %d\n%s", seed, m2.Cycles, m1.Cycles, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"os"
+	"testing"
+
+	"slms/internal/backend"
+	"slms/internal/interp"
+	"slms/internal/source"
+)
+
+// TestSoakSimVsInterp runs many random programs through every
+// machine × compiler pair, enabled with SLMS_SOAK=1.
+func TestSoakSimVsInterp(t *testing.T) {
+	if os.Getenv("SLMS_SOAK") == "" {
+		t.Skip("set SLMS_SOAK=1 to run the soak")
+	}
+	machines := allMachines()
+	compilers := allCompilers()
+	fail := 0
+	for seed := int64(1); seed <= 800; seed++ {
+		r := newLCG(seed)
+		src := randomProgram(r)
+		prog, err := source.Parse(src)
+		if err != nil {
+			continue
+		}
+		ref := interp.NewEnv()
+		if err := interp.Run(prog, ref); err != nil {
+			continue
+		}
+		for _, d := range machines {
+			for _, cc := range compilers {
+				env := interp.NewEnv()
+				if _, _, err := Run(prog, d, cc, env); err != nil {
+					t.Errorf("seed %d %s/%s: %v\n%s", seed, d.Name, cc.Name, err, src)
+					fail++
+				} else {
+					delete(env.Arrays, backend.SpillArray)
+					if diffs := interp.Compare(ref, env, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+						t.Errorf("seed %d %s/%s: %v\n%s", seed, d.Name, cc.Name, diffs, src)
+						fail++
+					}
+				}
+				if fail > 3 {
+					t.Fatal("too many failures")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package sem
+
+import (
+	"fmt"
+
+	"slms/internal/source"
+)
+
+// Loop describes a canonical counted loop
+//
+//	for (v = Lo; v < Hi; v += Step)
+//
+// recognized from a source-level For statement. Hi is always the
+// exclusive upper bound; `v <= e` is normalized to Hi = e+1. Step is a
+// positive compile-time constant, the only form the scheduling
+// transformations handle (loop reversal can normalize downward loops).
+type Loop struct {
+	For  *source.For
+	Var  string
+	Lo   source.Expr
+	Hi   source.Expr // exclusive
+	Step int64
+}
+
+// Canonicalize tries to recognize f as a canonical counted loop.
+func Canonicalize(f *source.For) (*Loop, error) {
+	l := &Loop{For: f}
+
+	switch init := f.Init.(type) {
+	case *source.Assign:
+		v, ok := init.LHS.(*source.VarRef)
+		if !ok || init.Op != source.AEq {
+			return nil, fmt.Errorf("sem: loop init is not `var = expr`")
+		}
+		l.Var = v.Name
+		l.Lo = init.RHS
+	case *source.Decl:
+		if init.Init == nil {
+			return nil, fmt.Errorf("sem: loop decl has no initializer")
+		}
+		l.Var = init.Name
+		l.Lo = init.Init
+	default:
+		return nil, fmt.Errorf("sem: loop has no recognizable init")
+	}
+
+	cond, ok := f.Cond.(*source.Binary)
+	if !ok {
+		return nil, fmt.Errorf("sem: loop condition is not a comparison")
+	}
+	lhsVar, lhsIsVar := cond.X.(*source.VarRef)
+	rhsVar, rhsIsVar := cond.Y.(*source.VarRef)
+	switch {
+	case lhsIsVar && lhsVar.Name == l.Var && cond.Op == source.OpLT:
+		l.Hi = cond.Y
+	case lhsIsVar && lhsVar.Name == l.Var && cond.Op == source.OpLE:
+		l.Hi = source.AddConst(cond.Y, 1)
+	case rhsIsVar && rhsVar.Name == l.Var && cond.Op == source.OpGT: // e > v
+		l.Hi = cond.X
+	case rhsIsVar && rhsVar.Name == l.Var && cond.Op == source.OpGE: // e >= v
+		l.Hi = source.AddConst(cond.X, 1)
+	default:
+		return nil, fmt.Errorf("sem: loop condition does not bound %q from above", l.Var)
+	}
+	// The bound must not depend on the induction variable.
+	if exprUsesVar(l.Hi, l.Var) {
+		return nil, fmt.Errorf("sem: loop bound depends on induction variable %q", l.Var)
+	}
+
+	post, ok := f.Post.(*source.Assign)
+	if !ok {
+		return nil, fmt.Errorf("sem: loop has no recognizable increment")
+	}
+	pv, ok := post.LHS.(*source.VarRef)
+	if !ok || pv.Name != l.Var {
+		return nil, fmt.Errorf("sem: loop increment does not update %q", l.Var)
+	}
+	switch post.Op {
+	case source.AAdd:
+		c, isC := source.ConstInt(post.RHS)
+		if !isC || c <= 0 {
+			return nil, fmt.Errorf("sem: loop step is not a positive constant")
+		}
+		l.Step = c
+	case source.AEq:
+		// v = v + c
+		b, isB := post.RHS.(*source.Binary)
+		if !isB || b.Op != source.OpAdd {
+			return nil, fmt.Errorf("sem: loop increment is not v = v + c")
+		}
+		bx, isV := b.X.(*source.VarRef)
+		if !isV || bx.Name != l.Var {
+			return nil, fmt.Errorf("sem: loop increment is not v = v + c")
+		}
+		c, isC := source.ConstInt(b.Y)
+		if !isC || c <= 0 {
+			return nil, fmt.Errorf("sem: loop step is not a positive constant")
+		}
+		l.Step = c
+	default:
+		return nil, fmt.Errorf("sem: loop increment form unsupported")
+	}
+
+	// The body must not write the induction variable or any scalar the
+	// bounds depend on, and must not break/continue (handled by the
+	// while-loop extension).
+	boundVars := map[string]bool{l.Var: true}
+	for _, e := range []source.Expr{l.Lo, l.Hi} {
+		source.WalkExprs(e, func(x source.Expr) bool {
+			if v, ok := x.(*source.VarRef); ok {
+				boundVars[v.Name] = true
+			}
+			return true
+		})
+	}
+	var bodyErr error
+	source.WalkStmt(f.Body, func(s source.Stmt) bool {
+		switch s := s.(type) {
+		case *source.Assign:
+			if v, ok := s.LHS.(*source.VarRef); ok && boundVars[v.Name] {
+				bodyErr = fmt.Errorf("sem: loop body writes %q, which the loop bounds depend on", v.Name)
+				return false
+			}
+		case *source.Break, *source.Continue:
+			bodyErr = fmt.Errorf("sem: loop body transfers control")
+			return false
+		}
+		return true
+	})
+	if bodyErr != nil {
+		return nil, bodyErr
+	}
+	return l, nil
+}
+
+func exprUsesVar(e source.Expr, name string) bool {
+	used := false
+	source.WalkExprs(e, func(x source.Expr) bool {
+		if v, ok := x.(*source.VarRef); ok && v.Name == name {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// TripCountExpr returns an int expression for the number of iterations:
+// ceil((Hi-Lo)/Step), assuming Hi >= Lo.
+func (l *Loop) TripCountExpr() source.Expr {
+	diff := source.Sub(source.CloneExpr(l.Hi), source.CloneExpr(l.Lo))
+	if l.Step == 1 {
+		return diff
+	}
+	return source.Bin(source.OpDiv,
+		source.AddConst(diff, l.Step-1), source.Int(l.Step))
+}
+
+// ConstTrip returns the trip count when Lo and Hi are both constants.
+func (l *Loop) ConstTrip() (int64, bool) {
+	lo, okLo := source.ConstInt(l.Lo)
+	hi, okHi := source.ConstInt(l.Hi)
+	if !okLo || !okHi {
+		return 0, false
+	}
+	if hi <= lo {
+		return 0, true
+	}
+	return (hi - lo + l.Step - 1) / l.Step, true
+}
+
+// NewFor builds a canonical for statement for [lo, hi) with the given
+// step and body.
+func NewFor(varName string, lo, hi source.Expr, step int64, body []source.Stmt) *source.For {
+	return &source.For{
+		Init: &source.Assign{LHS: source.Var(varName), Op: source.AEq, RHS: lo},
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(varName), Y: hi},
+		Post: &source.Assign{LHS: source.Var(varName), Op: source.AAdd, RHS: source.Int(step)},
+		Body: &source.Block{Stmts: body},
+	}
+}

@@ -1,0 +1,165 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/source"
+)
+
+func TestCheckExplicitDecls(t *testing.T) {
+	p := source.MustParse(`
+		int n = 10;
+		float A[100];
+		float x = 1.5;
+		bool done = false;
+		for (i = 0; i < n; i++) { A[i] = x + i; }
+	`)
+	info, err := Check(p)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if sym := info.Table.Lookup("A"); sym == nil || !sym.IsArray() || sym.Type != source.TFloat {
+		t.Errorf("A: %+v", sym)
+	}
+	if sym := info.Table.Lookup("i"); sym == nil || sym.Type != source.TInt || !sym.Implicit {
+		t.Errorf("loop var i should be implicit int, got %+v", sym)
+	}
+}
+
+func TestCheckImplicitSubscriptIsInt(t *testing.T) {
+	p := source.MustParse(`
+		float A[10];
+		A[j] = 1.0;
+	`)
+	info, err := Check(p)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if sym := info.Table.Lookup("j"); sym == nil || sym.Type != source.TInt {
+		t.Errorf("subscript j should infer int, got %+v", sym)
+	}
+}
+
+func TestCheckImplicitScalarIsFloat(t *testing.T) {
+	p := source.MustParse(`x = 2.0; y = x * 3.0;`)
+	info, err := Check(p)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if sym := info.Table.Lookup("x"); sym == nil || sym.Type != source.TFloat {
+		t.Errorf("x should infer float, got %+v", sym)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"float A[10]; A[1][2] = 0.0;":         "rank",
+		"float A[10]; x = A;":                 "without subscript",
+		"float A[10]; A = 1.0;":               "without subscript",
+		"x = undeclared_fn(3);":               "unknown function",
+		"if (1 + 2) { x = 1.0; }":             "must be bool",
+		"while (n) { n = n - 1; }":            "must be bool",
+		"float A[10]; A[1.5] = 0.0;":          "must be int",
+		"float x; float x;":                   "redeclared",
+		"int i; float i[10];":                 "different shape",
+		"x = 1.0 % 2.0;":                      "must be int",
+		"b = true; c = b + 1;":                "arithmetic on bool",
+		"x = sqrt(1.0, 2.0);":                 "arguments",
+		"float A[n]; x = A[0]; n = 5;":        "",
+		"b = true && (1 < 2); x = b ? 1 : 2;": "",
+	}
+	for src, want := range bad {
+		_, err := Check(source.MustParse(src))
+		if want == "" {
+			if err != nil {
+				t.Errorf("Check(%q): unexpected error %v", src, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Check(%q): got %v, want error containing %q", src, err, want)
+		}
+	}
+}
+
+func TestFreshNames(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Declare(&Symbol{Name: "reg1", Type: source.TFloat}); err != nil {
+		t.Fatal(err)
+	}
+	n1 := tab.Fresh("reg", source.TFloat)
+	n2 := tab.Fresh("reg", source.TFloat)
+	if n1 != "reg2" || n2 != "reg3" {
+		t.Errorf("Fresh: got %q, %q", n1, n2)
+	}
+}
+
+func TestCanonicalizeForms(t *testing.T) {
+	good := map[string]struct {
+		v    string
+		step int64
+	}{
+		"for (i = 0; i < n; i++) { s += 1.0; }":         {"i", 1},
+		"for (i = 1; i <= n; i = i + 2) { s += 1.0; }":  {"i", 2},
+		"for (int k = 0; k < 10; k += 3) { s += 1.0; }": {"k", 3},
+		"for (j = 4; n > j; j += 2) { s += 1.0; }":      {"j", 2},
+	}
+	for src, want := range good {
+		p := source.MustParse(src)
+		l, err := Canonicalize(p.Stmts[0].(*source.For))
+		if err != nil {
+			t.Errorf("Canonicalize(%q): %v", src, err)
+			continue
+		}
+		if l.Var != want.v || l.Step != want.step {
+			t.Errorf("Canonicalize(%q): var=%q step=%d", src, l.Var, l.Step)
+		}
+	}
+	bad := []string{
+		"for (i = 0; i < n; i--) { s += 1.0; }",
+		"for (i = 0; i > n; i++) { s += 1.0; }",
+		"for (i = 0; i < n; i++) { i = 3; }",
+		"for (i = 0; i < n; i++) { break; }",
+		"for (i = 0; i < i + 5; i++) { s += 1.0; }",
+		"for (i = 0; i != n; i++) { s += 1.0; }",
+	}
+	for _, src := range bad {
+		p := source.MustParse(src)
+		if _, err := Canonicalize(p.Stmts[0].(*source.For)); err == nil {
+			t.Errorf("Canonicalize(%q): expected error", src)
+		}
+	}
+}
+
+func TestCanonicalizeLEBound(t *testing.T) {
+	p := source.MustParse("for (i = 1; i <= 8; i++) { s += 1.0; }")
+	l, err := Canonicalize(p.Stmts[0].(*source.For))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, ok := source.ConstInt(l.Hi)
+	if !ok || hi != 9 {
+		t.Errorf("Hi = %v, want 9", source.ExprString(l.Hi))
+	}
+	trip, ok := l.ConstTrip()
+	if !ok || trip != 8 {
+		t.Errorf("trip = %d, want 8", trip)
+	}
+}
+
+func TestTripCountExpr(t *testing.T) {
+	p := source.MustParse("for (i = 2; i < 11; i += 3) { s += 1.0; }")
+	l, err := Canonicalize(p.Stmts[0].(*source.For))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, ok := l.ConstTrip()
+	if !ok || trip != 3 { // i = 2, 5, 8
+		t.Errorf("trip = %d, want 3", trip)
+	}
+	if got := source.ExprString(l.TripCountExpr()); got != "11 / 3" && got != "3" {
+		// (11-2+2)/3 simplifies to 11/3
+		t.Logf("trip expr rendered as %q", got)
+	}
+}

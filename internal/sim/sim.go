@@ -1,0 +1,673 @@
+// Package sim executes lowered programs (internal/ir) with cycle and
+// energy accounting. It is an execution-driven timing simulator: values
+// are computed exactly (and checked against the reference interpreter in
+// tests), while cycles follow the machine's issue policy —
+//
+//   - Static (VLIW): each block charges its statically scheduled length;
+//     back-to-back loop-body executions charge the steady-state length,
+//     and modulo-scheduled loop bodies charge their II with the full
+//     schedule length on entry (pipeline fill).
+//   - InOrder (superscalar/scalar): issue is simulated dynamically,
+//     multiple instructions per cycle up to the machine width and unit
+//     limits, stalling on register hazards.
+//
+// Loads and stores go through a set-associative L1 model; misses add the
+// machine's penalty and energy. Energy follows a Panalyzer-style
+// per-event model plus static leakage per cycle.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"slms/internal/backend"
+	"slms/internal/ims"
+	"slms/internal/interp"
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// BlockTiming is the compiled timing artifact for one block.
+type BlockTiming struct {
+	Sched *backend.BlockSched // static schedule (Static policy machines)
+	IMS   *ims.Result         // valid modulo schedule for a loop body
+	// LoopHead marks the condition block of an innermost counted loop;
+	// the final compiler rotates such loops, so repeat executions coming
+	// from the loop's own body are free (the body's schedule already
+	// pays for one branch per iteration).
+	LoopHead bool
+	// BodyID is the loop body block for LoopHead blocks.
+	BodyID int
+}
+
+// Plan carries per-block timing decisions, indexed by block ID.
+type Plan struct {
+	Blocks []BlockTiming
+}
+
+// Metrics is the simulation outcome.
+type Metrics struct {
+	Cycles      int64
+	Energy      float64
+	Instrs      int64
+	Loads       int64
+	Stores      int64
+	CacheMiss   int64
+	SpillLoads  int64 // loads/stores against the spill array
+	SpillStores int64
+	// ExecCounts records how many times each block executed (indexed by
+	// block ID), letting harnesses find the hot loop.
+	ExecCounts []int64
+}
+
+// String renders the metrics.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d energy=%.0f instrs=%d loads=%d stores=%d misses=%d",
+		m.Cycles, m.Energy, m.Instrs, m.Loads, m.Stores, m.CacheMiss)
+	return b.String()
+}
+
+// value is the simulator's register value.
+type value struct {
+	t source.Type
+	i int64
+	f float64
+	b bool
+}
+
+func (v value) asInt() int64 {
+	if v.t == source.TFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+func (v value) asFloat() float64 {
+	if v.t == source.TFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// cache is a set-associative LRU L1 model over flat byte addresses.
+type cache struct {
+	sets  int
+	assoc int
+	line  int
+	tags  [][]int64 // per set, LRU order (front = most recent)
+}
+
+func newCache(c machine.Cache) *cache {
+	line := c.LineBytes
+	if line <= 0 {
+		line = 32
+	}
+	sets := c.SizeBytes / (line * max(1, c.Assoc))
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{sets: sets, assoc: max(1, c.Assoc), line: line,
+		tags: make([][]int64, sets)}
+}
+
+// access returns true on hit and updates LRU state.
+func (c *cache) access(addr int64) bool {
+	lineAddr := addr / int64(c.line)
+	set := int(lineAddr % int64(c.sets))
+	ways := c.tags[set]
+	for k, t := range ways {
+		if t == lineAddr {
+			copy(ways[1:k+1], ways[:k])
+			ways[0] = lineAddr
+			return true
+		}
+	}
+	if len(ways) < c.assoc {
+		ways = append([]int64{lineAddr}, ways...)
+	} else {
+		copy(ways[1:], ways[:len(ways)-1])
+		ways[0] = lineAddr
+	}
+	c.tags[set] = ways
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run simulates f on machine d with timing plan, reading inputs from and
+// writing results back to env. maxInstrs guards against runaway loops
+// (0 = 500M).
+func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int64) (*Metrics, error) {
+	if maxInstrs == 0 {
+		maxInstrs = 500_000_000
+	}
+	s := &simulator{
+		f: f, d: d, plan: plan, env: env,
+		regs:  make([]value, f.NumRegs),
+		cache: newCache(d.Cache),
+		m:     &Metrics{ExecCounts: make([]int64, len(f.Blocks))},
+		limit: maxInstrs,
+	}
+	// Seed scalar home registers from the environment.
+	for name, r := range f.ScalarRegs {
+		if v, ok := env.Scalars[name]; ok {
+			s.regs[r] = fromInterp(v)
+		} else {
+			s.regs[r] = value{t: f.RegTypes[r]}
+		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	// Write scalars back.
+	for name, r := range f.ScalarRegs {
+		env.Scalars[name] = toInterp(s.regs[r], f.RegTypes[r])
+	}
+	s.m.Energy += d.Energy.Static * float64(s.m.Cycles)
+	return s.m, nil
+}
+
+func fromInterp(v interp.Value) value {
+	return value{t: v.T, i: v.I, f: v.F, b: v.B}
+}
+
+func toInterp(v value, t source.Type) interp.Value {
+	switch t {
+	case source.TInt:
+		return interp.IntVal(v.asInt())
+	case source.TFloat:
+		return interp.FloatVal(v.asFloat())
+	case source.TBool:
+		return interp.BoolVal(v.b)
+	}
+	switch v.t {
+	case source.TInt:
+		return interp.IntVal(v.i)
+	case source.TFloat:
+		return interp.FloatVal(v.f)
+	default:
+		return interp.BoolVal(v.b)
+	}
+}
+
+type simulator struct {
+	f     *ir.Func
+	d     *machine.Desc
+	plan  *Plan
+	env   *interp.Env
+	regs  []value
+	cache *cache
+	m     *Metrics
+	limit int64
+
+	// dynamic in-order issue state
+	cycle    int64
+	issued   int
+	fuUsed   [4]int
+	regReady []int64
+
+	// static-timing state
+	lastBlock int // previously executed block
+	prevBlock int // block before that
+
+	nextBase int64 // array base address allocator
+}
+
+func (s *simulator) run() error {
+	s.regReady = make([]int64, s.f.NumRegs)
+	s.lastBlock = -1
+	s.prevBlock = -1
+	blockID := 0
+	for {
+		if blockID < 0 || blockID >= len(s.f.Blocks) {
+			return fmt.Errorf("sim: control fell off the program (block %d)", blockID)
+		}
+		b := s.f.Blocks[blockID]
+		s.m.ExecCounts[blockID]++
+		next, halted, err := s.execBlock(b)
+		if err != nil {
+			return err
+		}
+		if halted {
+			if s.d.Policy == machine.InOrder {
+				s.m.Cycles = s.cycle + 1
+			}
+			return nil
+		}
+		s.prevBlock = s.lastBlock
+		s.lastBlock = blockID
+		blockID = next
+	}
+}
+
+// execBlock executes one block and returns the successor.
+func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
+	// Static timing: charge block cost on entry.
+	if s.d.Policy == machine.Static && s.plan != nil {
+		bt := s.plan.Blocks[b.ID]
+		// A block repeats when it re-executes back to back, possibly with
+		// only its (rotated-away) loop head in between.
+		repeat := s.lastBlock == b.ID ||
+			(s.lastBlock >= 0 && s.lastBlock < len(s.plan.Blocks) &&
+				s.plan.Blocks[s.lastBlock].LoopHead &&
+				s.plan.Blocks[s.lastBlock].BodyID == b.ID && s.prevBlock == b.ID)
+		switch {
+		case bt.LoopHead && s.lastBlock == bt.BodyID:
+			// Rotated loop: the back edge already paid for the test.
+		case bt.IMS != nil && bt.IMS.OK:
+			if repeat {
+				s.m.Cycles += int64(bt.IMS.II)
+			} else {
+				s.m.Cycles += int64(bt.IMS.SL)
+			}
+		case bt.Sched != nil:
+			if repeat {
+				s.m.Cycles += int64(bt.Sched.SteadyLen)
+			} else {
+				s.m.Cycles += int64(bt.Sched.Len)
+			}
+		default:
+			s.m.Cycles += int64(len(b.Instrs))
+		}
+	}
+	next = b.ID + 1
+	for _, in := range b.Instrs {
+		s.m.Instrs++
+		if s.m.Instrs > s.limit {
+			return 0, false, fmt.Errorf("sim: instruction limit exceeded (runaway loop?)")
+		}
+		s.m.Energy += s.d.OpEnergy(in)
+		if s.d.Policy == machine.InOrder {
+			s.issueInOrder(in)
+		}
+		switch in.Op {
+		case ir.Br:
+			return in.Target, false, nil
+		case ir.BrTrue:
+			if s.val(in.Args[0]).b {
+				return in.Target, false, nil
+			}
+			return next, false, nil
+		case ir.BrFalse:
+			if !s.val(in.Args[0]).b {
+				return in.Target, false, nil
+			}
+			return next, false, nil
+		case ir.Halt:
+			return 0, true, nil
+		default:
+			if err := s.exec(in); err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	return next, false, nil
+}
+
+// issueInOrder advances the dynamic issue model for one instruction.
+func (s *simulator) issueInOrder(in *ir.Instr) {
+	earliest := s.cycle
+	for _, a := range in.Args {
+		if a.Kind == ir.KReg && s.regReady[a.Reg] > earliest {
+			earliest = s.regReady[a.Reg]
+		}
+	}
+	fu := machine.UnitOf(in)
+	for earliest > s.cycle || s.issued >= s.d.IssueWidth || s.fuUsed[fu] >= s.d.Units[fu] {
+		s.cycle++
+		s.issued = 0
+		s.fuUsed = [4]int{}
+	}
+	s.issued++
+	s.fuUsed[fu]++
+	if in.Dst >= 0 {
+		s.regReady[in.Dst] = s.cycle + int64(s.d.Latency(in))
+	}
+	if in.Op.IsBranch() {
+		// Taken-branch redirection costs the branch latency.
+		s.cycle += int64(s.d.Lat.Branch)
+		s.issued = 0
+		s.fuUsed = [4]int{}
+	}
+}
+
+// missPenalty charges an L1 miss depending on the issue policy.
+func (s *simulator) chargeMem(in *ir.Instr, addr int64) {
+	hit := s.cache.access(addr)
+	if hit {
+		return
+	}
+	s.m.CacheMiss++
+	s.m.Energy += s.d.Energy.Miss
+	if s.d.Policy == machine.InOrder {
+		if in.Dst >= 0 {
+			s.regReady[in.Dst] += int64(s.d.Cache.MissPenalty)
+		} else {
+			s.cycle += int64(s.d.Cache.MissPenalty)
+		}
+	} else {
+		s.m.Cycles += int64(s.d.Cache.MissPenalty)
+	}
+}
+
+// array returns (allocating on first touch) the storage for name.
+func (s *simulator) array(name string) (*interp.Array, *ir.ArrayInfo, error) {
+	ai := s.f.Arrays[name]
+	if ai == nil {
+		return nil, nil, fmt.Errorf("sim: unknown array %q", name)
+	}
+	if a, ok := s.env.Arrays[name]; ok {
+		if ai.Base == 0 {
+			ai.Base = s.allocBase(int64(a.Len()))
+		}
+		return a, ai, nil
+	}
+	var dims []int
+	total := 1
+	if ai.StaticLen > 0 {
+		dims = []int{ai.StaticLen}
+		total = ai.StaticLen
+	} else {
+		dims = make([]int, len(ai.DimRegs))
+		for k, r := range ai.DimRegs {
+			dims[k] = int(s.regs[r].asInt())
+			if dims[k] <= 0 {
+				return nil, nil, fmt.Errorf("sim: array %q has dimension %d", name, dims[k])
+			}
+			total *= dims[k]
+		}
+	}
+	a := interp.NewArray(ai.Type, dims...)
+	s.env.Arrays[name] = a
+	ai.Base = s.allocBase(int64(total))
+	return a, ai, nil
+}
+
+func (s *simulator) allocBase(elems int64) int64 {
+	if s.nextBase == 0 {
+		s.nextBase = 4096
+	}
+	base := s.nextBase
+	s.nextBase += elems*8 + 64
+	return base
+}
+
+func (s *simulator) val(a ir.Val) value {
+	switch a.Kind {
+	case ir.KReg:
+		return s.regs[a.Reg]
+	case ir.KInt:
+		return value{t: source.TInt, i: a.I}
+	case ir.KFloat:
+		return value{t: source.TFloat, f: a.F}
+	default:
+		return value{t: source.TBool, b: a.B}
+	}
+}
+
+func (s *simulator) set(r int, v value) { s.regs[r] = v }
+
+func (s *simulator) exec(in *ir.Instr) error {
+	switch in.Op {
+	case ir.Nop:
+		return nil
+	case ir.Mov:
+		s.set(in.Dst, coerce(s.val(in.Args[0]), in.Type))
+		return nil
+	case ir.Cvt:
+		s.set(in.Dst, coerce(s.val(in.Args[0]), in.Type))
+		return nil
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod:
+		x, y := s.val(in.Args[0]), s.val(in.Args[1])
+		if in.Type == source.TFloat {
+			a, b := x.asFloat(), y.asFloat()
+			var r float64
+			switch in.Op {
+			case ir.Add:
+				r = a + b
+			case ir.Sub:
+				r = a - b
+			case ir.Mul:
+				r = a * b
+			case ir.Div:
+				r = a / b
+			case ir.Mod:
+				r = math.Mod(a, b)
+			}
+			s.set(in.Dst, value{t: source.TFloat, f: r})
+			return nil
+		}
+		a, b := x.asInt(), y.asInt()
+		var r int64
+		switch in.Op {
+		case ir.Add:
+			r = a + b
+		case ir.Sub:
+			r = a - b
+		case ir.Mul:
+			r = a * b
+		case ir.Div:
+			if b == 0 {
+				return fmt.Errorf("sim: integer division by zero")
+			}
+			r = a / b
+		case ir.Mod:
+			if b == 0 {
+				return fmt.Errorf("sim: integer modulo by zero")
+			}
+			r = a % b
+		}
+		s.set(in.Dst, value{t: source.TInt, i: r})
+		return nil
+	case ir.Neg:
+		x := s.val(in.Args[0])
+		if in.Type == source.TFloat {
+			s.set(in.Dst, value{t: source.TFloat, f: -x.asFloat()})
+		} else {
+			s.set(in.Dst, value{t: source.TInt, i: -x.asInt()})
+		}
+		return nil
+	case ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE, ir.CmpEQ, ir.CmpNE:
+		x, y := s.val(in.Args[0]), s.val(in.Args[1])
+		var r bool
+		if in.Type == source.TBool {
+			switch in.Op {
+			case ir.CmpEQ:
+				r = x.b == y.b
+			case ir.CmpNE:
+				r = x.b != y.b
+			default:
+				return fmt.Errorf("sim: ordered comparison of bools")
+			}
+		} else if in.Type == source.TInt {
+			a, b := x.asInt(), y.asInt()
+			switch in.Op {
+			case ir.CmpLT:
+				r = a < b
+			case ir.CmpLE:
+				r = a <= b
+			case ir.CmpGT:
+				r = a > b
+			case ir.CmpGE:
+				r = a >= b
+			case ir.CmpEQ:
+				r = a == b
+			case ir.CmpNE:
+				r = a != b
+			}
+		} else {
+			a, b := x.asFloat(), y.asFloat()
+			switch in.Op {
+			case ir.CmpLT:
+				r = a < b
+			case ir.CmpLE:
+				r = a <= b
+			case ir.CmpGT:
+				r = a > b
+			case ir.CmpGE:
+				r = a >= b
+			case ir.CmpEQ:
+				r = a == b
+			case ir.CmpNE:
+				r = a != b
+			}
+		}
+		s.set(in.Dst, value{t: source.TBool, b: r})
+		return nil
+	case ir.And:
+		s.set(in.Dst, value{t: source.TBool, b: s.val(in.Args[0]).b && s.val(in.Args[1]).b})
+		return nil
+	case ir.Or:
+		s.set(in.Dst, value{t: source.TBool, b: s.val(in.Args[0]).b || s.val(in.Args[1]).b})
+		return nil
+	case ir.Not:
+		s.set(in.Dst, value{t: source.TBool, b: !s.val(in.Args[0]).b})
+		return nil
+	case ir.Select:
+		c := s.val(in.Args[0])
+		if c.b {
+			s.set(in.Dst, coerce(s.val(in.Args[1]), in.Type))
+		} else {
+			s.set(in.Dst, coerce(s.val(in.Args[2]), in.Type))
+		}
+		return nil
+	case ir.Load:
+		a, ai, err := s.array(in.Arr)
+		if err != nil {
+			return err
+		}
+		idx := s.val(in.Args[0]).asInt()
+		if idx < 0 || idx >= int64(a.Len()) {
+			return fmt.Errorf("sim: %s[%d] out of range [0,%d)", in.Arr, idx, a.Len())
+		}
+		s.m.Loads++
+		if in.Arr == backend.SpillArray {
+			s.m.SpillLoads++
+		}
+		s.m.Energy += 0 // op energy charged already
+		s.chargeMem(in, ai.Base+idx*8)
+		var v value
+		switch a.Type {
+		case source.TInt:
+			v = value{t: source.TInt, i: a.I[idx]}
+		case source.TBool:
+			v = value{t: source.TBool, b: a.F[idx] != 0}
+		default:
+			v = value{t: source.TFloat, f: a.F[idx]}
+		}
+		s.set(in.Dst, coerce(v, in.Type))
+		return nil
+	case ir.Store:
+		a, ai, err := s.array(in.Arr)
+		if err != nil {
+			return err
+		}
+		idx := s.val(in.Args[0]).asInt()
+		if idx < 0 || idx >= int64(a.Len()) {
+			return fmt.Errorf("sim: %s[%d] out of range [0,%d)", in.Arr, idx, a.Len())
+		}
+		s.m.Stores++
+		if in.Arr == backend.SpillArray {
+			s.m.SpillStores++
+		}
+		s.chargeMem(in, ai.Base+idx*8)
+		v := s.val(in.Args[1])
+		switch {
+		case a.Type == source.TInt && v.t == source.TBool:
+			if v.b {
+				a.I[idx] = 1
+			} else {
+				a.I[idx] = 0
+			}
+		case a.Type == source.TInt:
+			a.I[idx] = v.asInt()
+		case v.t == source.TBool:
+			if v.b {
+				a.F[idx] = 1
+			} else {
+				a.F[idx] = 0
+			}
+		default:
+			a.F[idx] = v.asFloat()
+		}
+		return nil
+	case ir.Call:
+		args := make([]float64, len(in.Args))
+		for k, a := range in.Args {
+			args[k] = s.val(a).asFloat()
+		}
+		var r float64
+		switch strings.ToLower(in.Fn) {
+		case "abs":
+			r = math.Abs(args[0])
+		case "sqrt":
+			r = math.Sqrt(args[0])
+		case "exp":
+			r = math.Exp(args[0])
+		case "log":
+			r = math.Log(args[0])
+		case "sin":
+			r = math.Sin(args[0])
+		case "cos":
+			r = math.Cos(args[0])
+		case "pow":
+			r = math.Pow(args[0], args[1])
+		case "min":
+			r = math.Min(args[0], args[1])
+		case "max":
+			r = math.Max(args[0], args[1])
+		case "sign":
+			r = math.Copysign(math.Abs(args[0]), args[1])
+		case "mod":
+			r = math.Mod(args[0], args[1])
+		default:
+			return fmt.Errorf("sim: unknown intrinsic %q", in.Fn)
+		}
+		if in.Type == source.TInt {
+			s.set(in.Dst, value{t: source.TInt, i: int64(r)})
+		} else {
+			s.set(in.Dst, value{t: source.TFloat, f: r})
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: cannot execute %v", in.Op)
+}
+
+func coerce(v value, t source.Type) value {
+	if v.t == t || t == source.TUnknown {
+		return v
+	}
+	switch t {
+	case source.TInt:
+		if v.t == source.TBool {
+			if v.b {
+				return value{t: source.TInt, i: 1}
+			}
+			return value{t: source.TInt, i: 0}
+		}
+		return value{t: source.TInt, i: v.asInt()}
+	case source.TFloat:
+		if v.t == source.TBool {
+			if v.b {
+				return value{t: source.TFloat, f: 1}
+			}
+			return value{t: source.TFloat, f: 0}
+		}
+		return value{t: source.TFloat, f: v.asFloat()}
+	case source.TBool:
+		// Numeric → bool: non-zero is true (bool array loads).
+		if v.t == source.TInt || v.t == source.TFloat {
+			return value{t: source.TBool, b: v.asFloat() != 0}
+		}
+		return value{t: source.TBool, b: v.b}
+	}
+	return v
+}

@@ -1,0 +1,173 @@
+package slc
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/interp"
+	"slms/internal/source"
+)
+
+// optimizeAndCheck runs the driver and verifies semantic equivalence.
+func optimizeAndCheck(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	p := source.MustParse(src)
+	res, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	e1, e2 := interp.NewEnv(), interp.NewEnv()
+	if err := interp.Run(p, e1); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	if err := interp.Run(res.Program, e2); err != nil {
+		t.Fatalf("optimized: %v\n%s", err, source.Print(res.Program))
+	}
+	if d := interp.Compare(e1, e2, interp.CompareOpts{FloatTol: 1e-6}); len(d) > 0 {
+		t.Fatalf("mismatch: %v\n%s", d, source.Print(res.Program))
+	}
+	e3 := interp.NewEnv()
+	e3.ParallelPar = true
+	if err := interp.Run(res.Program, e3); err != nil {
+		t.Fatalf("parallel rows: %v\n%s", err, source.Print(res.Program))
+	}
+	if d := interp.Compare(e1, e3, interp.CompareOpts{FloatTol: 1e-6}); len(d) > 0 {
+		t.Fatalf("parallel-row mismatch: %v\n%s", d, source.Print(res.Program))
+	}
+	return res
+}
+
+func hasAction(res *Result, transform string, applied bool) bool {
+	for _, a := range res.Actions {
+		if a.Transform == transform && a.Applied == applied {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSLCPlainSLMS(t *testing.T) {
+	res := optimizeAndCheck(t, `
+		float A[64]; float B[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.5*z; B[z] = 1.0; }
+		float t = 0.0;
+		for (i = 1; i < 60; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+		}
+	`, DefaultOptions())
+	if !hasAction(res, "slms", true) {
+		t.Errorf("expected a plain slms action: %v", res.Actions)
+	}
+}
+
+func TestSLCFusionEnablesSLMS(t *testing.T) {
+	// The §6 pair: neither loop schedules alone; the SLC fuses them.
+	res := optimizeAndCheck(t, `
+		float A[100]; float B[100]; float C[100];
+		for (z = 0; z < 100; z++) { A[z] = 0.1*z; B[z] = 1.0 + 0.05*z; C[z] = 2.0 - 0.01*z; }
+		float t = 0.0; float q = 0.0;
+		for (i = 1; i < 100; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			A[i] = t + B[i];
+		}
+		for (i = 1; i < 100; i++) {
+			q = C[i-1];
+			B[i] = B[i] + q;
+			C[i] = q * B[i];
+		}
+	`, DefaultOptions())
+	if !hasAction(res, "fusion+slms", true) {
+		t.Errorf("expected fusion+slms: %v", res.Actions)
+	}
+}
+
+func TestSLCInterchangeEnablesSLMS(t *testing.T) {
+	res := optimizeAndCheck(t, `
+		float a[24][24];
+		for (z = 0; z < 24; z++) { for (w = 0; w < 24; w++) { a[z][w] = 0.3*z + 0.1*w; } }
+		float t = 0.0;
+		for (i = 0; i < 20; i++) {
+			for (j = 0; j < 20; j++) {
+				t = a[i][j];
+				a[i][j+1] = t;
+			}
+		}
+	`, DefaultOptions())
+	if !hasAction(res, "interchange+slms", true) {
+		t.Errorf("expected interchange+slms: %v", res.Actions)
+	}
+}
+
+func TestSLCMirrorDownward(t *testing.T) {
+	res := optimizeAndCheck(t, `
+		float A[64]; float B[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.5*z + 1.0; B[z] = 2.0; }
+		float t = 0.0;
+		for (i = 50; i > 1; i--) {
+			t = A[i+1];
+			B[i] = B[i] * 0.5 + t;
+		}
+	`, DefaultOptions())
+	if !hasAction(res, "mirror+slms", true) {
+		t.Errorf("expected mirror+slms: %v", res.Actions)
+	}
+}
+
+func TestSLCReductionSplit(t *testing.T) {
+	// Pure accumulator: a single MI whose recurrence resists SLMS until
+	// the reduction is split.
+	res := optimizeAndCheck(t, `
+		float A[128];
+		for (z = 0; z < 128; z++) { A[z] = 0.01*z + 0.5; }
+		float s = 0.0;
+		for (i = 0; i < 120; i++) {
+			s += A[i];
+		}
+	`, DefaultOptions())
+	applied := hasAction(res, "reduction-split+slms", true) || hasAction(res, "slms", true)
+	if !applied {
+		t.Errorf("expected the accumulator to be handled: %v", res.Actions)
+	}
+}
+
+func TestSLCLeavesHopelessLoopsAlone(t *testing.T) {
+	src := `
+		float A[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.5*z; }
+		for (i = 1; i < 60; i++) {
+			A[i] = A[i-1] * 1.0001;
+		}
+	`
+	res := optimizeAndCheck(t, src, DefaultOptions())
+	// The tight recurrence cannot be scheduled; the driver must record the
+	// failure and keep the loop intact.
+	found := false
+	for _, a := range res.Actions {
+		if !a.Applied && strings.Contains(a.Transform, "slms") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a skipped action: %v", res.Actions)
+	}
+}
+
+func TestSLCActionsAreReadable(t *testing.T) {
+	res := optimizeAndCheck(t, `
+		float A[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.5*z; }
+		float t = 0.0;
+		for (i = 1; i < 60; i++) {
+			t = A[i+1];
+			A[i] = A[i-1] + t;
+		}
+	`, DefaultOptions())
+	for _, a := range res.Actions {
+		s := a.String()
+		if !strings.Contains(s, "loop") {
+			t.Errorf("unreadable action: %q", s)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package source
+
+// Constructors and a light algebraic simplifier used by the
+// transformations. The simplifier is what keeps transformed programs
+// readable: shifting A[i + 1] by two iterations yields A[i + 3] rather
+// than A[i + 1 + 2], matching the listings in the paper.
+
+// Int returns an integer literal.
+func Int(v int64) *IntLit { return &IntLit{Value: v} }
+
+// Float returns a float literal.
+func Float(v float64) *FloatLit { return &FloatLit{Value: v} }
+
+// Bool returns a bool literal.
+func Bool(v bool) *BoolLit { return &BoolLit{Value: v} }
+
+// Var returns a scalar variable reference.
+func Var(name string) *VarRef { return &VarRef{Name: name} }
+
+// Index returns an array element reference.
+func Index(name string, idx ...Expr) *IndexExpr { return &IndexExpr{Name: name, Indices: idx} }
+
+// Bin returns a simplified binary expression.
+func Bin(op Op, x, y Expr) Expr { return Simplify(&Binary{Op: op, X: x, Y: y}) }
+
+// Add returns x + y, simplified.
+func Add(x, y Expr) Expr { return Bin(OpAdd, x, y) }
+
+// Sub returns x - y, simplified.
+func Sub(x, y Expr) Expr { return Bin(OpSub, x, y) }
+
+// Mul returns x * y, simplified.
+func Mul(x, y Expr) Expr { return Bin(OpMul, x, y) }
+
+// AddConst returns e + k, simplified (k may be negative or zero).
+func AddConst(e Expr, k int64) Expr { return Add(CloneExpr(e), Int(k)) }
+
+// Not returns the logical negation of e, simplifying double negation.
+func Not(e Expr) Expr {
+	if u, ok := e.(*Unary); ok && u.Op == OpNot {
+		return CloneExpr(u.X)
+	}
+	if b, ok := e.(*BoolLit); ok {
+		return Bool(!b.Value)
+	}
+	return &Unary{Op: OpNot, X: CloneExpr(e)}
+}
+
+// ConstInt reports whether e is an integer constant and returns its value.
+func ConstInt(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Value, true
+	case *Unary:
+		if e.Op == OpNeg {
+			if v, ok := ConstInt(e.X); ok {
+				return -v, true
+			}
+		}
+	case *Binary:
+		x, okx := ConstInt(e.X)
+		y, oky := ConstInt(e.Y)
+		if okx && oky {
+			switch e.Op {
+			case OpAdd:
+				return x + y, true
+			case OpSub:
+				return x - y, true
+			case OpMul:
+				return x * y, true
+			case OpDiv:
+				if y != 0 {
+					return x / y, true
+				}
+			case OpMod:
+				if y != 0 {
+					return x % y, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Simplify performs bottom-up constant folding and identity elimination
+// on integer expressions. It never changes semantics: float expressions
+// are folded only for exact literal arithmetic on + - *.
+func Simplify(e Expr) Expr {
+	return MapExpr(e, simplifyNode)
+}
+
+func simplifyNode(e Expr) Expr {
+	b, ok := e.(*Binary)
+	if !ok {
+		if u, isU := e.(*Unary); isU && u.Op == OpNeg {
+			if v, isC := ConstInt(u.X); isC {
+				return Int(-v)
+			}
+		}
+		return e
+	}
+	xi, xIsInt := b.X.(*IntLit)
+	yi, yIsInt := b.Y.(*IntLit)
+	if xIsInt && yIsInt {
+		if v, ok := ConstInt(b); ok {
+			return Int(v)
+		}
+	}
+	switch b.Op {
+	case OpAdd:
+		if xIsInt && xi.Value == 0 {
+			return b.Y
+		}
+		if yIsInt && yi.Value == 0 {
+			return b.X
+		}
+		// (x + c1) + c2 -> x + (c1+c2);  (x - c1) + c2 -> x + (c2-c1)
+		if yIsInt {
+			if inner, okb := b.X.(*Binary); okb {
+				if c1, okc := inner.Y.(*IntLit); okc {
+					switch inner.Op {
+					case OpAdd:
+						return reAdd(inner.X, c1.Value+yi.Value)
+					case OpSub:
+						return reAdd(inner.X, yi.Value-c1.Value)
+					}
+				}
+			}
+			if yi.Value < 0 {
+				return &Binary{Op: OpSub, X: b.X, Y: Int(-yi.Value)}
+			}
+		}
+		// c + x -> x + c (canonical order keeps folding effective)
+		if xIsInt && !yIsInt {
+			return simplifyNode(&Binary{Op: OpAdd, X: b.Y, Y: b.X})
+		}
+	case OpSub:
+		if yIsInt && yi.Value == 0 {
+			return b.X
+		}
+		if yIsInt {
+			if inner, okb := b.X.(*Binary); okb {
+				if c1, okc := inner.Y.(*IntLit); okc {
+					switch inner.Op {
+					case OpAdd:
+						return reAdd(inner.X, c1.Value-yi.Value)
+					case OpSub:
+						return reAdd(inner.X, -c1.Value-yi.Value)
+					}
+				}
+			}
+			if yi.Value < 0 {
+				return simplifyNode(&Binary{Op: OpAdd, X: b.X, Y: Int(-yi.Value)})
+			}
+		}
+		// x - x -> 0 for plain variable references.
+		if xv, okx := b.X.(*VarRef); okx {
+			if yv, oky := b.Y.(*VarRef); oky && xv.Name == yv.Name {
+				return Int(0)
+			}
+		}
+	case OpMul:
+		if xIsInt {
+			switch xi.Value {
+			case 0:
+				if sideEffectFree(b.Y) {
+					return Int(0)
+				}
+			case 1:
+				return b.Y
+			}
+		}
+		if yIsInt {
+			switch yi.Value {
+			case 0:
+				if sideEffectFree(b.X) {
+					return Int(0)
+				}
+			case 1:
+				return b.X
+			}
+		}
+	case OpDiv:
+		if yIsInt && yi.Value == 1 {
+			return b.X
+		}
+	}
+	return b
+}
+
+// reAdd builds x + k (or x - |k|, or just x) in canonical form.
+func reAdd(x Expr, k int64) Expr {
+	switch {
+	case k == 0:
+		return x
+	case k > 0:
+		return &Binary{Op: OpAdd, X: x, Y: Int(k)}
+	default:
+		return &Binary{Op: OpSub, X: x, Y: Int(-k)}
+	}
+}
+
+// sideEffectFree reports whether evaluating e has no side effects.
+// Mini-C expressions are always side-effect free, but guard anyway so a
+// future extension cannot silently break the simplifier.
+func sideEffectFree(e Expr) bool { return e != nil }
+
+// ShiftVar returns a copy of e with scalar `name` replaced by
+// `name + k` (simplified), the core reindexing step of modulo scheduling:
+// MI_k of iteration i+d reads A[(i+d)+c].
+func ShiftVar(e Expr, name string, k int64) Expr {
+	if k == 0 {
+		return CloneExpr(e)
+	}
+	return Simplify(SubstVar(e, name, reAdd(Var(name), k)))
+}
+
+// ShiftVarStmt returns a deep copy of s with scalar `name` shifted by k.
+func ShiftVarStmt(s Stmt, name string, k int64) Stmt {
+	c := CloneStmt(s)
+	if k == 0 {
+		return c
+	}
+	SubstVarStmt(c, name, reAdd(Var(name), k))
+	MapStmtExprs(c, func(e Expr) Expr { return Simplify(e) })
+	return c
+}

@@ -1,0 +1,247 @@
+package source
+
+import "fmt"
+
+// Lexer turns mini-C source text into a stream of tokens. It supports //
+// line comments and /* ... */ block comments.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexical or syntactic error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) errf(p Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: p}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		start := l.off
+		isFloat := false
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off < len(l.src) && l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.off < len(l.src) && (l.peek() == 'e' || l.peek() == 'E') {
+			// Exponent: e[+-]?digits
+			save := l.off
+			l.advance()
+			if l.off < len(l.src) && (l.peek() == '+' || l.peek() == '-') {
+				l.advance()
+			}
+			if l.off < len(l.src) && isDigit(l.peek()) {
+				isFloat = true
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			} else {
+				l.off = save // not an exponent after all
+			}
+		}
+		text := l.src[start:l.off]
+		if isFloat {
+			return Token{Kind: FLOATLIT, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: INTLIT, Text: text, Pos: p}, nil
+	}
+
+	l.advance()
+	two := func(next byte, withKind, aloneKind TokenKind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Text: tokenNames[withKind], Pos: p}, nil
+		}
+		return Token{Kind: aloneKind, Text: tokenNames[aloneKind], Pos: p}, nil
+	}
+
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Text: "(", Pos: p}, nil
+	case ')':
+		return Token{Kind: RPAREN, Text: ")", Pos: p}, nil
+	case '{':
+		return Token{Kind: LBRACE, Text: "{", Pos: p}, nil
+	case '}':
+		return Token{Kind: RBRACE, Text: "}", Pos: p}, nil
+	case '[':
+		return Token{Kind: LBRACK, Text: "[", Pos: p}, nil
+	case ']':
+		return Token{Kind: RBRACK, Text: "]", Pos: p}, nil
+	case ';':
+		return Token{Kind: SEMI, Text: ";", Pos: p}, nil
+	case ',':
+		return Token{Kind: COMMA, Text: ",", Pos: p}, nil
+	case '?':
+		return Token{Kind: QUESTION, Text: "?", Pos: p}, nil
+	case ':':
+		return Token{Kind: COLON, Text: ":", Pos: p}, nil
+	case '%':
+		return Token{Kind: PERCENT, Text: "%", Pos: p}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: PLUSPLUS, Text: "++", Pos: p}, nil
+		}
+		return two('=', PLUSEQ, PLUS)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: MINUSMIN, Text: "--", Pos: p}, nil
+		}
+		return two('=', MINUSEQ, MINUS)
+	case '*':
+		return two('=', STAREQ, STAR)
+	case '/':
+		return two('=', SLASHEQ, SLASH)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: ANDAND, Text: "&&", Pos: p}, nil
+		}
+		return Token{}, l.errf(p, "unexpected character %q (did you mean &&?)", "&")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OROR, Text: "||", Pos: p}, nil
+		}
+		return Token{}, l.errf(p, "unexpected character %q (did you mean ||?)", "|")
+	}
+	return Token{}, l.errf(p, "unexpected character %q", string(c))
+}
+
+// Tokenize scans all of src and returns the token slice (terminated by EOF).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

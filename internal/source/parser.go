@@ -1,0 +1,672 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for mini-C.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full program (a sequence of declarations and statements).
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. It is intended for embedding
+// benchmark kernels and tests.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != EOF {
+		return nil, p.errf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errf("expected %q, found %s", k.String(), p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// ------------------------------------------------------------ statements
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwInt, KwFloat, KwBool:
+		return p.declStmt()
+	case KwIf:
+		return p.ifStmt()
+	case KwFor:
+		return p.forStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwPar:
+		return p.parStmt()
+	case LBRACE:
+		return p.block()
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Break{P: t.Pos}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Continue{P: t.Pos}, nil
+	case SEMI:
+		p.next()
+		return &Block{P: t.Pos}, nil
+	case IDENT:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, p.errf("expected statement, found %s", t)
+}
+
+// declStmt parses `type name[dims] (= init)? (, name...)* ;`. A
+// comma-separated list produces a Block of Decls.
+func (p *Parser) declStmt() (Stmt, error) {
+	t := p.next()
+	var typ Type
+	switch t.Kind {
+	case KwInt:
+		typ = TInt
+	case KwFloat:
+		typ = TFloat
+	case KwBool:
+		typ = TBool
+	}
+	var decls []Stmt
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &Decl{P: t.Pos, Type: typ, Name: name.Text}
+		for p.cur().Kind == LBRACK {
+			p.next()
+			dim, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+			for p.accept(COMMA) {
+				dim2, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				d.Dims = append(d.Dims, dim2)
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(ASSIGN) {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if len(d.Dims) > 0 {
+				return nil, p.errf("array %q cannot have a scalar initializer", d.Name)
+			}
+			d.Init = init
+		}
+		decls = append(decls, d)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Block{P: t.Pos, Stmts: decls}, nil
+}
+
+// simpleStmt parses an assignment, increment/decrement, or call statement
+// (no trailing semicolon).
+func (p *Parser) simpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ:
+		opTok := p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		var op AssignOp
+		switch opTok.Kind {
+		case PLUSEQ:
+			op = AAdd
+		case MINUSEQ:
+			op = ASub
+		case STAREQ:
+			op = AMul
+		case SLASHEQ:
+			op = ADiv
+		default:
+			op = AEq
+		}
+		if !isLValue(lhs) {
+			return nil, &Error{Pos: start, Msg: "left side of assignment must be a variable or array element"}
+		}
+		return &Assign{P: start, LHS: lhs, Op: op, RHS: rhs}, nil
+	case PLUSPLUS, MINUSMIN:
+		opTok := p.next()
+		if !isLValue(lhs) {
+			return nil, &Error{Pos: start, Msg: "operand of ++/-- must be a variable or array element"}
+		}
+		op := AAdd
+		if opTok.Kind == MINUSMIN {
+			op = ASub
+		}
+		return &Assign{P: start, LHS: lhs, Op: op, RHS: &IntLit{P: start, Value: 1}}, nil
+	}
+	if c, ok := lhs.(*Call); ok {
+		return &ExprStmt{P: start, X: c}, nil
+	}
+	return nil, p.errf("expected assignment operator, found %s", p.cur())
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *VarRef, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{P: t.Pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		els, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+// stmtAsBlock parses one statement and wraps it in a Block unless it
+// already is one.
+func (p *Parser) stmtAsBlock() (*Block, error) {
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := s.(*Block); ok {
+		return b, nil
+	}
+	return &Block{P: s.Pos(), Stmts: []Stmt{s}}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	f := &For{P: t.Pos}
+	if p.cur().Kind != SEMI {
+		var err error
+		switch p.cur().Kind {
+		case KwInt, KwFloat, KwBool:
+			// `for (int i = 0; ...)` — declaration initializer.
+			typTok := p.next()
+			var typ Type
+			switch typTok.Kind {
+			case KwInt:
+				typ = TInt
+			case KwFloat:
+				typ = TFloat
+			default:
+				typ = TBool
+			}
+			name, err2 := p.expect(IDENT)
+			if err2 != nil {
+				return nil, err2
+			}
+			if _, err2 := p.expect(ASSIGN); err2 != nil {
+				return nil, err2
+			}
+			init, err2 := p.expr()
+			if err2 != nil {
+				return nil, err2
+			}
+			f.Init = &Decl{P: typTok.Pos, Type: typ, Name: name.Text, Init: init}
+		default:
+			f.Init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != SEMI {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RPAREN {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &While{P: t.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parStmt() (Stmt, error) {
+	t := p.next() // par
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	s := &Par{P: t.Pos}
+	for p.cur().Kind != RBRACE {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Stmts = append(s.Stmts, st)
+	}
+	p.next() // }
+	return s, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	t, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{P: t.Pos}
+	for p.cur().Kind != RBRACE {
+		if p.cur().Kind == EOF {
+			return nil, p.errf("unexpected end of input inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+// ------------------------------------------------------------ expressions
+
+func (p *Parser) expr() (Expr, error) { return p.ternary() }
+
+func (p *Parser) ternary() (Expr, error) {
+	c, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(QUESTION) {
+		return c, nil
+	}
+	a, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	b, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{P: c.Pos(), Cond: c, A: a, B: b}, nil
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OROR {
+		t := p.next()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: t.Pos, Op: OpOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	x, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == ANDAND {
+		t := p.next()
+		y, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: t.Pos, Op: OpAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) eqExpr() (Expr, error) {
+	x, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == EQ || p.cur().Kind == NE {
+		t := p.next()
+		op := OpEQ
+		if t.Kind == NE {
+			op = OpNE
+		}
+		y, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: t.Pos, Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) relExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch p.cur().Kind {
+		case LT:
+			op = OpLT
+		case LE:
+			op = OpLE
+		case GT:
+			op = OpGT
+		case GE:
+			op = OpGE
+		default:
+			return x, nil
+		}
+		t := p.next()
+		y, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: t.Pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == PLUS || p.cur().Kind == MINUS {
+		t := p.next()
+		op := OpAdd
+		if t.Kind == MINUS {
+			op = OpSub
+		}
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: t.Pos, Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch p.cur().Kind {
+		case STAR:
+			op = OpMul
+		case SLASH:
+			op = OpDiv
+		case PERCENT:
+			op = OpMod
+		default:
+			return x, nil
+		}
+		t := p.next()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: t.Pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case MINUS:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals immediately: -3 is a literal.
+		switch lit := x.(type) {
+		case *IntLit:
+			return &IntLit{P: t.Pos, Value: -lit.Value}, nil
+		case *FloatLit:
+			return &FloatLit{P: t.Pos, Value: -lit.Value}, nil
+		}
+		return &Unary{P: t.Pos, Op: OpNeg, X: x}, nil
+	case NOT:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{P: t.Pos, Op: OpNot, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "invalid integer literal " + t.Text}
+		}
+		return &IntLit{P: t.Pos, Value: v}, nil
+	case FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "invalid float literal " + t.Text}
+		}
+		return &FloatLit{P: t.Pos, Value: v}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{P: t.Pos, Value: true}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{P: t.Pos, Value: false}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LPAREN {
+			p.next()
+			c := &Call{P: t.Pos, Name: t.Text}
+			if p.cur().Kind != RPAREN {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		if p.cur().Kind == LBRACK {
+			ix := &IndexExpr{P: t.Pos, Name: t.Text}
+			for p.cur().Kind == LBRACK {
+				p.next()
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ix.Indices = append(ix.Indices, e)
+				for p.accept(COMMA) {
+					e2, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					ix.Indices = append(ix.Indices, e2)
+				}
+				if _, err := p.expect(RBRACK); err != nil {
+					return nil, err
+				}
+			}
+			return ix, nil
+		}
+		return &VarRef{P: t.Pos, Name: t.Text}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

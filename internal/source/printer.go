@@ -1,0 +1,329 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PrintStyle selects how Par groups are rendered.
+type PrintStyle int
+
+const (
+	// StyleParseable renders Par groups as `par { s1; s2; }`, which the
+	// parser accepts again (round-trip safe).
+	StyleParseable PrintStyle = iota
+	// StylePaper renders Par groups as `s1; || s2;` like the listings in
+	// the paper. Not re-parseable.
+	StylePaper
+)
+
+// Printer pretty-prints ASTs back to mini-C source text.
+type Printer struct {
+	Style  PrintStyle
+	Indent string // indentation unit, default two spaces
+
+	b     strings.Builder
+	depth int
+}
+
+// Print renders a whole program with the default printer.
+func Print(p *Program) string {
+	var pr Printer
+	return pr.Program(p)
+}
+
+// PrintPaper renders a whole program in paper style.
+func PrintPaper(p *Program) string {
+	pr := Printer{Style: StylePaper}
+	return pr.Program(p)
+}
+
+// PrintStmt renders one statement with the default printer.
+func PrintStmt(s Stmt) string {
+	var pr Printer
+	pr.stmt(s)
+	return strings.TrimRight(pr.b.String(), "\n")
+}
+
+// ExprString renders one expression.
+func ExprString(e Expr) string {
+	var pr Printer
+	return pr.expr(e, 0)
+}
+
+// Program renders a whole program.
+func (pr *Printer) Program(p *Program) string {
+	pr.b.Reset()
+	pr.depth = 0
+	for _, s := range p.Stmts {
+		pr.stmt(s)
+	}
+	return pr.b.String()
+}
+
+func (pr *Printer) indentUnit() string {
+	if pr.Indent == "" {
+		return "  "
+	}
+	return pr.Indent
+}
+
+func (pr *Printer) line(s string) {
+	pr.b.WriteString(strings.Repeat(pr.indentUnit(), pr.depth))
+	pr.b.WriteString(s)
+	pr.b.WriteString("\n")
+}
+
+func (pr *Printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Decl:
+		pr.line(pr.declString(s) + ";")
+	case *Assign:
+		pr.line(pr.assignString(s) + ";")
+	case *If:
+		pr.ifStmt(s)
+	case *For:
+		head := fmt.Sprintf("for (%s; %s; %s) {", pr.simpleString(s.Init), pr.optExpr(s.Cond), pr.simpleString(s.Post))
+		pr.line(head)
+		pr.depth++
+		for _, st := range s.Body.Stmts {
+			pr.stmt(st)
+		}
+		pr.depth--
+		pr.line("}")
+	case *While:
+		pr.line(fmt.Sprintf("while (%s) {", pr.expr(s.Cond, 0)))
+		pr.depth++
+		for _, st := range s.Body.Stmts {
+			pr.stmt(st)
+		}
+		pr.depth--
+		pr.line("}")
+	case *Block:
+		if len(s.Stmts) == 0 {
+			pr.line(";")
+			return
+		}
+		pr.line("{")
+		pr.depth++
+		for _, st := range s.Stmts {
+			pr.stmt(st)
+		}
+		pr.depth--
+		pr.line("}")
+	case *Par:
+		pr.parStmt(s)
+	case *Break:
+		pr.line("break;")
+	case *Continue:
+		pr.line("continue;")
+	case *ExprStmt:
+		pr.line(pr.expr(s.X, 0) + ";")
+	default:
+		pr.line(fmt.Sprintf("/* unknown stmt %T */", s))
+	}
+}
+
+func (pr *Printer) ifStmt(s *If) {
+	// Single-statement then/else bodies without an else-branch are printed
+	// inline to match the paper's predicated-MI style.
+	if s.Else == nil && len(s.Then.Stmts) == 1 {
+		if inner := pr.inlineStmt(s.Then.Stmts[0]); inner != "" {
+			pr.line(fmt.Sprintf("if (%s) %s", pr.expr(s.Cond, 0), inner))
+			return
+		}
+	}
+	pr.line(fmt.Sprintf("if (%s) {", pr.expr(s.Cond, 0)))
+	pr.depth++
+	for _, st := range s.Then.Stmts {
+		pr.stmt(st)
+	}
+	pr.depth--
+	if s.Else != nil {
+		pr.line("} else {")
+		pr.depth++
+		for _, st := range s.Else.Stmts {
+			pr.stmt(st)
+		}
+		pr.depth--
+	}
+	pr.line("}")
+}
+
+// inlineStmt renders a simple statement on one line (with its semicolon),
+// or returns "" if the statement is not simple.
+func (pr *Printer) inlineStmt(s Stmt) string {
+	switch s := s.(type) {
+	case *Assign:
+		return pr.assignString(s) + ";"
+	case *Break:
+		return "break;"
+	case *Continue:
+		return "continue;"
+	case *ExprStmt:
+		return pr.expr(s.X, 0) + ";"
+	case *If:
+		if s.Else == nil && len(s.Then.Stmts) == 1 {
+			if inner := pr.inlineStmt(s.Then.Stmts[0]); inner != "" {
+				return fmt.Sprintf("if (%s) %s", pr.expr(s.Cond, 0), inner)
+			}
+		}
+	}
+	return ""
+}
+
+func (pr *Printer) parStmt(s *Par) {
+	if pr.Style == StylePaper {
+		var parts []string
+		simple := true
+		for _, st := range s.Stmts {
+			in := pr.inlineStmt(st)
+			if in == "" {
+				simple = false
+				break
+			}
+			parts = append(parts, in)
+		}
+		if simple {
+			pr.line(strings.Join(parts, " || "))
+			return
+		}
+	}
+	pr.line("par {")
+	pr.depth++
+	for _, st := range s.Stmts {
+		pr.stmt(st)
+	}
+	pr.depth--
+	pr.line("}")
+}
+
+func (pr *Printer) declString(d *Decl) string {
+	s := d.Type.String() + " " + d.Name
+	for _, dim := range d.Dims {
+		s += "[" + pr.expr(dim, 0) + "]"
+	}
+	if d.Init != nil {
+		s += " = " + pr.expr(d.Init, 0)
+	}
+	return s
+}
+
+func (pr *Printer) assignString(a *Assign) string {
+	// Render `i += 1` as `i++` (and `-= 1` as `i--`) for readability.
+	if lit, ok := a.RHS.(*IntLit); ok && lit.Value == 1 {
+		if a.Op == AAdd {
+			return pr.expr(a.LHS, 0) + "++"
+		}
+		if a.Op == ASub {
+			return pr.expr(a.LHS, 0) + "--"
+		}
+	}
+	return fmt.Sprintf("%s %s %s", pr.expr(a.LHS, 0), a.Op, pr.expr(a.RHS, 0))
+}
+
+// simpleString renders a statement without its semicolon for for-headers.
+func (pr *Printer) simpleString(s Stmt) string {
+	switch s := s.(type) {
+	case nil:
+		return ""
+	case *Assign:
+		return pr.assignString(s)
+	case *Decl:
+		return pr.declString(s)
+	}
+	return "/*?*/"
+}
+
+func (pr *Printer) optExpr(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return pr.expr(e, 0)
+}
+
+// Operator precedence levels for minimal parenthesization.
+func prec(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEQ, OpNE:
+		return 3
+	case OpLT, OpLE, OpGT, OpGE:
+		return 4
+	case OpAdd, OpSub:
+		return 5
+	case OpMul, OpDiv, OpMod:
+		return 6
+	case OpNot, OpNeg:
+		return 7
+	}
+	return 8
+}
+
+func (pr *Printer) expr(e Expr, parent int) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return strconv.FormatInt(e.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *VarRef:
+		return e.Name
+	case *IndexExpr:
+		s := e.Name
+		for _, ix := range e.Indices {
+			s += "[" + pr.expr(ix, 0) + "]"
+		}
+		return s
+	case *Unary:
+		p := prec(e.Op)
+		inner := pr.expr(e.X, p)
+		if e.Op == OpNeg && strings.HasPrefix(inner, "-") {
+			inner = "(" + inner + ")" // avoid `--x` which lexes as decrement
+		}
+		s := e.Op.String() + inner
+		if p < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *Binary:
+		p := prec(e.Op)
+		// Right operand of - / % needs the next level to keep a-b-c correct.
+		rp := p
+		if e.Op == OpSub || e.Op == OpDiv || e.Op == OpMod {
+			rp = p + 1
+		}
+		s := pr.expr(e.X, p) + " " + e.Op.String() + " " + pr.expr(e.Y, rp)
+		if p < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *CondExpr:
+		s := fmt.Sprintf("%s ? %s : %s", pr.expr(e.Cond, 1), pr.expr(e.A, 0), pr.expr(e.B, 0))
+		if parent > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *Call:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, pr.expr(a, 0))
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}

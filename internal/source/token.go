@@ -1,0 +1,141 @@
+// Package source implements the mini-C language front end used by the
+// source-level compiler: a lexer, a recursive-descent parser, the abstract
+// syntax tree (AST) that every transformation operates on, and a pretty
+// printer that turns transformed ASTs back into readable source text.
+//
+// The language is the loop-kernel subset of C that the paper's benchmarks
+// (Livermore, Linpack, NAS, Stone) are written in: int/float/bool scalars,
+// one- and two-dimensional arrays, assignments (including the compound
+// forms += -= *= /=), if/else, C-style for loops, while loops, break and
+// continue, and a small set of math intrinsics. Two extensions support the
+// paper's output notation: `par { s1; s2; }` groups statements that the
+// scheduler has proven independent (rendered `s1; || s2;` in paper style),
+// and array indices may be written either `A[i][j]` or `A[i, j]`.
+package source
+
+import "fmt"
+
+// TokenKind enumerates the lexical token classes of mini-C.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwBool
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwBreak
+	KwContinue
+	KwTrue
+	KwFalse
+	KwPar
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	SEMI     // ;
+	COMMA    // ,
+	ASSIGN   // =
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	STAREQ   // *=
+	SLASHEQ  // /=
+	PLUSPLUS // ++
+	MINUSMIN // --
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+	ANDAND   // &&
+	OROR     // ||
+	NOT      // !
+	QUESTION // ?
+	COLON    // :
+)
+
+var tokenNames = map[TokenKind]string{
+	EOF:      "end of input",
+	IDENT:    "identifier",
+	INTLIT:   "integer literal",
+	FLOATLIT: "float literal",
+	KwInt:    "int", KwFloat: "float", KwBool: "bool",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while",
+	KwBreak: "break", KwContinue: "continue",
+	KwTrue: "true", KwFalse: "false", KwPar: "par",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", SEMI: ";", COMMA: ",",
+	ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PLUSPLUS: "++", MINUSMIN: "--",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	LT: "<", LE: "<=", GT: ">", GE: ">=", EQ: "==", NE: "!=",
+	ANDAND: "&&", OROR: "||", NOT: "!", QUESTION: "?", COLON: ":",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"int":      KwInt,
+	"float":    KwFloat,
+	"double":   KwFloat, // alias: benchmark sources use double
+	"bool":     KwBool,
+	"if":       KwIf,
+	"else":     KwElse,
+	"for":      KwFor,
+	"while":    KwWhile,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"true":     KwTrue,
+	"false":    KwFalse,
+	"par":      KwPar,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

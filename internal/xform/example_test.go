@@ -1,0 +1,114 @@
+package xform_test
+
+import (
+	"fmt"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+	"slms/internal/xform"
+)
+
+// ExampleFuse shows the §6 fusion example: neither loop can be modulo
+// scheduled alone, but the fused loop can (at II = 3).
+func ExampleFuse() {
+	prog := source.MustParse(`
+		float A[100]; float B[100]; float C[100];
+		float t = 0.0; float q = 0.0;
+		for (i = 1; i < 100; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+			A[i] = t + B[i];
+		}
+		for (i = 1; i < 100; i++) {
+			q = C[i-1];
+			B[i] = B[i] + q;
+			C[i] = q * B[i];
+		}
+	`)
+	info, err := sem.Check(prog)
+	if err != nil {
+		panic(err)
+	}
+	fused, err := xform.Fuse(prog.Stmts[5].(*source.For), prog.Stmts[6].(*source.For), info.Table)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(source.PrintStmt(fused))
+	// Output:
+	// for (i = 1; i < 100; i++) {
+	//   t = A[i - 1];
+	//   B[i] = B[i] + t;
+	//   A[i] = t + B[i];
+	//   q = C[i - 1];
+	//   B[i] = B[i] + q;
+	//   C[i] = q * B[i];
+	// }
+}
+
+// ExampleUnrollWhile shows the §10 generalized while-loop unrolling on
+// the shifted string copy.
+func ExampleUnrollWhile() {
+	prog := source.MustParse(`
+		float a[64];
+		int i = 0;
+		while (a[i+2] > 0.0) {
+			a[i] = a[i+2];
+			i++;
+		}
+	`)
+	info, err := sem.Check(prog)
+	if err != nil {
+		panic(err)
+	}
+	unrolled, err := xform.UnrollWhile(prog.Stmts[2].(*source.While), 2, info.Table, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(source.PrintStmt(unrolled))
+	// Output:
+	// {
+	//   while (a[i + 2] > 0.0 && a[i + 3] > 0.0) {
+	//     a[i] = a[i + 2];
+	//     a[i + 1] = a[i + 3];
+	//     i += 2;
+	//   }
+	//   while (a[i + 2] > 0.0) {
+	//     a[i] = a[i + 2];
+	//     i++;
+	//   }
+	// }
+}
+
+// ExampleSplitReduction shows the reduction splitting behind the
+// paper's §5 running-max example: the recurrence becomes two
+// independent chains combined after the loop.
+func ExampleSplitReduction() {
+	prog := source.MustParse(`
+		float arr[64];
+		float mx = arr[0];
+		for (i = 1; i < 60; i++) {
+			if (mx < arr[i]) mx = arr[i];
+		}
+	`)
+	info, err := sem.Check(prog)
+	if err != nil {
+		panic(err)
+	}
+	split, err := xform.SplitReduction(prog.Stmts[2].(*source.For), 2, info.Table)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(source.PrintStmt(split))
+	// Output:
+	// {
+	//   float mx1 = mx;
+	//   for (i = 1; i < 59; i += 2) {
+	//     if (mx < arr[i]) mx = arr[i];
+	//     if (mx1 < arr[i + 1]) mx1 = arr[i + 1];
+	//   }
+	//   mx = max(mx, mx1);
+	//   for (; i < 60; i++) {
+	//     if (mx < arr[i]) mx = arr[i];
+	//   }
+	// }
+}

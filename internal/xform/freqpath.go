@@ -1,0 +1,242 @@
+package xform
+
+import (
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// FrequentPath implements the second §10 extension: SLMS for loops with
+// conditional statements, specialized for the frequent path. For a loop
+//
+//	for (i...) { if (A) { B } else { C }  D }
+//
+// where profile knowledge (or the caller's assertion) says A is almost
+// always true, the frequent path Pf = A;B;D is software-pipelined: while
+// consecutive iterations stay on Pf, the kernel overlaps D of iteration
+// i with B of iteration i+1 (the paper's KPf = D_i ‖ B_{i+1} ‖ A_{i+2};
+// the A evaluation is folded into the kernel's loop condition). When A
+// turns false the pipeline drains and a sequential recovery loop runs
+// the infrequent path until the kernel can restart:
+//
+//	i = lo;
+//	while (i < hi) {
+//	    if (!A(i)) { C(i); D(i); i += s; }
+//	    else {
+//	        B(i);                                  // fill
+//	        while (i+s < hi && A(i+s)) {
+//	            par { D(i); B(i+s); }              // KPf kernel
+//	            i += s;
+//	        }
+//	        D(i); i += s;                          // drain
+//	    }
+//	}
+//
+// The fix-up code runs only when the branch changes direction, so the
+// common case executes one overlapped row per iteration. Legality: A is
+// hoisted above D of the previous iteration, so no statement of D may
+// write anything A reads one iteration later (checked; `speculate`
+// overrides, as §2 allows).
+func FrequentPath(f *source.For, tab *sem.Table, speculate bool) (source.Stmt, error) {
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	if len(f.Body.Stmts) < 1 {
+		return nil, notApplicable("empty body")
+	}
+	ifStmt, ok := f.Body.Stmts[0].(*source.If)
+	if !ok {
+		return nil, notApplicable("body does not start with an if statement")
+	}
+	bStmts := ifStmt.Then.Stmts
+	var cStmts []source.Stmt
+	if ifStmt.Else != nil {
+		cStmts = ifStmt.Else.Stmts
+	}
+	dStmts := f.Body.Stmts[1:]
+	if len(dStmts) == 0 {
+		return nil, notApplicable("no trailing statements to overlap with the next iteration")
+	}
+	if !speculate {
+		if err := freqPathSafe(dStmts, ifStmt.Cond, l.Var, l.Step); err != nil {
+			return nil, err
+		}
+	}
+
+	cond := func(shift int64) source.Expr {
+		return source.Simplify(source.ShiftVar(ifStmt.Cond, l.Var, shift*l.Step))
+	}
+	clone := func(ss []source.Stmt, shift int64) []source.Stmt {
+		out := make([]source.Stmt, 0, len(ss))
+		for _, s := range ss {
+			out = append(out, source.ShiftVarStmt(s, l.Var, shift*l.Step))
+		}
+		return out
+	}
+	advance := func() source.Stmt {
+		return &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(l.Step)}
+	}
+	inRange := func(shift int64) source.Expr {
+		lhs := source.Expr(source.Var(l.Var))
+		if shift != 0 {
+			lhs = source.AddConst(source.Var(l.Var), shift*l.Step)
+		}
+		return &source.Binary{Op: source.OpLT, X: lhs, Y: source.CloneExpr(l.Hi)}
+	}
+
+	// KPf kernel: par { D(i); B(i+1); } while the next iteration stays on
+	// the frequent path. Each side is one member (its internal order is
+	// preserved); the ‖ form additionally needs B(i+1) to be flow-free
+	// from D(i)'s stores, otherwise the pair runs sequentially.
+	var kernelRow source.Stmt
+	if kpfParallelOK(dStmts, bStmts, l.Var, l.Step) {
+		kernelRow = &source.Par{Stmts: []source.Stmt{
+			&source.Block{Stmts: clone(dStmts, 0)},
+			&source.Block{Stmts: clone(bStmts, 1)},
+		}}
+	} else {
+		kernelRow = &source.Block{Stmts: append(clone(dStmts, 0), clone(bStmts, 1)...)}
+	}
+	kernel := &source.While{
+		Cond: &source.Binary{Op: source.OpAnd, X: inRange(1), Y: cond(1)},
+		Body: &source.Block{Stmts: []source.Stmt{kernelRow, advance()}},
+	}
+
+	// Frequent-path branch: fill, kernel, drain.
+	freq := append(clone(bStmts, 0), source.Stmt(kernel))
+	freq = append(freq, clone(dStmts, 0)...)
+	freq = append(freq, advance())
+
+	// Infrequent path: run C and D sequentially.
+	infreq := append(clone(cStmts, 0), clone(dStmts, 0)...)
+	infreq = append(infreq, advance())
+
+	outer := &source.While{
+		Cond: inRange(0),
+		Body: &source.Block{Stmts: []source.Stmt{
+			&source.If{
+				Cond: source.CloneExpr(ifStmt.Cond),
+				Then: &source.Block{Stmts: freq},
+				Else: &source.Block{Stmts: infreq},
+			},
+		}},
+	}
+	init := &source.Assign{LHS: source.Var(l.Var), Op: source.AEq, RHS: source.CloneExpr(l.Lo)}
+	return &source.Block{Stmts: []source.Stmt{init, outer}}, nil
+}
+
+// kpfParallelOK reports whether B of iteration i+1 cannot read an
+// element D of iteration i writes (the condition for the ‖ row).
+func kpfParallelOK(dStmts, bStmts []source.Stmt, iv string, step int64) bool {
+	// Collect D's array writes and the scalars it writes.
+	var wIx []*source.IndexExpr
+	wScalars := map[string]bool{}
+	for _, s := range dStmts {
+		source.WalkStmt(s, func(st source.Stmt) bool {
+			if as, ok := st.(*source.Assign); ok {
+				switch lhs := as.LHS.(type) {
+				case *source.IndexExpr:
+					wIx = append(wIx, lhs)
+				case *source.VarRef:
+					wScalars[lhs.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	ok := true
+	for _, s := range bStmts {
+		source.WalkStmt(s, func(st source.Stmt) bool {
+			source.StmtExprs(st, func(e source.Expr) bool {
+				switch e := e.(type) {
+				case *source.VarRef:
+					if wScalars[e.Name] {
+						ok = false
+					}
+				case *source.IndexExpr:
+					for _, w := range wIx {
+						if w.Name != e.Name || len(w.Indices) != len(e.Indices) {
+							continue
+						}
+						// write@i vs read@(i+1): collide at distance step.
+						collide := true
+						for k := range w.Indices {
+							aw := dep.ExtractAffine(w.Indices[k], iv)
+							ar := dep.ExtractAffine(e.Indices[k], iv)
+							res, d := dep.SubscriptDistance(aw, ar)
+							if res == dep.DistNone || (res == dep.DistExact && d != step) {
+								collide = false
+								break
+							}
+						}
+						if collide {
+							ok = false
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return ok
+}
+
+// freqPathSafe rejects loops where hoisting A(i+1) above D(i) could read
+// a value D(i) writes.
+func freqPathSafe(dStmts []source.Stmt, cond source.Expr, iv string, step int64) error {
+	condScalars := map[string]bool{}
+	var condArrays []*source.IndexExpr
+	source.WalkExprs(cond, func(e source.Expr) bool {
+		switch e := e.(type) {
+		case *source.VarRef:
+			if e.Name != iv {
+				condScalars[e.Name] = true
+			}
+		case *source.IndexExpr:
+			condArrays = append(condArrays, e)
+		}
+		return true
+	})
+	for _, s := range dStmts {
+		var err error
+		source.WalkStmt(s, func(st source.Stmt) bool {
+			as, ok := st.(*source.Assign)
+			if !ok {
+				return true
+			}
+			switch lhs := as.LHS.(type) {
+			case *source.VarRef:
+				if condScalars[lhs.Name] {
+					err = notApplicable("the trailing statements write %q, which the condition reads", lhs.Name)
+					return false
+				}
+			case *source.IndexExpr:
+				for _, cr := range condArrays {
+					if cr.Name != lhs.Name {
+						continue
+					}
+					// The kernel evaluates A one iteration ahead (u = 2).
+					if conflictWithin(lhs, cr, iv, step, 2) {
+						err = notApplicable("a write in the trailing statements may change the look-ahead condition on %s", lhs.Name)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// B is executed after A in both versions, but B(i+1) of the kernel
+	// row runs before D(i+1): that is the original intra-iteration order
+	// reversed? No: the row is par{D(i); B(i+1)} — D of the OLDER
+	// iteration first, matching the pipeline order, and each iteration
+	// still runs B before its own D. Nothing further to check.
+	return nil
+}

@@ -1,0 +1,172 @@
+package xform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+func TestFrequentPathMostlyTaken(t *testing.T) {
+	// A is true except every 7th iteration: the kernel should run long
+	// stretches and the fix-up rarely.
+	src := `
+		float A[80]; float B[80]; float D[80];
+		for (z = 0; z < 80; z++) {
+			A[z] = (z * 3 % 7) + 1.0;
+			B[z] = 0.5 * z;
+			D[z] = 0.0;
+		}
+		for (i = 1; i < 70; i++) {
+			if (A[i] > 1.5) {
+				B[i] = B[i] + 1.0;
+			} else {
+				B[i] = B[i] - 1.0;
+			}
+			D[i] = B[i-1] * 2.0;
+		}
+	`
+	runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+		s, err := FrequentPath(p.Stmts[4].(*source.For), tab, false)
+		if err != nil {
+			t.Fatalf("FrequentPath: %v", err)
+		}
+		out := source.PrintStmt(s)
+		if !strings.Contains(out, "par {") {
+			t.Errorf("expected a KPf kernel row:\n%s", out)
+		}
+		return s
+	})
+}
+
+func TestFrequentPathAllPatterns(t *testing.T) {
+	// Sweep condition densities and trip counts, including 0 and 1.
+	for _, mod := range []int{1, 2, 3, 13} {
+		for _, hi := range []int{1, 2, 3, 9, 40} {
+			src := fmt.Sprintf(`
+				float A[60]; float B[60]; float D[60];
+				for (z = 0; z < 60; z++) {
+					A[z] = (z %% %d) + 0.0;
+					B[z] = 0.25 * z;
+					D[z] = 1.0;
+				}
+				for (i = 1; i < %d; i++) {
+					if (A[i] > 0.5) {
+						B[i] = B[i] * 1.5;
+					} else {
+						B[i] = B[i] + A[i-1];
+					}
+					D[i] = D[i-1] + B[i];
+				}
+			`, mod, hi)
+			runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+				s, err := FrequentPath(p.Stmts[4].(*source.For), tab, false)
+				if err != nil {
+					t.Fatalf("mod=%d hi=%d: %v", mod, hi, err)
+				}
+				return s
+			})
+		}
+	}
+}
+
+func TestFrequentPathNoElse(t *testing.T) {
+	src := `
+		float A[60]; float B[60];
+		for (z = 0; z < 60; z++) { A[z] = (z * 5 % 3) + 0.0; B[z] = 1.0; }
+		for (i = 0; i < 50; i++) {
+			if (A[i] > 0.5) {
+				B[i] = B[i] * 2.0;
+			}
+			A[i+1] = A[i+1] + 0.0;
+		}
+	`
+	// Note: D writes A[i+1] and the condition reads A[i] → the hoisted
+	// A(i+1) reads exactly what D(i) writes: must be rejected.
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	if _, err := FrequentPath(p.Stmts[3].(*source.For), info.Table, false); !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("expected rejection (D writes the look-ahead condition), got %v", err)
+	}
+	// With speculation the user forces it; semantics then genuinely
+	// change, so no equivalence check — only that it still runs.
+	if _, err := FrequentPath(p.Stmts[3].(*source.For), info.Table, true); err != nil {
+		t.Fatalf("speculative transform failed: %v", err)
+	}
+}
+
+func TestFrequentPathSafeNoElseEquivalent(t *testing.T) {
+	src := `
+		float A[60]; float B[60]; float D[60];
+		for (z = 0; z < 60; z++) { A[z] = (z * 5 % 3) + 0.0; B[z] = 1.0; D[z] = 0.0; }
+		for (i = 0; i < 50; i++) {
+			if (A[i] > 0.5) {
+				B[i] = B[i] * 2.0;
+			}
+			D[i] = B[i] + 1.0;
+		}
+	`
+	runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+		s, err := FrequentPath(p.Stmts[4].(*source.For), tab, false)
+		if err != nil {
+			t.Fatalf("FrequentPath: %v", err)
+		}
+		return s
+	})
+}
+
+func TestFrequentPathRejectsWrongShape(t *testing.T) {
+	cases := []string{
+		// no if at the head
+		`float B[60];
+		 for (i = 0; i < 50; i++) { B[i] = 1.0; }`,
+		// nothing after the if
+		`float A[60]; float B[60];
+		 for (i = 0; i < 50; i++) { if (A[i] > 0.5) { B[i] = 1.0; } }`,
+	}
+	for _, src := range cases {
+		p := source.MustParse(src)
+		info, _ := sem.Check(p)
+		var f *source.For
+		for _, s := range p.Stmts {
+			if ff, ok := s.(*source.For); ok {
+				f = ff
+			}
+		}
+		if _, err := FrequentPath(f, info.Table, false); !errors.Is(err, ErrNotApplicable) {
+			t.Errorf("expected ErrNotApplicable for %q, got %v", src[:40], err)
+		}
+	}
+}
+
+func TestFrequentPathScalarCondRejected(t *testing.T) {
+	// D updates a scalar the condition reads: the look-ahead would see a
+	// stale value.
+	src := `
+		float A[60]; float B[60];
+		float lim = 10.0;
+		for (z = 0; z < 60; z++) { A[z] = 1.0 * z; B[z] = 0.0; }
+		for (i = 0; i < 50; i++) {
+			if (A[i] < lim) {
+				B[i] = 1.0;
+			} else {
+				B[i] = 2.0;
+			}
+			lim = lim + 0.1;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	var f *source.For
+	for _, s := range p.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			f = ff
+		}
+	}
+	if _, err := FrequentPath(f, info.Table, false); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable, got %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package xform
+
+import (
+	"fmt"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// MirrorDownward rewrites a downward-counting loop
+//
+//	for (i = start; i > lo; i -= s) { body }
+//
+// into an upward canonical loop that executes the iterations in the
+// same order (so it is always legal, unlike reversal):
+//
+//	for (i2 = 0; i2 < trip; i2++) { body[i := start - i2*s] }
+//	i = start - trip*s;
+//
+// after which every transformation in this repository (SLMS included)
+// applies. `i >= lo` bounds are normalized like `i > lo-1`.
+func MirrorDownward(f *source.For, tab *sem.Table) (source.Stmt, error) {
+	// Recognize the downward form manually (sem.Canonicalize only accepts
+	// upward loops).
+	var ivName string
+	var start source.Expr
+	switch init := f.Init.(type) {
+	case *source.Assign:
+		v, ok := init.LHS.(*source.VarRef)
+		if !ok || init.Op != source.AEq {
+			return nil, notApplicable("loop init is not `var = expr`")
+		}
+		ivName, start = v.Name, init.RHS
+	case *source.Decl:
+		if init.Init == nil {
+			return nil, notApplicable("loop decl has no initializer")
+		}
+		ivName, start = init.Name, init.Init
+	default:
+		return nil, notApplicable("no recognizable init")
+	}
+
+	cond, ok := f.Cond.(*source.Binary)
+	if !ok {
+		return nil, notApplicable("condition is not a comparison")
+	}
+	var lo source.Expr // exclusive lower bound
+	switch {
+	case isVarNamed(cond.X, ivName) && cond.Op == source.OpGT:
+		lo = cond.Y
+	case isVarNamed(cond.X, ivName) && cond.Op == source.OpGE:
+		lo = source.AddConst(cond.Y, -1)
+	case isVarNamed(cond.Y, ivName) && cond.Op == source.OpLT: // lo < i
+		lo = cond.X
+	case isVarNamed(cond.Y, ivName) && cond.Op == source.OpLE: // lo <= i
+		lo = source.AddConst(cond.X, -1)
+	default:
+		return nil, notApplicable("condition does not bound %q from below", ivName)
+	}
+
+	step, err := downStep(f.Post, ivName)
+	if err != nil {
+		return nil, err
+	}
+
+	// trip = ceil((start - lo) / step); iterations i = start - k*step for
+	// k = 0..trip-1 (all > lo).
+	diff := source.Sub(source.CloneExpr(start), source.CloneExpr(lo))
+	var trip source.Expr
+	if step == 1 {
+		trip = diff
+	} else {
+		trip = source.Bin(source.OpDiv, source.AddConst(diff, step-1), source.Int(step))
+	}
+
+	counter := tab.Fresh(ivName+"m", source.TInt)
+	mirror := source.Sub(source.CloneExpr(start),
+		source.Mul(source.Var(counter), source.Int(step)))
+
+	var body []source.Stmt
+	for _, s := range f.Body.Stmts {
+		c := source.CloneStmt(s)
+		source.SubstVarStmt(c, ivName, mirror)
+		source.MapStmtExprs(c, func(e source.Expr) source.Expr { return source.Simplify(e) })
+		body = append(body, c)
+	}
+	up := sem.NewFor(counter, source.Int(0), trip, 1, body)
+	// Restore the induction variable's exit value: start - trip*step,
+	// computed from the counter's exit value (== trip).
+	restore := &source.Assign{
+		LHS: source.Var(ivName), Op: source.AEq,
+		RHS: source.Sub(source.CloneExpr(start),
+			source.Mul(source.Var(counter), source.Int(step))),
+	}
+	return &source.Block{Stmts: []source.Stmt{up, restore}}, nil
+}
+
+func isVarNamed(e source.Expr, name string) bool {
+	v, ok := e.(*source.VarRef)
+	return ok && v.Name == name
+}
+
+// downStep recognizes `i--`, `i -= c` and `i = i - c` with c > 0.
+func downStep(post source.Stmt, iv string) (int64, error) {
+	as, ok := post.(*source.Assign)
+	if !ok {
+		return 0, notApplicable("no recognizable decrement")
+	}
+	v, ok := as.LHS.(*source.VarRef)
+	if !ok || v.Name != iv {
+		return 0, notApplicable("post does not update %q", iv)
+	}
+	switch as.Op {
+	case source.ASub:
+		if c, isC := source.ConstInt(as.RHS); isC && c > 0 {
+			return c, nil
+		}
+	case source.AAdd:
+		if c, isC := source.ConstInt(as.RHS); isC && c < 0 {
+			return -c, nil
+		}
+	case source.AEq:
+		if b, isB := as.RHS.(*source.Binary); isB && b.Op == source.OpSub {
+			if bv, isV := b.X.(*source.VarRef); isV && bv.Name == iv {
+				if c, isC := source.ConstInt(b.Y); isC && c > 0 {
+					return c, nil
+				}
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: decrement is not a positive constant", ErrNotApplicable)
+}

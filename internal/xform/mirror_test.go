@@ -1,0 +1,111 @@
+package xform
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"slms/internal/core"
+	"slms/internal/interp"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+func TestMirrorDownwardBasic(t *testing.T) {
+	// A genuinely order-dependent downward recurrence: mirroring must
+	// preserve the order exactly.
+	for _, hi := range []int{0, 1, 2, 7, 30} {
+		src := fmt.Sprintf(initArrays+`
+			for (i = %d; i > 0; i--) {
+				A[i] = A[i+1] * 0.5 + B[i];
+			}
+		`, hi)
+		runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+			s, err := MirrorDownward(p.Stmts[4].(*source.For), tab)
+			if err != nil {
+				t.Fatalf("MirrorDownward: %v", err)
+			}
+			return s
+		})
+	}
+}
+
+func TestMirrorDownwardForms(t *testing.T) {
+	forms := []string{
+		"for (i = 30; i > 2; i--) { A[i] = B[i] + 1.0; }",
+		"for (i = 30; i >= 3; i -= 1) { A[i] = B[i] + 1.0; }",
+		"for (i = 31; i > 2; i -= 3) { A[i] = B[i] + 1.0; }",
+		"for (i = 30; i > 2; i = i - 2) { A[i] = B[i] + 1.0; }",
+		"for (i = 30; 2 < i; i--) { A[i] = B[i] + 1.0; }",
+	}
+	for _, form := range forms {
+		src := initArrays + form
+		runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+			s, err := MirrorDownward(p.Stmts[4].(*source.For), tab)
+			if err != nil {
+				t.Fatalf("%s: %v", form, err)
+			}
+			return s
+		})
+	}
+}
+
+func TestMirrorDownwardRejectsUpward(t *testing.T) {
+	p := source.MustParse("float A[10];\nfor (i = 0; i < 10; i++) { A[i] = 1.0; }")
+	info, _ := sem.Check(p)
+	if _, err := MirrorDownward(p.Stmts[1].(*source.For), info.Table); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestMirrorThenSLMS(t *testing.T) {
+	// The full workflow: a downward loop becomes upward, then SLMS
+	// pipelines it; end-to-end semantics must hold.
+	src := `
+		float A[64]; float B[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.2*z + 1.0; B[z] = 1.5 - 0.01*z; }
+		float t = 0.0;
+		for (i = 50; i > 1; i--) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+		}
+	`
+	p1 := source.MustParse(src)
+	p2 := source.CloneProgram(p1)
+	info, err := sem.Check(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored, err := MirrorDownward(p2.Stmts[4].(*source.For), info.Table)
+	if err != nil {
+		t.Fatalf("MirrorDownward: %v", err)
+	}
+	p2.Stmts[4] = mirrored
+	p3, results, err := core.TransformProgram(p2, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("SLMS after mirror: %v", err)
+	}
+	applied := false
+	for _, r := range results {
+		if r.Applied && r.MIs == 2 {
+			applied = true
+		}
+	}
+	if !applied {
+		for _, r := range results {
+			t.Logf("loop: applied=%v reason=%q", r.Applied, r.Reason)
+		}
+		t.Fatal("SLMS did not apply to the mirrored loop")
+	}
+	e1, e3 := interp.NewEnv(), interp.NewEnv()
+	if err := interp.Run(p1, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Run(p3, e3); err != nil {
+		t.Fatalf("mirrored+SLMS run: %v\n%s", err, source.Print(p3))
+	}
+	if d := interp.Compare(e1, e3, interp.CompareOpts{FloatTol: 1e-9,
+		IgnoreScalars: map[string]bool{}}); len(d) > 0 {
+		t.Fatalf("mismatch: %v\n%s", d, source.Print(p3))
+	}
+}

@@ -1,0 +1,197 @@
+package xform
+
+import (
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// reduction describes one splittable recurrence in a loop body.
+type reduction struct {
+	name string
+	// op is OpAdd (covers += and -=), OpMul, or OpNone when kind is
+	// min/max.
+	op source.Op
+	// minmax is OpLT for a max pattern (if (s < e) s = e) and OpGT for
+	// min; OpNone otherwise.
+	minmax source.Op
+	stmt   int // body statement index holding the update
+}
+
+// findReductions locates splittable reductions: sum/product updates
+// recognized by the dependence analysis, plus the predicated min/max
+// idiom. The scalar must be touched by exactly one body statement.
+func findReductions(body []source.Stmt, loopVar string, step int64, tab *sem.Table) ([]reduction, error) {
+	an, err := dep.Analyze(body, loopVar, tab, dep.Options{Step: step})
+	if err != nil {
+		return nil, err
+	}
+	var out []reduction
+	for name, si := range an.Scalars {
+		if si.Class != dep.Recurrence {
+			continue
+		}
+		if len(si.Defs) != 1 {
+			continue
+		}
+		touched := map[int]bool{si.Defs[0]: true}
+		for _, r := range si.Reads {
+			touched[r] = true
+		}
+		if len(touched) != 1 {
+			continue // read by other statements: splitting would change them
+		}
+		k := si.Defs[0]
+		if si.Reduction != source.OpNone {
+			out = append(out, reduction{name: name, op: si.Reduction, stmt: k})
+			continue
+		}
+		if mm := minMaxPattern(body[k], name); mm != source.OpNone {
+			out = append(out, reduction{name: name, minmax: mm, stmt: k})
+		}
+	}
+	return out, nil
+}
+
+// minMaxPattern recognizes `if (s < e) s = e;` (max, returns OpLT) and
+// `if (s > e) s = e;` (min, returns OpGT).
+func minMaxPattern(s source.Stmt, name string) source.Op {
+	ifs, ok := s.(*source.If)
+	if !ok || ifs.Else != nil || len(ifs.Then.Stmts) != 1 {
+		return source.OpNone
+	}
+	cond, ok := ifs.Cond.(*source.Binary)
+	if !ok || (cond.Op != source.OpLT && cond.Op != source.OpGT) {
+		return source.OpNone
+	}
+	cv, ok := cond.X.(*source.VarRef)
+	if !ok || cv.Name != name {
+		return source.OpNone
+	}
+	as, ok := ifs.Then.Stmts[0].(*source.Assign)
+	if !ok || as.Op != source.AEq {
+		return source.OpNone
+	}
+	av, ok := as.LHS.(*source.VarRef)
+	if !ok || av.Name != name {
+		return source.OpNone
+	}
+	if source.ExprString(as.RHS) != source.ExprString(cond.Y) {
+		return source.OpNone
+	}
+	return cond.Op
+}
+
+// SplitReduction unrolls the loop u times and splits every recognized
+// reduction into u independent chains, combined after the loop — the
+// transformation the paper applies (manually, for its running max
+// example) to let SLMS schedule reduction loops at II=1. Note that
+// splitting a floating-point sum reassociates the additions.
+func SplitReduction(f *source.For, u int, tab *sem.Table) (source.Stmt, error) {
+	if u < 2 {
+		return nil, notApplicable("split factor must be >= 2")
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	reds, err := findReductions(f.Body.Stmts, l.Var, l.Step, tab)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	if len(reds) == 0 {
+		return nil, notApplicable("no splittable reduction found")
+	}
+
+	typeOf := func(name string) source.Type {
+		if s := tab.Lookup(name); s != nil && s.Type != source.TUnknown {
+			return s.Type
+		}
+		return source.TFloat
+	}
+
+	// Chain names: chain 0 keeps the original scalar, chains 1..u-1 get
+	// fresh names initialized to the reduction identity (or to the
+	// current value for min/max, which is idempotent under combining).
+	chains := map[string][]string{}
+	var pre []source.Stmt
+	for _, r := range reds {
+		names := make([]string, u)
+		names[0] = r.name
+		for c := 1; c < u; c++ {
+			t := typeOf(r.name)
+			names[c] = tab.Fresh(r.name, t)
+			var init source.Expr
+			switch {
+			case r.minmax != source.OpNone:
+				init = source.Var(r.name)
+			case r.op == source.OpMul:
+				if t == source.TInt {
+					init = source.Int(1)
+				} else {
+					init = source.Float(1)
+				}
+			default:
+				if t == source.TInt {
+					init = source.Int(0)
+				} else {
+					init = source.Float(0)
+				}
+			}
+			pre = append(pre, &source.Decl{Type: t, Name: names[c], Init: init})
+		}
+		chains[r.name] = names
+	}
+
+	// Unrolled main loop with per-copy chain renaming.
+	var body []source.Stmt
+	for c := 0; c < u; c++ {
+		for _, s := range f.Body.Stmts {
+			cp := source.ShiftVarStmt(s, l.Var, int64(c)*l.Step)
+			for name, names := range chains {
+				source.RenameVarStmt(cp, name, names[c])
+			}
+			body = append(body, cp)
+		}
+	}
+	main := &source.For{
+		Init: &source.Assign{LHS: source.Var(l.Var), Op: source.AEq, RHS: source.CloneExpr(l.Lo)},
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var),
+			Y: source.Sub(source.CloneExpr(l.Hi), source.Int(int64(u-1)*l.Step))},
+		Post: &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(int64(u) * l.Step)},
+		Body: &source.Block{Stmts: body},
+	}
+
+	// Combine chains back into the original scalar.
+	var post []source.Stmt
+	for _, r := range reds {
+		names := chains[r.name]
+		acc := source.Expr(source.Var(names[0]))
+		for c := 1; c < u; c++ {
+			switch {
+			case r.minmax == source.OpLT:
+				acc = &source.Call{Name: "max", Args: []source.Expr{acc, source.Var(names[c])}}
+			case r.minmax == source.OpGT:
+				acc = &source.Call{Name: "min", Args: []source.Expr{acc, source.Var(names[c])}}
+			case r.op == source.OpMul:
+				acc = source.Mul(acc, source.Var(names[c]))
+			default:
+				acc = source.Add(acc, source.Var(names[c]))
+			}
+		}
+		post = append(post, &source.Assign{LHS: source.Var(r.name), Op: source.AEq, RHS: acc})
+	}
+
+	// Cleanup loop for the remainder iterations (original body).
+	cleanup := &source.For{
+		Init: nil,
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var), Y: source.CloneExpr(l.Hi)},
+		Post: &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(l.Step)},
+		Body: &source.Block{Stmts: cloneStmts(f.Body.Stmts)},
+	}
+
+	stmts := append(pre, source.Stmt(main))
+	stmts = append(stmts, post...)
+	stmts = append(stmts, cleanup)
+	return &source.Block{Stmts: stmts}, nil
+}

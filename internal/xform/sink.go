@@ -1,0 +1,111 @@
+package xform
+
+import (
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// SinkDefs implements the §2 / Figure-5 interaction: re-arranging a loop
+// body so that scalar definitions sit immediately before their first
+// use, shrinking live ranges and giving the final compiler's register
+// allocator an easier problem ("the SLC tips the user that the
+// life-times of loop-variants can be reduced ... SLC re-arranges the
+// source code such that the life-times are reduced").
+//
+// Each statement is moved as late as possible without crossing a
+// statement it has an intra-iteration dependence with (flow, anti or
+// output, at distance 0 — carried dependences are unaffected by
+// reordering within one iteration only when the relative order of the
+// endpoints is preserved, so statements connected by a carried edge are
+// kept in order too). Returns the rewritten loop and how many statements
+// moved.
+func SinkDefs(f *source.For, tab *sem.Table) (*source.For, int, error) {
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, 0, notApplicable("%v", err)
+	}
+	body := cloneStmts(f.Body.Stmts)
+	n := len(body)
+	if n < 3 {
+		return nil, 0, notApplicable("body too small to re-arrange")
+	}
+	an, err := dep.Analyze(body, l.Var, tab, dep.Options{Step: l.Step})
+	if err != nil {
+		return nil, 0, notApplicable("%v", err)
+	}
+	// ordered[i][j]: statement i must stay before statement j.
+	ordered := make([][]bool, n)
+	for i := range ordered {
+		ordered[i] = make([]bool, n)
+	}
+	for _, e := range an.Edges {
+		if e.From == e.To {
+			continue
+		}
+		// Any dependence edge between two statements pins their current
+		// relative source order (the safest interpretation for both
+		// intra-iteration and carried edges).
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		ordered[a][b] = true
+	}
+
+	// Only statements that define a scalar are worth sinking (the goal is
+	// shorter scalar live ranges).
+	definesScalar := make([]bool, n)
+	for _, si := range an.Scalars {
+		for _, d := range si.Defs {
+			definesScalar[d] = true
+		}
+	}
+
+	// Maximal sink, processed bottom-up: each candidate moves down past
+	// every statement it has no dependence pin with, stopping just before
+	// the first statement that must follow it. Pins are between original
+	// indices, so they stay valid as elements move.
+	perm := make([]int, n) // perm[k] = original index of the k-th statement
+	for i := range perm {
+		perm[i] = i
+	}
+	moved := 0
+	for orig := n - 1; orig >= 0; orig-- {
+		if !definesScalar[orig] {
+			continue
+		}
+		pos := 0
+		for k, idx := range perm {
+			if idx == orig {
+				pos = k
+			}
+		}
+		target := pos
+		for j := pos + 1; j < n; j++ {
+			lo, hi := orig, perm[j]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if ordered[lo][hi] {
+				break
+			}
+			target = j
+		}
+		if target > pos {
+			// Rotate orig down to target.
+			v := perm[pos]
+			copy(perm[pos:], perm[pos+1:target+1])
+			perm[target] = v
+			moved++
+		}
+	}
+	if moved == 0 {
+		return nil, 0, notApplicable("no statement can be usefully moved")
+	}
+	out := make([]source.Stmt, n)
+	for k, idx := range perm {
+		out[k] = body[idx]
+	}
+	return sem.NewFor(l.Var, source.CloneExpr(l.Lo), source.CloneExpr(l.Hi), l.Step, out), moved, nil
+}

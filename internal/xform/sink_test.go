@@ -1,0 +1,135 @@
+package xform
+
+import (
+	"errors"
+	"testing"
+
+	"slms/internal/backend"
+	"slms/internal/machine"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+func TestSinkDefsFigure5(t *testing.T) {
+	// Figure 5's shape: three scalars loaded at the top of the body but
+	// used only at the bottom — sinking their definitions shrinks the
+	// number of simultaneously live values.
+	src := `
+		float A[64]; float B[64]; float C[64]; float D[64]; float E[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.1*z; B[z] = 0.2*z; C[z] = 0.3*z; D[z] = 0.0; E[z] = 0.0; }
+		for (i = 0; i < 60; i++) {
+			a1 = A[i];
+			b1 = B[i];
+			c1 = C[i];
+			D[i] = D[i] * 2.0 + 1.0;
+			E[i] = E[i] + D[i];
+			D[i] = D[i] - E[i] * 0.5;
+			E[i] = E[i] + a1;
+			D[i] = D[i] + b1;
+			E[i] = E[i] * c1;
+		}
+	`
+	runBoth(t, src, 6, func(p *source.Program, tab *sem.Table) source.Stmt {
+		nf, moved, err := SinkDefs(p.Stmts[6].(*source.For), tab)
+		if err != nil {
+			t.Fatalf("SinkDefs: %v", err)
+		}
+		if moved == 0 {
+			t.Fatal("expected statements to move")
+		}
+		return nf
+	})
+}
+
+func TestSinkDefsReducesPressure(t *testing.T) {
+	src := `
+		float A[64]; float B[64]; float C[64]; float D[64]; float E[64];
+		float a1 = 0.0; float b1 = 0.0; float c1 = 0.0;
+		for (i = 0; i < 60; i++) {
+			a1 = A[i];
+			b1 = B[i];
+			c1 = C[i];
+			D[i] = D[i] * 2.0 + 1.0;
+			E[i] = E[i] + D[i];
+			D[i] = D[i] - E[i] * 0.5;
+			E[i] = E[i] + a1;
+			D[i] = D[i] + b1;
+			E[i] = E[i] * c1;
+		}
+	`
+	measure := func(p *source.Program) int {
+		f, err := backend.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend.LocalCSE(f)
+		res := backend.Allocate(f, machine.IA64Like())
+		return res.MaxLiveFloat
+	}
+	p1 := source.MustParse(src)
+	before := measure(source.MustParse(src))
+
+	info, _ := sem.Check(p1)
+	var loop *source.For
+	var idx int
+	for i, s := range p1.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			loop, idx = ff, i
+		}
+	}
+	nf, moved, err := SinkDefs(loop, info.Table)
+	if err != nil {
+		t.Fatalf("SinkDefs: %v", err)
+	}
+	p1.Stmts[idx] = nf
+	after := measure(p1)
+	t.Logf("max live floats: %d -> %d (%d statements moved)", before, after, moved)
+	if after > before {
+		t.Errorf("sinking increased pressure: %d -> %d", before, after)
+	}
+}
+
+func TestSinkDefsKeepsDependences(t *testing.T) {
+	// b reads a's def: their order must be pinned.
+	src := `
+		float A[64]; float B[64];
+		for (z = 0; z < 64; z++) { A[z] = 0.1*z; B[z] = 0.0; }
+		for (i = 0; i < 60; i++) {
+			t = A[i];
+			B[i] = t * 2.0;
+			B[i] = B[i] + 1.0;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	var loop *source.For
+	for _, s := range p.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			loop = ff
+		}
+	}
+	nf, _, err := SinkDefs(loop, info.Table)
+	if errors.Is(err, ErrNotApplicable) {
+		return // nothing movable: fine
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If something moved, semantics must hold (checked by printing and
+	// a quick dependence sanity: t's def still precedes its use).
+	out := source.PrintStmt(nf)
+	defPos := indexOf(out, "t = A[i]")
+	usePos := indexOf(out, "B[i] = t * 2.0")
+	if defPos < 0 || usePos < 0 || defPos > usePos {
+		t.Errorf("flow order broken:\n%s", out)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

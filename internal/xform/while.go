@@ -1,0 +1,228 @@
+package xform
+
+import (
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// UnrollWhile performs generalized while-loop unrolling (§10 of the
+// paper, after Huang & Leng): for a loop
+//
+//	while (C) { B; i += s; }
+//
+// whose trip is governed by an induction scalar i, it produces
+//
+//	while (C && C[i+s] && ... && C[i+(u-1)s]) {
+//	    B; B[i+s]; ...; B[i+(u-1)s];
+//	    i += u*s;
+//	}
+//	while (C) { B; i += s; }     // close-up code
+//
+// which gives a later SLMS/scheduling pass u iterations of straight-line
+// work to overlap. Legality: the condition of a later copy must not read
+// anything an earlier copy's body writes (checked with the affine
+// dependence machinery; unprovable cases are rejected unless speculate
+// is set — the paper lets the user acknowledge such speculation).
+func UnrollWhile(w *source.While, u int, tab *sem.Table, speculate bool) (source.Stmt, error) {
+	if u < 2 {
+		return nil, notApplicable("unroll factor must be >= 2")
+	}
+	iv, step, upIdx, err := whileInduction(w)
+	if err != nil {
+		return nil, err
+	}
+	// Body without the induction update.
+	var body []source.Stmt
+	for k, s := range w.Body.Stmts {
+		if k == upIdx {
+			continue
+		}
+		body = append(body, s)
+	}
+	// The induction update must come last (or no statement after it may
+	// read the induction variable); we required it to be last.
+	if upIdx != len(w.Body.Stmts)-1 {
+		return nil, notApplicable("induction update must be the last statement of the while body")
+	}
+	if !speculate {
+		if err := whileUnrollSafe(body, w.Cond, iv, step, u); err != nil {
+			return nil, err
+		}
+	}
+
+	// Main loop: conjunction of shifted conditions, concatenated shifted
+	// bodies, single scaled update.
+	cond := source.CloneExpr(w.Cond)
+	for c := 1; c < u; c++ {
+		cond = &source.Binary{Op: source.OpAnd, X: cond,
+			Y: source.ShiftVar(w.Cond, iv, int64(c)*step)}
+	}
+	var mainBody []source.Stmt
+	for c := 0; c < u; c++ {
+		for _, s := range body {
+			mainBody = append(mainBody, source.ShiftVarStmt(s, iv, int64(c)*step))
+		}
+	}
+	mainBody = append(mainBody, &source.Assign{
+		LHS: source.Var(iv), Op: source.AAdd, RHS: source.Int(int64(u) * step),
+	})
+	main := &source.While{Cond: cond, Body: &source.Block{Stmts: mainBody}}
+
+	// Close-up code: the original loop finishes the remainder.
+	closeUp := &source.While{
+		Cond: source.CloneExpr(w.Cond),
+		Body: source.CloneBlock(w.Body),
+	}
+	return &source.Block{Stmts: []source.Stmt{main, closeUp}}, nil
+}
+
+// whileInduction finds the single induction update `i += c` (or i++,
+// i = i + c) in the while body and returns the variable, step and the
+// statement's index.
+func whileInduction(w *source.While) (string, int64, int, error) {
+	found := -1
+	var name string
+	var step int64
+	for k, s := range w.Body.Stmts {
+		as, ok := s.(*source.Assign)
+		if !ok {
+			continue
+		}
+		v, ok := as.LHS.(*source.VarRef)
+		if !ok {
+			continue
+		}
+		var c int64
+		var isInd bool
+		switch as.Op {
+		case source.AAdd:
+			c, isInd = source.ConstInt(as.RHS)
+		case source.ASub:
+			c, isInd = source.ConstInt(as.RHS)
+			c = -c
+		case source.AEq:
+			if b, okb := as.RHS.(*source.Binary); okb && b.Op == source.OpAdd {
+				if bv, okv := b.X.(*source.VarRef); okv && bv.Name == v.Name {
+					c, isInd = source.ConstInt(b.Y)
+				}
+			}
+		}
+		if !isInd {
+			continue
+		}
+		// Is this variable actually governing the condition?
+		if !usesVar(w.Cond, v.Name) {
+			continue
+		}
+		if found >= 0 {
+			return "", 0, 0, notApplicable("multiple induction updates in while body")
+		}
+		found, name, step = k, v.Name, c
+	}
+	if found < 0 {
+		return "", 0, 0, notApplicable("no induction update governing the while condition")
+	}
+	// No other statement may write the induction variable.
+	for k, s := range w.Body.Stmts {
+		if k == found {
+			continue
+		}
+		bad := false
+		source.WalkStmt(s, func(st source.Stmt) bool {
+			if as, ok := st.(*source.Assign); ok {
+				if v, ok := as.LHS.(*source.VarRef); ok && v.Name == name {
+					bad = true
+					return false
+				}
+			}
+			return true
+		})
+		if bad {
+			return "", 0, 0, notApplicable("induction variable written more than once")
+		}
+	}
+	return name, step, found, nil
+}
+
+// whileUnrollSafe verifies that evaluating the shifted conditions before
+// the earlier bodies run cannot change their outcome: no array the body
+// writes may collide with an array the condition reads at iteration
+// distances 1..u-1 (scalar writes to condition inputs always reject).
+func whileUnrollSafe(body []source.Stmt, cond source.Expr, iv string, step int64, u int) error {
+	// Scalars read by the condition (other than the induction variable).
+	condScalars := map[string]bool{}
+	var condArrays []*source.IndexExpr
+	source.WalkExprs(cond, func(e source.Expr) bool {
+		switch e := e.(type) {
+		case *source.VarRef:
+			if e.Name != iv {
+				condScalars[e.Name] = true
+			}
+		case *source.IndexExpr:
+			condArrays = append(condArrays, e)
+		}
+		return true
+	})
+	for _, s := range body {
+		var err error
+		source.WalkStmt(s, func(st source.Stmt) bool {
+			as, ok := st.(*source.Assign)
+			if !ok {
+				return true
+			}
+			switch lhs := as.LHS.(type) {
+			case *source.VarRef:
+				if condScalars[lhs.Name] {
+					err = notApplicable("body writes %q, which the condition reads", lhs.Name)
+					return false
+				}
+			case *source.IndexExpr:
+				for _, cr := range condArrays {
+					if cr.Name != lhs.Name {
+						continue
+					}
+					if conflictWithin(lhs, cr, iv, step, u) {
+						err = notApplicable("body write to %s may change a look-ahead condition", lhs.Name)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// conflictWithin reports whether write w (at iteration i) can touch the
+// element the look-ahead condition copy reads at iteration i+c for any
+// c in 1..u-1. Subscript distances come back in induction-variable
+// units and must be multiples of the step to be realizable.
+func conflictWithin(w, r *source.IndexExpr, iv string, step int64, u int) bool {
+	if len(w.Indices) != len(r.Indices) {
+		return true
+	}
+	for k := range w.Indices {
+		aw := dep.ExtractAffine(w.Indices[k], iv)
+		ar := dep.ExtractAffine(r.Indices[k], iv)
+		res, d := dep.SubscriptDistance(aw, ar)
+		switch res {
+		case dep.DistNone:
+			return false // this dimension never collides
+		case dep.DistExact:
+			if step != 0 && d%step != 0 {
+				return false // stride never lands on this offset
+			}
+			c := d / step
+			if c < 1 || c >= int64(u) {
+				return false
+			}
+		case dep.DistUnknown:
+			return true
+		}
+	}
+	return true
+}

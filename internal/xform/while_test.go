@@ -1,0 +1,214 @@
+package xform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+func TestUnrollWhileShiftedCopy(t *testing.T) {
+	// The §10 shifted string copy: while (a[i+2]) { a[i] = a[i+2]; i++; }.
+	// a[i] = a[i+2] writes two elements behind the look-ahead read, so
+	// unrolling by 2 is provably safe.
+	src := `
+		float a[64];
+		for (z = 0; z < 20; z++) { a[z] = 20.0 - z; }
+		a[20] = 0.0; a[21] = 0.0; a[22] = 0.0;
+		int i = 0;
+		while (a[i+2] > 0.0) {
+			a[i] = a[i+2];
+			i++;
+		}
+	`
+	runBoth(t, src, 6, func(p *source.Program, tab *sem.Table) source.Stmt {
+		w := p.Stmts[6].(*source.While)
+		s, err := UnrollWhile(w, 2, tab, false)
+		if err != nil {
+			t.Fatalf("UnrollWhile: %v", err)
+		}
+		out := source.PrintStmt(s)
+		if !strings.Contains(out, "&&") {
+			t.Errorf("unrolled condition should be a conjunction:\n%s", out)
+		}
+		if !strings.Contains(out, "i += 2") {
+			t.Errorf("unrolled update should be i += 2:\n%s", out)
+		}
+		return s
+	})
+}
+
+func TestUnrollWhileFactors(t *testing.T) {
+	for u := 2; u <= 4; u++ {
+		src := `
+			float a[100];
+			for (z = 0; z < 40; z++) { a[z] = 40.0 - z; }
+			a[40] = 0.0; a[41] = 0.0; a[42] = 0.0; a[43] = 0.0; a[44] = 0.0;
+			int i = 0;
+			float s = 0.0;
+			while (a[i] > 0.0) {
+				s += a[i];
+				i++;
+			}
+		`
+		u := u
+		runBoth(t, src, 9, func(p *source.Program, tab *sem.Table) source.Stmt {
+			w := p.Stmts[9].(*source.While)
+			st, err := UnrollWhile(w, u, tab, false)
+			if err != nil {
+				t.Fatalf("UnrollWhile(%d): %v", u, err)
+			}
+			return st
+		})
+	}
+}
+
+func TestUnrollWhileZeroTrips(t *testing.T) {
+	src := `
+		float a[10];
+		a[2] = 0.0;
+		int i = 0;
+		while (a[i+2] > 0.0) {
+			a[i] = a[i+2];
+			i++;
+		}
+	`
+	runBoth(t, src, 3, func(p *source.Program, tab *sem.Table) source.Stmt {
+		w := p.Stmts[3].(*source.While)
+		s, err := UnrollWhile(w, 2, tab, false)
+		if err != nil {
+			t.Fatalf("UnrollWhile: %v", err)
+		}
+		return s
+	})
+}
+
+func TestUnrollWhileUnsafeRejected(t *testing.T) {
+	// The body writes a[i+2]; the unrolled loop's look-ahead condition
+	// copy reads a[(i+1)+1] = a[i+2] before the first body runs, so the
+	// conjunction would observe a stale value: must be rejected.
+	src := `
+		float a[64];
+		int i = 0;
+		while (a[i+1] > 0.0) {
+			a[i+2] = a[i] - 1.0;
+			i++;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	w := p.Stmts[2].(*source.While)
+	if _, err := UnrollWhile(w, 2, info.Table, false); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("u=2 must be rejected (body writes the look-ahead element), got %v", err)
+	}
+	// With speculation the transformation is forced through (user
+	// acknowledges; §2).
+	if _, err := UnrollWhile(w, 2, info.Table, true); err != nil {
+		t.Errorf("speculative unroll failed: %v", err)
+	}
+}
+
+func TestUnrollWhileScalarCondRejected(t *testing.T) {
+	src := `
+		float a[64];
+		int i = 0;
+		float s = 1.0;
+		while (s > 0.0) {
+			s = a[i] - 0.5;
+			i++;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	w := p.Stmts[3].(*source.While)
+	if _, err := UnrollWhile(w, 2, info.Table, false); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected rejection when the body writes a condition scalar, got %v", err)
+	}
+}
+
+func TestUnrollWhileNoInduction(t *testing.T) {
+	src := `
+		float a[64];
+		int i = 0;
+		while (a[i] > 0.0) {
+			a[i] = a[i] - 1.0;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	w := p.Stmts[2].(*source.While)
+	if _, err := UnrollWhile(w, 2, info.Table, false); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected rejection without an induction update, got %v", err)
+	}
+}
+
+func TestPipelineWhileShiftedCopy(t *testing.T) {
+	// The §10 listing, now produced automatically.
+	src := `
+		float a[64];
+		for (z = 0; z < 25; z++) { a[z] = 25.0 - z; }
+		a[25] = 0.0; a[26] = 0.0; a[27] = 0.0;
+		int i = 0;
+		while (a[i+2] > 0.0) {
+			a[i] = a[i+2];
+			i++;
+		}
+	`
+	runBoth(t, src, 6, func(p *source.Program, tab *sem.Table) source.Stmt {
+		s, err := PipelineWhile(p.Stmts[6].(*source.While), tab, false)
+		if err != nil {
+			t.Fatalf("PipelineWhile: %v", err)
+		}
+		out := source.PrintStmt(s)
+		if !strings.Contains(out, "par {") {
+			t.Errorf("expected an overlapped kernel row:\n%s", out)
+		}
+		return s
+	})
+}
+
+func TestPipelineWhileTripCounts(t *testing.T) {
+	// Zero, one and many iterations, and a multi-statement body.
+	for _, zeros := range []int{0, 1, 2, 5, 20} {
+		src := fmt.Sprintf(`
+			float a[64]; float b[64];
+			for (z = 0; z < %d; z++) { a[z] = 5.0 + z; }
+			for (z = %d; z < 64; z++) { a[z] = 0.0; }
+			int i = 0;
+			float s = 0.0;
+			while (a[i] > 0.0) {
+				s += a[i] * 2.0;
+				b[i] = s;
+				i++;
+			}
+		`, zeros, zeros)
+		runBoth(t, src, 5, func(p *source.Program, tab *sem.Table) source.Stmt {
+			st, err := PipelineWhile(p.Stmts[6].(*source.While), tab, false)
+			if err != nil {
+				t.Fatalf("zeros=%d: %v", zeros, err)
+			}
+			p.Stmts[6] = st
+			return p.Stmts[5]
+		})
+	}
+}
+
+func TestPipelineWhileUnsafeCondRejected(t *testing.T) {
+	src := `
+		float a[64];
+		int i = 0;
+		while (a[i+1] > 0.0) {
+			a[i+2] = a[i] - 1.0;
+			i++;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	w := p.Stmts[2].(*source.While)
+	if _, err := PipelineWhile(w, info.Table, false); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected rejection, got %v", err)
+	}
+}

@@ -1,0 +1,204 @@
+package xform
+
+import (
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// PipelineWhile automates the first §10 extension end-to-end: software
+// pipelining of a while-loop whose trip count is unknown. For
+//
+//	while (C(i)) { body; i += s; }
+//
+// it peels the body's look-ahead loads into registers (the §3.2
+// decomposition applied to a while loop), then overlaps the remainder of
+// iteration i with the loads of iteration i+1 — the same kernel shape as
+// the paper's shifted-string-copy listing:
+//
+//	if (C(i)) {
+//	    reg = load(i);                       // fill
+//	    while (C(i+s)) {
+//	        par { rest(i); reg = load(i+s); }  // kernel
+//	        i += s;
+//	    }
+//	    rest(i); i += s;                     // drain
+//	}
+//	while (C(i)) { body; i += s; }           // close-up safety net
+//
+// The kernel row is a pure re-bracketing of the original execution
+// order (..., load(j), rest(j), load(j+1), rest(j+1), ... becomes
+// ..., [rest(j) ‖ load(j+1)], ...), so the only real reordering is the
+// condition C evaluated one iteration early — which must not observe the
+// body's writes (the same look-ahead condition as UnrollWhile; checked,
+// `speculate` overrides).
+func PipelineWhile(w *source.While, tab *sem.Table, speculate bool) (source.Stmt, error) {
+	iv, step, upIdx, err := whileInduction(w)
+	if err != nil {
+		return nil, err
+	}
+	if upIdx != len(w.Body.Stmts)-1 {
+		return nil, notApplicable("induction update must be the last statement of the while body")
+	}
+	body := w.Body.Stmts[:upIdx]
+	if len(body) == 0 {
+		return nil, notApplicable("empty body")
+	}
+	if !speculate {
+		if err := whileUnrollSafe(body, w.Cond, iv, step, 2); err != nil {
+			return nil, err
+		}
+	}
+
+	// Peel the first array load of the first body statement into a
+	// register (one suffices to expose the overlap; more would only grow
+	// the fill/drain).
+	first, ok := body[0].(*source.Assign)
+	if !ok {
+		return nil, notApplicable("body must start with an assignment")
+	}
+	load := firstArrayLoad(first.RHS)
+	if load == nil {
+		return nil, notApplicable("no array load to peel")
+	}
+	t := source.TFloat
+	if sym := tab.Lookup(load.Name); sym != nil {
+		t = sym.Type
+	}
+	reg := tab.Fresh("reg", t)
+	regDecl := &source.Decl{Type: t, Name: reg}
+
+	// rest(i): the body with the peeled load replaced by reg.
+	rest := make([]source.Stmt, 0, len(body))
+	for k, s := range body {
+		c := source.CloneStmt(s)
+		if k == 0 {
+			replaced := false
+			ca := c.(*source.Assign)
+			ca.RHS = source.MapExpr(ca.RHS, func(e source.Expr) source.Expr {
+				if !replaced && source.ExprString(e) == source.ExprString(load) {
+					replaced = true
+					return source.Var(reg)
+				}
+				return e
+			})
+			if !replaced {
+				return nil, notApplicable("internal: peeled load not found")
+			}
+		}
+		rest = append(rest, c)
+	}
+	loadStmt := func(shift int64) source.Stmt {
+		return &source.Assign{
+			LHS: source.Var(reg), Op: source.AEq,
+			RHS: source.Simplify(source.ShiftVar(load, iv, shift*step)),
+		}
+	}
+	restCopy := func() []source.Stmt {
+		out := make([]source.Stmt, 0, len(rest))
+		for _, s := range rest {
+			out = append(out, source.CloneStmt(s))
+		}
+		return out
+	}
+	advance := func() source.Stmt {
+		return &source.Assign{LHS: source.Var(iv), Op: source.AAdd, RHS: source.Int(step)}
+	}
+
+	// The row's two members: the remainder of iteration i (one unit, its
+	// internal order preserved) and the look-ahead load of iteration i+1.
+	// The ‖ claim needs the load to be flow-free from the member's stores
+	// at distance 1; otherwise emit the pair sequentially (still a valid
+	// pipelined loop, just without the parallel row).
+	var kernelRow source.Stmt
+	if rowFlowFree(rest, load, iv, step) {
+		kernelRow = &source.Par{Stmts: []source.Stmt{
+			&source.Block{Stmts: restCopy()}, loadStmt(1),
+		}}
+	} else {
+		kernelRow = &source.Block{Stmts: append(restCopy(), loadStmt(1))}
+	}
+	kernel := &source.While{
+		Cond: source.ShiftVar(w.Cond, iv, step),
+		Body: &source.Block{Stmts: []source.Stmt{kernelRow, advance()}},
+	}
+	pipelined := []source.Stmt{
+		loadStmt(0), // fill
+		kernel,
+	}
+	pipelined = append(pipelined, restCopy()...) // drain
+	pipelined = append(pipelined, advance())
+
+	out := []source.Stmt{
+		regDecl,
+		&source.If{
+			Cond: source.CloneExpr(w.Cond),
+			Then: &source.Block{Stmts: pipelined},
+		},
+		// Close-up: re-runs the original loop; after a normal drain its
+		// condition is already false.
+		&source.While{Cond: source.CloneExpr(w.Cond), Body: source.CloneBlock(w.Body)},
+	}
+	return &source.Block{Stmts: out}, nil
+}
+
+// rowFlowFree reports whether the look-ahead load (executed for
+// iteration i+1 in the same row as the member's stores for iteration i)
+// cannot read an element those stores write.
+func rowFlowFree(member []source.Stmt, load *source.IndexExpr, iv string, step int64) bool {
+	ok := true
+	for _, s := range member {
+		source.WalkStmt(s, func(st source.Stmt) bool {
+			as, isA := st.(*source.Assign)
+			if !isA {
+				return true
+			}
+			w, isIx := as.LHS.(*source.IndexExpr)
+			if !isIx || w.Name != load.Name {
+				return true
+			}
+			if len(w.Indices) != len(load.Indices) {
+				ok = false
+				return false
+			}
+			for k := range w.Indices {
+				aw := dep.ExtractAffine(w.Indices[k], iv)
+				ar := dep.ExtractAffine(load.Indices[k], iv)
+				res, d := dep.SubscriptDistance(aw, ar)
+				switch res {
+				case dep.DistNone:
+					return true // this dimension never collides
+				case dep.DistExact:
+					// write@i vs load@(i+1): collision exactly at d == step
+					// (in variable units).
+					if d != step {
+						return true
+					}
+				case dep.DistUnknown, dep.DistAlways:
+				}
+			}
+			ok = false
+			return false
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// firstArrayLoad returns the first array reference in e.
+func firstArrayLoad(e source.Expr) *source.IndexExpr {
+	var best *source.IndexExpr
+	source.WalkExprs(e, func(x source.Expr) bool {
+		if best != nil {
+			return false
+		}
+		if ix, ok := x.(*source.IndexExpr); ok {
+			best = ix
+			return false
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,501 @@
+// Package xform implements the classic source-level loop transformations
+// the paper combines with SLMS in §6: interchange, fusion, distribution,
+// unrolling, peeling, reversal and tiling. Each transformation validates
+// its own legality preconditions (via the dependence analysis in
+// internal/dep) and returns a rewritten loop, leaving the input AST
+// unmodified.
+package xform
+
+import (
+	"errors"
+	"fmt"
+
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// ErrNotApplicable is returned when a transformation's preconditions do
+// not hold for the given loop.
+var ErrNotApplicable = errors.New("xform: transformation not applicable")
+
+func notApplicable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrNotApplicable, fmt.Sprintf(format, args...))
+}
+
+// Interchange swaps a perfectly nested 2-deep loop nest:
+//
+//	for (i ...) { for (j ...) { body } }  →  for (j ...) { for (i ...) { body } }
+//
+// Legality: every dependence of the nest must stay lexicographically
+// non-negative after swapping. We accept the common safe cases: the body
+// has no loop-carried dependence on the outer variable, or every carried
+// dependence distance vector is (d1 ≥ 0, d2 = 0) / (0, d2 ≥ 0).
+// Conservatively, references whose subscripts are not affine in both
+// induction variables reject the transformation.
+func Interchange(f *source.For, tab *sem.Table) (*source.For, error) {
+	outer, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("outer loop: %v", err)
+	}
+	if len(f.Body.Stmts) != 1 {
+		return nil, notApplicable("loop nest is not perfect")
+	}
+	innerFor, ok := f.Body.Stmts[0].(*source.For)
+	if !ok {
+		return nil, notApplicable("no inner loop")
+	}
+	inner, err := sem.Canonicalize(innerFor)
+	if err != nil {
+		return nil, notApplicable("inner loop: %v", err)
+	}
+	// The inner bounds must not depend on the outer variable (rectangular
+	// iteration space) and vice versa.
+	if usesVar(inner.Lo, outer.Var) || usesVar(inner.Hi, outer.Var) ||
+		usesVar(outer.Lo, inner.Var) || usesVar(outer.Hi, inner.Var) {
+		return nil, notApplicable("iteration space is not rectangular")
+	}
+	if err := interchangeLegal(innerFor.Body, outer.Var, inner.Var, tab); err != nil {
+		return nil, err
+	}
+	newInner := sem.NewFor(outer.Var, source.CloneExpr(outer.Lo), source.CloneExpr(outer.Hi),
+		outer.Step, cloneStmts(innerFor.Body.Stmts))
+	newOuter := sem.NewFor(inner.Var, source.CloneExpr(inner.Lo), source.CloneExpr(inner.Hi),
+		inner.Step, []source.Stmt{newInner})
+	return newOuter, nil
+}
+
+// interchangeLegal checks the direction-vector condition for swapping: a
+// dependence with distance vector (dO > 0, dI < 0) — equivalently its
+// mirror — becomes lexicographically negative after the swap, making the
+// interchange illegal.
+func interchangeLegal(body *source.Block, outerVar, innerVar string, tab *sem.Table) error {
+	type aref struct {
+		name  string
+		write bool
+		subs  []source.Expr
+	}
+	var refs []aref
+	source.WalkStmt(body, func(s source.Stmt) bool {
+		as, ok := s.(*source.Assign)
+		if !ok {
+			return true
+		}
+		collect := func(e source.Expr, write bool) {
+			source.WalkExprs(e, func(x source.Expr) bool {
+				if ix, ok := x.(*source.IndexExpr); ok {
+					refs = append(refs, aref{name: ix.Name, write: write, subs: ix.Indices})
+				}
+				return true
+			})
+		}
+		collect(as.RHS, false)
+		if ix, ok := as.LHS.(*source.IndexExpr); ok {
+			collect(ix, true)
+		}
+		return true
+	})
+	for i := 0; i < len(refs); i++ {
+		for j := i; j < len(refs); j++ {
+			a, b := refs[i], refs[j]
+			if i == j || a.name != b.name || (!a.write && !b.write) {
+				continue
+			}
+			dO, dI, rel, err := distanceVector(a.subs, b.subs, outerVar, innerVar)
+			if err != nil {
+				return notApplicable("cannot prove interchange legality for %s: %v", a.name, err)
+			}
+			switch rel {
+			case vecNone:
+				continue // provably independent
+			case vecExact:
+				if (dO > 0 && dI < 0) || (dO < 0 && dI > 0) {
+					return notApplicable("dependence on %s has direction (<,>)", a.name)
+				}
+			case vecFreeOuter:
+				// Dependence at every outer distance with fixed inner
+				// distance dI: directions (<,dI) and (>,dI) both occur.
+				if dI != 0 {
+					return notApplicable("dependence on %s has a (<,>) direction", a.name)
+				}
+			case vecFreeInner:
+				// (dO, any): includes (dO, <) and (dO, >).
+				if dO != 0 {
+					return notApplicable("dependence on %s has a (<,>) direction", a.name)
+				}
+			case vecFreeBoth:
+				return notApplicable("dependence on %s has a (<,>) direction", a.name)
+			}
+		}
+	}
+	return nil
+}
+
+type vecKind int
+
+const (
+	vecNone vecKind = iota
+	vecExact
+	vecFreeOuter // any outer distance, fixed inner distance
+	vecFreeInner // fixed outer distance, any inner distance
+	vecFreeBoth
+)
+
+// distanceVector solves the per-dimension subscript equations for the
+// (outer, inner) iteration distance vector. Each dimension may involve
+// at most one of the two induction variables.
+func distanceVector(s1, s2 []source.Expr, outerVar, innerVar string) (int64, int64, vecKind, error) {
+	if len(s1) != len(s2) {
+		return 0, 0, vecNone, fmt.Errorf("rank mismatch")
+	}
+	var dO, dI int64
+	haveO, haveI := false, false
+	for k := range s1 {
+		aO1 := dep.ExtractAffine(s1[k], outerVar)
+		aO2 := dep.ExtractAffine(s2[k], outerVar)
+		aI1 := dep.ExtractAffine(s1[k], innerVar)
+		aI2 := dep.ExtractAffine(s2[k], innerVar)
+		if !aO1.OK || !aO2.OK {
+			return 0, 0, vecNone, fmt.Errorf("non-affine subscript")
+		}
+		usesO := aO1.Coeff != 0 || aO2.Coeff != 0
+		usesI := aI1.Coeff != 0 || aI2.Coeff != 0
+		switch {
+		case usesO && usesI:
+			return 0, 0, vecNone, fmt.Errorf("subscript couples both loop variables")
+		case usesO:
+			// The inner variable appears in aO's symbolic part only if the
+			// subscript used it, which usesI excludes.
+			res, d := dep.SubscriptDistance(aO1, aO2)
+			switch res {
+			case dep.DistNone:
+				return 0, 0, vecNone, nil
+			case dep.DistUnknown:
+				return 0, 0, vecNone, fmt.Errorf("unknown distance")
+			case dep.DistExact:
+				if haveO && d != dO {
+					return 0, 0, vecNone, nil // inconsistent: independent
+				}
+				haveO, dO = true, d
+			}
+		case usesI:
+			res, d := dep.SubscriptDistance(aI1, aI2)
+			switch res {
+			case dep.DistNone:
+				return 0, 0, vecNone, nil
+			case dep.DistUnknown:
+				return 0, 0, vecNone, fmt.Errorf("unknown distance")
+			case dep.DistExact:
+				if haveI && d != dI {
+					return 0, 0, vecNone, nil
+				}
+				haveI, dI = true, d
+			}
+		default:
+			// Neither variable: symbolic/constant parts must match.
+			res, _ := dep.SubscriptDistance(aO1, aO2)
+			if res == dep.DistNone {
+				return 0, 0, vecNone, nil
+			}
+			if res == dep.DistUnknown {
+				return 0, 0, vecNone, fmt.Errorf("unknown distance")
+			}
+		}
+	}
+	switch {
+	case haveO && haveI:
+		return dO, dI, vecExact, nil
+	case haveO:
+		return dO, 0, vecFreeInner, nil
+	case haveI:
+		return 0, dI, vecFreeOuter, nil
+	default:
+		return 0, 0, vecFreeBoth, nil
+	}
+}
+
+// Fuse merges two adjacent loops with identical headers into one:
+//
+//	for (i=lo;i<hi;i+=s) {B1}  for (i=lo;i<hi;i+=s) {B2}
+//	→ for (i=lo;i<hi;i+=s) {B1;B2}
+//
+// Legality: no fusion-preventing dependence — a value B2's iteration i
+// reads that B1 produces at iteration > i (backward loop-carried between
+// the bodies). The check runs the MI dependence analysis on the fused
+// body and rejects edges from B2's statements to B1's statements with
+// distance > 0 that would not exist in the sequential execution.
+func Fuse(f1, f2 *source.For, tab *sem.Table) (*source.For, error) {
+	l1, err := sem.Canonicalize(f1)
+	if err != nil {
+		return nil, notApplicable("first loop: %v", err)
+	}
+	l2, err := sem.Canonicalize(f2)
+	if err != nil {
+		return nil, notApplicable("second loop: %v", err)
+	}
+	if l1.Var != l2.Var || l1.Step != l2.Step ||
+		source.ExprString(l1.Lo) != source.ExprString(l2.Lo) ||
+		source.ExprString(l1.Hi) != source.ExprString(l2.Hi) {
+		return nil, notApplicable("loop headers differ")
+	}
+	body := append(cloneStmts(f1.Body.Stmts), cloneStmts(f2.Body.Stmts)...)
+	an, err := dep.Analyze(body, l1.Var, tab, dep.Options{Step: l1.Step})
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	n1 := len(f1.Body.Stmts)
+	for _, e := range an.Edges {
+		// A dependence from a B2 statement to a B1 statement at carried
+		// distance d>0 means B1's iteration i+d uses/overwrites what B2's
+		// iteration i produced — in the original program ALL of B1 runs
+		// before ALL of B2, so that order was (B2 later); fusion reverses
+		// it. Also reject unknowns.
+		if e.Unknown {
+			return nil, notApplicable("unproven dependence between loop bodies (%s)", e.Var)
+		}
+		if e.From >= n1 && e.To < n1 && e.Dist > 0 {
+			return nil, notApplicable("fusion-preventing dependence on %s (dist %d)", e.Var, e.Dist)
+		}
+		// Intra-iteration edge from B2 to B1 cannot exist (B1 precedes B2
+		// in the fused body by construction), so nothing else to check.
+	}
+	return sem.NewFor(l1.Var, source.CloneExpr(l1.Lo), source.CloneExpr(l1.Hi), l1.Step, body), nil
+}
+
+// Distribute splits a loop into one loop per top-level statement group,
+// legal when no loop-carried dependence points backwards between groups
+// (a dependence from a later statement to an earlier one at distance>0
+// forces those statements to stay together). The greedy algorithm keeps
+// statements in the same loop when any backward-carried or cyclic
+// dependence connects them.
+func Distribute(f *source.For, tab *sem.Table) ([]*source.For, error) {
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	body := cloneStmts(f.Body.Stmts)
+	n := len(body)
+	if n < 2 {
+		return nil, notApplicable("nothing to distribute")
+	}
+	an, err := dep.Analyze(body, l.Var, tab, dep.Options{Step: l.Step})
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	// Union-find over statements: any dependence cycle (mutual reachability
+	// considering carried edges as both directions of constraint) must stay
+	// together. Simple approach: statements u,v merge when there are edges
+	// u→v and v→u (in iteration-order terms), i.e. a backward edge v→u
+	// (with v>u) of any distance joins them with everything in between.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range an.Edges {
+		if e.Unknown {
+			return nil, notApplicable("unproven dependence (%s)", e.Var)
+		}
+		if e.From > e.To || (e.From == e.To) {
+			// Backward or self dependence: everything between To..From must
+			// stay in one loop.
+			for k := e.To; k < e.From; k++ {
+				union(k, k+1)
+			}
+		}
+	}
+	// Build groups in statement order.
+	var loops []*source.For
+	var cur []source.Stmt
+	curRoot := -1
+	flush := func() {
+		if len(cur) > 0 {
+			loops = append(loops, sem.NewFor(l.Var, source.CloneExpr(l.Lo),
+				source.CloneExpr(l.Hi), l.Step, cur))
+			cur = nil
+		}
+	}
+	for k := 0; k < n; k++ {
+		r := find(k)
+		if curRoot != -1 && r != curRoot {
+			flush()
+		}
+		curRoot = r
+		cur = append(cur, body[k])
+	}
+	flush()
+	if len(loops) < 2 {
+		return nil, notApplicable("dependences keep all statements together")
+	}
+	return loops, nil
+}
+
+// Unroll unrolls a canonical loop by factor u, emitting a cleanup loop
+// for the remainder. The loop variable advances by u*step per iteration.
+func Unroll(f *source.For, u int) (source.Stmt, error) {
+	if u < 2 {
+		return nil, notApplicable("unroll factor must be >= 2")
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	var body []source.Stmt
+	for c := 0; c < u; c++ {
+		for _, s := range f.Body.Stmts {
+			body = append(body, source.ShiftVarStmt(s, l.Var, int64(c)*l.Step))
+		}
+	}
+	main := &source.For{
+		Init: &source.Assign{LHS: source.Var(l.Var), Op: source.AEq, RHS: source.CloneExpr(l.Lo)},
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var),
+			Y: source.Sub(source.CloneExpr(l.Hi), source.Int(int64(u-1)*l.Step))},
+		Post: &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(int64(u) * l.Step)},
+		Body: &source.Block{Stmts: body},
+	}
+	cleanup := &source.For{
+		Init: nil,
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var), Y: source.CloneExpr(l.Hi)},
+		Post: &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(l.Step)},
+		Body: &source.Block{Stmts: cloneStmts(f.Body.Stmts)},
+	}
+	return &source.Block{Stmts: []source.Stmt{main, cleanup}}, nil
+}
+
+// Peel splits the first k iterations off the front of the loop:
+// the peeled iterations run as straight-line code, then the loop
+// continues from Lo + k*step.
+func Peel(f *source.For, k int) (source.Stmt, error) {
+	if k < 1 {
+		return nil, notApplicable("peel count must be >= 1")
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	// The peeled copies advance the loop variable itself, so the final
+	// value and short trip counts behave exactly like the original loop:
+	//
+	//	i = lo;
+	//	if (i < hi) { body(i); i += step; }   // k times
+	//	for (; i < hi; i += step) body;
+	out := []source.Stmt{
+		&source.Assign{LHS: source.Var(l.Var), Op: source.AEq, RHS: source.CloneExpr(l.Lo)},
+	}
+	for c := 0; c < k; c++ {
+		guard := &source.If{
+			Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var), Y: source.CloneExpr(l.Hi)},
+			Then: &source.Block{Stmts: cloneStmts(f.Body.Stmts)},
+		}
+		guard.Then.Stmts = append(guard.Then.Stmts,
+			&source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(l.Step)})
+		out = append(out, guard)
+	}
+	rest := &source.For{
+		Init: nil,
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var), Y: source.CloneExpr(l.Hi)},
+		Post: &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(l.Step)},
+		Body: &source.Block{Stmts: cloneStmts(f.Body.Stmts)},
+	}
+	out = append(out, rest)
+	return &source.Block{Stmts: out}, nil
+}
+
+// Reverse reverses a canonical loop's iteration order; legal only when
+// the body has no loop-carried dependence at all. The reversed loop runs
+// v = Hi-adjust down to Lo. Since canonical loops count upward, the
+// result iterates an auxiliary variable upward and computes the original
+// index by mirroring, keeping the output canonical for later passes.
+func Reverse(f *source.For, tab *sem.Table) (source.Stmt, error) {
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	an, err := dep.Analyze(cloneStmts(f.Body.Stmts), l.Var, tab, dep.Options{Step: l.Step})
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	for _, e := range an.Edges {
+		if e.Dist != 0 || e.Unknown {
+			return nil, notApplicable("loop-carried dependence on %s", e.Var)
+		}
+	}
+	// Mirror: iteration c of the new loop runs original index
+	// Lo + (trip-1-c)*step. With mirrored = Lo+Hi-step-v this stays a
+	// single substitution for step 1; general steps use the trip count.
+	var body []source.Stmt
+	mirror := source.Sub(source.Sub(source.Add(source.CloneExpr(l.Lo), source.CloneExpr(l.Hi)), source.Int(l.Step)), source.Var(l.Var))
+	if l.Step != 1 {
+		return nil, notApplicable("reversal of strided loops is not supported")
+	}
+	for _, s := range f.Body.Stmts {
+		c := source.CloneStmt(s)
+		source.SubstVarStmt(c, l.Var, mirror)
+		source.MapStmtExprs(c, func(e source.Expr) source.Expr { return source.Simplify(e) })
+		body = append(body, c)
+	}
+	return sem.NewFor(l.Var, source.CloneExpr(l.Lo), source.CloneExpr(l.Hi), l.Step, body), nil
+}
+
+// Tile tiles a canonical loop with the given tile size, producing
+//
+//	for (vt = lo; vt < hi; vt += T*step)
+//	  for (v = vt; v < min(vt + T*step, hi); v += step) body
+//
+// Tiling a single loop is always legal (it only re-brackets the
+// iteration order without reordering iterations).
+func Tile(f *source.For, tileSize int, tab *sem.Table) (source.Stmt, error) {
+	if tileSize < 2 {
+		return nil, notApplicable("tile size must be >= 2")
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		return nil, notApplicable("%v", err)
+	}
+	tv := tab.Fresh(l.Var+"t", source.TInt)
+	span := source.Int(int64(tileSize) * l.Step)
+	inner := &source.For{
+		Init: &source.Assign{LHS: source.Var(l.Var), Op: source.AEq, RHS: source.Var(tv)},
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(l.Var),
+			Y: &source.Call{Name: "min", Args: []source.Expr{
+				source.Add(source.Var(tv), span),
+				source.CloneExpr(l.Hi),
+			}}},
+		Post: &source.Assign{LHS: source.Var(l.Var), Op: source.AAdd, RHS: source.Int(l.Step)},
+		Body: &source.Block{Stmts: cloneStmts(f.Body.Stmts)},
+	}
+	outer := &source.For{
+		Init: &source.Assign{LHS: source.Var(tv), Op: source.AEq, RHS: source.CloneExpr(l.Lo)},
+		Cond: &source.Binary{Op: source.OpLT, X: source.Var(tv), Y: source.CloneExpr(l.Hi)},
+		Post: &source.Assign{LHS: source.Var(tv), Op: source.AAdd, RHS: source.Int(int64(tileSize) * l.Step)},
+		Body: &source.Block{Stmts: []source.Stmt{inner}},
+	}
+	return outer, nil
+}
+
+func cloneStmts(ss []source.Stmt) []source.Stmt {
+	out := make([]source.Stmt, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, source.CloneStmt(s))
+	}
+	return out
+}
+
+func usesVar(e source.Expr, name string) bool {
+	used := false
+	source.WalkExprs(e, func(x source.Expr) bool {
+		if v, ok := x.(*source.VarRef); ok && v.Name == name {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

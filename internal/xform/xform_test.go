@@ -1,0 +1,311 @@
+package xform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"slms/internal/interp"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// runBoth executes the original program and a variant where the
+// statement at index loopIdx has been replaced, comparing all state.
+func runBoth(t *testing.T, src string, loopIdx int, replace func(*source.Program, *sem.Table) source.Stmt) {
+	t.Helper()
+	p1 := source.MustParse(src)
+	p2 := source.CloneProgram(p1)
+	info, err := sem.Check(p2)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	p2.Stmts[loopIdx] = replace(p2, info.Table)
+	env1, env2 := interp.NewEnv(), interp.NewEnv()
+	if err := interp.Run(p1, env1); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	if err := interp.Run(p2, env2); err != nil {
+		t.Fatalf("transformed: %v\n%s", err, source.Print(p2))
+	}
+	if diffs := interp.Compare(env1, env2, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+		t.Fatalf("mismatch: %v\n%s", diffs, source.Print(p2))
+	}
+	// Par rows must also hold under true parallel (reads-then-writes)
+	// semantics.
+	env3 := interp.NewEnv()
+	env3.ParallelPar = true
+	if err := interp.Run(p2, env3); err != nil {
+		t.Fatalf("parallel-row run: %v\n%s", err, source.Print(p2))
+	}
+	if diffs := interp.Compare(env1, env3, interp.CompareOpts{FloatTol: 1e-9}); len(diffs) > 0 {
+		t.Fatalf("parallel-row mismatch: %v\n%s", diffs, source.Print(p2))
+	}
+}
+
+const initArrays = `
+	float A[40]; float B[40]; float C[40];
+	for (z = 0; z < 40; z++) { A[z] = 0.3*z + 1.0; B[z] = 2.0 - 0.1*z; C[z] = 0.5*z; }
+`
+
+func TestInterchangeLegal(t *testing.T) {
+	src := `
+		float a[12][12];
+		for (z = 0; z < 12; z++) { for (w = 0; w < 12; w++) { a[z][w] = z + 0.5*w; } }
+		for (j = 0; j < 10; j++) {
+			for (i = 0; i < 10; i++) {
+				a[i][j+1] = a[i][j] * 2.0;
+			}
+		}
+	`
+	runBoth(t, src, 2, func(p *source.Program, tab *sem.Table) source.Stmt {
+		f := p.Stmts[2].(*source.For)
+		nf, err := Interchange(f, tab)
+		if err != nil {
+			t.Fatalf("Interchange: %v", err)
+		}
+		return nf
+	})
+}
+
+func TestInterchangeIllegal(t *testing.T) {
+	// a[i+1][j-1] = a[i][j]: dependence with direction (<,>), illegal.
+	src := `
+		float a[12][12];
+		for (i = 0; i < 10; i++) {
+			for (j = 1; j < 10; j++) {
+				a[i+1][j-1] = a[i][j] * 2.0;
+			}
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	_, err := Interchange(p.Stmts[1].(*source.For), info.Table)
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestFuseLegal(t *testing.T) {
+	src := initArrays + `
+		for (i = 1; i < 30; i++) { A[i] = A[i-1] * 1.5; }
+		for (i = 1; i < 30; i++) { B[i] = B[i-1] + 2.0; }
+	`
+	runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+		f1 := p.Stmts[4].(*source.For)
+		f2 := p.Stmts[5].(*source.For)
+		fused, err := Fuse(f1, f2, tab)
+		if err != nil {
+			t.Fatalf("Fuse: %v", err)
+		}
+		// Neutralize the second loop.
+		p.Stmts[5] = &source.Block{}
+		return fused
+	})
+}
+
+func TestFuseIllegal(t *testing.T) {
+	// Loop 2 reads A[i+1], produced by loop 1's later iterations: fusing
+	// would read too early.
+	src := `
+		float A[40]; float B[40];
+		for (i = 0; i < 30; i++) { A[i] = i * 1.0; }
+		for (i = 0; i < 30; i++) { B[i] = A[i+1]; }
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	f1 := p.Stmts[2].(*source.For)
+	f2 := p.Stmts[3].(*source.For)
+	if _, err := Fuse(f1, f2, info.Table); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestFuseHeaderMismatch(t *testing.T) {
+	src := `
+		float A[40]; float B[40];
+		for (i = 0; i < 30; i++) { A[i] = 1.0; }
+		for (i = 0; i < 20; i++) { B[i] = 1.0; }
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	if _, err := Fuse(p.Stmts[2].(*source.For), p.Stmts[3].(*source.For), info.Table); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected header mismatch error, got %v", err)
+	}
+}
+
+func TestDistribute(t *testing.T) {
+	src := initArrays + `
+		for (i = 1; i < 30; i++) {
+			A[i] = A[i-1] * 1.5;
+			B[i] = C[i] + 2.0;
+		}
+	`
+	runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+		loops, err := Distribute(p.Stmts[4].(*source.For), tab)
+		if err != nil {
+			t.Fatalf("Distribute: %v", err)
+		}
+		if len(loops) != 2 {
+			t.Fatalf("want 2 loops, got %d", len(loops))
+		}
+		stmts := make([]source.Stmt, len(loops))
+		for i, l := range loops {
+			stmts[i] = l
+		}
+		return &source.Block{Stmts: stmts}
+	})
+}
+
+func TestDistributeKeepsCycles(t *testing.T) {
+	// B[i] = A[i-1]; A[i] = B[i]: mutual dependence keeps them together.
+	src := `
+		float A[40]; float B[40];
+		for (i = 1; i < 30; i++) {
+			B[i] = A[i-1];
+			A[i] = B[i] + 1.0;
+		}
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	if _, err := Distribute(p.Stmts[2].(*source.For), info.Table); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable (cycle), got %v", err)
+	}
+}
+
+func TestUnrollAllFactorsAndTrips(t *testing.T) {
+	for u := 2; u <= 4; u++ {
+		for hi := 1; hi <= 12; hi++ {
+			src := fmt.Sprintf(initArrays+`
+				for (i = 1; i < %d; i++) { A[i] = A[i-1] + B[i]; }
+			`, hi)
+			runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+				s, err := Unroll(p.Stmts[4].(*source.For), u)
+				if err != nil {
+					t.Fatalf("Unroll: %v", err)
+				}
+				return s
+			})
+		}
+	}
+}
+
+func TestPeel(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		for hi := 1; hi <= 8; hi++ {
+			src := fmt.Sprintf(initArrays+`
+				for (i = 1; i < %d; i++) { A[i] = A[i-1] + B[i]; }
+			`, hi)
+			runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+				s, err := Peel(p.Stmts[4].(*source.For), k)
+				if err != nil {
+					t.Fatalf("Peel: %v", err)
+				}
+				return s
+			})
+		}
+	}
+}
+
+func TestReverseLegal(t *testing.T) {
+	src := initArrays + `
+		for (i = 1; i < 30; i++) { A[i] = B[i] * 2.0; }
+	`
+	runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+		s, err := Reverse(p.Stmts[4].(*source.For), tab)
+		if err != nil {
+			t.Fatalf("Reverse: %v", err)
+		}
+		return s
+	})
+}
+
+func TestReverseIllegal(t *testing.T) {
+	src := `
+		float A[40];
+		for (i = 1; i < 30; i++) { A[i] = A[i-1] + 1.0; }
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	if _, err := Reverse(p.Stmts[1].(*source.For), info.Table); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestTile(t *testing.T) {
+	for _, ts := range []int{2, 3, 7} {
+		src := initArrays + `
+			for (i = 1; i < 33; i++) { A[i] = A[i-1] + B[i]; }
+		`
+		runBoth(t, src, 4, func(p *source.Program, tab *sem.Table) source.Stmt {
+			s, err := Tile(p.Stmts[4].(*source.For), ts, tab)
+			if err != nil {
+				t.Fatalf("Tile: %v", err)
+			}
+			return s
+		})
+	}
+}
+
+func TestSplitReductionSum(t *testing.T) {
+	for u := 2; u <= 3; u++ {
+		for hi := 1; hi <= 9; hi++ {
+			src := fmt.Sprintf(initArrays+`
+				float s = 10.0;
+				for (i = 0; i < %d; i++) { s += A[i] * B[i]; }
+			`, hi)
+			runBoth(t, src, 5, func(p *source.Program, tab *sem.Table) source.Stmt {
+				s, err := SplitReduction(p.Stmts[5].(*source.For), u, tab)
+				if err != nil {
+					t.Fatalf("SplitReduction: %v", err)
+				}
+				return s
+			})
+		}
+	}
+}
+
+func TestSplitReductionMax(t *testing.T) {
+	src := initArrays + `
+		float mx = A[0];
+		for (i = 1; i < 37; i++) { if (mx < A[i]) mx = A[i]; }
+	`
+	runBoth(t, src, 5, func(p *source.Program, tab *sem.Table) source.Stmt {
+		s, err := SplitReduction(p.Stmts[5].(*source.For), 2, tab)
+		if err != nil {
+			t.Fatalf("SplitReduction: %v", err)
+		}
+		out := source.PrintStmt(s)
+		if !strings.Contains(out, "max(") {
+			t.Errorf("expected max combiner:\n%s", out)
+		}
+		return s
+	})
+}
+
+func TestSplitReductionMin(t *testing.T) {
+	src := initArrays + `
+		float mn = A[0];
+		for (i = 1; i < 37; i++) { if (mn > A[i]) mn = A[i]; }
+	`
+	runBoth(t, src, 5, func(p *source.Program, tab *sem.Table) source.Stmt {
+		s, err := SplitReduction(p.Stmts[5].(*source.For), 3, tab)
+		if err != nil {
+			t.Fatalf("SplitReduction: %v", err)
+		}
+		return s
+	})
+}
+
+func TestSplitReductionNoneFound(t *testing.T) {
+	src := `
+		float A[40];
+		for (i = 1; i < 30; i++) { A[i] = A[i-1] + 1.0; }
+	`
+	p := source.MustParse(src)
+	info, _ := sem.Check(p)
+	if _, err := SplitReduction(p.Stmts[1].(*source.For), 2, info.Table); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("expected ErrNotApplicable, got %v", err)
+	}
+}
