@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet bench figures profile clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Single-pass smoke of every Benchmark* (no statistics); use
+# `go test -bench . -benchtime 10x ./internal/bench/` for real numbers.
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./internal/bench/ ./internal/pipeline/
+
+# Regenerate all paper figures and the BENCH_1.json harness stats.
+figures:
+	$(GO) run ./cmd/slmsbench
+
+# Figures with CPU + heap profiles for perf work.
+profile:
+	$(GO) run ./cmd/slmsbench -cpuprofile cpu.pprof -memprofile mem.pprof -json ""
+
+clean:
+	rm -f cpu.pprof mem.pprof

@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	slmsbench              # all figures
+//	slmsbench              # all figures + BENCH_1.json harness stats
 //	slmsbench -figure 14   # one figure
 //	slmsbench -ablations   # design-choice ablation studies
 //	slmsbench -list        # list available figures
+//
+// The all-figures run writes a machine-readable harness trajectory
+// (wall time per figure, simulated cycles, cycles/second, artifact
+// cache hit rate) to the -json path. -cpuprofile/-memprofile write
+// pprof profiles of whichever mode runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"slms/internal/bench"
 )
@@ -24,71 +32,105 @@ func main() {
 	census := flag.Bool("census", false, "report machine-MS application before/after SLMS (paper §9.2)")
 	extensions := flag.Bool("extensions", false, "measure the §10 while-loop and frequent-path extensions")
 	summary := flag.Bool("summary", false, "one line per figure: the reproduction scoreboard")
+	jsonPath := flag.String("json", "BENCH_1.json", "write harness stats for the all-figures run here (empty = skip)")
+	workers := flag.Int("workers", 0, "measurement worker-pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	if *summary {
+	if *workers > 0 {
+		bench.SetWorkers(*workers)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if err := run(*figure, *list, *ablations, *census, *extensions, *summary, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches one benchmark mode. Kept separate from main so the
+// pprof/json defers above run before a failure exit.
+func run(figure string, list, ablations, census, extensions, summary bool, jsonPath string) error {
+	switch {
+	case summary:
 		out, err := bench.Summary()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(out)
-		return
-	}
-
-	if *extensions {
+	case extensions:
 		f, err := bench.Extensions()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(f.Table())
-		return
-	}
-
-	if *census {
+	case census:
 		rows, err := bench.Census()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(bench.CensusTable(rows))
-		return
-	}
-
-	if *ablations {
+	case ablations:
 		figs, err := bench.AllAblations()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		for _, f := range figs {
 			fmt.Println(f.Table())
 		}
-		return
-	}
-
-	if *list {
+	case list:
 		for _, id := range bench.FigureIDs() {
 			fmt.Println(id)
 		}
-		return
-	}
-	if *figure != "" {
-		f, err := bench.ByID(*figure)
+	case figure != "":
+		f, err := bench.ByID(figure)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(f.Table())
-		return
+	default:
+		figs, stats, err := bench.AllFiguresTimed()
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			fmt.Println(f.Table())
+		}
+		if jsonPath != "" {
+			blob, err := json.MarshalIndent(stats, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
 	}
-	figs, err := bench.AllFigures()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	for _, f := range figs {
-		fmt.Println(f.Table())
-	}
+	return nil
 }

@@ -61,11 +61,21 @@ type codegen struct {
 	cur   *ir.Block
 	info  *sem.Info
 	loops []*loopCtx
+	// chunk arena-allocates emitted instructions in blocks of 64: one
+	// heap object per chunk instead of one per instruction, and the
+	// call-site literals stay on the stack since emit only copies them.
+	chunk []ir.Instr
 }
 
 func (cg *codegen) emit(in *ir.Instr) *ir.Instr {
-	cg.cur.Instrs = append(cg.cur.Instrs, in)
-	return in
+	if len(cg.chunk) == 0 {
+		cg.chunk = make([]ir.Instr, 64)
+	}
+	p := &cg.chunk[0]
+	cg.chunk = cg.chunk[1:]
+	*p = *in
+	cg.cur.Instrs = append(cg.cur.Instrs, p)
+	return p
 }
 
 func (cg *codegen) newBlock() *ir.Block {

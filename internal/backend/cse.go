@@ -1,8 +1,6 @@
 package backend
 
 import (
-	"fmt"
-
 	"slms/internal/ir"
 	"slms/internal/source"
 )
@@ -26,9 +24,29 @@ func LocalCSE(f *ir.Func) int {
 	return removed
 }
 
+// cseOperand is one operand of a value-numbering key: a register or an
+// int immediate.
+type cseOperand struct {
+	reg bool
+	v   int64 // register number or immediate value
+}
+
+// cseKey identifies a pure int computation. It is a comparable struct so
+// value numbering runs on map lookups instead of string building.
+type cseKey struct {
+	op    ir.Op
+	nargs int8
+	a, b  cseOperand
+}
+
 func cseBlock(f *ir.Func, b *ir.Block) int {
-	avail := map[string]int{} // value key -> register holding it
-	keyOf := map[int]string{} // register -> the key it currently holds
+	avail := map[cseKey]int{} // value key -> register holding it
+	keyOf := map[int]cseKey{} // register -> the key it currently holds
+	// usedBy indexes keys by the registers they mention as operands, so a
+	// register redefinition invalidates exactly the dependent keys instead
+	// of scanning every available key. Entries may be stale (the key was
+	// already dropped); staleness is checked against avail on use.
+	usedBy := map[int][]cseKey{}
 	removed := 0
 
 	kill := func(reg int) {
@@ -37,11 +55,23 @@ func cseBlock(f *ir.Func, b *ir.Block) int {
 			delete(keyOf, reg)
 		}
 		// Any key mentioning reg as an operand is stale.
-		for k, r := range avail {
-			if mentionsReg(k, reg) {
+		for _, k := range usedBy[reg] {
+			if r, ok := avail[k]; ok {
 				delete(avail, k)
 				delete(keyOf, r)
 			}
+		}
+		delete(usedBy, reg)
+	}
+
+	record := func(key cseKey, dst int) {
+		avail[key] = dst
+		keyOf[dst] = key
+		if key.a.reg {
+			usedBy[int(key.a.v)] = append(usedBy[int(key.a.v)], key)
+		}
+		if key.nargs > 1 && key.b.reg {
+			usedBy[int(key.b.v)] = append(usedBy[int(key.b.v)], key)
 		}
 	}
 
@@ -62,8 +92,7 @@ func cseBlock(f *ir.Func, b *ir.Block) int {
 				continue
 			}
 			kill(in.Dst)
-			avail[key] = in.Dst
-			keyOf[in.Dst] = key
+			record(key, in.Dst)
 			continue
 		}
 		kill(in.Dst)
@@ -73,47 +102,40 @@ func cseBlock(f *ir.Func, b *ir.Block) int {
 
 // pureIntKey builds a value-numbering key for pure int ops whose
 // operands are immediates or registers.
-func pureIntKey(in *ir.Instr) (string, bool) {
+func pureIntKey(in *ir.Instr) (cseKey, bool) {
 	if in.Type != source.TInt {
-		return "", false
+		return cseKey{}, false
 	}
 	switch in.Op {
 	case ir.Add, ir.Sub, ir.Mul, ir.Neg, ir.Mov:
 	default:
-		return "", false
+		return cseKey{}, false
 	}
-	ops := make([]string, 0, len(in.Args))
-	for _, a := range in.Args {
+	var ops [2]cseOperand
+	if len(in.Args) > 2 {
+		return cseKey{}, false
+	}
+	for i, a := range in.Args {
 		switch a.Kind {
 		case ir.KReg:
-			ops = append(ops, fmt.Sprintf("r%d", a.Reg))
+			ops[i] = cseOperand{reg: true, v: int64(a.Reg)}
 		case ir.KInt:
-			ops = append(ops, fmt.Sprintf("#%d", a.I))
+			ops[i] = cseOperand{reg: false, v: a.I}
 		default:
-			return "", false
+			return cseKey{}, false
 		}
 	}
-	// Canonicalize commutative operand order.
-	if (in.Op == ir.Add || in.Op == ir.Mul) && len(ops) == 2 && ops[1] < ops[0] {
+	// Canonicalize commutative operand order (any consistent total order
+	// works: both orderings denote the same value).
+	if (in.Op == ir.Add || in.Op == ir.Mul) && len(in.Args) == 2 && operandLess(ops[1], ops[0]) {
 		ops[0], ops[1] = ops[1], ops[0]
 	}
-	key := in.Op.String()
-	for _, o := range ops {
-		key += "|" + o
-	}
-	return key, true
+	return cseKey{op: in.Op, nargs: int8(len(in.Args)), a: ops[0], b: ops[1]}, true
 }
 
-func mentionsReg(key string, reg int) bool {
-	needle := fmt.Sprintf("|r%d", reg)
-	// Exact operand match: the operand is followed by '|' or end.
-	for i := 0; i+len(needle) <= len(key); i++ {
-		if key[i:i+len(needle)] == needle {
-			end := i + len(needle)
-			if end == len(key) || key[end] == '|' {
-				return true
-			}
-		}
+func operandLess(x, y cseOperand) bool {
+	if x.reg != y.reg {
+		return !x.reg // immediates sort before registers
 	}
-	return false
+	return x.v < y.v
 }

@@ -105,9 +105,17 @@ func Allocate(f *ir.Func, d *machine.Desc) *AllocResult {
 	}
 	res.SpilledRegs = len(spilled)
 
-	// Assign spill slots.
-	slot := map[int]int{}
+	// Assign spill slots in register order: slot numbers decide spill-array
+	// addresses, so the assignment must not depend on map iteration order
+	// or the cache behaviour of spill traffic (and with it the simulated
+	// cycle count) would differ from run to run.
+	spilledRegs := make([]int, 0, len(spilled))
 	for r := range spilled {
+		spilledRegs = append(spilledRegs, r)
+	}
+	sort.Ints(spilledRegs)
+	slot := map[int]int{}
+	for _, r := range spilledRegs {
 		slot[r] = len(slot)
 	}
 	if f.Arrays[SpillArray] == nil {
@@ -156,18 +164,6 @@ func Allocate(f *ir.Func, d *machine.Desc) *AllocResult {
 	return res
 }
 
-func sameSet(a, b map[int]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
-		}
-	}
-	return true
-}
-
 // interval is a live range in global instruction positions.
 type interval struct {
 	reg        int
@@ -187,87 +183,97 @@ func liveIntervals(f *ir.Func) []interval {
 		pos += len(b.Instrs)
 		endPos[i] = pos
 	}
-	use := make([]map[int]bool, n)
-	def := make([]map[int]bool, n)
+	// Register sets are dense bitsets over virtual register numbers: the
+	// iterative dataflow re-unions them until fixpoint, and map-backed
+	// sets dominated register-allocation time and allocation volume.
+	nr := f.NumRegs
+	words := (nr + 63) / 64
+	bits := make([]uint64, 4*n*words) // use | def | liveIn | liveOut
+	use := func(i int) []uint64 { return bits[(4*i+0)*words : (4*i+1)*words] }
+	def := func(i int) []uint64 { return bits[(4*i+1)*words : (4*i+2)*words] }
+	liveIn := func(i int) []uint64 { return bits[(4*i+2)*words : (4*i+3)*words] }
+	liveOut := func(i int) []uint64 { return bits[(4*i+3)*words : (4*i+4)*words] }
+	has := func(s []uint64, r int) bool { return s[r/64]&(1<<(r%64)) != 0 }
+	set := func(s []uint64, r int) { s[r/64] |= 1 << (r % 64) }
+
+	var useBuf []int
 	for i, b := range f.Blocks {
-		use[i] = map[int]bool{}
-		def[i] = map[int]bool{}
+		u, d := use(i), def(i)
 		for _, in := range b.Instrs {
-			for _, r := range in.Uses() {
-				if !def[i][r] {
-					use[i][r] = true
+			useBuf = in.AppendUses(useBuf[:0])
+			for _, r := range useBuf {
+				if !has(d, r) {
+					set(u, r)
 				}
 			}
 			if in.Dst >= 0 {
-				def[i][in.Dst] = true
+				set(d, in.Dst)
 			}
 		}
-	}
-	liveIn := make([]map[int]bool, n)
-	liveOut := make([]map[int]bool, n)
-	for i := range liveIn {
-		liveIn[i] = map[int]bool{}
-		liveOut[i] = map[int]bool{}
 	}
 	changed := true
 	for changed {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			b := f.Blocks[i]
-			out := map[int]bool{}
-			for _, s := range b.Succs(n) {
-				for r := range liveIn[s] {
-					out[r] = true
+			out, in, u, d := liveOut(i), liveIn(i), use(i), def(i)
+			for w := 0; w < words; w++ {
+				var o uint64
+				for _, s := range b.Succs(n) {
+					o |= liveIn(s)[w]
 				}
-			}
-			in := map[int]bool{}
-			for r := range out {
-				if !def[i][r] {
-					in[r] = true
+				nin := (o &^ d[w]) | u[w]
+				if o != out[w] || nin != in[w] {
+					changed = true
 				}
+				out[w], in[w] = o, nin
 			}
-			for r := range use[i] {
-				in[r] = true
-			}
-			if !sameSet(out, liveOut[i]) || !sameSet(in, liveIn[i]) {
-				changed = true
-			}
-			liveOut[i], liveIn[i] = out, in
 		}
 	}
 	// Build intervals.
-	start := map[int]int{}
-	end := map[int]int{}
+	start := make([]int, nr)
+	end := make([]int, nr)
+	seen := make([]bool, nr)
 	touch := func(r, p int) {
-		if s, ok := start[r]; !ok || p < s {
+		if !seen[r] {
+			seen[r] = true
+			start[r], end[r] = p, p
+			return
+		}
+		if p < start[r] {
 			start[r] = p
 		}
-		if e, ok := end[r]; !ok || p > e {
+		if p > end[r] {
 			end[r] = p
 		}
 	}
 	for i, b := range f.Blocks {
-		for r := range liveIn[i] {
-			touch(r, startPos[i])
-		}
-		for r := range liveOut[i] {
-			touch(r, endPos[i])
+		in, out := liveIn(i), liveOut(i)
+		for r := 0; r < nr; r++ {
+			if has(in, r) {
+				touch(r, startPos[i])
+			}
+			if has(out, r) {
+				touch(r, endPos[i])
+			}
 		}
 		p := startPos[i]
-		for _, in := range b.Instrs {
-			for _, r := range in.Uses() {
+		for _, instr := range b.Instrs {
+			useBuf = instr.AppendUses(useBuf[:0])
+			for _, r := range useBuf {
 				touch(r, p)
 			}
-			if in.Dst >= 0 {
-				touch(in.Dst, p)
+			if instr.Dst >= 0 {
+				touch(instr.Dst, p)
 			}
 			p++
 		}
 	}
-	var ivs []interval
-	for reg, s := range start {
-		ivs = append(ivs, interval{reg: reg, start: s, end: end[reg]})
+	ivs := make([]interval, 0, nr)
+	for r := 0; r < nr; r++ {
+		if seen[r] {
+			ivs = append(ivs, interval{reg: r, start: start[r], end: end[r]})
+		}
 	}
-	sort.Slice(ivs, func(a, b int) bool { return ivs[a].reg < ivs[b].reg })
 	return ivs
 }

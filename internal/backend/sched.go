@@ -1,7 +1,7 @@
 package backend
 
 import (
-	"sort"
+	"sync"
 
 	"slms/internal/dep"
 	"slms/internal/ir"
@@ -30,27 +30,42 @@ type depEdge struct {
 	lat      int
 }
 
+// edgePool recycles dependence-edge buffers: blocks with many memory
+// ops produce O(n²) edges, and rebuilding the DAG for every block of
+// every compilation dominated allocation volume.
+var edgePool = sync.Pool{New: func() any { return new([]depEdge) }}
+
 // blockDeps builds the intra-block scheduling DAG. useTags enables
 // affine memory disambiguation (the strong-compiler front end forwards
 // subscript analysis to the back end); without it any two accesses to
-// the same array conflict.
+// the same array conflict. The returned slice draws from edgePool; the
+// caller releases it with putEdges when done.
 func blockDeps(ins []*ir.Instr, d *machine.Desc, useTags bool) []depEdge {
-	var edges []depEdge
-	lastDef := map[int]int{}    // reg -> instr index
-	lastUses := map[int][]int{} // reg -> instr indexes since last def
+	// Register state is indexed by register number (registers are
+	// physical here, so the range is small and dense) — maps on this
+	// path dominated compile time.
+	maxReg := maxRegOf(ins)
+	edges := (*edgePool.Get().(*[]depEdge))[:0]
+	lastDef := make([]int, maxReg+1)    // reg -> instr index (-1 = none)
+	lastUses := make([][]int, maxReg+1) // reg -> instr indexes since last def
+	for i := range lastDef {
+		lastDef[i] = -1
+	}
 
 	addMem := func(i, j int, lat int) { edges = append(edges, depEdge{i, j, lat}) }
 
+	var useBuf []int
 	for j, in := range ins {
 		// Register dependences.
-		for _, r := range in.Uses() {
-			if i, ok := lastDef[r]; ok {
+		useBuf = in.AppendUses(useBuf[:0])
+		for _, r := range useBuf {
+			if i := lastDef[r]; i >= 0 {
 				edges = append(edges, depEdge{i, j, d.Latency(ins[i])}) // RAW
 			}
 			lastUses[r] = append(lastUses[r], j)
 		}
 		if in.Dst >= 0 {
-			if i, ok := lastDef[in.Dst]; ok {
+			if i := lastDef[in.Dst]; i >= 0 {
 				edges = append(edges, depEdge{i, j, 1}) // WAW
 			}
 			for _, u := range lastUses[in.Dst] {
@@ -59,7 +74,7 @@ func blockDeps(ins []*ir.Instr, d *machine.Desc, useTags bool) []depEdge {
 				}
 			}
 			lastDef[in.Dst] = j
-			lastUses[in.Dst] = nil
+			lastUses[in.Dst] = lastUses[in.Dst][:0]
 		}
 		// Memory dependences.
 		if in.Op.IsMem() {
@@ -89,6 +104,11 @@ func blockDeps(ins []*ir.Instr, d *machine.Desc, useTags bool) []depEdge {
 		}
 	}
 	return edges
+}
+
+// putEdges returns a blockDeps result to the pool.
+func putEdges(edges []depEdge) {
+	edgePool.Put(&edges)
 }
 
 // memConflict decides whether two memory ops to possibly-equal addresses
@@ -130,12 +150,25 @@ func ListSchedule(b *ir.Block, d *machine.Desc, useTags bool, window int) *Block
 		return s
 	}
 	edges := blockDeps(ins, d, useTags)
+	// Bucket edges by source into one backing array (counting sort keeps
+	// per-source edge order identical to repeated appends).
 	succs := make([][]depEdge, n)
 	npreds := make([]int, n)
+	outdeg := make([]int, n)
 	for _, e := range edges {
-		succs[e.from] = append(succs[e.from], e)
+		outdeg[e.from]++
 		npreds[e.to]++
 	}
+	backing := make([]depEdge, len(edges))
+	pos := 0
+	for i := 0; i < n; i++ {
+		succs[i] = backing[pos : pos : pos+outdeg[i]]
+		pos += outdeg[i]
+	}
+	for _, e := range edges {
+		succs[e.from] = append(succs[e.from], e)
+	}
+	putEdges(edges) // bucketed copies in backing are the live view now
 	// Heights: longest latency path to any sink.
 	height := make([]int, n)
 	for i := n - 1; i >= 0; i-- {
@@ -157,6 +190,7 @@ func ListSchedule(b *ir.Block, d *machine.Desc, useTags bool, window int) *Block
 		}
 	}
 	isScheduled := make([]bool, n)
+	rest := make([]int, 0, n)
 	scheduled := 0
 	cycle := 0
 	for scheduled < n {
@@ -171,15 +205,22 @@ func ListSchedule(b *ir.Block, d *machine.Desc, useTags bool, window int) *Block
 			horizon = first + window
 		}
 		// Candidates ready this cycle, by height then source order.
-		sort.Slice(ready, func(a, b int) bool {
-			if height[ready[a]] != height[ready[b]] {
-				return height[ready[a]] > height[ready[b]]
+		// Insertion sort: the list is small and mostly ordered from the
+		// previous cycle, and (height desc, index asc) is a total order,
+		// so this yields exactly the comparison sort's result.
+		for a := 1; a < len(ready); a++ {
+			x := ready[a]
+			b := a - 1
+			for b >= 0 && (height[ready[b]] < height[x] ||
+				(height[ready[b]] == height[x] && ready[b] > x)) {
+				ready[b+1] = ready[b]
+				b--
 			}
-			return ready[a] < ready[b]
-		})
+			ready[b+1] = x
+		}
 		var used [4]int
 		issued := 0
-		var rest []int
+		rest = rest[:0]
 		for _, i := range ready {
 			fu := machine.UnitOf(ins[i])
 			if i >= horizon || readyAt[i] > cycle || issued >= d.IssueWidth || used[fu] >= d.Units[fu] {
@@ -201,7 +242,7 @@ func ListSchedule(b *ir.Block, d *machine.Desc, useTags bool, window int) *Block
 				}
 			}
 		}
-		ready = rest
+		ready, rest = rest, ready
 		if issued > 0 {
 			s.Bundles++
 		}
@@ -229,14 +270,16 @@ func SequentialSchedule(b *ir.Block, d *machine.Desc) *BlockSched {
 		s.Len, s.SteadyLen = 1, 1
 		return s
 	}
-	regReady := map[int]int{}
+	regReady := make([]int, maxRegOf(ins)+1)
 	memReady := 0
 	cycle, issued := 0, 0
 	var used [4]int
+	var useBuf []int
 	for i, in := range ins {
 		earliest := cycle
-		for _, r := range in.Uses() {
-			if t, ok := regReady[r]; ok && t > earliest {
+		useBuf = in.AppendUses(useBuf[:0])
+		for _, r := range useBuf {
+			if t := regReady[r]; t > earliest {
 				earliest = t
 			}
 		}
@@ -271,28 +314,49 @@ func SequentialSchedule(b *ir.Block, d *machine.Desc) *BlockSched {
 // the block suffers from loop-carried register dependences: a value
 // produced late in iteration i and consumed early in iteration i+1.
 func carriedStall(ins []*ir.Instr, cycleOf []int, length int, d *machine.Desc, useTags bool) int {
-	defCycle := map[int]int{}
-	defLat := map[int]int{}
+	nr := maxRegOf(ins) + 1
+	defCycle := make([]int, nr)
+	defLat := make([]int, nr)
+	hasDef := make([]bool, nr)
 	for i, in := range ins {
 		if in.Dst >= 0 {
-			if c := cycleOf[i]; c >= defCycle[in.Dst] {
+			if c := cycleOf[i]; !hasDef[in.Dst] || c >= defCycle[in.Dst] {
 				defCycle[in.Dst] = c
 				defLat[in.Dst] = d.Latency(in)
+				hasDef[in.Dst] = true
 			}
 		}
 	}
 	stall := 0
+	var useBuf []int
 	for i, in := range ins {
-		for _, r := range in.Uses() {
-			dc, ok := defCycle[r]
-			if !ok {
+		useBuf = in.AppendUses(useBuf[:0])
+		for _, r := range useBuf {
+			if !hasDef[r] {
 				continue
 			}
-			// Next-iteration use at length+cycleOf[i] needs dc+lat.
-			if s := dc + defLat[r] - (length + cycleOf[i]); s > stall {
+			// Next-iteration use at length+cycleOf[i] needs def+lat.
+			if s := defCycle[r] + defLat[r] - (length + cycleOf[i]); s > stall {
 				stall = s
 			}
 		}
 	}
 	return stall
+}
+
+// maxRegOf returns the highest register number a block mentions (-1 if
+// none) so per-register state can live in dense slices.
+func maxRegOf(ins []*ir.Instr) int {
+	maxReg := -1
+	for _, in := range ins {
+		if in.Dst > maxReg {
+			maxReg = in.Dst
+		}
+		for _, a := range in.Args {
+			if a.Kind == ir.KReg && a.Reg > maxReg {
+				maxReg = a.Reg
+			}
+		}
+	}
+	return maxReg
 }

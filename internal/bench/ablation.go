@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"slms/internal/core"
 	"slms/internal/machine"
@@ -207,7 +208,7 @@ func AblationWindow() (*Figure, error) {
 		if w == 0 {
 			name = "window=∞"
 		}
-		f.Rows = append(f.Rows, Row{Kernel: name, Value: pow(prod, 1/float64(n)), Applied: true})
+		f.Rows = append(f.Rows, Row{Kernel: name, Value: math.Pow(prod, 1/float64(n)), Applied: true})
 	}
 	return f, nil
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"slms/internal/core"
+	"slms/internal/machine"
+	"slms/internal/pipeline"
+	"slms/internal/sim"
+	"slms/internal/source"
+)
+
+// TestHarnessDeterminism checks that the fast path — parallel figure
+// generation over the shared pool, with the artifact/transform caches
+// and the measurement memo all hot — renders byte-identical figure
+// tables to a serial run with every cache disabled.
+func TestHarnessDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full figure suite twice")
+	}
+	render := func() map[string]string {
+		figs, err := AllFigures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		for _, f := range figs {
+			out[f.ID] = f.Table()
+		}
+		return out
+	}
+
+	ResetMeasurements()
+	parallel := render()
+
+	oldWorkers := Workers()
+	SetWorkers(1)
+	pipeline.SetCacheEnabled(false)
+	core.SetTransformCacheEnabled(false)
+	ResetMeasurements()
+	defer func() {
+		SetWorkers(oldWorkers)
+		pipeline.SetCacheEnabled(true)
+		core.SetTransformCacheEnabled(true)
+		ResetMeasurements()
+	}()
+	serial := render()
+
+	if len(parallel) != len(serial) {
+		t.Fatalf("figure count differs: parallel %d, serial %d", len(parallel), len(serial))
+	}
+	for id, want := range serial {
+		if got := parallel[id]; got != want {
+			t.Errorf("%s: parallel+cached table differs from serial+uncached:\n--- serial ---\n%s--- parallel ---\n%s", id, want, got)
+		}
+	}
+}
+
+// TestCachedArtifactMetricsIdentical checks that simulating a cached
+// artifact produces exactly the metrics of a fresh compilation — the
+// cache must be semantically invisible, execution counts included.
+func TestCachedArtifactMetricsIdentical(t *testing.T) {
+	d := machine.IA64Like()
+	for _, name := range []string{"kernel1", "kernel8", "daxpy"} {
+		k := Lookup(name)
+		prog := source.MustParseCached(k.Source)
+		for _, cc := range []pipeline.Compiler{pipeline.WeakO3, pipeline.StrongO3, pipeline.WeakNoO3} {
+			fresh, err := pipeline.CompileFor(prog, d, cc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, cc.Name, err)
+			}
+			cached, err := pipeline.CompileForCached(prog, d, cc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, cc.Name, err)
+			}
+			envF := newSeededEnv(*k)
+			mFresh, err := sim.Run(fresh.Func, d, fresh.Plan, envF, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, cc.Name, err)
+			}
+			envC := newSeededEnv(*k)
+			mCached, err := sim.Run(cached.Func, d, cached.Plan, envC, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, cc.Name, err)
+			}
+			if !reflect.DeepEqual(mFresh, mCached) {
+				t.Errorf("%s/%s: cached artifact metrics differ\nfresh:  %+v\ncached: %+v", name, cc.Name, mFresh, mCached)
+			}
+		}
+	}
+}
+
+// TestRepeatedSimulationOfSharedArtifact checks artifact immutability:
+// simulating one artifact many times (as concurrent harness workers do)
+// keeps yielding identical metrics.
+func TestRepeatedSimulationOfSharedArtifact(t *testing.T) {
+	k := Lookup("kernel10") // spill-heavy: exercises spill-slot addressing
+	prog := source.MustParseCached(k.Source)
+	d := machine.PentiumLike()
+	art, err := pipeline.CompileForCached(prog, d, pipeline.WeakO3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *sim.Metrics
+	for i := 0; i < 3; i++ {
+		env := newSeededEnv(*k)
+		m, err := sim.Run(art.Func, d, art.Plan, env, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = m
+		} else if !reflect.DeepEqual(first, m) {
+			t.Fatalf("run %d metrics differ from run 0:\nfirst: %+v\nthis:  %+v", i, first, m)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"slms/internal/interp"
 
@@ -77,40 +78,31 @@ func (f *Figure) geoMeanApplied() (float64, int) {
 	if n == 0 {
 		return 1, 0
 	}
-	return pow(prod, 1/float64(n)), n
-}
-
-func pow(x, p float64) float64 {
-	// crude exp/log-free power for the geometric mean (x > 0, p in (0,1])
-	// — precision is irrelevant for a summary line.
-	if x <= 0 {
-		return 0
-	}
-	// Use math via Newton on log would be overkill; simple binary
-	// exponentiation on 1/n is not exact, so use the standard library.
-	return math.Pow(x, p)
+	return math.Pow(prod, 1/float64(n)), n
 }
 
 // measure runs kernel k under the machine/compiler pair and returns the
 // outcome. The paper's experiments run SLMS "with and without MVE" and
 // keep the best; we do the same with MVE vs scalar expansion.
 func measure(k Kernel, d *machine.Desc, cc pipeline.Compiler) (*pipeline.Outcome, error) {
-	prog, err := source.Parse(k.Source)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", k.Name, err)
-	}
-	best, err := pipeline.RunExperiment(prog, pipeline.Experiment{
-		Machine: d, Compiler: cc, SLMS: core.DefaultOptions(),
-	}, k.Setup)
+	prog, err := source.ParseCached(k.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
 	}
 	altOpts := core.DefaultOptions()
 	altOpts.Expansion = core.ExpandScalar
-	alt, err := pipeline.RunExperiment(prog, pipeline.Experiment{
-		Machine: d, Compiler: cc, SLMS: altOpts,
-	}, k.Setup)
-	if err == nil && alt.Applied && alt.Speedup > best.Speedup {
+	// One shared base run for both variants (the untransformed leg does
+	// not depend on the SLMS options).
+	outs, errs, err := pipeline.RunExperiments(prog, d, cc,
+		[]core.Options{core.DefaultOptions(), altOpts}, k.Setup)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	if errs[0] != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, errs[0])
+	}
+	best := outs[0]
+	if alt := outs[1]; errs[1] == nil && alt.Applied && alt.Speedup > best.Speedup {
 		best = alt
 	}
 	return best, nil
@@ -127,8 +119,8 @@ func reasonOf(out *pipeline.Outcome) string {
 
 // speedupFigure builds a two-series speedup figure (with and without
 // -O3) for a set of kernels on one machine. Kernels are measured
-// concurrently (every measurement is self-contained and deterministic);
-// rows come back in kernel order.
+// concurrently through the shared worker pool (every measurement is
+// self-contained and deterministic); rows come back in kernel order.
 func speedupFigure(id, title string, kernels []Kernel, d *machine.Desc,
 	o3, noO3 pipeline.Compiler) (*Figure, error) {
 	f := &Figure{
@@ -137,11 +129,11 @@ func speedupFigure(id, title string, kernels []Kernel, d *machine.Desc,
 		Series: []string{"-O3", "no -O3"},
 	}
 	rows, err := parallelRows(kernels, func(k Kernel) (Row, error) {
-		out, err := measure(k, d, o3)
+		out, err := measureCached(k, d, o3)
 		if err != nil {
 			return Row{}, err
 		}
-		out2, err := measure(k, d, noO3)
+		out2, err := measureCached(k, d, noO3)
 		if err != nil {
 			return Row{}, err
 		}
@@ -161,29 +153,11 @@ func speedupFigure(id, title string, kernels []Kernel, d *machine.Desc,
 	return f, nil
 }
 
-// parallelRows measures every kernel concurrently with a bounded worker
-// pool and returns the rows in input order. The first error wins.
+// parallelRows measures every kernel concurrently through the shared
+// bounded worker pool and returns the rows in input order. The first
+// error (in input order) wins.
 func parallelRows(kernels []Kernel, work func(Kernel) (Row, error)) ([]Row, error) {
-	rows := make([]Row, len(kernels))
-	errs := make([]error, len(kernels))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, k := range kernels {
-		wg.Add(1)
-		go func(i int, k Kernel) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = work(k)
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return rows, nil
+	return parallelMap(kernels, work)
 }
 
 // Figure14 reproduces "Livermore & Linpack over GCC" (IA64, weak
@@ -223,17 +197,19 @@ func Figure16() (*Figure, error) {
 		Series: []string{"gap closure"},
 	}
 	ks := append(Suite("livermore"), Suite("linpack")...)
-	for _, k := range ks {
-		outWeak, err := measure(k, d, pipeline.WeakO3)
+	rows, err := parallelRows(ks, func(k Kernel) (Row, error) {
+		outWeak, err := measureCached(k, d, pipeline.WeakO3)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		prog := source.MustParse(k.Source)
-		env := newSeededEnv(k)
-		mStrong, _, err := pipeline.Run(prog, d, pipeline.StrongO3, env)
+		// The strong compiler's cycle count is the base leg of the
+		// (kernel, ia64, StrongO3) measurement Figure 18 also needs, so
+		// share it through the measurement memo instead of re-simulating.
+		outStrong, err := measureCached(k, d, pipeline.StrongO3)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
+		mStrong := outStrong.Base
 		gap := float64(outWeak.Base.Cycles - mStrong.Cycles)
 		row := Row{Kernel: k.Name, Applied: outWeak.Applied}
 		if !outWeak.Applied {
@@ -247,8 +223,12 @@ func Figure16() (*Figure, error) {
 			row.Note = "machine-level MS gains nothing on this loop"
 			row.Applied = false
 		}
-		f.Rows = append(f.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -314,10 +294,10 @@ func armFigure(id, title, metric string, energy bool) (*Figure, error) {
 	d := machine.ARM7Like()
 	f := &Figure{ID: id, Title: title, Metric: metric, Series: []string{"ratio"}}
 	ks := append(Suite("livermore"), Suite("linpack")...)
-	for _, k := range ks {
-		out, err := measure(k, d, pipeline.WeakO3)
+	rows, err := parallelRows(ks, func(k Kernel) (Row, error) {
+		out, err := measureCached(k, d, pipeline.WeakO3)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		row := Row{Kernel: k.Name, Applied: out.Applied}
 		if out.Applied {
@@ -330,8 +310,12 @@ func armFigure(id, title, metric string, energy bool) (*Figure, error) {
 			row.Value = 1
 			row.Note = reasonOf(out)
 		}
-		f.Rows = append(f.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	f.Notes = append(f.Notes,
 		"the ARM core is single-issue: SLMS parallelism can only hide latencies, so gains are smaller and bad cases more frequent (apply selectively)")
 	corr := cycleEnergyCorrelation(f)
@@ -352,10 +336,7 @@ func cycleEnergyCorrelation(f *Figure) string {
 func CaseA() (*Figure, error) {
 	k := Lookup("kernel8")
 	d := machine.IA64Like()
-	prog := source.MustParse(k.Source)
-	out, err := pipeline.RunExperiment(prog, pipeline.Experiment{
-		Machine: d, Compiler: pipeline.WeakO3, SLMS: core.DefaultOptions(),
-	}, k.Setup)
+	out, err := measureKernel8CaseA(*k, d)
 	if err != nil {
 		return nil, err
 	}
@@ -372,6 +353,13 @@ func CaseA() (*Figure, error) {
 		Applied: out.Applied,
 	})
 	return f, nil
+}
+
+func measureKernel8CaseA(k Kernel, d *machine.Desc) (*pipeline.Outcome, error) {
+	prog := source.MustParseCached(k.Source)
+	return pipeline.RunExperiment(prog, pipeline.Experiment{
+		Machine: d, Compiler: pipeline.WeakO3, SLMS: core.DefaultOptions(),
+	}, k.Setup)
 }
 
 // CaseB reproduces the §9.2 floating-point-intensive loop: SLMS helps
@@ -435,27 +423,99 @@ func hotLoopBundles(art *pipeline.Artifact, m *sim.Metrics) float64 {
 	return float64(best)
 }
 
-// AllFigures regenerates every evaluation figure in order.
+// FigureStat is the per-figure entry of the harness trajectory.
+type FigureStat struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Rows        int     `json:"rows"`
+}
+
+// RunStats is the harness trajectory of one AllFigures run: wall time
+// per figure, simulation throughput and artifact-cache effectiveness.
+// cmd/slmsbench serializes it as BENCH_*.json.
+type RunStats struct {
+	Figures          []FigureStat `json:"figures"`
+	TotalWallSeconds float64      `json:"total_wall_seconds"`
+	SimulatedCycles  int64        `json:"simulated_cycles"`
+	CyclesPerSecond  float64      `json:"cycles_per_second"`
+	CacheHits        int64        `json:"cache_hits"`
+	CacheMisses      int64        `json:"cache_misses"`
+	CacheHitRate     float64      `json:"cache_hit_rate"`
+	Workers          int          `json:"workers"`
+	GoMaxProcs       int          `json:"gomaxprocs"`
+}
+
+var figureGens = []struct {
+	name string
+	fn   func() (*Figure, error)
+}{
+	{"14", Figure14}, {"15", Figure15}, {"16", Figure16}, {"17", Figure17},
+	{"18", Figure18}, {"19", Figure19}, {"20", Figure20},
+	{"21", Figure21}, {"22", Figure22},
+	{"caseA", CaseA}, {"caseB", CaseB},
+}
+
+// AllFigures regenerates every evaluation figure in order. Figures are
+// generated concurrently (each one's rows additionally fan out through
+// the shared worker pool); the returned slice is always in figure
+// order, and the first error in figure order wins.
 func AllFigures() ([]*Figure, error) {
-	type gen struct {
-		name string
-		fn   func() (*Figure, error)
+	figs, _, err := AllFiguresTimed()
+	return figs, err
+}
+
+// AllFiguresTimed is AllFigures plus the harness trajectory: wall time
+// per figure, cycles simulated, simulation throughput and artifact
+// cache hit rate over the run.
+func AllFiguresTimed() ([]*Figure, *RunStats, error) {
+	startCycles := sim.SimulatedCycles()
+	startHits, startMisses := pipeline.CacheStats()
+	start := time.Now()
+
+	// Figures run on plain goroutines: a generator is orchestration (it
+	// waits on its rows' pool work), so it must not hold a pool token
+	// itself or nested waits could exhaust the pool and deadlock. Only
+	// leaf measurements draw tokens, keeping concurrency bounded.
+	type res struct {
+		fig  *Figure
+		err  error
+		wall time.Duration
 	}
-	gens := []gen{
-		{"14", Figure14}, {"15", Figure15}, {"16", Figure16}, {"17", Figure17},
-		{"18", Figure18}, {"19", Figure19}, {"20", Figure20},
-		{"21", Figure21}, {"22", Figure22},
-		{"caseA", CaseA}, {"caseB", CaseB},
+	results := make([]res, len(figureGens))
+	var wg sync.WaitGroup
+	for i, g := range figureGens {
+		wg.Add(1)
+		go func(i int, fn func() (*Figure, error)) {
+			defer wg.Done()
+			t0 := time.Now()
+			f, err := fn()
+			results[i] = res{fig: f, err: err, wall: time.Since(t0)}
+		}(i, g.fn)
 	}
+	wg.Wait()
+
+	stats := &RunStats{Workers: Workers(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	var out []*Figure
-	for _, g := range gens {
-		f, err := g.fn()
-		if err != nil {
-			return nil, fmt.Errorf("figure %s: %w", g.name, err)
+	for i, r := range results {
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("figure %s: %w", figureGens[i].name, r.err)
 		}
-		out = append(out, f)
+		out = append(out, r.fig)
+		stats.Figures = append(stats.Figures, FigureStat{
+			ID: r.fig.ID, WallSeconds: r.wall.Seconds(), Rows: len(r.fig.Rows),
+		})
 	}
-	return out, nil
+	stats.TotalWallSeconds = time.Since(start).Seconds()
+	stats.SimulatedCycles = sim.SimulatedCycles() - startCycles
+	if stats.TotalWallSeconds > 0 {
+		stats.CyclesPerSecond = float64(stats.SimulatedCycles) / stats.TotalWallSeconds
+	}
+	hits, misses := pipeline.CacheStats()
+	stats.CacheHits, stats.CacheMisses = hits-startHits, misses-startMisses
+	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
+		stats.CacheHitRate = float64(stats.CacheHits) / float64(total)
+	}
+	return out, stats, nil
 }
 
 // FigureIDs lists the available figure identifiers.
@@ -489,29 +549,10 @@ func Summary() (string, error) {
 
 // ByID regenerates one figure.
 func ByID(id string) (*Figure, error) {
-	switch id {
-	case "14":
-		return Figure14()
-	case "15":
-		return Figure15()
-	case "16":
-		return Figure16()
-	case "17":
-		return Figure17()
-	case "18":
-		return Figure18()
-	case "19":
-		return Figure19()
-	case "20":
-		return Figure20()
-	case "21":
-		return Figure21()
-	case "22":
-		return Figure22()
-	case "caseA":
-		return CaseA()
-	case "caseB":
-		return CaseB()
+	for _, g := range figureGens {
+		if g.name == id {
+			return g.fn()
+		}
 	}
 	return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureIDs())
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"slms/internal/source"
+)
+
+// The transform cache memoizes TransformProgram results. The SLMS
+// transformation depends only on the program text and the options —
+// not on the target machine or final compiler — yet the evaluation
+// harness re-derives it for every (machine, compiler) cell of every
+// figure. Memoizing the transform removes that repeated dependence
+// analysis and II search from the evaluation loop.
+//
+// Cached outputs are shared, not cloned: the transformed program and
+// the result records must be treated as read-only by callers (the
+// pipeline only prints, compiles and simulates them, all of which are
+// read-only over the AST).
+
+type transformKey struct {
+	prog [sha256.Size]byte
+	opts Options
+}
+
+type transformEntry struct {
+	once    sync.Once
+	program *source.Program
+	results []*Result
+	err     error
+}
+
+type transformCache struct {
+	mu      sync.Mutex
+	entries map[transformKey]*transformEntry
+	enabled atomic.Bool
+}
+
+var defaultTransformCache = func() *transformCache {
+	c := &transformCache{entries: map[transformKey]*transformEntry{}}
+	c.enabled.Store(true)
+	return c
+}()
+
+// SetTransformCacheEnabled turns the process-wide transform cache on or
+// off (on by default). Disabling drops all cached transforms.
+func SetTransformCacheEnabled(on bool) {
+	c := defaultTransformCache
+	c.enabled.Store(on)
+	if !on {
+		c.mu.Lock()
+		c.entries = map[transformKey]*transformEntry{}
+		c.mu.Unlock()
+	}
+}
+
+// ResetTransformCache drops every cached transform.
+func ResetTransformCache() {
+	c := defaultTransformCache
+	c.mu.Lock()
+	c.entries = map[transformKey]*transformEntry{}
+	c.mu.Unlock()
+}
+
+// TransformProgramCached is TransformProgram behind the process-wide
+// transform cache: identical (program, options) pairs transform once
+// and share the output. The returned program and results must be
+// treated as read-only.
+func TransformProgramCached(p *source.Program, opts Options) (*source.Program, []*Result, error) {
+	c := defaultTransformCache
+	if !c.enabled.Load() {
+		return TransformProgram(p, opts)
+	}
+	key := transformKey{prog: source.Fingerprint(p), opts: opts}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &transformEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.program, e.results, e.err = TransformProgram(p, opts) })
+	return e.program, e.results, e.err
+}

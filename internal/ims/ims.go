@@ -206,18 +206,18 @@ func resMII(ins []*ir.Instr, d *machine.Desc) int {
 	return m
 }
 
-// recMII is the recurrence-constrained lower bound, computed by testing
-// increasing II values against the cycle condition (reusing the
-// difMin/ISP machinery). Returns -1 when no II up to maxII works.
+// recMII is the recurrence-constrained lower bound: the smallest II
+// that admits no positive-weight cycle (reusing the difMin/ISP
+// machinery, found by binary search — validity is monotone in II).
+// Returns -1 when no II up to maxII works.
 func recMII(n int, edges []edge, maxII int) int {
 	g := &ddg.Graph{N: n}
+	g.Edges = make([]ddg.Edge, 0, len(edges))
 	for _, e := range edges {
 		g.Edges = append(g.Edges, ddg.Edge{From: e.from, To: e.to, Dist: e.dist, Delay: e.lat})
 	}
-	for ii := 1; ii <= maxII; ii++ {
-		if mii.Valid(g, int64(ii)) {
-			return ii
-		}
+	if ii := mii.FindMinValid(g, int64(maxII)); ii > 0 {
+		return int(ii)
 	}
 	return -1
 }

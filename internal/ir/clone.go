@@ -1,0 +1,65 @@
+package ir
+
+import "slms/internal/source"
+
+// Clone returns a deep copy of the function sharing no state the back
+// end mutates: blocks, instruction structs, operand slices, register
+// tables and array maps are all fresh. Affine tag dims are shared —
+// they are write-once during lowering and read-only afterwards.
+//
+// The copy makes a lowered function reusable across register
+// allocation and scheduling runs for different machines: allocate and
+// schedule a Clone, keep the original pristine.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		NumRegs:    f.NumRegs,
+		NumLoops:   f.NumLoops,
+		Blocks:     make([]*Block, len(f.Blocks)),
+		RegTypes:   append([]source.Type(nil), f.RegTypes...),
+		ScalarRegs: make(map[string]int, len(f.ScalarRegs)),
+		Arrays:     make(map[string]*ArrayInfo, len(f.Arrays)),
+	}
+	for name, reg := range f.ScalarRegs {
+		nf.ScalarRegs[name] = reg
+	}
+	for name, info := range f.Arrays {
+		ai := *info
+		ai.DimRegs = append([]int(nil), info.DimRegs...)
+		nf.Arrays[name] = &ai
+	}
+	ninstr, nargs := 0, 0
+	for _, b := range f.Blocks {
+		ninstr += len(b.Instrs)
+		for _, in := range b.Instrs {
+			nargs += len(in.Args)
+		}
+	}
+	// Two arenas: one bulk allocation for the instructions, one for the
+	// operand slices (the allocator rewrites operands in place).
+	instrs := make([]Instr, ninstr)
+	args := make([]Val, nargs)
+	ip, ap := 0, 0
+	for i, b := range f.Blocks {
+		nb := &Block{
+			ID:         b.ID,
+			LoopID:     b.LoopID,
+			IsLoopBody: b.IsLoopBody,
+			Counted:    b.Counted,
+			Instrs:     make([]*Instr, len(b.Instrs)),
+		}
+		for j, in := range b.Instrs {
+			p := &instrs[ip]
+			ip++
+			*p = *in
+			if n := len(in.Args); n > 0 {
+				dst := args[ap : ap+n : ap+n]
+				ap += n
+				copy(dst, in.Args)
+				p.Args = dst
+			}
+			nb.Instrs[j] = p
+		}
+		nf.Blocks[i] = nb
+	}
+	return nf
+}

@@ -204,7 +204,13 @@ func (in *Instr) String() string {
 
 // Uses returns the registers read by the instruction.
 func (in *Instr) Uses() []int {
-	var rs []int
+	return in.AppendUses(nil)
+}
+
+// AppendUses appends the registers read by the instruction to rs and
+// returns the extended slice. Hot paths pass a reused buffer to avoid
+// the per-call allocation of Uses.
+func (in *Instr) AppendUses(rs []int) []int {
 	for _, a := range in.Args {
 		if a.Kind == KReg {
 			rs = append(rs, a.Reg)
@@ -268,9 +274,6 @@ type ArrayInfo struct {
 	// time (used for the spill area, whose size is known after register
 	// allocation and which must not depend on any register).
 	StaticLen int
-	// Base is the array's base address in the flat byte-address space the
-	// cache model sees (assigned by the simulator at initialization).
-	Base int64
 }
 
 // Func is a whole lowered program.

@@ -9,7 +9,6 @@ package mii
 
 import (
 	"errors"
-	"math"
 
 	"slms/internal/ddg"
 )
@@ -22,50 +21,36 @@ var ErrNoValidII = errors.New("mii: no valid initiation interval (II must be < n
 // unknown-distance dependences and speculation was not enabled.
 var ErrUnknownDeps = errors.New("mii: dependence distances could not be proven (enable speculation to override)")
 
-const negInf = math.MinInt64 / 4
-
 // Valid reports whether II admits a schedule: with edge weights
-// w(e) = delay(e) − II·dist(e), the difMin closure must contain no
-// positive cycle. Parallel edges take the maximal weight.
+// w(e) = delay(e) − II·dist(e), the dependence graph must contain no
+// positive-weight cycle (the difMin-closure condition of §3.6).
+// Positive cycles are detected Bellman–Ford style — seed every node at
+// distance 0 and relax longest paths; a relaxation still possible after
+// n passes proves a positive cycle. On the sparse graphs SLMS builds
+// (a few edges per MI) this is O(n·E), far below the O(n³) matrix
+// closure, and allocates a single distance vector.
 func Valid(g *ddg.Graph, ii int64) bool {
 	n := g.N
 	if n == 0 {
 		return true
 	}
-	// difMin matrix: longest-path weights (max-plus algebra).
-	d := make([][]int64, n)
-	for i := range d {
-		d[i] = make([]int64, n)
-		for j := range d[i] {
-			d[i][j] = negInf
+	dist := make([]int64, n) // all nodes seeded at 0
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, e := range g.Edges {
+			w := e.Delay - ii*e.Dist
+			if v := dist[e.From] + w; v > dist[e.To] {
+				dist[e.To] = v
+				changed = true
+			}
+		}
+		if !changed {
+			return true // converged: no positive cycle
 		}
 	}
 	for _, e := range g.Edges {
-		w := e.Delay - ii*e.Dist
-		if w > d[e.From][e.To] {
-			d[e.From][e.To] = w
-		}
-	}
-	// Floyd–Warshall style closure.
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
-			dik := d[i][k]
-			if dik == negInf {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if d[k][j] == negInf {
-					continue
-				}
-				if v := dik + d[k][j]; v > d[i][j] {
-					d[i][j] = v
-				}
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		if d[i][i] > 0 {
-			return false
+		if dist[e.From]+e.Delay-ii*e.Dist > dist[e.To] {
+			return false // still relaxing after n passes: positive cycle
 		}
 	}
 	return true
@@ -95,12 +80,52 @@ func Find(g *ddg.Graph, opts Options) (int64, error) {
 	if maxII == 0 {
 		maxII = int64(g.N) - 1
 	}
-	for ii := int64(1); ii <= maxII; ii++ {
-		if Valid(g, ii) {
-			return ii, nil
-		}
+	if ii := FindMinValid(g, maxII); ii > 0 {
+		return ii, nil
 	}
 	return 0, ErrNoValidII
+}
+
+// FindMinValid returns the smallest ii in [1, maxII] with Valid(g, ii),
+// or 0 if none exists. Validity is monotone in ii — dependence
+// distances are non-negative, so every cycle's weight Delay − ii·Dist
+// is non-increasing in ii — so a galloping search returns exactly what
+// a linear scan would. Galloping (double the candidate until valid,
+// then bisect the last gap) stays within a couple of closure
+// computations of the linear scan when the answer is small — the common
+// case — and needs only O(log maxII) when the answer is large or no II
+// exists, where the scan needs maxII.
+func FindMinValid(g *ddg.Graph, maxII int64) int64 {
+	if maxII < 1 {
+		return 0
+	}
+	// Gallop: find the first valid candidate among 1, 2, 4, 8, ...
+	lo := int64(1) // lower bound, not yet known invalid
+	cur := int64(1)
+	for {
+		if cur > maxII {
+			cur = maxII
+		}
+		if Valid(g, cur) {
+			break
+		}
+		if cur == maxII {
+			return 0
+		}
+		lo = cur + 1
+		cur *= 2
+	}
+	// Bisect (lo, cur]: cur is valid, everything below lo is invalid.
+	hi := cur
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if Valid(g, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 func dropUnknown(g *ddg.Graph) *ddg.Graph {

@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+const compileBenchSrc = `
+	int n = 100;
+	float X[110]; float Y[110]; float Z[110];
+	for (i = 0; i < n; i++) {
+		Z[i] = X[i]*Y[i] + Z[i];
+		X[i] = Z[i] * 0.5;
+	}
+`
+
+// BenchmarkCompileForCold measures a full compilation (codegen, CSE,
+// register allocation, scheduling, IMS) with no caching.
+func BenchmarkCompileForCold(b *testing.B) {
+	prog := source.MustParse(compileBenchSrc)
+	d := machine.IA64Like()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileFor(prog, d, StrongO3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileForCached measures the artifact-cache hit path: the
+// program fingerprint plus one table lookup.
+func BenchmarkCompileForCached(b *testing.B) {
+	prog := source.MustParse(compileBenchSrc)
+	d := machine.IA64Like()
+	if _, err := CompileForCached(prog, d, StrongO3); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileForCached(prog, d, StrongO3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

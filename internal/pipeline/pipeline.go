@@ -48,7 +48,10 @@ var (
 	StrongNoO3 = Compiler{Name: "strong -O0", Tags: true}
 )
 
-// Artifact is a fully compiled program plus its timing plan.
+// Artifact is a fully compiled program plus its timing plan. After
+// CompileFor returns, an artifact is never mutated — the simulator keeps
+// all execution state (register file, array bindings, base addresses)
+// per run — so artifacts can be cached and simulated concurrently.
 type Artifact struct {
 	Func  *ir.Func
 	Plan  *sim.Plan
@@ -61,13 +64,33 @@ type Artifact struct {
 	LoopSched map[int]*backend.BlockSched
 }
 
-// CompileFor lowers and schedules a program for the machine/compiler pair.
+// CompileFor lowers and schedules a program for the machine/compiler
+// pair. Every call compiles afresh; use CompileForCached to share
+// artifacts across repeated identical compilations.
 func CompileFor(p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
+	f, err := lower(p)
+	if err != nil {
+		return nil, err
+	}
+	return scheduleFor(f, d, cc), nil
+}
+
+// lower runs the machine-independent front half of the compilation:
+// lowering to the virtual ISA plus local CSE. The result feeds
+// scheduleFor, which mutates it.
+func lower(p *source.Program) (*ir.Func, error) {
 	f, err := backend.Compile(p)
 	if err != nil {
 		return nil, err
 	}
 	backend.LocalCSE(f)
+	return f, nil
+}
+
+// scheduleFor runs the machine-dependent back half: register
+// allocation, block scheduling and (for strong static compilers) IMS.
+// It mutates f — pass a Clone when the lowered function is shared.
+func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) *Artifact {
 	alloc := backend.Allocate(f, d)
 	art := &Artifact{
 		Func: f, Alloc: alloc,
@@ -113,7 +136,7 @@ func CompileFor(p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, err
 			}
 		}
 	}
-	return art, nil
+	return art
 }
 
 // applyOrder permutes a block's instructions into schedule order
@@ -142,8 +165,11 @@ func applyOrder(b *ir.Block, s *backend.BlockSched) {
 }
 
 // Run compiles and simulates a program, seeding and updating env.
+// Compilation goes through the artifact cache (see CompileForCached),
+// so repeated runs of the same (program, machine, compiler) triple
+// share one immutable artifact.
 func Run(p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
-	art, err := CompileFor(p, d, cc)
+	art, err := CompileForCached(p, d, cc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -177,53 +203,78 @@ type Outcome struct {
 
 // RunExperiment measures the SLMS speedup of prog under the experiment
 // configuration. seed populates the environment before each run (called
-// twice with fresh environments).
+// with fresh environments).
 func RunExperiment(prog *source.Program, ex Experiment, seed func(*interp.Env)) (*Outcome, error) {
-	out := &Outcome{}
+	outs, errs, err := RunExperiments(prog, ex.Machine, ex.Compiler, []core.Options{ex.SLMS}, seed)
+	if err != nil {
+		return nil, err
+	}
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return outs[0], nil
+}
 
+// RunExperiments measures prog once per SLMS option set, sharing a
+// single base (untransformed) run across all of them — the base leg is
+// identical regardless of the transform options, so re-simulating it
+// per option set is pure waste. The returned slices parallel optsList:
+// errs[i] reports a failure specific to option set i (transform or
+// transformed-program run); the error return reports a base-run failure
+// that invalidates every option set.
+func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
+	optsList []core.Options, seed func(*interp.Env)) ([]*Outcome, []error, error) {
 	envBase := interp.NewEnv()
 	if seed != nil {
 		seed(envBase)
 	}
-	mBase, artBase, err := Run(prog, ex.Machine, ex.Compiler, envBase)
+	mBase, artBase, err := Run(prog, d, cc, envBase)
 	if err != nil {
-		return nil, fmt.Errorf("base run: %w", err)
+		return nil, nil, fmt.Errorf("base run: %w", err)
 	}
-	out.Base, out.BaseArt = mBase, artBase
-
-	transformed, results, err := core.TransformProgram(prog, ex.SLMS)
-	if err != nil {
-		return nil, fmt.Errorf("slms: %w", err)
-	}
-	out.Results = results
-	for _, r := range results {
-		if r.Applied {
-			out.Applied = true
-		}
-	}
-	envSLMS := interp.NewEnv()
-	if seed != nil {
-		seed(envSLMS)
-	}
-	mSLMS, artSLMS, err := Run(transformed, ex.Machine, ex.Compiler, envSLMS)
-	if err != nil {
-		return nil, fmt.Errorf("slms run: %w", err)
-	}
-	out.SLMS, out.SLMSArt = mSLMS, artSLMS
-
-	// Correctness: both executions must leave identical state (modulo
-	// reduction reassociation tolerance). Spill slots are
-	// simulator-internal storage.
+	// Spill slots are simulator-internal storage, not program results.
 	delete(envBase.Arrays, backend.SpillArray)
-	delete(envSLMS.Arrays, backend.SpillArray)
-	if diffs := interp.Compare(envBase, envSLMS, interp.CompareOpts{FloatTol: 1e-6}); len(diffs) > 0 {
-		return nil, fmt.Errorf("SLMS changed program results: %v", diffs)
+
+	outs := make([]*Outcome, len(optsList))
+	errs := make([]error, len(optsList))
+	for i, opts := range optsList {
+		out := &Outcome{Base: mBase, BaseArt: artBase}
+		transformed, results, err := core.TransformProgramCached(prog, opts)
+		if err != nil {
+			errs[i] = fmt.Errorf("slms: %w", err)
+			continue
+		}
+		out.Results = results
+		for _, r := range results {
+			if r.Applied {
+				out.Applied = true
+			}
+		}
+		envSLMS := interp.NewEnv()
+		if seed != nil {
+			seed(envSLMS)
+		}
+		mSLMS, artSLMS, err := Run(transformed, d, cc, envSLMS)
+		if err != nil {
+			errs[i] = fmt.Errorf("slms run: %w", err)
+			continue
+		}
+		out.SLMS, out.SLMSArt = mSLMS, artSLMS
+
+		// Correctness: both executions must leave identical state (modulo
+		// reduction reassociation tolerance).
+		delete(envSLMS.Arrays, backend.SpillArray)
+		if diffs := interp.Compare(envBase, envSLMS, interp.CompareOpts{FloatTol: 1e-6}); len(diffs) > 0 {
+			errs[i] = fmt.Errorf("SLMS changed program results: %v", diffs)
+			continue
+		}
+		if mSLMS.Cycles > 0 {
+			out.Speedup = float64(mBase.Cycles) / float64(mSLMS.Cycles)
+		}
+		if mSLMS.Energy > 0 {
+			out.PowerRatio = mBase.Energy / mSLMS.Energy
+		}
+		outs[i] = out
 	}
-	if mSLMS.Cycles > 0 {
-		out.Speedup = float64(mBase.Cycles) / float64(mSLMS.Cycles)
-	}
-	if mSLMS.Energy > 0 {
-		out.PowerRatio = mBase.Energy / mSLMS.Energy
-	}
-	return out, nil
+	return outs, errs, nil
 }

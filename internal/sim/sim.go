@@ -14,12 +14,18 @@
 // Loads and stores go through a set-associative L1 model; misses add the
 // machine's penalty and energy. Energy follows a Panalyzer-style
 // per-event model plus static leakage per cycle.
+//
+// Run never mutates the program or the plan: all per-execution state
+// (register file, array bindings, base addresses, predecoded
+// instruction attributes) lives in the simulator, so one compiled
+// artifact can be simulated from many goroutines concurrently.
 package sim
 
 import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"slms/internal/backend"
 	"slms/internal/ims"
@@ -70,33 +76,55 @@ func (m *Metrics) String() string {
 	return b.String()
 }
 
+// totalCycles accumulates simulated cycles across every Run call in the
+// process; benchmark harnesses report it as simulation throughput.
+var totalCycles atomic.Int64
+
+// SimulatedCycles returns the cumulative number of cycles simulated by
+// all Run calls so far (process-wide, safe for concurrent use).
+func SimulatedCycles() int64 { return totalCycles.Load() }
+
+// vtag is the simulator-internal value type tag. It mirrors source.Type
+// in a single byte so register values stay small (the register file is
+// copied on every operand read).
+type vtag uint8
+
+const (
+	tagUnknown = vtag(source.TUnknown)
+	tagInt     = vtag(source.TInt)
+	tagFloat   = vtag(source.TFloat)
+	tagBool    = vtag(source.TBool)
+)
+
 // value is the simulator's register value.
 type value struct {
-	t source.Type
 	i int64
 	f float64
+	t vtag
 	b bool
 }
 
 func (v value) asInt() int64 {
-	if v.t == source.TFloat {
+	if v.t == tagFloat {
 		return int64(v.f)
 	}
 	return v.i
 }
 
 func (v value) asFloat() float64 {
-	if v.t == source.TFloat {
+	if v.t == tagFloat {
 		return v.f
 	}
 	return float64(v.i)
 }
 
 // cache is a set-associative LRU L1 model over flat byte addresses.
+// Ways are stored most-recent-first in a fixed-capacity slice per set,
+// so hits and fills shift in place and never allocate.
 type cache struct {
 	sets  int
 	assoc int
-	line  int
+	line  int64
 	tags  [][]int64 // per set, LRU order (front = most recent)
 }
 
@@ -105,17 +133,22 @@ func newCache(c machine.Cache) *cache {
 	if line <= 0 {
 		line = 32
 	}
-	sets := c.SizeBytes / (line * max(1, c.Assoc))
+	assoc := max(1, c.Assoc)
+	sets := c.SizeBytes / (line * assoc)
 	if sets < 1 {
 		sets = 1
 	}
-	return &cache{sets: sets, assoc: max(1, c.Assoc), line: line,
-		tags: make([][]int64, sets)}
+	tags := make([][]int64, sets)
+	backing := make([]int64, sets*assoc)
+	for i := range tags {
+		tags[i] = backing[i*assoc : i*assoc : (i+1)*assoc]
+	}
+	return &cache{sets: sets, assoc: assoc, line: int64(line), tags: tags}
 }
 
 // access returns true on hit and updates LRU state.
 func (c *cache) access(addr int64) bool {
-	lineAddr := addr / int64(c.line)
+	lineAddr := addr / c.line
 	set := int(lineAddr % int64(c.sets))
 	ways := c.tags[set]
 	for k, t := range ways {
@@ -126,25 +159,40 @@ func (c *cache) access(addr int64) bool {
 		}
 	}
 	if len(ways) < c.assoc {
-		ways = append([]int64{lineAddr}, ways...)
-	} else {
-		copy(ways[1:], ways[:len(ways)-1])
-		ways[0] = lineAddr
+		ways = append(ways, 0)
+		c.tags[set] = ways
 	}
-	c.tags[set] = ways
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = lineAddr
 	return false
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+// arrayBinding is the per-run resolution of an array name: storage,
+// element count and flat base address, resolved once at first touch
+// instead of a map lookup per memory instruction.
+type arrayBinding struct {
+	name    string
+	ai      *ir.ArrayInfo
+	arr     *interp.Array
+	n       int64 // element count (cached arr.Len())
+	base    int64
+	isSpill bool
+}
+
+// instrInfo is the predecoded per-instruction attribute record: energy,
+// latency and functional unit under the target machine, plus the array
+// binding index for memory instructions. Computed once per Run so the
+// inner loop never consults the machine description or an array map.
+type instrInfo struct {
+	energy float64
+	lat    int64
+	fu     uint8
+	mem    int32 // index into simulator.bindings, -1 for non-mem ops
 }
 
 // Run simulates f on machine d with timing plan, reading inputs from and
 // writing results back to env. maxInstrs guards against runaway loops
-// (0 = 500M).
+// (0 = 500M). Run treats f and plan as read-only.
 func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int64) (*Metrics, error) {
 	if maxInstrs == 0 {
 		maxInstrs = 500_000_000
@@ -156,12 +204,13 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 		m:     &Metrics{ExecCounts: make([]int64, len(f.Blocks))},
 		limit: maxInstrs,
 	}
+	s.predecode()
 	// Seed scalar home registers from the environment.
 	for name, r := range f.ScalarRegs {
 		if v, ok := env.Scalars[name]; ok {
 			s.regs[r] = fromInterp(v)
 		} else {
-			s.regs[r] = value{t: f.RegTypes[r]}
+			s.regs[r] = value{t: vtag(f.RegTypes[r])}
 		}
 	}
 	if err := s.run(); err != nil {
@@ -172,11 +221,12 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 		env.Scalars[name] = toInterp(s.regs[r], f.RegTypes[r])
 	}
 	s.m.Energy += d.Energy.Static * float64(s.m.Cycles)
+	totalCycles.Add(s.m.Cycles)
 	return s.m, nil
 }
 
 func fromInterp(v interp.Value) value {
-	return value{t: v.T, i: v.I, f: v.F, b: v.B}
+	return value{t: vtag(v.T), i: v.I, f: v.F, b: v.B}
 }
 
 func toInterp(v value, t source.Type) interp.Value {
@@ -189,9 +239,9 @@ func toInterp(v value, t source.Type) interp.Value {
 		return interp.BoolVal(v.b)
 	}
 	switch v.t {
-	case source.TInt:
+	case tagInt:
 		return interp.IntVal(v.i)
-	case source.TFloat:
+	case tagFloat:
 		return interp.FloatVal(v.f)
 	default:
 		return interp.BoolVal(v.b)
@@ -208,6 +258,10 @@ type simulator struct {
 	m     *Metrics
 	limit int64
 
+	// predecoded program attributes, parallel to f.Blocks[i].Instrs
+	info     [][]instrInfo
+	bindings []arrayBinding
+
 	// dynamic in-order issue state
 	cycle    int64
 	issued   int
@@ -219,6 +273,40 @@ type simulator struct {
 	prevBlock int // block before that
 
 	nextBase int64 // array base address allocator
+}
+
+// predecode resolves every instruction's machine attributes and assigns
+// array-binding slots, hoisting all name-keyed map lookups out of the
+// execution loop.
+func (s *simulator) predecode() {
+	byName := make(map[string]int32, len(s.f.Arrays))
+	s.info = make([][]instrInfo, len(s.f.Blocks))
+	for _, b := range s.f.Blocks {
+		infos := make([]instrInfo, len(b.Instrs))
+		for i, in := range b.Instrs {
+			ii := instrInfo{
+				energy: s.d.OpEnergy(in),
+				lat:    int64(s.d.Latency(in)),
+				fu:     uint8(machine.UnitOf(in)),
+				mem:    -1,
+			}
+			if in.Op == ir.Load || in.Op == ir.Store {
+				id, ok := byName[in.Arr]
+				if !ok {
+					id = int32(len(s.bindings))
+					byName[in.Arr] = id
+					s.bindings = append(s.bindings, arrayBinding{
+						name:    in.Arr,
+						ai:      s.f.Arrays[in.Arr],
+						isSpill: in.Arr == backend.SpillArray,
+					})
+				}
+				ii.mem = id
+			}
+			infos[i] = ii
+		}
+		s.info[b.ID] = infos
+	}
 }
 
 func (s *simulator) run() error {
@@ -252,7 +340,7 @@ func (s *simulator) run() error {
 func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 	// Static timing: charge block cost on entry.
 	if s.d.Policy == machine.Static && s.plan != nil {
-		bt := s.plan.Blocks[b.ID]
+		bt := &s.plan.Blocks[b.ID]
 		// A block repeats when it re-executes back to back, possibly with
 		// only its (rotated-away) loop head in between.
 		repeat := s.lastBlock == b.ID ||
@@ -279,14 +367,17 @@ func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 		}
 	}
 	next = b.ID + 1
-	for _, in := range b.Instrs {
+	infos := s.info[b.ID]
+	inOrder := s.d.Policy == machine.InOrder
+	for idx, in := range b.Instrs {
 		s.m.Instrs++
 		if s.m.Instrs > s.limit {
 			return 0, false, fmt.Errorf("sim: instruction limit exceeded (runaway loop?)")
 		}
-		s.m.Energy += s.d.OpEnergy(in)
-		if s.d.Policy == machine.InOrder {
-			s.issueInOrder(in)
+		ii := &infos[idx]
+		s.m.Energy += ii.energy
+		if inOrder {
+			s.issueInOrder(in, ii)
 		}
 		switch in.Op {
 		case ir.Br:
@@ -304,7 +395,7 @@ func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 		case ir.Halt:
 			return 0, true, nil
 		default:
-			if err := s.exec(in); err != nil {
+			if err := s.exec(in, ii); err != nil {
 				return 0, false, err
 			}
 		}
@@ -313,14 +404,14 @@ func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 }
 
 // issueInOrder advances the dynamic issue model for one instruction.
-func (s *simulator) issueInOrder(in *ir.Instr) {
+func (s *simulator) issueInOrder(in *ir.Instr, ii *instrInfo) {
 	earliest := s.cycle
 	for _, a := range in.Args {
 		if a.Kind == ir.KReg && s.regReady[a.Reg] > earliest {
 			earliest = s.regReady[a.Reg]
 		}
 	}
-	fu := machine.UnitOf(in)
+	fu := ii.fu
 	for earliest > s.cycle || s.issued >= s.d.IssueWidth || s.fuUsed[fu] >= s.d.Units[fu] {
 		s.cycle++
 		s.issued = 0
@@ -329,9 +420,9 @@ func (s *simulator) issueInOrder(in *ir.Instr) {
 	s.issued++
 	s.fuUsed[fu]++
 	if in.Dst >= 0 {
-		s.regReady[in.Dst] = s.cycle + int64(s.d.Latency(in))
+		s.regReady[in.Dst] = s.cycle + ii.lat
 	}
-	if in.Op.IsBranch() {
+	if fu == uint8(machine.FUBranch) {
 		// Taken-branch redirection costs the branch latency.
 		s.cycle += int64(s.d.Lat.Branch)
 		s.issued = 0
@@ -339,7 +430,7 @@ func (s *simulator) issueInOrder(in *ir.Instr) {
 	}
 }
 
-// missPenalty charges an L1 miss depending on the issue policy.
+// chargeMem charges an L1 miss depending on the issue policy.
 func (s *simulator) chargeMem(in *ir.Instr, addr int64) {
 	hit := s.cache.access(addr)
 	if hit {
@@ -358,17 +449,21 @@ func (s *simulator) chargeMem(in *ir.Instr, addr int64) {
 	}
 }
 
-// array returns (allocating on first touch) the storage for name.
-func (s *simulator) array(name string) (*interp.Array, *ir.ArrayInfo, error) {
-	ai := s.f.Arrays[name]
+// bind resolves an array binding on first touch: it finds (or allocates)
+// the storage for the name and assigns its flat base address. Allocation
+// order — and therefore every address the cache model sees — matches
+// first-touch execution order, exactly as when the lookup happened per
+// instruction.
+func (s *simulator) bind(bd *arrayBinding) error {
+	ai := bd.ai
 	if ai == nil {
-		return nil, nil, fmt.Errorf("sim: unknown array %q", name)
+		return fmt.Errorf("sim: unknown array %q", bd.name)
 	}
-	if a, ok := s.env.Arrays[name]; ok {
-		if ai.Base == 0 {
-			ai.Base = s.allocBase(int64(a.Len()))
-		}
-		return a, ai, nil
+	if a, ok := s.env.Arrays[bd.name]; ok {
+		bd.arr = a
+		bd.n = int64(a.Len())
+		bd.base = s.allocBase(bd.n)
+		return nil
 	}
 	var dims []int
 	total := 1
@@ -380,15 +475,17 @@ func (s *simulator) array(name string) (*interp.Array, *ir.ArrayInfo, error) {
 		for k, r := range ai.DimRegs {
 			dims[k] = int(s.regs[r].asInt())
 			if dims[k] <= 0 {
-				return nil, nil, fmt.Errorf("sim: array %q has dimension %d", name, dims[k])
+				return fmt.Errorf("sim: array %q has dimension %d", bd.name, dims[k])
 			}
 			total *= dims[k]
 		}
 	}
 	a := interp.NewArray(ai.Type, dims...)
-	s.env.Arrays[name] = a
-	ai.Base = s.allocBase(int64(total))
-	return a, ai, nil
+	s.env.Arrays[bd.name] = a
+	bd.arr = a
+	bd.n = int64(total)
+	bd.base = s.allocBase(bd.n)
+	return nil
 }
 
 func (s *simulator) allocBase(elems int64) int64 {
@@ -405,17 +502,17 @@ func (s *simulator) val(a ir.Val) value {
 	case ir.KReg:
 		return s.regs[a.Reg]
 	case ir.KInt:
-		return value{t: source.TInt, i: a.I}
+		return value{t: tagInt, i: a.I}
 	case ir.KFloat:
-		return value{t: source.TFloat, f: a.F}
+		return value{t: tagFloat, f: a.F}
 	default:
-		return value{t: source.TBool, b: a.B}
+		return value{t: tagBool, b: a.B}
 	}
 }
 
 func (s *simulator) set(r int, v value) { s.regs[r] = v }
 
-func (s *simulator) exec(in *ir.Instr) error {
+func (s *simulator) exec(in *ir.Instr, ii *instrInfo) error {
 	switch in.Op {
 	case ir.Nop:
 		return nil
@@ -442,7 +539,7 @@ func (s *simulator) exec(in *ir.Instr) error {
 			case ir.Mod:
 				r = math.Mod(a, b)
 			}
-			s.set(in.Dst, value{t: source.TFloat, f: r})
+			s.set(in.Dst, value{t: tagFloat, f: r})
 			return nil
 		}
 		a, b := x.asInt(), y.asInt()
@@ -465,14 +562,14 @@ func (s *simulator) exec(in *ir.Instr) error {
 			}
 			r = a % b
 		}
-		s.set(in.Dst, value{t: source.TInt, i: r})
+		s.set(in.Dst, value{t: tagInt, i: r})
 		return nil
 	case ir.Neg:
 		x := s.val(in.Args[0])
 		if in.Type == source.TFloat {
-			s.set(in.Dst, value{t: source.TFloat, f: -x.asFloat()})
+			s.set(in.Dst, value{t: tagFloat, f: -x.asFloat()})
 		} else {
-			s.set(in.Dst, value{t: source.TInt, i: -x.asInt()})
+			s.set(in.Dst, value{t: tagInt, i: -x.asInt()})
 		}
 		return nil
 	case ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE, ir.CmpEQ, ir.CmpNE:
@@ -520,16 +617,16 @@ func (s *simulator) exec(in *ir.Instr) error {
 				r = a != b
 			}
 		}
-		s.set(in.Dst, value{t: source.TBool, b: r})
+		s.set(in.Dst, value{t: tagBool, b: r})
 		return nil
 	case ir.And:
-		s.set(in.Dst, value{t: source.TBool, b: s.val(in.Args[0]).b && s.val(in.Args[1]).b})
+		s.set(in.Dst, value{t: tagBool, b: s.val(in.Args[0]).b && s.val(in.Args[1]).b})
 		return nil
 	case ir.Or:
-		s.set(in.Dst, value{t: source.TBool, b: s.val(in.Args[0]).b || s.val(in.Args[1]).b})
+		s.set(in.Dst, value{t: tagBool, b: s.val(in.Args[0]).b || s.val(in.Args[1]).b})
 		return nil
 	case ir.Not:
-		s.set(in.Dst, value{t: source.TBool, b: !s.val(in.Args[0]).b})
+		s.set(in.Dst, value{t: tagBool, b: !s.val(in.Args[0]).b})
 		return nil
 	case ir.Select:
 		c := s.val(in.Args[0])
@@ -540,48 +637,53 @@ func (s *simulator) exec(in *ir.Instr) error {
 		}
 		return nil
 	case ir.Load:
-		a, ai, err := s.array(in.Arr)
-		if err != nil {
-			return err
+		bd := &s.bindings[ii.mem]
+		if bd.arr == nil {
+			if err := s.bind(bd); err != nil {
+				return err
+			}
 		}
 		idx := s.val(in.Args[0]).asInt()
-		if idx < 0 || idx >= int64(a.Len()) {
-			return fmt.Errorf("sim: %s[%d] out of range [0,%d)", in.Arr, idx, a.Len())
+		if idx < 0 || idx >= bd.n {
+			return fmt.Errorf("sim: %s[%d] out of range [0,%d)", in.Arr, idx, bd.n)
 		}
 		s.m.Loads++
-		if in.Arr == backend.SpillArray {
+		if bd.isSpill {
 			s.m.SpillLoads++
 		}
-		s.m.Energy += 0 // op energy charged already
-		s.chargeMem(in, ai.Base+idx*8)
+		s.chargeMem(in, bd.base+idx*8)
+		a := bd.arr
 		var v value
 		switch a.Type {
 		case source.TInt:
-			v = value{t: source.TInt, i: a.I[idx]}
+			v = value{t: tagInt, i: a.I[idx]}
 		case source.TBool:
-			v = value{t: source.TBool, b: a.F[idx] != 0}
+			v = value{t: tagBool, b: a.F[idx] != 0}
 		default:
-			v = value{t: source.TFloat, f: a.F[idx]}
+			v = value{t: tagFloat, f: a.F[idx]}
 		}
 		s.set(in.Dst, coerce(v, in.Type))
 		return nil
 	case ir.Store:
-		a, ai, err := s.array(in.Arr)
-		if err != nil {
-			return err
+		bd := &s.bindings[ii.mem]
+		if bd.arr == nil {
+			if err := s.bind(bd); err != nil {
+				return err
+			}
 		}
 		idx := s.val(in.Args[0]).asInt()
-		if idx < 0 || idx >= int64(a.Len()) {
-			return fmt.Errorf("sim: %s[%d] out of range [0,%d)", in.Arr, idx, a.Len())
+		if idx < 0 || idx >= bd.n {
+			return fmt.Errorf("sim: %s[%d] out of range [0,%d)", in.Arr, idx, bd.n)
 		}
 		s.m.Stores++
-		if in.Arr == backend.SpillArray {
+		if bd.isSpill {
 			s.m.SpillStores++
 		}
-		s.chargeMem(in, ai.Base+idx*8)
+		s.chargeMem(in, bd.base+idx*8)
+		a := bd.arr
 		v := s.val(in.Args[1])
 		switch {
-		case a.Type == source.TInt && v.t == source.TBool:
+		case a.Type == source.TInt && v.t == tagBool:
 			if v.b {
 				a.I[idx] = 1
 			} else {
@@ -589,7 +691,7 @@ func (s *simulator) exec(in *ir.Instr) error {
 			}
 		case a.Type == source.TInt:
 			a.I[idx] = v.asInt()
-		case v.t == source.TBool:
+		case v.t == tagBool:
 			if v.b {
 				a.F[idx] = 1
 			} else {
@@ -632,9 +734,9 @@ func (s *simulator) exec(in *ir.Instr) error {
 			return fmt.Errorf("sim: unknown intrinsic %q", in.Fn)
 		}
 		if in.Type == source.TInt {
-			s.set(in.Dst, value{t: source.TInt, i: int64(r)})
+			s.set(in.Dst, value{t: tagInt, i: int64(r)})
 		} else {
-			s.set(in.Dst, value{t: source.TFloat, f: r})
+			s.set(in.Dst, value{t: tagFloat, f: r})
 		}
 		return nil
 	}
@@ -642,32 +744,33 @@ func (s *simulator) exec(in *ir.Instr) error {
 }
 
 func coerce(v value, t source.Type) value {
-	if v.t == t || t == source.TUnknown {
+	tag := vtag(t)
+	if v.t == tag || t == source.TUnknown {
 		return v
 	}
-	switch t {
-	case source.TInt:
-		if v.t == source.TBool {
+	switch tag {
+	case tagInt:
+		if v.t == tagBool {
 			if v.b {
-				return value{t: source.TInt, i: 1}
+				return value{t: tagInt, i: 1}
 			}
-			return value{t: source.TInt, i: 0}
+			return value{t: tagInt, i: 0}
 		}
-		return value{t: source.TInt, i: v.asInt()}
-	case source.TFloat:
-		if v.t == source.TBool {
+		return value{t: tagInt, i: v.asInt()}
+	case tagFloat:
+		if v.t == tagBool {
 			if v.b {
-				return value{t: source.TFloat, f: 1}
+				return value{t: tagFloat, f: 1}
 			}
-			return value{t: source.TFloat, f: 0}
+			return value{t: tagFloat, f: 0}
 		}
-		return value{t: source.TFloat, f: v.asFloat()}
-	case source.TBool:
+		return value{t: tagFloat, f: v.asFloat()}
+	case tagBool:
 		// Numeric → bool: non-zero is true (bool array loads).
-		if v.t == source.TInt || v.t == source.TFloat {
-			return value{t: source.TBool, b: v.asFloat() != 0}
+		if v.t == tagInt || v.t == tagFloat {
+			return value{t: tagBool, b: v.asFloat() != 0}
 		}
-		return value{t: source.TBool, b: v.b}
+		return value{t: tagBool, b: v.b}
 	}
 	return v
 }

@@ -1,0 +1,34 @@
+package source
+
+import "sync"
+
+// parseEntry is a once-filled parse-cache slot.
+type parseEntry struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+var parseMemo sync.Map // source text -> *parseEntry
+
+// ParseCached parses src through a process-wide cache: identical source
+// text parses once and all callers share the same immutable AST. Shared
+// ASTs also share their [Fingerprint], so downstream artifact and
+// transform caches hit by pointer without reprinting the program. Use
+// Parse instead when the caller intends to mutate the result.
+func ParseCached(src string) (*Program, error) {
+	v, _ := parseMemo.LoadOrStore(src, &parseEntry{})
+	e := v.(*parseEntry)
+	e.once.Do(func() { e.prog, e.err = Parse(src) })
+	return e.prog, e.err
+}
+
+// MustParseCached is ParseCached for known-good sources; it panics on a
+// parse error.
+func MustParseCached(src string) *Program {
+	p, err := ParseCached(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
