@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race vet bench figures profile clean
+# Pinned staticcheck release (honnef.co/go/tools). `make lint` prefers a
+# staticcheck binary on PATH, falls back to `go run` of the pinned
+# version, and degrades to vet-only when neither is available (offline).
+STATICCHECK_VERSION ?= 2025.1.1
+STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+.PHONY: all build test race vet lint fuzz bench figures profile clean
 
 all: build vet test
 
@@ -15,6 +21,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif $(GO) run $(STATICCHECK_PKG) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_PKG) ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) unavailable (no binary on PATH, module fetch failed); vet-only"; \
+	fi
+
+# Short fuzzing pass over the parser and the §4 filter (CI runs the
+# same; leave -fuzztime off for a long local session).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParser -fuzztime=10s ./internal/source/
+	$(GO) test -run=NONE -fuzz=FuzzFilter -fuzztime=10s ./internal/core/
 
 # Single-pass smoke of every Benchmark* (no statistics); use
 # `go test -bench . -benchtime 10x ./internal/bench/` for real numbers.

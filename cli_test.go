@@ -78,6 +78,55 @@ for (i = 1; i < 100; i++) { q = C[i-1]; B[i] = B[i] + q; C[i] = q * B[i]; }
 	}
 }
 
+func TestCLISlmslint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmslint")
+
+	// A provable loop: SLMS100, proved summary, exit 0.
+	out, _ := runTool(t, bin, cliLoop, "-nofilter", "-")
+	if !strings.Contains(out, "SLMS100") || !strings.Contains(out, "(1 proved, 0 refuted, 0 inconclusive)") {
+		t.Errorf("lint output unexpected:\n%s", out)
+	}
+
+	// JSON mode carries codes and the summary.
+	js, _ := runTool(t, bin, cliLoop, "-nofilter", "-json", "-")
+	if !strings.Contains(js, `"code": "SLMS100"`) || !strings.Contains(js, `"proved": 1`) {
+		t.Errorf("json output unexpected:\n%s", js)
+	}
+
+	// A filter-rejected loop: informational SLMS001, still exit 0.
+	filtered := "float A[64]; float B[64];\nfor (i = 0; i < 64; i++) { A[i] = B[i]; }\n"
+	out2, _ := runTool(t, bin, filtered, "-")
+	if !strings.Contains(out2, "SLMS001") {
+		t.Errorf("filter diagnostic missing:\n%s", out2)
+	}
+	// -q hides info diagnostics but keeps the summary line.
+	quiet, _ := runTool(t, bin, filtered, "-q", "-")
+	if strings.Contains(quiet, "SLMS001") || !strings.Contains(quiet, "1 filtered") {
+		t.Errorf("quiet output unexpected:\n%s", quiet)
+	}
+
+	// No arguments is a usage error: exit 2.
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("want a usage error for missing arguments")
+	} else if ee, isExit := err.(*exec.ExitError); !isExit || ee.ExitCode() != 2 {
+		t.Errorf("usage failure should exit 2, got %v", err)
+	}
+}
+
+func TestCLISlmscVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmsc")
+	out, _ := runTool(t, bin, cliLoop, "-verify", "-nofilter", "-")
+	if !strings.Contains(out, "for (") {
+		t.Errorf("verified compile produced no loop:\n%s", out)
+	}
+}
+
 func TestCLISlmsexplain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

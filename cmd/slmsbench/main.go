@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 
 	"slms/internal/bench"
+	"slms/internal/pipeline"
 )
 
 func main() {
@@ -36,7 +37,9 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement worker-pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
 	flag.Parse()
+	pipeline.SetVerify(*verify)
 
 	if *workers > 0 {
 		bench.SetWorkers(*workers)

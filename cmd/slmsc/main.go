@@ -17,6 +17,9 @@
 //	-noguard          omit the short-trip guard + fallback loop
 //	-slc              run the full SLC driver (adds fusion, interchange,
 //	                  downward-loop mirroring and reduction splitting)
+//	-verify           verify every transformation before printing: static
+//	                  dependence-preservation proof with a differential
+//	                  interpreter fallback (see cmd/slmslint for reports)
 //	-verbose          print the per-loop transformation log to stderr
 package main
 
@@ -26,6 +29,7 @@ import (
 	"io"
 	"os"
 
+	"slms/internal/analysis"
 	"slms/internal/core"
 	"slms/internal/slc"
 	"slms/internal/source"
@@ -39,6 +43,7 @@ func main() {
 	noGuard := flag.Bool("noguard", false, "omit the short-trip guard")
 	verbose := flag.Bool("verbose", false, "print the transformation log")
 	useSLC := flag.Bool("slc", false, "run the full source-level-compiler driver (SLMS + fusion/interchange/mirroring/reduction-splitting)")
+	verify := flag.Bool("verify", false, "verify every transformation before printing (static proof, differential fallback)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -84,6 +89,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, a)
 			}
 		}
+		if *verify {
+			// The SLC driver composes several transforms; gate it with the
+			// assumption-free differential oracle.
+			if diffs, derr := analysis.Differential(prog, res.Program, analysis.DiffOptions{}); derr != nil {
+				fmt.Fprintln(os.Stderr, "verify:", derr)
+				os.Exit(1)
+			} else if len(diffs) > 0 {
+				fmt.Fprintf(os.Stderr, "verify: original and optimized programs diverge: %v\n", diffs)
+				os.Exit(1)
+			}
+		}
 		if *paper {
 			fmt.Print(source.PrintPaper(res.Program))
 		} else {
@@ -96,6 +112,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *verify {
+		if err := analysis.VerifyTransformed(prog, out, results); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
 	}
 	if *verbose {
 		for i, r := range results {

@@ -14,6 +14,7 @@
 //	-O0                                 disable compiler scheduling
 //	-slms                               apply SLMS before compiling
 //	-compare                            run with and without SLMS and report the speedup
+//	-verify                             verify every SLMS transformation before compiling
 //	-dump                               print the lowered virtual ISA
 package main
 
@@ -23,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"slms/internal/analysis"
 	"slms/internal/core"
 	"slms/internal/interp"
 	"slms/internal/machine"
@@ -37,7 +39,9 @@ func main() {
 	slms := flag.Bool("slms", false, "apply SLMS before compiling")
 	compare := flag.Bool("compare", false, "measure base vs SLMS and report the speedup")
 	dump := flag.Bool("dump", false, "print the lowered virtual ISA")
+	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
 	flag.Parse()
+	pipeline.SetVerify(*verify)
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmssim [flags] file.c  (use - for stdin)")
@@ -104,6 +108,11 @@ func main() {
 		transformed, results, err := core.TransformProgram(prog, core.DefaultOptions())
 		if err != nil {
 			fatal(err)
+		}
+		if *verify {
+			if err := analysis.VerifyTransformed(prog, transformed, results); err != nil {
+				fatal(fmt.Errorf("verify: %w", err))
+			}
 		}
 		applied := 0
 		for _, r := range results {

@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"fmt"
+
+	"slms/internal/core"
+	"slms/internal/dep"
+)
+
+// Status is a checker outcome.
+type Status int
+
+// Statuses. The zero value is inconclusive: absence of a proof is
+// never silently treated as one.
+const (
+	StatusInconclusive Status = iota
+	StatusProved
+	StatusRefuted
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusProved:
+		return "proved"
+	case StatusRefuted:
+		return "refuted"
+	}
+	return "inconclusive"
+}
+
+// Witness pins a refutation to a concrete failure.
+type Witness struct {
+	// Edge is the violated dependence (nil for coverage violations).
+	Edge *dep.Edge `json:"edge,omitempty"`
+	// Trip is the trip count exhibiting the failure; -1 marks a
+	// steady-state kernel violation that occurs for every sufficiently
+	// large trip count.
+	Trip int64 `json:"trip"`
+	// Iter is the source iteration of the violated edge instance
+	// (meaningful when Edge is set and Trip >= 0).
+	Iter   int64  `json:"iter"`
+	Detail string `json:"detail"`
+}
+
+// String renders the witness.
+func (w *Witness) String() string {
+	if w.Edge != nil {
+		return fmt.Sprintf("%s: %s", w.Edge, w.Detail)
+	}
+	return w.Detail
+}
+
+// Verdict is the static checker's conclusion for one transformed loop.
+type Verdict struct {
+	Status Status `json:"status"`
+	// Edges is the number of dependence edges enforced positionally
+	// (derived plus synthesized renaming-reuse edges).
+	Edges int `json:"edges"`
+	// Trips is the number of trip counts the timeline was expanded for.
+	Trips int `json:"trips"`
+	// Witness is set when Status is StatusRefuted.
+	Witness *Witness `json:"witness,omitempty"`
+	// Notes records relaxations (substituted inductions, speculative
+	// edges) and the reasons for an inconclusive status.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// checkEdge is a dependence edge plus how the checker treats it.
+type checkEdge struct {
+	dep.Edge
+	// origin documents where the edge came from ("derived" or a
+	// synthesis rule).
+	origin string
+	// relax, when non-empty, exempts the edge from positional checking
+	// (with a note saying why that is sound).
+	relax string
+}
+
+// effectiveEdges builds the full obligation set from a re-derived
+// analysis: every derived edge, plus the reuse edges that renaming
+// introduces on the transformed code — MVE gives each variant u
+// register instances reused every u iterations; unrenamed variants
+// reuse their single register every iteration; a substituted induction
+// reuses its running scalar every iteration. Derived edges on
+// substituted induction reads and deliberately speculative edges are
+// relaxed, not enforced.
+func effectiveEdges(vi *core.VerifyInfo, ran *dep.Analysis) ([]checkEdge, []string) {
+	var edges []checkEdge
+	var problems []string
+	u := int64(vi.Unroll)
+
+	for _, e := range ran.Edges {
+		ce := checkEdge{Edge: e, origin: "derived"}
+		if ind, isInd := vi.Inductions[e.Var]; isInd && !(e.From == ind.DefMI && e.To == ind.DefMI) {
+			// Reads of the induction scalar outside its update are
+			// replaced by the closed form Entry + idx*Step, which depends
+			// only on the (static) iteration index — the edge cannot be
+			// violated by reordering.
+			ce.relax = "satisfied by closed-form substitution of " + e.Var
+		}
+		if e.Unknown && vi.Speculate {
+			ce.relax = "speculative: unproven distance accepted by user"
+		}
+		edges = append(edges, ce)
+	}
+
+	// MVE-renamed variants: instance m mod u is one register shared by
+	// iterations u apart, so its cross-iteration false dependences
+	// reappear at distance u on the transformed code.
+	for _, name := range sortedKeys(vi.Expand) {
+		si := ran.Scalars[name]
+		if si == nil {
+			problems = append(problems, fmt.Sprintf("renamed variant %s missing from re-derived analysis", name))
+			continue
+		}
+		for _, r := range si.Reads {
+			for _, d := range si.Defs {
+				edges = append(edges, checkEdge{
+					Edge:   dep.Edge{Kind: dep.Anti, From: r, To: d, Dist: u, Var: name},
+					origin: "MVE register reuse",
+				})
+			}
+		}
+		for _, d := range si.Defs {
+			for _, d2 := range si.Defs {
+				edges = append(edges, checkEdge{
+					Edge:   dep.Edge{Kind: dep.Output, From: d, To: d2, Dist: u, Var: name},
+					origin: "MVE register reuse",
+				})
+			}
+		}
+	}
+	// Variants left unrenamed (their def and uses share a stage) and
+	// substituted inductions keep a single storage location: distance-1
+	// anti/output dependences hold on the transformed code even though
+	// dep.Analyze omits them for renamable scalars.
+	for _, name := range sortedKeys(ran.Scalars) {
+		si := ran.Scalars[name]
+		switch {
+		case si.Class == dep.Variant && vi.Expand[name] == nil && vi.ExpandArr[name] == "":
+			for _, r := range si.Reads {
+				for _, d := range si.Defs {
+					edges = append(edges, checkEdge{
+						Edge:   dep.Edge{Kind: dep.Anti, From: r, To: d, Dist: 1, Var: name},
+						origin: "unrenamed variant reuse",
+					})
+				}
+			}
+			for _, d := range si.Defs {
+				for _, d2 := range si.Defs {
+					edges = append(edges, checkEdge{
+						Edge:   dep.Edge{Kind: dep.Output, From: d, To: d2, Dist: 1, Var: name},
+						origin: "unrenamed variant reuse",
+					})
+				}
+			}
+		case si.Class == dep.Induction:
+			if ind, isInd := vi.Inductions[name]; isInd && len(si.Defs) == 1 && si.Defs[0] == ind.DefMI {
+				edges = append(edges, checkEdge{
+					Edge:   dep.Edge{Kind: dep.Anti, From: ind.DefMI, To: ind.DefMI, Dist: 1, Var: name},
+					origin: "induction update reuse",
+				})
+				edges = append(edges, checkEdge{
+					Edge:   dep.Edge{Kind: dep.Output, From: ind.DefMI, To: ind.DefMI, Dist: 1, Var: name},
+					origin: "induction update reuse",
+				})
+			}
+		}
+	}
+
+	// Dedup (synthesis can duplicate derived edges).
+	type ekey struct {
+		k        dep.Kind
+		from, to int
+		d        int64
+		v        string
+	}
+	seen := map[ekey]bool{}
+	out := edges[:0]
+	for _, e := range edges {
+		k := ekey{e.Kind, e.From, e.To, e.Dist, e.Var}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out, problems
+}
+
+// ordered reports whether the src occurrence may precede the dst
+// occurrence under both row-execution semantics: an earlier row always
+// precedes a later one; within one row, writes commit in member order
+// and a same-row read-then-write pair is fine, but a same-row flow
+// (write feeding a read) is wrong under VLIW row semantics where reads
+// see the pre-row state.
+func ordered(kind dep.Kind, src, dst occ) bool {
+	if src.row != dst.row {
+		return src.row < dst.row
+	}
+	return kind != dep.Flow && src.memb < dst.memb
+}
+
+// check proves or refutes the model against the obligation edges. It
+// combines two complementary arguments:
+//
+//  1. Concrete timelines: for every trip count in a window past the
+//     guard threshold, the model is played forward, coverage (each MI
+//     exactly once per iteration) is verified, and every edge instance
+//     whose endpoints fall in range is checked positionally. The window
+//     extends far enough past smax + maxDist + 2u that every
+//     phase-boundary alignment (prologue/kernel/epilogue/cleanup ×
+//     residue of the trip count mod u) occurs in it.
+//  2. Kernel steady state, algebraically: for every edge and every
+//     placement of its source in the kernel body, the matching target
+//     placement is u*delta iterations later for integer delta; the
+//     instance is respected for all trip counts iff delta >= 1, or
+//     delta == 0 with the endpoints ordered inside one pass.
+//
+// Together these cover all trip counts: the finite window handles every
+// boundary shape, and the algebraic argument extends the kernel-kernel
+// case to arbitrary length.
+func check(m *model, edges []checkEdge, problems []string) *Verdict {
+	v := &Verdict{Notes: problems}
+	relaxedSeen := map[string]bool{}
+	var enforced []checkEdge
+	for _, e := range edges {
+		if e.relax != "" {
+			if !relaxedSeen[e.relax] {
+				relaxedSeen[e.relax] = true
+				v.Notes = append(v.Notes, fmt.Sprintf("relaxed %s: %s", e.Edge, e.relax))
+			}
+			continue
+		}
+		enforced = append(enforced, e)
+	}
+	v.Edges = len(enforced)
+
+	refute := func(w *Witness) *Verdict {
+		if m.ambiguous {
+			// Identical MI copies admitted more than one event
+			// assignment; ours failed, but another might not.
+			v.Status = StatusInconclusive
+			v.Notes = append(v.Notes, "ambiguous statement matching; violation under one assignment: "+w.String())
+			return v
+		}
+		v.Status = StatusRefuted
+		v.Witness = w
+		return v
+	}
+
+	smax := int64(m.vi.Stages - 1)
+	u := int64(m.vi.Unroll)
+	var maxDist int64
+	for _, e := range enforced {
+		if e.Dist > maxDist {
+			maxDist = e.Dist
+		}
+	}
+	if maxDist > 64 {
+		v.Notes = append(v.Notes, fmt.Sprintf("edge distance %d truncates the concrete window; kernel steady state still checked algebraically", maxDist))
+		maxDist = 64
+	}
+
+	// 1. Concrete window. The guard (or, unguarded, the documented
+	// precondition) ensures trip counts below smax never reach the
+	// pipelined code.
+	tMax := smax + maxDist + 2*u + m.vi.II + 2
+	for T := smax; T <= tMax; T++ {
+		occs, covErr := expand(m, T)
+		if covErr != "" {
+			return refute(&Witness{Trip: T, Detail: covErr})
+		}
+		v.Trips++
+		for i := range enforced {
+			e := &enforced[i]
+			byIter := make(map[int64]occ, len(occs[e.To]))
+			for _, o := range occs[e.To] {
+				byIter[o.iter] = o
+			}
+			for _, src := range occs[e.From] {
+				dst, ok := byIter[src.iter+e.Dist]
+				if !ok {
+					continue // target iteration beyond this trip count
+				}
+				if !ordered(e.Kind, src, dst) {
+					return refute(&Witness{
+						Edge: &e.Edge, Trip: T, Iter: src.iter,
+						Detail: fmt.Sprintf("source iteration %d (row %d) does not precede target iteration %d (row %d) at trip count %d",
+							src.iter, src.row, src.iter+e.Dist, dst.row, T),
+					})
+				}
+			}
+		}
+	}
+
+	// 2. Kernel steady state for all trip counts.
+	incomplete := len(problems) > 0
+	slots := make([][]occ, len(m.vi.MIs))
+	for ri, r := range m.kernel {
+		for memb, ev := range r.evs {
+			slots[ev.mi] = append(slots[ev.mi], occ{row: ri, memb: memb, iter: int64(ev.off)})
+		}
+	}
+	for i := range enforced {
+		e := &enforced[i]
+		for _, src := range slots[e.From] {
+			found := false
+			for _, dst := range slots[e.To] {
+				diff := src.iter + e.Dist - dst.iter // source offset + dist - target offset
+				if diff%u != 0 {
+					continue
+				}
+				found = true
+				delta := diff / u // passes between source and target
+				if delta > 0 {
+					continue
+				}
+				if delta < 0 || !ordered(e.Kind, src, dst) {
+					return refute(&Witness{
+						Edge: &e.Edge, Trip: -1, Iter: src.iter,
+						Detail: fmt.Sprintf("kernel steady state: source slot offset %d (row %d) vs target slot offset %d (row %d), pass delta %d",
+							src.iter, src.row, dst.iter, dst.row, delta),
+					})
+				}
+			}
+			if !found && len(slots[e.To]) > 0 {
+				incomplete = true
+				v.Notes = append(v.Notes, fmt.Sprintf("no kernel slot of MI%d matches %s from slot offset %d", e.To, e.Edge, src.iter))
+			}
+		}
+	}
+
+	if incomplete {
+		v.Status = StatusInconclusive
+		return v
+	}
+	v.Status = StatusProved
+	return v
+}

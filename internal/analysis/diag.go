@@ -1,0 +1,160 @@
+// Package analysis is the translation-validation layer for source-level
+// modulo scheduling: it re-derives the dependence graph of a
+// transformed loop, re-recognizes the emitted prologue/kernel/epilogue
+// structure, and statically proves (or refutes, with a witness edge)
+// that the schedule respects every dependence — falling back to a
+// differential execution harness when the static checker is
+// inconclusive. Diagnostics carry stable SLMSxxx codes so tools can
+// filter and test against them.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"slms/internal/source"
+)
+
+// Stable diagnostic codes. Codes below 100 explain why a loop was not
+// (or must not have been) transformed; the 1xx codes report positive
+// verification outcomes.
+const (
+	// CodeFilterRejected: the §4 bad-case filter (or the §11 arithmetic
+	// refinement) skipped the loop.
+	CodeFilterRejected = "SLMS001"
+	// CodeNonCanonical: the loop is not a canonical counted loop
+	// (init/bound/step shape, bound written in body, ...).
+	CodeNonCanonical = "SLMS002"
+	// CodeUnprovableAlias: dependence distances could not be proven and
+	// speculation was not enabled.
+	CodeUnprovableAlias = "SLMS003"
+	// CodeNoValidII: no initiation interval satisfied the DDG within the
+	// decomposition budget.
+	CodeNoValidII = "SLMS004"
+	// CodeUnsupportedBody: the loop body contains constructs the
+	// scheduler does not handle (nested loops, declarations, control
+	// transfer, ...).
+	CodeUnsupportedBody = "SLMS005"
+
+	// CodeDepViolated: a dependence edge is provably violated by the
+	// emitted schedule (refutation; carries a witness edge).
+	CodeDepViolated = "SLMS010"
+	// CodeBadCoverage: the pipelined code does not execute every
+	// iteration of every MI exactly once (refutation).
+	CodeBadCoverage = "SLMS011"
+	// CodeUnrecognized: the transformed code could not be matched back
+	// to the schedule (static check inconclusive, not a refutation).
+	CodeUnrecognized = "SLMS012"
+	// CodeDiffMismatch: original and transformed programs computed
+	// different results on generated inputs.
+	CodeDiffMismatch = "SLMS013"
+
+	// CodeProved: the static checker proved every dependence edge is
+	// respected by the schedule.
+	CodeProved = "SLMS100"
+	// CodeDiffValidated: the static check was inconclusive but the
+	// differential harness found no divergence.
+	CodeDiffValidated = "SLMS101"
+)
+
+// Severity grades a diagnostic.
+type Severity string
+
+// Severities.
+const (
+	SevInfo    Severity = "info"
+	SevWarning Severity = "warning"
+	SevError   Severity = "error"
+)
+
+// Diag is one diagnostic with a stable code and a source position.
+type Diag struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	// Loop identifies the loop (its induction variable) when known.
+	Loop    string `json:"loop,omitempty"`
+	Message string `json:"message"`
+}
+
+// render writes the diagnostic in file:line:col style.
+func (d Diag) render(file string) string {
+	var b strings.Builder
+	if file != "" {
+		fmt.Fprintf(&b, "%s:", file)
+	}
+	fmt.Fprintf(&b, "%d:%d: %s: %s [%s]", d.Line, d.Col, d.Severity, d.Message, d.Code)
+	return b.String()
+}
+
+// Summary counts lint outcomes per loop.
+type Summary struct {
+	Loops        int `json:"loops"`
+	Applied      int `json:"applied"`
+	Proved       int `json:"proved"`
+	Refuted      int `json:"refuted"`
+	Inconclusive int `json:"inconclusive"`
+	Filtered     int `json:"filtered"`
+	Skipped      int `json:"skipped"` // not applied for non-filter reasons
+}
+
+// Report is the lint result for one file.
+type Report struct {
+	File    string  `json:"file"`
+	Diags   []Diag  `json:"diagnostics"`
+	Summary Summary `json:"summary"`
+}
+
+func (r *Report) add(d Diag) { r.Diags = append(r.Diags, d) }
+
+// HasErrors reports whether any diagnostic is an error (refutation or
+// differential mismatch).
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the report in human-readable form. When quiet is true,
+// info-level diagnostics are suppressed.
+func (r *Report) Render(quiet bool) string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		if quiet && d.Severity == SevInfo {
+			continue
+		}
+		b.WriteString(d.render(r.File))
+		b.WriteByte('\n')
+	}
+	s := r.Summary
+	fmt.Fprintf(&b, "%s: %d loop(s): %d transformed (%d proved, %d refuted, %d inconclusive), %d filtered, %d skipped\n",
+		r.File, s.Loops, s.Applied, s.Proved, s.Refuted, s.Inconclusive, s.Filtered, s.Skipped)
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// codeForReason maps a Transform rejection reason to a diagnostic code.
+func codeForReason(reason string) string {
+	switch {
+	case strings.HasPrefix(reason, "filtered:"):
+		return CodeFilterRejected
+	case strings.HasPrefix(reason, "sem:"):
+		return CodeNonCanonical
+	case strings.Contains(reason, "could not be proven"):
+		return CodeUnprovableAlias
+	case strings.HasPrefix(reason, "no valid II"),
+		strings.Contains(reason, "no valid initiation interval"):
+		return CodeNoValidII
+	default:
+		return CodeUnsupportedBody
+	}
+}
+
+func posOf(p source.Pos) (int, int) { return p.Line, p.Col }

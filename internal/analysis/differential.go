@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+
+	"slms/internal/interp"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// DiffOptions configures the differential harness.
+type DiffOptions struct {
+	// Seeds is the number of generated input sets (default 3).
+	Seeds int
+	// FloatTol is the relative float tolerance (default 1e-6, absorbing
+	// reduction reassociation).
+	FloatTol float64
+	// MaxSteps bounds each interpretation (default 10M).
+	MaxSteps int64
+	// SkipParallel disables the second transformed run under true VLIW
+	// row semantics (reads before writes); by default both orders are
+	// exercised, since a schedule must be correct under either.
+	SkipParallel bool
+}
+
+// Differential runs the original and transformed programs on generated
+// inputs and compares the full visible state afterwards. It returns the
+// diffs of the first diverging input set (nil when every set agrees),
+// and an error when the harness itself could not run. It is the
+// fallback oracle when the static checker is inconclusive: weaker (only
+// the exercised inputs) but assumption-free.
+func Differential(orig, transformed *source.Program, opts DiffOptions) ([]interp.Diff, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 3
+	}
+	if opts.FloatTol == 0 {
+		opts.FloatTol = 1e-6
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 10_000_000
+	}
+	info, err := sem.Check(orig)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: differential: %w", err)
+	}
+
+	ran := 0
+	for s := 0; s < opts.Seeds; s++ {
+		env := seededEnv(info.Table, uint64(s)+1)
+		env.MaxSteps = opts.MaxSteps
+		envT := env.Clone()
+		if err := interp.Run(orig, env); err != nil {
+			// The generated inputs broke the original program too (e.g. an
+			// int array used as a subscript ran out of range): not a
+			// transformation bug; skip this seed.
+			continue
+		}
+		ran++
+		if err := interp.Run(transformed, envT); err != nil {
+			return nil, fmt.Errorf("analysis: differential: transformed program failed where original succeeded: %w", err)
+		}
+		if diffs := interp.Compare(env, envT, interp.CompareOpts{FloatTol: opts.FloatTol}); len(diffs) > 0 {
+			return diffs, nil
+		}
+		if !opts.SkipParallel {
+			envP := seededEnv(info.Table, uint64(s)+1)
+			envP.MaxSteps = opts.MaxSteps
+			envP.ParallelPar = true
+			if err := interp.Run(transformed, envP); err != nil {
+				return nil, fmt.Errorf("analysis: differential: transformed program failed under VLIW row semantics: %w", err)
+			}
+			if diffs := interp.Compare(env, envP, interp.CompareOpts{FloatTol: opts.FloatTol}); len(diffs) > 0 {
+				return diffs, nil
+			}
+		}
+	}
+	if ran == 0 {
+		return nil, fmt.Errorf("analysis: differential: no generated input set ran the original program successfully")
+	}
+	return nil, nil
+}
+
+// seededEnv pre-loads every declared array and scalar with
+// deterministic pseudo-random data (the interpreter's declarations keep
+// pre-loaded arrays whose shape matches, and pre-loaded scalars without
+// an initializer). Int data stays small and non-negative so programs
+// that index through int arrays remain mostly in range.
+func seededEnv(tab *sem.Table, seed uint64) *interp.Env {
+	env := interp.NewEnv()
+	rng := seed*0x9E3779B97F4A7C15 + 1
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 11
+	}
+	for _, sym := range tab.Symbols() {
+		if sym.IsArray() {
+			n := 1
+			sized := true
+			var dims []int
+			for _, d := range sym.Dims {
+				c, isConst := source.ConstInt(d)
+				if !isConst || c <= 0 {
+					sized = false
+					break
+				}
+				dims = append(dims, int(c))
+				n *= int(c)
+			}
+			if !sized {
+				continue // let the declaration allocate zeros
+			}
+			switch sym.Type {
+			case source.TInt:
+				data := make([]int64, n)
+				for i := range data {
+					data[i] = int64(next() % 8)
+				}
+				env.Arrays[sym.Name] = &interp.Array{Type: source.TInt, Dims: dims, I: data}
+			case source.TFloat:
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(next()%4096)/512.0 - 4.0
+				}
+				env.SetFloatArrayDims(sym.Name, dims, data)
+			}
+			continue
+		}
+		switch sym.Type {
+		case source.TInt:
+			env.SetScalar(sym.Name, interp.IntVal(int64(next()%4)+1))
+		case source.TFloat:
+			env.SetScalar(sym.Name, interp.FloatVal(float64(next()%1024)/256.0-2.0))
+		case source.TBool:
+			env.SetScalar(sym.Name, interp.BoolVal(next()%2 == 0))
+		}
+	}
+	return env
+}

@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"slms/internal/core"
+	"slms/internal/source"
+)
+
+// event is one pipelined copy of an MI: original multi-instruction mi
+// placed at iteration-index offset off. In the prologue the offset is
+// absolute (iteration off); in the kernel and epilogue it is relative
+// to the live loop variable.
+type event struct {
+	mi  int
+	off int
+}
+
+// rowEv is one emitted row (par group or bare statement) expressed as
+// events in member order.
+type rowEv struct {
+	evs []event
+}
+
+// model is the recognized shape of a pipelined replacement: every
+// statement of the emitted code mapped back onto the schedule. The
+// checker derives execution timelines from it without consulting the
+// builder's layout rules.
+type model struct {
+	vi *core.VerifyInfo
+
+	prologue []rowEv
+	kernel   []rowEv // rows of one kernel pass body
+	epilogue []rowEv
+	cleanup  bool // u>1 cleanup loop present (vs. u==1 advance)
+
+	// ambiguous is set when some statement printed identically to more
+	// than one (mi, off) candidate; a failed check then degrades from
+	// refuted to inconclusive.
+	ambiguous bool
+	notes     []string
+}
+
+// extractor matches emitted statements against independently
+// reconstructed copies of the MIs. It mirrors the builder's copy
+// substitution exactly (loop-variable offset, induction closed forms,
+// MVE instance renaming, scalar-expansion arrays, simplification) so a
+// correct emission matches byte-for-byte — and anything else does not.
+type extractor struct {
+	vi   *core.VerifyInfo
+	n    int // number of MIs
+	u    int
+	smax int
+
+	rel map[string][]event // print → candidates, kernel/epilogue copies
+	abs map[string][]event // print → candidates, prologue copies
+}
+
+// Placeholder offsets for statements whose print does not pin the slot
+// offset. Identical copies are observationally interchangeable, so the
+// checker may label them canonically — ascending iterations in row
+// order (see resolver) — without loss of generality: if the checks pass
+// under that labeling, they pass for the actual execution.
+const offAny = -1 // print identical for every offset
+
+// offResidue encodes "print identical for every offset ≡ rho (mod u)"
+// (an MVE-renamed variant appears but the loop variable does not).
+func offResidue(rho int) int { return -(2 + rho) }
+
+// resolver assigns canonical offsets to placeholder events, per phase:
+// the i-th appearance (in row order) of an offset-free statement gets
+// offset base+i; residue-constrained statements get the i-th offset
+// ≥ base within their residue class. base is 0 in the prologue and the
+// statement's prologue appearance count in the kernel and epilogue
+// (offsets in a correct layout are contiguous from there; if not,
+// the coverage check fails and the verdict degrades).
+type resolver struct {
+	u    int
+	base func(mi int) int
+	cnt  map[[2]int]int
+}
+
+func newResolver(u int, base func(mi int) int) *resolver {
+	return &resolver{u: u, base: base, cnt: map[[2]int]int{}}
+}
+
+func (r *resolver) clone() *resolver {
+	c := newResolver(r.u, r.base)
+	for k, v := range r.cnt {
+		c.cnt[k] = v
+	}
+	return c
+}
+
+func (r *resolver) resolve(mi, code int) int {
+	rho := -1
+	if code <= offResidue(0) {
+		rho = -code - 2
+	}
+	key := [2]int{mi, rho}
+	i := r.cnt[key]
+	r.cnt[key]++
+	base := r.base(mi)
+	if rho < 0 {
+		return base + i
+	}
+	return base + (((rho-base)%r.u)+r.u)%r.u + i*r.u
+}
+
+// total returns how many events of mi this resolver assigned.
+func (r *resolver) total(mi int) int {
+	n := 0
+	for k, v := range r.cnt {
+		if k[0] == mi {
+			n += v
+		}
+	}
+	return n
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func newExtractor(vi *core.VerifyInfo) *extractor {
+	x := &extractor{
+		vi: vi, n: len(vi.MIs), u: vi.Unroll, smax: vi.Stages - 1,
+		rel: map[string][]event{}, abs: map[string][]event{},
+	}
+	// Offsets the builder can emit: prologue 0..smax-1 (absolute),
+	// kernel c+smax-stage ∈ [0, smax+u-1] and epilogue (t-1)+smax-stage
+	// ∈ [0, smax-1] (both relative). A margin of u tolerates layout
+	// variations without risking false matches (offsets are printed into
+	// the copies, so distinct offsets cannot collide).
+	maxOff := x.smax + 2*x.u
+	for k := 0; k < x.n; k++ {
+		p0 := source.PrintStmt(x.expectCopy(k, 0, true))
+		if source.PrintStmt(x.expectCopy(k, 1, true)) == p0 {
+			// The copy does not mention the iteration at all (e.g. an
+			// induction update kept verbatim): one wildcard candidate,
+			// offset assigned canonically at match time.
+			ev := event{mi: k, off: offAny}
+			x.rel[p0] = append(x.rel[p0], ev)
+			a0 := source.PrintStmt(x.expectCopy(k, 0, false))
+			x.abs[a0] = append(x.abs[a0], ev)
+			continue
+		}
+		if x.u > 1 && source.PrintStmt(x.expectCopy(k, x.u, true)) == p0 {
+			// MVE instance names appear but the iteration does not: the
+			// print pins only the offset's residue mod u.
+			for rho := 0; rho < x.u; rho++ {
+				ev := event{mi: k, off: offResidue(rho)}
+				pr := source.PrintStmt(x.expectCopy(k, rho, true))
+				x.rel[pr] = append(x.rel[pr], ev)
+				pa := source.PrintStmt(x.expectCopy(k, rho, false))
+				x.abs[pa] = append(x.abs[pa], ev)
+			}
+			continue
+		}
+		for m := 0; m <= maxOff; m++ {
+			ev := event{mi: k, off: m}
+			p := source.PrintStmt(x.expectCopy(k, m, true))
+			x.rel[p] = append(x.rel[p], ev)
+			if m < x.smax {
+				p = source.PrintStmt(x.expectCopy(k, m, false))
+				x.abs[p] = append(x.abs[p], ev)
+			}
+		}
+	}
+	return x
+}
+
+// expectCopy independently reconstructs MI k at slot offset m, applying
+// the same substitutions the transformation defines: the loop variable
+// becomes Var+m*step (relative) or Lo+m*step (absolute), induction
+// reads become their closed form, MVE variants are renamed to instance
+// m mod u, scalar-expanded variants become array elements, and the
+// result is simplified.
+func (x *extractor) expectCopy(k, m int, rel bool) source.Stmt {
+	lp := x.vi.Loop
+	var iter source.Expr
+	if rel {
+		iter = source.Add(source.Var(lp.Var), source.Int(int64(m)*lp.Step))
+	} else {
+		iter = source.Add(source.CloneExpr(lp.Lo), source.Int(int64(m)*lp.Step))
+	}
+	c := source.CloneStmt(x.vi.MIs[k])
+	source.SubstVarStmt(c, lp.Var, iter)
+	for _, name := range sortedKeys(x.vi.Inductions) {
+		ind := x.vi.Inductions[name]
+		if k == ind.DefMI {
+			continue // the update statement is kept verbatim
+		}
+		idx := iterIndex(iter, lp.Lo, lp.Step)
+		val := source.Add(source.Var(ind.Entry), source.Mul(idx, source.Int(ind.Step)))
+		if k > ind.DefMI {
+			val = source.Add(val, source.Int(ind.Step))
+		}
+		source.SubstVarStmt(c, name, val)
+	}
+	for _, name := range sortedKeys(x.vi.Expand) {
+		insts := x.vi.Expand[name]
+		inst := ((m % x.u) + x.u) % x.u
+		source.RenameVarStmt(c, name, insts[inst])
+	}
+	for _, name := range sortedKeys(x.vi.ExpandArr) {
+		arr := x.vi.ExpandArr[name]
+		source.SubstVarStmt(c, name, source.Index(arr, source.CloneExpr(iter)))
+	}
+	source.MapStmtExprs(c, func(e source.Expr) source.Expr { return source.Simplify(e) })
+	return c
+}
+
+// iterIndex converts an iteration-value expression to a 0-based index:
+// (iter - Lo) / step.
+func iterIndex(iter, lo source.Expr, step int64) source.Expr {
+	diff := source.Sub(source.CloneExpr(iter), source.CloneExpr(lo))
+	if step == 1 {
+		return diff
+	}
+	return source.Bin(source.OpDiv, diff, source.Int(step))
+}
+
+// matchRow matches one emitted statement as a row of MI copies. All
+// members must resolve to unconsumed candidates; consumed events are
+// claimed and placeholder candidates get canonical offsets from res.
+// ok=false leaves both consumed and res untouched (the caller may then
+// try a different interpretation of the statement).
+func (x *extractor) matchRow(s source.Stmt, idx map[string][]event, consumed map[event]bool, res *resolver) (rowEv, bool, bool) {
+	var members []source.Stmt
+	if par, isPar := s.(*source.Par); isPar {
+		members = par.Stmts
+	} else {
+		members = []source.Stmt{s}
+	}
+	rc := res.clone()
+	var evs []event
+	claimed := map[event]bool{}
+	ambiguous := false
+	for _, mem := range members {
+		cands := idx[source.PrintStmt(mem)]
+		var free, holders []event
+		for _, ev := range cands {
+			if ev.off < 0 {
+				holders = append(holders, ev)
+			} else if !consumed[ev] && !claimed[ev] {
+				free = append(free, ev)
+			}
+		}
+		if len(free)+len(holders) == 0 {
+			return rowEv{}, false, false
+		}
+		if len(free)+len(holders) > 1 {
+			// Distinct (mi, off) candidates share a print — a genuine
+			// ambiguity (duplicated source statements), unlike a lone
+			// placeholder, whose copies are interchangeable.
+			ambiguous = true
+		}
+		if len(free) > 0 {
+			evs = append(evs, free[0])
+			claimed[free[0]] = true
+			continue
+		}
+		h := holders[0]
+		evs = append(evs, event{mi: h.mi, off: rc.resolve(h.mi, h.off)})
+	}
+	for ev := range claimed {
+		consumed[ev] = true
+	}
+	res.cnt = rc.cnt
+	return rowEv{evs: evs}, true, ambiguous
+}
+
+// expectedGuard mirrors the builder's trip-count guard Hi-Lo > (smax-1)*step.
+func (x *extractor) expectedGuard() source.Expr {
+	lp := x.vi.Loop
+	return &source.Binary{
+		Op: source.OpGT,
+		X:  source.Sub(source.CloneExpr(lp.Hi), source.CloneExpr(lp.Lo)),
+		Y:  source.Int(int64(x.smax-1) * lp.Step),
+	}
+}
+
+// expectedKernelFor mirrors the kernel loop's control statements.
+func (x *extractor) expectedKernelFor() (init, post source.Stmt, cond source.Expr) {
+	lp := x.vi.Loop
+	depth := int64(x.smax+x.u-1) * lp.Step
+	init = &source.Assign{LHS: source.Var(lp.Var), Op: source.AEq, RHS: source.CloneExpr(lp.Lo)}
+	cond = &source.Binary{Op: source.OpLT, X: source.Var(lp.Var),
+		Y: source.Sub(source.CloneExpr(lp.Hi), source.Int(depth))}
+	post = &source.Assign{LHS: source.Var(lp.Var), Op: source.AAdd,
+		RHS: source.Int(int64(x.u) * lp.Step)}
+	return init, post, cond
+}
+
+// expectedTail reconstructs the statements that must follow the
+// epilogue: live-out restores, the loop-variable advance (u==1) or the
+// cleanup loop (u>1), then the multi-def chain restores.
+func (x *extractor) expectedTail() (restores []source.Stmt, advance source.Stmt, finals []source.Stmt) {
+	vi, lp := x.vi, x.vi.Loop
+	for _, name := range sortedKeys(vi.Expand) {
+		insts := vi.Expand[name]
+		inst := ((x.smax-1)%x.u + x.u) % x.u
+		restores = append(restores, &source.Assign{
+			LHS: source.Var(name), Op: source.AEq, RHS: source.Var(insts[inst]),
+		})
+	}
+	for _, name := range sortedKeys(vi.ExpandArr) {
+		arr := vi.ExpandArr[name]
+		iter := source.Add(source.Var(lp.Var), source.Int(int64(x.smax-1)*lp.Step))
+		restores = append(restores, &source.Assign{
+			LHS: source.Var(name), Op: source.AEq, RHS: source.Index(arr, iter),
+		})
+	}
+	if x.u == 1 {
+		advance = &source.Assign{LHS: source.Var(lp.Var), Op: source.AAdd,
+			RHS: source.Int(int64(x.smax) * lp.Step)}
+	} else {
+		cleanBody := make([]source.Stmt, 0, x.n)
+		for _, mi := range vi.MIs {
+			cleanBody = append(cleanBody, source.CloneStmt(mi))
+		}
+		advance = &source.For{
+			Init: &source.Assign{LHS: source.Var(lp.Var), Op: source.AAdd,
+				RHS: source.Int(int64(x.smax) * lp.Step)},
+			Cond: &source.Binary{Op: source.OpLT, X: source.Var(lp.Var),
+				Y: source.CloneExpr(lp.Hi)},
+			Post: &source.Assign{LHS: source.Var(lp.Var), Op: source.AAdd,
+				RHS: source.Int(lp.Step)},
+			Body: &source.Block{Stmts: cleanBody},
+		}
+	}
+	for _, orig := range sortedKeys(vi.RenameFinal) {
+		finals = append(finals, &source.Assign{
+			LHS: source.Var(orig), Op: source.AEq, RHS: source.Var(vi.RenameFinal[orig]),
+		})
+	}
+	return restores, advance, finals
+}
+
+// recognize maps the replacement statement back onto the schedule. A
+// nil model means the shape was not recognized (the returned notes say
+// where); that is grounds for an inconclusive verdict, never a
+// refutation.
+func recognize(vi *core.VerifyInfo, replacement source.Stmt) (*model, []string) {
+	x := newExtractor(vi)
+	m := &model{vi: vi}
+	fail := func(format string, args ...any) (*model, []string) {
+		return nil, append(m.notes, fmt.Sprintf(format, args...))
+	}
+
+	blk, isBlk := replacement.(*source.Block)
+	if !isBlk {
+		return fail("replacement is not a block")
+	}
+	i := 0
+	for i < len(blk.Stmts) {
+		if _, isDecl := blk.Stmts[i].(*source.Decl); !isDecl {
+			break
+		}
+		i++
+	}
+	var pipelined []source.Stmt
+	if vi.Guarded {
+		if i != len(blk.Stmts)-1 {
+			return fail("guarded replacement has %d trailing statement(s) after declarations, want 1", len(blk.Stmts)-i)
+		}
+		gif, isIf := blk.Stmts[i].(*source.If)
+		if !isIf {
+			return fail("guarded replacement does not end in an if")
+		}
+		if got, want := source.ExprString(gif.Cond), source.ExprString(x.expectedGuard()); got != want {
+			return fail("guard condition %q, want %q", got, want)
+		}
+		if gif.Else == nil || len(gif.Else.Stmts) != 1 ||
+			source.PrintStmt(gif.Else.Stmts[0]) != source.PrintStmt(vi.Original) {
+			return fail("guard fallback is not the original loop")
+		}
+		pipelined = gif.Then.Stmts
+	} else {
+		pipelined = blk.Stmts[i:]
+	}
+
+	// Split at the kernel loop.
+	kidx := -1
+	for j, s := range pipelined {
+		if _, isFor := s.(*source.For); isFor {
+			kidx = j
+			break
+		}
+	}
+	if kidx < 0 {
+		return fail("no kernel loop found")
+	}
+
+	// Canonical offset assignment for placeholder (offset-free) copies:
+	// ascending from 0 in the prologue, then from the prologue appearance
+	// count in the kernel and epilogue — exactly the contiguous layout a
+	// correct schedule must have (anything else fails coverage).
+	proRes := newResolver(x.u, func(int) int { return 0 })
+	base := func(mi int) int { return proRes.total(mi) }
+	kerRes := newResolver(x.u, base)
+	epiRes := newResolver(x.u, base)
+
+	// Prologue rows (absolute iteration indices).
+	consumedP := map[event]bool{}
+	for j := 0; j < kidx; j++ {
+		row, ok, amb := x.matchRow(pipelined[j], x.abs, consumedP, proRes)
+		if !ok {
+			return fail("prologue statement %d does not match any MI copy: %s", j, source.PrintStmt(pipelined[j]))
+		}
+		m.ambiguous = m.ambiguous || amb
+		m.prologue = append(m.prologue, row)
+	}
+
+	// Kernel loop control and body.
+	kf := pipelined[kidx].(*source.For)
+	wInit, wPost, wCond := x.expectedKernelFor()
+	if kf.Init == nil || source.PrintStmt(kf.Init) != source.PrintStmt(wInit) {
+		return fail("kernel init mismatch")
+	}
+	if kf.Cond == nil || source.ExprString(kf.Cond) != source.ExprString(wCond) {
+		return fail("kernel condition %q, want %q", source.ExprString(kf.Cond), source.ExprString(wCond))
+	}
+	if kf.Post == nil || source.PrintStmt(kf.Post) != source.PrintStmt(wPost) {
+		return fail("kernel post mismatch")
+	}
+	consumedK := map[event]bool{}
+	for j, s := range kf.Body.Stmts {
+		row, ok, amb := x.matchRow(s, x.rel, consumedK, kerRes)
+		if !ok {
+			return fail("kernel row %d does not match any MI copy: %s", j, source.PrintStmt(s))
+		}
+		m.ambiguous = m.ambiguous || amb
+		m.kernel = append(m.kernel, row)
+	}
+
+	// Tail: epilogue rows (greedy), then restores, advance/cleanup and
+	// multi-def finals, in that exact order. Restores and finals assign
+	// to names that never occur in MI copies, so the greedy row matching
+	// cannot swallow them.
+	restores, advance, finals := x.expectedTail()
+	consumedE := map[event]bool{}
+	j := kidx + 1
+	for ; j < len(pipelined); j++ {
+		row, ok, amb := x.matchRow(pipelined[j], x.rel, consumedE, epiRes)
+		if !ok {
+			break
+		}
+		m.ambiguous = m.ambiguous || amb
+		m.epilogue = append(m.epilogue, row)
+	}
+	for _, want := range restores {
+		if j >= len(pipelined) || source.PrintStmt(pipelined[j]) != source.PrintStmt(want) {
+			return fail("missing live-out restore %q", source.PrintStmt(want))
+		}
+		j++
+	}
+	if j >= len(pipelined) || source.PrintStmt(pipelined[j]) != source.PrintStmt(advance) {
+		got := "<end>"
+		if j < len(pipelined) {
+			got = source.PrintStmt(pipelined[j])
+		}
+		return fail("loop-variable advance/cleanup mismatch: got %q", got)
+	}
+	m.cleanup = x.u > 1
+	j++
+	for _, want := range finals {
+		if j >= len(pipelined) || source.PrintStmt(pipelined[j]) != source.PrintStmt(want) {
+			return fail("missing multi-def restore %q", source.PrintStmt(want))
+		}
+		j++
+	}
+	if j != len(pipelined) {
+		return fail("unrecognized trailing statement: %s", source.PrintStmt(pipelined[j]))
+	}
+	return m, m.notes
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import "fmt"
+
+// occ is one concrete execution of an MI: at absolute iteration iter,
+// in global row `row`, as member `memb` of that row. Rows execute
+// sequentially; members of one row execute as a VLIW row (reads before
+// writes) or sequentially in member order — the checker only accepts
+// orderings correct under both semantics.
+type occ struct {
+	row  int
+	memb int
+	iter int64
+}
+
+// expand plays the recognized model forward for trip count T and
+// returns each MI's occurrences. The second return is a non-empty
+// coverage violation description if some MI does not execute exactly
+// once per iteration in [0, T).
+func expand(m *model, T int64) ([][]occ, string) {
+	n := len(m.vi.MIs)
+	u := int64(m.vi.Unroll)
+	smax := int64(m.vi.Stages - 1)
+	occs := make([][]occ, n)
+	row := 0
+	emitRow := func(r rowEv, base int64) {
+		for memb, ev := range r.evs {
+			occs[ev.mi] = append(occs[ev.mi], occ{row: row, memb: memb, iter: base + int64(ev.off)})
+		}
+		row++
+	}
+
+	for _, r := range m.prologue {
+		emitRow(r, 0) // prologue offsets are absolute iteration indices
+	}
+	// Kernel passes advance the loop variable by u iterations per pass
+	// and run while var < Hi - (smax+u-1)*step, i.e. pass start j
+	// satisfies j <= T - smax - u in iteration-index space (this holds
+	// for any step, exact multiple of the range or not).
+	var j int64
+	for ; j <= T-smax-u; j += u {
+		for _, r := range m.kernel {
+			emitRow(r, j)
+		}
+	}
+	exit := j // loop-variable index at kernel exit
+	for _, r := range m.epilogue {
+		emitRow(r, exit)
+	}
+	if m.cleanup {
+		// The cleanup loop runs the original MIs sequentially for the
+		// iterations the widened kernel step skipped.
+		for it := exit + smax; it < T; it++ {
+			for k := 0; k < n; k++ {
+				occs[k] = append(occs[k], occ{row: row, memb: 0, iter: it})
+				row++
+			}
+		}
+	}
+
+	// Coverage: every MI exactly once per iteration in [0, T).
+	for k := 0; k < n; k++ {
+		seen := make(map[int64]int, T)
+		for _, o := range occs[k] {
+			if o.iter < 0 || o.iter >= T {
+				return nil, fmt.Sprintf("MI%d executes out-of-range iteration %d at trip count %d", k, o.iter, T)
+			}
+			seen[o.iter]++
+		}
+		for it := int64(0); it < T; it++ {
+			switch c := seen[it]; {
+			case c == 0:
+				return nil, fmt.Sprintf("MI%d never executes iteration %d at trip count %d", k, it, T)
+			case c > 1:
+				return nil, fmt.Sprintf("MI%d executes iteration %d %d times at trip count %d", k, it, c, T)
+			}
+		}
+	}
+	return occs, ""
+}

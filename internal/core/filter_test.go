@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/dep"
+	"slms/internal/source"
+)
+
+func noBool(string) bool { return false }
+
+// TestFilterEmptyBody: a loop with nothing to schedule is always
+// skipped, before any ratio is computed.
+func TestFilterEmptyBody(t *testing.T) {
+	r := applyFilter(&dep.Analysis{}, 0.85, noBool)
+	if !r.Skip || r.Reason != "empty loop body" {
+		t.Fatalf("empty body not skipped: %+v", r)
+	}
+	if r.MemRefRatio != 0 {
+		t.Fatalf("empty body must not report a ratio: %+v", r)
+	}
+}
+
+// TestFilterAllMemory: a pure memory shuffle (no arithmetic) has ratio
+// exactly 1.0 and is skipped at any sensible threshold.
+func TestFilterAllMemory(t *testing.T) {
+	a := &dep.Analysis{MemRefs: 4}
+	r := applyFilter(a, 0.85, noBool)
+	if r.MemRefRatio != 1.0 {
+		t.Fatalf("ratio %v, want exactly 1.0", r.MemRefRatio)
+	}
+	if !r.Skip || !strings.Contains(r.Reason, "memory-ref ratio") {
+		t.Fatalf("all-memory loop not skipped: %+v", r)
+	}
+	// Even a threshold of 1.0 rejects it (the comparison is >=).
+	if r := applyFilter(a, 1.0, noBool); !r.Skip {
+		t.Fatalf("ratio 1.0 must hit a 1.0 threshold: %+v", r)
+	}
+}
+
+// TestFilterZeroMemory: arithmetic-only loops have ratio 0 and always
+// pass.
+func TestFilterZeroMemory(t *testing.T) {
+	r := applyFilter(&dep.Analysis{ArithOps: 5}, 0.85, noBool)
+	if r.Skip || r.MemRefRatio != 0 {
+		t.Fatalf("arithmetic-only loop skipped: %+v", r)
+	}
+}
+
+// TestFilterBoundary pins the §4 decision boundary: the ratio is
+// compared with >= against the 0.85 default.
+func TestFilterBoundary(t *testing.T) {
+	// 17 / (17+3) = 0.85 exactly: skipped.
+	at := applyFilter(&dep.Analysis{MemRefs: 17, ArithOps: 3}, 0.85, noBool)
+	if !at.Skip {
+		t.Fatalf("ratio exactly 0.85 must be skipped: %+v", at)
+	}
+	// 16 / (16+3) ≈ 0.842: kept.
+	below := applyFilter(&dep.Analysis{MemRefs: 16, ArithOps: 3}, 0.85, noBool)
+	if below.Skip {
+		t.Fatalf("ratio below 0.85 must be kept: %+v", below)
+	}
+}
+
+// TestFilterVariantScalarsCount: renamable variant scalars count as
+// memory references (the overlap spills them), except bool predicates,
+// which live in flag registers.
+func TestFilterVariantScalars(t *testing.T) {
+	a := &dep.Analysis{
+		MemRefs:  2,
+		ArithOps: 2,
+		Scalars: map[string]*dep.ScalarInfo{
+			"t": {Name: "t", Class: dep.Variant, NumRefs: 2},
+			"p": {Name: "p", Class: dep.Variant, NumRefs: 4},
+		},
+	}
+	isBool := func(name string) bool { return name == "p" }
+	r := applyFilter(a, 0.85, isBool)
+	if r.LS != 4 { // 2 array refs + 2 refs of t; p's 4 refs excluded
+		t.Fatalf("LS = %d, want 4: %+v", r.LS, r)
+	}
+	if r.MemRefRatio != 4.0/6.0 {
+		t.Fatalf("ratio %v, want 4/6: %+v", r.MemRefRatio, r)
+	}
+}
+
+// TestFilterConfigurableThreshold drives the threshold end to end
+// through Options.MemRefThreshold: the same loop is kept at the default
+// and rejected under a stricter setting.
+func TestFilterConfigurableThreshold(t *testing.T) {
+	src := `float A[32]; float B[32]; float C[32];
+for (i = 0; i < 32; i++) { A[i] = B[i] + C[i]; }
+`
+	prog, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LS=3, AO=1: ratio 0.75.
+	def := DefaultOptions()
+	_, results, err := TransformProgram(prog, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Applied {
+		t.Fatalf("default threshold should keep the loop: %+v", results[0])
+	}
+	strict := DefaultOptions()
+	strict.MemRefThreshold = 0.7
+	_, results, err = TransformProgram(prog, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Applied || !strings.Contains(results[0].Reason, "memory-ref ratio") {
+		t.Fatalf("threshold 0.7 should reject ratio 0.75: %+v", results[0])
+	}
+	if results[0].Filter.MemRefRatio != 0.75 {
+		t.Fatalf("reported ratio %v, want 0.75", results[0].Filter.MemRefRatio)
+	}
+}

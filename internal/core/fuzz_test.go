@@ -1,0 +1,50 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slms/internal/source"
+)
+
+// FuzzFilter feeds arbitrary programs through the transformation and
+// checks the §4 filter invariants on every loop decision: the
+// memory-ref ratio is always within [0, 1], and any ratio at or above
+// the 0.85 default boundary is skipped.
+func FuzzFilter(f *testing.F) {
+	files, _ := filepath.Glob("testdata/*.c")
+	for _, fn := range files {
+		if b, err := os.ReadFile(fn); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Add("float A[8]; float B[8];\nfor (i = 0; i < 8; i++) { A[i] = B[i]; }\n")
+	f.Add("float A[8];\nfor (i = 0; i < 8; i++) { }\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := source.Parse(src)
+		if err != nil {
+			return
+		}
+		_, results, err := TransformProgram(prog, DefaultOptions())
+		if err != nil {
+			return
+		}
+		for _, r := range results {
+			fr := r.Filter
+			if fr.LS == 0 && fr.AO == 0 {
+				if fr.MemRefRatio != 0 {
+					t.Errorf("empty analysis with ratio %v: %+v", fr.MemRefRatio, fr)
+				}
+				continue
+			}
+			if fr.MemRefRatio < 0 || fr.MemRefRatio > 1 {
+				t.Errorf("memory-ref ratio %v out of [0,1]: %+v", fr.MemRefRatio, fr)
+			}
+			if fr.MemRefRatio >= 0.85 && !fr.Skip {
+				t.Errorf("ratio %.3f is at or above the §4 boundary but the loop was kept: %+v",
+					fr.MemRefRatio, fr)
+			}
+		}
+	})
+}

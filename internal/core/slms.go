@@ -51,6 +51,8 @@ type Result struct {
 	// unsupported shape); Reason then explains why.
 	Applied bool
 	Reason  string
+	// Pos is the source position of the original loop, for diagnostics.
+	Pos source.Pos
 
 	II             int64
 	MIs            int
@@ -64,6 +66,9 @@ type Result struct {
 	// (a Block containing declarations, the guard, and the pipelined
 	// loop). Nil when not applied.
 	Replacement source.Stmt
+	// Verify carries the metadata a translation validator needs to
+	// re-check the schedule (see internal/analysis). Set when Applied.
+	Verify *VerifyInfo
 	// Log records the algorithm's steps for the interactive SLC view.
 	Log []string
 }
@@ -77,7 +82,7 @@ func (r *Result) logf(format string, args ...any) {
 // ranks and to mint fresh temporaries). The original loop is not
 // modified; on success Result.Replacement holds the transformed code.
 func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
-	res := &Result{Mode: opts.Expansion, Unroll: 1}
+	res := &Result{Mode: opts.Expansion, Unroll: 1, Pos: f.Pos()}
 	if opts.MemRefThreshold == 0 {
 		opts.MemRefThreshold = 0.85
 	}
@@ -253,6 +258,18 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	}
 	res.Applied = true
 	res.Replacement = replacement
+
+	inds := make(map[string]InductionInfo, len(b.inductions))
+	for name, s := range b.inductions {
+		inds[name] = InductionInfo{Entry: s.entry, Step: s.step, DefMI: s.defMI}
+	}
+	res.Verify = &VerifyInfo{
+		Loop: loop, Tab: tab, MIs: mis, Analysis: an,
+		II: ii, Stages: res.Stages, Unroll: b.u, Mode: opts.Expansion,
+		Expand: b.expand, ExpandArr: b.expandArr, Inductions: inds,
+		RenameFinal: renameFinal,
+		Guarded:     !opts.NoGuard, Speculate: opts.Speculate, Original: f,
+	}
 	return res, nil
 }
 

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"slms/internal/dep"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// InductionInfo records one induction variable's closed-form
+// substitution as performed by the builder (see copyMI): reads of the
+// scalar in MI k (k != DefMI) are replaced by Entry + idx*Step, plus one
+// extra Step when k > DefMI; the updating MI itself is kept verbatim.
+type InductionInfo struct {
+	// Entry is the fresh scalar capturing the value at loop entry.
+	Entry string
+	// Step is the per-iteration increment.
+	Step int64
+	// DefMI is the MI performing the update.
+	DefMI int
+}
+
+// VerifyInfo is the transformation metadata an external checker needs
+// to independently re-derive and validate the modulo schedule. It is
+// recorded on every applied Result and must be treated as read-only
+// (results are shared by the transform cache).
+type VerifyInfo struct {
+	// Loop is the canonical form of the original loop.
+	Loop *sem.Loop
+	// Tab is the symbol table the transform ran against (fresh names for
+	// MVE instances, expansion arrays and entry captures are declared in
+	// it).
+	Tab *sem.Table
+	// MIs are the final multi-instructions after if-conversion,
+	// multi-def renaming and decomposition — the statements the schedule
+	// was built from. A checker re-runs dependence analysis on these.
+	MIs []source.Stmt
+	// Analysis is the dependence analysis the schedule was derived from
+	// (for cross-checking a re-derivation, not as ground truth).
+	Analysis *dep.Analysis
+
+	II     int64
+	Stages int
+	Unroll int
+	Mode   ExpandMode
+
+	// Expand maps each MVE-renamed variant to its per-instance names
+	// (len == Unroll; a copy at iteration offset m uses instance m mod
+	// Unroll).
+	Expand map[string][]string
+	// ExpandArr maps each scalar-expanded variant to its temporary
+	// array (v becomes vArr[iteration value]).
+	ExpandArr map[string]string
+	// Inductions maps each substituted induction scalar to its
+	// closed-form info.
+	Inductions map[string]InductionInfo
+	// RenameFinal maps each multi-def-renamed original scalar to the
+	// final name of its chain (restored after the loop).
+	RenameFinal map[string]string
+
+	// Guarded is true when the replacement wraps the pipelined code in a
+	// trip-count guard with the original loop as fallback.
+	Guarded bool
+	// Speculate is true when unproven dependences were deliberately
+	// scheduled across (§2); a checker must not refute those edges.
+	Speculate bool
+	// Original is the untransformed loop (shared with the input AST;
+	// read-only).
+	Original *source.For
+}

@@ -250,6 +250,12 @@ func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 				out.Applied = true
 			}
 		}
+		if Verifying() {
+			if err := verifyResults(prog, transformed, results); err != nil {
+				errs[i] = err
+				continue
+			}
+		}
 		envSLMS := interp.NewEnv()
 		if seed != nil {
 			seed(envSLMS)

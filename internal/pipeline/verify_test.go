@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"testing"
+
+	"slms/internal/core"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// TestVerifyGate runs a transformable program through RunExperiments
+// with the verification gate on: the schedule must be proved (or
+// differential-validated) before compilation, and a correct transform
+// must pass the gate without error.
+func TestVerifyGate(t *testing.T) {
+	prog, err := source.Parse(`float A[120]; float B[120];
+float t = 0.0;
+for (i = 1; i < 100; i++) { t = A[i-1]; B[i] = B[i] + t; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetVerify(true)
+	defer SetVerify(false)
+	if !Verifying() {
+		t.Fatal("gate did not switch on")
+	}
+	outs, errs, err := RunExperiments(prog, machine.IA64Like(), StrongO3,
+		[]core.Options{core.DefaultOptions()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Fatalf("verified experiment failed: %v", errs[0])
+	}
+	if outs[0] == nil || !outs[0].Applied {
+		t.Fatal("SLMS was not applied, gate test is vacuous")
+	}
+}

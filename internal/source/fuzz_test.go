@@ -1,0 +1,37 @@
+package source
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParser checks that the parser never panics on arbitrary input and
+// that the printer round-trips: anything that parses prints to a
+// program that reparses, and printing is a fixpoint.
+func FuzzParser(f *testing.F) {
+	files, _ := filepath.Glob("../core/testdata/*.c")
+	for _, fn := range files {
+		if b, err := os.ReadFile(fn); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Add("int x = 1;\nx = x + 2;\n")
+	f.Add("for (i = 0; i < 10; i++) { A[i] = A[i-1]; }\n")
+	f.Add("while (x < 4) { x = x + 1; }\n")
+	f.Add("par { a = 1; b = 2; }\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := Print(prog)
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n%s", err, out)
+		}
+		if again := Print(prog2); again != out {
+			t.Fatalf("printing is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", out, again)
+		}
+	})
+}
