@@ -1,9 +1,12 @@
 package slms
 
 import (
+	"io"
+
 	"slms/internal/core"
 	"slms/internal/interp"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/slc"
 	"slms/internal/source"
@@ -116,3 +119,60 @@ func Measure(p *Program, m *Machine, cc Compiler, opts Options, seed func(*Env))
 		Machine: m, Compiler: cc, SLMS: opts,
 	}, seed)
 }
+
+// Telemetry: the library mirrors the CLIs' -trace/-metrics surface.
+// StartTrace/StopTrace bracket a traced region; while a trace is active
+// every Transform/Measure call records phase spans and per-loop
+// decision records at near-zero overhead (disabled, the
+// instrumentation is a single atomic load).
+
+// Tracer collects pipeline spans and per-loop decision records.
+type Tracer = obs.Tracer
+
+// Decision is one per-loop accept/skip/refute record: a stable SLMS2xx
+// code, the verdict, the loop position and the measured evidence
+// (filter ratio, II search iterations, ...) the decision rests on.
+// Every Result carries its Decision; a tracer additionally collects
+// them process-wide.
+type Decision = obs.Decision
+
+// Trace export formats accepted by StopTrace.
+const (
+	TraceFormatChrome = obs.FormatChrome // chrome://tracing / Perfetto
+	TraceFormatJSONL  = obs.FormatJSONL  // one JSON object per span/decision
+)
+
+// StartTrace installs a fresh process-wide tracer and returns it.
+// Subsequent pipeline calls record spans and decisions into it.
+func StartTrace() *Tracer {
+	t := obs.NewTracer()
+	obs.Enable(t)
+	return t
+}
+
+// StopTrace uninstalls the active tracer and, when w is non-nil, writes
+// the collected trace to w in the given format (TraceFormatChrome or
+// TraceFormatJSONL). Returns the stopped tracer (nil when tracing was
+// off).
+func StopTrace(w io.Writer, format string) (*Tracer, error) {
+	t := obs.Active()
+	obs.Disable()
+	if t == nil || w == nil {
+		return t, nil
+	}
+	return t, t.WriteTrace(w, format)
+}
+
+// Decisions returns the per-loop decision records collected by the
+// active tracer, in the order they were made (nil when tracing is off).
+func Decisions() []Decision {
+	if t := obs.Active(); t != nil {
+		return t.Decisions()
+	}
+	return nil
+}
+
+// MetricsText renders the process-wide metrics registry (counters,
+// gauges, phase histograms) as a sorted plain-text dump. The same
+// snapshot is published through expvar under the "slms" key.
+func MetricsText() string { return obs.MetricsText() }

@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 
 	"slms/internal/bench"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 )
 
@@ -38,7 +39,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
+	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	tele.Activate()
 	pipeline.SetVerify(*verify)
 
 	if *workers > 0 {
@@ -47,12 +50,10 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			obs.Fatalf("%v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			obs.Fatalf("%v", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -60,19 +61,23 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				obs.Errorf("%v", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				obs.Errorf("%v", err)
 			}
 		}()
 	}
 
-	if err := run(*figure, *list, *ablations, *census, *extensions, *summary, *jsonPath); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	err := run(*figure, *list, *ablations, *census, *extensions, *summary, *jsonPath)
+	if ferr := tele.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Errorf("%v", err)
 		os.Exit(1)
 	}
 }

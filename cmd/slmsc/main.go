@@ -21,6 +21,11 @@
 //	                  dependence-preservation proof with a differential
 //	                  interpreter fallback (see cmd/slmslint for reports)
 //	-verbose          print the per-loop transformation log to stderr
+//	-trace FILE       write a pipeline trace at exit (-trace-format
+//	                  chrome loads in chrome://tracing; jsonl is one
+//	                  JSON object per span/decision)
+//	-metrics FILE     write a metrics dump at exit ("-" = stdout)
+//	-q                suppress status output
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"slms/internal/analysis"
 	"slms/internal/core"
+	"slms/internal/obs"
 	"slms/internal/slc"
 	"slms/internal/source"
 )
@@ -44,7 +50,10 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print the transformation log")
 	useSLC := flag.Bool("slc", false, "run the full source-level-compiler driver (SLMS + fusion/interchange/mirroring/reduction-splitting)")
 	verify := flag.Bool("verify", false, "verify every transformation before printing (static proof, differential fallback)")
+	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmsc [flags] file.c  (use - for stdin)")
@@ -58,15 +67,15 @@ func main() {
 		text, err = os.ReadFile(flag.Arg(0))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		obs.Fatalf("%v", err)
 	}
 
 	prog, err := source.Parse(string(text))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		obs.Fatalf("%v", err)
 	}
+	sp := obs.Root("slmsc").Attr("file", flag.Arg(0))
+	defer sp.End()
 
 	opts := core.DefaultOptions()
 	opts.Filter = !*noFilter
@@ -81,8 +90,7 @@ func main() {
 		slcOpts.SLMS = opts
 		res, err := slc.Optimize(prog, slcOpts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			obs.Fatalf("%v", err)
 		}
 		if *verbose {
 			for _, a := range res.Actions {
@@ -93,11 +101,9 @@ func main() {
 			// The SLC driver composes several transforms; gate it with the
 			// assumption-free differential oracle.
 			if diffs, derr := analysis.Differential(prog, res.Program, analysis.DiffOptions{}); derr != nil {
-				fmt.Fprintln(os.Stderr, "verify:", derr)
-				os.Exit(1)
+				obs.Fatalf("verify: %v", derr)
 			} else if len(diffs) > 0 {
-				fmt.Fprintf(os.Stderr, "verify: original and optimized programs diverge: %v\n", diffs)
-				os.Exit(1)
+				obs.Fatalf("verify: original and optimized programs diverge: %v", diffs)
 			}
 		}
 		if *paper {
@@ -108,15 +114,13 @@ func main() {
 		return
 	}
 
-	out, results, err := core.TransformProgram(prog, opts)
+	out, results, err := core.TransformProgramSpan(sp, prog, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		obs.Fatalf("%v", err)
 	}
 	if *verify {
 		if err := analysis.VerifyTransformed(prog, out, results); err != nil {
-			fmt.Fprintln(os.Stderr, "verify:", err)
-			os.Exit(1)
+			obs.Fatalf("verify: %v", err)
 		}
 	}
 	if *verbose {

@@ -8,6 +8,18 @@
 // Usage:
 //
 //	slmsexplain file.c   (use - for stdin)
+//
+// Flags:
+//
+//	-dot                       emit each loop's DDG as graphviz dot
+//	-trace FILE                write a pipeline trace at exit
+//	-trace-format chrome|jsonl trace file format (default chrome)
+//	-metrics FILE              write a metrics dump at exit ("-" = stdout)
+//	-q                         suppress status output
+//
+// Every loop's report ends with its decision record: the stable SLMS2xx
+// code, the accept/skip verdict, and the measured evidence (filter
+// ratio, II search iterations) the decision rests on.
 package main
 
 import (
@@ -15,12 +27,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"slms/internal/core"
 	"slms/internal/ddg"
 	"slms/internal/dep"
 	"slms/internal/mii"
+	"slms/internal/obs"
 	"slms/internal/sem"
 	"slms/internal/source"
 )
@@ -28,7 +42,10 @@ import (
 var dotOut = flag.Bool("dot", false, "emit the DDG of each loop as graphviz dot instead of text")
 
 func main() {
+	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmsexplain file.c  (use - for stdin)")
 		os.Exit(2)
@@ -41,45 +58,44 @@ func main() {
 		text, err = os.ReadFile(flag.Arg(0))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		obs.Fatalf("%v", err)
 	}
 	prog, err := source.Parse(string(text))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		obs.Fatalf("%v", err)
 	}
 	info, err := sem.Check(prog)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		obs.Fatalf("%v", err)
 	}
+	sp := obs.Root("slmsexplain").Attr("file", flag.Arg(0))
+	defer sp.End()
 	n := 0
-	explainStmts(prog.Stmts, info.Table, &n)
+	explainStmts(sp, prog.Stmts, info.Table, &n)
 	if n == 0 {
 		fmt.Println("no innermost canonical loops found")
 	}
 }
 
-func explainStmts(stmts []source.Stmt, tab *sem.Table, n *int) {
+func explainStmts(sp *obs.Span, stmts []source.Stmt, tab *sem.Table, n *int) {
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *source.For:
 			if hasNestedLoop(s.Body) {
-				explainStmts(s.Body.Stmts, tab, n)
+				explainStmts(sp, s.Body.Stmts, tab, n)
 				continue
 			}
 			*n++
-			explainLoop(s, tab, *n)
+			explainLoop(sp, s, tab, *n)
 		case *source.Block:
-			explainStmts(s.Stmts, tab, n)
+			explainStmts(sp, s.Stmts, tab, n)
 		case *source.If:
-			explainStmts(s.Then.Stmts, tab, n)
+			explainStmts(sp, s.Then.Stmts, tab, n)
 			if s.Else != nil {
-				explainStmts(s.Else.Stmts, tab, n)
+				explainStmts(sp, s.Else.Stmts, tab, n)
 			}
 		case *source.While:
-			explainStmts(s.Body.Stmts, tab, n)
+			explainStmts(sp, s.Body.Stmts, tab, n)
 		}
 	}
 }
@@ -121,7 +137,25 @@ func hasNestedLoop(b *source.Block) bool {
 	return found
 }
 
-func explainLoop(f *source.For, tab *sem.Table, idx int) {
+// printDecision renders a loop's decision record: the stable code, the
+// verdict, and the measured evidence (sorted for deterministic output).
+func printDecision(d obs.Decision) {
+	fmt.Printf("decision: %s verdict=%s loop=%s", d.Code, d.Verdict, d.Loop)
+	if d.Reason != "" {
+		fmt.Printf(" (%s)", d.Reason)
+	}
+	fmt.Println()
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s = %v\n", k, d.Attrs[k])
+	}
+}
+
+func explainLoop(sp *obs.Span, f *source.For, tab *sem.Table, idx int) {
 	fmt.Printf("==== loop %d ====\n", idx)
 	fmt.Println(source.PrintStmt(f))
 
@@ -164,17 +198,20 @@ func explainLoop(f *source.For, tab *sem.Table, idx int) {
 		fmt.Printf("MII = %d\n", ii)
 	}
 
-	r, err := core.Transform(f, tab, core.DefaultOptions())
+	r, err := core.TransformSpan(sp, f, tab, core.DefaultOptions())
 	if err != nil {
 		fmt.Printf("transform error: %v\n\n", err)
 		return
 	}
 	if !r.Applied {
-		fmt.Printf("SLMS not applied: %s\n\n", r.Reason)
+		fmt.Printf("SLMS not applied: %s\n", r.Reason)
+		printDecision(r.Decision)
+		fmt.Println()
 		return
 	}
 	fmt.Printf("SLMS applied: II=%d MIs=%d stages=%d unroll=%d decompositions=%d\n",
 		r.II, r.MIs, r.Stages, r.Unroll, r.Decompositions)
+	printDecision(r.Decision)
 	for _, line := range r.Log {
 		fmt.Printf("  %s\n", line)
 	}

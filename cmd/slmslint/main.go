@@ -24,6 +24,9 @@
 //	-speculate        schedule across unproven dependences
 //	-expand=mve|array variant expansion strategy
 //	-noguard          omit the short-trip guard
+//	-trace FILE       write a pipeline trace at exit (-trace-format
+//	                  chrome or jsonl)
+//	-metrics FILE     write a metrics dump at exit ("-" = stdout)
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 
 	"slms/internal/analysis"
 	"slms/internal/core"
+	"slms/internal/obs"
 )
 
 func main() {
@@ -46,7 +50,10 @@ func main() {
 	speculate := flag.Bool("speculate", false, "schedule across unproven dependences")
 	expand := flag.String("expand", "mve", "variant expansion: mve or array")
 	noGuard := flag.Bool("noguard", false, "omit the short-trip guard")
+	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	obs.SetQuiet(*quiet)
+	tele.Activate()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: slmslint [flags] file.c...  (use - for stdin)")
@@ -96,6 +103,9 @@ func main() {
 			fmt.Print(rep.Render(*quiet))
 		}
 		failed = failed || rep.HasErrors()
+	}
+	if err := tele.Finish(); err != nil {
+		obs.Errorf("%v", err)
 	}
 	if failed {
 		os.Exit(1)

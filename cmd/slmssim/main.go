@@ -16,6 +16,10 @@
 //	-compare                            run with and without SLMS and report the speedup
 //	-verify                             verify every SLMS transformation before compiling
 //	-dump                               print the lowered virtual ISA
+//	-trace FILE                         write a pipeline trace at exit
+//	-trace-format chrome|jsonl          trace file format (default chrome)
+//	-metrics FILE                       write a metrics dump at exit ("-" = stdout)
+//	-q                                  suppress status output
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"slms/internal/core"
 	"slms/internal/interp"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/source"
 )
@@ -40,7 +45,10 @@ func main() {
 	compare := flag.Bool("compare", false, "measure base vs SLMS and report the speedup")
 	dump := flag.Bool("dump", false, "print the lowered virtual ISA")
 	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
+	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
 	pipeline.SetVerify(*verify)
 
 	if flag.NArg() != 1 {
@@ -88,15 +96,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown compiler %q", *compiler))
 	}
-	fmt.Printf("machine: %s; compiler: %s\n", d.Name, cc.Name)
+	obs.Logf("machine: %s; compiler: %s", d.Name, cc.Name)
+	sp := obs.Root("slmssim").Attr("machine", d.Name).Attr("compiler", cc.Name)
+	defer sp.End()
 
 	if *compare {
-		out, err := pipeline.RunExperiment(prog, pipeline.Experiment{
-			Machine: d, Compiler: cc, SLMS: core.DefaultOptions(),
-		}, nil)
+		outs, errs, err := pipeline.RunExperimentsSpan(sp, prog, d, cc,
+			[]core.Options{core.DefaultOptions()}, nil)
+		if err == nil {
+			err = errs[0]
+		}
 		if err != nil {
 			fatal(err)
 		}
+		out := outs[0]
 		fmt.Printf("base: %s\n", out.Base)
 		fmt.Printf("slms: %s\n", out.SLMS)
 		fmt.Printf("speedup: %.3f  energy ratio: %.3f  (slms applied: %v)\n",
@@ -105,7 +118,7 @@ func main() {
 	}
 
 	if *slms {
-		transformed, results, err := core.TransformProgram(prog, core.DefaultOptions())
+		transformed, results, err := core.TransformProgramSpan(sp, prog, core.DefaultOptions())
 		if err != nil {
 			fatal(err)
 		}
@@ -120,12 +133,12 @@ func main() {
 				applied++
 			}
 		}
-		fmt.Printf("slms: transformed %d of %d loops\n", applied, len(results))
+		obs.Logf("transformed %d of %d loops", applied, len(results))
 		prog = transformed
 	}
 
 	env := interp.NewEnv()
-	m, art, err := pipeline.Run(prog, d, cc, env)
+	m, art, err := pipeline.RunSpan(sp, prog, d, cc, env)
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +162,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	obs.Fatalf("%v", err)
 }

@@ -8,19 +8,25 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"slms/internal/bench"
 	"slms/internal/core"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/source"
 )
 
 func main() {
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
+
 	d := machine.ARM7Like()
-	fmt.Printf("machine: %s (issue width %d, %dB L1, miss penalty %d cycles)\n\n",
+	obs.Logf("machine: %s (issue width %d, %dB L1, miss penalty %d cycles)",
 		d.Name, d.IssueWidth, d.Cache.SizeBytes, d.Cache.MissPenalty)
 	fmt.Printf("%-10s %10s %10s %8s %8s %8s\n",
 		"kernel", "cycles", "slms cyc", "speedup", "power", "verdict")
@@ -29,14 +35,14 @@ func main() {
 	for _, name := range names {
 		k := bench.Lookup(name)
 		if k == nil {
-			log.Fatalf("unknown kernel %s", name)
+			obs.Fatalf("unknown kernel %s", name)
 		}
 		prog := source.MustParse(k.Source)
 		out, err := pipeline.RunExperiment(prog, pipeline.Experiment{
 			Machine: d, Compiler: pipeline.WeakO3, SLMS: core.DefaultOptions(),
 		}, k.Setup)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatalf("%v", err)
 		}
 		verdict := "apply"
 		if out.Speedup < 1.0 || out.PowerRatio < 1.0 {

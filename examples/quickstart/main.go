@@ -6,12 +6,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"slms/internal/core"
 	"slms/internal/interp"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/source"
 )
@@ -29,9 +30,14 @@ const program = `
 `
 
 func main() {
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
+
 	prog, err := source.Parse(program)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 
 	fmt.Println("==== original ====")
@@ -40,7 +46,7 @@ func main() {
 	// Transform every innermost loop.
 	transformed, results, err := core.TransformProgram(prog, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	for _, r := range results {
 		if r.Applied {
@@ -75,7 +81,7 @@ func main() {
 		SLMS:     core.DefaultOptions(),
 	}, seed)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	fmt.Println("\n==== measurement (weak compiler, ia64-like VLIW) ====")
 	fmt.Printf("original: %s\n", out.Base)

@@ -7,10 +7,11 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"slms/internal/core"
+	"slms/internal/obs"
 	"slms/internal/sem"
 	"slms/internal/source"
 	"slms/internal/xform"
@@ -20,7 +21,7 @@ func transformFirstLoop(src string) *core.Result {
 	prog := source.MustParse(src)
 	_, results, err := core.TransformProgram(prog, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	for _, r := range results {
 		return r
@@ -29,6 +30,11 @@ func transformFirstLoop(src string) *core.Result {
 }
 
 func main() {
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
+
 	// ---------------------------------------------------------- §8
 	fmt.Println("==== §8: the lw induction loop ====")
 	before := `
@@ -86,17 +92,17 @@ func main() {
 	`)
 	info, err := sem.Check(nest)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	swapped, err := xform.Interchange(nest.Stmts[2].(*source.For), info.Table)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	fmt.Println("after interchange the inner loop runs over i (no carried dependence):")
 	fmt.Print(source.PrintStmt(swapped))
 	rr, err := core.Transform(swapped.Body.Stmts[0].(*source.For), info.Table, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	fmt.Printf("SLMS on the interchanged inner loop: applied=%v II=%d\n", rr.Applied, rr.II)
 
@@ -118,7 +124,7 @@ func main() {
 	`)
 	info2, err := sem.Check(two)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	f1 := two.Stmts[5].(*source.For)
 	f2 := two.Stmts[6].(*source.For)
@@ -126,11 +132,11 @@ func main() {
 	fmt.Printf("first loop alone:  applied=%v (%s)\n", rA.Applied, rA.Reason)
 	fused, err := xform.Fuse(f1, f2, info2.Table)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	rB, err := core.Transform(fused, info2.Table, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	fmt.Printf("after fusion:      applied=%v II=%d (paper: II=3)\n", rB.Applied, rB.II)
 	fmt.Println("\nfused + SLMSed loop (paper style):")
@@ -155,11 +161,11 @@ func main() {
 	`)
 	info5, err := sem.Check(fig5)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	sunk, moved, err := xform.SinkDefs(fig5.Stmts[5].(*source.For), info5.Table)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	fmt.Printf("SinkDefs moved %d definitions next to their uses:\n", moved)
 	fmt.Print(source.PrintStmt(sunk))

@@ -12,10 +12,11 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"slms/internal/interp"
+	"slms/internal/obs"
 	"slms/internal/sem"
 	"slms/internal/source"
 	"slms/internal/xform"
@@ -35,12 +36,17 @@ func seed() *interp.Env {
 func run(label, src string) *interp.Env {
 	env := seed()
 	if err := interp.Run(source.MustParse(src), env); err != nil {
-		log.Fatalf("%s: %v", label, err)
+		obs.Fatalf("%s: %v", label, err)
 	}
 	return env
 }
 
 func main() {
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
+
 	// The §10 shifted copy: while (a[i+2]) { a[i] = a[i+2]; i++; }
 	original := `
 		float a[64];
@@ -58,19 +64,19 @@ func main() {
 	prog := source.MustParse(original)
 	info, err := sem.Check(prog)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	w := prog.Stmts[2].(*source.While)
 	unrolled, err := xform.UnrollWhile(w, 2, info.Table, false)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	prog.Stmts[2] = unrolled
 	fmt.Println("\n==== after generalized while-unrolling (automated) ====")
 	fmt.Print(source.Print(prog))
 	env := seed()
 	if err := interp.Run(prog, env); err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	report("unrolled", ref, env)
 
@@ -78,19 +84,19 @@ func main() {
 	prog2 := source.MustParse(original)
 	info2, err := sem.Check(prog2)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	w2 := prog2.Stmts[2].(*source.While)
 	piped, err := xform.PipelineWhile(w2, info2.Table, false)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	prog2.Stmts[2] = piped
 	fmt.Println("\n==== software-pipelined automatically (xform.PipelineWhile) ====")
 	fmt.Print(source.PrintPaper(prog2))
 	env3 := seed()
 	if err := interp.Run(prog2, env3); err != nil {
-		log.Fatal(err)
+		obs.Fatalf("%v", err)
 	}
 	report("auto-pipelined", ref, env3)
 

@@ -13,6 +13,7 @@ import (
 
 	"slms/internal/core"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/sim"
 	"slms/internal/source"
@@ -83,17 +84,27 @@ func (f *Figure) geoMeanApplied() (float64, int) {
 
 // measure runs kernel k under the machine/compiler pair and returns the
 // outcome. The paper's experiments run SLMS "with and without MVE" and
-// keep the best; we do the same with MVE vs scalar expansion.
+// keep the best; we do the same with MVE vs scalar expansion. Each
+// measurement is one span tree (root "measure:<kernel>") when tracing
+// is on, and its per-phase wall times feed the per-kernel breakdown of
+// RunStats regardless.
 func measure(k Kernel, d *machine.Desc, cc pipeline.Compiler) (*pipeline.Outcome, error) {
-	prog, err := source.ParseCached(k.Source)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	sp := obs.Root("measure:"+k.Name).
+		Attr("kernel", k.Name).Attr("machine", d.Name).Attr("compiler", cc.Name)
+	defer sp.End()
+	var prog *source.Program
+	var perr error
+	parseD := obs.Time(sp, "parse", func(*obs.Span) {
+		prog, perr = source.ParseCached(k.Source)
+	})
+	if perr != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, perr)
 	}
 	altOpts := core.DefaultOptions()
 	altOpts.Expansion = core.ExpandScalar
 	// One shared base run for both variants (the untransformed leg does
 	// not depend on the SLMS options).
-	outs, errs, err := pipeline.RunExperiments(prog, d, cc,
+	outs, errs, err := pipeline.RunExperimentsSpan(sp, prog, d, cc,
 		[]core.Options{core.DefaultOptions(), altOpts}, k.Setup)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
@@ -101,11 +112,67 @@ func measure(k Kernel, d *machine.Desc, cc pipeline.Compiler) (*pipeline.Outcome
 	if errs[0] != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, errs[0])
 	}
+	recordKernelPhases(k.Name, parseD, outs)
 	best := outs[0]
 	if alt := outs[1]; errs[1] == nil && alt.Applied && alt.Speedup > best.Speedup {
 		best = alt
 	}
 	return best, nil
+}
+
+// kernelPhaseAgg accumulates per-kernel, per-phase wall seconds over
+// every measurement performed by the process. measure runs once per
+// memoized (kernel, machine, compiler) triple, so the aggregate is the
+// real work done to produce the figures, with cache hits near zero.
+var kernelPhaseAgg = struct {
+	sync.Mutex
+	m map[string]map[string]float64
+}{m: map[string]map[string]float64{}}
+
+func recordKernelPhases(kernel string, parseD time.Duration, outs []*pipeline.Outcome) {
+	kernelPhaseAgg.Lock()
+	defer kernelPhaseAgg.Unlock()
+	agg := kernelPhaseAgg.m[kernel]
+	if agg == nil {
+		agg = map[string]float64{}
+		kernelPhaseAgg.m[kernel] = agg
+	}
+	agg["parse"] += parseD.Seconds()
+	for i, o := range outs {
+		if o == nil {
+			continue
+		}
+		for ph, s := range o.Phases {
+			// The base leg is shared across option sets; count it once.
+			if i > 0 && strings.HasSuffix(ph, ".base") {
+				continue
+			}
+			agg[ph] += s
+		}
+	}
+}
+
+// KernelStat is the per-kernel phase-timing breakdown of a harness run.
+type KernelStat struct {
+	Kernel  string             `json:"kernel"`
+	Seconds float64            `json:"seconds"` // sum over phases
+	Phases  map[string]float64 `json:"phases"`  // phase -> wall seconds
+}
+
+func kernelStats() []KernelStat {
+	kernelPhaseAgg.Lock()
+	defer kernelPhaseAgg.Unlock()
+	out := make([]KernelStat, 0, len(kernelPhaseAgg.m))
+	for k, phases := range kernelPhaseAgg.m {
+		ks := KernelStat{Kernel: k, Phases: make(map[string]float64, len(phases))}
+		for ph, s := range phases {
+			ks.Phases[ph] = s
+			ks.Seconds += s
+		}
+		out = append(out, ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kernel < out[j].Kernel })
+	return out
 }
 
 func reasonOf(out *pipeline.Outcome) string {
@@ -430,8 +497,18 @@ type FigureStat struct {
 	Rows        int     `json:"rows"`
 }
 
+// PhaseStat aggregates one pipeline phase over a harness run: how many
+// times it ran and its total wall time (summed across workers, so the
+// total can exceed the run's wall clock).
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
 // RunStats is the harness trajectory of one AllFigures run: wall time
-// per figure, simulation throughput and artifact-cache effectiveness.
+// per figure, simulation throughput, artifact-cache effectiveness, and
+// the phase-timing breakdown (aggregate and per kernel).
 // cmd/slmsbench serializes it as BENCH_*.json.
 type RunStats struct {
 	Figures          []FigureStat `json:"figures"`
@@ -443,6 +520,14 @@ type RunStats struct {
 	CacheHitRate     float64      `json:"cache_hit_rate"`
 	Workers          int          `json:"workers"`
 	GoMaxProcs       int          `json:"gomaxprocs"`
+	// Phases aggregates each pipeline phase (parse, transform, compile,
+	// sim, verify, ...) over this run, from the phase.* histograms of
+	// the metrics registry.
+	Phases []PhaseStat `json:"phases,omitempty"`
+	// Kernels is the per-kernel phase-timing breakdown accumulated over
+	// every measurement the process performed for these figures (the
+	// measurement memo runs each (kernel, machine, compiler) once).
+	Kernels []KernelStat `json:"kernels,omitempty"`
 }
 
 var figureGens = []struct {
@@ -470,6 +555,8 @@ func AllFigures() ([]*Figure, error) {
 func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 	startCycles := sim.SimulatedCycles()
 	startHits, startMisses := pipeline.CacheStats()
+	startSnap := obs.Default.Snapshot()
+	obs.GaugeName("bench.workers").Set(int64(Workers()))
 	start := time.Now()
 
 	// Figures run on plain goroutines: a generator is orchestration (it
@@ -515,7 +602,30 @@ func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
 		stats.CacheHitRate = float64(stats.CacheHits) / float64(total)
 	}
+	stats.Phases = phaseDelta(startSnap, obs.Default.Snapshot())
+	stats.Kernels = kernelStats()
 	return out, stats, nil
+}
+
+// phaseDelta extracts the phase.* histogram growth between two registry
+// snapshots as sorted PhaseStats (phases that did not run are omitted).
+func phaseDelta(before, after obs.Snapshot) []PhaseStat {
+	var out []PhaseStat
+	for name, h := range after.Histograms {
+		if !strings.HasPrefix(name, "phase.") {
+			continue
+		}
+		prev := before.Histograms[name]
+		if d := h.Count - prev.Count; d > 0 {
+			out = append(out, PhaseStat{
+				Phase:   strings.TrimPrefix(name, "phase."),
+				Count:   d,
+				Seconds: h.Seconds - prev.Seconds,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
 }
 
 // FigureIDs lists the available figure identifiers.

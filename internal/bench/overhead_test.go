@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"slms/internal/core"
+	"slms/internal/obs"
+	"slms/internal/pipeline"
+)
+
+// The disabled-tracer instrumentation left in the pipeline's hot paths
+// must be unmeasurable: this guard bounds its worst-case cost at under
+// 1% of an AllFigures run. The bound is computed, not timed end-to-end
+// (two wall-clock runs of the whole suite differ by more than 1% from
+// scheduler noise alone): one traced run counts how many span
+// operations the suite performs, a micro-benchmark prices the disabled
+// path per operation, and the product must stay under 1% of the
+// untraced suite's wall time. Env-gated because it re-runs the whole
+// figure suite twice; CI sets SLMS_OVERHEAD_CHECK=1.
+func TestDisabledTracerOverheadUnderOnePercent(t *testing.T) {
+	if os.Getenv("SLMS_OVERHEAD_CHECK") == "" {
+		t.Skip("set SLMS_OVERHEAD_CHECK=1 to run the overhead guard")
+	}
+	resetAll := func() {
+		ResetMeasurements()
+		core.ResetTransformCache()
+		pipeline.ResetCache()
+	}
+
+	// Pass 1 (traced): count the span operations the suite performs.
+	resetAll()
+	tr := obs.NewTracer()
+	obs.Enable(tr)
+	if _, err := AllFigures(); err != nil {
+		obs.Disable()
+		t.Fatal(err)
+	}
+	obs.Disable()
+	spanOps := len(tr.Spans())
+	if spanOps == 0 {
+		t.Fatal("traced run recorded no spans; the instrumentation is dead")
+	}
+
+	// Price the disabled path. Each span in the traced run corresponds
+	// to one Root/Child + Attr + End sequence on the nil fast path.
+	perOp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := obs.Root("overhead-probe")
+			sp = sp.Attr("k", i)
+			sp.Child("child").End()
+			sp.End()
+		}
+	})
+
+	// Pass 2 (untraced): the suite's real wall time.
+	resetAll()
+	start := time.Now()
+	if _, err := AllFigures(); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	overhead := time.Duration(int64(spanOps) * perOp.NsPerOp())
+	budget := wall / 100
+	t.Logf("span ops: %d; disabled cost/op: %dns; worst-case overhead: %v; wall: %v (budget %v)",
+		spanOps, perOp.NsPerOp(), overhead, wall, budget)
+	if overhead > budget {
+		t.Errorf("disabled-tracer overhead %v exceeds 1%% of AllFigures wall time %v", overhead, wall)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -50,7 +51,10 @@ func currentSem() chan struct{} {
 // parallelMap runs work over every item through the shared worker pool
 // and returns the results in input order. All items are attempted; the
 // first error in input order wins, making failures deterministic under
-// concurrency.
+// concurrency. A panicking worker does not crash the harness: the panic
+// is captured and reported as that item's error, named after the item
+// (for kernels, the kernel name), so one broken kernel fails its figure
+// while every other measurement completes.
 func parallelMap[T, R any](items []T, work func(T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	errs := make([]error, len(items))
@@ -62,6 +66,11 @@ func parallelMap[T, R any](items []T, work func(T) (R, error)) ([]R, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("bench: worker panic on %s: %v", workItemName(it), r)
+				}
+			}()
 			out[i], errs[i] = work(it)
 		}(i, it)
 	}
@@ -72,6 +81,19 @@ func parallelMap[T, R any](items []T, work func(T) (R, error)) ([]R, error) {
 		}
 	}
 	return out, nil
+}
+
+// workItemName renders a work item for panic reports: kernels by name,
+// everything else through %v.
+func workItemName(it any) string {
+	switch v := it.(type) {
+	case Kernel:
+		return "kernel " + v.Name
+	case *Kernel:
+		return "kernel " + v.Name
+	default:
+		return fmt.Sprintf("%v", v)
+	}
 }
 
 // measureKey identifies one memoized measurement: kernel, machine and

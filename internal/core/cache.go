@@ -5,7 +5,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"slms/internal/obs"
 	"slms/internal/source"
+)
+
+// Cache effectiveness counters, mirrored into the metrics registry.
+var (
+	tcHits   = obs.CounterName("core.transform.cache.hits")
+	tcMisses = obs.CounterName("core.transform.cache.misses")
 )
 
 // The transform cache memoizes TransformProgram results. The SLMS
@@ -36,6 +43,8 @@ type transformCache struct {
 	mu      sync.Mutex
 	entries map[transformKey]*transformEntry
 	enabled atomic.Bool
+	hits    atomic.Int64
+	misses  atomic.Int64
 }
 
 var defaultTransformCache = func() *transformCache {
@@ -50,18 +59,25 @@ func SetTransformCacheEnabled(on bool) {
 	c := defaultTransformCache
 	c.enabled.Store(on)
 	if !on {
-		c.mu.Lock()
-		c.entries = map[transformKey]*transformEntry{}
-		c.mu.Unlock()
+		ResetTransformCache()
 	}
 }
 
-// ResetTransformCache drops every cached transform.
+// ResetTransformCache drops every cached transform and zeroes the
+// hit/miss counters.
 func ResetTransformCache() {
 	c := defaultTransformCache
 	c.mu.Lock()
 	c.entries = map[transformKey]*transformEntry{}
 	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// TransformCacheStats reports the transform cache's cumulative hit and
+// miss counts since the last reset.
+func TransformCacheStats() (hits, misses int64) {
+	return defaultTransformCache.hits.Load(), defaultTransformCache.misses.Load()
 }
 
 // TransformProgramCached is TransformProgram behind the process-wide
@@ -69,9 +85,17 @@ func ResetTransformCache() {
 // and share the output. The returned program and results must be
 // treated as read-only.
 func TransformProgramCached(p *source.Program, opts Options) (*source.Program, []*Result, error) {
+	return TransformProgramCachedSpan(nil, p, opts)
+}
+
+// TransformProgramCachedSpan is TransformProgramCached annotating sp
+// with the cache outcome; a miss runs the transform under sp (per-loop
+// spans and decision records).
+func TransformProgramCachedSpan(sp *obs.Span, p *source.Program, opts Options) (*source.Program, []*Result, error) {
 	c := defaultTransformCache
 	if !c.enabled.Load() {
-		return TransformProgram(p, opts)
+		sp.Attr("cache", "off")
+		return TransformProgramSpan(sp, p, opts)
 	}
 	key := transformKey{prog: source.Fingerprint(p), opts: opts}
 	c.mu.Lock()
@@ -81,6 +105,15 @@ func TransformProgramCached(p *source.Program, opts Options) (*source.Program, [
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.program, e.results, e.err = TransformProgram(p, opts) })
+	if ok {
+		c.hits.Add(1)
+		tcHits.Add(1)
+		sp.Attr("cache", "hit")
+	} else {
+		c.misses.Add(1)
+		tcMisses.Add(1)
+		sp.Attr("cache", "miss")
+	}
+	e.once.Do(func() { e.program, e.results, e.err = TransformProgramSpan(sp, p, opts) })
 	return e.program, e.results, e.err
 }

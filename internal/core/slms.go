@@ -7,6 +7,7 @@ import (
 	"slms/internal/ddg"
 	"slms/internal/dep"
 	"slms/internal/mii"
+	"slms/internal/obs"
 	"slms/internal/sem"
 	"slms/internal/source"
 )
@@ -61,6 +62,14 @@ type Result struct {
 	Decompositions int
 	Mode           ExpandMode
 	Filter         FilterResult
+	// SearchIters counts the candidate IIs tested by the II search,
+	// summed over all decomposition rounds.
+	SearchIters int
+	// Decision is the loop's decision record: the stable code, verdict
+	// (accept/skip) and measured evidence (filter ratio, MII/II, search
+	// iterations, MVE degree). Always populated, also filed with the
+	// active tracer (see internal/obs).
+	Decision obs.Decision
 
 	// Replacement is the statement that replaces the original loop
 	// (a Block containing declarations, the guard, and the pipelined
@@ -77,12 +86,44 @@ func (r *Result) logf(format string, args ...any) {
 	r.Log = append(r.Log, fmt.Sprintf(format, args...))
 }
 
+// decide finalizes the loop's decision record: stored on the result and
+// filed with the active tracer. attrs may be nil.
+func (r *Result) decide(sp *obs.Span, code, verdict string, attrs map[string]any) {
+	if attrs == nil {
+		attrs = map[string]any{}
+	}
+	if r.Filter.LS+r.Filter.AO > 0 {
+		attrs["filter_ratio"] = r.Filter.MemRefRatio
+		attrs["ls"] = r.Filter.LS
+		attrs["ao"] = r.Filter.AO
+	}
+	if r.SearchIters > 0 {
+		attrs["search_iterations"] = r.SearchIters
+	}
+	r.Decision = obs.Decision{
+		Code: code, Verdict: verdict, Loop: r.Pos.String(),
+		Reason: r.Reason, Attrs: attrs,
+	}
+	sp.Attr("decision", code)
+	obs.RecordDecision(sp, r.Decision)
+}
+
 // Transform applies source-level modulo scheduling to one canonical
 // counted loop. tab is the program's symbol table (used to resolve array
 // ranks and to mint fresh temporaries). The original loop is not
 // modified; on success Result.Replacement holds the transformed code.
 func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
+	return TransformSpan(nil, f, tab, opts)
+}
+
+// TransformSpan is Transform under a parent trace span: the loop gets a
+// child span annotated with the decision evidence, and each algorithm
+// phase (canonicalize, if-conversion, dependence analysis, filter, II
+// search, kernel emission) a nested span plus a phase histogram entry.
+func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	res := &Result{Mode: opts.Expansion, Unroll: 1, Pos: f.Pos()}
+	sp := parent.Child("loop@" + res.Pos.String())
+	defer sp.End()
 	if opts.MemRefThreshold == 0 {
 		opts.MemRefThreshold = 0.85
 	}
@@ -93,6 +134,7 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	loop, err := sem.Canonicalize(f)
 	if err != nil {
 		res.Reason = err.Error()
+		res.decide(sp, obs.DecNonCanonical, obs.VerdictSkip, nil)
 		return res, nil
 	}
 	res.logf("canonical loop: var=%s step=%d", loop.Var, loop.Step)
@@ -104,6 +146,7 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	mis, predDecls, err := ifConvert(work.Stmts, tab)
 	if err != nil {
 		res.Reason = err.Error()
+		res.decide(sp, obs.DecUnsupportedBody, obs.VerdictSkip, nil)
 		return res, nil
 	}
 	var decls []source.Stmt
@@ -122,9 +165,12 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	}
 
 	// First analysis: classification + filter.
+	depSp := sp.Child("dep")
 	an, err := dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step})
+	depSp.End()
 	if err != nil {
 		res.Reason = err.Error()
+		res.decide(sp, obs.DecAnalysisFailed, obs.VerdictSkip, nil)
 		return res, nil
 	}
 
@@ -132,9 +178,16 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	res.Filter = applyFilter(an, opts.MemRefThreshold, func(name string) bool {
 		return typeOfName(name) == source.TBool
 	})
+	sp.Attr("filter_ratio", res.Filter.MemRefRatio)
 	if opts.Filter && res.Filter.Skip {
 		res.Reason = "filtered: " + res.Filter.Reason
 		res.logf("%s", res.Reason)
+		code := obs.DecMemRefFilter
+		if res.Filter.LS+res.Filter.AO == 0 {
+			code = obs.DecEmptyBody
+		}
+		res.decide(sp, code, obs.VerdictSkip,
+			map[string]any{"threshold": opts.MemRefThreshold})
 		return res, nil
 	}
 	if opts.MinArithPerMemRef > 0 {
@@ -142,6 +195,8 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 			res.Filter = fr
 			res.Reason = "filtered: " + fr.Reason
 			res.logf("%s", res.Reason)
+			res.decide(sp, obs.DecArithFilter, obs.VerdictSkip,
+				map[string]any{"min_arith_per_memref": opts.MinArithPerMemRef})
 			return res, nil
 		}
 	}
@@ -161,32 +216,43 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 		res.logf("renamed %d multi-defined variant(s)", len(renameDecls))
 		if an, err = dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step}); err != nil {
 			res.Reason = err.Error()
+			res.decide(sp, obs.DecAnalysisFailed, obs.VerdictSkip, nil)
 			return res, nil
 		}
 	}
 
 	// Steps 4–5 (§5): find the MII, decomposing MIs as needed.
+	miiSp := sp.Child("mii")
 	var ii int64
 	for {
 		g := ddg.Build(an, true)
-		ii, err = mii.Find(g, mii.Options{Speculate: opts.Speculate})
+		var st mii.Stats
+		ii, st, err = mii.FindStats(g, mii.Options{Speculate: opts.Speculate})
+		res.SearchIters += st.Iterations
 		if err == nil {
 			break
 		}
 		if errors.Is(err, mii.ErrUnknownDeps) {
+			miiSp.End()
 			res.Reason = err.Error()
 			res.logf("unproven dependences; SLMS not applied")
+			res.decide(sp, obs.DecUnprovenDeps, obs.VerdictSkip, nil)
 			return res, nil
 		}
 		if res.Decompositions >= opts.MaxDecompositions {
+			miiSp.End()
 			res.Reason = fmt.Sprintf("no valid II after %d decomposition(s)", res.Decompositions)
 			res.logf("%s", res.Reason)
+			res.decide(sp, obs.DecNoValidII, obs.VerdictSkip,
+				map[string]any{"decompositions": res.Decompositions})
 			return res, nil
 		}
 		newMIs, decl, at, derr := decompose(mis, loop.Var, loop.Step, tab, exprTypeOf(tab))
 		if derr != nil {
+			miiSp.End()
 			res.Reason = fmt.Sprintf("no valid II and %v", derr)
 			res.logf("%s", res.Reason)
+			res.decide(sp, obs.DecDecomposeFailed, obs.VerdictSkip, nil)
 			return res, nil
 		}
 		res.Decompositions++
@@ -194,7 +260,9 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 		mis = newMIs
 		decls = append(decls, decl)
 		if an, err = dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step}); err != nil {
+			miiSp.End()
 			res.Reason = err.Error()
+			res.decide(sp, obs.DecAnalysisFailed, obs.VerdictSkip, nil)
 			return res, nil
 		}
 	}
@@ -203,6 +271,9 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 	res.II = ii
 	res.Stages = (n + int(ii) - 1) / int(ii)
 	res.logf("II = %d with %d MIs (%d stages)", ii, n, res.Stages)
+	miiSp.Attr("ii", ii).Attr("mis", n).Attr("iterations", res.SearchIters).
+		Attr("decompositions", res.Decompositions)
+	miiSp.End()
 
 	// Defense in depth: the fixed schedule must satisfy every edge.
 	if verr := validateAgainstDDG(an.Edges, ii); verr != nil {
@@ -211,6 +282,8 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 
 	// Step 6 (§5): build prologue/kernel/epilogue with MVE or scalar
 	// expansion for cross-stage variants.
+	emitSp := sp.Child("emit")
+	defer emitSp.End()
 	b := &builder{
 		loop: loop, mis: mis, ii: ii, smax: res.Stages - 1,
 		tab: tab, mode: opts.Expansion, u: 1,
@@ -270,6 +343,11 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 		RenameFinal: renameFinal,
 		Guarded:     !opts.NoGuard, Speculate: opts.Speculate, Original: f,
 	}
+	sp.Attr("ii", ii).Attr("stages", res.Stages).Attr("mve_unroll", b.u)
+	res.decide(sp, obs.DecApplied, obs.VerdictAccept, map[string]any{
+		"ii": ii, "mis": n, "stages": res.Stages, "mve_unroll": b.u,
+		"decompositions": res.Decompositions, "mode": fmt.Sprint(opts.Expansion),
+	})
 	return res, nil
 }
 
@@ -322,13 +400,21 @@ func exprTypeOf(tab *sem.Table) func(source.Expr) source.Type {
 // transformed program (the input is not modified) and one Result per
 // loop encountered, in source order.
 func TransformProgram(p *source.Program, opts Options) (*source.Program, []*Result, error) {
+	return TransformProgramSpan(nil, p, opts)
+}
+
+// TransformProgramSpan is TransformProgram under a parent trace span
+// ("sem" and per-loop child spans; see TransformSpan).
+func TransformProgramSpan(sp *obs.Span, p *source.Program, opts Options) (*source.Program, []*Result, error) {
 	out := source.CloneProgram(p)
+	semSp := sp.Child("sem")
 	info, err := sem.Check(out)
+	semSp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	var results []*Result
-	if err := transformStmts(out.Stmts, info.Table, opts, &results); err != nil {
+	if err := transformStmts(sp, out.Stmts, info.Table, opts, &results); err != nil {
 		return nil, nil, err
 	}
 	// Re-check: the transformation must produce a well-typed program.
@@ -339,18 +425,18 @@ func TransformProgram(p *source.Program, opts Options) (*source.Program, []*Resu
 }
 
 // transformStmts rewrites innermost for-loops in place within the slice.
-func transformStmts(stmts []source.Stmt, tab *sem.Table, opts Options, results *[]*Result) error {
+func transformStmts(sp *obs.Span, stmts []source.Stmt, tab *sem.Table, opts Options, results *[]*Result) error {
 	for i, s := range stmts {
 		switch s := s.(type) {
 		case *source.For:
 			if containsLoop(s.Body) {
 				// Not innermost: recurse.
-				if err := transformStmts(s.Body.Stmts, tab, opts, results); err != nil {
+				if err := transformStmts(sp, s.Body.Stmts, tab, opts, results); err != nil {
 					return err
 				}
 				continue
 			}
-			r, err := Transform(s, tab, opts)
+			r, err := TransformSpan(sp, s, tab, opts)
 			if err != nil {
 				return err
 			}
@@ -359,19 +445,19 @@ func transformStmts(stmts []source.Stmt, tab *sem.Table, opts Options, results *
 				stmts[i] = r.Replacement
 			}
 		case *source.While:
-			if err := transformStmts(s.Body.Stmts, tab, opts, results); err != nil {
+			if err := transformStmts(sp, s.Body.Stmts, tab, opts, results); err != nil {
 				return err
 			}
 		case *source.Block:
-			if err := transformStmts(s.Stmts, tab, opts, results); err != nil {
+			if err := transformStmts(sp, s.Stmts, tab, opts, results); err != nil {
 				return err
 			}
 		case *source.If:
-			if err := transformStmts(s.Then.Stmts, tab, opts, results); err != nil {
+			if err := transformStmts(sp, s.Then.Stmts, tab, opts, results); err != nil {
 				return err
 			}
 			if s.Else != nil {
-				if err := transformStmts(s.Else.Stmts, tab, opts, results); err != nil {
+				if err := transformStmts(sp, s.Else.Stmts, tab, opts, results); err != nil {
 					return err
 				}
 			}

@@ -11,6 +11,7 @@ import (
 	"errors"
 
 	"slms/internal/ddg"
+	"slms/internal/obs"
 )
 
 // ErrNoValidII is returned when no II smaller than the number of MIs
@@ -67,12 +68,31 @@ type Options struct {
 	MaxII int64
 }
 
+// Stats reports the effort of one II search, for telemetry: how many
+// candidate IIs the galloping search tested (Valid computations) and
+// the bound it searched under.
+type Stats struct {
+	// Iterations is the number of candidate IIs tested.
+	Iterations int
+	// MaxII is the search bound that applied.
+	MaxII int64
+}
+
+// searchIters counts candidate IIs tested process-wide.
+var searchIters = obs.CounterName("mii.search.iterations")
+
 // Find searches for the minimal valid II in 1..(N-1) per §5: a valid II
 // must beat the sequential schedule, i.e. II < number of MIs.
 func Find(g *ddg.Graph, opts Options) (int64, error) {
+	ii, _, err := FindStats(g, opts)
+	return ii, err
+}
+
+// FindStats is Find plus the search-effort statistics.
+func FindStats(g *ddg.Graph, opts Options) (int64, Stats, error) {
 	if g.HasUnknown() {
 		if !opts.Speculate {
-			return 0, ErrUnknownDeps
+			return 0, Stats{}, ErrUnknownDeps
 		}
 		g = dropUnknown(g)
 	}
@@ -80,10 +100,14 @@ func Find(g *ddg.Graph, opts Options) (int64, error) {
 	if maxII == 0 {
 		maxII = int64(g.N) - 1
 	}
-	if ii := FindMinValid(g, maxII); ii > 0 {
-		return ii, nil
+	var st Stats
+	st.MaxII = maxII
+	ii := findMinValid(g, maxII, &st.Iterations)
+	searchIters.Add(int64(st.Iterations))
+	if ii > 0 {
+		return ii, st, nil
 	}
-	return 0, ErrNoValidII
+	return 0, st, ErrNoValidII
 }
 
 // FindMinValid returns the smallest ii in [1, maxII] with Valid(g, ii),
@@ -96,6 +120,12 @@ func Find(g *ddg.Graph, opts Options) (int64, error) {
 // case — and needs only O(log maxII) when the answer is large or no II
 // exists, where the scan needs maxII.
 func FindMinValid(g *ddg.Graph, maxII int64) int64 {
+	var iters int
+	return findMinValid(g, maxII, &iters)
+}
+
+// findMinValid is FindMinValid counting each candidate tested in *iters.
+func findMinValid(g *ddg.Graph, maxII int64, iters *int) int64 {
 	if maxII < 1 {
 		return 0
 	}
@@ -106,6 +136,7 @@ func FindMinValid(g *ddg.Graph, maxII int64) int64 {
 		if cur > maxII {
 			cur = maxII
 		}
+		*iters++
 		if Valid(g, cur) {
 			break
 		}
@@ -119,6 +150,7 @@ func FindMinValid(g *ddg.Graph, maxII int64) int64 {
 	hi := cur
 	for lo < hi {
 		mid := lo + (hi-lo)/2
+		*iters++
 		if Valid(g, mid) {
 			hi = mid
 		} else {

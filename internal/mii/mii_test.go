@@ -305,3 +305,33 @@ func TestValidMonotoneQuick(t *testing.T) {
 		prev = v
 	}
 }
+
+// FindStats must agree with Find on the answer and report how hard the
+// galloping II search worked: at least one iteration, and a MaxII bound
+// no smaller than the found II.
+func TestFindStatsReportsSearchEffort(t *testing.T) {
+	g := buildLoop(t, `
+		float A[100]; float B[100];
+		for (i = 2; i < 100; i++) {
+			A[i] = A[i - 2] + B[i];
+			B[i] = A[i] * 0.5;
+		}
+	`)
+	ii, err := Find(g, Options{})
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	ii2, st, err := FindStats(g, Options{})
+	if err != nil {
+		t.Fatalf("FindStats: %v", err)
+	}
+	if ii2 != ii {
+		t.Errorf("FindStats II = %d, Find II = %d", ii2, ii)
+	}
+	if st.Iterations < 1 {
+		t.Errorf("search iterations = %d, want >= 1", st.Iterations)
+	}
+	if st.MaxII < ii {
+		t.Errorf("search bound MaxII = %d below answer %d", st.MaxII, ii)
+	}
+}

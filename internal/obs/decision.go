@@ -1,0 +1,115 @@
+package obs
+
+import "time"
+
+// Decision-record codes. The codes are stable identifiers (SLMS2xx, the
+// decision range; internal/analysis owns SLMS0xx/1xx for verification
+// diagnostics): tooling may match on them, so a code is never renumbered
+// or reused. New codes extend the list.
+const (
+	// DecApplied: the loop was accepted and pipelined.
+	DecApplied = "SLMS200"
+	// DecNonCanonical: the loop is not a canonical counted loop
+	// (non-unit induction structure, unsupported bounds).
+	DecNonCanonical = "SLMS210"
+	// DecUnsupportedBody: the body could not be if-converted or contains
+	// statements SLMS cannot schedule.
+	DecUnsupportedBody = "SLMS211"
+	// DecAnalysisFailed: dependence analysis failed on the body.
+	DecAnalysisFailed = "SLMS212"
+	// DecMemRefFilter: skipped by the §4 bad-case filter
+	// (LS/(LS+AO) >= threshold).
+	DecMemRefFilter = "SLMS220"
+	// DecArithFilter: skipped by the §11 refinement (too few arithmetic
+	// operations per array reference).
+	DecArithFilter = "SLMS221"
+	// DecEmptyBody: the loop body has no operations to schedule.
+	DecEmptyBody = "SLMS222"
+	// DecUnprovenDeps: dependence distances could not be proven and
+	// speculation is off.
+	DecUnprovenDeps = "SLMS230"
+	// DecNoValidII: no II < number of MIs exists after the decomposition
+	// budget.
+	DecNoValidII = "SLMS231"
+	// DecDecomposeFailed: no valid II and the decomposition step could
+	// not split any MI.
+	DecDecomposeFailed = "SLMS232"
+	// DecVerifyRefuted: the translation validator refuted an applied
+	// schedule (only with the -verify gate on).
+	DecVerifyRefuted = "SLMS240"
+)
+
+// Decision verdicts.
+const (
+	VerdictAccept = "accept"
+	VerdictSkip   = "skip"
+	VerdictRefute = "refute"
+)
+
+// Decision is one per-loop scheduling decision: why a loop was
+// pipelined, skipped, or (under the verify gate) refuted. Attrs carries
+// the measured evidence — filter ratio, MII/II, search iterations, MVE
+// degree — so a decision is diagnosable without re-running the
+// pipeline.
+type Decision struct {
+	Time    time.Time `json:"time"`
+	Code    string    `json:"code"`
+	Verdict string    `json:"verdict"`
+	// Loop locates the loop ("line:col" of the for statement).
+	Loop   string         `json:"loop"`
+	Reason string         `json:"reason,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	// SpanRoot ties the decision to the span tree it was made under
+	// (0 when recorded outside any span).
+	SpanRoot int64 `json:"span_root,omitempty"`
+}
+
+// jsonRecord is the JSONL wire form ({"type":"decision",...}).
+func (d Decision) jsonRecord() map[string]any {
+	m := map[string]any{
+		"type":    "decision",
+		"time":    d.Time.Format(time.RFC3339Nano),
+		"code":    d.Code,
+		"verdict": d.Verdict,
+		"loop":    d.Loop,
+	}
+	if d.Reason != "" {
+		m["reason"] = d.Reason
+	}
+	if len(d.Attrs) > 0 {
+		m["attrs"] = d.Attrs
+	}
+	if d.SpanRoot != 0 {
+		m["span_root"] = d.SpanRoot
+	}
+	return m
+}
+
+// RecordDecision files d with the active tracer (stamping the time if
+// unset) and bumps the per-verdict decision counters. A no-op beyond
+// one counter increment when tracing is disabled.
+func RecordDecision(sp *Span, d Decision) {
+	CounterName("slms.decisions." + d.Verdict).Add(1)
+	t := active.Load()
+	if t == nil {
+		return
+	}
+	if d.Time.IsZero() {
+		d.Time = time.Now()
+	}
+	if sp != nil {
+		d.SpanRoot = sp.RootID
+	}
+	t.mu.Lock()
+	t.decs = append(t.decs, d)
+	t.mu.Unlock()
+}
+
+// Decisions returns the tracer's decision records in arrival order.
+func (t *Tracer) Decisions() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Decision, len(t.decs))
+	copy(out, t.decs)
+	return out
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags is the standard telemetry flag set shared by every SLMS
+// command: -trace/-trace-format select a pipeline trace file, -metrics
+// a metrics dump, and -q suppresses status output. Register the flags
+// before flag.Parse, Activate after it, and Finish once at exit:
+//
+//	tele := obs.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	tele.Activate()
+//	defer tele.Finish()
+type Flags struct {
+	Trace       string
+	TraceFormat string
+	Metrics     string
+	Quiet       bool
+
+	tracer *Tracer
+}
+
+// RegisterFlags installs -trace, -trace-format and -metrics on fs. It
+// also installs -q unless fs already defines one (slmslint reuses its
+// report-level -q; wire that flag to SetQuiet by hand).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a pipeline trace to this file at exit")
+	fs.StringVar(&f.TraceFormat, "trace-format", FormatChrome, "trace file format: chrome (chrome://tracing) or jsonl")
+	fs.StringVar(&f.Metrics, "metrics", "", `write a metrics dump to this file at exit ("-" = stdout)`)
+	if fs.Lookup("q") == nil {
+		fs.BoolVar(&f.Quiet, "q", false, "suppress status output (warnings and errors still print)")
+	}
+	return f
+}
+
+// Activate applies the parsed flags: quiet mode takes effect and, when
+// -trace was given, a fresh tracer is installed process-wide.
+func (f *Flags) Activate() {
+	if f.Quiet {
+		SetQuiet(true)
+	}
+	if f.Trace != "" {
+		f.tracer = NewTracer()
+		Enable(f.tracer)
+	}
+}
+
+// Finish writes the trace and metrics files requested by the flags.
+// Safe to call when neither was requested; returns the first error.
+func (f *Flags) Finish() error {
+	var firstErr error
+	if f.Trace != "" && f.tracer != nil {
+		var buf bytes.Buffer
+		err := f.tracer.WriteTrace(&buf, f.TraceFormat)
+		if err == nil {
+			err = os.WriteFile(f.Trace, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("trace: %w", err)
+		}
+	}
+	if f.Metrics != "" {
+		text := MetricsText()
+		var err error
+		if f.Metrics == "-" {
+			_, err = io.WriteString(os.Stdout, text)
+		} else {
+			err = os.WriteFile(f.Metrics, []byte(text), 0o644)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return firstErr
+}

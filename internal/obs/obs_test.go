@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// With no tracer installed, span creation returns nil and every method
+// is a safe no-op.
+func TestDisabledTracerIsNil(t *testing.T) {
+	Disable()
+	sp := Root("x")
+	if sp != nil {
+		t.Fatalf("Root with tracing disabled = %v, want nil", sp)
+	}
+	// All of these must not panic.
+	sp.Attr("k", 1).Child("y").Attr("k2", 2).End()
+	sp.End()
+	if got := sp.Attrs(); got != nil {
+		t.Fatalf("nil span Attrs = %v, want nil", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer()
+	Enable(tr)
+	defer Disable()
+
+	root := Root("measure:k1")
+	child := root.Child("compile").Attr("cache", "miss")
+	grand := child.Child("mii").Attr("ii", 3)
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Parent != 0 || spans[0].RootID != spans[0].ID {
+		t.Errorf("root span parent/root wrong: %+v", spans[0])
+	}
+	if spans[1].Parent != spans[0].ID || spans[1].RootID != spans[0].ID {
+		t.Errorf("child span parent/root wrong: %+v", spans[1])
+	}
+	if spans[2].Parent != spans[1].ID || spans[2].RootID != spans[0].ID {
+		t.Errorf("grandchild span parent/root wrong: %+v", spans[2])
+	}
+	attrs := attrMap(spans[2].Attrs())
+	if attrs["ii"] != 3 {
+		t.Errorf("grandchild attrs = %v, want ii=3", attrs)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	Enable(tr)
+	defer Disable()
+
+	root := Root("measure:kernel8")
+	root.Child("parse").End()
+	RecordDecision(root, Decision{
+		Code: DecMemRefFilter, Verdict: VerdictSkip, Loop: "3:2",
+		Reason: "ratio too high", Attrs: map[string]any{"filter_ratio": 0.9},
+	})
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf, FormatChrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var phases []string
+	var sawThreadName, sawDecision bool
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases = append(phases, ph)
+		if ph == "M" && ev["name"] == "thread_name" {
+			sawThreadName = true
+		}
+		if ph == "i" && ev["name"] == DecMemRefFilter {
+			sawDecision = true
+			args := ev["args"].(map[string]any)
+			if args["filter_ratio"] != 0.9 {
+				t.Errorf("decision args = %v, want filter_ratio=0.9", args)
+			}
+		}
+	}
+	if !sawThreadName {
+		t.Errorf("no thread_name metadata event in %v", phases)
+	}
+	if !sawDecision {
+		t.Errorf("no instant decision event in %v", phases)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := NewTracer()
+	Enable(tr)
+	defer Disable()
+
+	Root("a").End()
+	RecordDecision(nil, Decision{Code: DecApplied, Verdict: VerdictAccept, Loop: "1:1"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf, FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2: %q", len(lines), buf.String())
+	}
+	types := []string{}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		types = append(types, m["type"].(string))
+	}
+	if types[0] != "span" || types[1] != "decision" {
+		t.Errorf("line types = %v, want [span decision]", types)
+	}
+}
+
+func TestWriteTraceUnknownFormat(t *testing.T) {
+	tr := NewTracer()
+	if err := tr.WriteTrace(&bytes.Buffer{}, "protobuf"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(10 * time.Millisecond)
+	r.Histogram("h").Observe(20 * time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counters["c"] != 5 {
+		t.Errorf("counter = %d, want 5", s.Counters["c"])
+	}
+	if s.Gauges["g"] != 7 {
+		t.Errorf("gauge = %d, want 7", s.Gauges["g"])
+	}
+	h := s.Histograms["h"]
+	if h.Count != 2 || h.Seconds < 0.029 || h.Seconds > 0.031 {
+		t.Errorf("hist = %+v, want count=2 total≈0.030s", h)
+	}
+	if h.Max < 0.019 || h.Max > 0.021 {
+		t.Errorf("hist max = %v, want ≈0.020", h.Max)
+	}
+	// The p50 bucket upper bound must be within 2x of the true median.
+	if h.P50 < 0.010 || h.P50 > 0.040 {
+		t.Errorf("hist p50 = %v, want within [0.010, 0.040]", h.P50)
+	}
+
+	text := r.Text()
+	for _, want := range []string{"counter c", "gauge   g", "hist    h"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("after Reset: %+v", s)
+	}
+}
+
+func TestTimeRecordsPhaseHistogram(t *testing.T) {
+	Default.Reset()
+	Disable()
+	d := Time(nil, "unit-test-phase", func(sp *Span) {
+		if sp != nil {
+			t.Error("Time gave a non-nil span with tracing disabled")
+		}
+	})
+	if d < 0 {
+		t.Errorf("duration = %v", d)
+	}
+	if got := PhaseHist("unit-test-phase").count.Load(); got != 1 {
+		t.Errorf("phase histogram count = %d, want 1", got)
+	}
+}
+
+func TestCLILogQuiet(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	t.Cleanup(func() { SetQuiet(false); SetLogOutput(os.Stderr) })
+
+	SetQuiet(false)
+	Logf("hello %d", 1)
+	SetQuiet(true)
+	Logf("suppressed")
+	Warnf("warned")
+	out := buf.String()
+	if !strings.Contains(out, "slms: hello 1") {
+		t.Errorf("missing info line: %q", out)
+	}
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("quiet did not suppress info: %q", out)
+	}
+	if !strings.Contains(out, "slms: warning: warned") {
+		t.Errorf("missing warning line: %q", out)
+	}
+}
+
+// BenchmarkDisabledSpan measures the cost of the disabled-tracer path:
+// a full root+child+attr+end call tree must stay in the nanosecond
+// range (one atomic pointer load per Root). The bench harness's
+// overhead guard multiplies this by the span count of a traced run.
+func BenchmarkDisabledSpan(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Root("bench")
+		sp.Child("child").Attr("k", i).End()
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled-path cost, for comparison.
+func BenchmarkEnabledSpan(b *testing.B) {
+	Enable(NewTracer())
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Root("bench")
+		sp.Child("child").Attr("k", i).End()
+		sp.End()
+	}
+}

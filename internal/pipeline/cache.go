@@ -7,7 +7,15 @@ import (
 
 	"slms/internal/ir"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/source"
+)
+
+// Mirror the cache counters into the metrics registry so a -metrics
+// dump shows compile-cache effectiveness without calling CacheStats.
+var (
+	ccHits   = obs.CounterName("pipeline.compile.cache.hits")
+	ccMisses = obs.CounterName("pipeline.compile.cache.misses")
 )
 
 // The artifact cache memoizes CompileFor results. The figure suite
@@ -100,8 +108,15 @@ func CacheStats() (hits, misses int64) {
 // and share the artifact. The returned artifact must be treated as
 // read-only; simulating it (sim.Run) is safe concurrently.
 func CompileForCached(p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
+	return compileForCachedSpan(nil, p, d, cc)
+}
+
+// compileForCachedSpan is CompileForCached annotating sp with the cache
+// outcome ("hit", "miss", or "off").
+func compileForCachedSpan(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
 	c := defaultCache
 	if !c.enabled.Load() {
+		sp.Attr("cache", "off")
 		return CompileFor(p, d, cc)
 	}
 	key := cacheKey{prog: source.Fingerprint(p), mach: *d, cc: cc}
@@ -114,8 +129,12 @@ func CompileForCached(p *source.Program, d *machine.Desc, cc Compiler) (*Artifac
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		ccHits.Add(1)
+		sp.Attr("cache", "hit")
 	} else {
 		c.misses.Add(1)
+		ccMisses.Add(1)
+		sp.Attr("cache", "miss")
 	}
 	e.once.Do(func() {
 		// A miss still shares the machine-independent front half across

@@ -13,6 +13,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"slms/internal/backend"
 	"slms/internal/core"
@@ -20,6 +21,7 @@ import (
 	"slms/internal/interp"
 	"slms/internal/ir"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/sim"
 	"slms/internal/source"
 )
@@ -169,15 +171,38 @@ func applyOrder(b *ir.Block, s *backend.BlockSched) {
 // so repeated runs of the same (program, machine, compiler) triple
 // share one immutable artifact.
 func Run(p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
-	art, err := CompileForCached(p, d, cc)
+	m, art, _, _, err := runTimed(nil, p, d, cc, env)
+	return m, art, err
+}
+
+// RunSpan is Run under a parent trace span: "compile" (with the cache
+// outcome) and "sim" (with the simulated cycle count) child spans, each
+// also feeding the phase.compile / phase.sim duration histograms.
+func RunSpan(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
+	m, art, _, _, err := runTimed(sp, p, d, cc, env)
+	return m, art, err
+}
+
+// runTimed is the span-threaded compile+simulate core, returning the
+// wall time of each phase for the harness's per-kernel breakdown.
+func runTimed(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler,
+	env *interp.Env) (m *sim.Metrics, art *Artifact, compileD, simD time.Duration, err error) {
+	compileD = obs.Time(sp, "compile", func(csp *obs.Span) {
+		art, err = compileForCachedSpan(csp, p, d, cc)
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, compileD, 0, err
 	}
-	m, err := sim.Run(art.Func, d, art.Plan, env, 0)
+	simD = obs.Time(sp, "sim", func(ssp *obs.Span) {
+		m, err = sim.Run(art.Func, d, art.Plan, env, 0)
+		if m != nil {
+			ssp.Attr("cycles", m.Cycles)
+		}
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("pipeline: %w\n%s", err, art.Func.Dump())
+		return nil, nil, compileD, simD, fmt.Errorf("pipeline: %w\n%s", err, art.Func.Dump())
 	}
-	return m, art, nil
+	return m, art, compileD, simD, nil
 }
 
 // Experiment compares a program with and without SLMS under one
@@ -199,6 +224,11 @@ type Outcome struct {
 	BaseArt    *Artifact
 	SLMSArt    *Artifact
 	Results    []*core.Result
+	// Phases is the wall time (seconds) each pipeline phase spent
+	// producing this outcome: compile.base, sim.base, transform, verify
+	// (only under the -verify gate), compile.slms, sim.slms, compare.
+	// The bench harness aggregates these into per-kernel breakdowns.
+	Phases map[string]float64
 }
 
 // RunExperiment measures the SLMS speedup of prog under the experiment
@@ -224,11 +254,22 @@ func RunExperiment(prog *source.Program, ex Experiment, seed func(*interp.Env)) 
 // that invalidates every option set.
 func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 	optsList []core.Options, seed func(*interp.Env)) ([]*Outcome, []error, error) {
+	return RunExperimentsSpan(nil, prog, d, cc, optsList, seed)
+}
+
+// RunExperimentsSpan is RunExperiments under a parent trace span: the
+// base leg and each option set's transform/verify/compile/sim/compare
+// phases become child spans, and every Outcome carries its per-phase
+// wall-time breakdown (Outcome.Phases).
+func RunExperimentsSpan(sp *obs.Span, prog *source.Program, d *machine.Desc, cc Compiler,
+	optsList []core.Options, seed func(*interp.Env)) ([]*Outcome, []error, error) {
 	envBase := interp.NewEnv()
 	if seed != nil {
 		seed(envBase)
 	}
-	mBase, artBase, err := Run(prog, d, cc, envBase)
+	baseSp := sp.Child("base")
+	mBase, artBase, baseCompile, baseSim, err := runTimed(baseSp, prog, d, cc, envBase)
+	baseSp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("base run: %w", err)
 	}
@@ -238,10 +279,19 @@ func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 	outs := make([]*Outcome, len(optsList))
 	errs := make([]error, len(optsList))
 	for i, opts := range optsList {
-		out := &Outcome{Base: mBase, BaseArt: artBase}
-		transformed, results, err := core.TransformProgramCached(prog, opts)
+		legSp := sp.Child(fmt.Sprintf("slms[%d]", i))
+		out := &Outcome{Base: mBase, BaseArt: artBase, Phases: map[string]float64{
+			"compile.base": baseCompile.Seconds(),
+			"sim.base":     baseSim.Seconds(),
+		}}
+		var transformed *source.Program
+		var results []*core.Result
+		out.Phases["transform"] = obs.Time(legSp, "transform", func(tsp *obs.Span) {
+			transformed, results, err = core.TransformProgramCachedSpan(tsp, prog, opts)
+		}).Seconds()
 		if err != nil {
 			errs[i] = fmt.Errorf("slms: %w", err)
+			legSp.End()
 			continue
 		}
 		out.Results = results
@@ -251,8 +301,22 @@ func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 			}
 		}
 		if Verifying() {
-			if err := verifyResults(prog, transformed, results); err != nil {
-				errs[i] = err
+			var verr error
+			out.Phases["verify"] = obs.Time(legSp, "verify", func(vsp *obs.Span) {
+				verr = verifyResults(prog, transformed, results)
+				if verr != nil {
+					vsp.Attr("verdict", "refuted")
+					obs.RecordDecision(vsp, obs.Decision{
+						Code: obs.DecVerifyRefuted, Verdict: obs.VerdictRefute,
+						Reason: verr.Error(),
+					})
+				} else {
+					vsp.Attr("verdict", "ok")
+				}
+			}).Seconds()
+			if verr != nil {
+				errs[i] = verr
+				legSp.End()
 				continue
 			}
 		}
@@ -260,9 +324,12 @@ func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 		if seed != nil {
 			seed(envSLMS)
 		}
-		mSLMS, artSLMS, err := Run(transformed, d, cc, envSLMS)
+		mSLMS, artSLMS, slmsCompile, slmsSim, err := runTimed(legSp, transformed, d, cc, envSLMS)
+		out.Phases["compile.slms"] = slmsCompile.Seconds()
+		out.Phases["sim.slms"] = slmsSim.Seconds()
 		if err != nil {
 			errs[i] = fmt.Errorf("slms run: %w", err)
+			legSp.End()
 			continue
 		}
 		out.SLMS, out.SLMSArt = mSLMS, artSLMS
@@ -270,7 +337,12 @@ func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 		// Correctness: both executions must leave identical state (modulo
 		// reduction reassociation tolerance).
 		delete(envSLMS.Arrays, backend.SpillArray)
-		if diffs := interp.Compare(envBase, envSLMS, interp.CompareOpts{FloatTol: 1e-6}); len(diffs) > 0 {
+		var diffs []interp.Diff
+		out.Phases["compare"] = obs.Time(legSp, "compare", func(*obs.Span) {
+			diffs = interp.Compare(envBase, envSLMS, interp.CompareOpts{FloatTol: 1e-6})
+		}).Seconds()
+		legSp.End()
+		if len(diffs) > 0 {
 			errs[i] = fmt.Errorf("SLMS changed program results: %v", diffs)
 			continue
 		}

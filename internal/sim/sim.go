@@ -32,7 +32,16 @@ import (
 	"slms/internal/interp"
 	"slms/internal/ir"
 	"slms/internal/machine"
+	"slms/internal/obs"
 	"slms/internal/source"
+)
+
+// Simulation throughput counters in the metrics registry (handles are
+// hoisted: updates are single atomics on the per-Run path).
+var (
+	simRuns   = obs.CounterName("sim.runs")
+	simCycles = obs.CounterName("sim.cycles")
+	simInstrs = obs.CounterName("sim.instrs")
 )
 
 // BlockTiming is the compiled timing artifact for one block.
@@ -222,6 +231,9 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 	}
 	s.m.Energy += d.Energy.Static * float64(s.m.Cycles)
 	totalCycles.Add(s.m.Cycles)
+	simRuns.Add(1)
+	simCycles.Add(s.m.Cycles)
+	simInstrs.Add(s.m.Instrs)
 	return s.m, nil
 }
 
