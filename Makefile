@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build test race vet lint fuzz bench figures profile clean
+.PHONY: all build test race vet lint fuzz bench figures profile cycleprofile gate baseline clean
 
 all: build vet test
 
@@ -50,5 +50,22 @@ figures:
 profile:
 	$(GO) run ./cmd/slmsbench -cpuprofile cpu.pprof -memprofile mem.pprof -json ""
 
+# Simulated-cycle attribution for the whole suite: where every cycle of
+# every kernel went (issue, hazard, miss, fill, prologue/epilogue,
+# branch). Explore with `go tool pprof -http=: cycles.pb.gz`.
+cycleprofile:
+	$(GO) run ./cmd/slmsbench -q -profile cycles.pb.gz -json ""
+
+# The CI cycle-regression gate: re-run the suite and fail on >5% cycle
+# growth against the committed BENCH_4.json baseline.
+gate:
+	SLMS_REGRESSION_GATE=1 $(GO) test -run TestRegressionGateAgainstBaseline -v ./internal/bench/compare/
+
+# Re-record the regression-gate baseline after an intentional
+# scheduling or simulator change (cycles are deterministic, so this is
+# reproducible on any machine).
+baseline:
+	$(GO) run ./cmd/slmsbench -q -profile suite-cycles.pb.gz -json BENCH_4.json > /dev/null
+
 clean:
-	rm -f cpu.pprof mem.pprof
+	rm -f cpu.pprof mem.pprof cycles.pb.gz suite-cycles.pb.gz

@@ -8,6 +8,7 @@ import (
 	"slms/internal/machine"
 	"slms/internal/obs"
 	"slms/internal/pipeline"
+	"slms/internal/prof"
 	"slms/internal/slc"
 	"slms/internal/source"
 )
@@ -176,3 +177,36 @@ func Decisions() []Decision {
 // gauges, phase histograms) as a sorted plain-text dump. The same
 // snapshot is published through expvar under the "slms" key.
 func MetricsText() string { return obs.MetricsText() }
+
+// Profiling: cycle attribution inside the simulator. While enabled,
+// every simulated run attributes each cycle to a (source line, cause)
+// pair — issue, hazard stall, L1 miss, pipeline fill,
+// prologue/epilogue, branch — and each Measure outcome carries a
+// Profile on its Base and SLMS metrics, including per-loop
+// schedule-quality stats joined with the SLMS2xx decision records.
+// Disabled (the default), the instrumentation is a handful of dormant
+// nil checks on the simulator's hot path.
+
+// Profile is one run's cycle-attribution profile: per-line and
+// per-block cause breakdowns plus per-loop schedule quality.
+type Profile = prof.Profile
+
+// SetProfiling turns simulator cycle attribution on or off
+// process-wide.
+func SetProfiling(on bool) { prof.SetEnabled(on) }
+
+// Profiling reports whether cycle attribution is enabled.
+func Profiling() bool { return prof.Enabled() }
+
+// Profile output formats accepted by WriteProfile.
+const (
+	ProfileFormatText  = "text"  // hot-line tables + per-loop stats
+	ProfileFormatJSON  = "json"  // the Profile structs, indented
+	ProfileFormatPprof = "pprof" // gzipped profile.proto for `go tool pprof`
+)
+
+// WriteProfile renders profiles collected from Measure outcomes
+// (Outcome.Base.Profile, Outcome.SLMS.Profile) in the given format.
+func WriteProfile(w io.Writer, format string, ps ...*Profile) error {
+	return prof.Write(w, format, ps...)
+}

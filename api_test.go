@@ -79,3 +79,50 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Error("SLC scheduled nothing")
 	}
 }
+
+// TestProfilingAPI turns cycle attribution on, measures a kernel, and
+// renders the resulting profiles in all three formats.
+func TestProfilingAPI(t *testing.T) {
+	if slms.Profiling() {
+		t.Fatal("profiling should default off")
+	}
+	slms.SetProfiling(true)
+	defer slms.SetProfiling(false)
+
+	prog, err := slms.Parse(`
+		float A[128]; float B[128];
+		float t = 0.0;
+		for (i = 1; i < 120; i++) {
+			t = A[i-1];
+			B[i] = B[i] + t;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := slms.Measure(prog, slms.MachineIA64(), slms.CompilerWeak, slms.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, slmsLeg := m.Base.Profile, m.SLMS.Profile
+	if base == nil || slmsLeg == nil {
+		t.Fatal("enabled profiling recorded no profiles")
+	}
+	tot := base.Totals()
+	if got := tot.Total(); got != m.Base.Cycles {
+		t.Errorf("base profile attributes %d cycles, simulated %d", got, m.Base.Cycles)
+	}
+	if len(slmsLeg.Loops) == 0 {
+		t.Error("slms profile carries no per-loop stats")
+	}
+	for _, format := range []string{
+		slms.ProfileFormatText, slms.ProfileFormatJSON, slms.ProfileFormatPprof,
+	} {
+		var buf strings.Builder
+		if err := slms.WriteProfile(&buf, format, base, slmsLeg); err != nil {
+			t.Errorf("WriteProfile %s: %v", format, err)
+		} else if buf.Len() == 0 {
+			t.Errorf("WriteProfile %s produced nothing", format)
+		}
+	}
+}

@@ -211,3 +211,110 @@ func TestExamplesRun(t *testing.T) {
 		})
 	}
 }
+
+// TestCLIContract pins the shared command-line conventions across every
+// command: a usage error exits 2, a pipeline error (bad input) exits 1,
+// success exits 0, and -q suppresses informational status output while
+// leaving errors on stderr.
+func TestCLIContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	garbage := "for (i = 0; i <" // unparseable
+
+	cases := []struct {
+		name string
+		// okArgs runs the happy path reading cliLoop from stdin;
+		// usageArgs must exit 2; badInput feeds garbage to okArgs and
+		// must exit badExit — 1 everywhere except slmslint, whose
+		// documented contract reserves 1 for lint findings and reports
+		// input errors as 2.
+		okArgs    []string
+		usageArgs []string
+		badExit   int
+	}{
+		{"slmsc", []string{"-"}, nil, 1},
+		{"slmslint", []string{"-nofilter", "-"}, nil, 2},
+		{"slmsexplain", []string{"-"}, nil, 1},
+		{"slmssim", []string{"-machine", "arm7", "-"}, nil, 1},
+		{"slmsprof", []string{"-machine", "arm7", "-top", "3", "-"}, nil, 1},
+		{"slmsbench", []string{"-figure", "caseB"}, []string{"-compare", "only-one.json"}, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			bin := buildTool(t, tc.name)
+			stdin := cliLoop
+			if tc.name == "slmsbench" {
+				stdin = ""
+			}
+
+			// Success: exit 0, and -q leaves stderr free of info lines.
+			run := func(args ...string) (string, string, int) {
+				cmd := exec.Command(bin, args...)
+				if stdin != "" {
+					cmd.Stdin = strings.NewReader(stdin)
+				}
+				var stdout, stderr bytes.Buffer
+				cmd.Stdout = &stdout
+				cmd.Stderr = &stderr
+				err := cmd.Run()
+				code := 0
+				if ee, ok := err.(*exec.ExitError); ok {
+					code = ee.ExitCode()
+				} else if err != nil {
+					t.Fatalf("%v: %v", args, err)
+				}
+				return stdout.String(), stderr.String(), code
+			}
+
+			stdout, stderr, code := run(append([]string{"-q"}, tc.okArgs...)...)
+			if code != 0 {
+				t.Fatalf("-q %v exited %d\nstderr:\n%s", tc.okArgs, code, stderr)
+			}
+			if stdout == "" {
+				t.Errorf("-q %v suppressed primary output", tc.okArgs)
+			}
+			for _, line := range strings.Split(stderr, "\n") {
+				if line != "" && !strings.HasPrefix(line, "slms: warning:") {
+					t.Errorf("-q %v left status output on stderr: %q", tc.okArgs, line)
+				}
+			}
+
+			// Usage error: exit 2 (bad flag for everyone; plus the
+			// command-specific usage mistake when one exists).
+			usages := [][]string{{"-definitely-not-a-flag"}}
+			if tc.usageArgs != nil {
+				usages = append(usages, tc.usageArgs)
+			}
+			if tc.name != "slmsbench" { // slmsbench needs no file argument
+				usages = append(usages, nil) // missing argument
+			}
+			for _, args := range usages {
+				saved := stdin
+				stdin = ""
+				_, _, code := run(args...)
+				stdin = saved
+				if code != 2 {
+					t.Errorf("%v exited %d, want usage code 2", args, code)
+				}
+			}
+
+			// Pipeline error: exit 1.
+			badArgs := tc.okArgs
+			if tc.name == "slmsbench" {
+				badArgs = []string{"-figure", "no-such-figure"}
+			} else {
+				stdin = garbage
+			}
+			_, stderr, code = run(badArgs...)
+			if code != tc.badExit {
+				t.Errorf("bad input exited %d, want %d\nstderr:\n%s", code, tc.badExit, stderr)
+			}
+			if strings.TrimSpace(stderr) == "" {
+				t.Errorf("bad input reported nothing on stderr")
+			}
+		})
+	}
+}

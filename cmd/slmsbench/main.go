@@ -12,6 +12,17 @@
 // (wall time per figure, simulated cycles, cycles/second, artifact
 // cache hit rate) to the -json path. -cpuprofile/-memprofile write
 // pprof profiles of whichever mode runs.
+//
+// -profile FILE turns the simulator's cycle-attribution profiler on
+// for the run and writes the suite's per-kernel profiles as a pprof
+// protobuf (readable with `go tool pprof FILE`); the BENCH json then
+// also carries per-kernel cause totals.
+//
+// -compare OLD.json NEW.json diffs two harness trajectories
+// benchstat-style (per-kernel cycle deltas gate deterministically;
+// wall-time deltas carry confidence intervals when either side has
+// repeat samples) and exits 1 when any kernel's simulated cycles
+// regressed beyond -threshold.
 package main
 
 import (
@@ -23,8 +34,10 @@ import (
 	"runtime/pprof"
 
 	"slms/internal/bench"
+	"slms/internal/bench/compare"
 	"slms/internal/obs"
 	"slms/internal/pipeline"
+	"slms/internal/prof"
 )
 
 func main() {
@@ -39,10 +52,29 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
+	profPath := flag.String("profile", "", "enable cycle attribution and write suite profiles (pprof protobuf) here")
+	doCompare := flag.Bool("compare", false, "compare two BENCH json files given as arguments; exit 1 on cycle regression")
+	threshold := flag.Float64("threshold", compare.DefaultCycleThreshold,
+		"relative cycle growth that -compare treats as a regression")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
 	pipeline.SetVerify(*verify)
+
+	if *doCompare {
+		if flag.NArg() != 2 {
+			obs.Errorf("usage: slmsbench -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			obs.Errorf("%v", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *profPath != "" {
+		prof.SetEnabled(true)
+	}
 
 	if *workers > 0 {
 		bench.SetWorkers(*workers)
@@ -73,6 +105,9 @@ func main() {
 	}
 
 	err := run(*figure, *list, *ablations, *census, *extensions, *summary, *jsonPath)
+	if err == nil && *profPath != "" {
+		err = writeSuiteProfiles(*profPath)
+	}
 	if ferr := tele.Finish(); err == nil {
 		err = ferr
 	}
@@ -80,6 +115,46 @@ func main() {
 		obs.Errorf("%v", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs two BENCH json trajectories and reports regressions.
+// The table is primary output on stdout; the failure itself is an error
+// so -q still exits nonzero on a regression.
+func runCompare(oldPath, newPath string, threshold float64) error {
+	old, err := compare.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := compare.Load(newPath)
+	if err != nil {
+		return err
+	}
+	rep, err := compare.Compare([]*bench.RunStats{old}, []*bench.RunStats{new},
+		compare.Options{CycleThreshold: threshold})
+	if err != nil {
+		return err
+	}
+	if !obs.Quiet() {
+		fmt.Print(rep.Table())
+	}
+	if rep.Failed() {
+		return fmt.Errorf("%d kernel(s) regressed beyond %.0f%%",
+			len(rep.Regressions), 100*rep.Threshold)
+	}
+	return nil
+}
+
+func writeSuiteProfiles(path string) error {
+	ps := bench.SuiteProfiles()
+	if len(ps) == 0 {
+		return fmt.Errorf("-profile: the selected mode recorded no measurements")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return prof.WritePprof(f, ps...)
 }
 
 // run dispatches one benchmark mode. Kept separate from main so the

@@ -21,6 +21,10 @@
 //	                  dependence-preservation proof with a differential
 //	                  interpreter fallback (see cmd/slmslint for reports)
 //	-verbose          print the per-loop transformation log to stderr
+//	-profile FILE     compile and simulate the transformed program on the
+//	                  reference machine (ia64-like, weak -O3) and write
+//	                  its cycle-attribution profile as a pprof protobuf
+//	                  (see cmd/slmsprof for machine/compiler sweeps)
 //	-trace FILE       write a pipeline trace at exit (-trace-format
 //	                  chrome loads in chrome://tracing; jsonl is one
 //	                  JSON object per span/decision)
@@ -36,7 +40,11 @@ import (
 
 	"slms/internal/analysis"
 	"slms/internal/core"
+	"slms/internal/interp"
+	"slms/internal/machine"
 	"slms/internal/obs"
+	"slms/internal/pipeline"
+	"slms/internal/prof"
 	"slms/internal/slc"
 	"slms/internal/source"
 )
@@ -50,10 +58,14 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print the transformation log")
 	useSLC := flag.Bool("slc", false, "run the full source-level-compiler driver (SLMS + fusion/interchange/mirroring/reduction-splitting)")
 	verify := flag.Bool("verify", false, "verify every transformation before printing (static proof, differential fallback)")
+	profPath := flag.String("profile", "", "simulate the transformed program on the reference machine and write its cycle profile (pprof) here")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
 	defer tele.Finish()
+	if *profPath != "" {
+		prof.SetEnabled(true)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmsc [flags] file.c  (use - for stdin)")
@@ -111,6 +123,11 @@ func main() {
 		} else {
 			fmt.Print(source.Print(res.Program))
 		}
+		if *profPath != "" {
+			if err := profileTransformed(*profPath, flag.Arg(0), res.Program); err != nil {
+				obs.Fatalf("%v", err)
+			}
+		}
 		return
 	}
 
@@ -143,4 +160,33 @@ func main() {
 	} else {
 		fmt.Print(source.Print(out))
 	}
+	if *profPath != "" {
+		if err := profileTransformed(*profPath, flag.Arg(0), out); err != nil {
+			obs.Fatalf("%v", err)
+		}
+	}
+}
+
+// profileTransformed compiles and simulates the transformed program on
+// the reference machine (ia64-like VLIW, weak -O3 — the paper's primary
+// target) and writes the run's cycle-attribution profile. Cross-machine
+// or base-vs-slms profiling lives in cmd/slmsprof.
+func profileTransformed(path, label string, p *source.Program) error {
+	if label == "-" {
+		label = "stdin"
+	}
+	m, _, err := pipeline.Run(p, machine.IA64Like(), pipeline.WeakO3, interp.NewEnv())
+	if err != nil {
+		return fmt.Errorf("-profile: %w", err)
+	}
+	if m.Profile == nil {
+		return fmt.Errorf("-profile: simulation recorded no profile")
+	}
+	m.Profile.Label = label
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return prof.WritePprof(f, m.Profile)
 }

@@ -1,0 +1,166 @@
+// Command slmsprof is the cycle-attribution profiler: it compiles a
+// mini-C program, runs it base and SLMS-transformed on a simulated
+// machine, and reports where every cycle went — per source line, per
+// cause (issue, hazard-stall, l1-miss, pipeline-fill,
+// prologue-epilogue, branch) — plus per-loop schedule-quality metrics
+// (II vs MII, issue-slot utilization, register pressure, fill/drain
+// overhead) joined with the SLMS2xx scheduling decision records.
+//
+// Usage:
+//
+//	slmsprof [flags] file.c        (use - for stdin)
+//
+// Flags:
+//
+//	-machine ia64|power4|pentium|arm7   target machine (default ia64)
+//	-compiler weak|strong               final compiler class (default weak)
+//	-O0                                 disable compiler scheduling
+//	-format text|json|pprof             output format (default text)
+//	-top N                              lines per hot-line table (default 20)
+//	-o FILE                             output file (default stdout)
+//	-base-only                          profile only the untransformed leg
+//	-q                                  suppress status output
+//
+// The pprof format is the standard gzipped profile.proto, so
+//
+//	slmsprof -format=pprof -o cycles.pb.gz kernel.c
+//	go tool pprof -top cycles.pb.gz       # or -http=: for flamegraphs
+//
+// renders flamegraphs keyed by (program, source line, cause).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"slms/internal/core"
+	"slms/internal/machine"
+	"slms/internal/obs"
+	"slms/internal/pipeline"
+	"slms/internal/prof"
+	"slms/internal/source"
+)
+
+func main() {
+	machineName := flag.String("machine", "ia64", "ia64, power4, pentium or arm7")
+	compiler := flag.String("compiler", "weak", "weak (GCC-like) or strong (ICC/XLC-like)")
+	o0 := flag.Bool("O0", false, "disable compiler scheduling")
+	format := flag.String("format", "text", "text, json or pprof")
+	top := flag.Int("top", 20, "lines per hot-line table (text format)")
+	outPath := flag.String("o", "", "output file (default stdout)")
+	baseOnly := flag.Bool("base-only", false, "profile only the untransformed leg")
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+	defer tele.Finish()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slmsprof [flags] file.c  (use - for stdin)")
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "json", "pprof":
+	default:
+		fmt.Fprintf(os.Stderr, "slmsprof: unknown -format %q (want text, json or pprof)\n", *format)
+		os.Exit(2)
+	}
+
+	label := flag.Arg(0)
+	var text []byte
+	var err error
+	if label == "-" {
+		label = "stdin"
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(label)
+		label = filepath.Base(label)
+	}
+	if err != nil {
+		obs.Fatalf("%v", err)
+	}
+	prog, err := source.Parse(string(text))
+	if err != nil {
+		obs.Fatalf("%v", err)
+	}
+
+	var d *machine.Desc
+	switch *machineName {
+	case "ia64":
+		d = machine.IA64Like()
+	case "power4":
+		d = machine.Power4Like()
+	case "pentium":
+		d = machine.PentiumLike()
+	case "arm7":
+		d = machine.ARM7Like()
+	default:
+		obs.Fatalf("unknown machine %q", *machineName)
+	}
+	var cc pipeline.Compiler
+	switch {
+	case *compiler == "weak" && *o0:
+		cc = pipeline.WeakNoO3
+	case *compiler == "weak":
+		cc = pipeline.WeakO3
+	case *compiler == "strong" && *o0:
+		cc = pipeline.StrongNoO3
+	case *compiler == "strong":
+		cc = pipeline.StrongO3
+	default:
+		obs.Fatalf("unknown compiler %q", *compiler)
+	}
+
+	prof.SetEnabled(true)
+	sp := obs.Root("slmsprof").Attr("machine", d.Name).Attr("compiler", cc.Name)
+	outs, errs, err := pipeline.RunExperimentsSpan(sp, prog, d, cc,
+		[]core.Options{core.DefaultOptions()}, nil)
+	sp.End()
+	if err == nil {
+		err = errs[0]
+	}
+	if err != nil {
+		obs.Fatalf("%v", err)
+	}
+	out := outs[0]
+
+	var ps []*prof.Profile
+	collect := func(p *prof.Profile) {
+		if p == nil {
+			return
+		}
+		if p.Label == "" {
+			p.Label = label
+		}
+		ps = append(ps, p)
+	}
+	collect(out.Base.Profile)
+	if !*baseOnly && out.SLMS != nil && out.SLMS.Profile != out.Base.Profile {
+		collect(out.SLMS.Profile)
+	}
+	if len(ps) == 0 {
+		obs.Fatalf("simulation recorded no profile")
+	}
+	obs.Logf("profiled %s on %s under %s: %d leg(s), slms applied: %v",
+		label, d.Name, cc.Name, len(ps), out.Applied)
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			obs.Fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "text" {
+		err = prof.WriteText(w, *top, ps...)
+	} else {
+		err = prof.Write(w, *format, ps...)
+	}
+	if err != nil {
+		obs.Fatalf("%v", err)
+	}
+}

@@ -16,6 +16,8 @@
 //	-compare                            run with and without SLMS and report the speedup
 //	-verify                             verify every SLMS transformation before compiling
 //	-dump                               print the lowered virtual ISA
+//	-profile FILE                       write a cycle-attribution profile
+//	                                    (pprof protobuf; see cmd/slmsprof)
 //	-trace FILE                         write a pipeline trace at exit
 //	-trace-format chrome|jsonl          trace file format (default chrome)
 //	-metrics FILE                       write a metrics dump at exit ("-" = stdout)
@@ -34,6 +36,8 @@ import (
 	"slms/internal/machine"
 	"slms/internal/obs"
 	"slms/internal/pipeline"
+	"slms/internal/prof"
+	"slms/internal/sim"
 	"slms/internal/source"
 )
 
@@ -45,11 +49,15 @@ func main() {
 	compare := flag.Bool("compare", false, "measure base vs SLMS and report the speedup")
 	dump := flag.Bool("dump", false, "print the lowered virtual ISA")
 	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
+	profPath := flag.String("profile", "", "write a cycle-attribution profile (pprof protobuf) here")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
 	defer tele.Finish()
 	pipeline.SetVerify(*verify)
+	if *profPath != "" {
+		prof.SetEnabled(true)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmssim [flags] file.c  (use - for stdin)")
@@ -114,6 +122,15 @@ func main() {
 		fmt.Printf("slms: %s\n", out.SLMS)
 		fmt.Printf("speedup: %.3f  energy ratio: %.3f  (slms applied: %v)\n",
 			out.Speedup, out.PowerRatio, out.Applied)
+		if *profPath != "" {
+			ms := []*sim.Metrics{out.Base}
+			if out.SLMS != nil && out.SLMS != out.Base {
+				ms = append(ms, out.SLMS)
+			}
+			if err := writeProfile(*profPath, flag.Arg(0), ms...); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
 
@@ -159,6 +176,38 @@ func main() {
 			fmt.Printf("loop body b%d: modulo scheduling rejected: %s\n", id, r.Reason)
 		}
 	}
+	if *profPath != "" {
+		if err := writeProfile(*profPath, flag.Arg(0), m); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeProfile dumps the runs' cycle-attribution profiles as a pprof
+// protobuf, labeling them with the input file name.
+func writeProfile(path, label string, ms ...*sim.Metrics) error {
+	if label == "-" {
+		label = "stdin"
+	}
+	var ps []*prof.Profile
+	for _, m := range ms {
+		if m == nil || m.Profile == nil {
+			continue
+		}
+		if m.Profile.Label == "" {
+			m.Profile.Label = label
+		}
+		ps = append(ps, m.Profile)
+	}
+	if len(ps) == 0 {
+		return fmt.Errorf("-profile: simulation recorded no profile")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return prof.WritePprof(f, ps...)
 }
 
 func fatal(err error) {

@@ -41,6 +41,7 @@ func Compile(p *source.Program) (*ir.Func, error) {
 	if err := cg.stmts(p.Stmts); err != nil {
 		return nil, err
 	}
+	cg.line = 0 // Halt belongs to no source line
 	cg.emit(&ir.Instr{Op: ir.Halt})
 	return cg.f, nil
 }
@@ -65,6 +66,10 @@ type codegen struct {
 	// heap object per chunk instead of one per instruction, and the
 	// call-site literals stay on the stack since emit only copies them.
 	chunk []ir.Instr
+	// line is the source line of the statement being lowered; emit
+	// stamps it on every instruction so the profiler can attribute
+	// cycles back to source lines.
+	line int32
 }
 
 func (cg *codegen) emit(in *ir.Instr) *ir.Instr {
@@ -74,6 +79,7 @@ func (cg *codegen) emit(in *ir.Instr) *ir.Instr {
 	p := &cg.chunk[0]
 	cg.chunk = cg.chunk[1:]
 	*p = *in
+	p.Line = cg.line
 	cg.cur.Instrs = append(cg.cur.Instrs, p)
 	return p
 }
@@ -123,6 +129,7 @@ func (cg *codegen) stmts(ss []source.Stmt) error {
 }
 
 func (cg *codegen) stmt(s source.Stmt) error {
+	cg.line = int32(s.Pos().Line)
 	switch s := s.(type) {
 	case *source.Decl:
 		return cg.decl(s)

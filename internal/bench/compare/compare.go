@@ -1,0 +1,311 @@
+// Package compare is the benchstat-style analyzer over BENCH_*.json
+// harness trajectories: it diffs two sets of RunStats per kernel and
+// per phase, with confidence intervals when either side carries repeat
+// samples, and gates on simulated-cycle regressions. Cycles are
+// deterministic (pure simulation), so the regression gate needs no
+// statistics: any relative growth beyond the threshold fails, which
+// makes the gate reproducible on any machine against a committed
+// baseline. Wall-clock columns are advisory and interval-qualified.
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"slms/internal/bench"
+)
+
+// Options configures a comparison.
+type Options struct {
+	// CycleThreshold is the relative simulated-cycle growth (per kernel,
+	// base or SLMS leg) that counts as a regression. 0 means the
+	// default, 5%.
+	CycleThreshold float64
+}
+
+// DefaultCycleThreshold is the regression gate's default: fail on >5%
+// cycle growth.
+const DefaultCycleThreshold = 0.05
+
+// Load reads one BENCH_*.json file.
+func Load(path string) (*bench.RunStats, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs bench.RunStats
+	if err := json.Unmarshal(blob, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rs, nil
+}
+
+// Stat is a sampled quantity: mean over N samples plus the half-width
+// of its 95% confidence interval (0 when N < 2).
+type Stat struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	CI   float64 `json:"ci"` // 95% half-width
+}
+
+func (s Stat) String() string {
+	if s.N == 0 {
+		return "-"
+	}
+	if s.N < 2 {
+		return fmt.Sprintf("%.4gs", s.Mean)
+	}
+	return fmt.Sprintf("%.4gs±%.2g", s.Mean, s.CI)
+}
+
+// PhaseDelta compares one phase's wall time between the two sides.
+type PhaseDelta struct {
+	Phase string `json:"phase"`
+	Old   Stat   `json:"old"`
+	New   Stat   `json:"new"`
+	// Delta is the relative mean change; Significant is true when the
+	// confidence intervals do not overlap (meaningless for N < 2).
+	Delta       float64 `json:"delta"`
+	Significant bool    `json:"significant"`
+}
+
+// KernelDelta compares one kernel between the two sides.
+type KernelDelta struct {
+	Kernel string `json:"kernel"`
+	// Deterministic cycle totals (0 when a side predates the fields).
+	OldBaseCycles int64 `json:"old_base_cycles"`
+	NewBaseCycles int64 `json:"new_base_cycles"`
+	OldSLMSCycles int64 `json:"old_slms_cycles"`
+	NewSLMSCycles int64 `json:"new_slms_cycles"`
+	// CycleDelta is the worst relative growth across the two legs.
+	CycleDelta float64 `json:"cycle_delta"`
+	// Gated is false when either side lacks cycle data.
+	Gated bool `json:"gated"`
+
+	Seconds PhaseDelta   `json:"seconds"` // total per-kernel wall time
+	Phases  []PhaseDelta `json:"phases,omitempty"`
+}
+
+// Report is the outcome of a comparison.
+type Report struct {
+	Threshold   float64       `json:"threshold"`
+	Kernels     []KernelDelta `json:"kernels"`
+	Suite       []PhaseDelta  `json:"suite_phases,omitempty"`
+	Wall        PhaseDelta    `json:"wall"`
+	Regressions []string      `json:"regressions,omitempty"`
+}
+
+// Failed reports whether any kernel regressed beyond the threshold.
+func (r *Report) Failed() bool { return len(r.Regressions) > 0 }
+
+// Compare diffs two sides, each one or more RunStats samples of the
+// same suite (multiple samples tighten the wall-time intervals; cycle
+// totals must agree across a side's samples, being deterministic).
+func Compare(old, new []*bench.RunStats, opts Options) (*Report, error) {
+	if len(old) == 0 || len(new) == 0 {
+		return nil, fmt.Errorf("compare: need at least one sample per side")
+	}
+	threshold := opts.CycleThreshold
+	if threshold == 0 {
+		threshold = DefaultCycleThreshold
+	}
+	rep := &Report{Threshold: threshold}
+
+	rep.Wall = phaseDelta("wall", walls(old), walls(new))
+	rep.Suite = suitePhases(old, new)
+
+	names := map[string]bool{}
+	oldK, newK := kernelMaps(old), kernelMaps(new)
+	for n := range oldK {
+		names[n] = true
+	}
+	for n := range newK {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		olds, news := oldK[name], newK[name]
+		kd := KernelDelta{Kernel: name}
+		if len(olds) > 0 {
+			kd.OldBaseCycles, kd.OldSLMSCycles = olds[0].BaseCycles, olds[0].SLMSCycles
+		}
+		if len(news) > 0 {
+			kd.NewBaseCycles, kd.NewSLMSCycles = news[0].BaseCycles, news[0].SLMSCycles
+		}
+		kd.Gated = kd.OldBaseCycles > 0 && kd.NewBaseCycles > 0
+		if kd.Gated {
+			kd.CycleDelta = max(
+				rel(kd.OldBaseCycles, kd.NewBaseCycles),
+				rel(kd.OldSLMSCycles, kd.NewSLMSCycles))
+			if kd.CycleDelta > threshold {
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"%s: cycles regressed %.1f%% (base %d→%d, slms %d→%d)",
+					name, 100*kd.CycleDelta,
+					kd.OldBaseCycles, kd.NewBaseCycles,
+					kd.OldSLMSCycles, kd.NewSLMSCycles))
+			}
+		}
+		kd.Seconds = phaseDelta("seconds", kernelSeconds(olds), kernelSeconds(news))
+		kd.Phases = kernelPhases(olds, news)
+		rep.Kernels = append(rep.Kernels, kd)
+	}
+	return rep, nil
+}
+
+func rel(old, new int64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return float64(new-old) / float64(old)
+}
+
+func walls(side []*bench.RunStats) []float64 {
+	var out []float64
+	for _, rs := range side {
+		out = append(out, rs.TotalWallSeconds)
+	}
+	return out
+}
+
+func kernelMaps(side []*bench.RunStats) map[string][]bench.KernelStat {
+	m := map[string][]bench.KernelStat{}
+	for _, rs := range side {
+		for _, ks := range rs.Kernels {
+			m[ks.Kernel] = append(m[ks.Kernel], ks)
+		}
+	}
+	return m
+}
+
+func kernelSeconds(ks []bench.KernelStat) []float64 {
+	var out []float64
+	for _, k := range ks {
+		out = append(out, k.Seconds)
+	}
+	return out
+}
+
+func kernelPhases(olds, news []bench.KernelStat) []PhaseDelta {
+	names := map[string]bool{}
+	collect := func(ks []bench.KernelStat, phase string) []float64 {
+		var out []float64
+		for _, k := range ks {
+			if v, ok := k.Phases[phase]; ok {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	for _, k := range olds {
+		for ph := range k.Phases {
+			names[ph] = true
+		}
+	}
+	for _, k := range news {
+		for ph := range k.Phases {
+			names[ph] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for ph := range names {
+		sorted = append(sorted, ph)
+	}
+	sort.Strings(sorted)
+	var out []PhaseDelta
+	for _, ph := range sorted {
+		out = append(out, phaseDelta(ph, collect(olds, ph), collect(news, ph)))
+	}
+	return out
+}
+
+func suitePhases(old, new []*bench.RunStats) []PhaseDelta {
+	collect := func(side []*bench.RunStats) map[string][]float64 {
+		m := map[string][]float64{}
+		for _, rs := range side {
+			for _, ps := range rs.Phases {
+				m[ps.Phase] = append(m[ps.Phase], ps.Seconds)
+			}
+		}
+		return m
+	}
+	om, nm := collect(old), collect(new)
+	names := map[string]bool{}
+	for n := range om {
+		names[n] = true
+	}
+	for n := range nm {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []PhaseDelta
+	for _, n := range sorted {
+		out = append(out, phaseDelta(n, om[n], nm[n]))
+	}
+	return out
+}
+
+func phaseDelta(name string, old, new []float64) PhaseDelta {
+	pd := PhaseDelta{Phase: name, Old: stat(old), New: stat(new)}
+	if pd.Old.Mean > 0 {
+		pd.Delta = (pd.New.Mean - pd.Old.Mean) / pd.Old.Mean
+	}
+	if pd.Old.N >= 2 && pd.New.N >= 2 {
+		lo1, hi1 := pd.Old.Mean-pd.Old.CI, pd.Old.Mean+pd.Old.CI
+		lo2, hi2 := pd.New.Mean-pd.New.CI, pd.New.Mean+pd.New.CI
+		pd.Significant = hi1 < lo2 || hi2 < lo1
+	}
+	return pd
+}
+
+// Table renders the report as an aligned text table: per-kernel cycle
+// and wall-time deltas, suite phase totals, and the regression list.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s   %-16s %-16s %8s\n",
+		"kernel", "old cycles", "new cycles", "delta", "old wall", "new wall", "delta")
+	fmt.Fprintln(&b, strings.Repeat("-", 96))
+	for _, kd := range r.Kernels {
+		cyc := "n/a"
+		oldC, newC := kd.OldBaseCycles+kd.OldSLMSCycles, kd.NewBaseCycles+kd.NewSLMSCycles
+		if kd.Gated {
+			cyc = fmt.Sprintf("%+.1f%%", 100*kd.CycleDelta)
+		}
+		fmt.Fprintf(&b, "%-14s %12d %12d %8s   %-16s %-16s %+7.1f%%\n",
+			kd.Kernel, oldC, newC, cyc,
+			kd.Seconds.Old, kd.Seconds.New, 100*kd.Seconds.Delta)
+	}
+	if len(r.Suite) > 0 {
+		fmt.Fprintf(&b, "\n%-14s %-16s %-16s %8s\n", "phase", "old", "new", "delta")
+		fmt.Fprintln(&b, strings.Repeat("-", 60))
+		for _, pd := range r.Suite {
+			sig := ""
+			if pd.Significant {
+				sig = "  (significant)"
+			}
+			fmt.Fprintf(&b, "%-14s %-16s %-16s %+7.1f%%%s\n",
+				pd.Phase, pd.Old, pd.New, 100*pd.Delta, sig)
+		}
+	}
+	fmt.Fprintf(&b, "\nwall: %s -> %s (%+.1f%%)\n", r.Wall.Old, r.Wall.New, 100*r.Wall.Delta)
+	if len(r.Regressions) > 0 {
+		fmt.Fprintf(&b, "\nREGRESSIONS (threshold %.0f%%):\n", 100*r.Threshold)
+		for _, reg := range r.Regressions {
+			fmt.Fprintf(&b, "  %s\n", reg)
+		}
+	} else {
+		fmt.Fprintf(&b, "no cycle regressions (threshold %.0f%%)\n", 100*r.Threshold)
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package compare
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slms/internal/bench"
+)
+
+func side(wall float64, kernels ...bench.KernelStat) *bench.RunStats {
+	return &bench.RunStats{
+		TotalWallSeconds: wall,
+		Kernels:          kernels,
+		Phases: []bench.PhaseStat{
+			{Phase: "sim", Count: 10, Seconds: wall * 0.6},
+			{Phase: "compile", Count: 10, Seconds: wall * 0.3},
+		},
+	}
+}
+
+func kernel(name string, base, slms int64, secs float64) bench.KernelStat {
+	return bench.KernelStat{
+		Kernel: name, Seconds: secs,
+		Phases:     map[string]float64{"sim": secs * 0.7, "compile": secs * 0.3},
+		BaseCycles: base, SLMSCycles: slms,
+	}
+}
+
+// A synthetic +10% cycle regression on one kernel must trip the gate;
+// a clean pair must not.
+func TestCompareDetectsSyntheticRegression(t *testing.T) {
+	old := side(2.0,
+		kernel("matmul", 1000, 600, 0.5),
+		kernel("fir", 2000, 900, 0.4))
+	good := side(2.1,
+		kernel("matmul", 1000, 600, 0.5),
+		kernel("fir", 2000, 900, 0.4))
+	bad := side(2.1,
+		kernel("matmul", 1000, 600, 0.5),
+		kernel("fir", 2000, 990, 0.4)) // slms leg +10%
+
+	rep, err := Compare([]*bench.RunStats{old}, []*bench.RunStats{good}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("clean comparison flagged regressions: %v", rep.Regressions)
+	}
+
+	rep, err = Compare([]*bench.RunStats{old}, []*bench.RunStats{bad}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("injected +10% slms-cycle regression not detected")
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "fir") {
+		t.Fatalf("regressions = %v, want exactly the fir kernel", rep.Regressions)
+	}
+	var fir *KernelDelta
+	for i := range rep.Kernels {
+		if rep.Kernels[i].Kernel == "fir" {
+			fir = &rep.Kernels[i]
+		}
+	}
+	if fir == nil || !fir.Gated {
+		t.Fatal("fir kernel missing or ungated in report")
+	}
+	if math.Abs(fir.CycleDelta-0.10) > 1e-9 {
+		t.Fatalf("fir cycle delta = %v, want 0.10", fir.CycleDelta)
+	}
+	if !strings.Contains(rep.Table(), "REGRESSIONS") {
+		t.Fatal("table does not surface the regression block")
+	}
+}
+
+// A custom threshold above the injected delta must pass the gate, and a
+// kernel without cycle data on either side must stay ungated rather
+// than failing spuriously.
+func TestCompareThresholdAndUngated(t *testing.T) {
+	old := side(1.0, kernel("k", 1000, 500, 0.2))
+	new := side(1.0, kernel("k", 1080, 500, 0.2)) // base +8%
+
+	rep, err := Compare([]*bench.RunStats{old}, []*bench.RunStats{new},
+		Options{CycleThreshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("+8%% under a 10%% threshold flagged: %v", rep.Regressions)
+	}
+
+	// Old side predates the cycle fields: no gate, no failure.
+	legacy := side(1.0, bench.KernelStat{Kernel: "k", Seconds: 0.2,
+		Phases: map[string]float64{"sim": 0.2}})
+	rep, err = Compare([]*bench.RunStats{legacy}, []*bench.RunStats{new}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || rep.Kernels[0].Gated {
+		t.Fatalf("legacy comparison should be ungated, got %+v", rep.Kernels[0])
+	}
+}
+
+// Repeat samples per side produce confidence intervals, and clearly
+// separated sides are marked significant.
+func TestCompareConfidenceIntervals(t *testing.T) {
+	olds := []*bench.RunStats{
+		side(1.00, kernel("k", 100, 50, 0.50)),
+		side(1.02, kernel("k", 100, 50, 0.51)),
+		side(0.98, kernel("k", 100, 50, 0.49)),
+	}
+	news := []*bench.RunStats{
+		side(2.00, kernel("k", 100, 50, 1.00)),
+		side(2.02, kernel("k", 100, 50, 1.01)),
+		side(1.98, kernel("k", 100, 50, 0.99)),
+	}
+	rep, err := Compare(olds, news, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall.Old.N != 3 || rep.Wall.New.N != 3 {
+		t.Fatalf("wall sample counts = %d/%d, want 3/3", rep.Wall.Old.N, rep.Wall.New.N)
+	}
+	if rep.Wall.Old.CI <= 0 || rep.Wall.New.CI <= 0 {
+		t.Fatalf("expected nonzero CIs, got %v / %v", rep.Wall.Old, rep.Wall.New)
+	}
+	if !rep.Wall.Significant {
+		t.Fatalf("2x wall-time change with tight CIs not significant: %+v", rep.Wall)
+	}
+	if math.Abs(rep.Wall.Delta-1.0) > 0.05 {
+		t.Fatalf("wall delta = %v, want ~1.0", rep.Wall.Delta)
+	}
+}
+
+func TestStatBasics(t *testing.T) {
+	if s := stat(nil); s.N != 0 || s.String() != "-" {
+		t.Fatalf("empty stat = %+v (%q)", s, s.String())
+	}
+	if s := stat([]float64{3}); s.Mean != 3 || s.CI != 0 {
+		t.Fatalf("single-sample stat = %+v", s)
+	}
+	s := stat([]float64{1, 2, 3})
+	if s.Mean != 2 {
+		t.Fatalf("mean = %v, want 2", s.Mean)
+	}
+	// sd = 1, n = 3, t(2) = 4.303 → CI = 4.303/sqrt(3)
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(s.CI-want) > 1e-9 {
+		t.Fatalf("CI = %v, want %v", s.CI, want)
+	}
+}

@@ -1,0 +1,48 @@
+package compare
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slms/internal/bench"
+)
+
+// TestRegressionGateAgainstBaseline is the CI regression gate: it
+// re-runs the full figure suite and compares its per-kernel simulated
+// cycles against the committed BENCH_4.json baseline. Cycles are
+// deterministic, so any delta beyond the 5% threshold is a real
+// scheduling or simulator change — either a regression to fix or an
+// intentional change that warrants re-recording the baseline
+// (`slmsbench -json BENCH_4.json`). Env-gated because it re-runs the
+// whole suite; CI sets SLMS_REGRESSION_GATE=1.
+func TestRegressionGateAgainstBaseline(t *testing.T) {
+	if os.Getenv("SLMS_REGRESSION_GATE") == "" {
+		t.Skip("set SLMS_REGRESSION_GATE=1 to run the regression gate")
+	}
+	baseline, err := Load(filepath.Join("..", "..", "..", "BENCH_4.json"))
+	if err != nil {
+		t.Fatalf("load committed baseline: %v", err)
+	}
+	_, current, err := bench.AllFiguresTimed()
+	if err != nil {
+		t.Fatalf("figure suite: %v", err)
+	}
+	rep, err := Compare([]*bench.RunStats{baseline}, []*bench.RunStats{current}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := 0
+	for _, kd := range rep.Kernels {
+		if kd.Gated {
+			gated++
+		}
+	}
+	if gated == 0 {
+		t.Fatal("no kernel had cycle data on both sides; the gate checked nothing")
+	}
+	t.Logf("gated %d kernels against the baseline\n%s", gated, rep.Table())
+	for _, reg := range rep.Regressions {
+		t.Errorf("regression: %s", reg)
+	}
+}

@@ -1,0 +1,48 @@
+package compare
+
+import "math"
+
+// stat computes the sample mean and the half-width of its 95%
+// confidence interval (Student's t on the standard error). With fewer
+// than two samples the interval is zero — the table column then shows
+// the bare value and no significance claim is made.
+func stat(xs []float64) Stat {
+	s := Stat{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(s.N-1))
+	s.CI = tValue(s.N-1) * sd / math.Sqrt(float64(s.N))
+	return s
+}
+
+// t95 holds two-sided 95% critical values of Student's t for 1..30
+// degrees of freedom; beyond that the normal approximation is used.
+var t95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tValue(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
+}

@@ -15,6 +15,7 @@ import (
 	"slms/internal/machine"
 	"slms/internal/obs"
 	"slms/internal/pipeline"
+	"slms/internal/prof"
 	"slms/internal/sim"
 	"slms/internal/source"
 )
@@ -112,32 +113,46 @@ func measure(k Kernel, d *machine.Desc, cc pipeline.Compiler) (*pipeline.Outcome
 	if errs[0] != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, errs[0])
 	}
-	recordKernelPhases(k.Name, parseD, outs)
 	best := outs[0]
 	if alt := outs[1]; errs[1] == nil && alt.Applied && alt.Speedup > best.Speedup {
 		best = alt
 	}
+	recordKernelMeasurement(k.Name, parseD, outs, best)
 	return best, nil
 }
 
-// kernelPhaseAgg accumulates per-kernel, per-phase wall seconds over
-// every measurement performed by the process. measure runs once per
-// memoized (kernel, machine, compiler) triple, so the aggregate is the
-// real work done to produce the figures, with cache hits near zero.
-var kernelPhaseAgg = struct {
-	sync.Mutex
-	m map[string]map[string]float64
-}{m: map[string]map[string]float64{}}
+// kernelAgg is the per-kernel accumulation over every measurement the
+// process performed: per-phase wall seconds, the deterministic cycle
+// totals of the best legs (the regression gate diffs these), and — when
+// profiling is on — cause totals plus the legs' full profiles.
+type kernelAgg struct {
+	phases     map[string]float64
+	baseCycles int64
+	slmsCycles int64
+	baseCauses prof.Counts
+	slmsCauses prof.Counts
+	profiled   bool
+	profiles   []*prof.Profile
+}
 
-func recordKernelPhases(kernel string, parseD time.Duration, outs []*pipeline.Outcome) {
-	kernelPhaseAgg.Lock()
-	defer kernelPhaseAgg.Unlock()
-	agg := kernelPhaseAgg.m[kernel]
+// kernelMeasurements accumulates per-kernel data over every measurement
+// performed by the process. measure runs once per memoized (kernel,
+// machine, compiler) triple, so the aggregate is the real work done to
+// produce the figures, with cache hits near zero.
+var kernelMeasurements = struct {
+	sync.Mutex
+	m map[string]*kernelAgg
+}{m: map[string]*kernelAgg{}}
+
+func recordKernelMeasurement(kernel string, parseD time.Duration, outs []*pipeline.Outcome, best *pipeline.Outcome) {
+	kernelMeasurements.Lock()
+	defer kernelMeasurements.Unlock()
+	agg := kernelMeasurements.m[kernel]
 	if agg == nil {
-		agg = map[string]float64{}
-		kernelPhaseAgg.m[kernel] = agg
+		agg = &kernelAgg{phases: map[string]float64{}}
+		kernelMeasurements.m[kernel] = agg
 	}
-	agg["parse"] += parseD.Seconds()
+	agg.phases["parse"] += parseD.Seconds()
 	for i, o := range outs {
 		if o == nil {
 			continue
@@ -147,31 +162,105 @@ func recordKernelPhases(kernel string, parseD time.Duration, outs []*pipeline.Ou
 			if i > 0 && strings.HasSuffix(ph, ".base") {
 				continue
 			}
-			agg[ph] += s
+			agg.phases[ph] += s
+		}
+	}
+	if best == nil || best.Base == nil {
+		return
+	}
+	agg.baseCycles += best.Base.Cycles
+	slms := best.SLMS
+	if slms == nil {
+		slms = best.Base // transform failed: report the base leg
+	}
+	agg.slmsCycles += slms.Cycles
+	if p := best.Base.Profile; p != nil {
+		agg.profiled = true
+		if p.Label == "" {
+			p.Label = kernel
+		}
+		t := p.Totals()
+		agg.baseCauses.Add(&t)
+		agg.profiles = append(agg.profiles, p)
+	}
+	if p := slms.Profile; p != nil {
+		agg.profiled = true
+		if p.Label == "" {
+			p.Label = kernel
+		}
+		t := p.Totals()
+		agg.slmsCauses.Add(&t)
+		if p != best.Base.Profile { // avoid double-listing a shared leg
+			agg.profiles = append(agg.profiles, p)
 		}
 	}
 }
 
-// KernelStat is the per-kernel phase-timing breakdown of a harness run.
+// KernelStat is the per-kernel breakdown of a harness run: phase wall
+// times, deterministic base/SLMS cycle totals (summed over every
+// machine/compiler configuration measured — the regression gate's
+// input) and, when the run profiled, per-cause cycle totals.
 type KernelStat struct {
 	Kernel  string             `json:"kernel"`
 	Seconds float64            `json:"seconds"` // sum over phases
 	Phases  map[string]float64 `json:"phases"`  // phase -> wall seconds
+	// Cycle totals of the best (reported) legs, summed across
+	// configurations. Deterministic: identical on every machine.
+	BaseCycles int64 `json:"base_cycles,omitempty"`
+	SLMSCycles int64 `json:"slms_cycles,omitempty"`
+	// Cause totals across configurations, present when profiling was on
+	// (slmsbench -profile).
+	BaseCauses *prof.Counts `json:"base_causes,omitempty"`
+	SLMSCauses *prof.Counts `json:"slms_causes,omitempty"`
 }
 
 func kernelStats() []KernelStat {
-	kernelPhaseAgg.Lock()
-	defer kernelPhaseAgg.Unlock()
-	out := make([]KernelStat, 0, len(kernelPhaseAgg.m))
-	for k, phases := range kernelPhaseAgg.m {
-		ks := KernelStat{Kernel: k, Phases: make(map[string]float64, len(phases))}
-		for ph, s := range phases {
+	kernelMeasurements.Lock()
+	defer kernelMeasurements.Unlock()
+	out := make([]KernelStat, 0, len(kernelMeasurements.m))
+	for k, agg := range kernelMeasurements.m {
+		ks := KernelStat{
+			Kernel: k, Phases: make(map[string]float64, len(agg.phases)),
+			BaseCycles: agg.baseCycles, SLMSCycles: agg.slmsCycles,
+		}
+		for ph, s := range agg.phases {
 			ks.Phases[ph] = s
 			ks.Seconds += s
+		}
+		if agg.profiled {
+			bc, sc := agg.baseCauses, agg.slmsCauses
+			ks.BaseCauses, ks.SLMSCauses = &bc, &sc
 		}
 		out = append(out, ks)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Kernel < out[j].Kernel })
+	return out
+}
+
+// SuiteProfiles returns every per-leg profile collected by profiled
+// measurements, sorted by (kernel, machine, compiler, leg) so pprof
+// output is deterministic. Empty unless prof.SetEnabled(true) was on
+// while the figures ran.
+func SuiteProfiles() []*prof.Profile {
+	kernelMeasurements.Lock()
+	defer kernelMeasurements.Unlock()
+	var out []*prof.Profile
+	for _, agg := range kernelMeasurements.m {
+		out = append(out, agg.profiles...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Compiler != b.Compiler {
+			return a.Compiler < b.Compiler
+		}
+		return a.Leg < b.Leg
+	})
 	return out
 }
 
@@ -553,7 +642,6 @@ func AllFigures() ([]*Figure, error) {
 // per figure, cycles simulated, simulation throughput and artifact
 // cache hit rate over the run.
 func AllFiguresTimed() ([]*Figure, *RunStats, error) {
-	startCycles := sim.SimulatedCycles()
 	startHits, startMisses := pipeline.CacheStats()
 	startSnap := obs.Default.Snapshot()
 	obs.GaugeName("bench.workers").Set(int64(Workers()))
@@ -593,7 +681,11 @@ func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 		})
 	}
 	stats.TotalWallSeconds = time.Since(start).Seconds()
-	stats.SimulatedCycles = sim.SimulatedCycles() - startCycles
+	endSnap := obs.Default.Snapshot()
+	// Per-run cycle count: the sim.cycles registry counter's growth over
+	// this run, not a never-resetting package global (which conflated
+	// concurrent harness runs).
+	stats.SimulatedCycles = endSnap.Counters["sim.cycles"] - startSnap.Counters["sim.cycles"]
 	if stats.TotalWallSeconds > 0 {
 		stats.CyclesPerSecond = float64(stats.SimulatedCycles) / stats.TotalWallSeconds
 	}
@@ -602,7 +694,7 @@ func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
 		stats.CacheHitRate = float64(stats.CacheHits) / float64(total)
 	}
-	stats.Phases = phaseDelta(startSnap, obs.Default.Snapshot())
+	stats.Phases = phaseDelta(startSnap, endSnap)
 	stats.Kernels = kernelStats()
 	return out, stats, nil
 }

@@ -172,6 +172,9 @@ type Instr struct {
 	Target int
 	// Tag disambiguates memory accesses.
 	Tag AffineTag
+	// Line is the 1-based source line the instruction was lowered from
+	// (0 = compiler-generated). The profiler attributes cycles to it.
+	Line int32
 }
 
 // String renders the instruction.

@@ -241,3 +241,104 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		sp.End()
 	}
 }
+
+// TestChromeTraceSchema validates -trace-format=chrome output against a
+// strict trace_event schema: every event carries a known phase, a
+// constant pid, a lane (tid), and non-negative timestamps/durations;
+// within each lane timestamps are monotonically non-decreasing (the
+// writer sorts by lane then time so identical traces serialize
+// identically, and chrome://tracing renders lanes left to right).
+func TestChromeTraceSchema(t *testing.T) {
+	tr := NewTracer()
+	Enable(tr)
+	defer Disable()
+
+	// Two span trees = two lanes, with nested children and decisions.
+	for _, name := range []string{"measure:k1", "measure:k2"} {
+		root := Root(name).Attr("machine", "ia64")
+		parse := root.Child("parse")
+		parse.End()
+		sim := root.Child("sim")
+		sim.Child("block").End()
+		sim.End()
+		RecordDecision(root, Decision{
+			Code: DecApplied, Verdict: VerdictAccept, Loop: "1:1",
+		})
+		root.End()
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf, FormatChrome); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full trace_event schema the tooling relies on. DisallowUnknownFields
+	// makes this a two-way check: no event carries fields the schema
+	// doesn't know about.
+	type event struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		TS    float64        `json:"ts"`
+		Dur   float64        `json:"dur"`
+		PID   int            `json:"pid"`
+		TID   int64          `json:"tid"`
+		Scope string         `json:"s"`
+		Args  map[string]any `json:"args"`
+	}
+	type doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var d doc
+	if err := dec.Decode(&d); err != nil {
+		t.Fatalf("chrome trace violates the trace_event schema: %v", err)
+	}
+	if len(d.TraceEvents) < 10 {
+		t.Fatalf("got %d events, want >= 10 (2 lanes x (name + 4 spans + decision))", len(d.TraceEvents))
+	}
+
+	lanes := map[int64]float64{} // lane -> last ts seen
+	laneNames := map[int64]bool{}
+	for i, ev := range d.TraceEvents {
+		switch ev.Phase {
+		case "X": // complete span
+			if ev.Dur < 0 {
+				t.Errorf("event %d (%s): negative duration %v", i, ev.Name, ev.Dur)
+			}
+		case "M": // metadata
+			if ev.Name != "thread_name" || ev.Args["name"] == "" {
+				t.Errorf("event %d: metadata without a lane name: %+v", i, ev)
+			}
+			laneNames[ev.TID] = true
+		case "i": // instant decision
+			if ev.Scope != "t" {
+				t.Errorf("event %d (%s): instant scope = %q, want \"t\"", i, ev.Name, ev.Scope)
+			}
+		default:
+			t.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Phase)
+		}
+		if ev.PID != 1 {
+			t.Errorf("event %d (%s): pid = %d, want the constant 1", i, ev.Name, ev.PID)
+		}
+		if ev.TID == 0 {
+			t.Errorf("event %d (%s): no lane (tid 0)", i, ev.Name)
+		}
+		if ev.TS < 0 {
+			t.Errorf("event %d (%s): negative ts %v", i, ev.Name, ev.TS)
+		}
+		if last, seen := lanes[ev.TID]; seen && ev.TS < last {
+			t.Errorf("event %d (%s): ts %v regresses below %v within lane %d",
+				i, ev.Name, ev.TS, last, ev.TID)
+		}
+		lanes[ev.TID] = ev.TS
+	}
+	if len(lanes) != 2 {
+		t.Errorf("got %d lanes, want 2 (one per root span)", len(lanes))
+	}
+	for tid := range lanes {
+		if !laneNames[tid] {
+			t.Errorf("lane %d has no thread_name metadata", tid)
+		}
+	}
+}

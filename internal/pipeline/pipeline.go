@@ -202,6 +202,9 @@ func runTimed(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler,
 	if err != nil {
 		return nil, nil, compileD, simD, fmt.Errorf("pipeline: %w\n%s", err, art.Func.Dump())
 	}
+	// Standalone runs (slmssim, slmsc -profile) get loop stats without
+	// decision records; RunExperimentsSpan re-annotates with them.
+	annotateProfile(m, art, d, cc, "", nil)
 	return m, art, compileD, simD, nil
 }
 
@@ -273,6 +276,7 @@ func RunExperimentsSpan(sp *obs.Span, prog *source.Program, d *machine.Desc, cc 
 	if err != nil {
 		return nil, nil, fmt.Errorf("base run: %w", err)
 	}
+	annotateProfile(mBase, artBase, d, cc, "base", nil)
 	// Spill slots are simulator-internal storage, not program results.
 	delete(envBase.Arrays, backend.SpillArray)
 
@@ -333,6 +337,7 @@ func RunExperimentsSpan(sp *obs.Span, prog *source.Program, d *machine.Desc, cc 
 			continue
 		}
 		out.SLMS, out.SLMSArt = mSLMS, artSLMS
+		annotateProfile(mSLMS, artSLMS, d, cc, "slms", results)
 
 		// Correctness: both executions must leave identical state (modulo
 		// reduction reassociation tolerance).

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"sort"
+
+	"slms/internal/core"
+	"slms/internal/machine"
+	"slms/internal/prof"
+	"slms/internal/sim"
+)
+
+// LoopStats derives per-loop schedule-quality records from a run's raw
+// cycle attribution plus its compile artifact: II vs MII efficiency,
+// issue-slot utilization, register-pressure high-water mark and
+// fill/drain overhead, joined with the SLMS2xx decision (when results
+// from the transform are available) so each loop states both what SLMS
+// decided and what it cost or saved. Returns nil when the run carried
+// no profile.
+func LoopStats(art *Artifact, m *sim.Metrics, d *machine.Desc, results []*core.Result) []prof.LoopStat {
+	if m == nil || m.Profile == nil || art == nil {
+		return nil
+	}
+	byBlock := map[int]*prof.BlockStat{}
+	for i := range m.Profile.Blocks {
+		bs := &m.Profile.Blocks[i]
+		byBlock[bs.Block] = bs
+	}
+	// Prologue/epilogue cycles by source line, to fold scaffolding cost
+	// into the loop whose body lines it duplicates.
+	proEpiByLine := map[int]int64{}
+	for _, ls := range m.Profile.Lines {
+		if v := ls.Counts[prof.CauseProEpi]; v > 0 {
+			proEpiByLine[ls.Line] = v
+		}
+	}
+
+	ids := make([]int, 0, len(art.LoopSched))
+	for id := range art.LoopSched {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var out []prof.LoopStat
+	for _, id := range ids {
+		if id >= len(m.ExecCounts) || m.ExecCounts[id] == 0 {
+			continue // never-executed copy (e.g. short-trip fallback)
+		}
+		b := art.Func.Blocks[id]
+		bs := byBlock[id]
+		ls := prof.LoopStat{Block: id, Execs: m.ExecCounts[id]}
+		var cycles int64
+		if bs != nil {
+			ls.Line = bs.Line
+			cycles = bs.Counts.Total()
+		}
+		ls.Cycles = cycles
+		ls.CyclesPerIter = float64(cycles) / float64(ls.Execs)
+
+		if r := art.IMSResults[id]; r != nil && r.OK {
+			ls.II = r.II
+			ls.MII = max(r.ResMII, r.RecMII)
+			if ls.II > 0 {
+				ls.Efficiency = float64(ls.MII) / float64(ls.II)
+			}
+			ls.PressInt, ls.PressFloat = r.PressInt, r.PressFloat
+		} else if art.Alloc != nil {
+			ls.PressInt, ls.PressFloat = art.Alloc.MaxLiveInt, art.Alloc.MaxLiveFloat
+		}
+		if cycles > 0 && d.IssueWidth > 0 {
+			issued := ls.Execs * int64(len(b.Instrs))
+			ls.IssueUtil = float64(issued) / (float64(cycles) * float64(d.IssueWidth))
+		}
+
+		// Fill/drain overhead: pipeline fill charged to the body block
+		// plus prologue/epilogue cycles on this body's source lines.
+		var proEpi int64
+		seen := map[int]bool{}
+		for _, in := range b.Instrs {
+			l := int(in.Line)
+			if l != 0 && !seen[l] {
+				seen[l] = true
+				proEpi += proEpiByLine[l]
+			}
+		}
+		var fill int64
+		if bs != nil {
+			fill = bs.Counts[prof.CauseFill]
+		}
+		if denom := cycles + proEpi; denom > 0 {
+			ls.FillDrainFrac = float64(fill+proEpi) / float64(denom)
+		}
+
+		joinDecision(&ls, results)
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// joinDecision attaches the decision record of the nearest enclosing
+// loop statement: the result with the greatest source line at or before
+// the body's first line (body statements sit below their `for` header).
+func joinDecision(ls *prof.LoopStat, results []*core.Result) {
+	var best *core.Result
+	for _, r := range results {
+		if r.Pos.Line > ls.Line {
+			continue
+		}
+		if best == nil || r.Pos.Line > best.Pos.Line {
+			best = r
+		}
+	}
+	if best != nil {
+		ls.DecisionCode = best.Decision.Code
+		ls.DecisionVerdict = best.Decision.Verdict
+	}
+}
+
+// annotateProfile labels a leg's profile and attaches its loop stats.
+func annotateProfile(m *sim.Metrics, art *Artifact, d *machine.Desc, cc Compiler,
+	leg string, results []*core.Result) {
+	if m == nil || m.Profile == nil {
+		return
+	}
+	m.Profile.Compiler = cc.Name
+	m.Profile.Leg = leg
+	m.Profile.Loops = LoopStats(art, m, d, results)
+}

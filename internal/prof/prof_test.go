@@ -1,0 +1,113 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Profile {
+	p := &Profile{
+		Label: "kernel8", Machine: "ia64-like VLIW", Compiler: "weak -O3", Leg: "slms",
+		Cycles: 110, Instrs: 300,
+		Lines: []LineStat{
+			{Line: 3, Counts: Counts{60, 20, 10, 5, 3, 2}},
+			{Line: 5, Counts: Counts{7, 2, 0, 0, 0, 1}},
+		},
+	}
+	p.Loops = []LoopStat{{
+		Block: 2, Line: 3, Execs: 100, Cycles: 100, CyclesPerIter: 1.0,
+		II: 2, MII: 2, Efficiency: 1.0, IssueUtil: 0.5,
+		DecisionCode: "SLMS200", DecisionVerdict: "accept",
+	}}
+	return p
+}
+
+func TestCountsAndFormats(t *testing.T) {
+	p := sample()
+	tot := p.Totals()
+	if got := tot.Total(); got != 110 {
+		t.Fatalf("Totals().Total() = %d, want 110", got)
+	}
+
+	var text bytes.Buffer
+	if err := WriteText(&text, 10, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kernel8", "ia64-like VLIW", "issue", "l1-miss", "SLMS200", "II=2"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output lacks %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := Write(&js, "json", p); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Profile
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("json output does not round-trip: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Cycles != 110 || len(decoded[0].Lines) != 2 {
+		t.Fatalf("json round-trip mangled the profile: %+v", decoded)
+	}
+
+	if err := Write(io.Discard, "nonsense", p); err == nil {
+		t.Fatal("unknown format silently accepted")
+	}
+}
+
+// The pprof output must be a well-formed gzipped profile.proto whose
+// samples preserve the cycle totals.
+func TestPprofWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("pprof output is not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gzip stream truncated: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty profile.proto")
+	}
+}
+
+// Acceptance: the standard toolchain's pprof reader must load our
+// profiles and report the per-cause cycle split.
+func TestGoToolPprofAccepts(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	path := filepath.Join(t.TempDir(), "cycles.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePprof(f, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-top", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof rejected the profile: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Type: cycles", "issue", "hazard-stall"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pprof -top output lacks %q:\n%s", want, out)
+		}
+	}
+}

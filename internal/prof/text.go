@@ -1,0 +1,137 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Output formats accepted by Write and cmd/slmsprof.
+const (
+	FormatText  = "text"
+	FormatJSON  = "json"
+	FormatPprof = "pprof"
+)
+
+// Write renders profiles in the given format. Text prints a hot-line
+// table plus a per-loop schedule-quality table for each profile; json
+// emits the profiles as a JSON array; pprof emits a gzipped
+// profile.proto that `go tool pprof` accepts.
+func Write(w io.Writer, format string, ps ...*Profile) error {
+	switch format {
+	case FormatText, "":
+		return WriteText(w, 0, ps...)
+	case FormatJSON:
+		return WriteJSON(w, ps...)
+	case FormatPprof:
+		return WritePprof(w, ps...)
+	default:
+		return fmt.Errorf("prof: unknown format %q (want %q, %q or %q)",
+			format, FormatText, FormatJSON, FormatPprof)
+	}
+}
+
+// WriteJSON emits the profiles as an indented JSON array.
+func WriteJSON(w io.Writer, ps ...*Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ps)
+}
+
+// WriteText renders each profile as a hot-line table (lines sorted by
+// attributed cycles, descending; top limits rows, 0 = all) followed by
+// the loop schedule-quality table.
+func WriteText(w io.Writer, top int, ps ...*Profile) error {
+	for i, p := range ps {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeOneText(w, p, top); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOneText(w io.Writer, p *Profile, top int) error {
+	name := p.Label
+	if name == "" {
+		name = "(unnamed)"
+	}
+	var ctx []string
+	if p.Machine != "" {
+		ctx = append(ctx, p.Machine)
+	}
+	if p.Compiler != "" {
+		ctx = append(ctx, p.Compiler)
+	}
+	if p.Leg != "" {
+		ctx = append(ctx, p.Leg)
+	}
+	hdr := fmt.Sprintf("cycle profile: %s", name)
+	if len(ctx) > 0 {
+		hdr += " [" + strings.Join(ctx, ", ") + "]"
+	}
+	fmt.Fprintf(w, "%s\n%d cycles, %d instrs\n", hdr, p.Cycles, p.Instrs)
+
+	lines := make([]LineStat, len(p.Lines))
+	copy(lines, p.Lines)
+	sort.SliceStable(lines, func(i, j int) bool {
+		ti, tj := lines[i].Counts.Total(), lines[j].Counts.Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return lines[i].Line < lines[j].Line
+	})
+	if top > 0 && len(lines) > top {
+		lines = lines[:top]
+	}
+	fmt.Fprintf(w, "%6s %10s %6s  %10s %10s %10s %10s %10s %10s\n",
+		"line", "cycles", "%", "issue", "hazard", "l1-miss", "fill", "pro/epi", "branch")
+	for _, ls := range lines {
+		tot := ls.Counts.Total()
+		if tot == 0 {
+			continue
+		}
+		pct := 0.0
+		if p.Cycles > 0 {
+			pct = 100 * float64(tot) / float64(p.Cycles)
+		}
+		lineCol := fmt.Sprintf("%d", ls.Line)
+		if ls.Line == 0 {
+			lineCol = "(gen)"
+		}
+		fmt.Fprintf(w, "%6s %10d %5.1f%%  %10d %10d %10d %10d %10d %10d\n",
+			lineCol, tot, pct,
+			ls.Counts[CauseIssue], ls.Counts[CauseHazard], ls.Counts[CauseMiss],
+			ls.Counts[CauseFill], ls.Counts[CauseProEpi], ls.Counts[CauseBranch])
+	}
+	if len(p.Loops) > 0 {
+		fmt.Fprintf(w, "loops:\n")
+		for _, l := range p.Loops {
+			var b strings.Builder
+			fmt.Fprintf(&b, "  line %d: %d iters, %.2f cyc/iter", l.Line, l.Execs, l.CyclesPerIter)
+			if l.II > 0 {
+				fmt.Fprintf(&b, ", II=%d MII=%d eff=%.2f", l.II, l.MII, l.Efficiency)
+			}
+			if l.IssueUtil > 0 {
+				fmt.Fprintf(&b, ", util=%.2f", l.IssueUtil)
+			}
+			if l.PressInt > 0 || l.PressFloat > 0 {
+				fmt.Fprintf(&b, ", press=int:%d/fp:%d", l.PressInt, l.PressFloat)
+			}
+			if l.FillDrainFrac > 0 {
+				fmt.Fprintf(&b, ", fill+drain=%.1f%%", 100*l.FillDrainFrac)
+			}
+			if l.DecisionCode != "" {
+				fmt.Fprintf(&b, ", %s %s", l.DecisionCode, l.DecisionVerdict)
+			}
+			fmt.Fprintf(w, "%s\n", b.String())
+		}
+	}
+	return nil
+}

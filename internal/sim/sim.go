@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync/atomic"
 
 	"slms/internal/backend"
 	"slms/internal/ims"
@@ -33,6 +32,7 @@ import (
 	"slms/internal/ir"
 	"slms/internal/machine"
 	"slms/internal/obs"
+	"slms/internal/prof"
 	"slms/internal/source"
 )
 
@@ -75,6 +75,9 @@ type Metrics struct {
 	// ExecCounts records how many times each block executed (indexed by
 	// block ID), letting harnesses find the hot loop.
 	ExecCounts []int64
+	// Profile is the run's cycle attribution, filled only when
+	// prof.Enabled(); its per-cause counts sum exactly to Cycles.
+	Profile *prof.Profile
 }
 
 // String renders the metrics.
@@ -84,14 +87,6 @@ func (m *Metrics) String() string {
 		m.Cycles, m.Energy, m.Instrs, m.Loads, m.Stores, m.CacheMiss)
 	return b.String()
 }
-
-// totalCycles accumulates simulated cycles across every Run call in the
-// process; benchmark harnesses report it as simulation throughput.
-var totalCycles atomic.Int64
-
-// SimulatedCycles returns the cumulative number of cycles simulated by
-// all Run calls so far (process-wide, safe for concurrent use).
-func SimulatedCycles() int64 { return totalCycles.Load() }
 
 // vtag is the simulator-internal value type tag. It mirrors source.Type
 // in a single byte so register values stay small (the register file is
@@ -197,6 +192,7 @@ type instrInfo struct {
 	lat    int64
 	fu     uint8
 	mem    int32 // index into simulator.bindings, -1 for non-mem ops
+	slot   int32 // profiler (block, line) slot; valid only when profiling
 }
 
 // Run simulates f on machine d with timing plan, reading inputs from and
@@ -212,6 +208,9 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 		cache: newCache(d.Cache),
 		m:     &Metrics{ExecCounts: make([]int64, len(f.Blocks))},
 		limit: maxInstrs,
+	}
+	if prof.Enabled() {
+		s.pr = newProfState(f, d)
 	}
 	s.predecode()
 	// Seed scalar home registers from the environment.
@@ -230,7 +229,9 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 		env.Scalars[name] = toInterp(s.regs[r], f.RegTypes[r])
 	}
 	s.m.Energy += d.Energy.Static * float64(s.m.Cycles)
-	totalCycles.Add(s.m.Cycles)
+	if s.pr != nil {
+		s.m.Profile = s.pr.fold(f, s.m, d)
+	}
 	simRuns.Add(1)
 	simCycles.Add(s.m.Cycles)
 	simInstrs.Add(s.m.Instrs)
@@ -284,6 +285,10 @@ type simulator struct {
 	lastBlock int // previously executed block
 	prevBlock int // block before that
 
+	// pr is the cycle-attribution accumulator; nil unless profiling is
+	// enabled, and every hot-path touch is behind a nil check.
+	pr *profState
+
 	nextBase int64 // array base address allocator
 }
 
@@ -315,9 +320,20 @@ func (s *simulator) predecode() {
 				}
 				ii.mem = id
 			}
+			if s.pr != nil {
+				ii.slot = s.pr.slotFor(b.ID, in.Line)
+			}
 			infos[i] = ii
 		}
 		s.info[b.ID] = infos
+		if s.pr != nil && s.plan != nil {
+			if bt := &s.plan.Blocks[b.ID]; bt.Sched != nil {
+				s.pr.schedIssue[b.ID] = int32(bt.Sched.Bundles)
+			}
+		}
+	}
+	if s.pr != nil {
+		s.pr.finishPredecode()
 	}
 }
 
@@ -359,28 +375,34 @@ func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 			(s.lastBlock >= 0 && s.lastBlock < len(s.plan.Blocks) &&
 				s.plan.Blocks[s.lastBlock].LoopHead &&
 				s.plan.Blocks[s.lastBlock].BodyID == b.ID && s.prevBlock == b.ID)
+		var add int64
 		switch {
 		case bt.LoopHead && s.lastBlock == bt.BodyID:
 			// Rotated loop: the back edge already paid for the test.
 		case bt.IMS != nil && bt.IMS.OK:
 			if repeat {
-				s.m.Cycles += int64(bt.IMS.II)
+				add = int64(bt.IMS.II)
 			} else {
-				s.m.Cycles += int64(bt.IMS.SL)
+				add = int64(bt.IMS.SL)
 			}
 		case bt.Sched != nil:
 			if repeat {
-				s.m.Cycles += int64(bt.Sched.SteadyLen)
+				add = int64(bt.Sched.SteadyLen)
 			} else {
-				s.m.Cycles += int64(bt.Sched.Len)
+				add = int64(bt.Sched.Len)
 			}
 		default:
-			s.m.Cycles += int64(len(b.Instrs))
+			add = int64(len(b.Instrs))
+		}
+		s.m.Cycles += add
+		if s.pr != nil {
+			s.pr.chargeStatic(b, bt, repeat, add)
 		}
 	}
 	next = b.ID + 1
 	infos := s.info[b.ID]
 	inOrder := s.d.Policy == machine.InOrder
+	profInOrder := inOrder && s.pr != nil
 	for idx, in := range b.Instrs {
 		s.m.Instrs++
 		if s.m.Instrs > s.limit {
@@ -388,7 +410,9 @@ func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 		}
 		ii := &infos[idx]
 		s.m.Energy += ii.energy
-		if inOrder {
+		if profInOrder {
+			s.issueInOrderProf(in, ii)
+		} else if inOrder {
 			s.issueInOrder(in, ii)
 		}
 		switch in.Op {
@@ -405,6 +429,10 @@ func (s *simulator) execBlock(b *ir.Block) (next int, halted bool, err error) {
 			}
 			return next, false, nil
 		case ir.Halt:
+			if profInOrder {
+				// run() pays cycle+1 on halt; attribute the final cycle.
+				s.pr.charge(ii.slot, prof.CauseIssue, 1)
+			}
 			return 0, true, nil
 		default:
 			if err := s.exec(in, ii); err != nil {
@@ -442,22 +470,83 @@ func (s *simulator) issueInOrder(in *ir.Instr, ii *instrInfo) {
 	}
 }
 
+// issueInOrderProf is issueInOrder with cycle attribution: the same
+// timing decisions instruction for instruction, but every cycle the
+// model advances is charged to the stalling instruction's slot. Kept as
+// a separate copy so the unprofiled path stays branch-free; execBlock
+// picks the variant once per instruction.
+func (s *simulator) issueInOrderProf(in *ir.Instr, ii *instrInfo) {
+	earliest := s.cycle
+	crit := -1
+	for _, a := range in.Args {
+		if a.Kind == ir.KReg && s.regReady[a.Reg] > earliest {
+			earliest = s.regReady[a.Reg]
+			crit = a.Reg
+		}
+	}
+	fu := ii.fu
+	for earliest > s.cycle || s.issued >= s.d.IssueWidth || s.fuUsed[fu] >= s.d.Units[fu] {
+		var c prof.Cause
+		switch {
+		case s.issued > 0:
+			// The cycle being closed out issued instructions: work.
+			c = prof.CauseIssue
+		case earliest > s.cycle && crit >= 0 && s.pr.missReady[crit] &&
+			s.cycle >= earliest-s.pr.penalty:
+			// The tail of the wait traced to an L1 miss on the
+			// critical register; the head was plain latency.
+			c = prof.CauseMiss
+		default:
+			c = prof.CauseHazard
+		}
+		s.pr.charge(ii.slot, c, 1)
+		s.cycle++
+		s.issued = 0
+		s.fuUsed = [4]int{}
+	}
+	s.issued++
+	s.fuUsed[fu]++
+	if in.Dst >= 0 {
+		s.regReady[in.Dst] = s.cycle + ii.lat
+		s.pr.missReady[in.Dst] = false
+	}
+	if fu == uint8(machine.FUBranch) {
+		s.pr.charge(ii.slot, prof.CauseBranch, int64(s.d.Lat.Branch))
+		s.cycle += int64(s.d.Lat.Branch)
+		s.issued = 0
+		s.fuUsed = [4]int{}
+	}
+}
+
 // chargeMem charges an L1 miss depending on the issue policy.
-func (s *simulator) chargeMem(in *ir.Instr, addr int64) {
+func (s *simulator) chargeMem(in *ir.Instr, ii *instrInfo, addr int64) {
 	hit := s.cache.access(addr)
 	if hit {
 		return
 	}
 	s.m.CacheMiss++
 	s.m.Energy += s.d.Energy.Miss
+	penalty := int64(s.d.Cache.MissPenalty)
 	if s.d.Policy == machine.InOrder {
 		if in.Dst >= 0 {
-			s.regReady[in.Dst] += int64(s.d.Cache.MissPenalty)
+			// The penalty surfaces later as a stall on the loaded
+			// register; flag it so the stall classifier charges the
+			// waiting cycles (if any materialize) to the miss.
+			s.regReady[in.Dst] += penalty
+			if s.pr != nil {
+				s.pr.missReady[in.Dst] = true
+			}
 		} else {
-			s.cycle += int64(s.d.Cache.MissPenalty)
+			s.cycle += penalty
+			if s.pr != nil {
+				s.pr.charge(ii.slot, prof.CauseMiss, penalty)
+			}
 		}
 	} else {
-		s.m.Cycles += int64(s.d.Cache.MissPenalty)
+		s.m.Cycles += penalty
+		if s.pr != nil {
+			s.pr.chargeBlock(int(s.pr.slotBlock[ii.slot]), prof.CauseMiss, penalty)
+		}
 	}
 }
 
@@ -663,7 +752,7 @@ func (s *simulator) exec(in *ir.Instr, ii *instrInfo) error {
 		if bd.isSpill {
 			s.m.SpillLoads++
 		}
-		s.chargeMem(in, bd.base+idx*8)
+		s.chargeMem(in, ii, bd.base+idx*8)
 		a := bd.arr
 		var v value
 		switch a.Type {
@@ -691,7 +780,7 @@ func (s *simulator) exec(in *ir.Instr, ii *instrInfo) error {
 		if bd.isSpill {
 			s.m.SpillStores++
 		}
-		s.chargeMem(in, bd.base+idx*8)
+		s.chargeMem(in, ii, bd.base+idx*8)
 		a := bd.arr
 		v := s.val(in.Args[1])
 		switch {
