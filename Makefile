@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build test race vet lint fuzz bench figures profile cycleprofile gate baseline clean
+.PHONY: all build test race vet lint fuzz bench figures profile cycleprofile gate baseline serve loadsmoke clean
 
 all: build vet test
 
@@ -36,6 +36,7 @@ lint: vet
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParser -fuzztime=10s ./internal/source/
 	$(GO) test -run=NONE -fuzz=FuzzFilter -fuzztime=10s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzRequestDecode -fuzztime=10s ./internal/server/
 
 # Single-pass smoke of every Benchmark* (no statistics); use
 # `go test -bench . -benchtime 10x ./internal/bench/` for real numbers.
@@ -66,6 +67,15 @@ gate:
 # reproducible on any machine).
 baseline:
 	$(GO) run ./cmd/slmsbench -q -profile suite-cycles.pb.gz -json BENCH_4.json > /dev/null
+
+# Run the compilation service on the default address (127.0.0.1:8347).
+serve:
+	$(GO) run ./cmd/slmsd
+
+# The CI load-smoke battery: cached-path speedup and p99 latency budget
+# on a live server, plus drain-under-load losing zero admitted requests.
+loadsmoke:
+	SLMS_LOAD_SMOKE=1 $(GO) test -run TestLoadSmoke -v ./internal/server/
 
 clean:
 	rm -f cpu.pprof mem.pprof cycles.pb.gz suite-cycles.pb.gz

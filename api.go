@@ -1,6 +1,7 @@
 package slms
 
 import (
+	"context"
 	"io"
 
 	"slms/internal/core"
@@ -119,6 +120,22 @@ func Measure(p *Program, m *Machine, cc Compiler, opts Options, seed func(*Env))
 	return pipeline.RunExperiment(p, pipeline.Experiment{
 		Machine: m, Compiler: cc, SLMS: opts,
 	}, seed)
+}
+
+// MeasureCtx is Measure honoring a context: the simulator polls the
+// deadline every few thousand simulated instructions and uncached
+// compilation checks it between scheduling rounds, so ctx bounds the
+// whole measurement. The returned error wraps ctx.Err() on
+// cancellation (test with errors.Is(err, context.DeadlineExceeded)).
+func MeasureCtx(ctx context.Context, p *Program, m *Machine, cc Compiler, opts Options, seed func(*Env)) (*Metrics, error) {
+	outs, errs, err := pipeline.RunExperimentsCtx(ctx, nil, p, m, cc, []core.Options{opts}, seed)
+	if err != nil {
+		return nil, err
+	}
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return outs[0], nil
 }
 
 // Telemetry: the library mirrors the CLIs' -trace/-metrics surface.

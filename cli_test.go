@@ -1,11 +1,15 @@
 package slms_test
 
 import (
+	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -179,6 +183,78 @@ func TestCLISlmsbenchSingleFigure(t *testing.T) {
 	}
 }
 
+// TestCLISlmsd covers the serving daemon: flag misuse exits 2, and a
+// full lifecycle — start, serve a compile over HTTP, drain on SIGTERM —
+// exits 0.
+func TestCLISlmsd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmsd")
+
+	for _, args := range [][]string{
+		{"positional-arg"},
+		{"-workers", "-1"},
+		{"-queue", "-1"},
+		{"-timeout", "0s"},
+		{"-timeout", "2m", "-max-timeout", "1m"},
+		{"-definitely-not-a-flag"},
+	} {
+		err := exec.Command(bin, args...).Run()
+		if ee, isExit := err.(*exec.ExitError); !isExit || ee.ExitCode() != 2 {
+			t.Errorf("slmsd %v: want exit 2, got %v", args, err)
+		}
+	}
+
+	// Lifecycle: bind an ephemeral port, read the address off the status
+	// line, serve one request, then SIGTERM and expect a clean exit.
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	scanner := bufio.NewScanner(stderr)
+	var addr string
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("slmsd never reported its address (scan err: %v)", scanner.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"source": "float A[8]; for (i = 0; i < 8; i++) { A[i] = 0.5; }"}`))
+	if err != nil {
+		t.Fatalf("POST /v1/compile: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("compile status = %d, body:\n%s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("response missing X-Request-ID")
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("slmsd did not exit cleanly on SIGTERM: %v", err)
+	}
+}
+
 // TestExamplesRun builds and runs every example program end to end.
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
@@ -233,11 +309,11 @@ func TestCLIContract(t *testing.T) {
 		usageArgs []string
 		badExit   int
 	}{
-		{"slmsc", []string{"-"}, nil, 1},
-		{"slmslint", []string{"-nofilter", "-"}, nil, 2},
+		{"slmsc", []string{"-"}, []string{"-expand", "sideways", "-"}, 1},
+		{"slmslint", []string{"-nofilter", "-"}, []string{"-expand", "sideways", "-"}, 2},
 		{"slmsexplain", []string{"-"}, nil, 1},
-		{"slmssim", []string{"-machine", "arm7", "-"}, nil, 1},
-		{"slmsprof", []string{"-machine", "arm7", "-top", "3", "-"}, nil, 1},
+		{"slmssim", []string{"-machine", "arm7", "-"}, []string{"-machine", "cray1", "-"}, 1},
+		{"slmsprof", []string{"-machine", "arm7", "-top", "3", "-"}, []string{"-format", "yaml", "-"}, 1},
 		{"slmsbench", []string{"-figure", "caseB"}, []string{"-compare", "only-one.json"}, 1},
 	}
 	for _, tc := range cases {
@@ -294,10 +370,16 @@ func TestCLIContract(t *testing.T) {
 			for _, args := range usages {
 				saved := stdin
 				stdin = ""
-				_, _, code := run(args...)
+				_, stderr, code := run(args...)
 				stdin = saved
 				if code != 2 {
 					t.Errorf("%v exited %d, want usage code 2", args, code)
+				}
+				// Bad flag *values* (as opposed to flag-package parse
+				// errors) report through the slog wrapper.
+				if len(args) > 0 && tc.usageArgs != nil && args[0] == tc.usageArgs[0] &&
+					!strings.Contains(stderr, "slms: error:") {
+					t.Errorf("%v did not report through the slog wrapper:\n%s", args, stderr)
 				}
 			}
 

@@ -62,7 +62,7 @@ func main() {
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
-	defer tele.Finish()
+	defer tele.MustFinish()
 	if *profPath != "" {
 		prof.SetEnabled(true)
 	}
@@ -70,6 +70,11 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmsc [flags] file.c  (use - for stdin)")
 		os.Exit(2)
+	}
+	switch *expand {
+	case "mve", "array":
+	default:
+		obs.Usagef("unknown -expand mode %q (want mve or array)", *expand)
 	}
 	var text []byte
 	var err error

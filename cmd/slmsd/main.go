@@ -1,0 +1,134 @@
+// Command slmsd serves the SLMS pipeline over HTTP: POST mini-C source
+// to /v1/compile (source-level modulo scheduling), /v1/schedule
+// (compile + simulate, base vs SLMS), /v1/explain (per-loop decisions
+// and translation-validation diagnostics) or /v1/profile (cycle
+// attribution). /healthz and /readyz serve liveness and readiness.
+//
+// The service runs a bounded worker pool with a bounded admission queue
+// (429 + Retry-After past capacity), enforces a per-request deadline
+// threaded through the pipeline and simulator, deduplicates identical
+// in-flight requests, caches rendered responses in an LRU, and drains
+// gracefully on SIGTERM/SIGINT: in-flight requests complete, new ones
+// get 503 while /readyz reports draining.
+//
+// Usage:
+//
+//	slmsd [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT        listen address (default 127.0.0.1:8347)
+//	-workers N             concurrent pipeline executions (default GOMAXPROCS)
+//	-queue N               admission queue depth (default 64)
+//	-timeout DUR           default per-request pipeline budget (default 10s)
+//	-max-timeout DUR       maximum a request may ask for (default 60s)
+//	-cache N               response cache entries (default 512; negative disables)
+//	-max-body BYTES        request body limit (default 1 MiB)
+//	-drain-timeout DUR     graceful shutdown budget (default 30s)
+//	-trace FILE            write a pipeline trace at exit
+//	-trace-format chrome|jsonl
+//	-metrics FILE          write a metrics dump at exit ("-" = stdout)
+//	-q                     suppress status output
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slms/internal/obs"
+	"slms/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
+	workers := flag.Int("workers", 0, "concurrent pipeline executions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth before 429s")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request pipeline budget")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "maximum per-request budget a client may ask for")
+	cacheEntries := flag.Int("cache", 512, "response cache entries (negative disables)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+
+	if flag.NArg() != 0 {
+		obs.Usagef("slmsd takes no positional arguments (got %q)", flag.Arg(0))
+	}
+	if *workers < 0 {
+		obs.Usagef("-workers must be non-negative, got %d", *workers)
+	}
+	if *queue < 0 {
+		obs.Usagef("-queue must be non-negative, got %d", *queue)
+	}
+	if *timeout <= 0 || *maxTimeout <= 0 || *drainTimeout <= 0 {
+		obs.Usagef("-timeout, -max-timeout and -drain-timeout must be positive")
+	}
+	if *timeout > *maxTimeout {
+		obs.Usagef("-timeout %v exceeds -max-timeout %v", *timeout, *maxTimeout)
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheEntries,
+		MaxBodyBytes:   *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		obs.Fatalf("listen: %v", err)
+	}
+	obs.Logf("slmsd listening on %s (workers=%d queue=%d timeout=%v)",
+		ln.Addr(), *workers, *queue, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	exit := 0
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			obs.Errorf("serve: %v", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		obs.Logf("slmsd draining (budget %v)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		// Drain first so /v1 requests finish and new ones see 503, then
+		// shut the listener down.
+		if err := srv.Drain(dctx); err != nil {
+			obs.Errorf("%v", err)
+			exit = 1
+		}
+		if err := hs.Shutdown(dctx); err != nil {
+			obs.Errorf("shutdown: %v", err)
+			exit = 1
+		}
+		cancel()
+		obs.Logf("slmsd stopped")
+	}
+	if err := tele.Finish(); err != nil {
+		obs.Errorf("%v", err)
+		exit = 1
+	}
+	os.Exit(exit)
+}

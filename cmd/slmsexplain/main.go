@@ -45,7 +45,7 @@ func main() {
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
-	defer tele.Finish()
+	defer tele.MustFinish()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmsexplain file.c  (use - for stdin)")
 		os.Exit(2)

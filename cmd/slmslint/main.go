@@ -69,8 +69,13 @@ func main() {
 	case "array":
 		opts.Core.Expansion = core.ExpandScalar
 	default:
-		fmt.Fprintf(os.Stderr, "slmslint: unknown -expand mode %q (want mve or array)\n", *expand)
-		os.Exit(2)
+		obs.Usagef("unknown -expand mode %q (want mve or array)", *expand)
+	}
+	if *seeds < 1 {
+		obs.Usagef("-seeds must be at least 1, got %d", *seeds)
+	}
+	if *threshold < 0 || *threshold > 1 {
+		obs.Usagef("-threshold must be in [0,1], got %v", *threshold)
 	}
 
 	failed := false
@@ -84,19 +89,18 @@ func main() {
 			text, err = os.ReadFile(name)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "slmslint:", err)
-			os.Exit(2)
+			// Read and parse failures exit 2 per the documented contract;
+			// the slog wrapper keeps diagnostics uniform across commands.
+			obs.Usagef("%v", err)
 		}
 		rep, err := analysis.LintSource(name, string(text), opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "slmslint: %s: %v\n", name, err)
-			os.Exit(2)
+			obs.Usagef("%s: %v", name, err)
 		}
 		if *jsonOut {
 			raw, err := rep.JSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "slmslint:", err)
-				os.Exit(2)
+				obs.Usagef("%v", err)
 			}
 			fmt.Println(string(raw))
 		} else {
@@ -105,7 +109,7 @@ func main() {
 		failed = failed || rep.HasErrors()
 	}
 	if err := tele.Finish(); err != nil {
-		obs.Errorf("%v", err)
+		obs.Fatalf("%v", err)
 	}
 	if failed {
 		os.Exit(1)

@@ -55,7 +55,7 @@ func main() {
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
-	defer tele.Finish()
+	defer tele.MustFinish()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slmsprof [flags] file.c  (use - for stdin)")
@@ -64,13 +64,24 @@ func main() {
 	switch *format {
 	case "text", "json", "pprof":
 	default:
-		fmt.Fprintf(os.Stderr, "slmsprof: unknown -format %q (want text, json or pprof)\n", *format)
-		os.Exit(2)
+		obs.Usagef("unknown -format %q (want text, json or pprof)", *format)
+	}
+	if *top < 1 {
+		obs.Usagef("-top must be at least 1, got %d", *top)
+	}
+	// Resolve flag values before doing any work: a bad machine or
+	// compiler name is a usage error (exit 2), not a failed run.
+	d, err := machine.ByName(*machineName)
+	if err != nil {
+		obs.Usagef("%v", err)
+	}
+	cc, err := pipeline.CompilerByName(*compiler, *o0)
+	if err != nil {
+		obs.Usagef("%v", err)
 	}
 
 	label := flag.Arg(0)
 	var text []byte
-	var err error
 	if label == "-" {
 		label = "stdin"
 		text, err = io.ReadAll(os.Stdin)
@@ -84,33 +95,6 @@ func main() {
 	prog, err := source.Parse(string(text))
 	if err != nil {
 		obs.Fatalf("%v", err)
-	}
-
-	var d *machine.Desc
-	switch *machineName {
-	case "ia64":
-		d = machine.IA64Like()
-	case "power4":
-		d = machine.Power4Like()
-	case "pentium":
-		d = machine.PentiumLike()
-	case "arm7":
-		d = machine.ARM7Like()
-	default:
-		obs.Fatalf("unknown machine %q", *machineName)
-	}
-	var cc pipeline.Compiler
-	switch {
-	case *compiler == "weak" && *o0:
-		cc = pipeline.WeakNoO3
-	case *compiler == "weak":
-		cc = pipeline.WeakO3
-	case *compiler == "strong" && *o0:
-		cc = pipeline.StrongNoO3
-	case *compiler == "strong":
-		cc = pipeline.StrongO3
-	default:
-		obs.Fatalf("unknown compiler %q", *compiler)
 	}
 
 	prof.SetEnabled(true)

@@ -53,7 +53,7 @@ func main() {
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
-	defer tele.Finish()
+	defer tele.MustFinish()
 	pipeline.SetVerify(*verify)
 	if *profPath != "" {
 		prof.SetEnabled(true)
@@ -63,8 +63,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: slmssim [flags] file.c  (use - for stdin)")
 		os.Exit(2)
 	}
+	// Flag-value mistakes are usage errors (exit 2), distinct from
+	// failed work (exit 1); check them before doing any work.
+	d, err := machine.ByName(*machineName)
+	if err != nil {
+		obs.Usagef("%v", err)
+	}
+	cc, err := pipeline.CompilerByName(*compiler, *o0)
+	if err != nil {
+		obs.Usagef("%v", err)
+	}
+
 	var text []byte
-	var err error
 	if flag.Arg(0) == "-" {
 		text, err = io.ReadAll(os.Stdin)
 	} else {
@@ -76,33 +86,6 @@ func main() {
 	prog, err := source.Parse(string(text))
 	if err != nil {
 		fatal(err)
-	}
-
-	var d *machine.Desc
-	switch *machineName {
-	case "ia64":
-		d = machine.IA64Like()
-	case "power4":
-		d = machine.Power4Like()
-	case "pentium":
-		d = machine.PentiumLike()
-	case "arm7":
-		d = machine.ARM7Like()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machineName))
-	}
-	var cc pipeline.Compiler
-	switch {
-	case *compiler == "weak" && *o0:
-		cc = pipeline.WeakNoO3
-	case *compiler == "weak":
-		cc = pipeline.WeakO3
-	case *compiler == "strong" && *o0:
-		cc = pipeline.StrongNoO3
-	case *compiler == "strong":
-		cc = pipeline.StrongO3
-	default:
-		fatal(fmt.Errorf("unknown compiler %q", *compiler))
 	}
 	obs.Logf("machine: %s; compiler: %s", d.Name, cc.Name)
 	sp := obs.Root("slmssim").Attr("machine", d.Name).Attr("compiler", cc.Name)

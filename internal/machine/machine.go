@@ -9,6 +9,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"slms/internal/ir"
 	"slms/internal/source"
 )
@@ -167,6 +169,22 @@ func (d *Desc) OpEnergy(in *ir.Instr) float64 {
 	default:
 		return d.Energy.IntOp
 	}
+}
+
+// ByName resolves the short machine names shared by the CLIs and the
+// server ("ia64", "power4", "pentium", "arm7") to a fresh description.
+func ByName(name string) (*Desc, error) {
+	switch name {
+	case "ia64":
+		return IA64Like(), nil
+	case "power4":
+		return Power4Like(), nil
+	case "pentium":
+		return PentiumLike(), nil
+	case "arm7":
+		return ARM7Like(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (want ia64, power4, pentium or arm7)", name)
 }
 
 // IA64Like models an Itanium-II class VLIW: two three-slot bundles per

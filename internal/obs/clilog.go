@@ -61,6 +61,16 @@ func Fatalf(format string, args ...any) {
 	osExit(1)
 }
 
+// Usagef prints an error and exits with status 2, the conventional
+// flag-misuse status (matching what flag.Parse itself does on an
+// unknown flag). CLIs use it for bad flag *values* — an unknown machine
+// name, a bogus format — so "you called me wrong" (2) stays
+// distinguishable from "the work failed" (1) in scripts.
+func Usagef(format string, args ...any) {
+	Errorf(format, args...)
+	osExit(2)
+}
+
 // osExit is swapped out by tests.
 var osExit = os.Exit
 

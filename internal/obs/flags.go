@@ -52,6 +52,16 @@ func (f *Flags) Activate() {
 	}
 }
 
+// MustFinish is Finish for CLI exit paths: a failed trace or metrics
+// write is a failed command (exit 1), not something to drop on the
+// floor. Deferred in mains; Fatalf error paths exit before it runs,
+// which is fine — those runs already failed.
+func (f *Flags) MustFinish() {
+	if err := f.Finish(); err != nil {
+		Fatalf("%v", err)
+	}
+}
+
 // Finish writes the trace and metrics files requested by the flags.
 // Safe to call when neither was requested; returns the first error.
 func (f *Flags) Finish() error {

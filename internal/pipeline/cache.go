@@ -1,7 +1,9 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -108,16 +110,19 @@ func CacheStats() (hits, misses int64) {
 // and share the artifact. The returned artifact must be treated as
 // read-only; simulating it (sim.Run) is safe concurrently.
 func CompileForCached(p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
-	return compileForCachedSpan(nil, p, d, cc)
+	return compileForCachedCtxSpan(context.Background(), nil, p, d, cc)
 }
 
-// compileForCachedSpan is CompileForCached annotating sp with the cache
-// outcome ("hit", "miss", or "off").
-func compileForCachedSpan(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
+// compileForCachedCtxSpan is CompileForCached annotating sp with the
+// cache outcome ("hit", "miss", or "off"). ctx bounds the uncached
+// compile path; a cached (shared) compile runs to completion regardless
+// — a canceled request must never poison the slot other requests share —
+// but the deadline is still checked before returning the artifact.
+func compileForCachedCtxSpan(ctx context.Context, sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
 	c := defaultCache
 	if !c.enabled.Load() {
 		sp.Attr("cache", "off")
-		return CompileFor(p, d, cc)
+		return CompileForCtx(ctx, p, d, cc)
 	}
 	key := cacheKey{prog: source.Fingerprint(p), mach: *d, cc: cc}
 	c.mu.Lock()
@@ -147,6 +152,9 @@ func compileForCachedSpan(sp *obs.Span, p *source.Program, d *machine.Desc, cc C
 		}
 		e.art = scheduleFor(f.Clone(), d, cc)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: compile aborted: %w", err)
+	}
 	return e.art, e.err
 }
 

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"slms/internal/core"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// longProg runs long enough (hundreds of thousands of simulated
+// instructions) that a microsecond deadline always lands mid-simulation.
+const longProg = `float A[4000]; float B[4000];
+for (r = 0; r < 200; r++) {
+	for (i = 2; i < 3998; i++) {
+		A[i] = A[i-1] + A[i-2] + B[i] * 0.5;
+	}
+}
+`
+
+func parseLong(t *testing.T) *source.Program {
+	t.Helper()
+	p, err := source.Parse(longProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunCtxDeadlineAbortsSimulation proves the simulator's cancellation
+// checkpoints fire: an already-expired deadline must abort the run with
+// an error satisfying errors.Is(err, context.DeadlineExceeded).
+func TestRunCtxDeadlineAbortsSimulation(t *testing.T) {
+	prog := parseLong(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond) // let the deadline pass
+	_, _, err := RunCtx(ctx, prog, machine.ARM7Like(), WeakO3, interp.NewEnv())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestRunCtxBackgroundMatchesRun pins that a background context changes
+// nothing: same cycles, same results as the plain Run path.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	prog := parseLong(t)
+	m1, _, err := Run(prog, machine.IA64Like(), WeakO3, interp.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := RunCtx(context.Background(), prog, machine.IA64Like(), WeakO3, interp.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cycles != m2.Cycles || m1.Instrs != m2.Instrs {
+		t.Fatalf("ctx run diverged: %v vs %v", m1, m2)
+	}
+}
+
+// TestRunExperimentsCtxCancelPropagates covers the experiment driver: a
+// canceled context surfaces as a per-option-set error (base leg already
+// done) or a base error, never a hang, and the error wraps ctx.Err().
+func TestRunExperimentsCtxCancelPropagates(t *testing.T) {
+	prog := parseLong(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs, err := RunExperimentsCtx(ctx, nil, prog, machine.ARM7Like(), WeakO3,
+		[]core.Options{core.DefaultOptions()}, nil)
+	if err == nil && (len(errs) == 0 || errs[0] == nil) {
+		t.Fatal("canceled experiment reported no error")
+	}
+	got := err
+	if got == nil {
+		got = errs[0]
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", got)
+	}
+}
+
+// TestCompileForCtxDeadline pins the uncached compile path's checkpoint.
+func TestCompileForCtxDeadline(t *testing.T) {
+	prog := parseLong(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileForCtx(ctx, prog, machine.IA64Like(), StrongO3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

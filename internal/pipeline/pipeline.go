@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,6 +51,23 @@ var (
 	StrongNoO3 = Compiler{Name: "strong -O0", Tags: true}
 )
 
+// CompilerByName resolves the short compiler-class names shared by the
+// CLIs and the server ("weak", "strong"), with o0 selecting the
+// no-reordering variant.
+func CompilerByName(name string, o0 bool) (Compiler, error) {
+	switch {
+	case name == "weak" && o0:
+		return WeakNoO3, nil
+	case name == "weak":
+		return WeakO3, nil
+	case name == "strong" && o0:
+		return StrongNoO3, nil
+	case name == "strong":
+		return StrongO3, nil
+	}
+	return Compiler{}, fmt.Errorf("unknown compiler %q (want weak or strong)", name)
+}
+
 // Artifact is a fully compiled program plus its timing plan. After
 // CompileFor returns, an artifact is never mutated — the simulator keeps
 // all execution state (register file, array bindings, base addresses)
@@ -70,11 +88,22 @@ type Artifact struct {
 // pair. Every call compiles afresh; use CompileForCached to share
 // artifacts across repeated identical compilations.
 func CompileFor(p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
+	return CompileForCtx(context.Background(), p, d, cc)
+}
+
+// CompileForCtx is CompileFor honoring a context: the back-end
+// scheduling loop (register allocation, block scheduling, IMS — the
+// expensive II searches live here) checks ctx between blocks and aborts
+// early when the deadline passes. The cached path (CompileForCached)
+// deliberately does NOT take a context: cached artifacts are shared
+// across requests, and one canceled request must never poison the slot
+// every later request reuses.
+func CompileForCtx(ctx context.Context, p *source.Program, d *machine.Desc, cc Compiler) (*Artifact, error) {
 	f, err := lower(p)
 	if err != nil {
 		return nil, err
 	}
-	return scheduleFor(f, d, cc), nil
+	return scheduleForCtx(ctx, f, d, cc)
 }
 
 // lower runs the machine-independent front half of the compilation:
@@ -93,6 +122,14 @@ func lower(p *source.Program) (*ir.Func, error) {
 // allocation, block scheduling and (for strong static compilers) IMS.
 // It mutates f — pass a Clone when the lowered function is shared.
 func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) *Artifact {
+	art, _ := scheduleForCtx(context.Background(), f, d, cc) // never errs without a deadline
+	return art
+}
+
+// scheduleForCtx is scheduleFor with a cancellation checkpoint before
+// each block's (potentially IMS-bearing) scheduling round.
+func scheduleForCtx(ctx context.Context, f *ir.Func, d *machine.Desc, cc Compiler) (*Artifact, error) {
+	done := ctx.Done()
 	alloc := backend.Allocate(f, d)
 	art := &Artifact{
 		Func: f, Alloc: alloc,
@@ -103,6 +140,11 @@ func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) *Artifact {
 	art.Plan = plan
 
 	for _, b := range f.Blocks {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pipeline: compile aborted: %w", err)
+			}
+		}
 		// Reordering compilers physically reorder the instructions so the
 		// in-order hardware of superscalar machines benefits too.
 		var sched *backend.BlockSched
@@ -138,7 +180,7 @@ func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) *Artifact {
 			}
 		}
 	}
-	return art
+	return art, nil
 }
 
 // applyOrder permutes a block's instructions into schedule order
@@ -171,7 +213,16 @@ func applyOrder(b *ir.Block, s *backend.BlockSched) {
 // so repeated runs of the same (program, machine, compiler) triple
 // share one immutable artifact.
 func Run(p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
-	m, art, _, _, err := runTimed(nil, p, d, cc, env)
+	m, art, _, _, err := runTimed(context.Background(), nil, p, d, cc, env)
+	return m, art, err
+}
+
+// RunCtx is Run honoring a context: compilation checks the deadline
+// between scheduling rounds (uncached path) and the simulator polls it
+// every few thousand instructions, so a request deadline stops the
+// pipeline mid-simulation instead of after it.
+func RunCtx(ctx context.Context, p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
+	m, art, _, _, err := runTimed(ctx, nil, p, d, cc, env)
 	return m, art, err
 }
 
@@ -179,22 +230,22 @@ func Run(p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim
 // outcome) and "sim" (with the simulated cycle count) child spans, each
 // also feeding the phase.compile / phase.sim duration histograms.
 func RunSpan(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler, env *interp.Env) (*sim.Metrics, *Artifact, error) {
-	m, art, _, _, err := runTimed(sp, p, d, cc, env)
+	m, art, _, _, err := runTimed(context.Background(), sp, p, d, cc, env)
 	return m, art, err
 }
 
 // runTimed is the span-threaded compile+simulate core, returning the
 // wall time of each phase for the harness's per-kernel breakdown.
-func runTimed(sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler,
+func runTimed(ctx context.Context, sp *obs.Span, p *source.Program, d *machine.Desc, cc Compiler,
 	env *interp.Env) (m *sim.Metrics, art *Artifact, compileD, simD time.Duration, err error) {
 	compileD = obs.Time(sp, "compile", func(csp *obs.Span) {
-		art, err = compileForCachedSpan(csp, p, d, cc)
+		art, err = compileForCachedCtxSpan(ctx, csp, p, d, cc)
 	})
 	if err != nil {
 		return nil, nil, compileD, 0, err
 	}
 	simD = obs.Time(sp, "sim", func(ssp *obs.Span) {
-		m, err = sim.Run(art.Func, d, art.Plan, env, 0)
+		m, err = sim.RunCtx(ctx, art.Func, d, art.Plan, env, 0)
 		if m != nil {
 			ssp.Attr("cycles", m.Cycles)
 		}
@@ -257,7 +308,7 @@ func RunExperiment(prog *source.Program, ex Experiment, seed func(*interp.Env)) 
 // that invalidates every option set.
 func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 	optsList []core.Options, seed func(*interp.Env)) ([]*Outcome, []error, error) {
-	return RunExperimentsSpan(nil, prog, d, cc, optsList, seed)
+	return RunExperimentsCtx(context.Background(), nil, prog, d, cc, optsList, seed)
 }
 
 // RunExperimentsSpan is RunExperiments under a parent trace span: the
@@ -266,12 +317,23 @@ func RunExperiments(prog *source.Program, d *machine.Desc, cc Compiler,
 // wall-time breakdown (Outcome.Phases).
 func RunExperimentsSpan(sp *obs.Span, prog *source.Program, d *machine.Desc, cc Compiler,
 	optsList []core.Options, seed func(*interp.Env)) ([]*Outcome, []error, error) {
+	return RunExperimentsCtx(context.Background(), sp, prog, d, cc, optsList, seed)
+}
+
+// RunExperimentsCtx is RunExperimentsSpan honoring a context: every
+// simulation leg polls the deadline as it runs, and the driver checks it
+// between phases, so one request deadline bounds the whole measurement.
+// Cached phases (transform, cached compiles) complete regardless — their
+// results are shared across requests — but the loop stops before
+// starting the next leg once the context is done.
+func RunExperimentsCtx(ctx context.Context, sp *obs.Span, prog *source.Program, d *machine.Desc, cc Compiler,
+	optsList []core.Options, seed func(*interp.Env)) ([]*Outcome, []error, error) {
 	envBase := interp.NewEnv()
 	if seed != nil {
 		seed(envBase)
 	}
 	baseSp := sp.Child("base")
-	mBase, artBase, baseCompile, baseSim, err := runTimed(baseSp, prog, d, cc, envBase)
+	mBase, artBase, baseCompile, baseSim, err := runTimed(ctx, baseSp, prog, d, cc, envBase)
 	baseSp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("base run: %w", err)
@@ -283,6 +345,10 @@ func RunExperimentsSpan(sp *obs.Span, prog *source.Program, d *machine.Desc, cc 
 	outs := make([]*Outcome, len(optsList))
 	errs := make([]error, len(optsList))
 	for i, opts := range optsList {
+		if cerr := ctx.Err(); cerr != nil {
+			errs[i] = fmt.Errorf("pipeline: experiment aborted: %w", cerr)
+			continue
+		}
 		legSp := sp.Child(fmt.Sprintf("slms[%d]", i))
 		out := &Outcome{Base: mBase, BaseArt: artBase, Phases: map[string]float64{
 			"compile.base": baseCompile.Seconds(),
@@ -328,7 +394,7 @@ func RunExperimentsSpan(sp *obs.Span, prog *source.Program, d *machine.Desc, cc 
 		if seed != nil {
 			seed(envSLMS)
 		}
-		mSLMS, artSLMS, slmsCompile, slmsSim, err := runTimed(legSp, transformed, d, cc, envSLMS)
+		mSLMS, artSLMS, slmsCompile, slmsSim, err := runTimed(ctx, legSp, transformed, d, cc, envSLMS)
 		out.Phases["compile.slms"] = slmsCompile.Seconds()
 		out.Phases["sim.slms"] = slmsSim.Seconds()
 		if err != nil {

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"slms/internal/obs"
+)
+
+// The response cache: a fingerprint-keyed LRU of rendered 200 bodies
+// with singleflight deduplication. Identical requests (same endpoint,
+// source bytes, options, target) hit one slot; concurrent misses for
+// the same key compute exactly once while followers wait — so a
+// thundering herd on one kernel costs one pipeline run and every
+// response for a fingerprint is byte-identical for as long as the entry
+// lives. Only successful responses are cached; errors are recomputed
+// (they are cheap — parse failures — or transient — deadlines).
+type respCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element // key -> *cacheSlot element
+	lru      *list.List               // front = most recent
+	inflight map[string]*flight
+
+	hits, misses atomic.Int64
+	hitCtr       *obs.Counter
+	missCtr      *obs.Counter
+}
+
+// cachedResponse is one rendered response body.
+type cachedResponse struct {
+	status int
+	body   []byte
+}
+
+type cacheSlot struct {
+	key  string
+	resp *cachedResponse
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	resp *cachedResponse
+	err  *apiError
+}
+
+func newRespCache(max int) *respCache {
+	return &respCache{
+		max:      max,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*flight{},
+		hitCtr:   obs.CounterName("server.cache.hits"),
+		missCtr:  obs.CounterName("server.cache.misses"),
+	}
+}
+
+// do returns the cached response for key, or runs compute exactly once
+// across concurrent callers and caches its success. The boolean reports
+// whether the response came from the cache (or a deduplicated flight)
+// rather than this caller's own compute. Waiting followers honor their
+// own ctx; a leader that dies of its own deadline does not doom its
+// followers — the next one retries as the new leader.
+func (c *respCache) do(ctx context.Context, key string, compute func() (*cachedResponse, *apiError)) (*cachedResponse, bool, *apiError) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(e)
+			resp := e.Value.(*cacheSlot).resp
+			c.mu.Unlock()
+			c.hits.Add(1)
+			c.hitCtr.Add(1)
+			return resp, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil {
+					if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+						continue // leader's own deadline, not ours: retry
+					}
+					return nil, true, f.err
+				}
+				c.hits.Add(1)
+				c.hitCtr.Add(1)
+				return f.resp, true, nil
+			case <-ctx.Done():
+				return nil, false, ctxError(ctx, ctx.Err())
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		c.misses.Add(1)
+		c.missCtr.Add(1)
+		resp, err := compute()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil && resp != nil && resp.status == 200 {
+			c.insertLocked(key, resp)
+		}
+		c.mu.Unlock()
+		f.resp, f.err = resp, err
+		close(f.done)
+		return resp, false, err
+	}
+}
+
+// insertLocked adds key to the LRU, evicting the oldest entry over
+// capacity. Caller holds c.mu.
+func (c *respCache) insertLocked(key string, resp *cachedResponse) {
+	if c.max <= 0 {
+		return
+	}
+	if e, ok := c.entries[key]; ok { // lost a benign race; refresh
+		c.lru.MoveToFront(e)
+		e.Value.(*cacheSlot).resp = resp
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheSlot{key: key, resp: resp})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheSlot).key)
+	}
+}
+
+// stats reports cumulative hit/miss counts.
+func (c *respCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// len reports the number of cached responses.
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"slms/internal/source"
+)
+
+// Stable server error codes. The SLMS4xx/5xx range belongs to the
+// serving layer (internal/analysis owns SLMS0xx/1xx verification
+// diagnostics, internal/obs owns SLMS2xx decision records); codes are
+// never renumbered or reused, so clients and the golden contract tests
+// may match on them.
+const (
+	// CodeBadRequest: the request body is not valid JSON for the
+	// endpoint (malformed JSON, unknown field, wrong type, bad machine
+	// or compiler or expansion name, out-of-range timeout).
+	CodeBadRequest = "SLMS400"
+	// CodeBodyTooLarge: the request body exceeds the configured limit.
+	CodeBodyTooLarge = "SLMS413"
+	// CodeMethodNotAllowed: the endpoint exists but not for this verb.
+	CodeMethodNotAllowed = "SLMS405"
+	// CodeSourceInvalid: the mini-C source payload failed to parse or
+	// semantic-check; the diagnostics carry line/column positions.
+	CodeSourceInvalid = "SLMS422"
+	// CodeQueueFull: the admission queue is at capacity; retry after the
+	// Retry-After header's delay.
+	CodeQueueFull = "SLMS429"
+	// CodeClientClosed: the client went away before a response was
+	// ready (nginx-style 499; mostly visible in logs and metrics).
+	CodeClientClosed = "SLMS499"
+	// CodeInternal: a handler panicked or hit an unexpected failure; the
+	// response carries the request ID to correlate with server logs.
+	CodeInternal = "SLMS500"
+	// CodeDraining: the server is draining for shutdown and admits no
+	// new work.
+	CodeDraining = "SLMS503"
+	// CodeDeadline: the per-request deadline expired before the pipeline
+	// finished.
+	CodeDeadline = "SLMS504"
+)
+
+// Diagnostic is one positioned source diagnostic in an error response.
+type Diagnostic struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+}
+
+// apiError is an error that maps to one HTTP status + stable code.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+	diags  []Diagnostic
+	cause  error
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func (e *apiError) Unwrap() error { return e.cause }
+
+// errBadRequest builds a 400 with CodeBadRequest.
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{status: 400, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errSourceInvalid builds the 422 for an unparseable or semantically
+// invalid source payload, extracting line/column when the underlying
+// error carries a position.
+func errSourceInvalid(err error) *apiError {
+	d := Diagnostic{Code: CodeSourceInvalid, Severity: "error", Message: err.Error()}
+	var se *source.Error
+	if errors.As(err, &se) {
+		d.Line, d.Col = se.Pos.Line, se.Pos.Col
+	}
+	return &apiError{
+		status: 422, code: CodeSourceInvalid,
+		msg:   "source rejected: " + err.Error(),
+		diags: []Diagnostic{d},
+		cause: err,
+	}
+}
+
+// classifyPipelineErr maps an error escaping the pipeline to an API
+// error: context errors become 504/499, source position errors 422, and
+// anything else a 422 without position (the pipeline rejected the
+// program — e.g. a simulated out-of-bounds access — not a server fault).
+func classifyPipelineErr(ctx context.Context, err error) *apiError {
+	if ae := ctxError(ctx, err); ae != nil {
+		return ae
+	}
+	var se *source.Error
+	if errors.As(err, &se) {
+		return errSourceInvalid(err)
+	}
+	return &apiError{
+		status: 422, code: CodeSourceInvalid,
+		msg:   "program rejected: " + err.Error(),
+		diags: []Diagnostic{{Code: CodeSourceInvalid, Severity: "error", Message: err.Error()}},
+		cause: err,
+	}
+}
+
+// ctxError returns the deadline/cancel API error when err (or the
+// request context) reflects one, else nil.
+func ctxError(ctx context.Context, err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: 504, code: CodeDeadline,
+			msg: "deadline exceeded before the pipeline finished", cause: context.DeadlineExceeded}
+	case errors.Is(err, context.Canceled):
+		ae := &apiError{status: 499, code: CodeClientClosed,
+			msg: "request canceled by the client", cause: context.Canceled}
+		// A canceled parent whose own deadline passed is a timeout: the
+		// request context reports which one fired first.
+		if ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			ae.status, ae.code = 504, CodeDeadline
+			ae.msg = "deadline exceeded before the pipeline finished"
+			ae.cause = context.DeadlineExceeded
+		}
+		return ae
+	}
+	return nil
+}
+
+// errQueueFull is the 429 admission rejection.
+var errQueueFull = &apiError{
+	status: 429, code: CodeQueueFull,
+	msg: "admission queue full; retry after the Retry-After delay",
+}
+
+// errDraining is the 503 sent while the server drains.
+var errDraining = &apiError{
+	status: 503, code: CodeDraining,
+	msg: "server is draining; no new work admitted",
+}

@@ -1,0 +1,351 @@
+// Package server exposes the SLMS pipeline as a concurrent HTTP
+// service: /v1/compile (source-level modulo scheduling), /v1/schedule
+// (compile + cycle-accurate simulation, base vs SLMS), /v1/explain
+// (per-loop decision records and translation-validation diagnostics)
+// and /v1/profile (cycle attribution), plus /healthz and /readyz.
+//
+// The server is built for load, not as a thin wrapper: a bounded worker
+// pool with a bounded admission queue (429 + Retry-After past
+// capacity), per-request deadlines threaded down through
+// pipeline/sim as contexts with in-loop cancellation checkpoints, a
+// singleflight-deduplicated fingerprint-keyed LRU response cache,
+// panic-isolated handlers (500 + request ID, never a crashed process),
+// graceful drain that completes every admitted request, and
+// per-endpoint metrics/spans in internal/obs. Responses carry the
+// SLMS2xx decision records for every loop the pipeline considered.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slms/internal/obs"
+)
+
+// Config tunes the server; zero values take the documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing pipeline requests
+	// (default runtime.GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker before new
+	// arrivals get 429 (default 64).
+	QueueDepth int
+	// DefaultTimeout is the per-request pipeline budget when the request
+	// names none (default 10s); MaxTimeout caps what a request may ask
+	// for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheEntries sizes the response LRU (default 512; 0 keeps the
+	// default, negative disables caching).
+	CacheEntries int
+	// MaxBodyBytes bounds a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is one SLMS compilation service instance.
+type Server struct {
+	cfg   Config
+	adm   *admission
+	cache *respCache
+	mux   *http.ServeMux
+
+	// Drain coordination: beginRequest registers in-flight work under a
+	// read lock; Drain flips the flag under the write lock, so no
+	// request can register after the flag is set and the WaitGroup wait
+	// cannot miss one.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	reqSeq    atomic.Int64
+	admitted  atomic.Int64 // requests that passed admission
+	completed atomic.Int64 // admitted requests that finished
+
+	reqCtr      *obs.Counter
+	panicCtr    *obs.Counter
+	inflightGge *obs.Gauge
+}
+
+// New builds a Server and registers its routes.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		adm:         newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:       newRespCache(cfg.CacheEntries),
+		mux:         http.NewServeMux(),
+		reqCtr:      obs.CounterName("server.requests"),
+		panicCtr:    obs.CounterName("server.panics"),
+		inflightGge: obs.GaugeName("server.inflight"),
+	}
+	s.handle("compile", "/v1/compile", s.handleCompile)
+	s.handle("schedule", "/v1/schedule", s.handleSchedule)
+	s.handle("explain", "/v1/explain", s.handleExplain)
+	s.handle("profile", "/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handlerFunc is one endpoint implementation: it returns the rendered
+// response or an API error; the wrapper owns serialization, request
+// IDs, panic isolation and metrics.
+type handlerFunc func(ctx context.Context, req *Request) (any, *apiError)
+
+// handle registers an endpoint behind the standard wrapper: POST-only,
+// request IDs, drain refusal, panic isolation, per-endpoint
+// metrics/spans, deadline derivation, admission + response cache.
+// Tests also use it to mount misbehaving handlers.
+func (s *Server) handle(name, pattern string, h handlerFunc) {
+	requests := obs.CounterName("server." + name + ".requests")
+	errors := obs.CounterName("server." + name + ".errors")
+	latency := obs.HistName("server." + name + ".latency")
+
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		s.reqCtr.Add(1)
+		requests.Add(1)
+		start := time.Now()
+
+		status := 0
+		defer func() {
+			latency.Observe(time.Since(start))
+			obs.CounterName(fmt.Sprintf("server.%s.status.%d", name, status)).Add(1)
+			if status >= 400 {
+				errors.Add(1)
+			}
+		}()
+
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			status = s.writeError(w, reqID, &apiError{
+				status: 405, code: CodeMethodNotAllowed,
+				msg: fmt.Sprintf("%s requires POST", pattern)})
+			return
+		}
+		if !s.beginRequest() {
+			status = s.writeError(w, reqID, errDraining)
+			return
+		}
+		defer s.endRequest()
+
+		// Panic isolation: a handler bug answers 500 with the request ID
+		// and a server-side log; the process and every other in-flight
+		// request keep going.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panicCtr.Add(1)
+				obs.Errorf("server: %s: panic serving %s: %v\n%s", reqID, pattern, rec, debug.Stack())
+				status = s.writeError(w, reqID, &apiError{
+					status: 500, code: CodeInternal,
+					msg: "internal error; see server log for request " + reqID})
+			}
+		}()
+
+		req, aerr := decodeRequest(r, s.cfg.MaxBodyBytes)
+		if aerr != nil {
+			status = s.writeError(w, reqID, aerr)
+			return
+		}
+		budget, aerr := req.deadline(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+		if aerr != nil {
+			status = s.writeError(w, reqID, aerr)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+
+		sp := obs.Root("server."+name).Attr("request", reqID)
+		defer sp.End()
+
+		resp, hit, aerr := s.cache.do(ctx, req.fingerprint(name), func() (*cachedResponse, *apiError) {
+			if aerr := s.adm.acquire(ctx); aerr != nil {
+				return nil, aerr
+			}
+			defer s.adm.release()
+			s.admitted.Add(1)
+			s.inflightGge.Set(s.admitted.Load() - s.completed.Load())
+			defer func() {
+				s.completed.Add(1)
+				s.inflightGge.Set(s.admitted.Load() - s.completed.Load())
+			}()
+			body, aerr := h(ctx, req)
+			if aerr != nil {
+				return nil, aerr
+			}
+			blob, err := json.MarshalIndent(body, "", "  ")
+			if err != nil {
+				obs.Errorf("server: %s: marshaling %s response: %v", reqID, pattern, err)
+				return nil, &apiError{status: 500, code: CodeInternal,
+					msg: "internal error; see server log for request " + reqID}
+			}
+			return &cachedResponse{status: 200, body: append(blob, '\n')}, nil
+		})
+		if aerr != nil {
+			sp.Attr("error", aerr.code)
+			status = s.writeError(w, reqID, aerr)
+			return
+		}
+		cacheState := "miss"
+		if hit {
+			cacheState = "hit"
+		}
+		sp.Attr("cache", cacheState)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-SLMS-Cache", cacheState)
+		status = resp.status
+		w.WriteHeader(resp.status)
+		w.Write(resp.body)
+	})
+}
+
+// writeError renders the uniform error envelope and returns the status
+// for metrics.
+func (s *Server) writeError(w http.ResponseWriter, reqID string, ae *apiError) int {
+	type errBody struct {
+		Code        string       `json:"code"`
+		Message     string       `json:"message"`
+		RequestID   string       `json:"request_id"`
+		Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if ae.status == 429 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds())))
+	}
+	w.WriteHeader(ae.status)
+	blob, _ := json.MarshalIndent(map[string]errBody{"error": {
+		Code: ae.code, Message: ae.msg, RequestID: reqID, Diagnostics: ae.diags,
+	}}, "", "  ")
+	w.Write(append(blob, '\n'))
+	return ae.status
+}
+
+// beginRequest registers an in-flight request unless the server is
+// draining.
+func (s *Server) beginRequest() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endRequest() { s.inflight.Done() }
+
+// Drain stops admitting work and waits for every in-flight request to
+// complete (bounded by ctx). After Drain, /readyz answers 503 and the
+// /v1 endpoints refuse with CodeDraining; /healthz still answers 200 so
+// orchestrators can tell "draining" from "dead". Zero admitted requests
+// are lost: everything registered before the flag flips runs to its
+// normal response.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with requests in flight: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats is a point-in-time operational snapshot, used by tests and
+// /readyz.
+type Stats struct {
+	Workers       int   `json:"workers"`
+	QueueDepth    int64 `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	MaxQueueDepth int64 `json:"max_queue_depth"`
+	Admitted      int64 `json:"admitted"`
+	Completed     int64 `json:"completed"`
+	QueueRejected int64 `json:"queue_rejected"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEntries  int   `json:"cache_entries"`
+}
+
+// Stats snapshots the server's admission and cache counters.
+func (s *Server) Stats() Stats {
+	hits, misses := s.cache.stats()
+	return Stats{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.adm.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		MaxQueueDepth: s.adm.maxDepth.Load(),
+		Admitted:      s.admitted.Load(),
+		Completed:     s.completed.Load(),
+		QueueRejected: s.adm.rejects.Value(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  s.cache.len(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := "ready"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	blob, _ := json.MarshalIndent(struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}{status, s.Stats()}, "", "  ")
+	w.Write(append(blob, '\n'))
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The concurrency soak: hammer one server from many goroutines with a
+// mix of cached, uncached, invalid and deadline-doomed requests, then
+// check the invariants the serving layer promises under load:
+//
+//   - every response has a sensible status for its request class;
+//   - all 200 responses for one fingerprint are byte-identical (the
+//     cache never serves a torn or cross-keyed body);
+//   - the admission queue never exceeds its configured depth;
+//   - every admitted request completes (nothing leaks a worker token);
+//   - the process survives with no data race (run under -race in CI).
+func TestSoakConcurrentMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is not a -short test")
+	}
+	const (
+		goroutines = 8
+		perG       = 24
+		queueDepth = 128
+	)
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: queueDepth})
+
+	// bodiesByKey collects every 200 body per request body (one request
+	// body == one fingerprint).
+	var mu sync.Mutex
+	bodiesByKey := map[string][][]byte{}
+	statuses := map[int]int{}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var endpoint, body string
+				wantStatus := map[int]bool{200: true}
+				switch i % 6 {
+				case 0, 1: // shared cacheable compile
+					endpoint, body = "/v1/compile", jsonBody(dotSource, "")
+				case 2: // shared cacheable schedule
+					endpoint, body = "/v1/schedule", jsonBody(dotSource, "")
+				case 3: // unique, never cached before
+					endpoint = "/v1/compile"
+					body = jsonBody(fmt.Sprintf("x = %d; y = x + %d;", g, i), "")
+				case 4: // invalid source
+					endpoint, body = "/v1/compile", jsonBody("for (i = 0; ;", "")
+					wantStatus = map[int]bool{422: true}
+				case 5: // doomed deadline
+					endpoint, body = "/v1/schedule", jsonBody(heavySource, `"timeout_ms": 1`)
+					wantStatus = map[int]bool{504: true}
+				}
+				// Queue-full rejections are legal for any admitted class
+				// under this load.
+				wantStatus[429] = true
+
+				resp, err := client.Post(ts.URL+endpoint, "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d req %d: %v", g, i, err)
+					return
+				}
+				blob, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d req %d read: %v", g, i, err)
+					return
+				}
+				if !wantStatus[resp.StatusCode] {
+					errs <- fmt.Errorf("goroutine %d req %d: status %d (body %.200s)",
+						g, i, resp.StatusCode, blob)
+					return
+				}
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				if resp.StatusCode == 200 {
+					key := endpoint + "\x00" + body
+					bodiesByKey[key] = append(bodiesByKey[key], blob)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	for key, bodies := range bodiesByKey {
+		for _, b := range bodies[1:] {
+			if !bytes.Equal(b, bodies[0]) {
+				t.Errorf("fingerprint %.60q: responses not byte-identical", key)
+				break
+			}
+		}
+	}
+	if statuses[200] == 0 || statuses[422] == 0 {
+		t.Errorf("soak did not exercise all classes: statuses = %v", statuses)
+	}
+
+	st := s.Stats()
+	if st.MaxQueueDepth > queueDepth {
+		t.Errorf("queue depth reached %d, configured bound %d", st.MaxQueueDepth, queueDepth)
+	}
+	if st.Admitted != st.Completed {
+		t.Errorf("admitted %d != completed %d: a worker token leaked", st.Admitted, st.Completed)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queue depth %d after load drained, want 0", st.QueueDepth)
+	}
+	t.Logf("soak: statuses=%v admitted=%d cache hits=%d misses=%d maxdepth=%d",
+		statuses, st.Admitted, st.CacheHits, st.CacheMisses, st.MaxQueueDepth)
+}
+
+// TestSoakSingleflight checks that a thundering herd on one cold key
+// computes it once: N concurrent identical requests, one miss.
+func TestSoakSingleflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const herd = 16
+	body := jsonBody(dotSource, "")
+	var wg sync.WaitGroup
+	bodies := make([][]byte, herd)
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < herd; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body differs from request 0", i)
+		}
+	}
+	if st := s.Stats(); st.CacheMisses != 1 {
+		t.Errorf("herd of %d caused %d cache misses, want 1", herd, st.CacheMisses)
+	}
+}
+
+// TestDrainLosesNothing checks the drain guarantee: every request
+// admitted before Drain completes with its normal response, new
+// requests are refused, and Drain returns once the last one finishes.
+func TestDrainLosesNothing(t *testing.T) {
+	const inflight = 6
+	s := New(Config{Workers: inflight, QueueDepth: 8})
+	release := make(chan struct{})
+	entered := make(chan struct{}, inflight)
+	s.handle("block", "/v1/block", func(ctx context.Context, req *Request) (any, *apiError) {
+		entered <- struct{}{}
+		<-release
+		return map[string]string{"ok": "true"}, nil
+	})
+	ts := serveHTTP(t, s)
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, inflight)
+	for i := 0; i < inflight; i++ {
+		body := fmt.Sprintf(`{"source": "x = %d;"}`, i)
+		go func() {
+			resp, err := http.Post(ts+"/v1/block", "application/json", strings.NewReader(body))
+			if err != nil {
+				results <- result{0, err}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- result{resp.StatusCode, nil}
+		}()
+	}
+	for i := 0; i < inflight; i++ {
+		<-entered // all admitted and inside the handler
+	}
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+	waitFor(t, "draining flag", s.Draining)
+
+	// New work is refused while the old completes.
+	resp, blob := post(t, ts+"/v1/compile", `{"source": "x = 1;"}`)
+	if resp.StatusCode != 503 {
+		t.Fatalf("during drain: status = %d, want 503; body:\n%s", resp.StatusCode, blob)
+	}
+
+	close(release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < inflight; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Errorf("in-flight request lost: %v", r.err)
+		} else if r.status != 200 {
+			t.Errorf("in-flight request got %d, want 200", r.status)
+		}
+	}
+}
+
+// TestDrainTimeout checks that Drain reports requests it could not wait
+// out.
+func TestDrainTimeout(t *testing.T) {
+	s := New(Config{Workers: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.handle("block", "/v1/block", func(ctx context.Context, req *Request) (any, *apiError) {
+		entered <- struct{}{}
+		<-release
+		return map[string]string{"ok": "true"}, nil
+	})
+	ts := serveHTTP(t, s)
+	defer close(release)
+
+	go http.Post(ts+"/v1/block", "application/json", strings.NewReader(`{"source": "x = 1;"}`))
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a request still in flight")
+	}
+}

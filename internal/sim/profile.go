@@ -230,8 +230,8 @@ func apportion(total int64, slots []int32, weight []int64) []int64 {
 			idx[i] = i
 		}
 		sort.SliceStable(idx, func(a, b int) bool {
-			ra := total*weight[slots[idx[a]]] % wsum
-			rb := total*weight[slots[idx[b]]] % wsum
+			ra := total * weight[slots[idx[a]]] % wsum
+			rb := total * weight[slots[idx[b]]] % wsum
 			return ra > rb
 		})
 		for i := int64(0); i < rest; i++ {

@@ -22,6 +22,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -195,10 +196,26 @@ type instrInfo struct {
 	slot   int32 // profiler (block, line) slot; valid only when profiling
 }
 
+// ctxCheckInterval is the number of simulated instructions between
+// deadline/cancellation checkpoints. Checking costs one context.Err call
+// (an uncontended mutex); at this interval the overhead is unmeasurable
+// while a canceled request still stops within a few microseconds of
+// simulated work.
+const ctxCheckInterval = 16 * 1024
+
 // Run simulates f on machine d with timing plan, reading inputs from and
 // writing results back to env. maxInstrs guards against runaway loops
 // (0 = 500M). Run treats f and plan as read-only.
 func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int64) (*Metrics, error) {
+	return RunCtx(context.Background(), f, d, plan, env, maxInstrs)
+}
+
+// RunCtx is Run honoring a context: the execution loop checks ctx every
+// ctxCheckInterval instructions and aborts with an error wrapping
+// ctx.Err() (so errors.Is(err, context.DeadlineExceeded) works) when the
+// deadline passes or the caller cancels. A context.Background() call is
+// identical to Run.
+func RunCtx(ctx context.Context, f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int64) (*Metrics, error) {
 	if maxInstrs == 0 {
 		maxInstrs = 500_000_000
 	}
@@ -208,6 +225,10 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 		cache: newCache(d.Cache),
 		m:     &Metrics{ExecCounts: make([]int64, len(f.Blocks))},
 		limit: maxInstrs,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+		s.nextCtxCheck = ctxCheckInterval
 	}
 	if prof.Enabled() {
 		s.pr = newProfState(f, d)
@@ -289,6 +310,12 @@ type simulator struct {
 	// enabled, and every hot-path touch is behind a nil check.
 	pr *profState
 
+	// ctx, when non-nil, is polled every ctxCheckInterval instructions so
+	// deadlines and cancellations stop long simulations promptly. The
+	// per-block cost while dormant is two integer compares.
+	ctx          context.Context
+	nextCtxCheck int64
+
 	nextBase int64 // array base address allocator
 }
 
@@ -347,6 +374,12 @@ func (s *simulator) run() error {
 			return fmt.Errorf("sim: control fell off the program (block %d)", blockID)
 		}
 		b := s.f.Blocks[blockID]
+		if s.ctx != nil && s.m.Instrs >= s.nextCtxCheck {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("sim: aborted after %d instructions: %w", s.m.Instrs, err)
+			}
+			s.nextCtxCheck = s.m.Instrs + ctxCheckInterval
+		}
 		s.m.ExecCounts[blockID]++
 		next, halted, err := s.execBlock(b)
 		if err != nil {
