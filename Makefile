@@ -6,7 +6,10 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build test race vet lint fuzz bench figures profile cycleprofile gate baseline serve loadsmoke clean
+.PHONY: all build test race vet lint fuzz bench bench-parallel figures profile cycleprofile gate baseline serve loadsmoke clean
+
+# The committed gate baseline (a two-leg slms-bench-legs/v1 record).
+SLMS_GATE_BASELINE ?= BENCH_6.json
 
 all: build vet test
 
@@ -41,7 +44,12 @@ fuzz:
 # Single-pass smoke of every Benchmark* (no statistics); use
 # `go test -bench . -benchtime 10x ./internal/bench/` for real numbers.
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x ./internal/bench/ ./internal/pipeline/
+	$(GO) test -run XXX -bench . -benchtime 1x ./internal/bench/ ./internal/pipeline/ ./internal/server/
+
+# The two-leg trajectory: full suite serial then parallel, cold caches
+# each, byte-identical figures enforced; writes BENCH_legs.json.
+bench-parallel:
+	$(GO) run ./cmd/slmsbench -legs -json BENCH_legs.json
 
 # Regenerate all paper figures and the BENCH_1.json harness stats.
 figures:
@@ -57,16 +65,22 @@ profile:
 cycleprofile:
 	$(GO) run ./cmd/slmsbench -q -profile cycles.pb.gz -json ""
 
-# The CI cycle-regression gate: re-run the suite and fail on >5% cycle
-# growth against the committed BENCH_4.json baseline.
+# The CI regression gates against $(SLMS_GATE_BASELINE): per-kernel
+# simulated cycles (deterministic, >5% growth fails) and parallel
+# throughput/scaling (cycles/second of the parallel leg; the scaling
+# floor is skipped on single-proc hosts).
 gate:
-	SLMS_REGRESSION_GATE=1 $(GO) test -run TestRegressionGateAgainstBaseline -v ./internal/bench/compare/
+	SLMS_REGRESSION_GATE=1 SLMS_GATE_BASELINE=$(abspath $(SLMS_GATE_BASELINE)) \
+		$(GO) test -run TestRegressionGateAgainstBaseline -v ./internal/bench/compare/
+	SLMS_THROUGHPUT_GATE=1 SLMS_GATE_BASELINE=$(abspath $(SLMS_GATE_BASELINE)) \
+		$(GO) test -run TestThroughputGateAgainstBaseline -v ./internal/bench/compare/
 
 # Re-record the regression-gate baseline after an intentional
 # scheduling or simulator change (cycles are deterministic, so this is
-# reproducible on any machine).
+# reproducible on any machine; the throughput leg is host-specific but
+# gated with wide thresholds).
 baseline:
-	$(GO) run ./cmd/slmsbench -q -profile suite-cycles.pb.gz -json BENCH_4.json > /dev/null
+	$(GO) run ./cmd/slmsbench -q -legs -json $(SLMS_GATE_BASELINE) > /dev/null
 
 # Run the compilation service on the default address (127.0.0.1:8347).
 serve:

@@ -47,6 +47,7 @@ func main() {
 	census := flag.Bool("census", false, "report machine-MS application before/after SLMS (paper §9.2)")
 	extensions := flag.Bool("extensions", false, "measure the §10 while-loop and frequent-path extensions")
 	summary := flag.Bool("summary", false, "one line per figure: the reproduction scoreboard")
+	legs := flag.Bool("legs", false, "run the suite twice (serial + parallel legs, cold caches) and write a two-leg trajectory")
 	jsonPath := flag.String("json", "BENCH_1.json", "write harness stats for the all-figures run here (empty = skip)")
 	workers := flag.Int("workers", 0, "measurement worker-pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -104,7 +105,7 @@ func main() {
 		}()
 	}
 
-	err := run(*figure, *list, *ablations, *census, *extensions, *summary, *jsonPath)
+	err := run(*figure, *list, *ablations, *census, *extensions, *summary, *legs, *jsonPath)
 	if err == nil && *profPath != "" {
 		err = writeSuiteProfiles(*profPath)
 	}
@@ -159,8 +160,28 @@ func writeSuiteProfiles(path string) error {
 
 // run dispatches one benchmark mode. Kept separate from main so the
 // pprof/json defers above run before a failure exit.
-func run(figure string, list, ablations, census, extensions, summary bool, jsonPath string) error {
+func run(figure string, list, ablations, census, extensions, summary, legs bool, jsonPath string) error {
 	switch {
+	case legs:
+		figs, stats, err := bench.AllFiguresLegs()
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			fmt.Println(f.Table())
+		}
+		fmt.Printf("legs: serial %.4g cycles/sec, parallel %.4g cycles/sec (%.2fx scaling on %d procs)\n",
+			stats.Serial.CyclesPerSecond, stats.Parallel.CyclesPerSecond,
+			stats.Scaling, stats.Parallel.GoMaxProcs)
+		if jsonPath != "" {
+			blob, err := json.MarshalIndent(stats, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
 	case summary:
 		out, err := bench.Summary()
 		if err != nil {

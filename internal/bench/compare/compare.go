@@ -30,17 +30,32 @@ type Options struct {
 // cycle growth.
 const DefaultCycleThreshold = 0.05
 
-// Load reads one BENCH_*.json file.
+// Load reads one BENCH_*.json file. A two-leg record loads as its
+// parallel leg (the primary trajectory; cycle totals are deterministic
+// and identical across legs).
 func Load(path string) (*bench.RunStats, error) {
+	rs, _, err := LoadAny(path)
+	return rs, err
+}
+
+// LoadAny reads a BENCH_*.json file in either format: a legacy single
+// RunStats (legs nil) or a slms-bench-legs/v1 two-leg record (the
+// RunStats returned is the parallel leg).
+func LoadAny(path string) (*bench.RunStats, *bench.LegsStats, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var legs bench.LegsStats
+	if err := json.Unmarshal(blob, &legs); err == nil &&
+		legs.Serial != nil && legs.Parallel != nil {
+		return legs.Parallel, &legs, nil
 	}
 	var rs bench.RunStats
 	if err := json.Unmarshal(blob, &rs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &rs, nil
+	return &rs, nil, nil
 }
 
 // Stat is a sampled quantity: mean over N samples plus the half-width

@@ -8,19 +8,29 @@ import (
 	"slms/internal/bench"
 )
 
+// gateBaseline is the committed baseline the CI gates diff against:
+// SLMS_GATE_BASELINE when set, BENCH_6.json (the two-leg record)
+// otherwise.
+func gateBaseline() string {
+	if p := os.Getenv("SLMS_GATE_BASELINE"); p != "" {
+		return p
+	}
+	return filepath.Join("..", "..", "..", "BENCH_6.json")
+}
+
 // TestRegressionGateAgainstBaseline is the CI regression gate: it
 // re-runs the full figure suite and compares its per-kernel simulated
-// cycles against the committed BENCH_4.json baseline. Cycles are
-// deterministic, so any delta beyond the 5% threshold is a real
-// scheduling or simulator change — either a regression to fix or an
-// intentional change that warrants re-recording the baseline
-// (`slmsbench -json BENCH_4.json`). Env-gated because it re-runs the
-// whole suite; CI sets SLMS_REGRESSION_GATE=1.
+// cycles against the committed baseline. Cycles are deterministic, so
+// any delta beyond the 5% threshold is a real scheduling or simulator
+// change — either a regression to fix or an intentional change that
+// warrants re-recording the baseline (`slmsbench -legs -json
+// BENCH_6.json`). Env-gated because it re-runs the whole suite; CI sets
+// SLMS_REGRESSION_GATE=1.
 func TestRegressionGateAgainstBaseline(t *testing.T) {
 	if os.Getenv("SLMS_REGRESSION_GATE") == "" {
 		t.Skip("set SLMS_REGRESSION_GATE=1 to run the regression gate")
 	}
-	baseline, err := Load(filepath.Join("..", "..", "..", "BENCH_4.json"))
+	baseline, err := Load(gateBaseline())
 	if err != nil {
 		t.Fatalf("load committed baseline: %v", err)
 	}
@@ -44,5 +54,34 @@ func TestRegressionGateAgainstBaseline(t *testing.T) {
 	t.Logf("gated %d kernels against the baseline\n%s", gated, rep.Table())
 	for _, reg := range rep.Regressions {
 		t.Errorf("regression: %s", reg)
+	}
+}
+
+// TestThroughputGateAgainstBaseline is the CI throughput gate: it
+// re-runs the figure suite in both configurations (serial and parallel
+// legs, cold caches each) and checks (a) the parallel leg's
+// cycles/second has not collapsed against the committed baseline and
+// (b) parallelism still buys the expected multiplier over this host's
+// own serial leg (skipped on single-proc hosts, where there is nothing
+// to scale onto). Env-gated: CI sets SLMS_THROUGHPUT_GATE=1.
+func TestThroughputGateAgainstBaseline(t *testing.T) {
+	if os.Getenv("SLMS_THROUGHPUT_GATE") == "" {
+		t.Skip("set SLMS_THROUGHPUT_GATE=1 to run the throughput gate")
+	}
+	_, baseLegs, err := LoadAny(gateBaseline())
+	if err != nil {
+		t.Fatalf("load committed baseline: %v", err)
+	}
+	_, legs, err := bench.AllFiguresLegs()
+	if err != nil {
+		t.Fatalf("two-leg figure suite: %v", err)
+	}
+	rep, err := CompareThroughput(baseLegs, legs, ThroughputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("throughput gate\n%s", rep.Table())
+	for _, reg := range rep.Regressions {
+		t.Errorf("throughput regression: %s", reg)
 	}
 }

@@ -1,0 +1,127 @@
+package compare
+
+import (
+	"fmt"
+	"strings"
+
+	"slms/internal/bench"
+)
+
+// The throughput gate over two-leg BENCH records. Cycle counts are
+// deterministic and gated exactly by Compare; cycles/second is wall
+// clock, so this gate uses a wide threshold (throughput halving is a
+// real regression, 10% is runner noise) and judges parallel scaling
+// against the host's own serial leg — a self-relative measure that is
+// stable across machines of different absolute speed.
+
+// ThroughputOptions configures CompareThroughput.
+type ThroughputOptions struct {
+	// Threshold is the relative cycles/second drop (parallel leg, new vs
+	// old) that counts as a regression. 0 means the default, 30%.
+	Threshold float64
+	// MinScaling is the parallel-over-serial throughput multiplier
+	// demanded of the new record on hosts with ≥ 4 procs. 0 means the
+	// default, 2.0. On 2–3 procs the demand is halved; on < 2 procs the
+	// scaling check is skipped (there is nothing to scale onto).
+	MinScaling float64
+}
+
+// DefaultThroughputThreshold is the cycles/second regression threshold.
+const DefaultThroughputThreshold = 0.30
+
+// DefaultMinScaling is the parallel-over-serial multiplier demanded on
+// multi-core hosts.
+const DefaultMinScaling = 2.0
+
+// ThroughputReport is the outcome of a throughput comparison.
+type ThroughputReport struct {
+	OldCyclesPerSec float64  `json:"old_cycles_per_sec"`
+	NewCyclesPerSec float64  `json:"new_cycles_per_sec"`
+	Delta           float64  `json:"delta"` // relative change, new vs old
+	OldScaling      float64  `json:"old_scaling"`
+	NewScaling      float64  `json:"new_scaling"`
+	GoMaxProcs      int      `json:"gomaxprocs"` // of the new record
+	Skipped         []string `json:"skipped,omitempty"`
+	Regressions     []string `json:"regressions,omitempty"`
+}
+
+// Failed reports whether the new record regressed.
+func (r *ThroughputReport) Failed() bool { return len(r.Regressions) > 0 }
+
+// CompareThroughput gates the new two-leg record's parallel throughput
+// against the old one and its scaling against the host itself. old may
+// be nil (a legacy single-RunStats baseline): the absolute comparison is
+// skipped and only the self-relative scaling check runs.
+func CompareThroughput(old, new *bench.LegsStats, opts ThroughputOptions) (*ThroughputReport, error) {
+	if new == nil || new.Serial == nil || new.Parallel == nil {
+		return nil, fmt.Errorf("compare: throughput gate needs a two-leg record (run slmsbench -legs)")
+	}
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = DefaultThroughputThreshold
+	}
+	minScaling := opts.MinScaling
+	if minScaling == 0 {
+		minScaling = DefaultMinScaling
+	}
+	rep := &ThroughputReport{
+		NewCyclesPerSec: new.Parallel.CyclesPerSecond,
+		NewScaling:      new.Scaling,
+		GoMaxProcs:      new.Parallel.GoMaxProcs,
+	}
+
+	if old != nil && old.Parallel != nil {
+		rep.OldCyclesPerSec = old.Parallel.CyclesPerSecond
+		rep.OldScaling = old.Scaling
+		if rep.OldCyclesPerSec > 0 {
+			rep.Delta = (rep.NewCyclesPerSec - rep.OldCyclesPerSec) / rep.OldCyclesPerSec
+			if rep.Delta < -threshold {
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"parallel throughput regressed %.0f%% (%.3g -> %.3g cycles/sec, threshold %.0f%%)",
+					-100*rep.Delta, rep.OldCyclesPerSec, rep.NewCyclesPerSec, 100*threshold))
+			}
+		} else {
+			rep.Skipped = append(rep.Skipped, "baseline has no cycles/second; absolute comparison skipped")
+		}
+	} else {
+		rep.Skipped = append(rep.Skipped, "baseline is single-leg; absolute comparison skipped")
+	}
+
+	switch procs := rep.GoMaxProcs; {
+	case procs < 2:
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf(
+			"scaling check skipped on a %d-proc host", procs))
+	default:
+		want := minScaling
+		if procs < 4 {
+			want = minScaling / 2
+		}
+		if rep.NewScaling < want {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+				"parallel scaling %.2fx below the %.2fx floor on a %d-proc host",
+				rep.NewScaling, want, procs))
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the throughput report as text.
+func (r *ThroughputReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel throughput: %.4g -> %.4g cycles/sec (%+.1f%%)\n",
+		r.OldCyclesPerSec, r.NewCyclesPerSec, 100*r.Delta)
+	fmt.Fprintf(&b, "scaling (parallel/serial): %.2fx -> %.2fx on %d procs\n",
+		r.OldScaling, r.NewScaling, r.GoMaxProcs)
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "skipped: %s\n", s)
+	}
+	if len(r.Regressions) > 0 {
+		b.WriteString("THROUGHPUT REGRESSIONS:\n")
+		for _, reg := range r.Regressions {
+			fmt.Fprintf(&b, "  %s\n", reg)
+		}
+	} else {
+		b.WriteString("no throughput regressions\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package compare
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slms/internal/bench"
+)
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func legsFixture(serialCPS, parallelCPS float64, procs int) *bench.LegsStats {
+	return &bench.LegsStats{
+		Schema:   bench.LegsSchema,
+		Serial:   &bench.RunStats{CyclesPerSecond: serialCPS, Workers: 1, GoMaxProcs: procs},
+		Parallel: &bench.RunStats{CyclesPerSecond: parallelCPS, Workers: procs, GoMaxProcs: procs},
+		Scaling:  parallelCPS / serialCPS,
+	}
+}
+
+// TestLoadAnyDetectsBothFormats: a legacy single-RunStats file loads
+// with nil legs; a two-leg record loads as its parallel leg plus the
+// legs.
+func TestLoadAnyDetectsBothFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	legacy := filepath.Join(dir, "legacy.json")
+	writeJSON(t, legacy, &bench.RunStats{SimulatedCycles: 123, CyclesPerSecond: 9.5})
+	rs, legs, err := LoadAny(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legs != nil {
+		t.Errorf("legacy file decoded as a legs record")
+	}
+	if rs.SimulatedCycles != 123 {
+		t.Errorf("legacy cycles = %d, want 123", rs.SimulatedCycles)
+	}
+
+	two := filepath.Join(dir, "legs.json")
+	writeJSON(t, two, legsFixture(100, 350, 4))
+	rs, legs, err = LoadAny(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legs == nil {
+		t.Fatal("two-leg file decoded as legacy")
+	}
+	if rs != legs.Parallel {
+		t.Error("LoadAny did not return the parallel leg as the gating RunStats")
+	}
+	if got, err := Load(two); err != nil || got.CyclesPerSecond != 350 {
+		t.Errorf("Load(legs) = %+v, %v; want the parallel leg", got, err)
+	}
+}
+
+// TestCompareThroughputGates exercises the regression and scaling rules.
+func TestCompareThroughputGates(t *testing.T) {
+	old := legsFixture(100, 350, 4)
+
+	// Healthy: similar throughput, good scaling.
+	rep, err := CompareThroughput(old, legsFixture(100, 330, 4), ThroughputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("healthy record failed: %v", rep.Regressions)
+	}
+
+	// Collapsed throughput: beyond the 30% default threshold.
+	rep, err = CompareThroughput(old, legsFixture(100, 200, 4), ThroughputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("43% throughput drop passed the gate")
+	}
+
+	// Scaling below the 2x floor on a 4-proc host.
+	rep, err = CompareThroughput(old, legsFixture(100, 150, 4), ThroughputOptions{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("1.5x scaling on 4 procs passed the 2x floor")
+	}
+
+	// Single-proc host: scaling check skipped, mild drop tolerated.
+	rep, err = CompareThroughput(old, legsFixture(100, 101, 1), ThroughputOptions{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("single-proc record failed: %v", rep.Regressions)
+	}
+	if len(rep.Skipped) == 0 {
+		t.Error("single-proc record did not report the skipped scaling check")
+	}
+
+	// Legacy baseline: absolute comparison skipped, scaling still gated.
+	rep, err = CompareThroughput(nil, legsFixture(100, 120, 4), ThroughputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("1.2x scaling on 4 procs passed with a legacy baseline")
+	}
+	if len(rep.Skipped) == 0 {
+		t.Error("legacy baseline did not report the skipped absolute comparison")
+	}
+
+	// A one-leg record is a usage error.
+	if _, err := CompareThroughput(old, &bench.LegsStats{Parallel: &bench.RunStats{}}, ThroughputOptions{}); err == nil {
+		t.Error("one-leg record accepted")
+	}
+}

@@ -604,11 +604,15 @@ type RunStats struct {
 	TotalWallSeconds float64      `json:"total_wall_seconds"`
 	SimulatedCycles  int64        `json:"simulated_cycles"`
 	CyclesPerSecond  float64      `json:"cycles_per_second"`
-	CacheHits        int64        `json:"cache_hits"`
-	CacheMisses      int64        `json:"cache_misses"`
-	CacheHitRate     float64      `json:"cache_hit_rate"`
-	Workers          int          `json:"workers"`
-	GoMaxProcs       int          `json:"gomaxprocs"`
+	// CacheHits/CacheMisses total every caching layer under the harness;
+	// Caches is the per-cache split (parse, transform, compile) and sums
+	// exactly to the totals.
+	CacheHits    int64       `json:"cache_hits"`
+	CacheMisses  int64       `json:"cache_misses"`
+	CacheHitRate float64     `json:"cache_hit_rate"`
+	Caches       []CacheStat `json:"caches,omitempty"`
+	Workers      int         `json:"workers"`
+	GoMaxProcs   int         `json:"gomaxprocs"`
 	// Phases aggregates each pipeline phase (parse, transform, compile,
 	// sim, verify, ...) over this run, from the phase.* histograms of
 	// the metrics registry.
@@ -642,7 +646,7 @@ func AllFigures() ([]*Figure, error) {
 // per figure, cycles simulated, simulation throughput and artifact
 // cache hit rate over the run.
 func AllFiguresTimed() ([]*Figure, *RunStats, error) {
-	startHits, startMisses := pipeline.CacheStats()
+	startCaches := snapshotCaches()
 	startSnap := obs.Default.Snapshot()
 	obs.GaugeName("bench.workers").Set(int64(Workers()))
 	start := time.Now()
@@ -689,8 +693,11 @@ func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 	if stats.TotalWallSeconds > 0 {
 		stats.CyclesPerSecond = float64(stats.SimulatedCycles) / stats.TotalWallSeconds
 	}
-	hits, misses := pipeline.CacheStats()
-	stats.CacheHits, stats.CacheMisses = hits-startHits, misses-startMisses
+	stats.Caches = startCaches.delta(snapshotCaches())
+	for _, cs := range stats.Caches {
+		stats.CacheHits += cs.Hits
+		stats.CacheMisses += cs.Misses
+	}
 	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
 		stats.CacheHitRate = float64(stats.CacheHits) / float64(total)
 	}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"slms/internal/core"
+	"slms/internal/pipeline"
+	"slms/internal/source"
+)
+
+// The two-leg trajectory: the harness runs the full figure suite twice,
+// once fully serial (one pool worker, one pipeline worker) and once
+// parallel (GOMAXPROCS everywhere), from cold caches each time. The
+// figures must come out byte-identical — parallelism is a scheduling
+// choice, never a semantic one — and the pair of RunStats records the
+// throughput of each configuration so the regression gate can watch
+// cycles/second scaling, not just cycle counts.
+
+// LegsSchema identifies a LegsStats JSON document.
+const LegsSchema = "slms-bench-legs/v1"
+
+// CacheStat is one cache's hit/miss split over a run.
+type CacheStat struct {
+	Cache   string  `json:"cache"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// cacheCounts snapshots the cumulative counters of every caching layer
+// under the harness: source parse, core transform, pipeline artifact
+// ("compile").
+type cacheCounts struct {
+	parseHits, parseMisses         int64
+	transformHits, transformMisses int64
+	compileHits, compileMisses     int64
+}
+
+func snapshotCaches() cacheCounts {
+	var c cacheCounts
+	c.parseHits, c.parseMisses = source.ParseCacheStats()
+	c.transformHits, c.transformMisses = core.TransformCacheStats()
+	c.compileHits, c.compileMisses = pipeline.CacheStats()
+	return c
+}
+
+// delta renders the per-cache growth between two snapshots in a fixed
+// order (parse, transform, compile).
+func (before cacheCounts) delta(after cacheCounts) []CacheStat {
+	mk := func(name string, hits, misses int64) CacheStat {
+		cs := CacheStat{Cache: name, Hits: hits, Misses: misses}
+		if total := hits + misses; total > 0 {
+			cs.HitRate = float64(hits) / float64(total)
+		}
+		return cs
+	}
+	return []CacheStat{
+		mk("parse", after.parseHits-before.parseHits, after.parseMisses-before.parseMisses),
+		mk("transform", after.transformHits-before.transformHits, after.transformMisses-before.transformMisses),
+		mk("compile", after.compileHits-before.compileHits, after.compileMisses-before.compileMisses),
+	}
+}
+
+// LegsStats is the serial + parallel harness trajectory of one
+// AllFiguresLegs run. cmd/slmsbench -legs serializes it as
+// BENCH_*.json; compare.LoadAny reads either this or a legacy single
+// RunStats.
+type LegsStats struct {
+	Schema   string    `json:"schema"` // LegsSchema
+	Serial   *RunStats `json:"serial"`
+	Parallel *RunStats `json:"parallel"`
+	// Scaling is parallel cycles/second over serial cycles/second —
+	// the throughput multiplier bought by parallelism on this host.
+	Scaling float64 `json:"scaling"`
+}
+
+// ResetHarnessState drops every cross-run memo and cache (measurement
+// memo, kernel aggregates, artifact/transform/parse caches) so the next
+// run measures real work from cold.
+func ResetHarnessState() {
+	ResetMeasurements()
+	pipeline.ResetCache()
+	core.ResetTransformCache()
+	source.ResetParseCache()
+}
+
+// AllFiguresLegs runs the full figure suite twice — serial then
+// parallel — from cold caches, checks the two legs render byte-identical
+// figure tables, and returns the parallel leg's figures with both legs'
+// trajectories. Worker-pool and pipeline parallelism settings are
+// restored on return.
+func AllFiguresLegs() ([]*Figure, *LegsStats, error) {
+	origWorkers := Workers()
+	origPar := pipeline.Parallelism()
+	defer func() {
+		SetWorkers(origWorkers)
+		pipeline.SetParallelism(origPar)
+	}()
+
+	SetWorkers(1)
+	pipeline.SetParallelism(1)
+	ResetHarnessState()
+	serialFigs, serialStats, err := AllFiguresTimed()
+	if err != nil {
+		return nil, nil, fmt.Errorf("serial leg: %w", err)
+	}
+
+	n := runtime.GOMAXPROCS(0)
+	SetWorkers(n)
+	pipeline.SetParallelism(n)
+	ResetHarnessState()
+	parFigs, parStats, err := AllFiguresTimed()
+	if err != nil {
+		return nil, nil, fmt.Errorf("parallel leg: %w", err)
+	}
+
+	if err := equalFigures(serialFigs, parFigs); err != nil {
+		return nil, nil, err
+	}
+	legs := &LegsStats{Schema: LegsSchema, Serial: serialStats, Parallel: parStats}
+	if serialStats.CyclesPerSecond > 0 {
+		legs.Scaling = parStats.CyclesPerSecond / serialStats.CyclesPerSecond
+	}
+	return parFigs, legs, nil
+}
+
+// equalFigures demands two figure sets render identically — the
+// determinism contract between the serial and parallel legs.
+func equalFigures(a, b []*Figure) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("bench: legs produced %d vs %d figures", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Table() != b[i].Table() {
+			return fmt.Errorf("bench: figure %s renders differently between the serial and parallel legs", a[i].ID)
+		}
+	}
+	return nil
+}

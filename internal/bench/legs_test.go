@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCacheBreakdownSumsCorrectly pins the BENCH schema invariant: the
+// per-cache split (parse/transform/compile) is present, ordered, and
+// sums exactly to the run's CacheHits/CacheMisses totals.
+func TestCacheBreakdownSumsCorrectly(t *testing.T) {
+	ResetHarnessState()
+	_, stats, err := AllFiguresTimed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"parse", "transform", "compile"}
+	if len(stats.Caches) != len(wantOrder) {
+		t.Fatalf("Caches has %d entries, want %d", len(stats.Caches), len(wantOrder))
+	}
+	var hits, misses int64
+	for i, cs := range stats.Caches {
+		if cs.Cache != wantOrder[i] {
+			t.Errorf("Caches[%d] = %q, want %q", i, cs.Cache, wantOrder[i])
+		}
+		if cs.Hits < 0 || cs.Misses < 0 {
+			t.Errorf("cache %s has negative counters: %d/%d", cs.Cache, cs.Hits, cs.Misses)
+		}
+		if total := cs.Hits + cs.Misses; total > 0 {
+			if want := float64(cs.Hits) / float64(total); cs.HitRate != want {
+				t.Errorf("cache %s hit rate %v, want %v", cs.Cache, cs.HitRate, want)
+			}
+		} else if cs.HitRate != 0 {
+			t.Errorf("idle cache %s has hit rate %v", cs.Cache, cs.HitRate)
+		}
+		hits += cs.Hits
+		misses += cs.Misses
+	}
+	if hits != stats.CacheHits || misses != stats.CacheMisses {
+		t.Errorf("per-cache counters sum to %d/%d, totals say %d/%d",
+			hits, misses, stats.CacheHits, stats.CacheMisses)
+	}
+	// A from-cold full run must have done real work in every layer.
+	for _, cs := range stats.Caches {
+		if cs.Hits+cs.Misses == 0 {
+			t.Errorf("cache %s saw no traffic over a full figure run", cs.Cache)
+		}
+	}
+}
+
+// TestAllFiguresLegs runs the two-leg harness end to end: both legs
+// must succeed, render byte-identical figures (AllFiguresLegs enforces
+// that internally), and report coherent trajectories. The ≥2x scaling
+// demand lives in the env-gated throughput gate, not here — this test
+// must pass on a single-core runner too.
+func TestAllFiguresLegs(t *testing.T) {
+	figs, legs, err := AllFiguresLegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) == 0 {
+		t.Fatal("legs run produced no figures")
+	}
+	if legs.Schema != LegsSchema {
+		t.Errorf("schema = %q, want %q", legs.Schema, LegsSchema)
+	}
+	if legs.Serial == nil || legs.Parallel == nil {
+		t.Fatal("legs record is missing a side")
+	}
+	if legs.Serial.Workers != 1 {
+		t.Errorf("serial leg ran with %d workers, want 1", legs.Serial.Workers)
+	}
+	if want := runtime.GOMAXPROCS(0); legs.Parallel.Workers != want {
+		t.Errorf("parallel leg ran with %d workers, want %d", legs.Parallel.Workers, want)
+	}
+	// Cycle totals are deterministic; the legs must agree exactly.
+	if legs.Serial.SimulatedCycles != legs.Parallel.SimulatedCycles {
+		t.Errorf("legs simulated %d vs %d cycles; determinism broken",
+			legs.Serial.SimulatedCycles, legs.Parallel.SimulatedCycles)
+	}
+	if legs.Serial.CyclesPerSecond <= 0 || legs.Parallel.CyclesPerSecond <= 0 {
+		t.Errorf("non-positive throughput: serial %v, parallel %v",
+			legs.Serial.CyclesPerSecond, legs.Parallel.CyclesPerSecond)
+	}
+	if legs.Scaling <= 0 {
+		t.Errorf("scaling = %v, want > 0", legs.Scaling)
+	}
+}

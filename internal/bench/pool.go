@@ -116,13 +116,17 @@ type measureEntry struct {
 
 var measureMemo sync.Map // measureKey -> *measureEntry
 
-// ResetMeasurements drops every memoized measurement (used by
-// benchmarks so each iteration measures real work).
+// ResetMeasurements drops every memoized measurement and the per-kernel
+// aggregates built from them (used by benchmarks and the legs harness so
+// each run measures real work and reports only its own trajectory).
 func ResetMeasurements() {
 	measureMemo.Range(func(k, _ any) bool {
 		measureMemo.Delete(k)
 		return true
 	})
+	kernelMeasurements.Lock()
+	kernelMeasurements.m = map[string]*kernelAgg{}
+	kernelMeasurements.Unlock()
 }
 
 // measureCached memoizes measure: the same (kernel, machine, compiler)

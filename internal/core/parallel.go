@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"slms/internal/obs"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// The per-program transform parallelism: how many innermost loops of
+// one program may be transformed concurrently. Defaults to GOMAXPROCS.
+var transformPar atomic.Int64
+
+func init() { transformPar.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetTransformParallelism bounds the worker pool the per-loop transform
+// runs on. Values below 1 are clamped to 1 (serial). The transformed
+// output is byte-identical at every setting: each loop site works on
+// its own clone of the symbol table with a site-indexed fresh-name
+// namespace, and results merge in source order.
+func SetTransformParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	transformPar.Store(int64(n))
+}
+
+// TransformParallelism reports the current per-loop worker bound.
+func TransformParallelism() int { return int(transformPar.Load()) }
+
+// transformSiteHook, when non-nil, runs before each site's transform.
+// A non-nil return aborts that site with the error. Test-only: the
+// race-mode equivalence tests inject per-loop failures and scheduling
+// skew through it.
+var transformSiteHook func(site int) error
+
+// loopSite is one innermost-loop rewrite point: stmts[idx] is the
+// *source.For to transform in place.
+type loopSite struct {
+	stmts []source.Stmt
+	idx   int
+	loop  *source.For
+}
+
+// collectLoopSites gathers every innermost for-loop rewrite point in
+// source order, mirroring the traversal the serial transform used:
+// non-innermost For bodies, While bodies, Blocks and both If arms
+// recurse; innermost For statements become sites.
+func collectLoopSites(stmts []source.Stmt, sites *[]loopSite) {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *source.For:
+			if containsLoop(s.Body) {
+				collectLoopSites(s.Body.Stmts, sites)
+				continue
+			}
+			*sites = append(*sites, loopSite{stmts: stmts, idx: i, loop: s})
+		case *source.While:
+			collectLoopSites(s.Body.Stmts, sites)
+		case *source.Block:
+			collectLoopSites(s.Stmts, sites)
+		case *source.If:
+			collectLoopSites(s.Then.Stmts, sites)
+			if s.Else != nil {
+				collectLoopSites(s.Else.Stmts, sites)
+			}
+		}
+	}
+}
+
+// transformSites transforms every site, possibly concurrently, and
+// merges deterministically: replacements land at their recorded
+// positions, results come back in source order, and the first error in
+// source order wins regardless of which worker hit it first.
+//
+// Determinism of the output does not depend on the worker count: with
+// more than one site every site gets its own clone of the symbol table,
+// and sites after the first mint fresh names in a per-site namespace
+// ("_l<site>" suffix), so the names a loop mints are a function of the
+// loop alone. Site 0 keeps the unsuffixed legacy names, which also
+// keeps single-loop programs byte-identical to prior releases.
+func transformSites(sp *obs.Span, sites []loopSite, tab *sem.Table, opts Options) ([]*Result, error) {
+	if len(sites) == 0 {
+		return nil, nil
+	}
+	results := make([]*Result, len(sites))
+	errs := make([]error, len(sites))
+	runSite := func(k int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[k] = fmt.Errorf("slms: transform panic on loop %d (%s): %v", k, sites[k].loop.Pos(), r)
+			}
+		}()
+		if h := transformSiteHook; h != nil {
+			if err := h(k); err != nil {
+				errs[k] = err
+				return
+			}
+		}
+		stab := tab
+		if len(sites) > 1 {
+			stab = tab.Clone()
+			if k > 0 {
+				stab.SetFreshSuffix(fmt.Sprintf("_l%d", k))
+			}
+		}
+		results[k], errs[k] = TransformSpan(sp, sites[k].loop, stab, opts)
+	}
+
+	if workers := min(TransformParallelism(), len(sites)); workers <= 1 {
+		for k := range sites {
+			runSite(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(sites) {
+						return
+					}
+					runSite(k)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for k, site := range sites {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		if r := results[k]; r.Applied {
+			site.stmts[site.idx] = r.Replacement
+		}
+	}
+	return results, nil
+}

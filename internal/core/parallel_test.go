@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"slms/internal/source"
+)
+
+// multiLoopSrc holds three independent pipelinable loops plus one
+// nested non-innermost loop, exercising every traversal arm of
+// collectLoopSites.
+const multiLoopSrc = `
+	float A[64]; float B[64]; float C[64];
+	float D[64]; float E[64];
+	for (i = 0; i < 64; i++) {
+		A[i] = B[i] * C[i] + B[i];
+		C[i] = A[i] * 0.5;
+	}
+	for (j = 0; j < 64; j++) {
+		D[j] = A[j] * B[j] + C[j];
+		E[j] = D[j] + A[j] * 0.25;
+	}
+	for (k = 0; k < 4; k++) {
+		for (i = 0; i < 64; i++) {
+			B[i] = B[i] * 0.5 + A[i];
+			A[i] = B[i] + C[i] * 2.0;
+		}
+	}
+`
+
+// TestTransformParallelEquivalence pins the determinism contract of the
+// parallel per-loop transform: the transformed program prints
+// byte-identically at every worker count, including fully serial. Run
+// under -race this also exercises the concurrent site workers against
+// the shared span/metrics machinery.
+func TestTransformParallelEquivalence(t *testing.T) {
+	orig := TransformParallelism()
+	t.Cleanup(func() { SetTransformParallelism(orig) })
+
+	transform := func(workers int) (string, []*Result) {
+		t.Helper()
+		SetTransformParallelism(workers)
+		prog := source.MustParse(multiLoopSrc)
+		out, results, err := TransformProgram(prog, DefaultOptions())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return source.Print(out), results
+	}
+
+	serialOut, serialResults := transform(1)
+	applied := 0
+	for _, r := range serialResults {
+		if r.Applied {
+			applied++
+		}
+	}
+	if applied < 2 {
+		t.Fatalf("only %d of %d loops transformed; the equivalence test needs real work", applied, len(serialResults))
+	}
+
+	for _, workers := range []int{2, 3, 8} {
+		parOut, parResults := transform(workers)
+		if parOut != serialOut {
+			t.Errorf("workers=%d: transformed program differs from the serial output\nserial:\n%s\nparallel:\n%s",
+				workers, serialOut, parOut)
+		}
+		if len(parResults) != len(serialResults) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(parResults), len(serialResults))
+		}
+		for i := range parResults {
+			if parResults[i].Applied != serialResults[i].Applied {
+				t.Errorf("workers=%d: loop %d applied=%v, serial says %v",
+					workers, i, parResults[i].Applied, serialResults[i].Applied)
+			}
+		}
+	}
+}
+
+// TestTransformParallelFirstErrorWins injects per-loop failures with
+// inverted completion order (the later site fails instantly, the
+// earlier one only after a delay) and demands the reported error is the
+// first in SOURCE order — the same error a serial run reports — at any
+// worker count.
+func TestTransformParallelFirstErrorWins(t *testing.T) {
+	orig := TransformParallelism()
+	t.Cleanup(func() {
+		SetTransformParallelism(orig)
+		transformSiteHook = nil
+	})
+
+	errSite1 := errors.New("injected failure on loop 1")
+	errSite2 := errors.New("injected failure on loop 2")
+	transformSiteHook = func(site int) error {
+		switch site {
+		case 1:
+			time.Sleep(20 * time.Millisecond) // lose the race on purpose
+			return errSite1
+		case 2:
+			return errSite2
+		}
+		return nil
+	}
+
+	for _, workers := range []int{1, 4} {
+		SetTransformParallelism(workers)
+		prog := source.MustParse(multiLoopSrc)
+		_, _, err := TransformProgram(prog, DefaultOptions())
+		if !errors.Is(err, errSite1) {
+			t.Errorf("workers=%d: err = %v, want the source-order-first injected error %v",
+				workers, err, errSite1)
+		}
+	}
+}
+
+// TestTransformParallelPanicIsolation: a panicking loop transform must
+// come back as that site's error, not crash the process, and must name
+// the loop.
+func TestTransformParallelPanicIsolation(t *testing.T) {
+	orig := TransformParallelism()
+	t.Cleanup(func() {
+		SetTransformParallelism(orig)
+		transformSiteHook = nil
+	})
+	transformSiteHook = func(site int) error {
+		if site == 1 {
+			panic("boom")
+		}
+		return nil
+	}
+	SetTransformParallelism(4)
+	prog := source.MustParse(multiLoopSrc)
+	_, _, err := TransformProgram(prog, DefaultOptions())
+	if err == nil {
+		t.Fatal("panicking site produced no error")
+	}
+	if got := err.Error(); !strings.Contains(got, "transform panic on loop 1") || !strings.Contains(got, "boom") {
+		t.Errorf("panic error %q does not name the loop and cause", got)
+	}
+}

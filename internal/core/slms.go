@@ -413,8 +413,10 @@ func TransformProgramSpan(sp *obs.Span, p *source.Program, opts Options) (*sourc
 	if err != nil {
 		return nil, nil, err
 	}
-	var results []*Result
-	if err := transformStmts(sp, out.Stmts, info.Table, opts, &results); err != nil {
+	var sites []loopSite
+	collectLoopSites(out.Stmts, &sites)
+	results, err := transformSites(sp, sites, info.Table, opts)
+	if err != nil {
 		return nil, nil, err
 	}
 	// Re-check: the transformation must produce a well-typed program.
@@ -422,48 +424,6 @@ func TransformProgramSpan(sp *obs.Span, p *source.Program, opts Options) (*sourc
 		return nil, nil, fmt.Errorf("slms: transformed program fails type check: %w", err)
 	}
 	return out, results, nil
-}
-
-// transformStmts rewrites innermost for-loops in place within the slice.
-func transformStmts(sp *obs.Span, stmts []source.Stmt, tab *sem.Table, opts Options, results *[]*Result) error {
-	for i, s := range stmts {
-		switch s := s.(type) {
-		case *source.For:
-			if containsLoop(s.Body) {
-				// Not innermost: recurse.
-				if err := transformStmts(sp, s.Body.Stmts, tab, opts, results); err != nil {
-					return err
-				}
-				continue
-			}
-			r, err := TransformSpan(sp, s, tab, opts)
-			if err != nil {
-				return err
-			}
-			*results = append(*results, r)
-			if r.Applied {
-				stmts[i] = r.Replacement
-			}
-		case *source.While:
-			if err := transformStmts(sp, s.Body.Stmts, tab, opts, results); err != nil {
-				return err
-			}
-		case *source.Block:
-			if err := transformStmts(sp, s.Stmts, tab, opts, results); err != nil {
-				return err
-			}
-		case *source.If:
-			if err := transformStmts(sp, s.Then.Stmts, tab, opts, results); err != nil {
-				return err
-			}
-			if s.Else != nil {
-				if err := transformStmts(sp, s.Else.Stmts, tab, opts, results); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
 }
 
 func containsLoop(b *source.Block) bool {

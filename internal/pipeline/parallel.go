@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"slms/internal/core"
+)
+
+// The per-program compile parallelism: how many blocks of one function
+// may be scheduled concurrently (and, via core, how many loops of one
+// program may be transformed concurrently). Defaults to GOMAXPROCS.
+var compilePar atomic.Int64
+
+func init() { compilePar.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism bounds the intra-program worker pools: per-block
+// scheduling/IMS here and the per-loop SLMS transform in internal/core.
+// Values below 1 clamp to 1 (fully serial). Output artifacts are
+// byte-identical at every setting — workers write disjoint slots and a
+// serial pass merges them in block/source order.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	compilePar.Store(int64(n))
+	core.SetTransformParallelism(n)
+}
+
+// Parallelism reports the current intra-program worker bound.
+func Parallelism() int { return int(compilePar.Load()) }
+
+// forEachIndex runs fn(i) for i in [0, n) on a pool of at most
+// Parallelism() goroutines (inline when the pool would be 1 wide).
+// fn must only touch index-i state; the call is a barrier.
+func forEachIndex(n int, fn func(int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

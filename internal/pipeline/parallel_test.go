@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+
+	"slms/internal/core"
+	"slms/internal/machine"
+	"slms/internal/source"
+)
+
+// multiLoopSrc carries three independent pipelinable loops so both the
+// per-loop transform and the per-block scheduler have real fan-out.
+const multiLoopSrc = `
+	float A[64]; float B[64]; float C[64];
+	float D[64]; float E[64];
+	for (i = 0; i < 64; i++) {
+		A[i] = B[i] * C[i] + B[i];
+		C[i] = A[i] * 0.5;
+	}
+	for (j = 0; j < 64; j++) {
+		D[j] = A[j] * B[j] + C[j];
+		E[j] = D[j] + A[j] * 0.25;
+	}
+	for (k = 0; k < 64; k++) {
+		B[k] = B[k] * 0.5 + A[k];
+		A[k] = B[k] + C[k] * 2.0;
+	}
+`
+
+// TestParallelPipelineEquivalence pins the whole-pipeline determinism
+// contract: compiling, scheduling and simulating a multi-loop program
+// yields identical outcomes (cycle counts, speedup, applied flags, loop
+// schedules) at every parallelism setting. Under -race this drives the
+// concurrent per-block scheduling and the shared transform machinery.
+func TestParallelPipelineEquivalence(t *testing.T) {
+	orig := Parallelism()
+	t.Cleanup(func() { SetParallelism(orig) })
+
+	run := func(workers int) *Outcome {
+		t.Helper()
+		SetParallelism(workers)
+		// Cold caches: a memoized artifact would hide the parallel path.
+		ResetCache()
+		core.ResetTransformCache()
+		prog := source.MustParse(multiLoopSrc)
+		out, err := RunExperiment(prog, Experiment{
+			Machine: machine.IA64Like(), Compiler: WeakO3, SLMS: core.DefaultOptions(),
+		}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+
+	serial := run(1)
+	if serial.Base == nil || serial.SLMS == nil {
+		t.Fatal("serial run produced no metrics")
+	}
+	if !serial.Applied {
+		t.Fatal("SLMS did not apply; the equivalence test needs real transformed loops")
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		par := run(workers)
+		if par.Base.Cycles != serial.Base.Cycles || par.SLMS.Cycles != serial.SLMS.Cycles {
+			t.Errorf("workers=%d: cycles base/slms = %d/%d, serial %d/%d",
+				workers, par.Base.Cycles, par.SLMS.Cycles, serial.Base.Cycles, serial.SLMS.Cycles)
+		}
+		if par.Applied != serial.Applied || par.Speedup != serial.Speedup {
+			t.Errorf("workers=%d: applied=%v speedup=%v, serial %v/%v",
+				workers, par.Applied, par.Speedup, serial.Applied, serial.Speedup)
+		}
+		if got, want := len(par.SLMSArt.LoopSched), len(serial.SLMSArt.LoopSched); got != want {
+			t.Errorf("workers=%d: %d loop schedules, serial %d", workers, got, want)
+		}
+		for id, s := range serial.SLMSArt.LoopSched {
+			ps, ok := par.SLMSArt.LoopSched[id]
+			if !ok {
+				t.Errorf("workers=%d: loop %d schedule missing", workers, id)
+				continue
+			}
+			if ps.Bundles != s.Bundles || ps.Len != s.Len || ps.SteadyLen != s.SteadyLen {
+				t.Errorf("workers=%d: loop %d schedule bundles/len/steady = %d/%d/%d, serial %d/%d/%d",
+					workers, id, ps.Bundles, ps.Len, ps.SteadyLen, s.Bundles, s.Len, s.SteadyLen)
+			}
+		}
+	}
+}

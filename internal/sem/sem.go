@@ -35,6 +35,12 @@ func (s *Symbol) IsArray() bool { return len(s.Dims) > 0 }
 type Table struct {
 	syms  map[string]*Symbol
 	order []string
+	// freshSuffix is appended to every Fresh-minted name. Per-loop
+	// transform workers clone the table with a distinct per-site suffix
+	// so temporaries minted for different loops can never collide, no
+	// matter how the sites are ordered or interleaved (see
+	// internal/core's parallel transform).
+	freshSuffix string
 }
 
 // NewTable returns an empty symbol table.
@@ -84,11 +90,33 @@ func (t *Table) Names() []string {
 	return ns
 }
 
+// Clone returns a deep copy of the table: the symbol map, declaration
+// order, and the Symbol structs themselves are copied, so Declare and
+// Fresh on the clone never touch the original. Dimension expressions
+// are shared — they are read-only once checked.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		syms:        make(map[string]*Symbol, len(t.syms)),
+		order:       append([]string(nil), t.order...),
+		freshSuffix: t.freshSuffix,
+	}
+	for n, s := range t.syms {
+		cp := *s
+		c.syms[n] = &cp
+	}
+	return c
+}
+
+// SetFreshSuffix makes every subsequent Fresh reservation mint names
+// ending in suffix (e.g. "pred1_l2" instead of "pred1"). An empty
+// suffix restores the legacy names.
+func (t *Table) SetFreshSuffix(suffix string) { t.freshSuffix = suffix }
+
 // Fresh returns a name with the given prefix that does not collide with
 // any existing symbol, and reserves it.
 func (t *Table) Fresh(prefix string, typ source.Type) string {
 	for i := 1; ; i++ {
-		name := fmt.Sprintf("%s%d", prefix, i)
+		name := fmt.Sprintf("%s%d%s", prefix, i, t.freshSuffix)
 		if t.syms[name] == nil {
 			t.syms[name] = &Symbol{Name: name, Type: typ, Implicit: true}
 			t.order = append(t.order, name)

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// The cached-hit allocation budget. The fast path answers a repeated
+// request straight from the alias-indexed response cache; this file
+// pins that path to ZERO heap allocations per request — the benchmark
+// reports allocs/op for trend-watching, and the test fails the build if
+// a single allocation creeps in.
+
+// replayBody is a rewindable request body, so one http.Request replays
+// through the handler without minting a fresh reader per iteration.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *replayBody) Close() error { return nil }
+func (b *replayBody) rewind()      { b.off = 0 }
+
+// nullResponseWriter is the cheapest possible ResponseWriter: a
+// preallocated header map and a discarding body sink, so the handler's
+// own allocations are the only ones measured.
+type nullResponseWriter struct {
+	hdr    http.Header
+	status int
+	n      int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.hdr }
+
+func (w *nullResponseWriter) WriteHeader(code int) { w.status = code }
+
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// newCachedHitCase primes a server with one compiled kernel and returns
+// everything needed to replay the byte-identical request against the
+// endpoint handler directly (no mux, no live socket): the wrapped
+// handler, a reusable request with a rewindable body, and a writer.
+func newCachedHitCase(tb testing.TB) (http.HandlerFunc, *http.Request, *replayBody, *nullResponseWriter) {
+	tb.Helper()
+	s := New(Config{Workers: 1})
+	fn := s.routes["compile"]
+	if fn == nil {
+		tb.Fatal("compile route not registered")
+	}
+	body := jsonBody(dotSource, "")
+
+	// First request: a slow-path miss that computes, caches the rendered
+	// response and registers the raw-body alias.
+	rec := httptest.NewRecorder()
+	fn(rec, httptest.NewRequest("POST", "/v1/compile", strings.NewReader(body)))
+	if rec.Code != 200 {
+		tb.Fatalf("priming request: status %d; body:\n%s", rec.Code, rec.Body.String())
+	}
+
+	// Second request must take the fast path.
+	rb := &replayBody{data: []byte(body)}
+	req := httptest.NewRequest("POST", "/v1/compile", rb)
+	rec = httptest.NewRecorder()
+	fn(rec, req)
+	if rec.Code != 200 || rec.Header().Get("X-SLMS-Cache") != "hit" {
+		tb.Fatalf("replayed request: status %d cache %q, want a 200 hit",
+			rec.Code, rec.Header().Get("X-SLMS-Cache"))
+	}
+
+	w := &nullResponseWriter{hdr: http.Header{}}
+	return fn, req, rb, w
+}
+
+// TestServerCachedHitZeroAlloc is the CI guard: a cached hit performs
+// zero heap allocations. GC is disabled during the measurement so a
+// pool eviction cannot masquerade as a handler allocation.
+func TestServerCachedHitZeroAlloc(t *testing.T) {
+	fn, req, rb, w := newCachedHitCase(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(500, func() {
+		rb.rewind()
+		w.status = 0
+		fn(w, req)
+		if w.status != 200 {
+			t.Fatalf("cached hit status = %d, want 200", w.status)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached hit allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// BenchmarkServerCachedHit measures the cached path end to end through
+// the wrapped handler. Run with -benchmem; allocs/op must stay 0.
+func BenchmarkServerCachedHit(b *testing.B) {
+	fn, req, rb, w := newCachedHitCase(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.rewind()
+		fn(w, req)
+	}
+	if w.status != 200 {
+		b.Fatalf("cached hit status = %d, want 200", w.status)
+	}
+}

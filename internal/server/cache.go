@@ -25,6 +25,13 @@ type respCache struct {
 	lru      *list.List               // front = most recent
 	inflight map[string]*flight
 
+	// aliases indexes entries by raw request-body digest for the
+	// zero-allocation fast path: the canonical key (hex of the
+	// canonicalized request JSON) requires decoding the request, the
+	// alias key is just sha256 over the wire bytes. Aliases are
+	// registered after a slow-path 200 and die with their entry.
+	aliases map[[32]byte]*list.Element
+
 	hits, misses atomic.Int64
 	hitCtr       *obs.Counter
 	missCtr      *obs.Counter
@@ -37,9 +44,15 @@ type cachedResponse struct {
 }
 
 type cacheSlot struct {
-	key  string
-	resp *cachedResponse
+	key       string
+	resp      *cachedResponse
+	aliasKeys [][32]byte
 }
+
+// maxAliasesPerSlot bounds how many raw-body spellings (whitespace,
+// field order, timeout_ms) one cached response indexes, so a client
+// iterating cosmetic variants cannot grow the alias map unboundedly.
+const maxAliasesPerSlot = 8
 
 // flight is one in-progress computation; followers block on done.
 type flight struct {
@@ -54,6 +67,7 @@ func newRespCache(max int) *respCache {
 		entries:  map[string]*list.Element{},
 		lru:      list.New(),
 		inflight: map[string]*flight{},
+		aliases:  map[[32]byte]*list.Element{},
 		hitCtr:   obs.CounterName("server.cache.hits"),
 		missCtr:  obs.CounterName("server.cache.misses"),
 	}
@@ -127,8 +141,52 @@ func (c *respCache) insertLocked(key string, resp *cachedResponse) {
 	for c.lru.Len() > c.max {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheSlot).key)
+		slot := oldest.Value.(*cacheSlot)
+		for _, ak := range slot.aliasKeys {
+			delete(c.aliases, ak)
+		}
+		delete(c.entries, slot.key)
 	}
+}
+
+// fastGet returns the cached response whose raw body digest is raw, if
+// any, touching the LRU. This is the zero-allocation hit path: an array
+// map lookup, a list splice and two counter bumps.
+func (c *respCache) fastGet(raw [32]byte) (*cachedResponse, bool) {
+	c.mu.Lock()
+	e, ok := c.aliases[raw]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	resp := e.Value.(*cacheSlot).resp
+	c.mu.Unlock()
+	c.hits.Add(1)
+	c.hitCtr.Add(1)
+	return resp, true
+}
+
+// addAlias indexes the entry under key by the raw body digest so later
+// byte-identical requests take the fast path. A no-op when the entry is
+// gone, the digest is already indexed, or the slot's alias budget is
+// spent.
+func (c *respCache) addAlias(raw [32]byte, key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	if _, dup := c.aliases[raw]; dup {
+		return
+	}
+	slot := e.Value.(*cacheSlot)
+	if len(slot.aliasKeys) >= maxAliasesPerSlot {
+		return
+	}
+	slot.aliasKeys = append(slot.aliasKeys, raw)
+	c.aliases[raw] = e
 }
 
 // stats reports cumulative hit/miss counts.

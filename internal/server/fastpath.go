@@ -1,0 +1,76 @@
+package server
+
+import (
+	"io"
+	"sync"
+)
+
+// The cached fast path. A request whose raw body bytes were seen before
+// (and produced a cached 200) is answered without allocating: the body
+// reads into a pooled buffer, its digest looks up the pre-serialized
+// response via the cache's alias index, and the bytes go straight to
+// the wire. Everything the slow path mints per request — request-ID
+// strings, JSON decoding, contexts, spans, header value slices — is
+// skipped or replaced by a pooled/preallocated equivalent.
+
+// Preallocated header values for direct header-map assignment (Set
+// would allocate the []string per request). The keys below are the
+// canonical MIME forms — what Header.Set("X-SLMS-Cache", …) and
+// Header.Get both normalize to — so readers see the same header either
+// way.
+var (
+	headerJSON     = []string{"application/json"}
+	headerCacheHit = []string{"hit"}
+)
+
+const (
+	headerContentType = "Content-Type"
+	headerCacheState  = "X-Slms-Cache"
+)
+
+// fastReq is the pooled per-request scratch state: one buffer holding
+// "<endpoint>\x00<body>" (hashed whole for the raw cache key), plus the
+// digest for alias registration after a slow-path compute.
+type fastReq struct {
+	buf    []byte
+	raw    [32]byte
+	hasRaw bool
+}
+
+var fastReqPool = sync.Pool{New: func() any {
+	return &fastReq{buf: make([]byte, 0, 4096)}
+}}
+
+func getFastReq() *fastReq {
+	st := fastReqPool.Get().(*fastReq)
+	st.buf = st.buf[:0]
+	st.hasRaw = false
+	return st
+}
+
+func putFastReq(st *fastReq) { fastReqPool.Put(st) }
+
+// body returns the request-body bytes (the buffer minus the endpoint
+// prefix written by the handler).
+func (st *fastReq) body(prefixLen int) []byte { return st.buf[prefixLen:] }
+
+// readBody appends the whole request body to st.buf, stopping one byte
+// past maxBody; it reports whether the body exceeded the limit. The
+// pooled buffer grows to the high-water mark once and is reused across
+// requests, so the steady state reads without allocating.
+func (st *fastReq) readBody(r io.Reader, maxBody int64) (tooLarge bool) {
+	base := len(st.buf)
+	for {
+		if int64(len(st.buf)-base) > maxBody {
+			return true
+		}
+		if len(st.buf) == cap(st.buf) {
+			st.buf = append(st.buf, 0)[:len(st.buf)]
+		}
+		n, err := r.Read(st.buf[len(st.buf):cap(st.buf)])
+		st.buf = st.buf[:len(st.buf)+n]
+		if err != nil {
+			return int64(len(st.buf)-base) > maxBody
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,8 +44,7 @@ func FuzzRequestDecode(f *testing.F) {
 	f.Add(strings.Repeat("9", 1024))
 
 	f.Fuzz(func(t *testing.T, body string) {
-		req, aerr := decodeRequest(
-			httptest.NewRequest("POST", "/v1/compile", strings.NewReader(body)), 1<<20)
+		req, aerr := decodeRequestBytes([]byte(body), 1<<20, false)
 		if aerr != nil {
 			if req != nil {
 				t.Fatalf("decodeRequest returned both a request and an error")
@@ -100,9 +98,7 @@ func TestFuzzSeedsDecode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		req, aerr := decodeRequest(
-			httptest.NewRequest("POST", "/v1/compile",
-				strings.NewReader(jsonBody(string(src), ""))), 1<<20)
+		req, aerr := decodeRequestBytes([]byte(jsonBody(string(src), "")), 1<<20, false)
 		if aerr != nil {
 			t.Errorf("%s: corpus kernel rejected: %v", path, aerr.msg)
 			continue

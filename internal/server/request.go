@@ -1,13 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
-	"net/http"
 	"strings"
 	"time"
 
@@ -54,19 +53,19 @@ type OptionsRequest struct {
 // parser per request.
 const maxSourceBytes = 256 * 1024
 
-// decodeRequest reads and validates one endpoint body. It returns an
-// *apiError (400/413/422-class) on any problem.
-func decodeRequest(r *http.Request, maxBody int64) (*Request, *apiError) {
-	body := http.MaxBytesReader(nil, r.Body, maxBody)
-	dec := json.NewDecoder(body)
+// decodeRequestBytes validates one endpoint body, already read into
+// memory by the fast path (tooLarge reports that the read was cut off
+// past maxBody). It returns an *apiError (400/413/422-class) on any
+// problem.
+func decodeRequestBytes(body []byte, maxBody int64, tooLarge bool) (*Request, *apiError) {
+	if tooLarge {
+		return nil, &apiError{status: 413, code: CodeBodyTooLarge,
+			msg: fmt.Sprintf("request body exceeds %d bytes", maxBody)}
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req Request
 	if err := dec.Decode(&req); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return nil, &apiError{status: 413, code: CodeBodyTooLarge,
-				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
-		}
 		return nil, errBadRequest("invalid request JSON: %v", err)
 	}
 	// Exactly one JSON value: trailing garbage is a malformed request.

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"slms/internal/backend"
+	"slms/internal/interp"
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/prof"
+)
+
+// Predecoded is the shared, immutable predecode of one (function,
+// machine, plan) triple: every instruction's machine attributes
+// (energy, latency, functional unit), the array-binding table layout,
+// and — when built for profiling — the profiler's slot interning. One
+// Predecoded serves any number of runs, concurrently; per-run mutable
+// state (register file, array bindings, L1 tags) comes from an internal
+// pool, so batched simulation of the same artifact allocates almost
+// nothing beyond its Metrics.
+//
+// Build one with Predecode; run it with Run/RunCtx; batch many with
+// RunBatch.
+type Predecoded struct {
+	f    *ir.Func
+	d    *machine.Desc
+	plan *Plan
+
+	info     [][]instrInfo  // per block, parallel to Instrs
+	defs     []arrayBinding // binding template: storage fields zero
+	profiled bool
+	tables   *profTables // non-nil iff profiled
+
+	pool sync.Pool // *runState
+}
+
+// runState is the pooled per-run mutable half of a simulation.
+type runState struct {
+	regs     []value
+	regReady []int64
+	bindings []arrayBinding
+	cache    *cache
+}
+
+// Predecode resolves every instruction's machine attributes and assigns
+// array-binding slots, hoisting all name-keyed map lookups out of the
+// execution loop. profiled selects whether runs of the result attribute
+// cycles (the profiler's slot tables are part of the predecode, so the
+// two modes predecode separately).
+func Predecode(f *ir.Func, d *machine.Desc, plan *Plan, profiled bool) *Predecoded {
+	pd := &Predecoded{f: f, d: d, plan: plan, profiled: profiled}
+	if profiled {
+		pd.tables = newProfTables(f, d)
+	}
+	byName := make(map[string]int32, len(f.Arrays))
+	pd.info = make([][]instrInfo, len(f.Blocks))
+	for _, b := range f.Blocks {
+		infos := make([]instrInfo, len(b.Instrs))
+		for i, in := range b.Instrs {
+			ii := instrInfo{
+				energy: d.OpEnergy(in),
+				lat:    int64(d.Latency(in)),
+				fu:     uint8(machine.UnitOf(in)),
+				mem:    -1,
+			}
+			if in.Op == ir.Load || in.Op == ir.Store {
+				id, ok := byName[in.Arr]
+				if !ok {
+					id = int32(len(pd.defs))
+					byName[in.Arr] = id
+					pd.defs = append(pd.defs, arrayBinding{
+						name:    in.Arr,
+						ai:      f.Arrays[in.Arr],
+						isSpill: in.Arr == backend.SpillArray,
+					})
+				}
+				ii.mem = id
+			}
+			if pd.tables != nil {
+				ii.slot = pd.tables.slotFor(b.ID, in.Line)
+			}
+			infos[i] = ii
+		}
+		pd.info[b.ID] = infos
+		if pd.tables != nil && plan != nil {
+			if bt := &plan.Blocks[b.ID]; bt.Sched != nil {
+				pd.tables.schedIssue[b.ID] = int32(bt.Sched.Bundles)
+			}
+		}
+	}
+	return pd
+}
+
+// getState takes a run state from the pool (or builds one) and resets
+// it: registers and ready times zeroed, bindings re-templated, cache
+// emptied. Backing storage is reused across runs.
+func (pd *Predecoded) getState() *runState {
+	st, _ := pd.pool.Get().(*runState)
+	if st == nil {
+		return &runState{
+			regs:     make([]value, pd.f.NumRegs),
+			regReady: make([]int64, pd.f.NumRegs),
+			bindings: append([]arrayBinding(nil), pd.defs...),
+			cache:    newCache(pd.d.Cache),
+		}
+	}
+	clear(st.regs)
+	clear(st.regReady)
+	copy(st.bindings, pd.defs)
+	st.cache.reset()
+	return st
+}
+
+// Run simulates the predecoded program, reading inputs from and writing
+// results back to env. See Predecode and the package Run for semantics.
+func (pd *Predecoded) Run(env *interp.Env, maxInstrs int64) (*Metrics, error) {
+	return pd.RunCtx(context.Background(), env, maxInstrs)
+}
+
+// RunCtx is Run honoring a context (see the package RunCtx). If the
+// process-wide profiling mode no longer matches the mode the predecode
+// was built for, a matching one-shot predecode runs instead — callers
+// caching a Predecoded never observe a mode mismatch, only the reuse
+// win disappears.
+func (pd *Predecoded) RunCtx(ctx context.Context, env *interp.Env, maxInstrs int64) (*Metrics, error) {
+	if prof.Enabled() != pd.profiled {
+		return Predecode(pd.f, pd.d, pd.plan, prof.Enabled()).RunCtx(ctx, env, maxInstrs)
+	}
+	if maxInstrs == 0 {
+		maxInstrs = 500_000_000
+	}
+	st := pd.getState()
+	s := &simulator{
+		f: pd.f, d: pd.d, plan: pd.plan, env: env,
+		regs:     st.regs,
+		cache:    st.cache,
+		m:        &Metrics{ExecCounts: make([]int64, len(pd.f.Blocks))},
+		limit:    maxInstrs,
+		info:     pd.info,
+		bindings: st.bindings,
+		regReady: st.regReady,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+		s.nextCtxCheck = ctxCheckInterval
+	}
+	if pd.profiled {
+		s.pr = newProfState(pd.tables, pd.f)
+	}
+	// Seed scalar home registers from the environment.
+	f := pd.f
+	for name, r := range f.ScalarRegs {
+		if v, ok := env.Scalars[name]; ok {
+			s.regs[r] = fromInterp(v)
+		} else {
+			s.regs[r] = value{t: vtag(f.RegTypes[r])}
+		}
+	}
+	err := s.run()
+	if err != nil {
+		pd.pool.Put(st)
+		return nil, err
+	}
+	// Write scalars back.
+	for name, r := range f.ScalarRegs {
+		env.Scalars[name] = toInterp(s.regs[r], f.RegTypes[r])
+	}
+	s.m.Energy += pd.d.Energy.Static * float64(s.m.Cycles)
+	if s.pr != nil {
+		s.m.Profile = s.pr.fold(f, s.m, pd.d)
+	}
+	simRuns.Add(1)
+	simCycles.Add(s.m.Cycles)
+	simInstrs.Add(s.m.Instrs)
+	pd.pool.Put(st)
+	return s.m, nil
+}
+
+// BatchRun is one job in a RunBatch call: a predecoded artifact plus
+// the environment to run it against.
+type BatchRun struct {
+	Pre       *Predecoded
+	Env       *interp.Env
+	MaxInstrs int64 // 0 = the package default limit
+}
+
+// RunBatch executes the jobs in order against their shared predecodes:
+// jobs naming the same Predecoded reuse its decode tables and pooled
+// run buffers instead of re-deriving per-kernel setup. The returned
+// slice parallels jobs; the first failing job aborts the batch with its
+// partial results.
+func RunBatch(ctx context.Context, jobs []BatchRun) ([]*Metrics, error) {
+	out := make([]*Metrics, len(jobs))
+	for i, j := range jobs {
+		m, err := j.Pre.RunCtx(ctx, j.Env, j.MaxInstrs)
+		if err != nil {
+			return out, fmt.Errorf("sim: batch job %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}

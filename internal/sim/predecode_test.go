@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"slms/internal/backend"
+	"slms/internal/interp"
+	"slms/internal/machine"
+	"slms/internal/prof"
+	"slms/internal/source"
+)
+
+const scanSrc = `
+	float A[256];
+	float s = 0.0;
+	for (i = 0; i < 256; i++) { s += A[i]; }
+`
+
+// TestPredecodedReuse pins the batched-simulation contract: one
+// Predecode serves many runs, each from a cold pooled state, and every
+// run's metrics are identical to a fresh one-shot simulation —
+// including the data-cache counters, which a dirty pooled cache would
+// skew first.
+func TestPredecodedReuse(t *testing.T) {
+	f, err := backend.Compile(source.MustParse(scanSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.IA64Like()
+	want, err := Run(f, d, nil, interp.NewEnv(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pd := Predecode(f, d, nil, false)
+	for i := 0; i < 5; i++ {
+		m, err := pd.Run(interp.NewEnv(), 0)
+		if err != nil {
+			t.Fatalf("reuse run %d: %v", i, err)
+		}
+		if m.Cycles != want.Cycles || m.CacheMiss != want.CacheMiss ||
+			m.Loads != want.Loads || m.Stores != want.Stores || m.Instrs != want.Instrs {
+			t.Fatalf("reuse run %d diverged: got cycles=%d miss=%d loads=%d, want cycles=%d miss=%d loads=%d",
+				i, m.Cycles, m.CacheMiss, m.Loads, want.Cycles, want.CacheMiss, want.Loads)
+		}
+	}
+}
+
+// TestPredecodedConcurrentRuns runs one Predecoded from many goroutines
+// (the parallel pipeline does exactly this through the artifact's
+// predecode slots); under -race this verifies the immutable decode
+// tables really are immutable and the pooled state really is per-run.
+func TestPredecodedConcurrentRuns(t *testing.T) {
+	f, err := backend.Compile(source.MustParse(scanSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.IA64Like()
+	pd := Predecode(f, d, nil, false)
+	want, err := pd.Run(interp.NewEnv(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				m, err := pd.Run(interp.NewEnv(), 0)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if m.Cycles != want.Cycles {
+					errs[g] = fmt.Errorf("goroutine %d run %d: cycles %d, want %d", g, i, m.Cycles, want.Cycles)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestRunBatch drives several kernels through one batch and demands
+// each job's metrics match its standalone run, and that a failing job
+// is reported with its index.
+func TestRunBatch(t *testing.T) {
+	srcs := []string{
+		scanSrc,
+		`float B[64]; float p = 1.0;
+		 for (i = 0; i < 64; i++) { p = p * 1.001; }`,
+		`int a = 3; int b = 4; int c = a * b + 1;`,
+	}
+	d := machine.IA64Like()
+	jobs := make([]BatchRun, len(srcs))
+	want := make([]*Metrics, len(srcs))
+	for i, src := range srcs {
+		f, err := backend.Compile(source.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(f, d, nil, interp.NewEnv(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+		jobs[i] = BatchRun{Pre: Predecode(f, d, nil, false), Env: interp.NewEnv()}
+	}
+	got, err := RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if got[i].Cycles != want[i].Cycles || got[i].Instrs != want[i].Instrs {
+			t.Errorf("job %d: cycles/instrs = %d/%d, want %d/%d",
+				i, got[i].Cycles, got[i].Instrs, want[i].Cycles, want[i].Instrs)
+		}
+	}
+
+	// A job that trips the instruction limit fails with its index.
+	jobs[1].MaxInstrs = 1
+	jobs[1].Env = interp.NewEnv()
+	if _, err := RunBatch(context.Background(), jobs); err == nil {
+		t.Error("limit-tripping batch job reported no error")
+	} else if want := "batch job 1"; !contains(err.Error(), want) {
+		t.Errorf("batch error %q does not carry %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPredecodedProfileExactSum verifies the profiler's exact-sum
+// invariant survives pooled, repeated runs: every run's per-cause
+// profile totals exactly its cycle count, with no leakage between
+// pooled states.
+func TestPredecodedProfileExactSum(t *testing.T) {
+	prof.SetEnabled(true)
+	defer prof.SetEnabled(false)
+
+	f, err := backend.Compile(source.MustParse(scanSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.IA64Like()
+	pd := Predecode(f, d, nil, true)
+	for i := 0; i < 3; i++ {
+		m, err := pd.Run(interp.NewEnv(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Profile == nil {
+			t.Fatal("profiling run produced no profile")
+		}
+		tot := m.Profile.Totals()
+		if got := tot.Total(); got != m.Cycles {
+			t.Errorf("run %d: profile totals %d cycles, run took %d (exact-sum invariant broken)",
+				i, got, m.Cycles)
+		}
+	}
+}
+
+// TestPredecodedModeMismatch: a Predecoded built without profiling must
+// still honor a later profiling request (and vice versa) by rebuilding
+// on the fly rather than returning profile-less metrics.
+func TestPredecodedModeMismatch(t *testing.T) {
+	f, err := backend.Compile(source.MustParse(scanSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.IA64Like()
+	pd := Predecode(f, d, nil, false)
+
+	prof.SetEnabled(true)
+	defer prof.SetEnabled(false)
+	m, err := pd.Run(interp.NewEnv(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Profile == nil {
+		t.Fatal("profiling-mode run through a plain Predecoded returned no profile")
+	}
+	tot := m.Profile.Totals()
+	if got := tot.Total(); got != m.Cycles {
+		t.Errorf("profile totals %d, want %d", got, m.Cycles)
+	}
+}

@@ -18,50 +18,64 @@ import (
 // static (VLIW) machines charge whole blocks on entry exactly as the
 // timing model does, and fold apportions each block's charge across its
 // slots by instruction count. A slot is one (block, source line) pair.
+// The state splits in two so batched simulation can share the
+// predecode across runs: profTables is the immutable (block, line) slot
+// interning built once per predecode, profState the per-run counter set
+// laid over it.
 type profState struct {
+	*profTables
 	slotCounts  []int64 // slot*NumCauses+cause: dynamic-issue charges
 	blockCounts []int64 // block*NumCauses+cause: static charges
-	slotBlock   []int32 // slot -> block ID
-	slotLine    []int32 // slot -> source line (0 = generated)
-	slotWeight  []int64 // slot -> instruction count (apportion weights)
-	blockSlots  [][]int32
-	schedIssue  []int32 // block -> non-empty issue groups of its schedule
 
 	// missReady flags registers whose pending value was delayed by an
 	// L1 miss, so the stall classifier can split hazard from miss.
 	missReady []bool
-	penalty   int64 // the machine's miss penalty
 }
 
-func newProfState(f *ir.Func, d *machine.Desc) *profState {
-	return &profState{
-		blockCounts: make([]int64, len(f.Blocks)*prof.NumCauses),
-		blockSlots:  make([][]int32, len(f.Blocks)),
-		schedIssue:  make([]int32, len(f.Blocks)),
-		missReady:   make([]bool, f.NumRegs),
-		penalty:     int64(d.Cache.MissPenalty),
+// profTables is the immutable-after-predecode half of the profiler: the
+// slot interning, apportion weights and schedule issue counts. One
+// profTables is shared by every run of a predecoded artifact.
+type profTables struct {
+	slotBlock  []int32 // slot -> block ID
+	slotLine   []int32 // slot -> source line (0 = generated)
+	slotWeight []int64 // slot -> instruction count (apportion weights)
+	blockSlots [][]int32
+	schedIssue []int32 // block -> non-empty issue groups of its schedule
+	penalty    int64   // the machine's miss penalty
+}
+
+func newProfTables(f *ir.Func, d *machine.Desc) *profTables {
+	return &profTables{
+		blockSlots: make([][]int32, len(f.Blocks)),
+		schedIssue: make([]int32, len(f.Blocks)),
+		penalty:    int64(d.Cache.MissPenalty),
 	}
 }
 
 // slotFor interns the (block, line) slot during predecode. Blocks hold
 // a handful of distinct lines, so a linear scan beats a map.
-func (p *profState) slotFor(block int, line int32) int32 {
-	for _, s := range p.blockSlots[block] {
-		if p.slotLine[s] == line {
-			p.slotWeight[s]++
+func (t *profTables) slotFor(block int, line int32) int32 {
+	for _, s := range t.blockSlots[block] {
+		if t.slotLine[s] == line {
+			t.slotWeight[s]++
 			return s
 		}
 	}
-	s := int32(len(p.slotLine))
-	p.slotBlock = append(p.slotBlock, int32(block))
-	p.slotLine = append(p.slotLine, line)
-	p.slotWeight = append(p.slotWeight, 1)
-	p.blockSlots[block] = append(p.blockSlots[block], s)
+	s := int32(len(t.slotLine))
+	t.slotBlock = append(t.slotBlock, int32(block))
+	t.slotLine = append(t.slotLine, line)
+	t.slotWeight = append(t.slotWeight, 1)
+	t.blockSlots[block] = append(t.blockSlots[block], s)
 	return s
 }
 
-func (p *profState) finishPredecode() {
-	p.slotCounts = make([]int64, len(p.slotLine)*prof.NumCauses)
+func newProfState(t *profTables, f *ir.Func) *profState {
+	return &profState{
+		profTables:  t,
+		slotCounts:  make([]int64, len(t.slotLine)*prof.NumCauses),
+		blockCounts: make([]int64, len(f.Blocks)*prof.NumCauses),
+		missReady:   make([]bool, f.NumRegs),
+	}
 }
 
 // charge attributes n cycles to an instruction slot (dynamic issue).

@@ -151,6 +151,14 @@ func newCache(c machine.Cache) *cache {
 	return &cache{sets: sets, assoc: assoc, line: int64(line), tags: tags}
 }
 
+// reset empties the cache without freeing its backing storage, so a
+// pooled run state starts cold without reallocating the tag arrays.
+func (c *cache) reset() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+}
+
 // access returns true on hit and updates LRU state.
 func (c *cache) access(addr int64) bool {
 	lineAddr := addr / c.line
@@ -215,48 +223,12 @@ func Run(f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int
 // ctx.Err() (so errors.Is(err, context.DeadlineExceeded) works) when the
 // deadline passes or the caller cancels. A context.Background() call is
 // identical to Run.
+//
+// Each call predecodes afresh; callers running the same artifact more
+// than once should Predecode it and use Predecoded.RunCtx (the pipeline
+// caches a predecode per artifact).
 func RunCtx(ctx context.Context, f *ir.Func, d *machine.Desc, plan *Plan, env *interp.Env, maxInstrs int64) (*Metrics, error) {
-	if maxInstrs == 0 {
-		maxInstrs = 500_000_000
-	}
-	s := &simulator{
-		f: f, d: d, plan: plan, env: env,
-		regs:  make([]value, f.NumRegs),
-		cache: newCache(d.Cache),
-		m:     &Metrics{ExecCounts: make([]int64, len(f.Blocks))},
-		limit: maxInstrs,
-	}
-	if ctx != nil && ctx.Done() != nil {
-		s.ctx = ctx
-		s.nextCtxCheck = ctxCheckInterval
-	}
-	if prof.Enabled() {
-		s.pr = newProfState(f, d)
-	}
-	s.predecode()
-	// Seed scalar home registers from the environment.
-	for name, r := range f.ScalarRegs {
-		if v, ok := env.Scalars[name]; ok {
-			s.regs[r] = fromInterp(v)
-		} else {
-			s.regs[r] = value{t: vtag(f.RegTypes[r])}
-		}
-	}
-	if err := s.run(); err != nil {
-		return nil, err
-	}
-	// Write scalars back.
-	for name, r := range f.ScalarRegs {
-		env.Scalars[name] = toInterp(s.regs[r], f.RegTypes[r])
-	}
-	s.m.Energy += d.Energy.Static * float64(s.m.Cycles)
-	if s.pr != nil {
-		s.m.Profile = s.pr.fold(f, s.m, d)
-	}
-	simRuns.Add(1)
-	simCycles.Add(s.m.Cycles)
-	simInstrs.Add(s.m.Instrs)
-	return s.m, nil
+	return Predecode(f, d, plan, prof.Enabled()).RunCtx(ctx, env, maxInstrs)
 }
 
 func fromInterp(v interp.Value) value {
@@ -319,53 +291,10 @@ type simulator struct {
 	nextBase int64 // array base address allocator
 }
 
-// predecode resolves every instruction's machine attributes and assigns
-// array-binding slots, hoisting all name-keyed map lookups out of the
-// execution loop.
-func (s *simulator) predecode() {
-	byName := make(map[string]int32, len(s.f.Arrays))
-	s.info = make([][]instrInfo, len(s.f.Blocks))
-	for _, b := range s.f.Blocks {
-		infos := make([]instrInfo, len(b.Instrs))
-		for i, in := range b.Instrs {
-			ii := instrInfo{
-				energy: s.d.OpEnergy(in),
-				lat:    int64(s.d.Latency(in)),
-				fu:     uint8(machine.UnitOf(in)),
-				mem:    -1,
-			}
-			if in.Op == ir.Load || in.Op == ir.Store {
-				id, ok := byName[in.Arr]
-				if !ok {
-					id = int32(len(s.bindings))
-					byName[in.Arr] = id
-					s.bindings = append(s.bindings, arrayBinding{
-						name:    in.Arr,
-						ai:      s.f.Arrays[in.Arr],
-						isSpill: in.Arr == backend.SpillArray,
-					})
-				}
-				ii.mem = id
-			}
-			if s.pr != nil {
-				ii.slot = s.pr.slotFor(b.ID, in.Line)
-			}
-			infos[i] = ii
-		}
-		s.info[b.ID] = infos
-		if s.pr != nil && s.plan != nil {
-			if bt := &s.plan.Blocks[b.ID]; bt.Sched != nil {
-				s.pr.schedIssue[b.ID] = int32(bt.Sched.Bundles)
-			}
-		}
-	}
-	if s.pr != nil {
-		s.pr.finishPredecode()
-	}
-}
-
 func (s *simulator) run() error {
-	s.regReady = make([]int64, s.f.NumRegs)
+	if s.regReady == nil {
+		s.regReady = make([]int64, s.f.NumRegs)
+	}
 	s.lastBlock = -1
 	s.prevBlock = -1
 	blockID := 0

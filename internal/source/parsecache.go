@@ -1,6 +1,11 @@
 package source
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"slms/internal/obs"
+)
 
 // parseEntry is a once-filled parse-cache slot.
 type parseEntry struct {
@@ -11,13 +16,48 @@ type parseEntry struct {
 
 var parseMemo sync.Map // source text -> *parseEntry
 
+// Parse-cache effectiveness counters, mirrored into the metrics
+// registry. The bench harness reports these per-cache alongside the
+// transform and compile caches (see internal/bench).
+var (
+	pcHits      atomic.Int64
+	pcMisses    atomic.Int64
+	pcHitsCtr   = obs.CounterName("source.parse.cache.hits")
+	pcMissesCtr = obs.CounterName("source.parse.cache.misses")
+)
+
+// ParseCacheStats reports the parse cache's cumulative hit and miss
+// counts since the last reset.
+func ParseCacheStats() (hits, misses int64) {
+	return pcHits.Load(), pcMisses.Load()
+}
+
+// ResetParseCache drops every cached parse and zeroes the hit/miss
+// counters. Outstanding ASTs stay valid; subsequent identical sources
+// reparse (and mint fresh Fingerprint identities).
+func ResetParseCache() {
+	parseMemo.Range(func(k, _ any) bool {
+		parseMemo.Delete(k)
+		return true
+	})
+	pcHits.Store(0)
+	pcMisses.Store(0)
+}
+
 // ParseCached parses src through a process-wide cache: identical source
 // text parses once and all callers share the same immutable AST. Shared
 // ASTs also share their [Fingerprint], so downstream artifact and
 // transform caches hit by pointer without reprinting the program. Use
 // Parse instead when the caller intends to mutate the result.
 func ParseCached(src string) (*Program, error) {
-	v, _ := parseMemo.LoadOrStore(src, &parseEntry{})
+	v, loaded := parseMemo.LoadOrStore(src, &parseEntry{})
+	if loaded {
+		pcHits.Add(1)
+		pcHitsCtr.Add(1)
+	} else {
+		pcMisses.Add(1)
+		pcMissesCtr.Add(1)
+	}
 	e := v.(*parseEntry)
 	e.once.Do(func() { e.prog, e.err = Parse(src) })
 	return e.prog, e.err
