@@ -9,7 +9,7 @@ STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 .PHONY: all build test race vet lint fuzz bench bench-parallel figures profile cycleprofile gate baseline serve loadsmoke clean
 
 # The committed gate baseline (a two-leg slms-bench-legs/v1 record).
-SLMS_GATE_BASELINE ?= BENCH_6.json
+SLMS_GATE_BASELINE ?= BENCH_7.json
 
 all: build vet test
 
@@ -74,6 +74,7 @@ gate:
 		$(GO) test -run TestRegressionGateAgainstBaseline -v ./internal/bench/compare/
 	SLMS_THROUGHPUT_GATE=1 SLMS_GATE_BASELINE=$(abspath $(SLMS_GATE_BASELINE)) \
 		$(GO) test -run TestThroughputGateAgainstBaseline -v ./internal/bench/compare/
+	$(GO) test -run TestPrecisionGate -v ./internal/bench/
 
 # Re-record the regression-gate baseline after an intentional
 # scheduling or simulator change (cycles are deterministic, so this is

@@ -200,6 +200,12 @@ func run(figure string, list, ablations, census, extensions, summary, legs bool,
 			return err
 		}
 		fmt.Print(bench.CensusTable(rows))
+		prows, psum, err := bench.PrecisionCensus(bench.PrecisionCorpus())
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(bench.PrecisionTable(prows, psum))
 	case ablations:
 		figs, err := bench.AllAblations()
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 	"slms/internal/core"
 	"slms/internal/ddg"
 	"slms/internal/dep"
+	"slms/internal/dep/omega"
 	"slms/internal/mii"
 	"slms/internal/obs"
 	"slms/internal/sem"
@@ -167,13 +168,22 @@ func explainLoop(sp *obs.Span, f *source.For, tab *sem.Table, idx int) {
 	fmt.Printf("canonical: var=%s lo=%s hi=%s step=%d\n",
 		l.Var, source.ExprString(l.Lo), source.ExprString(l.Hi), l.Step)
 
-	an, err := dep.Analyze(f.Body.Stmts, l.Var, tab, dep.Options{})
+	an, err := dep.Analyze(f.Body.Stmts, l.Var, tab, dep.Options{
+		Step: l.Step, Lo: l.Lo, Hi: l.Hi, Ranges: omega.FromTable(tab),
+	})
 	if err != nil {
 		fmt.Printf("dependence analysis failed: %v\n\n", err)
 		return
 	}
 	fmt.Printf("MIs: %d, memory refs: %d, arithmetic ops: %d\n",
 		an.NumMIs, an.MemRefs, an.ArithOps)
+	if p := an.Precision; p.Pairs > 0 {
+		fmt.Printf("subscript pairs: %d (legacy unknown: %d, solver resolved: %d, still unknown: %d)\n",
+			p.Pairs, p.LegacyUnknown, p.Resolved, p.Unresolved)
+		for _, n := range p.Notes {
+			fmt.Printf("  sharpened: %s\n", n)
+		}
+	}
 	for i, mi := range f.Body.Stmts {
 		fmt.Printf("  MI%d: %s\n", i, source.PrintStmt(mi))
 	}

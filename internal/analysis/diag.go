@@ -56,6 +56,27 @@ const (
 	// CodeDiffValidated: the static check was inconclusive but the
 	// differential harness found no divergence.
 	CodeDiffValidated = "SLMS101"
+
+	// The 3xx family reports pipelinability: for every analyzed loop,
+	// which dependence edge or analysis limitation binds the initiation
+	// interval and what would unlock a lower one.
+
+	// CodePipelined: the loop pipelined; the message names the recurrence
+	// cycle that forbids the next-lower II (or states the II is the
+	// unconditional minimum).
+	CodePipelined = "SLMS300"
+	// CodeBlockedUnknownDep: conservative unknown-distance dependence
+	// edges block pipelining; the message names them and states what
+	// added information (bounds, guards, affine subscripts) would let the
+	// exact solver decide them.
+	CodeBlockedUnknownDep = "SLMS301"
+	// CodePrecisionResolved: the exact dependence solver sharpened
+	// subscript pairs beyond the legacy conservative test (resolved
+	// unknowns, trip-count-killed distances, promoted inductions).
+	CodePrecisionResolved = "SLMS302"
+	// CodeBindingCycle: no candidate II was valid; the message exhibits
+	// the positive recurrence cycle and the II it would require.
+	CodeBindingCycle = "SLMS303"
 )
 
 // Severity grades a diagnostic.

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"slms/internal/core"
+	"slms/internal/ddg"
+	"slms/internal/dep"
+	"slms/internal/mii"
+)
+
+// pipelinability derives the SLMS3xx diagnostic family for one analyzed
+// loop: which dependence edge or analysis limitation binds the achieved
+// initiation interval, and what would unlock a lower one. It consumes
+// the dependence analysis the transform recorded (Result.Dep); loops
+// rejected before analysis (filter, non-canonical shape) produce
+// nothing.
+func pipelinability(res *core.Result, line, col int, loopVar string) []Diag {
+	if res == nil || res.Dep == nil {
+		return nil
+	}
+	var out []Diag
+	add := func(code string, sev Severity, msg string) {
+		out = append(out, Diag{Code: code, Severity: sev, Line: line, Col: col, Loop: loopVar, Message: msg})
+	}
+
+	// SLMS302: how much the exact solver sharpened this loop's analysis.
+	if p := res.Dep.Precision; p.Resolved > 0 || p.Killed > 0 || p.Promoted > 0 {
+		var parts []string
+		if p.Resolved > 0 {
+			parts = append(parts, fmt.Sprintf("resolved %d of %d conservative subscript pair(s) (%d independent, %d exact, %d bounded)",
+				p.Resolved, p.LegacyUnknown, p.Independent, p.Exact, p.Bounded))
+		}
+		if p.Killed > 0 {
+			parts = append(parts, fmt.Sprintf("%d dependence distance(s) proved beyond the trip count", p.Killed))
+		}
+		if p.Promoted > 0 {
+			parts = append(parts, fmt.Sprintf("%d induction subscript(s) promoted to closed form", p.Promoted))
+		}
+		add(CodePrecisionResolved, SevInfo, "exact solver: "+strings.Join(parts, "; "))
+	}
+
+	g := ddg.Build(res.Dep, true)
+	switch {
+	case res.Applied:
+		if res.II <= 1 {
+			add(CodePipelined, SevInfo, fmt.Sprintf("pipelined at II=%d, the unconditional minimum", res.II))
+			break
+		}
+		// The certificate that II−1 fails names the recurrence binding II.
+		// Speculation drops unknown edges from the search; mirror that.
+		cyc := mii.BindingCycle(withoutUnknown(g), res.II-1)
+		if cyc == nil {
+			add(CodePipelined, SevInfo, fmt.Sprintf("pipelined at II=%d (search bound, not a recurrence, set the II)", res.II))
+			break
+		}
+		add(CodePipelined, SevInfo, fmt.Sprintf("pipelined at II=%d; recurrence %s forbids II=%d", res.II, mii.CycleString(cyc), res.II-1))
+	case strings.Contains(res.Reason, "could not be proven"):
+		// SLMS301: unknown-distance edges blocked pipelining entirely.
+		vars, examples := unknownEdgeSummary(res.Dep)
+		msg := fmt.Sprintf("pipelining blocked by %d unknown-distance dependence edge(s) on %s",
+			res.Dep.UnknownEdges(), strings.Join(vars, ", "))
+		if len(examples) > 0 {
+			msg += " — e.g. " + strings.Join(examples, "; ")
+		}
+		if p := res.Dep.Precision; p.Unresolved > 0 {
+			msg += fmt.Sprintf("; the exact solver left %d subscript pair(s) undecided: affine subscripts with known bounds (constant loop bounds, declared array extents, or enclosing guards) would resolve them", p.Unresolved)
+		}
+		msg += "; -speculate overrides at the user's risk"
+		add(CodeBlockedUnknownDep, SevWarning, msg)
+	case strings.Contains(res.Reason, "no valid II"):
+		// SLMS303: exhibit the recurrence that defeated the whole search.
+		maxII := int64(g.N) - 1
+		if cyc := mii.BindingCycle(g, maxII); cyc != nil {
+			if need, ok := mii.CycleMinII(cyc); ok {
+				add(CodeBindingCycle, SevWarning, fmt.Sprintf(
+					"no valid II: recurrence %s requires II ≥ %d, but only II < %d (the MI count) beats the sequential schedule; breaking the recurrence (or decomposing its MIs further) would unlock pipelining",
+					mii.CycleString(cyc), need, g.N))
+			} else {
+				add(CodeBindingCycle, SevWarning, fmt.Sprintf(
+					"no valid II: recurrence %s carries no iteration distance, so no initiation interval can satisfy it",
+					mii.CycleString(cyc)))
+			}
+		}
+	}
+	return out
+}
+
+// unknownEdgeSummary lists the distinct variables carrying unknown
+// edges (in first-appearance order) and renders up to three examples.
+func unknownEdgeSummary(a *dep.Analysis) (vars, examples []string) {
+	seen := map[string]bool{}
+	for _, e := range a.Edges {
+		if !e.Unknown {
+			continue
+		}
+		if !seen[e.Var] {
+			seen[e.Var] = true
+			vars = append(vars, e.Var)
+		}
+		if len(examples) < 3 {
+			examples = append(examples, e.String())
+		}
+	}
+	return vars, examples
+}
+
+// withoutUnknown filters conservative edges, mirroring the MII search
+// under speculation (the only mode in which an applied schedule can
+// still carry unknown edges).
+func withoutUnknown(g *ddg.Graph) *ddg.Graph {
+	if !g.HasUnknown() {
+		return g
+	}
+	out := &ddg.Graph{N: g.N}
+	for _, e := range g.Edges {
+		if !e.Unknown {
+			out.Edges = append(out.Edges, e)
+		}
+	}
+	return out
+}

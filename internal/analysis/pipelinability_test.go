@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/core"
+	"slms/internal/dep"
+	"slms/internal/dep/omega"
+)
+
+// hasCode reports whether the report carries a diagnostic with the code,
+// returning its message.
+func hasCode(rep *Report, code string) (string, bool) {
+	for _, d := range rep.Diags {
+		if d.Code == code {
+			return d.Message, true
+		}
+	}
+	return "", false
+}
+
+// TestPipelinabilityBlockedByUnknown: an indirect subscript leaves
+// unknown-distance edges, so the loop must carry an SLMS301 warning
+// naming the blocking variable and the unlock path.
+func TestPipelinabilityBlockedByUnknown(t *testing.T) {
+	src := `float A[100]; int B[100];
+for (i = 0; i < 100; i++) { A[B[i]] = A[B[i]] + 1.0; }
+`
+	rep, err := LintSource("t.c", src, LintOptions{Core: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := hasCode(rep, CodeBlockedUnknownDep)
+	if !ok {
+		t.Fatalf("want %s diagnostic, got:\n%s", CodeBlockedUnknownDep, rep.Render(false))
+	}
+	if !strings.Contains(msg, "A") || !strings.Contains(msg, "unknown-distance") {
+		t.Errorf("SLMS301 does not name the blocking variable: %s", msg)
+	}
+	if !strings.Contains(msg, "speculate") {
+		t.Errorf("SLMS301 does not mention the speculation override: %s", msg)
+	}
+}
+
+// TestPipelinabilityBindingCycle: a tight recurrence defeats the whole
+// II search; SLMS303 must exhibit the cycle and the II it would need.
+func TestPipelinabilityBindingCycle(t *testing.T) {
+	// The distance-1 recurrence spans the whole body: its cycle carries
+	// the full chain delay, so every decomposition needs II ≥ N while
+	// only II < N beats the sequential schedule.
+	src := `float A[200]; float B[200]; float t; float u; float v;
+for (i = 1; i < 100; i++) {
+  t = A[i-1] * 0.5;
+  u = t + B[i];
+  v = u * 1.5;
+  A[i] = v;
+}
+`
+	rep, err := LintSource("t.c", src, LintOptions{Core: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Applied != 0 {
+		t.Fatalf("recurrence unexpectedly scheduled:\n%s", rep.Render(false))
+	}
+	msg, ok := hasCode(rep, CodeBindingCycle)
+	if !ok {
+		t.Fatalf("want %s diagnostic, got:\n%s", CodeBindingCycle, rep.Render(false))
+	}
+	if !strings.Contains(msg, "recurrence") || !strings.Contains(msg, "A") {
+		t.Errorf("SLMS303 does not exhibit the recurrence: %s", msg)
+	}
+}
+
+// TestPipelinabilityBindingInfo: a scheduled II=2 loop reports, via
+// SLMS300, the recurrence that forbids II=1.
+func TestPipelinabilityBindingInfo(t *testing.T) {
+	src := `float A[200]; float B[200]; float t; float u; float v;
+for (i = 2; i < 100; i++) {
+  t = A[i-2] * 0.5;
+  u = t + B[i];
+  v = u * 1.5;
+  A[i] = v;
+}
+`
+	rep, err := LintSource("t.c", src, LintOptions{Core: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Applied != 1 {
+		t.Fatalf("want the loop scheduled, got:\n%s", rep.Render(false))
+	}
+	msg, ok := hasCode(rep, CodePipelined)
+	if !ok {
+		t.Fatalf("want %s diagnostic, got:\n%s", CodePipelined, rep.Render(false))
+	}
+	if strings.Contains(msg, "II=2") && !strings.Contains(msg, "forbids II=1") {
+		t.Errorf("SLMS300 at II=2 does not name the binding recurrence: %s", msg)
+	}
+}
+
+// TestPipelinabilityPrecisionNote: a stride-mismatched pair the legacy
+// test left unknown is solver-resolved and surfaces as SLMS302.
+func TestPipelinabilityPrecisionNote(t *testing.T) {
+	src := `float A[256]; float B[256];
+for (i = 0; i < 100; i++) { A[2*i] = A[i] + B[i]; }
+`
+	rep, err := LintSource("t.c", src, LintOptions{Core: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := hasCode(rep, CodePrecisionResolved)
+	if !ok {
+		t.Fatalf("want %s diagnostic, got:\n%s", CodePrecisionResolved, rep.Render(false))
+	}
+	if !strings.Contains(msg, "resolved") {
+		t.Errorf("SLMS302 message lacks the resolution summary: %s", msg)
+	}
+}
+
+// TestRevalidateRefutesDoctoredResolution: the independent enumeration
+// must catch a solver verdict that excludes a realizable collision.
+func TestRevalidateRefutesDoctoredResolution(t *testing.T) {
+	// f1(t) = t, f2(t) = t + 2 collide at t1 = t2 + 2, i.e. d = −2.
+	r := dep.Resolution{
+		Var: "A", MI1: 0, MI2: 1, Write1: true,
+		F1:  []omega.Form{{A: 1, C: 0}},
+		F2:  []omega.Form{{A: 1, C: 2}},
+		OK1: []bool{true}, OK2: []bool{true},
+		Trip: omega.Exact(10),
+	}
+
+	r.Res = omega.Result{Kind: omega.KindIndependent}
+	ok, w := revalidateOne(&r)
+	if !ok || w == nil {
+		t.Fatalf("doctored independence must be refuted, got ok=%v w=%v", ok, w)
+	}
+	if w.Edge == nil || w.Edge.Var != "A" || w.Edge.Dist != -2 {
+		t.Errorf("witness edge does not pin the collision: %+v", w.Edge)
+	}
+	if !strings.Contains(w.Detail, "sharpened dependence refuted") {
+		t.Errorf("witness detail: %s", w.Detail)
+	}
+
+	// The true verdict passes.
+	r.Res = omega.Result{Kind: omega.KindExact, Dist: -2}
+	if ok, w := revalidateOne(&r); !ok || w != nil {
+		t.Fatalf("correct verdict rejected: ok=%v w=%v", ok, w)
+	}
+
+	// A non-cancelling symbolic dimension is not enumerable: skipped,
+	// never refuted.
+	r.F2[0].Syms = map[string]int64{"m": 1}
+	r.Res = omega.Result{Kind: omega.KindIndependent}
+	if ok, w := revalidateOne(&r); ok || w != nil {
+		t.Fatalf("symbolic pair must be skipped, got ok=%v w=%v", ok, w)
+	}
+}

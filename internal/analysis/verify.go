@@ -57,16 +57,24 @@ func VerifyResult(res *core.Result) *Verdict {
 	}
 	// Independent re-derivation: the checker trusts the recorded MIs and
 	// loop shape, but not the transform's own dependence analysis.
-	ran, err := dep.Analyze(vi.MIs, vi.Loop.Var, vi.Tab, dep.Options{Step: vi.Loop.Step})
+	ran, err := dep.Analyze(vi.MIs, vi.Loop.Var, vi.Tab, vi.DepOptions())
 	if err != nil {
 		return &Verdict{Notes: []string{"re-derivation failed: " + err.Error()}}
 	}
+	// Every pair the exact solver sharpened beyond the legacy test is
+	// re-checked by independent enumeration before its edges are trusted.
+	w, rnotes := revalidateResolutions(ran)
+	if w != nil {
+		return &Verdict{Status: StatusRefuted, Witness: w, Notes: rnotes}
+	}
 	m, notes := recognize(vi, res.Replacement)
 	if m == nil {
-		return &Verdict{Notes: append(notes, "transformed code was not recognized")}
+		return &Verdict{Notes: append(append(rnotes, notes...), "transformed code was not recognized")}
 	}
 	edges, problems := effectiveEdges(vi, ran)
-	return check(m, edges, problems)
+	v := check(m, edges, problems)
+	v.Notes = append(rnotes, v.Notes...)
+	return v
 }
 
 // LintOptions configures LintProgram.
@@ -112,6 +120,9 @@ func LintProgram(file string, prog *source.Program, opts LintOptions) (*Report, 
 				Code: code, Severity: SevInfo, Line: line, Col: col,
 				Message: "not transformed: " + res.Reason,
 			})
+			for _, d := range pipelinability(res, line, col, loopVar) {
+				rep.add(d)
+			}
 			continue
 		}
 		rep.Summary.Applied++
@@ -154,6 +165,9 @@ func LintProgram(file string, prog *source.Program, opts LintOptions) (*Report, 
 				Code: CodeProved, Severity: SevInfo, Line: line, Col: col, Loop: loopVar,
 				Message: "note: " + n,
 			})
+		}
+		for _, d := range pipelinability(res, line, col, loopVar) {
+			rep.add(d)
 		}
 	}
 

@@ -111,6 +111,10 @@ type Report struct {
 	Suite       []PhaseDelta  `json:"suite_phases,omitempty"`
 	Wall        PhaseDelta    `json:"wall"`
 	Regressions []string      `json:"regressions,omitempty"`
+	// Precision census of each side, when recorded (the unknown-edge
+	// count is gated: it must not grow against the baseline).
+	OldPrecision *bench.PrecisionStat `json:"old_precision,omitempty"`
+	NewPrecision *bench.PrecisionStat `json:"new_precision,omitempty"`
 }
 
 // Failed reports whether any kernel regressed beyond the threshold.
@@ -172,7 +176,36 @@ func Compare(old, new []*bench.RunStats, opts Options) (*Report, error) {
 		kd.Phases = kernelPhases(olds, news)
 		rep.Kernels = append(rep.Kernels, kd)
 	}
+
+	// Dependence-precision gate: the census is deterministic, so any
+	// growth in unknown edges against the baseline is an analysis
+	// regression (a sharpening the solver lost). Gated only when both
+	// sides carry the census (older baselines predate it).
+	if op, np := precisionOf(old), precisionOf(new); op != nil && np != nil {
+		rep.OldPrecision, rep.NewPrecision = op, np
+		if np.UnknownExact > op.UnknownExact {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+				"dependence precision regressed: unknown edges %d -> %d across the corpus",
+				op.UnknownExact, np.UnknownExact))
+		}
+		if np.NewlyPipelined+np.LowerII < op.NewlyPipelined+op.LowerII {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+				"dependence precision regressed: solver-enabled loops %d -> %d (newly pipelined + lower II)",
+				op.NewlyPipelined+op.LowerII, np.NewlyPipelined+np.LowerII))
+		}
+	}
 	return rep, nil
+}
+
+// precisionOf returns the first sample's precision census (samples of
+// one side agree; the census is deterministic).
+func precisionOf(side []*bench.RunStats) *bench.PrecisionStat {
+	for _, s := range side {
+		if s.Precision != nil {
+			return s.Precision
+		}
+	}
+	return nil
 }
 
 func rel(old, new int64) float64 {

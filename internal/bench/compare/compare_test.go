@@ -151,3 +151,49 @@ func TestStatBasics(t *testing.T) {
 		t.Fatalf("CI = %v, want %v", s.CI, want)
 	}
 }
+
+// TestCompareGatesPrecision: unknown-edge growth against the baseline
+// census is a regression; equal or shrinking counts pass, and sides
+// without a census are not gated.
+func TestCompareGatesPrecision(t *testing.T) {
+	withP := func(unknown, enabled int) *bench.RunStats {
+		s := side(1.0, kernel("k", 100, 80, 0.1))
+		s.Precision = &bench.PrecisionStat{UnknownExact: unknown, NewlyPipelined: enabled}
+		return s
+	}
+	rep, err := Compare([]*bench.RunStats{withP(0, 3)}, []*bench.RunStats{withP(2, 3)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || !strings.Contains(strings.Join(rep.Regressions, "\n"), "unknown edges 0 -> 2") {
+		t.Errorf("unknown-edge growth not gated: %v", rep.Regressions)
+	}
+
+	rep, err = Compare([]*bench.RunStats{withP(2, 3)}, []*bench.RunStats{withP(0, 3)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("improvement flagged as regression: %v", rep.Regressions)
+	}
+	if rep.OldPrecision == nil || rep.NewPrecision == nil {
+		t.Error("report lost the precision censuses")
+	}
+
+	rep, err = Compare([]*bench.RunStats{withP(0, 3)}, []*bench.RunStats{withP(0, 1)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("lost solver-enabled loops not gated")
+	}
+
+	// A baseline predating the census gates nothing.
+	rep, err = Compare([]*bench.RunStats{side(1.0)}, []*bench.RunStats{withP(5, 0)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("census-less baseline must not gate: %v", rep.Regressions)
+	}
+}

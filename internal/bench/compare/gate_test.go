@@ -9,13 +9,13 @@ import (
 )
 
 // gateBaseline is the committed baseline the CI gates diff against:
-// SLMS_GATE_BASELINE when set, BENCH_6.json (the two-leg record)
+// SLMS_GATE_BASELINE when set, BENCH_7.json (the precision record)
 // otherwise.
 func gateBaseline() string {
 	if p := os.Getenv("SLMS_GATE_BASELINE"); p != "" {
 		return p
 	}
-	return filepath.Join("..", "..", "..", "BENCH_6.json")
+	return filepath.Join("..", "..", "..", "BENCH_7.json")
 }
 
 // TestRegressionGateAgainstBaseline is the CI regression gate: it
@@ -24,7 +24,7 @@ func gateBaseline() string {
 // any delta beyond the 5% threshold is a real scheduling or simulator
 // change — either a regression to fix or an intentional change that
 // warrants re-recording the baseline (`slmsbench -legs -json
-// BENCH_6.json`). Env-gated because it re-runs the whole suite; CI sets
+// BENCH_7.json`). Env-gated because it re-runs the whole suite; CI sets
 // SLMS_REGRESSION_GATE=1.
 func TestRegressionGateAgainstBaseline(t *testing.T) {
 	if os.Getenv("SLMS_REGRESSION_GATE") == "" {

@@ -621,6 +621,10 @@ type RunStats struct {
 	// every measurement the process performed for these figures (the
 	// measurement memo runs each (kernel, machine, compiler) once).
 	Kernels []KernelStat `json:"kernels,omitempty"`
+	// Precision is the dependence-precision census over the corpus
+	// (legacy vs exact solver); the compare gate fails when the unknown
+	// edge count grows against the committed baseline.
+	Precision *PrecisionStat `json:"precision,omitempty"`
 }
 
 var figureGens = []struct {
@@ -631,6 +635,7 @@ var figureGens = []struct {
 	{"18", Figure18}, {"19", Figure19}, {"20", Figure20},
 	{"21", Figure21}, {"22", Figure22},
 	{"caseA", CaseA}, {"caseB", CaseB},
+	{"precision", FigurePrecision},
 }
 
 // AllFigures regenerates every evaluation figure in order. Figures are
@@ -703,6 +708,12 @@ func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 	}
 	stats.Phases = phaseDelta(startSnap, endSnap)
 	stats.Kernels = kernelStats()
+	// The precision census is transform-only (no simulation), cheap
+	// enough to stamp on every trajectory so the compare gate can hold
+	// the unknown-edge count at the baseline.
+	if _, psum, perr := PrecisionCensus(PrecisionCorpus()); perr == nil {
+		stats.Precision = &psum
+	}
 	return out, stats, nil
 }
 
@@ -729,7 +740,7 @@ func phaseDelta(before, after obs.Snapshot) []PhaseStat {
 
 // FigureIDs lists the available figure identifiers.
 func FigureIDs() []string {
-	ids := []string{"14", "15", "16", "17", "18", "19", "20", "21", "22", "caseA", "caseB"}
+	ids := []string{"14", "15", "16", "17", "18", "19", "20", "21", "22", "caseA", "caseB", "precision"}
 	sort.Strings(ids)
 	return ids
 }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/analysis"
+	"slms/internal/core"
+)
+
+// TestPrecisionGate is the dependence-precision regression gate: over
+// the full corpus (paper kernels + solver-targeted kernels), the exact
+// solver must never leave MORE unknown edges than the legacy test, must
+// resolve at least 30% of the legacy unknowns, and must make at least
+// one loop schedulable (or strictly faster) that the legacy analysis
+// could not. Static analysis only — fast enough to run unconditionally.
+func TestPrecisionGate(t *testing.T) {
+	rows, sum, err := PrecisionCensus(PrecisionCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", PrecisionTable(rows, sum))
+	for _, r := range rows {
+		if r.UnknownExact > r.UnknownLegacy {
+			t.Errorf("%s: solver INCREASED unknown edges %d -> %d", r.Kernel, r.UnknownLegacy, r.UnknownExact)
+		}
+		if r.IILegacy > 0 && (r.IIExact == 0 || r.IIExact > r.IILegacy) {
+			t.Errorf("%s: solver lost ground: II %d -> %d", r.Kernel, r.IILegacy, r.IIExact)
+		}
+	}
+	if sum.UnknownLegacy == 0 {
+		t.Fatal("census saw no legacy-unknown edges; the gate checked nothing")
+	}
+	resolved := float64(sum.UnknownLegacy-sum.UnknownExact) / float64(sum.UnknownLegacy)
+	if resolved < 0.30 {
+		t.Errorf("solver resolved %.0f%% of legacy-unknown edges, want >= 30%% (%d -> %d)",
+			100*resolved, sum.UnknownLegacy, sum.UnknownExact)
+	}
+	if sum.NewlyPipelined == 0 {
+		t.Error("no loop is newly pipelined by exact analysis")
+	}
+	if sum.LowerII+sum.NewlyPipelined < 1 {
+		t.Error("no loop gained a strictly lower II from exact analysis")
+	}
+}
+
+// TestPrecisionKernelsValidated: every solver-targeted kernel must lint
+// clean with the differential harness forced on — the transformation
+// enabled by the sharpened analysis is revalidated statically (the
+// enumeration re-check inside VerifyResult) and dynamically (original
+// and transformed agree on generated inputs).
+func TestPrecisionKernelsValidated(t *testing.T) {
+	for _, k := range PrecisionKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			rep, err := analysis.LintSource(k.Name, k.Source,
+				analysis.LintOptions{Core: core.DefaultOptions(), Diff: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.HasErrors() {
+				t.Fatalf("lint errors:\n%s", rep.Render(false))
+			}
+			if rep.Summary.Refuted > 0 {
+				t.Fatalf("schedule refuted:\n%s", rep.Render(false))
+			}
+		})
+	}
+}
+
+// TestFigurePrecisionShape pins the figure contract: one row per corpus
+// kernel, two series, and a resolution note.
+func TestFigurePrecisionShape(t *testing.T) {
+	f, err := FigurePrecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(PrecisionCorpus()); len(f.Rows) != want {
+		t.Errorf("rows: got %d, want %d", len(f.Rows), want)
+	}
+	if len(f.Series) != 2 {
+		t.Errorf("series: %v", f.Series)
+	}
+	if len(f.Notes) == 0 || !strings.Contains(f.Notes[0], "unknown edges") {
+		t.Errorf("missing summary note: %v", f.Notes)
+	}
+	if f.Table() == "" {
+		t.Error("figure renders empty")
+	}
+}

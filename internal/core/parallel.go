@@ -39,11 +39,14 @@ func TransformParallelism() int { return int(transformPar.Load()) }
 var transformSiteHook func(site int) error
 
 // loopSite is one innermost-loop rewrite point: stmts[idx] is the
-// *source.For to transform in place.
+// *source.For to transform in place. guards are the if-conditions
+// enclosing the site (then-branches only) — known true at loop entry,
+// they refine the dependence solver's symbolic ranges.
 type loopSite struct {
-	stmts []source.Stmt
-	idx   int
-	loop  *source.For
+	stmts  []source.Stmt
+	idx    int
+	loop   *source.For
+	guards []source.Expr
 }
 
 // collectLoopSites gathers every innermost for-loop rewrite point in
@@ -51,22 +54,28 @@ type loopSite struct {
 // non-innermost For bodies, While bodies, Blocks and both If arms
 // recurse; innermost For statements become sites.
 func collectLoopSites(stmts []source.Stmt, sites *[]loopSite) {
+	collectLoopSitesG(stmts, nil, sites)
+}
+
+func collectLoopSitesG(stmts []source.Stmt, guards []source.Expr, sites *[]loopSite) {
 	for i, s := range stmts {
 		switch s := s.(type) {
 		case *source.For:
 			if containsLoop(s.Body) {
-				collectLoopSites(s.Body.Stmts, sites)
+				collectLoopSitesG(s.Body.Stmts, nil, sites)
 				continue
 			}
-			*sites = append(*sites, loopSite{stmts: stmts, idx: i, loop: s})
+			*sites = append(*sites, loopSite{stmts: stmts, idx: i, loop: s, guards: guards})
 		case *source.While:
-			collectLoopSites(s.Body.Stmts, sites)
+			collectLoopSitesG(s.Body.Stmts, nil, sites)
 		case *source.Block:
-			collectLoopSites(s.Stmts, sites)
+			collectLoopSitesG(s.Stmts, guards, sites)
 		case *source.If:
-			collectLoopSites(s.Then.Stmts, sites)
+			collectLoopSitesG(s.Then.Stmts, append(guards[:len(guards):len(guards)], s.Cond), sites)
 			if s.Else != nil {
-				collectLoopSites(s.Else.Stmts, sites)
+				// The else-branch condition holds negated; the range layer
+				// only consumes positive comparisons, so pass nothing.
+				collectLoopSitesG(s.Else.Stmts, nil, sites)
 			}
 		}
 	}
@@ -108,7 +117,7 @@ func transformSites(sp *obs.Span, sites []loopSite, tab *sem.Table, opts Options
 				stab.SetFreshSuffix(fmt.Sprintf("_l%d", k))
 			}
 		}
-		results[k], errs[k] = TransformSpan(sp, sites[k].loop, stab, opts)
+		results[k], errs[k] = transformSpanGuards(sp, sites[k].loop, stab, opts, sites[k].guards)
 	}
 
 	if workers := min(TransformParallelism(), len(sites)); workers <= 1 {

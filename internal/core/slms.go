@@ -6,6 +6,7 @@ import (
 
 	"slms/internal/ddg"
 	"slms/internal/dep"
+	"slms/internal/dep/omega"
 	"slms/internal/mii"
 	"slms/internal/obs"
 	"slms/internal/sem"
@@ -38,6 +39,10 @@ type Options struct {
 	// closest to the paper's listings). When false a guard+fallback is
 	// emitted, which is always safe.
 	NoGuard bool
+	// NoSolver disables the exact dependence solver (internal/dep/omega),
+	// restoring the legacy conservative subscript test. Used for
+	// precision regression comparisons.
+	NoSolver bool
 }
 
 // DefaultOptions returns the configuration used in the paper's
@@ -78,6 +83,10 @@ type Result struct {
 	// Verify carries the metadata a translation validator needs to
 	// re-check the schedule (see internal/analysis). Set when Applied.
 	Verify *VerifyInfo
+	// Dep is the loop's final dependence analysis (with precision
+	// accounting), populated whenever analysis succeeded — including
+	// loops later skipped, so diagnostics can explain what blocked them.
+	Dep *dep.Analysis
 	// Log records the algorithm's steps for the interactive SLC view.
 	Log []string
 }
@@ -121,6 +130,13 @@ func Transform(f *source.For, tab *sem.Table, opts Options) (*Result, error) {
 // phase (canonicalize, if-conversion, dependence analysis, filter, II
 // search, kernel emission) a nested span plus a phase histogram entry.
 func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options) (*Result, error) {
+	return transformSpanGuards(parent, f, tab, opts, nil)
+}
+
+// transformSpanGuards is TransformSpan with the if-conditions enclosing
+// the loop site: conditions known true at loop entry refine the
+// symbolic ranges the dependence solver reasons over.
+func transformSpanGuards(parent *obs.Span, f *source.For, tab *sem.Table, opts Options, guards []source.Expr) (*Result, error) {
 	res := &Result{Mode: opts.Expansion, Unroll: 1, Pos: f.Pos()}
 	sp := parent.Child("loop@" + res.Pos.String())
 	defer sp.End()
@@ -138,6 +154,18 @@ func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options
 		return res, nil
 	}
 	res.logf("canonical loop: var=%s step=%d", loop.Var, loop.Step)
+
+	// Symbolic range environment for the exact dependence solver:
+	// write-once constants and array extents from the table, refined by
+	// guard conditions known true at loop entry.
+	rg := omega.FromTable(tab)
+	for _, g := range guards {
+		rg = rg.WithGuard(g)
+	}
+	depOpts := dep.Options{
+		Step: loop.Step, Lo: loop.Lo, Hi: loop.Hi,
+		Ranges: rg, NoSolver: opts.NoSolver,
+	}
 
 	// Work on a deep copy of the body.
 	work := source.CloneBlock(f.Body)
@@ -166,13 +194,14 @@ func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options
 
 	// First analysis: classification + filter.
 	depSp := sp.Child("dep")
-	an, err := dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step})
+	an, err := dep.Analyze(mis, loop.Var, tab, depOpts)
 	depSp.End()
 	if err != nil {
 		res.Reason = err.Error()
 		res.decide(sp, obs.DecAnalysisFailed, obs.VerdictSkip, nil)
 		return res, nil
 	}
+	res.Dep = an
 
 	// Step 1 (§5): bad-case filter.
 	res.Filter = applyFilter(an, opts.MemRefThreshold, func(name string) bool {
@@ -214,11 +243,12 @@ func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options
 	}
 	if len(renameDecls) > 0 {
 		res.logf("renamed %d multi-defined variant(s)", len(renameDecls))
-		if an, err = dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step}); err != nil {
+		if an, err = dep.Analyze(mis, loop.Var, tab, depOpts); err != nil {
 			res.Reason = err.Error()
 			res.decide(sp, obs.DecAnalysisFailed, obs.VerdictSkip, nil)
 			return res, nil
 		}
+		res.Dep = an
 	}
 
 	// Steps 4–5 (§5): find the MII, decomposing MIs as needed.
@@ -259,12 +289,13 @@ func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options
 		res.logf("decomposed MI %d introducing %s", at, decl.Name)
 		mis = newMIs
 		decls = append(decls, decl)
-		if an, err = dep.Analyze(mis, loop.Var, tab, dep.Options{Step: loop.Step}); err != nil {
+		if an, err = dep.Analyze(mis, loop.Var, tab, depOpts); err != nil {
 			miiSp.End()
 			res.Reason = err.Error()
 			res.decide(sp, obs.DecAnalysisFailed, obs.VerdictSkip, nil)
 			return res, nil
 		}
+		res.Dep = an
 	}
 	n := len(mis)
 	res.MIs = n
@@ -337,7 +368,7 @@ func TransformSpan(parent *obs.Span, f *source.For, tab *sem.Table, opts Options
 		inds[name] = InductionInfo{Entry: s.entry, Step: s.step, DefMI: s.defMI}
 	}
 	res.Verify = &VerifyInfo{
-		Loop: loop, Tab: tab, MIs: mis, Analysis: an,
+		Loop: loop, Tab: tab, MIs: mis, Analysis: an, Ranges: rg,
 		II: ii, Stages: res.Stages, Unroll: b.u, Mode: opts.Expansion,
 		Expand: b.expand, ExpandArr: b.expandArr, Inductions: inds,
 		RenameFinal: renameFinal,

@@ -483,19 +483,27 @@ func TestII2WithMVE(t *testing.T) {
 			}
 		`, hi)
 		results := checkEquiv(t, src, DefaultOptions())
-		// Two loops apply: the seeding loop (II=1) and the kernel loop,
-		// which must land at II=2 with MVE unroll 2.
-		found := false
-		for _, r := range results {
-			if r.Applied && r.II == 2 {
-				found = true
-				if r.MIs != 4 || r.Unroll < 2 {
-					t.Errorf("hi=%d: II=2 loop has MIs=%d unroll=%d, want 4/2", hi, r.MIs, r.Unroll)
-				}
-			}
+		// Two loops apply: the seeding loop (II=1) and the kernel loop.
+		// With a constant trip count of at least 3 the distance-2 carried
+		// flow is realizable and the kernel must land at II=2 with MVE
+		// unroll 2; below that the exact solver proves the distance
+		// exceeds the iteration space, the edge vanishes, and the loop
+		// legitimately schedules at II=1.
+		wantII := int64(2)
+		if hi-2 < 3 {
+			wantII = 1
 		}
-		if !found {
-			t.Errorf("hi=%d: no II=2 schedule found: %+v", hi, results)
+		// The kernel loop is the last one in source order.
+		r := results[len(results)-1]
+		if !r.Applied || r.MIs != 4 {
+			t.Errorf("hi=%d: kernel loop not transformed: %+v", hi, r)
+			continue
+		}
+		if r.II != wantII {
+			t.Errorf("hi=%d: kernel II=%d, want %d", hi, r.II, wantII)
+		}
+		if wantII == 2 && r.Unroll < 2 {
+			t.Errorf("hi=%d: II=2 loop has unroll=%d, want >=2", hi, r.Unroll)
 		}
 	}
 }

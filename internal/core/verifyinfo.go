@@ -2,6 +2,7 @@ package core
 
 import (
 	"slms/internal/dep"
+	"slms/internal/dep/omega"
 	"slms/internal/sem"
 	"slms/internal/source"
 )
@@ -37,6 +38,11 @@ type VerifyInfo struct {
 	// Analysis is the dependence analysis the schedule was derived from
 	// (for cross-checking a re-derivation, not as ground truth).
 	Analysis *dep.Analysis
+	// Ranges is the symbolic range environment the analysis ran with
+	// (write-once constants, guard refinements, array extents). A
+	// checker re-deriving the analysis must use the same environment or
+	// it will refute solver-sharpened schedules.
+	Ranges *omega.Ranges
 
 	II     int64
 	Stages int
@@ -66,4 +72,18 @@ type VerifyInfo struct {
 	// Original is the untransformed loop (shared with the input AST;
 	// read-only).
 	Original *source.For
+}
+
+// DepOptions returns the dependence-analysis options the transform used,
+// so a checker's re-derivation sees the same precision (same bounds,
+// same range environment, same solver setting).
+func (vi *VerifyInfo) DepOptions() dep.Options {
+	rg := vi.Ranges
+	if rg == nil {
+		rg = omega.FromTable(vi.Tab)
+	}
+	return dep.Options{
+		Step: vi.Loop.Step, Lo: vi.Loop.Lo, Hi: vi.Loop.Hi,
+		Ranges: rg,
+	}
 }

@@ -44,7 +44,6 @@ func (a Affine) add(b Affine) Affine {
 	for n, c := range b.Syms {
 		r = r.withSym(n, c)
 	}
-	r.OK = a.OK && b.OK
 	return r
 }
 
@@ -126,6 +125,19 @@ const (
 	DistAlways                    // equal at every iteration (loop-invariant subscripts)
 	DistUnknown                   // cannot decide
 )
+
+// String renders the result.
+func (d DistResult) String() string {
+	switch d {
+	case DistNone:
+		return "none"
+	case DistExact:
+		return "exact"
+	case DistAlways:
+		return "always"
+	}
+	return "unknown"
+}
 
 // SubscriptDistance compares subscripts f1 (at iteration i1) and f2 (at
 // iteration i2) and reports when f1(i1) == f2(i2) in terms of

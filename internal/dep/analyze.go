@@ -3,6 +3,7 @@ package dep
 import (
 	"fmt"
 
+	"slms/internal/dep/omega"
 	"slms/internal/sem"
 	"slms/internal/source"
 )
@@ -118,6 +119,9 @@ type Analysis struct {
 	MemRefs  int
 	ArithOps int
 	NumMIs   int
+	// Precision summarizes what the exact solver sharpened relative to
+	// the legacy conservative subscript test (zeroed under NoSolver).
+	Precision Precision
 }
 
 // HasUnknown reports whether any edge has an unknown distance.
@@ -128,6 +132,17 @@ func (a *Analysis) HasUnknown() bool {
 		}
 	}
 	return false
+}
+
+// UnknownEdges counts edges with an unknown (conservative) distance.
+func (a *Analysis) UnknownEdges() int {
+	n := 0
+	for _, e := range a.Edges {
+		if e.Unknown {
+			n++
+		}
+	}
+	return n
 }
 
 // ref is one array or scalar access inside an MI.
@@ -151,6 +166,19 @@ type Options struct {
 	// multiples of the step prove independence (the iterations never
 	// touch those offsets).
 	Step int64
+	// Lo and Hi are the canonical loop's bound expressions
+	// (i = Lo; i < Hi; i += Step). When supplied, the exact solver uses
+	// them to bound the iteration space (trip-count kills) and to fold
+	// constant lower bounds into subscripts.
+	Lo, Hi source.Expr
+	// Ranges supplies symbolic intervals for loop-invariant scalars and
+	// declared array extents (see omega.FromTable). Nil is valid and
+	// means nothing is known.
+	Ranges *omega.Ranges
+	// NoSolver disables the exact Omega-lite solver, restoring the
+	// legacy conservative subscript test (regression comparisons and
+	// precision accounting).
+	NoSolver bool
 }
 
 // Analyze computes the dependence edges between the multi-instructions
@@ -172,6 +200,14 @@ func Analyze(mis []source.Stmt, loopVar string, tab *sem.Table, opts Options) (*
 	a.MemRefs = col.memRefs
 	a.ArithOps = col.arithOps
 
+	// ---- scalar classification ----
+	// Classified before the array pass: the solver's induction-variable
+	// promotion consults scalar classes. (Scalar edges are still emitted
+	// after the array pass, preserving edge order.)
+	if err := a.classifyScalars(col, mis, opts); err != nil {
+		return nil, err
+	}
+
 	writtenScalars := map[string]bool{}
 	for _, r := range col.refs {
 		if len(r.subs) == 0 && r.write {
@@ -180,13 +216,21 @@ func Analyze(mis []source.Stmt, loopVar string, tab *sem.Table, opts Options) (*
 	}
 
 	// ---- array dependences ----
-	var arrayRefs []ref
+	// rawRefs keep the original affine view (the solver promotes
+	// induction scalars itself); arrayRefs carry the demoted view the
+	// legacy test needs.
+	var rawRefs, arrayRefs []ref
 	for _, r := range col.refs {
 		if len(r.subs) > 0 {
+			rawRefs = append(rawRefs, r)
 			// A subscript that mentions a written (non-induction-variable)
 			// scalar is not loop-invariant in the affine sense; demote it.
 			arrayRefs = append(arrayRefs, demoteVaryingSyms(r, writtenScalars))
 		}
+	}
+	var sc *solveCtx
+	if !opts.NoSolver {
+		sc = a.newSolveCtx(rawRefs, opts)
 	}
 	for i := 0; i < len(arrayRefs); i++ {
 		for j := i; j < len(arrayRefs); j++ {
@@ -197,14 +241,11 @@ func Analyze(mis []source.Stmt, loopVar string, tab *sem.Table, opts Options) (*
 			if i == j {
 				continue // a single reference cannot conflict with itself
 			}
-			a.addArrayPair(r1, r2)
+			a.addArrayPair(r1, r2, sc, i, j)
 		}
 	}
 
-	// ---- scalar classification and dependences ----
-	if err := a.classifyScalars(col, mis, opts); err != nil {
-		return nil, err
-	}
+	// ---- scalar dependences ----
 	a.scalarEdges(col, opts)
 	a.dedup()
 	return a, nil
@@ -215,6 +256,9 @@ func Analyze(mis []source.Stmt, loopVar string, tab *sem.Table, opts Options) (*
 // unless lw is a recognized induction handled elsewhere, the subscript
 // is not a static affine function of the loop variable).
 func demoteVaryingSyms(r ref, written map[string]bool) ref {
+	subs := make([]Affine, len(r.subs))
+	copy(subs, r.subs)
+	r.subs = subs // the raw view must keep its OK flags
 	for k := range r.subs {
 		for n := range r.subs[k].Syms {
 			if written[n] {
@@ -225,10 +269,10 @@ func demoteVaryingSyms(r ref, written map[string]bool) ref {
 	return r
 }
 
-// addArrayPair emits the dependence edge (if any) between two array refs.
-func (a *Analysis) addArrayPair(r1, r2 ref) {
-	// Combine all dimensions: every dimension must be able to collide,
-	// and dimensions with the loop variable must agree on the distance.
+// legacyCombine runs the conservative all-dimensions combine: every
+// dimension must be able to collide, and dimensions with the loop
+// variable must agree on the distance (in loop-variable units).
+func legacyCombine(r1, r2 ref) (DistResult, int64) {
 	res := DistAlways
 	var dist int64
 	haveExact := false
@@ -236,14 +280,12 @@ func (a *Analysis) addArrayPair(r1, r2 ref) {
 		dr, d := SubscriptDistance(r1.subs[k], r2.subs[k])
 		switch dr {
 		case DistNone:
-			return // provably independent
+			return DistNone, 0 // provably independent
 		case DistUnknown:
-			if res != DistNone {
-				res = DistUnknown
-			}
+			res = DistUnknown
 		case DistExact:
 			if haveExact && d != dist {
-				return // inconsistent required distances: independent
+				return DistNone, 0 // inconsistent required distances
 			}
 			haveExact = true
 			dist = d
@@ -254,27 +296,108 @@ func (a *Analysis) addArrayPair(r1, r2 ref) {
 			// no constraint from this dimension
 		}
 	}
-	if res == DistUnknown {
+	return res, dist
+}
+
+// emitLegacy emits the edges the legacy verdict implies.
+func (a *Analysis) emitLegacy(r1, r2 ref, dr DistResult, dist int64) {
+	switch dr {
+	case DistNone:
+		return
+	case DistUnknown:
 		// Conservative: dependence at distance 0 and at distance 1 in both
 		// directions, flagged unknown so the scheduler can refuse.
 		a.emit(r1, r2, 0, true)
 		a.emit(r1, r2, 1, true)
 		a.emit(r2, r1, 1, true)
-		return
-	}
-	if res == DistAlways {
+	case DistAlways:
 		// Same element every iteration (no loop-variable in any subscript):
 		// behaves like an unrenamable scalar held in memory.
 		a.emit(r1, r2, 0, false)
 		a.emit(r1, r2, 1, false)
 		a.emit(r2, r1, 1, false)
+	case DistExact:
+		// dist is in loop-variable units; convert to iterations.
+		if dist%a.Step != 0 {
+			return // the stride never lands on this offset: independent
+		}
+		a.emit(r1, r2, dist/a.Step, false)
+	}
+}
+
+// addArrayPair emits the dependence edges (if any) between two array
+// refs: exact-solver verdict when enabled, legacy combine otherwise.
+// i1, i2 index the solver context's form tables.
+func (a *Analysis) addArrayPair(r1, r2 ref, sc *solveCtx, i1, i2 int) {
+	lk, ld := legacyCombine(r1, r2)
+	if sc == nil {
+		a.emitLegacy(r1, r2, lk, ld)
 		return
 	}
-	// dist is in loop-variable units; convert to iterations.
-	if dist%a.Step != 0 {
-		return // the stride never lands on this offset: independent
+	res, used := sc.solvePair(r1, r2, i1, i2)
+	a.recordPrecision(r1, r2, sc, i1, i2, lk, res, used)
+	switch res.Kind {
+	case omega.KindIndependent:
+		return
+	case omega.KindExact:
+		a.emit(r1, r2, res.Dist, false)
+	case omega.KindAlways:
+		a.emit(r1, r2, 0, false)
+		a.emit(r1, r2, 1, false)
+		a.emit(r2, r1, 1, false)
+	case omega.KindBounded:
+		// Emitting the minimum distance per direction subsumes the whole
+		// set: the schedule constraint II·d + (v−u) ≥ delay is monotone
+		// in d, so the tightest (smallest) distance dominates.
+		if res.HasZero {
+			a.emit(r1, r2, 0, false)
+		}
+		if res.HasPos {
+			a.emit(r1, r2, res.PosMin, false)
+		}
+		if res.HasNeg {
+			a.emit(r1, r2, -res.NegMin, false)
+		}
+	default: // KindUnknown
+		a.emit(r1, r2, 0, true)
+		a.emit(r1, r2, 1, true)
+		a.emit(r2, r1, 1, true)
 	}
-	a.emit(r1, r2, dist/a.Step, false)
+}
+
+// recordPrecision updates the precision accounting for one pair.
+func (a *Analysis) recordPrecision(r1, r2 ref, sc *solveCtx, i1, i2 int, lk DistResult, res omega.Result, used bool) {
+	a.Precision.Pairs++
+	if lk == DistUnknown {
+		a.Precision.LegacyUnknown++
+		switch res.Kind {
+		case omega.KindUnknown:
+			a.Precision.Unresolved++
+		default:
+			a.Precision.Resolved++
+			switch res.Kind {
+			case omega.KindIndependent:
+				a.Precision.Independent++
+			case omega.KindExact:
+				a.Precision.Exact++
+			case omega.KindBounded:
+				a.Precision.Bounded++
+			}
+		}
+	}
+	killed := lk == DistExact && res.Kind == omega.KindIndependent
+	if killed {
+		a.Precision.Killed++
+	}
+	if used && ((lk == DistUnknown && res.Kind != omega.KindUnknown) || killed) {
+		a.Precision.Notes = append(a.Precision.Notes, Resolution{
+			Var: r1.name, MI1: r1.mi, MI2: r2.mi,
+			Write1: r1.write, Write2: r2.write,
+			F1: sc.forms[i1], F2: sc.forms[i2],
+			OK1: sc.oks[i1], OK2: sc.oks[i2],
+			Trip: sc.trip, Legacy: lk.String(), Res: res,
+		})
+	}
 }
 
 // emit adds one edge given raw distance d meaning: r2 at iteration i+d

@@ -1,0 +1,56 @@
+package omega
+
+// TripCount bounds the iteration count of the canonical loop
+//
+//	for (i = lo; i < hi; i += step)
+//
+// given interval knowledge of its bounds: trip = max(0, ⌈(hi−lo)/step⌉).
+// Non-positive steps (non-canonical loops) yield the trivial bound
+// [0, +inf).
+func TripCount(lo, hi Interval, step int64) Interval {
+	if step <= 0 {
+		return AtLeast(0)
+	}
+	diff := hi.Add(lo.Neg())
+	out := AtLeast(0)
+	if diff.HasHi {
+		if diff.Hi <= 0 {
+			return Exact(0)
+		}
+		out.Hi, out.HasHi = ceilDiv(diff.Hi, step), true
+	}
+	if diff.HasLo && diff.Lo > 0 {
+		out.Lo = ceilDiv(diff.Lo, step)
+	}
+	return out
+}
+
+// InBoundsTrip returns an upper bound on the trip count implied by the
+// in-bounds assumption: the subscript f indexes an array dimension of
+// the given extent on every executed iteration, and an out-of-range
+// access faults (the interpreter traps it), so a defined execution
+// cannot run an iteration where f leaves [0, extent). Only forms with
+// no symbolic part and a nonzero iteration coefficient say anything.
+func InBoundsTrip(f Form, extent int64) (int64, bool) {
+	if len(f.Syms) != 0 || extent <= 0 {
+		return 0, false
+	}
+	switch {
+	case f.A > 0:
+		// f(t) = A·t + C ≤ extent−1 for all executed t, so the last
+		// iteration satisfies trip−1 ≤ (extent−1−C)/A.
+		d, ok := subOK(extent-1, f.C)
+		if !ok {
+			return 0, false
+		}
+		return floorDiv(d, f.A) + 1, true
+	case f.A < 0:
+		// f(t) = A·t + C ≥ 0 for all executed t: trip−1 ≤ C/(−A).
+		n, ok := negOK(f.A)
+		if !ok {
+			return 0, false
+		}
+		return floorDiv(f.C, n) + 1, true
+	}
+	return 0, false
+}

@@ -1,0 +1,279 @@
+// Package omega is the exact integer dependence solver behind
+// internal/dep: an Omega-test-style decision procedure for affine
+// subscript pairs inside loop bounds. It combines extended-GCD
+// parameterization of the linear Diophantine collision equation with
+// one-dimensional Fourier–Motzkin elimination of the iteration
+// variables, and classifies the result as a direction/distance vector:
+// provably independent, an exact iteration distance, or sound minimum
+// distances per direction. A symbolic range analysis over loop-invariant
+// scalars (write-once constants, guard conditions, declared array
+// extents) supplies the value intervals the solver reasons over.
+//
+// Everything is pure Go over int64 with overflow-checked arithmetic;
+// any overflow degrades to "unknown", never to a wrong answer.
+package omega
+
+import "fmt"
+
+// Interval is a possibly half-open integer interval [Lo, Hi]. A side
+// with its Has flag false is unbounded.
+type Interval struct {
+	Lo, Hi       int64
+	HasLo, HasHi bool
+}
+
+// Exact returns the singleton interval {v}.
+func Exact(v int64) Interval { return Interval{Lo: v, Hi: v, HasLo: true, HasHi: true} }
+
+// Unbounded returns the interval covering every integer.
+func Unbounded() Interval { return Interval{} }
+
+// AtLeast returns [v, +inf).
+func AtLeast(v int64) Interval { return Interval{Lo: v, HasLo: true} }
+
+// AtMost returns (-inf, v].
+func AtMost(v int64) Interval { return Interval{Hi: v, HasHi: true} }
+
+// Range returns [lo, hi].
+func Range(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi, HasLo: true, HasHi: true} }
+
+// IsExact reports the single value of a singleton interval.
+func (iv Interval) IsExact() (int64, bool) {
+	if iv.HasLo && iv.HasHi && iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Empty reports whether the interval contains no integers.
+func (iv Interval) Empty() bool { return iv.HasLo && iv.HasHi && iv.Lo > iv.Hi }
+
+// Contains reports whether v may lie in the interval (unbounded sides
+// admit everything).
+func (iv Interval) Contains(v int64) bool {
+	if iv.HasLo && v < iv.Lo {
+		return false
+	}
+	if iv.HasHi && v > iv.Hi {
+		return false
+	}
+	return true
+}
+
+// Width returns the number of integers in the interval when both sides
+// are bounded (0 for empty), and ok=false otherwise.
+func (iv Interval) Width() (int64, bool) {
+	if !iv.HasLo || !iv.HasHi {
+		return 0, false
+	}
+	if iv.Lo > iv.Hi {
+		return 0, true
+	}
+	w, ok := subOK(iv.Hi, iv.Lo)
+	if !ok || w == int64max {
+		return 0, false
+	}
+	return w + 1, true
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	r := iv
+	if o.HasLo && (!r.HasLo || o.Lo > r.Lo) {
+		r.Lo, r.HasLo = o.Lo, true
+	}
+	if o.HasHi && (!r.HasHi || o.Hi < r.Hi) {
+		r.Hi, r.HasHi = o.Hi, true
+	}
+	return r
+}
+
+// Add returns the interval sum. A bound that overflows is dropped
+// (the result side becomes unbounded), which is always conservative.
+func (iv Interval) Add(o Interval) Interval {
+	var r Interval
+	if iv.HasLo && o.HasLo {
+		if v, ok := addOK(iv.Lo, o.Lo); ok {
+			r.Lo, r.HasLo = v, true
+		}
+	}
+	if iv.HasHi && o.HasHi {
+		if v, ok := addOK(iv.Hi, o.Hi); ok {
+			r.Hi, r.HasHi = v, true
+		}
+	}
+	return r
+}
+
+// Neg returns the negated interval.
+func (iv Interval) Neg() Interval {
+	var r Interval
+	if iv.HasHi {
+		if v, ok := negOK(iv.Hi); ok {
+			r.Lo, r.HasLo = v, true
+		}
+	}
+	if iv.HasLo {
+		if v, ok := negOK(iv.Lo); ok {
+			r.Hi, r.HasHi = v, true
+		}
+	}
+	return r
+}
+
+// MulConst returns the interval scaled by k.
+func (iv Interval) MulConst(k int64) Interval {
+	if k == 0 {
+		return Exact(0)
+	}
+	if k < 0 {
+		n, ok := negOK(k)
+		if !ok {
+			return Unbounded()
+		}
+		return iv.Neg().MulConst(n)
+	}
+	var r Interval
+	if iv.HasLo {
+		if v, ok := mulOK(iv.Lo, k); ok {
+			r.Lo, r.HasLo = v, true
+		}
+	}
+	if iv.HasHi {
+		if v, ok := mulOK(iv.Hi, k); ok {
+			r.Hi, r.HasHi = v, true
+		}
+	}
+	return r
+}
+
+// Mul returns the interval product. Unbounded or overflowing corners
+// drop the affected bound.
+func (iv Interval) Mul(o Interval) Interval {
+	if v, ok := o.IsExact(); ok {
+		return iv.MulConst(v)
+	}
+	if v, ok := iv.IsExact(); ok {
+		return o.MulConst(v)
+	}
+	if !iv.HasLo || !iv.HasHi || !o.HasLo || !o.HasHi {
+		return Unbounded()
+	}
+	lo, hi := int64(0), int64(0)
+	first := true
+	for _, a := range []int64{iv.Lo, iv.Hi} {
+		for _, b := range []int64{o.Lo, o.Hi} {
+			v, ok := mulOK(a, b)
+			if !ok {
+				return Unbounded()
+			}
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+	}
+	return Range(lo, hi)
+}
+
+// Union returns the smallest interval covering both.
+func (iv Interval) Union(o Interval) Interval {
+	var r Interval
+	if iv.HasLo && o.HasLo {
+		r.HasLo = true
+		r.Lo = min64(iv.Lo, o.Lo)
+	}
+	if iv.HasHi && o.HasHi {
+		r.HasHi = true
+		r.Hi = max64(iv.Hi, o.Hi)
+	}
+	return r
+}
+
+// String renders the interval for diagnostics.
+func (iv Interval) String() string {
+	if v, ok := iv.IsExact(); ok {
+		return fmt.Sprintf("%d", v)
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.HasLo {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.HasHi {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return fmt.Sprintf("[%s, %s]", lo, hi)
+}
+
+const (
+	int64max = int64(^uint64(0) >> 1)
+	int64min = -int64max - 1
+)
+
+func addOK(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOK(a, b int64) (int64, bool) {
+	if b == int64min {
+		return 0, false
+	}
+	return addOK(a, -b)
+}
+
+func negOK(a int64) (int64, bool) {
+	if a == int64min {
+		return 0, false
+	}
+	return -a, true
+}
+
+func mulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// floorDiv returns floor(a/b) for b != 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ceil(a/b) for b != 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

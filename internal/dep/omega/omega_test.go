@@ -1,0 +1,319 @@
+package omega
+
+import (
+	"math/rand"
+	"testing"
+
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+func TestExtGCD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := rng.Int63n(200) - 100
+		b := rng.Int63n(200) - 100
+		if a == 0 && b == 0 {
+			continue
+		}
+		g, x, y := extgcd(a, b)
+		if g <= 0 {
+			t.Fatalf("extgcd(%d,%d): non-positive g=%d", a, b, g)
+		}
+		if a*x+b*y != g {
+			t.Fatalf("extgcd(%d,%d): %d*%d+%d*%d != %d", a, b, a, x, b, y, g)
+		}
+		if g != gcd64(abs64(a), abs64(b)) {
+			t.Fatalf("extgcd(%d,%d): g=%d, gcd=%d", a, b, g, gcd64(abs64(a), abs64(b)))
+		}
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	if got := Range(1, 3).Add(Range(-2, 5)); got != Range(-1, 8) {
+		t.Errorf("add: got %v", got)
+	}
+	if got := Range(1, 3).Neg(); got != Range(-3, -1) {
+		t.Errorf("neg: got %v", got)
+	}
+	if got := Range(1, 3).MulConst(-2); got != Range(-6, -2) {
+		t.Errorf("mulconst: got %v", got)
+	}
+	if got := Range(-2, 3).Mul(Range(-1, 4)); got != Range(-8, 12) {
+		t.Errorf("mul: got %v", got)
+	}
+	if got := AtLeast(5).Add(Exact(3)); got.HasHi || got.Lo != 8 {
+		t.Errorf("half-open add: got %v", got)
+	}
+	if got := AtLeast(5).Neg(); got.HasLo || got.Hi != -5 {
+		t.Errorf("half-open neg: got %v", got)
+	}
+	if !Range(2, 4).Intersect(Range(5, 9)).Empty() {
+		t.Errorf("disjoint intersect should be empty")
+	}
+	if Range(2, 4).Contains(5) || !Range(2, 4).Contains(3) {
+		t.Errorf("contains is wrong")
+	}
+	// Overflow drops bounds instead of wrapping.
+	big := Exact(int64max)
+	if got := big.Add(Exact(1)); got.HasHi && got.HasLo {
+		t.Errorf("overflowing add must drop a bound, got %v", got)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	for _, c := range []struct{ a, b, fl, ce int64 }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {7, -2, -4, -3}, {-7, -2, 3, 4},
+		{6, 3, 2, 2}, {-6, 3, -2, -2}, {0, 5, 0, 0},
+	} {
+		if got := floorDiv(c.a, c.b); got != c.fl {
+			t.Errorf("floorDiv(%d,%d)=%d want %d", c.a, c.b, got, c.fl)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ce {
+			t.Errorf("ceilDiv(%d,%d)=%d want %d", c.a, c.b, got, c.ce)
+		}
+	}
+}
+
+// bruteCollisions enumerates the true distance set of a concrete pair.
+func bruteCollisions(f1, f2 Form, trip int64, syms map[string]int64) map[int64]bool {
+	val := func(f Form, t int64) int64 {
+		v := f.A*t + f.C
+		for n, c := range f.Syms {
+			v += c * syms[n]
+		}
+		return v
+	}
+	out := map[int64]bool{}
+	for t1 := int64(0); t1 < trip; t1++ {
+		for t2 := int64(0); t2 < trip; t2++ {
+			if val(f1, t1) == val(f2, t2) {
+				out[t2-t1] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkSound verifies a solver verdict against the ground-truth
+// distance set: KindIndependent needs an empty set; Exact needs set ⊆ {d};
+// KindBounded needs every distance admitted by the flags/minima; KindAlways and
+// Unknown admit everything.
+func checkSound(t *testing.T, r Result, truth map[int64]bool, desc string) {
+	t.Helper()
+	switch r.Kind {
+	case KindIndependent:
+		if len(truth) != 0 {
+			t.Errorf("%s: claimed independent but collisions %v exist (reason: %s)", desc, keys(truth), r.Reason)
+		}
+	case KindExact:
+		for d := range truth {
+			if d != r.Dist {
+				t.Errorf("%s: claimed exact d=%d but distance %d realizable (reason: %s)", desc, r.Dist, d, r.Reason)
+			}
+		}
+	case KindBounded:
+		for d := range truth {
+			if !r.Allows(d) {
+				t.Errorf("%s: bounded verdict %s rejects realizable distance %d (reason: %s)", desc, r, d, r.Reason)
+			}
+		}
+	}
+}
+
+func keys(m map[int64]bool) []int64 {
+	var out []int64
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestSolveRandomSound fuzzes the solver against brute-force
+// enumeration: every verdict must over-approximate the true distance
+// set (the solver may be imprecise, never unsound).
+func TestSolveRandomSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		f1 := Form{A: rng.Int63n(9) - 4, C: rng.Int63n(21) - 10}
+		f2 := Form{A: rng.Int63n(9) - 4, C: rng.Int63n(21) - 10}
+		trip := rng.Int63n(12) + 1
+		symv := map[string]int64{}
+		rg := New()
+		if rng.Intn(2) == 0 {
+			v := rng.Int63n(11) - 5
+			symv["m"] = v
+			c1 := rng.Int63n(3) - 1
+			c2 := rng.Int63n(3) - 1
+			if c1 != 0 {
+				f1.Syms = map[string]int64{"m": c1}
+			}
+			if c2 != 0 {
+				f2.Syms = map[string]int64{"m": c2}
+			}
+			switch rng.Intn(3) {
+			case 0:
+				rg.Set("m", Exact(v))
+			case 1:
+				rg.Set("m", Range(v-rng.Int63n(3), v+rng.Int63n(3)))
+			case 2:
+				// no range knowledge at all
+			}
+		}
+		r := Solve(f1, f2, Exact(trip), rg)
+		truth := bruteCollisions(f1, f2, trip, symv)
+		checkSound(t, r, truth, f1.String()+" vs "+f2.String())
+	}
+}
+
+// TestSolveExactCases pins the precision the dependence layer relies
+// on (the paper's Omega-test behavior on its benchmark subscripts).
+func TestSolveExactCases(t *testing.T) {
+	trip := Exact(100)
+	cases := []struct {
+		name   string
+		f1, f2 Form
+		trip   Interval
+		rg     *Ranges
+		want   Kind
+		dist   int64
+	}{
+		// A[2i] (write) vs A[i] (read): the GCD test passes, the old
+		// analysis gave up; the solver proves a bounded direction set.
+		{name: "stride2-vs-1", f1: Form{A: 2}, f2: Form{A: 1}, trip: trip, want: KindBounded},
+		// A[2i] vs A[2i+1]: parity proves independence.
+		{name: "parity", f1: Form{A: 2}, f2: Form{A: 2, C: 1}, trip: trip, want: KindIndependent},
+		// A[i] vs A[i-3]: exact distance +3 (f1 at t collides with f2 at t+3).
+		{name: "shift3", f1: Form{A: 1}, f2: Form{A: 1, C: -3}, trip: trip, want: KindExact, dist: 3},
+		// A[i] vs A[i+200] in a 100-trip loop: distance exceeds the
+		// iteration space.
+		{name: "tripkill", f1: Form{A: 1}, f2: Form{A: 1, C: 200}, trip: trip, want: KindIndependent},
+		// A[i+m] vs A[i] with m known ≥ 100: out of range symbolically.
+		{name: "symkill",
+			f1:   Form{A: 1, Syms: map[string]int64{"m": 1}},
+			f2:   Form{A: 1},
+			trip: trip,
+			rg: func() *Ranges {
+				r := New()
+				r.Set("m", AtLeast(200))
+				return r
+			}(),
+			want: KindIndependent},
+		// A[i+m] vs A[i] with m exactly 2: exact distance −2... f1(t1)=t1+2,
+		// f2(t2)=t2; equal when t2 = t1+2, d = +2.
+		{name: "symshift",
+			f1:   Form{A: 1, Syms: map[string]int64{"m": 1}},
+			f2:   Form{A: 1},
+			trip: trip,
+			rg: func() *Ranges {
+				r := New()
+				r.Set("m", Exact(2))
+				return r
+			}(),
+			want: KindExact, dist: 2},
+		// Same symbol on both sides cancels without any range knowledge.
+		{name: "symcancel",
+			f1:   Form{A: 1, C: 1, Syms: map[string]int64{"off": 1}},
+			f2:   Form{A: 1, Syms: map[string]int64{"off": 1}},
+			trip: trip,
+			want: KindExact, dist: 1},
+		// Loop-invariant pair with equal constants.
+		{name: "always", f1: Form{C: 7}, f2: Form{C: 7}, trip: trip, want: KindAlways},
+		// Loop-invariant pair with different constants.
+		{name: "inv-diff", f1: Form{C: 7}, f2: Form{C: 8}, trip: trip, want: KindIndependent},
+		// Unknown symbol with no range: must stay unknown.
+		{name: "no-range",
+			f1:   Form{A: 1, Syms: map[string]int64{"z": 1}},
+			f2:   Form{A: 1},
+			trip: trip,
+			want: KindUnknown},
+	}
+	for _, c := range cases {
+		r := Solve(c.f1, c.f2, c.trip, c.rg)
+		if r.Kind != c.want {
+			t.Errorf("%s: got %s (reason: %s), want %s", c.name, r.Kind, r.Reason, c.want)
+			continue
+		}
+		if c.want == KindExact && r.Dist != c.dist {
+			t.Errorf("%s: got dist %d, want %d", c.name, r.Dist, c.dist)
+		}
+	}
+}
+
+func TestSolveStride2Directions(t *testing.T) {
+	// a[2t] written, a[t] read, 100 iterations: collisions at 2·t1 = t2,
+	// i.e. d = t1 ∈ [0, 49]... every distance 0..49 realizable, so the
+	// verdict must include d=0 and d≥1 with PosMin=1.
+	r := Solve(Form{A: 2}, Form{A: 1}, Exact(100), nil)
+	if r.Kind != KindBounded || !r.HasZero || !r.HasPos || r.PosMin != 1 {
+		t.Fatalf("stride2: got %s (reason %s)", r, r.Reason)
+	}
+	if r.HasNeg {
+		t.Fatalf("stride2: negative distances are not realizable, got %s", r)
+	}
+}
+
+func TestRangesFromTableAndGuards(t *testing.T) {
+	prog, err := source.Parse(`
+int n = 200;
+int m;
+float a[300];
+m = 5;
+if (m < 50) {
+  for (int i = 0; i < n; i += 1) { a[i] = a[i] + 1.0; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := FromTable(info.Table)
+	if v, ok := rg.Sym("n").IsExact(); !ok || v != 200 {
+		t.Errorf("n: got %v, want exact 200", rg.Sym("n"))
+	}
+	// m is assigned: no constant, and guards must not refine it.
+	if _, ok := rg.Sym("m").IsExact(); ok {
+		t.Errorf("m is assigned, must not be constant")
+	}
+	refined := rg.WithGuard(&source.Binary{Op: source.OpLT, X: source.Var("m"), Y: source.Int(50)})
+	if refined.Sym("m").HasHi {
+		t.Errorf("guard refinement applied to an assigned scalar")
+	}
+	// n is never assigned: a guard on it refines.
+	refined = rg.WithGuard(&source.Binary{
+		Op: source.OpAnd,
+		X:  &source.Binary{Op: source.OpLT, X: source.Var("q"), Y: source.Int(10)},
+		Y:  &source.Binary{Op: source.OpGE, X: source.Int(0), Y: source.Var("p")},
+	})
+	if got := refined.Sym("q"); !got.HasHi || got.Hi != 9 {
+		t.Errorf("q guard: got %v", got)
+	}
+	if got := refined.Sym("p"); !got.HasHi || got.Hi != 0 {
+		t.Errorf("p guard (flipped): got %v", got)
+	}
+	if d, ok := rg.Extent("a", 0); !ok || d != 300 {
+		t.Errorf("extent of a: got %d,%v", d, ok)
+	}
+	// Eval folds declared constants through arithmetic.
+	e := &source.Binary{Op: source.OpSub, X: source.Var("n"), Y: source.Int(1)}
+	if v, ok := rg.Eval(e).IsExact(); !ok || v != 199 {
+		t.Errorf("eval n-1: got %v", rg.Eval(e))
+	}
+}
+
+func TestNilRangesAreSafe(t *testing.T) {
+	var rg *Ranges
+	if rg.Sym("x") != Unbounded() {
+		t.Errorf("nil Sym not unbounded")
+	}
+	if _, ok := rg.Extent("a", 0); ok {
+		t.Errorf("nil Extent must be unknown")
+	}
+	r := Solve(Form{A: 1}, Form{A: 1, C: -2}, Unbounded(), rg)
+	if r.Kind != KindExact || r.Dist != 2 {
+		t.Errorf("nil ranges solve: got %s", r)
+	}
+}

@@ -1,0 +1,248 @@
+package omega
+
+import (
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// Ranges is the symbolic range environment the solver consults: an
+// integer interval per loop-invariant scalar, plus the declared extents
+// of arrays (used to sharpen loop bounds under the in-bounds
+// assumption — the interpreter faults on any out-of-range access, so a
+// program whose subscripts would leave the declared extent has no
+// defined behavior to preserve).
+//
+// A nil *Ranges is valid everywhere and behaves as "everything
+// unbounded".
+type Ranges struct {
+	syms    map[string]Interval
+	extents map[string][]int64 // array name -> per-dimension extent (0 = unknown)
+	// assigned marks scalars the program assigns somewhere; guard
+	// refinement is only sound for names that are not.
+	assigned map[string]bool
+}
+
+// New returns an empty range environment.
+func New() *Ranges {
+	return &Ranges{
+		syms:     map[string]Interval{},
+		extents:  map[string][]int64{},
+		assigned: map[string]bool{},
+	}
+}
+
+// FromTable builds the range environment a checked program's symbol
+// table implies: write-once integer constants (int n = 200;) become
+// exact intervals, and constant array dimensions are recorded as
+// extents.
+func FromTable(tab *sem.Table) *Ranges {
+	r := New()
+	if tab == nil {
+		return r
+	}
+	for _, s := range tab.Symbols() {
+		if s.Assigned {
+			r.assigned[s.Name] = true
+		}
+		if s.HasConst {
+			r.syms[s.Name] = Exact(s.ConstVal)
+		}
+		if s.IsArray() {
+			dims := make([]int64, len(s.Dims))
+			for k, d := range s.Dims {
+				if v, ok := source.ConstInt(d); ok && v > 0 {
+					dims[k] = v
+				}
+			}
+			r.extents[s.Name] = dims
+		}
+	}
+	return r
+}
+
+// Clone returns an independent copy.
+func (r *Ranges) Clone() *Ranges {
+	c := New()
+	if r == nil {
+		return c
+	}
+	for n, iv := range r.syms {
+		c.syms[n] = iv
+	}
+	for n, d := range r.extents {
+		c.extents[n] = append([]int64(nil), d...)
+	}
+	for n := range r.assigned {
+		c.assigned[n] = true
+	}
+	return c
+}
+
+// Sym returns the interval known for a scalar (unbounded when nothing
+// is known).
+func (r *Ranges) Sym(name string) Interval {
+	if r == nil {
+		return Unbounded()
+	}
+	if iv, ok := r.syms[name]; ok {
+		return iv
+	}
+	return Unbounded()
+}
+
+// Set records (or narrows to) an interval for a scalar.
+func (r *Ranges) Set(name string, iv Interval) {
+	if r == nil {
+		return
+	}
+	r.syms[name] = r.Sym(name).Intersect(iv)
+}
+
+// Extent returns the constant extent of one array dimension, when
+// declared constant.
+func (r *Ranges) Extent(name string, dim int) (int64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	d := r.extents[name]
+	if dim < 0 || dim >= len(d) || d[dim] == 0 {
+		return 0, false
+	}
+	return d[dim], true
+}
+
+// Eval computes an interval for an expression over the environment.
+// Anything it cannot reason about is unbounded.
+func (r *Ranges) Eval(e source.Expr) Interval {
+	switch e := e.(type) {
+	case *source.IntLit:
+		return Exact(e.Value)
+	case *source.VarRef:
+		return r.Sym(e.Name)
+	case *source.Unary:
+		if e.Op == source.OpNeg {
+			return r.Eval(e.X).Neg()
+		}
+	case *source.Binary:
+		x, y := r.Eval(e.X), r.Eval(e.Y)
+		switch e.Op {
+		case source.OpAdd:
+			return x.Add(y)
+		case source.OpSub:
+			return x.Add(y.Neg())
+		case source.OpMul:
+			return x.Mul(y)
+		case source.OpDiv:
+			// Fold only the exact, evenly-dividing case; everything else
+			// stays unbounded (C truncation semantics are easy to get
+			// subtly wrong on intervals).
+			if xv, ok := x.IsExact(); ok {
+				if yv, ok := y.IsExact(); ok && yv != 0 && xv%yv == 0 {
+					return Exact(xv / yv)
+				}
+			}
+		}
+	case *source.Call:
+		if len(e.Args) == 2 {
+			x, y := r.Eval(e.Args[0]), r.Eval(e.Args[1])
+			switch e.Name {
+			case "min":
+				out := Unbounded()
+				if x.HasLo && y.HasLo {
+					out.Lo, out.HasLo = min64(x.Lo, y.Lo), true
+				}
+				if x.HasHi {
+					out.Hi, out.HasHi = x.Hi, true
+				}
+				if y.HasHi && (!out.HasHi || y.Hi < out.Hi) {
+					out.Hi, out.HasHi = y.Hi, true
+				}
+				return out
+			case "max":
+				out := Unbounded()
+				if x.HasHi && y.HasHi {
+					out.Hi, out.HasHi = max64(x.Hi, y.Hi), true
+				}
+				if x.HasLo {
+					out.Lo, out.HasLo = x.Lo, true
+				}
+				if y.HasLo && (!out.HasLo || y.Lo > out.Lo) {
+					out.Lo, out.HasLo = y.Lo, true
+				}
+				return out
+			}
+		}
+	}
+	return Unbounded()
+}
+
+// WithGuard returns a copy refined by a guard condition known true at
+// loop entry: comparisons between an unassigned scalar and a constant
+// (either side), connected by &&, narrow that scalar's interval.
+// Anything else is ignored. Only never-assigned scalars are refined —
+// an assigned scalar may change between the guard and the loop.
+func (r *Ranges) WithGuard(cond source.Expr) *Ranges {
+	out := r.Clone()
+	out.applyGuard(cond)
+	return out
+}
+
+func (r *Ranges) applyGuard(cond source.Expr) {
+	b, ok := cond.(*source.Binary)
+	if !ok {
+		return
+	}
+	if b.Op == source.OpAnd {
+		r.applyGuard(b.X)
+		r.applyGuard(b.Y)
+		return
+	}
+	if !b.Op.IsComparison() {
+		return
+	}
+	// Normalize to  name OP const.
+	name, c, op := "", int64(0), b.Op
+	if v, isVar := b.X.(*source.VarRef); isVar {
+		if k, isC := source.ConstInt(b.Y); isC {
+			name, c = v.Name, k
+		}
+	}
+	if name == "" {
+		if v, isVar := b.Y.(*source.VarRef); isVar {
+			if k, isC := source.ConstInt(b.X); isC {
+				name, c = v.Name, k
+				op = flipCmp(op)
+			}
+		}
+	}
+	if name == "" || r.assigned[name] {
+		return
+	}
+	switch op {
+	case source.OpLT:
+		r.Set(name, AtMost(c-1))
+	case source.OpLE:
+		r.Set(name, AtMost(c))
+	case source.OpGT:
+		r.Set(name, AtLeast(c+1))
+	case source.OpGE:
+		r.Set(name, AtLeast(c))
+	case source.OpEQ:
+		r.Set(name, Exact(c))
+	}
+}
+
+// flipCmp mirrors a comparison when its operands swap sides.
+func flipCmp(op source.Op) source.Op {
+	switch op {
+	case source.OpLT:
+		return source.OpGT
+	case source.OpLE:
+		return source.OpGE
+	case source.OpGT:
+		return source.OpLT
+	case source.OpGE:
+		return source.OpLE
+	}
+	return op
+}

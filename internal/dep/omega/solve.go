@@ -1,0 +1,648 @@
+package omega
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Form is one subscript expressed over the normalized iteration counter
+// t (t = 0 on the first iteration, stepping by 1):
+//
+//	value(t) = A*t + C + Σ Syms[name]*name
+//
+// where every name is loop-invariant (induction variables are folded
+// into A and C by the caller, leaving their loop-entry value as the
+// symbolic part).
+type Form struct {
+	A    int64
+	C    int64
+	Syms map[string]int64
+}
+
+// String renders the form for diagnostics.
+func (f Form) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d*t%+d", f.A, f.C)
+	names := make([]string, 0, len(f.Syms))
+	for n := range f.Syms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%+d*%s", f.Syms[n], n)
+	}
+	return b.String()
+}
+
+// Kind classifies a solver verdict.
+type Kind int
+
+// Verdicts, ordered weakest to strongest so callers can pick the most
+// informative dimension of a multi-dimensional subscript.
+const (
+	// KindUnknown: the solver could not decide; the caller must stay
+	// conservative.
+	KindUnknown Kind = iota
+	// KindAlways: the two subscripts address the same element on every
+	// iteration pair (both loop-invariant, provably equal).
+	KindAlways
+	// KindBounded: collisions may exist; HasZero/PosMin/NegMin soundly
+	// over-approximate the realizable distance set.
+	KindBounded
+	// KindExact: collisions happen exactly at iteration distance Dist.
+	KindExact
+	// KindIndependent: no iteration pair within bounds collides.
+	KindIndependent
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIndependent:
+		return "independent"
+	case KindExact:
+		return "exact"
+	case KindBounded:
+		return "bounded"
+	case KindAlways:
+		return "always"
+	}
+	return "unknown"
+}
+
+// Result is the solver's verdict on one subscript pair. Distances are
+// d = t2 − t1: the element ref 1 touches at iteration t is touched by
+// ref 2 at iteration t + d.
+type Result struct {
+	Kind Kind
+	// Dist is the single collision distance (Kind == KindExact).
+	Dist int64
+	// For Kind == KindBounded: whether a same-iteration collision is
+	// possible, and the smallest realizable distance in each direction.
+	// Every realizable positive distance is ≥ PosMin and every realizable
+	// negative distance is ≤ −NegMin, so edges emitted at the minima
+	// subsume the whole set under the schedule constraint
+	// II·d + (v−u) ≥ delay, which is monotone in d.
+	HasZero bool
+	HasPos  bool
+	PosMin  int64
+	HasNeg  bool
+	NegMin  int64
+	// Reason explains the verdict in one line (diagnostics).
+	Reason string
+}
+
+// DirVec renders the classic direction-vector view of the verdict.
+func (r Result) DirVec() string {
+	switch r.Kind {
+	case KindIndependent:
+		return "()"
+	case KindExact:
+		switch {
+		case r.Dist == 0:
+			return "(=)"
+		case r.Dist > 0:
+			return "(<)"
+		default:
+			return "(>)"
+		}
+	case KindAlways:
+		return "(*)"
+	case KindBounded:
+		var parts []string
+		if r.HasPos {
+			parts = append(parts, "<")
+		}
+		if r.HasZero {
+			parts = append(parts, "=")
+		}
+		if r.HasNeg {
+			parts = append(parts, ">")
+		}
+		return "(" + strings.Join(parts, "") + ")"
+	}
+	return "(*)"
+}
+
+// String renders the result for diagnostics.
+func (r Result) String() string {
+	switch r.Kind {
+	case KindExact:
+		return fmt.Sprintf("exact d=%d %s", r.Dist, r.DirVec())
+	case KindBounded:
+		var parts []string
+		if r.HasZero {
+			parts = append(parts, "d=0")
+		}
+		if r.HasPos {
+			parts = append(parts, fmt.Sprintf("d>=%d", r.PosMin))
+		}
+		if r.HasNeg {
+			parts = append(parts, fmt.Sprintf("d<=-%d", r.NegMin))
+		}
+		return "bounded " + strings.Join(parts, ",") + " " + r.DirVec()
+	default:
+		return r.Kind.String() + " " + r.DirVec()
+	}
+}
+
+// unknown builds an KindUnknown result with a reason.
+func unknown(format string, args ...any) Result {
+	return Result{Kind: KindUnknown, Reason: fmt.Sprintf(format, args...)}
+}
+
+func independent(format string, args ...any) Result {
+	return Result{Kind: KindIndependent, Reason: fmt.Sprintf(format, args...)}
+}
+
+// maxEnum bounds the symbolic-constant enumeration: when the constant
+// difference between two subscripts is an interval no wider than this,
+// the solver solves each candidate value exactly and merges.
+const maxEnum = 64
+
+// Solve decides when f1(t1) == f2(t2) for t1, t2 in [0, trip−1]. trip
+// is the (possibly symbolic) iteration count; an unbounded trip is
+// sound and simply disables trip-count kills. rg supplies intervals for
+// the symbolic terms.
+func Solve(f1, f2 Form, trip Interval, rg *Ranges) Result {
+	// The iteration domain: t ∈ [0, U]; haveU when the trip count has a
+	// finite upper bound.
+	haveU := trip.HasHi
+	U := trip.Hi - 1
+	if haveU && U < 0 {
+		return independent("loop provably runs zero iterations")
+	}
+
+	// The collision equation: A1*t1 − A2*t2 = C where C folds the
+	// constant and symbolic difference f2 − f1.
+	cIv := symbolicDiff(f1, f2, rg)
+	if cIv.Empty() {
+		return independent("symbolic difference interval is empty")
+	}
+	a1, a2 := f1.A, f2.A
+
+	switch {
+	case a1 == 0 && a2 == 0:
+		return solveInvariant(cIv)
+	case a1 == a2:
+		return solveSameStride(a1, cIv, haveU, U)
+	default:
+		return solveGeneral(a1, a2, cIv, haveU, U)
+	}
+}
+
+// symbolicDiff computes the interval of (f2.C + f2.Syms·σ) − (f1.C +
+// f1.Syms·σ): identical symbolic terms cancel exactly; the rest is
+// evaluated over the range environment.
+func symbolicDiff(f1, f2 Form, rg *Ranges) Interval {
+	iv := Exact(f2.C - f1.C)
+	names := map[string]bool{}
+	for n := range f1.Syms {
+		names[n] = true
+	}
+	for n := range f2.Syms {
+		names[n] = true
+	}
+	for n := range names {
+		coeff := f2.Syms[n] - f1.Syms[n]
+		if coeff == 0 {
+			continue
+		}
+		iv = iv.Add(rg.Sym(n).MulConst(coeff))
+	}
+	return iv
+}
+
+// solveInvariant handles two loop-invariant subscripts: they collide
+// (at every distance) iff their difference is zero.
+func solveInvariant(cIv Interval) Result {
+	if v, ok := cIv.IsExact(); ok {
+		if v == 0 {
+			return Result{Kind: KindAlways, Reason: "loop-invariant subscripts are provably equal"}
+		}
+		return independent("loop-invariant subscripts differ by %d", v)
+	}
+	if !cIv.Contains(0) {
+		return independent("loop-invariant subscripts differ by %s (never 0)", cIv)
+	}
+	return unknown("loop-invariant subscripts with symbolic difference %s (may be 0)", cIv)
+}
+
+// solveSameStride handles A1 == A2 == a ≠ 0: a·(t1 − t2) = C, so every
+// collision shares the distance d = −C/a.
+func solveSameStride(a int64, cIv Interval, haveU bool, U int64) Result {
+	if c, ok := cIv.IsExact(); ok {
+		if c%a != 0 {
+			return independent("offset %d is not a multiple of the stride %d", c, a)
+		}
+		d := -c / a
+		if haveU && abs64(d) > U {
+			return independent("distance %d exceeds the iteration space (trip ≤ %d)", d, U+1)
+		}
+		return Result{Kind: KindExact, Dist: d, Reason: fmt.Sprintf("same stride %d, exact distance %d", a, d)}
+	}
+	// Symbolic offset: enumerate when narrow, else bound the distance
+	// interval d = −C/a and keep the direction minima.
+	if w, ok := cIv.Width(); ok && w <= maxEnum {
+		var dists []int64
+		for c := cIv.Lo; c <= cIv.Hi; c++ {
+			if c%a == 0 {
+				d := -c / a
+				if !haveU || abs64(d) <= U {
+					dists = append(dists, d)
+				}
+			}
+		}
+		return fromDistSet(dists, fmt.Sprintf("same stride %d, offset in %s", a, cIv))
+	}
+	dIv := divideInterval(cIv.Neg(), a)
+	if haveU {
+		dIv = dIv.Intersect(Range(-U, U))
+	}
+	if dIv.Empty() {
+		return independent("no realizable distance: offset %s, stride %d, trip ≤ %d", cIv, a, U+1)
+	}
+	r := Result{Kind: KindBounded, Reason: fmt.Sprintf("same stride %d, symbolic offset %s", a, cIv)}
+	r.HasZero = dIv.Contains(0)
+	if !dIv.HasHi || dIv.Hi >= 1 {
+		r.HasPos = true
+		r.PosMin = 1
+		if dIv.HasLo && dIv.Lo > 1 {
+			r.PosMin = dIv.Lo
+		}
+	}
+	if !dIv.HasLo || dIv.Lo <= -1 {
+		r.HasNeg = true
+		r.NegMin = 1
+		if dIv.HasHi && dIv.Hi < -1 {
+			r.NegMin = -dIv.Hi
+		}
+	}
+	if !r.HasZero && !r.HasPos && !r.HasNeg {
+		return independent("no realizable distance: offset %s, stride %d", cIv, a)
+	}
+	if r.HasZero && r.HasPos && r.PosMin == 1 && r.HasNeg && r.NegMin == 1 {
+		// The verdict admits every distance — no sharper than giving up.
+		return unknown("same stride %d with unbounded symbolic offset %s", a, cIv)
+	}
+	return r
+}
+
+// divideInterval returns an interval covering every integer d with
+// a·d ∈ iv (a ≠ 0). Bounds that overflow are dropped, which only
+// widens the result.
+func divideInterval(iv Interval, a int64) Interval {
+	if a < 0 {
+		n, ok := negOK(a)
+		if !ok {
+			return Unbounded()
+		}
+		return divideInterval(iv.Neg(), n)
+	}
+	var r Interval
+	if iv.HasLo {
+		r.Lo, r.HasLo = ceilDiv(iv.Lo, a), true
+	}
+	if iv.HasHi {
+		r.Hi, r.HasHi = floorDiv(iv.Hi, a), true
+	}
+	return r
+}
+
+// solveGeneral handles A1 ≠ A2 via extended-GCD parameterization of the
+// Diophantine equation A1·t1 − A2·t2 = C and Fourier–Motzkin
+// elimination of t1, t2 against the iteration bounds.
+func solveGeneral(a1, a2 int64, cIv Interval, haveU bool, U int64) Result {
+	if c, ok := cIv.IsExact(); ok {
+		return solveGeneralExact(a1, a2, c, haveU, U)
+	}
+	w, ok := cIv.Width()
+	if !ok || w > maxEnum {
+		return unknown("strides %d vs %d with symbolic offset %s (range too wide to enumerate)", a1, a2, cIv)
+	}
+	// Enumerate the candidate offsets and merge the per-offset verdicts.
+	merged := Result{Kind: KindIndependent, Reason: fmt.Sprintf("strides %d vs %d, offset in %s", a1, a2, cIv)}
+	var dists []int64
+	exactOnly := true
+	for c := cIv.Lo; c <= cIv.Hi; c++ {
+		r := solveGeneralExact(a1, a2, c, haveU, U)
+		switch r.Kind {
+		case KindIndependent:
+			continue
+		case KindExact:
+			dists = append(dists, r.Dist)
+		case KindBounded:
+			exactOnly = false
+			merged = mergeBounded(merged, r)
+		default:
+			return unknown("strides %d vs %d, offset %d undecidable", a1, a2, c)
+		}
+	}
+	if exactOnly {
+		set := fromDistSet(dists, merged.Reason)
+		return set
+	}
+	for _, d := range dists {
+		merged = mergeBounded(merged, distResult(d, ""))
+	}
+	merged.Reason = fmt.Sprintf("strides %d vs %d, offset in %s", a1, a2, cIv)
+	return merged
+}
+
+// solveGeneralExact solves A1·t1 − A2·t2 = c exactly over the bounded
+// iteration space.
+func solveGeneralExact(a1, a2, c int64, haveU bool, U int64) Result {
+	// Half-invariant cases: one subscript does not move with the loop.
+	if a1 == 0 || a2 == 0 {
+		return solveHalfInvariant(a1, a2, c, haveU, U)
+	}
+	g := gcd64(abs64(a1), abs64(a2))
+	if c%g != 0 {
+		return independent("gcd(%d,%d)=%d does not divide offset %d", a1, a2, g, c)
+	}
+	// Parameterize: extgcd gives x, y with a1·x + (−a2)·y = g, so
+	// t1 = x·(c/g) + (a2/g)·k, t2 = y·(c/g) + (a1/g)·k for k ∈ ℤ.
+	_, x, y := extgcd(a1, -a2)
+	scale := c / g
+	t10, ok1 := mulOK(x, scale)
+	t20, ok2 := mulOK(y, scale)
+	if !ok1 || !ok2 {
+		return unknown("parameterization overflow (offset %d, strides %d/%d)", c, a1, a2)
+	}
+	p, q := a2/g, a1/g // t1 stride, t2 stride in k
+
+	// Fourier–Motzkin: intersect the k-ranges implied by 0 ≤ t1 ≤ U and
+	// 0 ≤ t2 ≤ U (the upper bounds only when the trip count is known).
+	kIv := Unbounded()
+	kIv = kIv.Intersect(paramRange(t10, p, haveU, U))
+	kIv = kIv.Intersect(paramRange(t20, q, haveU, U))
+	if kIv.Empty() {
+		return independent("no iteration pair within bounds satisfies %d·t1−%d·t2=%d", a1, a2, c)
+	}
+
+	// The distance along the solution family is an arithmetic
+	// progression d(k) = d0 + s·k with s ≠ 0 (s = 0 would need a1 == a2).
+	d0 := t20 - t10
+	s := q - p
+	if s == 0 {
+		return unknown("degenerate parameterization (strides %d/%d)", a1, a2)
+	}
+	if kv, ok := kIv.IsExact(); ok {
+		d := d0 + s*kv
+		return Result{Kind: KindExact, Dist: d,
+			Reason: fmt.Sprintf("unique solution of %d·t1−%d·t2=%d in bounds", a1, a2, c)}
+	}
+	r := Result{Kind: KindBounded,
+		Reason: fmt.Sprintf("solutions of %d·t1−%d·t2=%d form d=%d%+d·k over k∈%s", a1, a2, c, d0, s, kIv)}
+	if apHit(d0, s, kIv, 0) {
+		r.HasZero = true
+	}
+	if v, ok := apMinAtLeast(d0, s, kIv, 1); ok {
+		r.HasPos, r.PosMin = true, v
+	}
+	if v, ok := apMaxAtMost(d0, s, kIv, -1); ok {
+		r.HasNeg, r.NegMin = true, -v
+	}
+	if !r.HasZero && !r.HasPos && !r.HasNeg {
+		return independent("solution family of %d·t1−%d·t2=%d is empty in bounds", a1, a2, c)
+	}
+	return r
+}
+
+// solveHalfInvariant handles exactly one zero stride: the moving
+// reference meets the fixed one at a single iteration.
+func solveHalfInvariant(a1, a2, c int64, haveU bool, U int64) Result {
+	// a1·t1 − a2·t2 = c with exactly one of a1, a2 zero.
+	if a1 == 0 {
+		// −a2·t2 = c: ref 2 touches ref 1's (fixed) element at t2 = −c/a2.
+		if c%a2 != 0 {
+			return independent("stride %d never lands on fixed offset %d", a2, c)
+		}
+		t2 := -c / a2
+		if t2 < 0 || (haveU && t2 > U) {
+			return independent("collision iteration %d is outside the loop", t2)
+		}
+		// d = t2 − t1 for every t1 ∈ [0, U]: distances t2−U … t2.
+		r := Result{Kind: KindBounded,
+			Reason: fmt.Sprintf("invariant vs stride-%d subscript: collision at iteration %d", a2, t2)}
+		r.HasZero = true
+		if t2 >= 1 {
+			r.HasPos, r.PosMin = true, 1
+		}
+		if !haveU || U > t2 {
+			r.HasNeg, r.NegMin = true, 1
+		}
+		return r
+	}
+	// a2 == 0: symmetric, t1 = c/a1 fixed.
+	if c%a1 != 0 {
+		return independent("stride %d never lands on fixed offset %d", a1, c)
+	}
+	t1 := c / a1
+	if t1 < 0 || (haveU && t1 > U) {
+		return independent("collision iteration %d is outside the loop", t1)
+	}
+	r := Result{Kind: KindBounded,
+		Reason: fmt.Sprintf("stride-%d vs invariant subscript: collision at iteration %d", a1, t1)}
+	r.HasZero = true
+	if !haveU || U > t1 {
+		r.HasPos, r.PosMin = true, 1
+	}
+	if t1 >= 1 {
+		r.HasNeg, r.NegMin = true, 1
+	}
+	return r
+}
+
+// paramRange returns the k-interval keeping t0 + stride·k within
+// [0, U] (or just ≥ 0 when the upper bound is unknown); stride ≠ 0.
+func paramRange(t0, stride int64, haveU bool, U int64) Interval {
+	iv := Unbounded()
+	if stride > 0 {
+		iv.Lo, iv.HasLo = ceilDiv(-t0, stride), true
+		if haveU {
+			iv.Hi, iv.HasHi = floorDiv(U-t0, stride), true
+		}
+	} else {
+		iv.Hi, iv.HasHi = floorDiv(-t0, stride), true
+		if haveU {
+			iv.Lo, iv.HasLo = ceilDiv(U-t0, stride), true
+		}
+	}
+	return iv
+}
+
+// apHit reports whether the progression d0 + s·k hits target for some
+// k in kIv.
+func apHit(d0, s int64, kIv Interval, target int64) bool {
+	diff := target - d0
+	if diff%s != 0 {
+		return false
+	}
+	return kIv.Contains(diff / s)
+}
+
+// apMinAtLeast returns the smallest value ≥ bound taken by d0 + s·k
+// over k ∈ kIv (s ≠ 0).
+func apMinAtLeast(d0, s int64, kIv Interval, bound int64) (int64, bool) {
+	if s > 0 {
+		// Increasing: the first k at or above the crossing point.
+		k := ceilDiv(bound-d0, s)
+		if kIv.HasLo && kIv.Lo > k {
+			k = kIv.Lo
+		}
+		if kIv.HasHi && k > kIv.Hi {
+			return 0, false
+		}
+		return d0 + s*k, true
+	}
+	// Decreasing: the last k still at or above bound.
+	k := floorDiv(bound-d0, s)
+	if kIv.HasHi && kIv.Hi < k {
+		k = kIv.Hi
+	}
+	if kIv.HasLo && k < kIv.Lo {
+		return 0, false
+	}
+	return d0 + s*k, true
+}
+
+// apMaxAtMost returns the largest value ≤ bound taken by d0 + s·k over
+// k ∈ kIv (s ≠ 0).
+func apMaxAtMost(d0, s int64, kIv Interval, bound int64) (int64, bool) {
+	if s > 0 {
+		k := floorDiv(bound-d0, s)
+		if kIv.HasHi && kIv.Hi < k {
+			k = kIv.Hi
+		}
+		if kIv.HasLo && k < kIv.Lo {
+			return 0, false
+		}
+		return d0 + s*k, true
+	}
+	k := ceilDiv(bound-d0, s)
+	if kIv.HasLo && kIv.Lo > k {
+		k = kIv.Lo
+	}
+	if kIv.HasHi && k > kIv.Hi {
+		return 0, false
+	}
+	return d0 + s*k, true
+}
+
+// fromDistSet builds a result from an explicit set of realizable
+// distances.
+func fromDistSet(dists []int64, reason string) Result {
+	if len(dists) == 0 {
+		return independent("%s: no realizable distance", reason)
+	}
+	uniq := map[int64]bool{}
+	for _, d := range dists {
+		uniq[d] = true
+	}
+	if len(uniq) == 1 {
+		return Result{Kind: KindExact, Dist: dists[0], Reason: reason}
+	}
+	r := Result{Kind: KindBounded, Reason: reason}
+	for d := range uniq {
+		switch {
+		case d == 0:
+			r.HasZero = true
+		case d > 0:
+			if !r.HasPos || d < r.PosMin {
+				r.HasPos, r.PosMin = true, d
+			}
+		default:
+			if !r.HasNeg || -d < r.NegMin {
+				r.HasNeg, r.NegMin = true, -d
+			}
+		}
+	}
+	return r
+}
+
+// distResult wraps a single distance as a KindBounded-compatible result.
+func distResult(d int64, reason string) Result {
+	r := Result{Kind: KindBounded, Reason: reason}
+	switch {
+	case d == 0:
+		r.HasZero = true
+	case d > 0:
+		r.HasPos, r.PosMin = true, d
+	default:
+		r.HasNeg, r.NegMin = true, -d
+	}
+	return r
+}
+
+// mergeBounded unions two verdicts' realizable-distance
+// over-approximations.
+func mergeBounded(a, b Result) Result {
+	if a.Kind == KindIndependent {
+		b.Kind = KindBounded
+		return b
+	}
+	out := a
+	out.Kind = KindBounded
+	out.HasZero = a.HasZero || b.HasZero
+	if b.HasPos && (!out.HasPos || b.PosMin < out.PosMin) {
+		out.HasPos, out.PosMin = true, b.PosMin
+	}
+	if b.HasNeg && (!out.HasNeg || b.NegMin < out.NegMin) {
+		out.HasNeg, out.NegMin = true, b.NegMin
+	}
+	return out
+}
+
+// Allows reports whether the verdict admits a collision at distance d —
+// the cross-dimension consistency check: a dependence at distance d
+// requires every subscript dimension to collide at that same distance.
+func (r Result) Allows(d int64) bool {
+	switch r.Kind {
+	case KindIndependent:
+		return false
+	case KindExact:
+		return d == r.Dist
+	case KindBounded:
+		switch {
+		case d == 0:
+			return r.HasZero
+		case d > 0:
+			return r.HasPos && d >= r.PosMin
+		default:
+			return r.HasNeg && -d >= r.NegMin
+		}
+	}
+	return true // KindAlways / KindUnknown admit everything
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// extgcd returns g = gcd(a, b) (g > 0 when a, b not both zero) and
+// x, y with a·x + b·y = g.
+func extgcd(a, b int64) (g, x, y int64) {
+	if b == 0 {
+		if a < 0 {
+			return -a, -1, 0
+		}
+		return a, 1, 0
+	}
+	g, x1, y1 := extgcd(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}

@@ -1,0 +1,288 @@
+package dep
+
+import (
+	"fmt"
+
+	"slms/internal/dep/omega"
+)
+
+// loSym is the reserved symbol standing for the loop's lower bound in
+// iteration-space forms. Both refs of a pair name it identically, so
+// equal-coefficient occurrences cancel exactly inside the solver even
+// when the bound itself is symbolic.
+const loSym = "⟨lo⟩"
+
+// Resolution records one subscript pair the solver sharpened beyond
+// the legacy test, with everything a revalidation pass needs to re-check
+// the verdict independently (brute-force enumeration of the forms over
+// the recorded iteration space).
+type Resolution struct {
+	Var            string
+	MI1, MI2       int
+	Write1, Write2 bool
+	F1, F2         []omega.Form
+	OK1, OK2       []bool
+	Trip           omega.Interval
+	Legacy         string
+	Res            omega.Result
+}
+
+// String renders the resolution for diagnostics.
+func (r Resolution) String() string {
+	return fmt.Sprintf("%s MI%d/MI%d: %s (legacy: %s)", r.Var, r.MI1, r.MI2, r.Res, r.Legacy)
+}
+
+// Precision summarizes how much the exact solver sharpened the analysis
+// relative to the legacy conservative subscript test.
+type Precision struct {
+	// Pairs is the number of array reference pairs examined.
+	Pairs int
+	// LegacyUnknown counts pairs the legacy test left unknown.
+	LegacyUnknown int
+	// Resolved counts legacy-unknown pairs the solver decided.
+	Resolved int
+	// Breakdown of the resolved pairs by solver verdict.
+	Independent int
+	Exact       int
+	Bounded     int
+	// Killed counts pairs whose exact distance the trip-count bound
+	// proved unrealizable (the edge vanishes).
+	Killed int
+	// Promoted counts subscripts made affine by induction-variable
+	// promotion (closed-form rewriting of loop-written counters).
+	Promoted int
+	// Unresolved counts pairs still unknown after the solver.
+	Unresolved int
+	// Notes records each sharpened pair for independent revalidation.
+	Notes []Resolution
+}
+
+// solveCtx carries the per-loop context for solver-backed pair analysis.
+type solveCtx struct {
+	a       *Analysis
+	step    int64
+	loC     int64 // constant lower bound when loExact
+	loExact bool
+	haveLo  bool // a lower-bound expression was supplied at all
+	trip    omega.Interval
+	rg      *omega.Ranges
+	forms   [][]omega.Form
+	oks     [][]bool
+}
+
+// newSolveCtx converts every array reference into iteration-space forms
+// and derives the trip-count interval (loop bounds plus in-bounds
+// extent inference).
+func (a *Analysis) newSolveCtx(raws []ref, opts Options) *solveCtx {
+	sc := &solveCtx{a: a, step: a.Step, rg: opts.Ranges}
+	if opts.Lo != nil {
+		sc.haveLo = true
+		if v, ok := sc.rg.Eval(opts.Lo).IsExact(); ok {
+			sc.loC, sc.loExact = v, true
+		}
+	}
+	if opts.Lo != nil && opts.Hi != nil {
+		sc.trip = omega.TripCount(sc.rg.Eval(opts.Lo), sc.rg.Eval(opts.Hi), a.Step)
+	} else {
+		sc.trip = omega.AtLeast(0)
+	}
+	sc.forms = make([][]omega.Form, len(raws))
+	sc.oks = make([][]bool, len(raws))
+	for i, r := range raws {
+		sc.forms[i] = make([]omega.Form, len(r.subs))
+		sc.oks[i] = make([]bool, len(r.subs))
+		for k, f := range r.subs {
+			sc.forms[i][k], sc.oks[i][k] = sc.iterForm(f, r.mi)
+		}
+	}
+	// In-bounds inference: an unconditional subscript must stay inside
+	// its declared extent on every executed iteration, which bounds the
+	// trip count even when the loop bound itself is symbolic.
+	for i, r := range raws {
+		if r.cond {
+			continue
+		}
+		for k := range sc.forms[i] {
+			if !sc.oks[i][k] {
+				continue
+			}
+			if ext, ok := sc.rg.Extent(r.name, k); ok {
+				if hi, ok2 := omega.InBoundsTrip(sc.forms[i][k], ext); ok2 {
+					sc.trip = sc.trip.Intersect(omega.AtMost(hi))
+				}
+			}
+		}
+	}
+	return sc
+}
+
+// iterForm rewrites a subscript affine in the loop variable into
+// iteration space (t = 0, 1, …, trip−1): i = lo + step·t. Induction
+// scalars are promoted to their closed form entry + t·step (plus one
+// extra step for references after the update MI), leaving the entry
+// value symbolic — it cancels between the two sides of a pair.
+func (sc *solveCtx) iterForm(f Affine, mi int) (omega.Form, bool) {
+	if !f.OK {
+		return omega.Form{}, false
+	}
+	out := omega.Form{A: f.Coeff * sc.step, C: f.Const}
+	addSym := func(n string, c int64) {
+		if c == 0 {
+			return
+		}
+		if out.Syms == nil {
+			out.Syms = map[string]int64{}
+		}
+		out.Syms[n] += c
+		if out.Syms[n] == 0 {
+			delete(out.Syms, n)
+		}
+	}
+	if f.Coeff != 0 {
+		switch {
+		case sc.loExact:
+			out.C += f.Coeff * sc.loC
+		case sc.haveLo:
+			addSym(loSym, f.Coeff)
+		default:
+			// No bound information at all: the loop-entry value of the
+			// loop variable is still a well-defined symbol.
+			addSym(loSym, f.Coeff)
+		}
+	}
+	for n, c := range f.Syms {
+		si := sc.a.Scalars[n]
+		switch {
+		case si == nil || si.Class == Invariant:
+			addSym(n, c)
+		case si.Class == Induction:
+			// Value at MI m of iteration t: entry + t·step, plus one step
+			// once the update (at Defs[0]) has executed. Same-MI references
+			// are ambiguous (read may precede or follow the update) — give up.
+			if mi == si.Defs[0] {
+				return omega.Form{}, false
+			}
+			out.A += c * si.InductionStep
+			if mi > si.Defs[0] {
+				out.C += c * si.InductionStep
+			}
+			addSym(n, c)
+			sc.a.Precision.Promoted++
+		default:
+			return omega.Form{}, false
+		}
+	}
+	return out, true
+}
+
+// legacyDimResult maps the conservative per-dimension subscript test
+// onto the solver's verdict lattice (converting loop-variable-unit
+// distances to iteration distances).
+func legacyDimResult(f1, f2 Affine, step int64) omega.Result {
+	dr, d := SubscriptDistance(f1, f2)
+	switch dr {
+	case DistNone:
+		return omega.Result{Kind: omega.KindIndependent, Reason: "legacy: never equal"}
+	case DistAlways:
+		return omega.Result{Kind: omega.KindAlways, Reason: "legacy: loop-invariant equal"}
+	case DistExact:
+		if d%step != 0 {
+			return omega.Result{Kind: omega.KindIndependent, Reason: "legacy: distance not a stride multiple"}
+		}
+		return omega.Result{Kind: omega.KindExact, Dist: d / step, Reason: "legacy: exact distance"}
+	}
+	return omega.Result{Kind: omega.KindUnknown, Reason: "legacy: undecidable"}
+}
+
+// boundedScore orders Bounded verdicts by informativeness: fewer
+// admitted directions first, then larger direction minima.
+func boundedScore(r omega.Result) (int, int64) {
+	dirs := 0
+	var minima int64
+	if r.HasZero {
+		dirs++
+	}
+	if r.HasPos {
+		dirs++
+		minima += r.PosMin
+	}
+	if r.HasNeg {
+		dirs++
+		minima += r.NegMin
+	}
+	return dirs, minima
+}
+
+// combineDims merges per-dimension verdicts into one verdict for the
+// pair. The collision set is the intersection of the per-dimension
+// sets, so any dimension's over-approximation is sound for the pair;
+// the combiner picks the most informative one and cross-checks exact
+// distances against every other dimension.
+func combineDims(rs []omega.Result, trip omega.Interval) omega.Result {
+	haveExact := false
+	var dist int64
+	var best *omega.Result
+	sawUnknown := false
+	for k := range rs {
+		r := rs[k]
+		switch r.Kind {
+		case omega.KindIndependent:
+			return r
+		case omega.KindExact:
+			if haveExact && r.Dist != dist {
+				return omega.Result{Kind: omega.KindIndependent,
+					Reason: fmt.Sprintf("dimensions require conflicting distances %d and %d", dist, r.Dist)}
+			}
+			haveExact, dist = true, r.Dist
+		case omega.KindBounded:
+			if best == nil {
+				best = &rs[k]
+			} else {
+				d1, m1 := boundedScore(*best)
+				d2, m2 := boundedScore(r)
+				if d2 < d1 || (d2 == d1 && m2 > m1) {
+					best = &rs[k]
+				}
+			}
+		case omega.KindUnknown:
+			sawUnknown = true
+		}
+	}
+	if haveExact {
+		for k := range rs {
+			if rs[k].Kind == omega.KindBounded && !rs[k].Allows(dist) {
+				return omega.Result{Kind: omega.KindIndependent,
+					Reason: fmt.Sprintf("distance %d excluded by another dimension", dist)}
+			}
+		}
+		if trip.HasHi && abs64(dist) >= trip.Hi {
+			return omega.Result{Kind: omega.KindIndependent,
+				Reason: fmt.Sprintf("distance %d exceeds the iteration space (trip ≤ %d)", dist, trip.Hi)}
+		}
+		return omega.Result{Kind: omega.KindExact, Dist: dist, Reason: "exact collision distance"}
+	}
+	if best != nil {
+		return *best
+	}
+	if sawUnknown {
+		return omega.Result{Kind: omega.KindUnknown, Reason: "no dimension decidable"}
+	}
+	return omega.Result{Kind: omega.KindAlways, Reason: "all dimensions loop-invariant and equal"}
+}
+
+// solvePair runs the solver over one pair (raw-form indices i1, i2
+// into the context tables) and returns the combined verdict plus
+// whether the exact solver contributed to it.
+func (sc *solveCtx) solvePair(r1, r2 ref, i1, i2 int) (omega.Result, bool) {
+	rs := make([]omega.Result, len(r1.subs))
+	used := false
+	for k := range r1.subs {
+		if k < len(r2.subs) && sc.oks[i1][k] && sc.oks[i2][k] {
+			rs[k] = omega.Solve(sc.forms[i1][k], sc.forms[i2][k], sc.trip, sc.rg)
+			used = true
+		} else {
+			rs[k] = legacyDimResult(r1.subs[k], r2.subs[k], sc.step)
+		}
+	}
+	return combineDims(rs, sc.trip), used
+}

@@ -1,0 +1,366 @@
+package dep
+
+import (
+	"testing"
+
+	"slms/internal/dep/omega"
+	"slms/internal/sem"
+	"slms/internal/source"
+)
+
+// analyzeLoopOpts parses a program whose last top-level statement is a
+// for loop and analyzes its body with full solver context (bounds +
+// symbolic ranges from the table), or with the solver disabled.
+func analyzeLoopOpts(t *testing.T, src string, noSolver bool) *Analysis {
+	t.Helper()
+	p := source.MustParse(src)
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	var f *source.For
+	for _, s := range p.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			f = ff
+		}
+	}
+	if f == nil {
+		t.Fatal("no for loop in source")
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	a, err := Analyze(f.Body.Stmts, l.Var, info.Table, Options{
+		Step: l.Step, Lo: l.Lo, Hi: l.Hi,
+		Ranges: omega.FromTable(info.Table), NoSolver: noSolver,
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// TestStrideMismatchResolved pins the headline precision win: A[i] (read)
+// vs A[2i] (write) passes the GCD test, so the legacy analysis gives a
+// conservative unknown triple; the exact solver proves the bounded
+// direction set (a same-iteration collision at i=0 plus forward
+// collisions), so the edges are exact and the scheduler never refuses.
+func TestStrideMismatchResolved(t *testing.T) {
+	src := `
+		float A[200]; float B[100];
+		for (i = 0; i < 100; i++) {
+			A[2*i] = B[i] + 1.0;
+			B[i] = A[i] * 0.5;
+		}
+	`
+	a := analyzeLoopOpts(t, src, false)
+	if a.HasUnknown() {
+		t.Fatalf("solver left unknown edges: %v", a.Edges)
+	}
+	if a.Precision.LegacyUnknown == 0 || a.Precision.Resolved == 0 {
+		t.Fatalf("expected a legacy-unknown pair to be resolved, got %+v", a.Precision)
+	}
+	if len(a.Precision.Notes) == 0 {
+		t.Fatal("sharpened pair must be recorded for revalidation")
+	}
+}
+
+// TestStrideMismatchConservativeWithoutSolver is the regression guard
+// for the legacy behavior: with the solver disabled the same loop keeps
+// its conservative unknown triple.
+func TestStrideMismatchConservativeWithoutSolver(t *testing.T) {
+	src := `
+		float A[200]; float B[100];
+		for (i = 0; i < 100; i++) {
+			A[2*i] = B[i] + 1.0;
+			B[i] = A[i] * 0.5;
+		}
+	`
+	a := analyzeLoopOpts(t, src, true)
+	if !a.HasUnknown() {
+		t.Fatalf("legacy analysis should stay conservative, got %v", a.Edges)
+	}
+	if a.Precision.Pairs != 0 {
+		t.Fatalf("NoSolver must not account precision, got %+v", a.Precision)
+	}
+}
+
+// TestParityIndependent: A[2i] vs A[2i+1] touch disjoint elements.
+func TestParityIndependent(t *testing.T) {
+	src := `
+		float A[200];
+		for (i = 0; i < 99; i++) {
+			A[2*i] = A[2*i+1] + 1.0;
+		}
+	`
+	a := analyzeLoopOpts(t, src, false)
+	for _, e := range a.Edges {
+		if e.Var == "A" {
+			t.Fatalf("parity-disjoint subscripts must not depend: %v", e)
+		}
+	}
+}
+
+// TestTripCountKillsDistance: an exact distance beyond the iteration
+// space is unrealizable, so the edge vanishes and with it the
+// recurrence-imposed MII.
+func TestTripCountKillsDistance(t *testing.T) {
+	src := `
+		float A[400];
+		for (i = 0; i < 100; i++) {
+			A[i+200] = A[i] * 1.5;
+		}
+	`
+	a := analyzeLoopOpts(t, src, false)
+	for _, e := range a.Edges {
+		if e.Var == "A" {
+			t.Fatalf("distance 200 exceeds trip 100; edge must vanish: %v", e)
+		}
+	}
+	if a.Precision.Killed == 0 {
+		t.Fatalf("expected a trip-count kill, got %+v", a.Precision)
+	}
+	// The same loop with a realizable distance keeps its edge.
+	src2 := `
+		float A[400];
+		for (i = 0; i < 100; i++) {
+			A[i+50] = A[i] * 1.5;
+		}
+	`
+	a2 := analyzeLoopOpts(t, src2, false)
+	if findEdge(a2, Flow, 0, 0, 50) == nil {
+		t.Fatalf("distance-50 flow must survive: %v", a2.Edges)
+	}
+}
+
+// TestSymbolicConstBound: the trip count comes from a write-once
+// symbolic constant, and the kill still fires.
+func TestSymbolicConstBound(t *testing.T) {
+	src := `
+		int n = 100;
+		float A[400];
+		for (i = 0; i < n; i++) {
+			A[i+200] = A[i] * 1.5;
+		}
+	`
+	a := analyzeLoopOpts(t, src, false)
+	for _, e := range a.Edges {
+		if e.Var == "A" {
+			t.Fatalf("symbolic trip 100 kills distance 200: %v", e)
+		}
+	}
+}
+
+// TestExtentBoundsTrip: with an unknown loop bound, the declared array
+// extent bounds the trip count (an out-of-range subscript faults, so a
+// defined execution cannot reach it) and kills the far distance.
+func TestExtentBoundsTrip(t *testing.T) {
+	src := `
+		int n = 0;
+		float A[300];
+		for (i = 0; i < m; i++) {
+			A[i+200] = A[i] * 1.5;
+		}
+		int m;
+	`
+	// m unknown: A[i+200] in-bounds forces trip <= 100, so distance 200
+	// is unrealizable.
+	a := analyzeLoopOpts(t, src, false)
+	for _, e := range a.Edges {
+		if e.Var == "A" {
+			t.Fatalf("extent-implied trip bound kills distance 200: %v", e)
+		}
+	}
+}
+
+// TestNegativeCoefficientDirections: A[-i+99] write against A[i] read —
+// distances vary per iteration, the solver returns a sound direction
+// set instead of giving up.
+func TestNegativeCoefficientDirections(t *testing.T) {
+	src := `
+		float A[100]; float B[100];
+		for (i = 0; i < 100; i++) {
+			A[99-i] = B[i] + 1.0;
+			B[i] = A[i] * 0.5;
+		}
+	`
+	a := analyzeLoopOpts(t, src, false)
+	if a.HasUnknown() {
+		t.Fatalf("opposite-stride pair should resolve to directions: %v", a.Edges)
+	}
+}
+
+// TestSymbolicOffsetCancellation: A[i+m] vs A[i+m+1] share the symbol m,
+// which cancels — exact distance 1 with no range knowledge at all.
+func TestSymbolicOffsetCancellation(t *testing.T) {
+	src := `
+		float A[200];
+		for (i = 0; i < 100; i++) {
+			A[i+m+1] = A[i+m] * 1.5;
+		}
+		int m;
+	`
+	a := analyzeLoopOpts(t, src, false)
+	if e := findEdge(a, Flow, 0, 0, 1); e == nil || e.Unknown {
+		t.Fatalf("shared symbol must cancel to exact distance 1: %v", a.Edges)
+	}
+	for _, e := range a.Edges {
+		if e.Unknown {
+			t.Fatalf("no unknown edges expected: %v", e)
+		}
+	}
+}
+
+// TestInductionPromotion: a secondary counter j walking in lock-step
+// with the loop is promoted to closed form, so A[j] vs A[j-2]
+// resolves exactly instead of demoting to unknown.
+func TestInductionPromotion(t *testing.T) {
+	src := `
+		float A[200]; float B[100];
+		for (i = 0; i < 100; i++) {
+			B[i] = A[j] + A[j+2];
+			A[j+2] = B[i] * 0.5;
+			j = j + 1;
+		}
+		int j;
+	`
+	a := analyzeLoopOpts(t, src, false)
+	if a.Precision.Promoted == 0 {
+		t.Fatalf("induction subscripts should be promoted, got %+v", a.Precision)
+	}
+	if a.HasUnknown() {
+		t.Fatalf("promoted induction subscripts must resolve: %v", a.Edges)
+	}
+	// A[j+2] write at iteration t collides with A[j] read at t+2.
+	if e := findEdge(a, Flow, 1, 0, 2); e == nil {
+		t.Fatalf("want flow MI1->MI0 dist 2 via promoted j: %v", a.Edges)
+	}
+}
+
+// TestGuardRefinesRange: a guard proving m >= 200 makes A[i+m] vs A[i]
+// independent inside a 100-trip loop.
+func TestGuardRefinesRange(t *testing.T) {
+	src := `
+		float A[1000];
+		for (i = 0; i < 100; i++) {
+			A[i+m] = A[i] * 1.5;
+		}
+		int m;
+	`
+	p := source.MustParse(src)
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	var f *source.For
+	for _, s := range p.Stmts {
+		if ff, ok := s.(*source.For); ok {
+			f = ff
+		}
+	}
+	l, err := sem.Canonicalize(f)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	guard, err := source.ParseExpr("m >= 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := omega.FromTable(info.Table).WithGuard(guard)
+	a, err := Analyze(f.Body.Stmts, l.Var, info.Table, Options{
+		Step: l.Step, Lo: l.Lo, Hi: l.Hi, Ranges: rg,
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, e := range a.Edges {
+		if e.Var == "A" {
+			t.Fatalf("guarded m >= 200 proves independence: %v", e)
+		}
+	}
+	// Without the guard the pair must stay conservative.
+	a2, err := Analyze(f.Body.Stmts, l.Var, info.Table, Options{
+		Step: l.Step, Lo: l.Lo, Hi: l.Hi, Ranges: omega.FromTable(info.Table),
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !a2.HasUnknown() {
+		t.Fatalf("without the guard the offset is unbounded: %v", a2.Edges)
+	}
+}
+
+// TestSolverMatchesLegacyOnExactLoops: on loops the legacy test already
+// decides, the solver must produce the identical edge set.
+func TestSolverMatchesLegacyOnExactLoops(t *testing.T) {
+	srcs := []string{
+		`float A[100]; float B[100]; float C[100];
+		 for (i = 0; i < 100; i++) { A[i] = B[i] + C[i]; }`,
+		`float A[100];
+		 for (i = 1; i < 100; i++) { A[i] = A[i-1] * 0.5; }`,
+		`float X[100]; float Y[100];
+		 for (i = 2; i < 98; i++) { X[i] = X[i-2] + Y[i]; Y[i] = X[i+1] * 2.0; }`,
+		`float A[100]; float s = 0.0;
+		 for (i = 0; i < 100; i++) { s = s + A[i]; }`,
+		`float A[64]; float B[64];
+		 for (i = 0; i < 32; i=i+2) { A[i] = A[i-2] + B[i]; }`,
+	}
+	for _, src := range srcs {
+		a1 := analyzeLoopOpts(t, src, false)
+		a2 := analyzeLoopOpts(t, src, true)
+		if len(a1.Edges) != len(a2.Edges) {
+			t.Errorf("edge sets differ:\nsolver: %v\nlegacy: %v\nsrc: %s", a1.Edges, a2.Edges, src)
+			continue
+		}
+		for i := range a1.Edges {
+			if a1.Edges[i] != a2.Edges[i] {
+				t.Errorf("edge %d differs: %v vs %v\nsrc: %s", i, a1.Edges[i], a2.Edges[i], src)
+			}
+		}
+	}
+}
+
+// TestAffineAddNegativeAndCancellation covers Affine.add on negative
+// coefficients and symbolic cancellation (the dead-store cleanup).
+func TestAffineAddNegativeAndCancellation(t *testing.T) {
+	cases := []struct {
+		expr  string
+		coeff int64
+		konst int64
+		syms  map[string]int64
+		ok    bool
+	}{
+		{"(m - i) + (i - m)", 0, 0, nil, true},
+		{"(2*m - 3*i) + i", -2, 0, map[string]int64{"m": 2}, true},
+		{"-(m + i) + 2*m", -1, 0, map[string]int64{"m": 1}, true},
+		{"(m + 1) - (m - 1)", 0, 2, nil, true},
+		{"(i*i) + m", 0, 0, nil, false},
+	}
+	for _, c := range cases {
+		e, err := source.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ExtractAffine(e, "i")
+		if a.OK != c.ok {
+			t.Errorf("%q: OK=%v, want %v", c.expr, a.OK, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if a.Coeff != c.coeff || a.Const != c.konst {
+			t.Errorf("%q: got %d*i%+d, want %d*i%+d", c.expr, a.Coeff, a.Const, c.coeff, c.konst)
+		}
+		if len(a.Syms) != len(c.syms) {
+			t.Errorf("%q: syms %v, want %v", c.expr, a.Syms, c.syms)
+			continue
+		}
+		for n, v := range c.syms {
+			if a.Syms[n] != v {
+				t.Errorf("%q: sym %s=%d, want %d", c.expr, n, a.Syms[n], v)
+			}
+		}
+	}
+}

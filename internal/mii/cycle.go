@@ -1,0 +1,111 @@
+package mii
+
+import (
+	"fmt"
+	"strings"
+
+	"slms/internal/ddg"
+)
+
+// BindingCycle extracts a positive-weight cycle under edge weights
+// w(e) = delay(e) − ii·dist(e), i.e. the recurrence that makes ii
+// invalid. Calling it with ii = II−1 of a scheduled loop names the
+// dependence cycle that binds the achieved II; calling it with the
+// largest candidate names the recurrence that made the search fail.
+// Returns nil when Valid(g, ii) holds (no such cycle).
+//
+// Same Bellman–Ford longest-path relaxation as Valid, plus parent
+// pointers: after n passes a still-relaxable edge must lie on or be
+// reachable from a positive cycle, so walking n parents from its source
+// lands inside the cycle, which a visited walk then closes.
+func BindingCycle(g *ddg.Graph, ii int64) []ddg.Edge {
+	n := g.N
+	if n == 0 {
+		return nil
+	}
+	dist := make([]int64, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for idx, e := range g.Edges {
+			if v := dist[e.From] + e.Delay - ii*e.Dist; v > dist[e.To] {
+				dist[e.To] = v
+				parent[e.To] = idx
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	start := -1
+	for idx, e := range g.Edges {
+		if dist[e.From]+e.Delay-ii*e.Dist > dist[e.To] {
+			parent[e.To] = idx
+			start = e.To
+			break
+		}
+	}
+	if start == -1 {
+		return nil
+	}
+	// Walk n parents to guarantee we are inside the cycle, then close it.
+	v := start
+	for i := 0; i < n; i++ {
+		if parent[v] == -1 {
+			return nil
+		}
+		v = g.Edges[parent[v]].From
+	}
+	var cyc []ddg.Edge
+	u := v
+	for {
+		e := g.Edges[parent[u]]
+		cyc = append(cyc, e)
+		u = e.From
+		if u == v {
+			break
+		}
+	}
+	// Parents walk backwards; reverse into execution order.
+	for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+		cyc[i], cyc[j] = cyc[j], cyc[i]
+	}
+	return cyc
+}
+
+// CycleMinII is the smallest II the cycle admits: with total delay D and
+// total distance d over the cycle, validity requires II·d ≥ D, so
+// II ≥ ⌈D/d⌉. The second return is false when d = 0 (an intra-iteration
+// positive cycle that no II can satisfy).
+func CycleMinII(cyc []ddg.Edge) (int64, bool) {
+	var delay, dst int64
+	for _, e := range cyc {
+		delay += e.Delay
+		dst += e.Dist
+	}
+	if dst <= 0 {
+		return 0, false
+	}
+	return (delay + dst - 1) / dst, true
+}
+
+// CycleString renders a cycle compactly: MI0 →[a dist=1] MI2 →[chain] MI0.
+func CycleString(cyc []ddg.Edge) string {
+	if len(cyc) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "MI%d", cyc[0].From)
+	for _, e := range cyc {
+		if e.Chain {
+			fmt.Fprintf(&b, " →[chain] MI%d", e.To)
+		} else {
+			fmt.Fprintf(&b, " →[%s %s dist=%d] MI%d", e.Kind, e.Var, e.Dist, e.To)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package mii
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/ddg"
+	"slms/internal/dep"
+)
+
+// TestBindingCycleExtraction checks that the certificate cycle returned
+// for an invalid II is a real positive cycle that names the recurrence.
+func TestBindingCycleExtraction(t *testing.T) {
+	g := &ddg.Graph{N: 2, Edges: []ddg.Edge{
+		{From: 0, To: 1, Dist: 0, Delay: 1, Chain: true},
+		{From: 1, To: 0, Dist: 2, Delay: 3, Kind: dep.Flow, Var: "A"},
+	}}
+	// Cycle weight at ii: (1 − 0·ii) + (3 − 2·ii) = 4 − 2·ii, positive
+	// iff ii < 2: II = 2 is the minimum valid.
+	if cyc := BindingCycle(g, 2); cyc != nil {
+		t.Fatalf("ii=2 is valid, want no cycle, got %s", CycleString(cyc))
+	}
+	cyc := BindingCycle(g, 1)
+	if cyc == nil {
+		t.Fatal("ii=1 is invalid, want a binding cycle")
+	}
+	var delay, dist int64
+	for _, e := range cyc {
+		delay += e.Delay
+		dist += e.Dist
+	}
+	if delay-1*dist <= 0 {
+		t.Fatalf("returned cycle is not positive at ii=1: %s", CycleString(cyc))
+	}
+	if need, ok := CycleMinII(cyc); !ok || need != 2 {
+		t.Fatalf("CycleMinII = %d, %v; want 2, true", need, ok)
+	}
+	s := CycleString(cyc)
+	if !strings.Contains(s, "flow") || !strings.Contains(s, "A") {
+		t.Errorf("cycle string does not name the recurrence: %s", s)
+	}
+	// The cycle must be closed: consecutive edges chain and the last
+	// returns to the first node.
+	for i, e := range cyc {
+		if next := cyc[(i+1)%len(cyc)]; e.To != next.From {
+			t.Fatalf("cycle not closed at edge %d: %s", i, s)
+		}
+	}
+}
+
+// TestBindingCycleZeroDistance: a positive cycle with zero total
+// iteration distance is invalid at every II and CycleMinII reports it.
+func TestBindingCycleZeroDistance(t *testing.T) {
+	g := &ddg.Graph{N: 2, Edges: []ddg.Edge{
+		{From: 0, To: 1, Dist: 0, Delay: 1, Chain: true},
+		{From: 1, To: 0, Dist: 0, Delay: 1, Kind: dep.Anti, Var: "x"},
+	}}
+	for _, ii := range []int64{1, 3, 100} {
+		cyc := BindingCycle(g, ii)
+		if cyc == nil {
+			t.Fatalf("zero-distance positive cycle must bind every II (ii=%d)", ii)
+		}
+		if _, ok := CycleMinII(cyc); ok {
+			t.Fatalf("CycleMinII must report unsatisfiable for %s", CycleString(cyc))
+		}
+	}
+}
+
+// TestBindingCycleAgreesWithValid: on real loop-derived graphs the
+// cycle oracle and the boolean validity test must agree at every II.
+func TestBindingCycleAgreesWithValid(t *testing.T) {
+	srcs := []string{
+		`float A[100]; float B[100];
+for (i = 2; i < 100; i++) { A[i] = A[i-2] * 0.5 + B[i]; }`,
+		`float A[100]; float B[100]; float s;
+for (i = 1; i < 100; i++) { s = A[i-1] + B[i]; A[i] = s * 2.0; }`,
+		`float A[100]; float B[100];
+for (i = 0; i < 100; i++) { A[i] = B[i] * 3.0; }`,
+	}
+	for _, src := range srcs {
+		g := buildLoop(t, src)
+		for ii := int64(1); ii <= int64(g.N)+2; ii++ {
+			cyc := BindingCycle(g, ii)
+			if valid := Valid(g, ii); valid != (cyc == nil) {
+				t.Fatalf("ii=%d: Valid=%v but BindingCycle=%v\n%s", ii, valid, cyc, g.Dump())
+			}
+			if cyc == nil {
+				continue
+			}
+			var w int64
+			for i, e := range cyc {
+				w += e.Delay - ii*e.Dist
+				if next := cyc[(i+1)%len(cyc)]; e.To != next.From {
+					t.Fatalf("ii=%d: cycle not closed: %s", ii, CycleString(cyc))
+				}
+			}
+			if w <= 0 {
+				t.Fatalf("ii=%d: returned cycle has weight %d, not positive: %s", ii, w, CycleString(cyc))
+			}
+		}
+	}
+}

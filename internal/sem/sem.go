@@ -24,6 +24,18 @@ type Symbol struct {
 	Type     source.Type
 	Dims     []source.Expr // nil for scalars; len is the array rank
 	Implicit bool          // true when the declaration was inferred
+
+	// ConstVal is the scalar's compile-time value when it is declared at
+	// the top level with an integer-constant initializer and never
+	// reassigned anywhere in the program (write-once); HasConst reports
+	// validity. Populated by Check, consumed by the dependence range
+	// analysis (internal/dep/omega).
+	ConstVal int64
+	HasConst bool
+	// Assigned is true when any assignment statement targets the scalar
+	// (array element writes do not count). Range refinements from guard
+	// conditions are only sound for unassigned scalars.
+	Assigned bool
 }
 
 // IsArray reports whether the symbol is an array.
@@ -169,7 +181,43 @@ func Check(p *source.Program) (*Info, error) {
 	if err := c.checkBlockStmts(p.Stmts); err != nil {
 		return nil, err
 	}
+	c.propagateConsts(p)
 	return c.info, nil
+}
+
+// propagateConsts marks write-once integer scalars: a top-level
+// declaration `int n = 200;` whose name is never the target of an
+// assignment anywhere in the program pins the symbol to that value for
+// the whole execution. The dependence range analysis builds symbolic
+// intervals from these. Scalar assignments (including compound ones and
+// loop headers) are recorded on every symbol via Assigned.
+func (c *checker) propagateConsts(p *source.Program) {
+	source.WalkStmt(p.Block(), func(s source.Stmt) bool {
+		if as, ok := s.(*source.Assign); ok {
+			if v, ok := as.LHS.(*source.VarRef); ok {
+				if sym := c.info.Table.Lookup(v.Name); sym != nil {
+					sym.Assigned = true
+				}
+			}
+		}
+		return true
+	})
+	// Only top-level declarations qualify: a declaration nested under
+	// control flow may re-execute or be bypassed, so its initializer does
+	// not pin the value for reads elsewhere.
+	for _, s := range p.Stmts {
+		d, ok := s.(*source.Decl)
+		if !ok || len(d.Dims) > 0 || d.Init == nil {
+			continue
+		}
+		v, isConst := source.ConstInt(d.Init)
+		if !isConst {
+			continue
+		}
+		if sym := c.info.Table.Lookup(d.Name); sym != nil && !sym.Assigned {
+			sym.ConstVal, sym.HasConst = v, true
+		}
+	}
 }
 
 type checker struct {

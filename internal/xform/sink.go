@@ -30,7 +30,7 @@ func SinkDefs(f *source.For, tab *sem.Table) (*source.For, int, error) {
 	if n < 3 {
 		return nil, 0, notApplicable("body too small to re-arrange")
 	}
-	an, err := dep.Analyze(body, l.Var, tab, dep.Options{Step: l.Step})
+	an, err := dep.Analyze(body, l.Var, tab, depOptions(l, tab))
 	if err != nil {
 		return nil, 0, notApplicable("%v", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"slms/internal/dep"
+	"slms/internal/dep/omega"
 	"slms/internal/sem"
 	"slms/internal/source"
 )
@@ -18,6 +19,13 @@ import (
 // ErrNotApplicable is returned when a transformation's preconditions do
 // not hold for the given loop.
 var ErrNotApplicable = errors.New("xform: transformation not applicable")
+
+// depOptions builds the dependence-analysis options for one canonical
+// loop: bounds for the exact solver plus the symbol table's symbolic
+// ranges (write-once constants, array extents).
+func depOptions(l *sem.Loop, tab *sem.Table) dep.Options {
+	return dep.Options{Step: l.Step, Lo: l.Lo, Hi: l.Hi, Ranges: omega.FromTable(tab)}
+}
 
 func notApplicable(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrNotApplicable, fmt.Sprintf(format, args...))
@@ -239,7 +247,7 @@ func Fuse(f1, f2 *source.For, tab *sem.Table) (*source.For, error) {
 		return nil, notApplicable("loop headers differ")
 	}
 	body := append(cloneStmts(f1.Body.Stmts), cloneStmts(f2.Body.Stmts)...)
-	an, err := dep.Analyze(body, l1.Var, tab, dep.Options{Step: l1.Step})
+	an, err := dep.Analyze(body, l1.Var, tab, depOptions(l1, tab))
 	if err != nil {
 		return nil, notApplicable("%v", err)
 	}
@@ -278,7 +286,7 @@ func Distribute(f *source.For, tab *sem.Table) ([]*source.For, error) {
 	if n < 2 {
 		return nil, notApplicable("nothing to distribute")
 	}
-	an, err := dep.Analyze(body, l.Var, tab, dep.Options{Step: l.Step})
+	an, err := dep.Analyze(body, l.Var, tab, depOptions(l, tab))
 	if err != nil {
 		return nil, notApplicable("%v", err)
 	}
@@ -418,7 +426,7 @@ func Reverse(f *source.For, tab *sem.Table) (source.Stmt, error) {
 	if err != nil {
 		return nil, notApplicable("%v", err)
 	}
-	an, err := dep.Analyze(cloneStmts(f.Body.Stmts), l.Var, tab, dep.Options{Step: l.Step})
+	an, err := dep.Analyze(cloneStmts(f.Body.Stmts), l.Var, tab, depOptions(l, tab))
 	if err != nil {
 		return nil, notApplicable("%v", err)
 	}
