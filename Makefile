@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build test race vet lint fuzz bench bench-parallel figures profile cycleprofile gate baseline serve loadsmoke clean
+.PHONY: all build test race vet lint fuzz bench bench-parallel figures profile cycleprofile gate baseline trajectory serve loadsmoke clean
 
 # The committed gate baseline (a two-leg slms-bench-legs/v1 record).
 SLMS_GATE_BASELINE ?= BENCH_7.json
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParser -fuzztime=10s ./internal/source/
 	$(GO) test -run=NONE -fuzz=FuzzFilter -fuzztime=10s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzRequestDecode -fuzztime=10s ./internal/server/
+	$(GO) test -run=NONE -fuzz=FuzzParseTraceparent -fuzztime=10s ./internal/obs/
 
 # Single-pass smoke of every Benchmark* (no statistics); use
 # `go test -bench . -benchtime 10x ./internal/bench/` for real numbers.
@@ -82,6 +83,12 @@ gate:
 # gated with wide thresholds).
 baseline:
 	$(GO) run ./cmd/slmsbench -q -legs -json $(SLMS_GATE_BASELINE) > /dev/null
+
+# Fold every committed BENCH_*.json snapshot into one time-series
+# report (markdown to stdout, TRAJECTORY.json on disk); exits 1 when
+# any adjacent pair regressed. CI uploads both as artifacts.
+trajectory:
+	$(GO) run ./cmd/slmsbench -trajectory -json TRAJECTORY.json
 
 # Run the compilation service on the default address (127.0.0.1:8347).
 serve:

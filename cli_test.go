@@ -3,14 +3,19 @@ package slms_test
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
+
+	"slms/internal/obs/promexp"
 )
 
 // buildTool compiles one of the cmd/ binaries into a temp dir.
@@ -184,8 +189,9 @@ func TestCLISlmsbenchSingleFigure(t *testing.T) {
 }
 
 // TestCLISlmsd covers the serving daemon: flag misuse exits 2, and a
-// full lifecycle — start, serve a compile over HTTP, drain on SIGTERM —
-// exits 0.
+// full lifecycle — start, serve compiles over HTTP (correlated request
+// IDs, atomic access-log lines, a Prometheus scrape), drain on SIGTERM
+// — exits 0.
 func TestCLISlmsd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
@@ -207,8 +213,10 @@ func TestCLISlmsd(t *testing.T) {
 	}
 
 	// Lifecycle: bind an ephemeral port, read the address off the status
-	// line, serve one request, then SIGTERM and expect a clean exit.
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	// line, serve requests, then SIGTERM and expect a clean exit. The
+	// access log goes to a file so its lines can be checked after exit.
+	accessPath := filepath.Join(t.TempDir(), "access.log")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-access-log", accessPath)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -247,12 +255,152 @@ func TestCLISlmsd(t *testing.T) {
 		t.Error("response missing X-Request-ID")
 	}
 
+	// A supplied traceparent becomes the request ID end to end.
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest("POST", base+"/v1/compile",
+		strings.NewReader(`{"source": "float A[8]; for (i = 0; i < 8; i++) { A[i] = 0.5; }"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != traceID {
+		t.Errorf("traceparent not adopted: X-Request-ID = %q, want %q", got, traceID)
+	}
+
+	// Concurrent load: every access-log line must come out whole.
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				body := fmt.Sprintf(`{"source": "x = %d; y = x * %d;"}`, c, i)
+				r, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(body))
+				if err == nil {
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Prometheus scrape.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(metrics), `slms_server_requests_total{endpoint="compile"}`) {
+		t.Errorf("/metrics missing the compile request counter:\n%.1000s", metrics)
+	}
+	// The exposition must satisfy the in-repo Prometheus linter — the
+	// same check the CI metrics-contract job runs against a live scrape.
+	for _, p := range promexp.Lint(bytes.NewReader(metrics)) {
+		t.Errorf("/metrics lint: %s", p)
+	}
+
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	if err := cmd.Wait(); err != nil {
 		t.Errorf("slmsd did not exit cleanly on SIGTERM: %v", err)
 	}
+
+	// Every access-log line is whole (no interleaving under concurrency)
+	// and carries the full field set.
+	blob, err := os.ReadFile(accessPath)
+	if err != nil {
+		t.Fatalf("read access log: %v", err)
+	}
+	lineRE := regexp.MustCompile(`^access endpoint=\S+ status=\d+ req=\S+ fp=\S+ cache=\S+ deadline_ms=-?\d+ dur_us=\d+$`)
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if len(lines) < 32 {
+		t.Errorf("access log has %d lines, want >= 32 (2 + 30 concurrent)", len(lines))
+	}
+	for i, line := range lines {
+		if !lineRE.MatchString(line) {
+			t.Errorf("access log line %d malformed (interleaved?): %q", i+1, line)
+		}
+	}
+	if !strings.Contains(string(blob), "req="+traceID) {
+		t.Errorf("access log never mentions the supplied trace ID %s", traceID)
+	}
+
+	// -access-log=off: a short lifecycle that must log no access lines.
+	out, err := runSlmsdOnce(t, bin, "-access-log=off")
+	if err != nil {
+		t.Fatalf("slmsd -access-log=off lifecycle: %v", err)
+	}
+	if strings.Contains(out, "access endpoint=") {
+		t.Errorf("-access-log=off still wrote access lines:\n%s", out)
+	}
+}
+
+// runSlmsdOnce starts slmsd with the extra args, serves one compile,
+// SIGTERMs it, and returns everything it wrote to stderr.
+func runSlmsdOnce(t *testing.T, bin string, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	defer cmd.Process.Kill()
+
+	var buf strings.Builder
+	scanner := bufio.NewScanner(stderr)
+	var addr string
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		return buf.String(), fmt.Errorf("slmsd never reported its address (scan err: %v)", scanner.Err())
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for scanner.Scan() {
+			buf.WriteString(scanner.Text())
+			buf.WriteByte('\n')
+		}
+	}()
+
+	resp, err := http.Post("http://"+addr+"/v1/compile", "application/json",
+		strings.NewReader(`{"source": "float A[8]; for (i = 0; i < 8; i++) { A[i] = 0.5; }"}`))
+	if err != nil {
+		return buf.String(), err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return buf.String(), err
+	}
+	err = cmd.Wait()
+	<-done
+	return buf.String(), err
 }
 
 // TestExamplesRun builds and runs every example program end to end.

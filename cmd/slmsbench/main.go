@@ -23,6 +23,14 @@
 // wall-time deltas carry confidence intervals when either side has
 // repeat samples) and exits 1 when any kernel's simulated cycles
 // regressed beyond -threshold.
+//
+// -trajectory folds every BENCH_*.json snapshot (the positional
+// arguments, or a BENCH_*.json glob of the working directory when none
+// are given) into one time-series report — cycles/second for both
+// legs, cache split, precision census, per-phase seconds — printing
+// markdown to stdout, writing the JSON document to the -json path
+// (default TRAJECTORY.json in this mode), and exiting 1 when any
+// adjacent pair regressed beyond -threshold.
 package main
 
 import (
@@ -30,11 +38,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
 	"slms/internal/bench"
 	"slms/internal/bench/compare"
+	"slms/internal/bench/trajectory"
 	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/prof"
@@ -55,6 +65,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify every SLMS transformation before compiling")
 	profPath := flag.String("profile", "", "enable cycle attribution and write suite profiles (pprof protobuf) here")
 	doCompare := flag.Bool("compare", false, "compare two BENCH json files given as arguments; exit 1 on cycle regression")
+	doTrajectory := flag.Bool("trajectory", false, "fold BENCH json snapshots (arguments, or a BENCH_*.json glob) into a time-series report; exit 1 on regression")
 	threshold := flag.Float64("threshold", compare.DefaultCycleThreshold,
 		"relative cycle growth that -compare treats as a regression")
 	tele := obs.RegisterFlags(flag.CommandLine)
@@ -68,6 +79,13 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			obs.Errorf("%v", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *doTrajectory {
+		if err := runTrajectory(flag.Args(), *jsonPath, *threshold); err != nil {
 			obs.Errorf("%v", err)
 			os.Exit(1)
 		}
@@ -141,6 +159,49 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 	if rep.Failed() {
 		return fmt.Errorf("%d kernel(s) regressed beyond %.0f%%",
 			len(rep.Regressions), 100*rep.Threshold)
+	}
+	return nil
+}
+
+// runTrajectory folds the given snapshots (or the working directory's
+// BENCH_*.json files) into one time-series report: markdown on stdout,
+// the JSON document at jsonPath, and an error when any adjacent pair
+// regressed.
+func runTrajectory(paths []string, jsonPath string, threshold float64) error {
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("-trajectory: no BENCH_*.json snapshots found")
+		}
+	}
+	s, err := trajectory.Build(paths, threshold)
+	if err != nil {
+		return err
+	}
+	if !obs.Quiet() {
+		fmt.Print(s.Markdown())
+	}
+	// The -json default names the all-figures output; redirect it so
+	// -trajectory never clobbers the BENCH_1.json baseline.
+	if jsonPath == "BENCH_1.json" {
+		jsonPath = "TRAJECTORY.json"
+	}
+	if jsonPath != "" {
+		blob, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if s.Failed() {
+		return fmt.Errorf("%d regression(s) across the trajectory (threshold %.0f%%)",
+			len(s.Regressions), 100*s.Threshold)
 	}
 	return nil
 }

@@ -29,6 +29,8 @@
 //	                  chrome loads in chrome://tracing; jsonl is one
 //	                  JSON object per span/decision)
 //	-metrics FILE     write a metrics dump at exit ("-" = stdout)
+//	-request-id ID    stamp spans and decision records with this request
+//	                  ID (a bare ID or a W3C traceparent header value)
 //	-q                suppress status output
 package main
 

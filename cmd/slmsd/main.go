@@ -11,6 +11,14 @@
 // gracefully on SIGTERM/SIGINT: in-flight requests complete, new ones
 // get 503 while /readyz reports draining.
 //
+// Observability: every request carries a request ID (minted, or adopted
+// from an incoming W3C traceparent header) that stamps the response's
+// X-Request-ID header, the access log, and the request's span tree and
+// decision records. /metrics serves the registry in Prometheus text
+// format; /v1/status serves rolling SLO windows. The access log (one
+// line per request) goes to -access-log: stderr by default, a file
+// path, stdout, or off.
+//
 // Usage:
 //
 //	slmsd [flags]
@@ -25,6 +33,7 @@
 //	-cache N               response cache entries (default 512; negative disables)
 //	-max-body BYTES        request body limit (default 1 MiB)
 //	-drain-timeout DUR     graceful shutdown budget (default 30s)
+//	-access-log DEST       access-log destination: stderr (default), stdout, off, or a file path
 //	-trace FILE            write a pipeline trace at exit
 //	-trace-format chrome|jsonl
 //	-metrics FILE          write a metrics dump at exit ("-" = stdout)
@@ -35,6 +44,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +65,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 512, "response cache entries (negative disables)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	accessLog := flag.String("access-log", "stderr", "access-log destination: stderr, stdout, off, or a file path")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
@@ -75,6 +86,11 @@ func main() {
 		obs.Usagef("-timeout %v exceeds -max-timeout %v", *timeout, *maxTimeout)
 	}
 
+	accessDst, closeAccess, err := openAccessLog(*accessLog)
+	if err != nil {
+		obs.Fatalf("-access-log: %v", err)
+	}
+
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -82,6 +98,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cacheEntries,
 		MaxBodyBytes:   *maxBody,
+		AccessLog:      accessDst,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -130,5 +147,26 @@ func main() {
 		obs.Errorf("%v", err)
 		exit = 1
 	}
+	closeAccess() // os.Exit skips defers
 	os.Exit(exit)
+}
+
+// openAccessLog resolves the -access-log destination. "off" disables
+// the log (nil writer); stderr and stdout map to the process streams;
+// anything else opens (appending) a file. The returned closer is a
+// no-op except for the file case.
+func openAccessLog(dest string) (io.Writer, func(), error) {
+	switch dest {
+	case "off", "":
+		return nil, func() {}, nil
+	case "stderr":
+		return os.Stderr, func() {}, nil
+	case "stdout":
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }

@@ -21,6 +21,8 @@
 //	-trace FILE                         write a pipeline trace at exit
 //	-trace-format chrome|jsonl          trace file format (default chrome)
 //	-metrics FILE                       write a metrics dump at exit ("-" = stdout)
+//	-request-id ID                      stamp spans and decision records with this
+//	                                    request ID (bare ID or W3C traceparent)
 //	-q                                  suppress status output
 package main
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"slms/internal/core"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/source"
 )
@@ -77,12 +78,13 @@ type LegsStats struct {
 
 // ResetHarnessState drops every cross-run memo and cache (measurement
 // memo, kernel aggregates, artifact/transform/parse caches) so the next
-// run measures real work from cold.
+// run measures real work from cold. The three pipeline caches clear
+// through the obs cache-reset registry — one atomic operation over all
+// stat groups, so a snapshot taken after the reset sees every layer at
+// zero, never a half-cleared mix.
 func ResetHarnessState() {
 	ResetMeasurements()
-	pipeline.ResetCache()
-	core.ResetTransformCache()
-	source.ResetParseCache()
+	obs.ResetCaches()
 }
 
 // AllFiguresLegs runs the full figure suite twice — serial then

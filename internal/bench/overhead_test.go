@@ -1,13 +1,12 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
 
-	"slms/internal/core"
 	"slms/internal/obs"
-	"slms/internal/pipeline"
 )
 
 // The disabled-tracer instrumentation left in the pipeline's hot paths
@@ -23,11 +22,7 @@ func TestDisabledTracerOverheadUnderOnePercent(t *testing.T) {
 	if os.Getenv("SLMS_OVERHEAD_CHECK") == "" {
 		t.Skip("set SLMS_OVERHEAD_CHECK=1 to run the overhead guard")
 	}
-	resetAll := func() {
-		ResetMeasurements()
-		core.ResetTransformCache()
-		pipeline.ResetCache()
-	}
+	resetAll := ResetHarnessState
 
 	// Pass 1 (traced): count the span operations the suite performs.
 	resetAll()
@@ -44,12 +39,21 @@ func TestDisabledTracerOverheadUnderOnePercent(t *testing.T) {
 	}
 
 	// Price the disabled path. Each span in the traced run corresponds
-	// to one Root/Child + Attr + End sequence on the nil fast path.
+	// to one Root/Child + Attr + End sequence on the nil fast path,
+	// plus the request-ID plumbing a served request threads alongside
+	// it (context stamping and recall — the correlation machinery must
+	// be as free as the spans when tracing is off).
 	perOp := testing.Benchmark(func(b *testing.B) {
+		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			sp := obs.Root("overhead-probe")
+			rctx := obs.ContextWithRequestID(ctx, "r00000001")
+			sp := obs.RootRequest("overhead-probe", obs.RequestIDFrom(rctx))
 			sp = sp.Attr("k", i)
+			rctx = obs.ContextWithSpan(rctx, sp)
 			sp.Child("child").End()
+			if obs.SpanFrom(rctx) != sp {
+				b.Fatal("span context roundtrip broken")
+			}
 			sp.End()
 		}
 	})

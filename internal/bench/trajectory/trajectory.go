@@ -1,0 +1,333 @@
+// Package trajectory folds the repository's committed BENCH_*.json
+// harness snapshots into one time-series document: cycles/second for
+// both legs, the per-cache hit/miss split, the dependence-precision
+// census, and per-phase seconds, ordered by snapshot number. Adjacent
+// snapshots are diffed with the compare gate, so the series doubles as
+// a regression report over the whole benchmark history — CI renders it
+// as a markdown artifact and fails the build when any adjacent pair
+// regressed.
+package trajectory
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"slms/internal/bench"
+	"slms/internal/bench/compare"
+)
+
+// Schema identifies a Series JSON document.
+const Schema = "slms-bench-trajectory/v1"
+
+// Point is one BENCH snapshot reduced to its trajectory coordinates.
+type Point struct {
+	Label string `json:"label"` // file base name, e.g. BENCH_6
+	Seq   int    `json:"seq"`   // numeric suffix; ordering key
+	// Legs is true for a two-leg (serial + parallel) snapshot; legacy
+	// single-RunStats snapshots report the one run as the parallel leg
+	// and leave SerialCPS/Scaling zero.
+	Legs bool `json:"legs"`
+
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimulatedCycles int64   `json:"simulated_cycles"`
+	ParallelCPS     float64 `json:"parallel_cps"`
+	SerialCPS       float64 `json:"serial_cps,omitempty"`
+	Scaling         float64 `json:"scaling,omitempty"`
+
+	CacheHits    int64             `json:"cache_hits"`
+	CacheMisses  int64             `json:"cache_misses"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+	Caches       []bench.CacheStat `json:"caches,omitempty"`
+
+	Phases []bench.PhaseStat `json:"phases,omitempty"`
+
+	Precision *bench.PrecisionStat `json:"precision,omitempty"`
+}
+
+// Delta is the compare-gate outcome between two adjacent snapshots.
+type Delta struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// WorstCycleDelta is the worst relative per-kernel cycle growth
+	// among gated kernels (0 when nothing was gated).
+	WorstCycleDelta float64 `json:"worst_cycle_delta"`
+	// GatedKernels counts kernels with cycle data on both sides.
+	GatedKernels int `json:"gated_kernels"`
+	// CPSDelta is the relative parallel cycles/second change —
+	// advisory (wall clock), never gated.
+	CPSDelta    float64  `json:"cps_delta"`
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// Series is the whole trajectory: every snapshot plus every
+// adjacent-pair delta.
+type Series struct {
+	Schema    string  `json:"schema"` // Schema
+	Threshold float64 `json:"threshold"`
+	Points    []Point `json:"points"`
+	Deltas    []Delta `json:"deltas,omitempty"`
+	// Regressions flattens every delta's regressions, prefixed with the
+	// pair that produced them.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// Failed reports whether any adjacent pair regressed.
+func (s *Series) Failed() bool { return len(s.Regressions) > 0 }
+
+// seqOf extracts the numeric suffix of a BENCH_<n>.json path; non-
+// conforming names sort after conforming ones, by name.
+func seqOf(path string) (int, bool) {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	i := strings.LastIndexByte(base, '_')
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(base[i+1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Build loads the given BENCH_*.json snapshots, orders them by numeric
+// suffix, and diffs each adjacent pair with the compare gate at the
+// given threshold (0 = compare.DefaultCycleThreshold).
+func Build(paths []string, threshold float64) (*Series, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trajectory: no snapshot files")
+	}
+	if threshold == 0 {
+		threshold = compare.DefaultCycleThreshold
+	}
+	ordered := append([]string(nil), paths...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		si, oki := seqOf(ordered[i])
+		sj, okj := seqOf(ordered[j])
+		if oki != okj {
+			return oki
+		}
+		if oki && si != sj {
+			return si < sj
+		}
+		return ordered[i] < ordered[j]
+	})
+
+	s := &Series{Schema: Schema, Threshold: threshold}
+	runs := make([]*bench.RunStats, len(ordered))
+	for i, path := range ordered {
+		rs, legs, err := compare.LoadAny(path)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: %w", err)
+		}
+		runs[i] = rs
+		s.Points = append(s.Points, pointOf(path, rs, legs))
+	}
+
+	for i := 1; i < len(runs); i++ {
+		rep, err := compare.Compare(
+			[]*bench.RunStats{runs[i-1]}, []*bench.RunStats{runs[i]},
+			compare.Options{CycleThreshold: threshold})
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: %s vs %s: %w",
+				s.Points[i-1].Label, s.Points[i].Label, err)
+		}
+		d := Delta{
+			From:        s.Points[i-1].Label,
+			To:          s.Points[i].Label,
+			Regressions: rep.Regressions,
+		}
+		for _, kd := range rep.Kernels {
+			if kd.Gated {
+				d.GatedKernels++
+				if kd.CycleDelta > d.WorstCycleDelta {
+					d.WorstCycleDelta = kd.CycleDelta
+				}
+			}
+		}
+		if old := s.Points[i-1].ParallelCPS; old > 0 {
+			d.CPSDelta = (s.Points[i].ParallelCPS - old) / old
+		}
+		s.Deltas = append(s.Deltas, d)
+		for _, reg := range rep.Regressions {
+			s.Regressions = append(s.Regressions,
+				fmt.Sprintf("%s -> %s: %s", d.From, d.To, reg))
+		}
+	}
+	return s, nil
+}
+
+func pointOf(path string, rs *bench.RunStats, legs *bench.LegsStats) Point {
+	p := Point{
+		Label:           strings.TrimSuffix(filepath.Base(path), ".json"),
+		WallSeconds:     rs.TotalWallSeconds,
+		SimulatedCycles: rs.SimulatedCycles,
+		ParallelCPS:     rs.CyclesPerSecond,
+		CacheHits:       rs.CacheHits,
+		CacheMisses:     rs.CacheMisses,
+		CacheHitRate:    rs.CacheHitRate,
+		Caches:          rs.Caches,
+		Phases:          rs.Phases,
+		Precision:       rs.Precision,
+	}
+	p.Seq, _ = seqOf(path)
+	if legs != nil {
+		p.Legs = true
+		p.Scaling = legs.Scaling
+		if legs.Serial != nil {
+			p.SerialCPS = legs.Serial.CyclesPerSecond
+		}
+	}
+	return p
+}
+
+// JSON renders the series as an indented JSON document with a trailing
+// newline (the CI artifact format).
+func (s *Series) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Markdown renders the series as a markdown report: the snapshot
+// table, the cache split, the precision census, and the adjacent-pair
+// verdicts.
+func (s *Series) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Benchmark trajectory\n\n")
+	fmt.Fprintf(&b, "%d snapshots, cycle-regression threshold %.0f%%.\n\n",
+		len(s.Points), 100*s.Threshold)
+
+	b.WriteString("| snapshot | wall (s) | cycles | serial c/s | parallel c/s | scaling | cache hit rate |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range s.Points {
+		serial, scaling := "-", "-"
+		if p.Legs {
+			serial = fmt.Sprintf("%.3g", p.SerialCPS)
+			scaling = fmt.Sprintf("%.2fx", p.Scaling)
+		}
+		fmt.Fprintf(&b, "| %s | %.3g | %d | %s | %.3g | %s | %.1f%% |\n",
+			p.Label, p.WallSeconds, p.SimulatedCycles,
+			serial, p.ParallelCPS, scaling, 100*p.CacheHitRate)
+	}
+
+	if rows := cacheRows(s.Points); len(rows) > 0 {
+		b.WriteString("\n## Cache split\n\n")
+		b.WriteString("| snapshot | cache | hits | misses | hit rate |\n")
+		b.WriteString("|---|---|---:|---:|---:|\n")
+		b.WriteString(rows)
+	}
+
+	if rows := precisionRows(s.Points); len(rows) > 0 {
+		b.WriteString("\n## Dependence precision\n\n")
+		b.WriteString("| snapshot | unknown edges (exact) | resolved pairs | newly pipelined | lower II |\n")
+		b.WriteString("|---|---:|---:|---:|---:|\n")
+		b.WriteString(rows)
+	}
+
+	if rows := phaseRows(s.Points); len(rows) > 0 {
+		b.WriteString("\n## Phase seconds\n\n")
+		b.WriteString(rows)
+	}
+
+	b.WriteString("\n## Adjacent-pair verdicts\n\n")
+	if len(s.Deltas) == 0 {
+		b.WriteString("(single snapshot — nothing to compare)\n")
+	} else {
+		b.WriteString("| pair | gated kernels | worst cycle delta | parallel c/s delta | verdict |\n")
+		b.WriteString("|---|---:|---:|---:|---|\n")
+		for _, d := range s.Deltas {
+			verdict := "ok"
+			if len(d.Regressions) > 0 {
+				verdict = fmt.Sprintf("**REGRESSED** (%d)", len(d.Regressions))
+			}
+			fmt.Fprintf(&b, "| %s → %s | %d | %+.1f%% | %+.1f%% | %s |\n",
+				d.From, d.To, d.GatedKernels,
+				100*d.WorstCycleDelta, 100*d.CPSDelta, verdict)
+		}
+	}
+	if len(s.Regressions) > 0 {
+		b.WriteString("\n### Regressions\n\n")
+		for _, reg := range s.Regressions {
+			fmt.Fprintf(&b, "- %s\n", reg)
+		}
+	}
+	return b.String()
+}
+
+func cacheRows(points []Point) string {
+	var b strings.Builder
+	for _, p := range points {
+		for _, cs := range p.Caches {
+			fmt.Fprintf(&b, "| %s | %s | %d | %d | %.1f%% |\n",
+				p.Label, cs.Cache, cs.Hits, cs.Misses, 100*cs.HitRate)
+		}
+	}
+	return b.String()
+}
+
+func precisionRows(points []Point) string {
+	var b strings.Builder
+	for _, p := range points {
+		if p.Precision == nil {
+			continue
+		}
+		pc := p.Precision
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d |\n",
+			p.Label, pc.UnknownExact, pc.ResolvedPairs,
+			pc.NewlyPipelined, pc.LowerII)
+	}
+	return b.String()
+}
+
+// phaseRows renders one row per snapshot with a column per phase name
+// seen anywhere in the series (snapshots predating phase stats show
+// dashes).
+func phaseRows(points []Point) string {
+	names := map[string]bool{}
+	for _, p := range points {
+		for _, ps := range p.Phases {
+			names[ps.Phase] = true
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var b strings.Builder
+	b.WriteString("| snapshot |")
+	for _, n := range sorted {
+		fmt.Fprintf(&b, " %s |", n)
+	}
+	b.WriteString("\n|---|")
+	for range sorted {
+		b.WriteString("---:|")
+	}
+	b.WriteString("\n")
+	for _, p := range points {
+		byName := map[string]float64{}
+		for _, ps := range p.Phases {
+			byName[ps.Phase] = ps.Seconds
+		}
+		fmt.Fprintf(&b, "| %s |", p.Label)
+		for _, n := range sorted {
+			if v, ok := byName[n]; ok {
+				fmt.Fprintf(&b, " %.3gs |", v)
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package trajectory
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slms/internal/bench"
+)
+
+// snapshot writes a minimal legacy RunStats BENCH file.
+func snapshot(t *testing.T, dir, name string, rs *bench.RunStats) string {
+	t.Helper()
+	blob, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// legsSnapshot writes a two-leg BENCH file.
+func legsSnapshot(t *testing.T, dir, name string, serial, parallel *bench.RunStats) string {
+	t.Helper()
+	legs := &bench.LegsStats{Schema: bench.LegsSchema, Serial: serial, Parallel: parallel}
+	if serial.CyclesPerSecond > 0 {
+		legs.Scaling = parallel.CyclesPerSecond / serial.CyclesPerSecond
+	}
+	blob, err := json.Marshal(legs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run(cycles int64, cps float64, kernels ...bench.KernelStat) *bench.RunStats {
+	return &bench.RunStats{
+		TotalWallSeconds: float64(cycles) / cps,
+		SimulatedCycles:  cycles,
+		CyclesPerSecond:  cps,
+		CacheHits:        90,
+		CacheMisses:      10,
+		CacheHitRate:     0.9,
+		Caches: []bench.CacheStat{
+			{Cache: "parse", Hits: 30, Misses: 3, HitRate: 30.0 / 33},
+			{Cache: "transform", Hits: 30, Misses: 3, HitRate: 30.0 / 33},
+			{Cache: "compile", Hits: 30, Misses: 4, HitRate: 30.0 / 34},
+		},
+		Phases:  []bench.PhaseStat{{Phase: "compile", Count: 10, Seconds: 0.5}},
+		Kernels: kernels,
+	}
+}
+
+func kernel(name string, base, slms int64) bench.KernelStat {
+	return bench.KernelStat{
+		Kernel: name, Seconds: 0.1,
+		Phases:     map[string]float64{"compile": 0.1},
+		BaseCycles: base, SLMSCycles: slms,
+	}
+}
+
+func TestCleanSeries(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		snapshot(t, dir, "BENCH_1.json", run(1000, 1e6, kernel("dot", 600, 400))),
+		snapshot(t, dir, "BENCH_2.json", run(1000, 2e6, kernel("dot", 600, 400))),
+		legsSnapshot(t, dir, "BENCH_3.json",
+			run(1000, 1.5e6, kernel("dot", 600, 400)),
+			run(1000, 3e6, kernel("dot", 600, 400))),
+	}
+	s, err := Build(paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed() {
+		t.Fatalf("clean series reported regressions: %v", s.Regressions)
+	}
+	if len(s.Points) != 3 || len(s.Deltas) != 2 {
+		t.Fatalf("got %d points, %d deltas, want 3, 2", len(s.Points), len(s.Deltas))
+	}
+	p3 := s.Points[2]
+	if !p3.Legs || p3.SerialCPS != 1.5e6 || p3.ParallelCPS != 3e6 || p3.Scaling != 2 {
+		t.Errorf("legs point wrong: %+v", p3)
+	}
+	if d := s.Deltas[0]; d.GatedKernels != 1 || d.CPSDelta != 1.0 {
+		t.Errorf("delta 1->2 wrong: %+v", d)
+	}
+
+	md := s.Markdown()
+	for _, want := range []string{
+		"BENCH_1", "BENCH_3", "## Cache split", "| compile |",
+		"## Adjacent-pair verdicts", "| ok |", "2.00x",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "REGRESSED") {
+		t.Errorf("clean markdown mentions REGRESSED:\n%s", md)
+	}
+}
+
+func TestSyntheticRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		snapshot(t, dir, "BENCH_1.json", run(1000, 1e6, kernel("dot", 600, 400))),
+		// +50% base cycles: far beyond the 5% default threshold.
+		snapshot(t, dir, "BENCH_2.json", run(1300, 1e6, kernel("dot", 900, 400))),
+	}
+	s, err := Build(paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Failed() {
+		t.Fatal("injected +50% cycle regression not flagged")
+	}
+	if len(s.Regressions) != 1 || !strings.Contains(s.Regressions[0], "BENCH_1 -> BENCH_2") {
+		t.Errorf("regressions = %v", s.Regressions)
+	}
+	if !strings.Contains(s.Markdown(), "REGRESSED") {
+		t.Errorf("markdown does not flag the regression:\n%s", s.Markdown())
+	}
+}
+
+func TestPrecisionRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	a := run(1000, 1e6, kernel("dot", 600, 400))
+	a.Precision = &bench.PrecisionStat{UnknownExact: 2, NewlyPipelined: 3, LowerII: 1}
+	b := run(1000, 1e6, kernel("dot", 600, 400))
+	b.Precision = &bench.PrecisionStat{UnknownExact: 5, NewlyPipelined: 3, LowerII: 1}
+	s, err := Build([]string{
+		snapshot(t, dir, "BENCH_1.json", a),
+		snapshot(t, dir, "BENCH_2.json", b),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Failed() {
+		t.Fatal("unknown-edge growth not flagged")
+	}
+	if md := s.Markdown(); !strings.Contains(md, "## Dependence precision") {
+		t.Errorf("markdown missing the precision section:\n%s", md)
+	}
+}
+
+func TestNumericOrdering(t *testing.T) {
+	dir := t.TempDir()
+	// Given out of order, with a two-digit suffix that would sort before
+	// BENCH_2 lexically.
+	paths := []string{
+		snapshot(t, dir, "BENCH_10.json", run(1000, 3e6, kernel("dot", 600, 400))),
+		snapshot(t, dir, "BENCH_2.json", run(1000, 1e6, kernel("dot", 600, 400))),
+	}
+	s, err := Build(paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points[0].Label != "BENCH_2" || s.Points[1].Label != "BENCH_10" {
+		t.Fatalf("order wrong: %s, %s", s.Points[0].Label, s.Points[1].Label)
+	}
+	if s.Points[0].Seq != 2 || s.Points[1].Seq != 10 {
+		t.Fatalf("seqs wrong: %d, %d", s.Points[0].Seq, s.Points[1].Seq)
+	}
+}
+
+func TestRealSnapshots(t *testing.T) {
+	// The repository's committed history must always form a clean
+	// trajectory: identical deterministic cycle totals across snapshots,
+	// no precision regressions.
+	paths, err := filepath.Glob("../../../BENCH_*.json")
+	if err != nil || len(paths) < 2 {
+		t.Skipf("committed snapshots unavailable (%d found, err %v)", len(paths), err)
+	}
+	s, err := Build(paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed() {
+		t.Fatalf("committed trajectory regressed: %v", s.Regressions)
+	}
+	if _, err := s.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("empty path list did not error")
+	}
+	if _, err := Build([]string{"no-such-file.json"}, 0); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -63,8 +63,15 @@ func SetTransformCacheEnabled(on bool) {
 	}
 }
 
+// The transform cache participates in the obs cache-reset registry so
+// obs.ResetCaches clears all three caching layers (parse, transform,
+// compile) as one operation.
+func init() { obs.RegisterCacheReset(ResetTransformCache) }
+
 // ResetTransformCache drops every cached transform and zeroes the
-// hit/miss counters.
+// hit/miss counters — the stat atomics and their mirrored registry
+// counters together, so TransformCacheStats and a metrics dump never
+// disagree after a reset.
 func ResetTransformCache() {
 	c := defaultTransformCache
 	c.mu.Lock()
@@ -72,6 +79,8 @@ func ResetTransformCache() {
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	tcHits.Reset()
+	tcMisses.Reset()
 }
 
 // TransformCacheStats reports the transform cache's cumulative hit and

@@ -62,6 +62,9 @@ type Decision struct {
 	// SpanRoot ties the decision to the span tree it was made under
 	// (0 when recorded outside any span).
 	SpanRoot int64 `json:"span_root,omitempty"`
+	// RequestID correlates the decision with the served request (or the
+	// CLI -request-id) whose span tree it was recorded under.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // jsonRecord is the JSONL wire form ({"type":"decision",...}).
@@ -82,6 +85,9 @@ func (d Decision) jsonRecord() map[string]any {
 	if d.SpanRoot != 0 {
 		m["span_root"] = d.SpanRoot
 	}
+	if d.RequestID != "" {
+		m["request_id"] = d.RequestID
+	}
 	return m
 }
 
@@ -99,6 +105,13 @@ func RecordDecision(sp *Span, d Decision) {
 	}
 	if sp != nil {
 		d.SpanRoot = sp.RootID
+	}
+	if d.RequestID == "" {
+		if sp != nil && sp.Req != "" {
+			d.RequestID = sp.Req
+		} else {
+			d.RequestID = RequestID()
+		}
 	}
 	t.mu.Lock()
 	t.decs = append(t.decs, d)

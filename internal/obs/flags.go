@@ -21,30 +21,37 @@ type Flags struct {
 	Trace       string
 	TraceFormat string
 	Metrics     string
+	RequestID   string
 	Quiet       bool
 
 	tracer *Tracer
 }
 
-// RegisterFlags installs -trace, -trace-format and -metrics on fs. It
-// also installs -q unless fs already defines one (slmslint reuses its
-// report-level -q; wire that flag to SetQuiet by hand).
+// RegisterFlags installs -trace, -trace-format, -metrics and
+// -request-id on fs. It also installs -q unless fs already defines one
+// (slmslint reuses its report-level -q; wire that flag to SetQuiet by
+// hand).
 func RegisterFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Trace, "trace", "", "write a pipeline trace to this file at exit")
 	fs.StringVar(&f.TraceFormat, "trace-format", FormatChrome, "trace file format: chrome (chrome://tracing) or jsonl")
 	fs.StringVar(&f.Metrics, "metrics", "", `write a metrics dump to this file at exit ("-" = stdout)`)
+	fs.StringVar(&f.RequestID, "request-id", "", "stamp spans and decision records with this request ID (a bare ID or a W3C traceparent)")
 	if fs.Lookup("q") == nil {
 		fs.BoolVar(&f.Quiet, "q", false, "suppress status output (warnings and errors still print)")
 	}
 	return f
 }
 
-// Activate applies the parsed flags: quiet mode takes effect and, when
+// Activate applies the parsed flags: quiet mode takes effect, the
+// process request ID is set for span/decision correlation, and, when
 // -trace was given, a fresh tracer is installed process-wide.
 func (f *Flags) Activate() {
 	if f.Quiet {
 		SetQuiet(true)
+	}
+	if f.RequestID != "" {
+		SetRequestID(f.RequestID)
 	}
 	if f.Trace != "" {
 		f.tracer = NewTracer()

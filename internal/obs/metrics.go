@@ -33,6 +33,12 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Reset zeroes the counter. Counters are monotonic over a process's
+// serving life; Reset exists for the harness-facing cache counters,
+// which restart with their caches (see RegisterCacheReset) so per-run
+// deltas and the mirrored cache stats agree.
+func (c *Counter) Reset() { c.v.Store(0) }
+
 // Gauge is a last-write-wins instantaneous value.
 type Gauge struct{ v atomic.Int64 }
 
@@ -73,14 +79,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bits.Len64(uint64(ns))].Add(1)
 }
 
-// HistStat is a histogram snapshot in seconds.
+// HistStat is a histogram snapshot in seconds. Buckets carries the raw
+// per-bucket counts (bucket i holds durations with log2(ns) == i) for
+// exporters that need the distribution — the Prometheus text exporter
+// renders them as cumulative le buckets — and is excluded from the JSON
+// forms, whose schema predates it.
 type HistStat struct {
-	Count   int64   `json:"count"`
-	Seconds float64 `json:"seconds"`
-	Mean    float64 `json:"mean_seconds"`
-	Max     float64 `json:"max_seconds"`
-	P50     float64 `json:"p50_seconds"`
-	P99     float64 `json:"p99_seconds"`
+	Count   int64              `json:"count"`
+	Seconds float64            `json:"seconds"`
+	Mean    float64            `json:"mean_seconds"`
+	Max     float64            `json:"max_seconds"`
+	P50     float64            `json:"p50_seconds"`
+	P99     float64            `json:"p99_seconds"`
+	Buckets [histBuckets]int64 `json:"-"`
 }
 
 func (h *Histogram) stat() HistStat {
@@ -92,8 +103,15 @@ func (h *Histogram) stat() HistStat {
 		s.P50 = h.quantile(s.Count, 0.50)
 		s.P99 = h.quantile(s.Count, 0.99)
 	}
+	for i := 0; i < histBuckets; i++ {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
 	return s
 }
+
+// BucketBound returns the upper bound, in seconds, of log2(ns) bucket
+// i — the same bound quantile estimation uses.
+func BucketBound(i int) float64 { return float64(uint64(1)<<uint(i)) / 1e9 }
 
 // quantile returns the upper bound (in seconds) of the bucket holding
 // the q-th observation.

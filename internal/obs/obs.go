@@ -69,10 +69,14 @@ type Span struct {
 	ID     int64
 	Parent int64 // 0 for roots
 	RootID int64 // ID of the tree root (its own ID for roots)
-	Name   string
-	Start  time.Time
-	Dur    time.Duration
-	ended  atomic.Bool
+	// Req is the request ID the span tree was started under (see
+	// RootRequest); children inherit it, so one served request yields
+	// one span tree whose every node carries the same correlation ID.
+	Req   string
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	ended atomic.Bool
 
 	mu    sync.Mutex
 	attrs []Attr
@@ -91,7 +95,21 @@ func Root(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.newSpan(name, 0, 0)
+	return t.newSpan(name, 0, 0, RequestID())
+}
+
+// RootRequest is Root stamped with a request ID: the root and every
+// descendant span carry req, tying the whole tree to one served
+// request. An empty req falls back to the process-level request ID.
+func RootRequest(name, req string) *Span {
+	t := active.Load()
+	if t == nil {
+		return nil
+	}
+	if req == "" {
+		req = RequestID()
+	}
+	return t.newSpan(name, 0, 0, req)
 }
 
 // Child starts a nested span under s. On a nil receiver it returns
@@ -100,14 +118,15 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tracer.newSpan(name, s.ID, s.RootID)
+	return s.tracer.newSpan(name, s.ID, s.RootID, s.Req)
 }
 
-func (t *Tracer) newSpan(name string, parent, root int64) *Span {
+func (t *Tracer) newSpan(name string, parent, root int64, req string) *Span {
 	sp := &Span{
 		tracer: t,
 		ID:     t.ids.Add(1),
 		Parent: parent,
+		Req:    req,
 		Name:   name,
 		Start:  time.Now(),
 	}
@@ -143,6 +162,15 @@ func (s *Span) End() {
 	if s.ended.CompareAndSwap(false, true) {
 		s.Dur = time.Since(s.Start)
 	}
+}
+
+// RequestID returns the request ID the span's tree was started under
+// ("" on a nil receiver or an uncorrelated tree).
+func (s *Span) RequestID() string {
+	if s == nil {
+		return ""
+	}
+	return s.Req
 }
 
 // Attrs returns a copy of the span's annotations.

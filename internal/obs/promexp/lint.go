@@ -1,0 +1,393 @@
+package promexp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text-exposition payload against the subset
+// of format rules a scraper enforces, so the metrics-contract CI job
+// can validate /metrics without a prometheus dependency:
+//
+//   - metric and label names use the legal charsets
+//   - every sample is preceded by exactly one TYPE line for its family,
+//     and a family's lines are contiguous
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed)
+//   - no duplicate series (same name and label set twice)
+//   - histogram le buckets are cumulative and non-decreasing, end at
+//     +Inf, and the +Inf bucket equals the _count sample
+//
+// It returns one message per violation; an empty slice means the
+// payload is scrapeable.
+func Lint(r io.Reader) []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := map[string]string{} // family -> declared type
+	closed := map[string]bool{}  // family -> its block has ended
+	seen := map[string]bool{}    // name + label block -> sample present
+	hists := map[string]*histSeries{}
+	var histOrder []string
+	current := "" // family whose block we are inside
+
+	endBlock := func() {
+		if current != "" {
+			closed[current] = true
+			current = ""
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			if !validMetricName(name) {
+				addf(lineNo, "%s for invalid metric name %q", kind, name)
+				continue
+			}
+			if kind != "TYPE" {
+				continue
+			}
+			typ := line[len("# TYPE ")+len(name)+1:]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				addf(lineNo, "unknown TYPE %q for %s", typ, name)
+			}
+			if _, dup := types[name]; dup {
+				addf(lineNo, "duplicate TYPE line for %s", name)
+			}
+			if closed[name] {
+				addf(lineNo, "TYPE for %s after its sample block ended", name)
+			}
+			types[name] = typ
+			endBlock()
+			current = name
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf(lineNo, "%v", err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(lineNo, "invalid metric name %q", name)
+		}
+		for _, lp := range labels {
+			if !validLabelName(lp.name) {
+				addf(lineNo, "invalid label name %q on %s", lp.name, name)
+			}
+		}
+		if _, err := parseValue(value); err != nil {
+			addf(lineNo, "sample value %q of %s is not a float", value, name)
+		}
+
+		fam := familyOf(name, types)
+		if _, declared := types[fam]; !declared {
+			addf(lineNo, "sample %s has no preceding TYPE line", name)
+		} else if fam != current {
+			if closed[fam] {
+				addf(lineNo, "sample %s outside its family's contiguous block", name)
+			} else {
+				// A sample for a declared family we are not inside:
+				// its TYPE came, a different family interleaved.
+				addf(lineNo, "sample %s separated from its TYPE line by another family", name)
+			}
+		}
+
+		key := name + labelKey(labels)
+		if seen[key] {
+			addf(lineNo, "duplicate series %s%s", name, labelKey(labels))
+		}
+		seen[key] = true
+
+		if types[fam] == "histogram" {
+			hk := fam + labelKey(dropLabel(labels, "le"))
+			hs := hists[hk]
+			if hs == nil {
+				hs = &histSeries{family: fam, firstLine: lineNo}
+				hists[hk] = hs
+				histOrder = append(histOrder, hk)
+			}
+			v, _ := parseValue(value)
+			switch {
+			case name == fam+"_bucket":
+				le, ok := findLabel(labels, "le")
+				if !ok {
+					addf(lineNo, "%s sample without le label", name)
+					break
+				}
+				hs.buckets = append(hs.buckets, bucket{le: le, v: v, line: lineNo})
+			case name == fam+"_sum":
+				hs.hasSum = true
+			case name == fam+"_count":
+				hs.count, hs.hasCount = v, true
+			default:
+				addf(lineNo, "sample %s is not a _bucket/_sum/_count of histogram %s", name, fam)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf(lineNo, "read: %v", err)
+	}
+	endBlock()
+
+	for _, hk := range histOrder {
+		hs := hists[hk]
+		problems = append(problems, hs.check()...)
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+type bucket struct {
+	le   string
+	v    float64
+	line int
+}
+
+type histSeries struct {
+	family    string
+	firstLine int
+	buckets   []bucket
+	hasSum    bool
+	count     float64
+	hasCount  bool
+}
+
+// check validates one histogram series once all its lines are in.
+func (h *histSeries) check() []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	if len(h.buckets) == 0 {
+		addf(h.firstLine, "histogram %s has no le buckets", h.family)
+		return problems
+	}
+	prev := -1.0
+	prevBound := -1.0
+	for _, b := range h.buckets {
+		bound, err := parseValue(b.le)
+		if err != nil {
+			addf(b.line, "histogram %s le %q is not a float", h.family, b.le)
+			continue
+		}
+		if bound <= prevBound {
+			addf(b.line, "histogram %s le buckets out of order (%q after %g)", h.family, b.le, prevBound)
+		}
+		prevBound = bound
+		if b.v < prev {
+			addf(b.line, "histogram %s cumulative bucket count decreased (%g after %g)", h.family, b.v, prev)
+		}
+		prev = b.v
+	}
+	last := h.buckets[len(h.buckets)-1]
+	if last.le != "+Inf" {
+		addf(last.line, "histogram %s last bucket le=%q, want +Inf", h.family, last.le)
+	}
+	if !h.hasCount {
+		addf(h.firstLine, "histogram %s missing _count", h.family)
+	} else if last.le == "+Inf" && last.v != h.count {
+		addf(last.line, "histogram %s +Inf bucket %g != _count %g", h.family, last.v, h.count)
+	}
+	if !h.hasSum {
+		addf(h.firstLine, "histogram %s missing _sum", h.family)
+	}
+	return problems
+}
+
+// familyOf resolves a sample name to its declared family: histogram
+// child samples (_bucket/_sum/_count) belong to the base name when the
+// base is a declared histogram.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseComment recognizes "# HELP <name> ..." and "# TYPE <name> ...".
+func parseComment(line string) (kind, name string, ok bool) {
+	rest, found := strings.CutPrefix(line, "# ")
+	if !found {
+		return "", "", false
+	}
+	kind, rest, found = strings.Cut(rest, " ")
+	if !found || (kind != "HELP" && kind != "TYPE") {
+		return "", "", false
+	}
+	name, _, _ = strings.Cut(rest, " ")
+	return kind, name, true
+}
+
+type labelPair struct{ name, value string }
+
+// parseSample splits "name{labels} value [timestamp]".
+func parseSample(line string) (name string, labels []labelPair, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("unterminated label block in %q", line)
+			}
+			ln := strings.TrimLeft(rest[:eq], ",")
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("label %s value not quoted in %q", ln, line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if len(rest) == 0 {
+					return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				rest = rest[1:]
+				if c == '\\' {
+					if len(rest) == 0 {
+						return "", nil, "", fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[0] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[0])
+					}
+					rest = rest[1:]
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			labels = append(labels, labelPair{name: ln, value: val.String()})
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+				continue
+			}
+			if len(rest) > 0 && rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, "", fmt.Errorf("malformed label block in %q", line)
+		}
+		rest = strings.TrimPrefix(rest, " ")
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(rest, " ")
+		if !found {
+			return "", nil, "", fmt.Errorf("sample line %q has no value", line)
+		}
+	}
+	value, _, _ = strings.Cut(strings.TrimSpace(rest), " ")
+	if value == "" {
+		return "", nil, "", fmt.Errorf("sample line %q has no value", line)
+	}
+	return name, labels, value, nil
+}
+
+// labelKey renders a label set into a canonical (sorted) key for
+// duplicate-series detection.
+func labelKey(labels []labelPair) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := make([]string, len(labels))
+	for i, lp := range labels {
+		sorted[i] = lp.name + "=" + strconv.Quote(lp.value)
+	}
+	sort.Strings(sorted)
+	return "{" + strings.Join(sorted, ",") + "}"
+}
+
+func dropLabel(labels []labelPair, name string) []labelPair {
+	out := make([]labelPair, 0, len(labels))
+	for _, lp := range labels {
+		if lp.name != name {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+func findLabel(labels []labelPair, name string) (string, bool) {
+	for _, lp := range labels {
+		if lp.name == name {
+			return lp.value, true
+		}
+	}
+	return "", false
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return inf, nil
+	case "-Inf":
+		return -inf, nil
+	case "NaN", "Nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+var inf = func() float64 {
+	f, _ := strconv.ParseFloat("Inf", 64)
+	return f
+}()
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+// Package promexp is a zero-dependency Prometheus text-format exporter
+// over the obs metrics registry. It maps the registry's dotted names
+// onto Prometheus families — the per-endpoint server metrics and the
+// pipeline phase histograms become labeled families, everything else a
+// flat sanitized name — and renders log2(ns) duration histograms as
+// cumulative le buckets in seconds. The output conforms to the
+// Prometheus text exposition format version 0.0.4 and is checked by the
+// in-repo linter (see lint.go) in the metrics-contract CI job.
+package promexp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"slms/internal/obs"
+)
+
+// Bucket bounds emitted per histogram: log2(ns) buckets minBucket
+// through maxBucket (256ns .. ~18min), cumulative, plus +Inf. The first
+// emitted bucket absorbs everything faster, +Inf everything slower —
+// the set is fixed so every scrape exposes identical bucket schemas.
+const (
+	minBucket = 8
+	maxBucket = 40
+)
+
+// family is one Prometheus metric family being assembled: its TYPE plus
+// every series (label set + rendered sample lines) that maps onto it.
+type family struct {
+	name string
+	typ  string // "counter", "gauge", "histogram"
+	help string
+	rows []row
+}
+
+type row struct {
+	labels string // rendered {k="v",...} or ""
+	lines  []string
+}
+
+// Write renders a snapshot of r in the Prometheus text exposition
+// format.
+func Write(w io.Writer, r *obs.Registry) error {
+	snap := r.Snapshot()
+	fams := map[string]*family{}
+	add := func(name, typ, help, labels string, lines []string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, typ: typ, help: help}
+			fams[name] = f
+		}
+		f.rows = append(f.rows, row{labels: labels, lines: lines})
+	}
+
+	for name, v := range snap.Counters {
+		fam, labels, help := mapCounter(name)
+		add(fam, "counter", help, labels, []string{
+			fam + labels + " " + strconv.FormatInt(v, 10),
+		})
+	}
+	for name, v := range snap.Gauges {
+		fam, labels, help := mapGauge(name)
+		add(fam, "gauge", help, labels, []string{
+			fam + labels + " " + strconv.FormatInt(v, 10),
+		})
+	}
+	for name, h := range snap.Histograms {
+		fam, labels, help := mapHistogram(name)
+		add(fam, "histogram", help, labels, histLines(fam, labels, h))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.rows, func(i, j int) bool { return f.rows[i].labels < f.rows[j].labels })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, r := range f.rows {
+			for _, line := range r.lines {
+				if _, err := io.WriteString(w, line+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// histLines renders one histogram series: cumulative le buckets over
+// the fixed bound set, then sum and count.
+func histLines(fam, labels string, h obs.HistStat) []string {
+	lines := make([]string, 0, maxBucket-minBucket+4)
+	var cum int64
+	next := 0
+	for i := minBucket; i <= maxBucket; i++ {
+		for ; next <= i; next++ {
+			cum += h.Buckets[next]
+		}
+		le := strconv.FormatFloat(obs.BucketBound(i), 'g', -1, 64)
+		lines = append(lines, fam+"_bucket"+withLabel(labels, "le", le)+" "+strconv.FormatInt(cum, 10))
+	}
+	lines = append(lines,
+		fam+"_bucket"+withLabel(labels, "le", "+Inf")+" "+strconv.FormatInt(h.Count, 10),
+		fam+"_sum"+labels+" "+strconv.FormatFloat(h.Seconds, 'g', -1, 64),
+		fam+"_count"+labels+" "+strconv.FormatInt(h.Count, 10),
+	)
+	return lines
+}
+
+// withLabel appends one label pair to an already-rendered label block.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// endpointOf splits a "server.<endpoint>.<leaf>" registry name.
+func endpointOf(name string) (endpoint, leaf string, ok bool) {
+	rest, found := strings.CutPrefix(name, "server.")
+	if !found {
+		return "", "", false
+	}
+	i := strings.IndexByte(rest, '.')
+	if i <= 0 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}
+
+func label(k, v string) string { return "{" + k + `="` + v + `"}` }
+
+func mapCounter(name string) (fam, labels, help string) {
+	if ep, leaf, ok := endpointOf(name); ok {
+		switch leaf {
+		case "requests":
+			return "slms_server_requests_total", label("endpoint", ep), "Requests received per endpoint."
+		case "errors":
+			return "slms_server_errors_total", label("endpoint", ep), "Requests answered with a 4xx/5xx status per endpoint."
+		}
+		if code, ok := strings.CutPrefix(leaf, "status."); ok {
+			return "slms_server_responses_total",
+				`{endpoint="` + ep + `",code="` + code + `"}`,
+				"Responses by endpoint and HTTP status code."
+		}
+	}
+	return "slms_" + sanitize(name) + "_total", "", "Counter " + name + " from the slms metrics registry."
+}
+
+func mapGauge(name string) (fam, labels, help string) {
+	return "slms_" + sanitize(name), "", "Gauge " + name + " from the slms metrics registry."
+}
+
+func mapHistogram(name string) (fam, labels, help string) {
+	if ep, leaf, ok := endpointOf(name); ok && leaf == "latency" {
+		return "slms_server_latency_seconds", label("endpoint", ep), "Request latency per endpoint."
+	}
+	if phase, ok := strings.CutPrefix(name, "phase."); ok {
+		return "slms_phase_seconds", label("phase", sanitizeLabel(phase)), "Pipeline phase duration."
+	}
+	return "slms_" + sanitize(name) + "_seconds", "", "Histogram " + name + " from the slms metrics registry."
+}
+
+// sanitize maps a dotted registry name onto the Prometheus metric-name
+// charset.
+func sanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabel strips characters that would need escaping inside a
+// label value (the registry's phase names are plain identifiers; this
+// guards test-injected names).
+func sanitizeLabel(v string) string {
+	if !strings.ContainsAny(v, "\"\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`"`, "_", `\`, "_", "\n", "_")
+	return r.Replace(v)
+}
+
+// Handler serves r in the Prometheus text format (GET /metrics).
+func Handler(r *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "metrics requires GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		var b strings.Builder
+		if err := Write(&b, r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.String())
+	})
+}

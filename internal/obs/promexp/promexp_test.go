@@ -1,0 +1,231 @@
+package promexp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"slms/internal/obs"
+)
+
+// populate fills a registry with one of every shape the server and
+// pipeline produce.
+func populate() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("server.compile.requests").Add(3)
+	r.Counter("server.compile.errors").Add(1)
+	r.Counter("server.compile.status.200").Add(2)
+	r.Counter("server.compile.status.400").Add(1)
+	r.Counter("server.cache.hits").Add(5)
+	r.Counter("sim.cycles").Add(1234)
+	r.Gauge("server.queue.depth").Set(2)
+	r.Gauge("server.inflight").Set(1)
+	lat := r.Histogram("server.compile.latency")
+	lat.Observe(3 * time.Millisecond)
+	lat.Observe(40 * time.Millisecond)
+	ph := r.Histogram("phase.schedule")
+	ph.Observe(200 * time.Microsecond)
+	return r
+}
+
+func render(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := Write(&b, r); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return b.String()
+}
+
+// TestWriteLintClean is the core contract: whatever the registry holds,
+// the rendered exposition passes the scraper-rules linter.
+func TestWriteLintClean(t *testing.T) {
+	out := render(t, populate())
+	if problems := Lint(strings.NewReader(out)); len(problems) != 0 {
+		t.Fatalf("lint problems in rendered output:\n%s\n--- payload ---\n%s",
+			strings.Join(problems, "\n"), out)
+	}
+}
+
+// TestFamilyMapping pins the registry-name → Prometheus-family rules.
+func TestFamilyMapping(t *testing.T) {
+	out := render(t, populate())
+	for _, want := range []string{
+		`slms_server_requests_total{endpoint="compile"} 3`,
+		`slms_server_errors_total{endpoint="compile"} 1`,
+		`slms_server_responses_total{endpoint="compile",code="200"} 2`,
+		`slms_server_responses_total{endpoint="compile",code="400"} 1`,
+		"slms_server_cache_hits_total 5",
+		"slms_sim_cycles_total 1234",
+		"slms_server_queue_depth 2",
+		`slms_server_latency_seconds_count{endpoint="compile"} 2`,
+		`slms_phase_seconds_count{phase="schedule"} 1`,
+		"# TYPE slms_server_latency_seconds histogram",
+		"# TYPE slms_server_requests_total counter",
+		"# TYPE slms_server_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing line %q\n--- payload ---\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBuckets checks the cumulative rendering against a known
+// observation: 3ms lands in the log2 bucket with bound 2^22 ns ≈ 4.2ms,
+// so every le ≥ that bound counts it and every smaller le does not.
+func TestHistogramBuckets(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Histogram("server.compile.latency").Observe(3 * time.Millisecond)
+	out := render(t, r)
+	if !strings.Contains(out, `slms_server_latency_seconds_bucket{endpoint="compile",le="0.002097152"} 0`+"\n") {
+		t.Errorf("bucket below the observation should be 0\n%s", out)
+	}
+	if !strings.Contains(out, `slms_server_latency_seconds_bucket{endpoint="compile",le="0.004194304"} 1`+"\n") {
+		t.Errorf("bucket holding the observation should be 1\n%s", out)
+	}
+	if !strings.Contains(out, `slms_server_latency_seconds_bucket{endpoint="compile",le="+Inf"} 1`+"\n") {
+		t.Errorf("+Inf bucket should equal count\n%s", out)
+	}
+}
+
+// TestLintCatches feeds the linter known-bad payloads; each must be
+// flagged. These are the regressions the metrics-contract job exists to
+// catch.
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		want    string // substring of some problem
+	}{
+		{
+			"missing_type",
+			"slms_x_total 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"duplicate_type",
+			"# TYPE slms_x counter\n# TYPE slms_x counter\nslms_x 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"duplicate_series",
+			"# TYPE slms_x counter\nslms_x 1\nslms_x 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate_labeled_series",
+			"# TYPE slms_x counter\nslms_x{a=\"1\"} 1\nslms_x{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"interleaved_family",
+			"# TYPE slms_a counter\n# TYPE slms_b counter\nslms_b 1\nslms_a 1\n",
+			"contiguous",
+		},
+		{
+			"bad_metric_name",
+			"# TYPE slms-x counter\nslms-x 1\n",
+			"invalid metric name",
+		},
+		{
+			"bad_label_name",
+			"# TYPE slms_x counter\nslms_x{0bad=\"v\"} 1\n",
+			"invalid label name",
+		},
+		{
+			"bad_value",
+			"# TYPE slms_x counter\nslms_x one\n",
+			"not a float",
+		},
+		{
+			"unknown_type",
+			"# TYPE slms_x widget\nslms_x 1\n",
+			"unknown TYPE",
+		},
+		{
+			"hist_decreasing",
+			"# TYPE slms_h histogram\n" +
+				"slms_h_bucket{le=\"0.1\"} 5\nslms_h_bucket{le=\"1\"} 3\nslms_h_bucket{le=\"+Inf\"} 5\n" +
+				"slms_h_sum 1\nslms_h_count 5\n",
+			"decreased",
+		},
+		{
+			"hist_no_inf",
+			"# TYPE slms_h histogram\n" +
+				"slms_h_bucket{le=\"0.1\"} 5\n" +
+				"slms_h_sum 1\nslms_h_count 5\n",
+			"want +Inf",
+		},
+		{
+			"hist_inf_ne_count",
+			"# TYPE slms_h histogram\n" +
+				"slms_h_bucket{le=\"0.1\"} 2\nslms_h_bucket{le=\"+Inf\"} 4\n" +
+				"slms_h_sum 1\nslms_h_count 5\n",
+			"!= _count",
+		},
+		{
+			"hist_missing_sum",
+			"# TYPE slms_h histogram\n" +
+				"slms_h_bucket{le=\"+Inf\"} 1\nslms_h_count 1\n",
+			"missing _sum",
+		},
+		{
+			"hist_le_out_of_order",
+			"# TYPE slms_h histogram\n" +
+				"slms_h_bucket{le=\"1\"} 1\nslms_h_bucket{le=\"0.1\"} 1\nslms_h_bucket{le=\"+Inf\"} 1\n" +
+				"slms_h_sum 1\nslms_h_count 1\n",
+			"out of order",
+		},
+		{
+			"unterminated_labels",
+			"# TYPE slms_x counter\nslms_x{a=\"v\" 1\n",
+			"malformed label block",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := Lint(strings.NewReader(tc.payload))
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Errorf("lint of %q = %v, want a problem containing %q", tc.payload, problems, tc.want)
+		})
+	}
+}
+
+// TestLintCleanAcceptsTimestamps pins that an optional trailing
+// timestamp (legal in the text format) does not trip the linter.
+func TestLintCleanAcceptsTimestamps(t *testing.T) {
+	payload := "# TYPE slms_x counter\nslms_x 1 1712345678000\n"
+	if problems := Lint(strings.NewReader(payload)); len(problems) != 0 {
+		t.Errorf("lint = %v, want clean", problems)
+	}
+}
+
+// TestHandler covers the HTTP surface: GET renders a lint-clean
+// payload with the version-tagged content type; other methods get 405.
+func TestHandler(t *testing.T) {
+	h := Handler(populate())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text format version 0.0.4", ct)
+	}
+	if problems := Lint(strings.NewReader(rec.Body.String())); len(problems) != 0 {
+		t.Errorf("handler payload fails lint: %v", problems)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+}

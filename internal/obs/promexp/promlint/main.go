@@ -1,0 +1,49 @@
+// Command promlint validates Prometheus text-format exposition (a
+// /metrics scrape) against the rules in internal/obs/promexp/lint.go:
+// metric and label name syntax, TYPE placement, family contiguity,
+// duplicate series, and histogram bucket invariants. It reads the
+// files given as arguments (or stdin with none), prints one line per
+// problem, and exits 1 when any file fails.
+//
+// CI's metrics-contract job runs it over a live slmsd scrape:
+//
+//	curl -s localhost:8347/metrics | go run ./internal/obs/promexp/promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"slms/internal/obs/promexp"
+)
+
+func main() {
+	bad := false
+	if len(os.Args) < 2 {
+		bad = lint("<stdin>", os.Stdin)
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			bad = true
+			continue
+		}
+		if lint(path, f) {
+			bad = true
+		}
+		f.Close()
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func lint(name string, r io.Reader) bool {
+	problems := promexp.Lint(r)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", name, p)
+	}
+	return len(problems) > 0
+}

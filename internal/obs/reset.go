@@ -1,0 +1,37 @@
+package obs
+
+import "sync"
+
+// The common cache-reset path. Each caching layer (source parse, core
+// transform, pipeline artifact) keeps its own entries, its own hit/miss
+// atomics, and mirrored registry counters; before this registry existed
+// each layer was reset separately, and a caller that missed one left
+// stale counters behind — a run's per-cache stats no longer summed to
+// its totals. Layers now register their reset once at init and every
+// caller clears all of them through ResetCaches.
+
+var cacheResets struct {
+	mu  sync.Mutex
+	fns []func()
+}
+
+// RegisterCacheReset registers fn to run on every ResetCaches call.
+// Caching layers call it from init with a function that drops their
+// entries and zeroes both their stat atomics and their mirrored
+// registry counters.
+func RegisterCacheReset(fn func()) {
+	cacheResets.mu.Lock()
+	defer cacheResets.mu.Unlock()
+	cacheResets.fns = append(cacheResets.fns, fn)
+}
+
+// ResetCaches runs every registered cache reset under one lock, so all
+// cache stat groups clear as one operation: no interleaved ResetCaches
+// call can observe some layers cleared and others not.
+func ResetCaches() {
+	cacheResets.mu.Lock()
+	defer cacheResets.mu.Unlock()
+	for _, fn := range cacheResets.fns {
+		fn()
+	}
+}

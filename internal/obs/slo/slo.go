@@ -1,0 +1,223 @@
+// Package slo keeps rolling-window service-level accounting for the
+// slmsd endpoints: latency quantiles (p50/p95/p99), error rate, and
+// throttle (429) rate over the last few minutes, checked against fixed
+// budgets. Unlike the obs registry's histograms — which accumulate over
+// the whole process life — these windows age out, so /v1/status answers
+// "how is the service doing right now", not "since it started".
+package slo
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Window geometry: slotCount slots of slotDur each. A slot is reused
+// once it falls out of the window (epoch check), so memory is fixed per
+// endpoint regardless of uptime.
+const (
+	slotDur   = 5 * time.Second
+	slotCount = 60 // 60 × 5s = a 5-minute rolling window
+)
+
+// Budgets a healthy service stays under, as fractions of requests in
+// the window. Error counts 5xx only: a 4xx is the client's mistake and
+// burns no budget. Throttles (429) get their own, looser budget —
+// shedding load under pressure is designed behavior, but sustained
+// shedding means the deployment is undersized.
+const (
+	ErrorBudget    = 0.01
+	ThrottleBudget = 0.05
+)
+
+// latBuckets mirrors the obs histogram geometry: one bucket per
+// power-of-two nanosecond range.
+const latBuckets = 64
+
+// slot is one time-slice of an endpoint's window.
+type slot struct {
+	mu        sync.Mutex
+	epoch     int64 // time-slot index; a stale epoch means the slot aged out
+	requests  int64
+	errors    int64 // 5xx
+	throttled int64 // 429
+	sumNS     int64
+	lat       [latBuckets]int64
+}
+
+// Endpoint accumulates one endpoint's rolling window.
+type Endpoint struct {
+	name  string
+	slots [slotCount]slot
+}
+
+// Tracker holds per-endpoint windows. The zero value is not usable;
+// call New.
+type Tracker struct {
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	order     []string
+	now       func() time.Time // injectable for tests
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{endpoints: map[string]*Endpoint{}, now: time.Now}
+}
+
+// SetClock replaces the tracker's time source (tests only).
+func (t *Tracker) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// Endpoint returns (registering if needed) the named endpoint.
+func (t *Tracker) Endpoint(name string) *Endpoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.endpoints[name]
+	if !ok {
+		e = &Endpoint{name: name}
+		t.endpoints[name] = e
+		t.order = append(t.order, name)
+		sort.Strings(t.order)
+	}
+	return e
+}
+
+// Observe records one finished request on the named endpoint.
+func (t *Tracker) Observe(endpoint string, status int, d time.Duration) {
+	t.mu.Lock()
+	now := t.now()
+	t.mu.Unlock()
+	t.Endpoint(endpoint).observe(now, status, d)
+}
+
+func (e *Endpoint) observe(now time.Time, status int, d time.Duration) {
+	epoch := now.UnixNano() / int64(slotDur)
+	s := &e.slots[epoch%slotCount]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch != epoch {
+		// The slot belongs to a lap that aged out; restart it.
+		s.epoch = epoch
+		s.requests, s.errors, s.throttled, s.sumNS = 0, 0, 0, 0
+		s.lat = [latBuckets]int64{}
+	}
+	s.requests++
+	switch {
+	case status == 429:
+		s.throttled++
+	case status >= 500:
+		s.errors++
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	s.sumNS += ns
+	s.lat[bits.Len64(uint64(ns))]++
+}
+
+// EndpointStatus is one endpoint's rolling-window summary.
+type EndpointStatus struct {
+	Endpoint      string  `json:"endpoint"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Throttled     int64   `json:"throttled"`
+	ErrorRate     float64 `json:"error_rate"`
+	ThrottleRate  float64 `json:"throttle_rate"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P95Seconds    float64 `json:"p95_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+	MeanSeconds   float64 `json:"mean_seconds"`
+	ErrorBudgetOK bool    `json:"error_budget_ok"`
+	ThrottleOK    bool    `json:"throttle_budget_ok"`
+}
+
+// Status is the tracker-wide summary served at /v1/status.
+type Status struct {
+	WindowSeconds float64          `json:"window_seconds"`
+	OK            bool             `json:"ok"`
+	Endpoints     []EndpointStatus `json:"endpoints"`
+}
+
+// Snapshot merges each endpoint's live slots into its window summary.
+// OK is the conjunction of every endpoint's budget checks.
+func (t *Tracker) Snapshot() Status {
+	t.mu.Lock()
+	now := t.now()
+	names := append([]string(nil), t.order...)
+	eps := make([]*Endpoint, len(names))
+	for i, n := range names {
+		eps[i] = t.endpoints[n]
+	}
+	t.mu.Unlock()
+
+	st := Status{WindowSeconds: (slotDur * slotCount).Seconds(), OK: true}
+	for _, e := range eps {
+		es := e.snapshot(now)
+		if !es.ErrorBudgetOK || !es.ThrottleOK {
+			st.OK = false
+		}
+		st.Endpoints = append(st.Endpoints, es)
+	}
+	return st
+}
+
+func (e *Endpoint) snapshot(now time.Time) EndpointStatus {
+	epoch := now.UnixNano() / int64(slotDur)
+	oldest := epoch - slotCount + 1
+
+	var merged [latBuckets]int64
+	es := EndpointStatus{
+		Endpoint:      e.name,
+		WindowSeconds: (slotDur * slotCount).Seconds(),
+	}
+	var sumNS int64
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.mu.Lock()
+		if s.epoch >= oldest && s.epoch <= epoch {
+			es.Requests += s.requests
+			es.Errors += s.errors
+			es.Throttled += s.throttled
+			sumNS += s.sumNS
+			for b, n := range s.lat {
+				merged[b] += n
+			}
+		}
+		s.mu.Unlock()
+	}
+	if es.Requests > 0 {
+		es.ErrorRate = float64(es.Errors) / float64(es.Requests)
+		es.ThrottleRate = float64(es.Throttled) / float64(es.Requests)
+		es.MeanSeconds = float64(sumNS) / 1e9 / float64(es.Requests)
+		es.P50Seconds = quantile(&merged, es.Requests, 0.50)
+		es.P95Seconds = quantile(&merged, es.Requests, 0.95)
+		es.P99Seconds = quantile(&merged, es.Requests, 0.99)
+	}
+	es.ErrorBudgetOK = es.ErrorRate <= ErrorBudget
+	es.ThrottleOK = es.ThrottleRate <= ThrottleBudget
+	return es
+}
+
+// quantile returns the upper bound, in seconds, of the bucket holding
+// the q-th observation — the same estimate the obs histograms use.
+func quantile(buckets *[latBuckets]int64, count int64, q float64) float64 {
+	target := int64(q*float64(count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < latBuckets; i++ {
+		seen += buckets[i]
+		if seen >= target {
+			return float64(uint64(1)<<uint(i)) / 1e9
+		}
+	}
+	return 0
+}

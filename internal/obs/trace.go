@@ -40,6 +40,7 @@ type spanJSON struct {
 	ID       int64          `json:"id"`
 	Parent   int64          `json:"parent,omitempty"`
 	Root     int64          `json:"root"`
+	Req      string         `json:"request_id,omitempty"`
 	Name     string         `json:"name"`
 	Start    string         `json:"start"`
 	Duration float64        `json:"us"` // microseconds
@@ -69,6 +70,7 @@ func (t *Tracer) writeJSONL(w io.Writer) error {
 	for _, s := range t.Spans() {
 		rec := spanJSON{
 			Type: "span", ID: s.ID, Parent: s.Parent, Root: s.RootID,
+			Req:      s.Req,
 			Name:     s.Name,
 			Start:    s.Start.Format(time.RFC3339Nano),
 			Duration: float64(s.duration()) / float64(time.Microsecond),

@@ -87,8 +87,15 @@ func SetCacheEnabled(on bool) {
 	}
 }
 
+// The artifact cache participates in the obs cache-reset registry so
+// obs.ResetCaches clears all three caching layers (parse, transform,
+// compile) as one operation.
+func init() { obs.RegisterCacheReset(ResetCache) }
+
 // ResetCache drops every cached artifact and zeroes the hit/miss
-// counters.
+// counters — the stat atomics and their mirrored registry counters
+// together, so CacheStats and a metrics dump never disagree after a
+// reset.
 func ResetCache() {
 	c := defaultCache
 	c.mu.Lock()
@@ -97,6 +104,8 @@ func ResetCache() {
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	ccHits.Reset()
+	ccMisses.Reset()
 }
 
 // CacheStats reports the artifact cache's cumulative hit and miss

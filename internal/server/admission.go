@@ -22,6 +22,7 @@ type admission struct {
 	maxDepth atomic.Int64 // high-water mark, for tests and /readyz
 
 	depthGauge *obs.Gauge
+	busyGauge  *obs.Gauge // worker-pool saturation: tokens in use
 	rejects    *obs.Counter
 }
 
@@ -30,6 +31,7 @@ func newAdmission(workers, queue int) *admission {
 		tokens:     make(chan struct{}, workers),
 		capacity:   int64(queue),
 		depthGauge: obs.GaugeName("server.queue.depth"),
+		busyGauge:  obs.GaugeName("server.workers.busy"),
 		rejects:    obs.CounterName("server.queue.rejected"),
 	}
 }
@@ -40,6 +42,7 @@ func newAdmission(workers, queue int) *admission {
 func (a *admission) acquire(ctx context.Context) *apiError {
 	select {
 	case a.tokens <- struct{}{}:
+		a.busyGauge.Set(int64(len(a.tokens)))
 		return nil
 	default:
 	}
@@ -61,6 +64,7 @@ func (a *admission) acquire(ctx context.Context) *apiError {
 	}()
 	select {
 	case a.tokens <- struct{}{}:
+		a.busyGauge.Set(int64(len(a.tokens)))
 		return nil
 	case <-ctx.Done():
 		return ctxError(ctx, ctx.Err())
@@ -68,7 +72,10 @@ func (a *admission) acquire(ctx context.Context) *apiError {
 }
 
 // release returns a worker token.
-func (a *admission) release() { <-a.tokens }
+func (a *admission) release() {
+	<-a.tokens
+	a.busyGauge.Set(int64(len(a.tokens)))
+}
 
 // depth reports the current queue depth.
 func (a *admission) depth() int64 { return a.queued.Load() }

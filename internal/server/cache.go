@@ -33,8 +33,10 @@ type respCache struct {
 	aliases map[[32]byte]*list.Element
 
 	hits, misses atomic.Int64
+	aliasHits    atomic.Int64 // hits served via the raw-digest index
 	hitCtr       *obs.Counter
 	missCtr      *obs.Counter
+	aliasHitCtr  *obs.Counter
 }
 
 // cachedResponse is one rendered response body.
@@ -63,13 +65,14 @@ type flight struct {
 
 func newRespCache(max int) *respCache {
 	return &respCache{
-		max:      max,
-		entries:  map[string]*list.Element{},
-		lru:      list.New(),
-		inflight: map[string]*flight{},
-		aliases:  map[[32]byte]*list.Element{},
-		hitCtr:   obs.CounterName("server.cache.hits"),
-		missCtr:  obs.CounterName("server.cache.misses"),
+		max:         max,
+		entries:     map[string]*list.Element{},
+		lru:         list.New(),
+		inflight:    map[string]*flight{},
+		aliases:     map[[32]byte]*list.Element{},
+		hitCtr:      obs.CounterName("server.cache.hits"),
+		missCtr:     obs.CounterName("server.cache.misses"),
+		aliasHitCtr: obs.CounterName("server.cache.alias.hits"),
 	}
 }
 
@@ -151,20 +154,26 @@ func (c *respCache) insertLocked(key string, resp *cachedResponse) {
 
 // fastGet returns the cached response whose raw body digest is raw, if
 // any, touching the LRU. This is the zero-allocation hit path: an array
-// map lookup, a list splice and two counter bumps.
-func (c *respCache) fastGet(raw [32]byte) (*cachedResponse, bool) {
+// map lookup, a list splice and counter bumps. It also returns the
+// slot's canonical fingerprint so the access log reports the same fp a
+// slow-path compute of this request would — correlating hits and misses
+// of one kernel across the log.
+func (c *respCache) fastGet(raw [32]byte) (*cachedResponse, string, bool) {
 	c.mu.Lock()
 	e, ok := c.aliases[raw]
 	if !ok {
 		c.mu.Unlock()
-		return nil, false
+		return nil, "", false
 	}
 	c.lru.MoveToFront(e)
-	resp := e.Value.(*cacheSlot).resp
+	slot := e.Value.(*cacheSlot)
+	resp, key := slot.resp, slot.key
 	c.mu.Unlock()
 	c.hits.Add(1)
 	c.hitCtr.Add(1)
-	return resp, true
+	c.aliasHits.Add(1)
+	c.aliasHitCtr.Add(1)
+	return resp, key, true
 }
 
 // addAlias indexes the entry under key by the raw body digest so later

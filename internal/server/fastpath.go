@@ -2,7 +2,9 @@ package server
 
 import (
 	"io"
+	"strconv"
 	"sync"
+	"unsafe"
 )
 
 // The cached fast path. A request whose raw body bytes were seen before
@@ -26,15 +28,21 @@ var (
 const (
 	headerContentType = "Content-Type"
 	headerCacheState  = "X-Slms-Cache"
+	headerRequestID   = "X-Request-Id"
 )
 
 // fastReq is the pooled per-request scratch state: one buffer holding
-// "<endpoint>\x00<body>" (hashed whole for the raw cache key), plus the
-// digest for alias registration after a slow-path compute.
+// "<endpoint>\x00<body>" (hashed whole for the raw cache key), the
+// digest for alias registration after a slow-path compute, and storage
+// for the response's X-Request-Id header value — idVal[:] goes into the
+// header map directly, so stamping the ID mints no []string and, for
+// minted IDs, no string (idBuf backs it via unsafe.String).
 type fastReq struct {
 	buf    []byte
 	raw    [32]byte
 	hasRaw bool
+	idBuf  [24]byte
+	idVal  [1]string
 }
 
 var fastReqPool = sync.Pool{New: func() any {
@@ -45,10 +53,24 @@ func getFastReq() *fastReq {
 	st := fastReqPool.Get().(*fastReq)
 	st.buf = st.buf[:0]
 	st.hasRaw = false
+	st.idVal[0] = ""
 	return st
 }
 
 func putFastReq(st *fastReq) { fastReqPool.Put(st) }
+
+// mintRequestID formats the slow path's "r%08d" into the pooled buffer
+// and returns a string aliasing it — valid only until the fastReq is
+// pooled again, which is why the fast path flushes the response before
+// putFastReq.
+func (st *fastReq) mintRequestID(seq int64) string {
+	b := append(st.idBuf[:0], 'r')
+	for limit := int64(10000000); limit > seq && limit > 0; limit /= 10 {
+		b = append(b, '0')
+	}
+	b = strconv.AppendInt(b, seq, 10)
+	return unsafe.String(&b[0], len(b))
+}
 
 // body returns the request-body bytes (the buffer minus the endpoint
 // prefix written by the handler).

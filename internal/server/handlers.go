@@ -7,6 +7,7 @@ import (
 
 	"slms/internal/analysis"
 	"slms/internal/core"
+	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/prof"
 	"slms/internal/sim"
@@ -103,7 +104,7 @@ func (s *Server) handleCompile(ctx context.Context, req *Request) (any, *apiErro
 	if err != nil {
 		return nil, errSourceInvalid(err)
 	}
-	out, results, err := core.TransformProgramCached(prog, req.coreOptions())
+	out, results, err := core.TransformProgramCachedSpan(obs.SpanFrom(ctx), prog, req.coreOptions())
 	if err != nil {
 		return nil, classifyPipelineErr(ctx, err)
 	}
@@ -148,7 +149,7 @@ func (s *Server) handleSchedule(ctx context.Context, req *Request) (any, *apiErr
 	if err != nil {
 		return nil, errSourceInvalid(err)
 	}
-	outs, errs, err := pipeline.RunExperimentsCtx(ctx, nil, prog, d, cc,
+	outs, errs, err := pipeline.RunExperimentsCtx(ctx, obs.SpanFrom(ctx), prog, d, cc,
 		[]core.Options{req.coreOptions()}, nil)
 	if err != nil {
 		return nil, classifyPipelineErr(ctx, err)
@@ -192,7 +193,7 @@ func (s *Server) handleExplain(ctx context.Context, req *Request) (any, *apiErro
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, ctxError(ctx, cerr)
 	}
-	_, results, err := core.TransformProgramCached(prog, req.coreOptions())
+	_, results, err := core.TransformProgramCachedSpan(obs.SpanFrom(ctx), prog, req.coreOptions())
 	if err != nil {
 		return nil, classifyPipelineErr(ctx, err)
 	}
@@ -262,7 +263,7 @@ func (s *Server) handleProfile(ctx context.Context, req *Request) (any, *apiErro
 	}
 	acquireProfiling()
 	defer releaseProfiling()
-	outs, errs, err := pipeline.RunExperimentsCtx(ctx, nil, prog, d, cc,
+	outs, errs, err := pipeline.RunExperimentsCtx(ctx, obs.SpanFrom(ctx), prog, d, cc,
 		[]core.Options{req.coreOptions()}, nil)
 	if err != nil {
 		return nil, classifyPipelineErr(ctx, err)

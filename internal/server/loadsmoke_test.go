@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"slms/internal/obs/slo"
 )
 
 // The load smoke: latency and drain budgets measured against a live
@@ -73,6 +76,54 @@ func TestLoadSmokeCachedLatency(t *testing.T) {
 	if budget := 25 * time.Millisecond; p99 > budget {
 		t.Errorf("cached p99 %v exceeds the %v budget", p99, budget)
 	}
+
+	// The SLO tracker must agree with what the load just measured: all
+	// 200s (no error or throttle budget burned), and a p99 in the same
+	// ballpark as the client-side observation. The server-side histogram
+	// is bucketed in powers of two, so allow one doubling of the budget.
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if !st.SLO.OK {
+		t.Errorf("SLO burned under a clean load: %+v", st.SLO)
+	}
+	ep := findEndpoint(t, st, "compile")
+	if ep.ErrorRate != 0 || ep.ThrottleRate != 0 {
+		t.Errorf("clean load burned budgets: %+v", ep)
+	}
+	if ep.Requests < 200 {
+		t.Errorf("SLO tracker saw %d compile requests, want >= 200", ep.Requests)
+	}
+	if budget := 2 * 25 * time.Millisecond; ep.P99Seconds > budget.Seconds() {
+		t.Errorf("SLO p99 %.4fs exceeds the bucketed %v budget", ep.P99Seconds, budget)
+	}
+}
+
+// getJSON decodes a GET response body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// findEndpoint returns the named endpoint's SLO record.
+func findEndpoint(t *testing.T, st StatusResponse, name string) slo.EndpointStatus {
+	t.Helper()
+	for _, ep := range st.SLO.Endpoints {
+		if ep.Endpoint == name {
+			return ep
+		}
+	}
+	t.Fatalf("endpoint %q missing from /v1/status: %+v", name, st.SLO)
+	return slo.EndpointStatus{}
 }
 
 // sampleLatency posts body n times, requiring cache hits, and returns

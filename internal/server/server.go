@@ -2,7 +2,9 @@
 // service: /v1/compile (source-level modulo scheduling), /v1/schedule
 // (compile + cycle-accurate simulation, base vs SLMS), /v1/explain
 // (per-loop decision records and translation-validation diagnostics)
-// and /v1/profile (cycle attribution), plus /healthz and /readyz.
+// and /v1/profile (cycle attribution), plus the observability surface:
+// /metrics (Prometheus text format), /v1/status (rolling-window SLO
+// accounting), /healthz and /readyz.
 //
 // The server is built for load, not as a thin wrapper: a bounded worker
 // pool with a bounded admission queue (429 + Retry-After past
@@ -13,6 +15,14 @@
 // graceful drain that completes every admitted request, and
 // per-endpoint metrics/spans in internal/obs. Responses carry the
 // SLMS2xx decision records for every loop the pipeline considered.
+//
+// Every request is correlated under one ID: a valid incoming W3C
+// traceparent contributes its trace-id, anything else gets a minted
+// "r%08d". The ID rides the request context through admission, the
+// singleflight cache, the parallel per-loop transform workers and the
+// simulator, so one request yields one span tree, one access-log line
+// and SLMS2xx/3xx decision records all stamped with the same ID, and
+// comes back to the client as X-Request-ID.
 package server
 
 import (
@@ -20,6 +30,7 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -28,6 +39,8 @@ import (
 	"time"
 
 	"slms/internal/obs"
+	"slms/internal/obs/promexp"
+	"slms/internal/obs/slo"
 )
 
 // Config tunes the server; zero values take the documented defaults.
@@ -50,6 +63,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// AccessLog receives one structured line per finished request
+	// (default nil = no access log). Lines are written atomically —
+	// one Write each — so any destination shared with other loggers
+	// stays interleaving-free.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -79,10 +97,12 @@ func (c Config) withDefaults() Config {
 
 // Server is one SLMS compilation service instance.
 type Server struct {
-	cfg   Config
-	adm   *admission
-	cache *respCache
-	mux   *http.ServeMux
+	cfg    Config
+	adm    *admission
+	cache  *respCache
+	mux    *http.ServeMux
+	access *accessLog
+	slo    *slo.Tracker
 	// routes maps endpoint names to their wrapped handlers so benchmarks
 	// can invoke an endpoint directly, without mux routing.
 	routes map[string]http.HandlerFunc
@@ -112,6 +132,8 @@ func New(cfg Config) *Server {
 		adm:         newAdmission(cfg.Workers, cfg.QueueDepth),
 		cache:       newRespCache(cfg.CacheEntries),
 		mux:         http.NewServeMux(),
+		access:      newAccessLog(cfg.AccessLog),
+		slo:         slo.New(),
 		routes:      map[string]http.HandlerFunc{},
 		reqCtr:      obs.CounterName("server.requests"),
 		panicCtr:    obs.CounterName("server.panics"),
@@ -123,6 +145,8 @@ func New(cfg Config) *Server {
 	s.handle("profile", "/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
+	s.mux.Handle("/metrics", promexp.Handler(obs.Default))
 	return s
 }
 
@@ -156,19 +180,39 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 	// read body (endpoint-prefixed) and its digest; began reports that
 	// the fast path already registered the request with drain control.
 	slow := func(w http.ResponseWriter, r *http.Request, seq int64, start time.Time, st *fastReq, tooLarge, began bool) {
-		reqID := fmt.Sprintf("r%08d", seq)
+		// The request ID: a valid W3C traceparent contributes its
+		// trace-id; anything else — including a malformed header, which
+		// must never fail the request — gets a minted ID.
+		reqID := ""
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if id, ok := obs.ParseTraceparent(tp); ok {
+				reqID = id
+			}
+		}
+		if reqID == "" {
+			reqID = fmt.Sprintf("r%08d", seq)
+		}
 		w.Header().Set("X-Request-ID", reqID)
 
 		status := 0
+		fp, cacheState := "", ""
+		var deadline time.Time
 		defer func() {
 			if st != nil {
 				putFastReq(st)
 			}
-			latency.Observe(time.Since(start))
+			dur := time.Since(start)
+			latency.Observe(dur)
 			obs.CounterName(fmt.Sprintf("server.%s.status.%d", name, status)).Add(1)
 			if status >= 400 {
 				errors.Add(1)
 			}
+			s.slo.Observe(name, status, dur)
+			deadlineMS := int64(-1)
+			if !deadline.IsZero() {
+				deadlineMS = time.Until(deadline).Milliseconds()
+			}
+			s.access.record(name, status, reqID, fp, cacheState, deadlineMS, dur)
 		}()
 
 		if r.Method != http.MethodPost {
@@ -216,11 +260,19 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
+		deadline, _ = ctx.Deadline()
 
-		sp := obs.Root("server."+name).Attr("request", reqID)
+		// Thread the ID down: the root span stamps it on every child
+		// (parallel transform workers, simulator legs) and on the
+		// decision records they emit; the context carries it to code
+		// that only sees ctx.
+		ctx = obs.ContextWithRequestID(ctx, reqID)
+		sp := obs.RootRequest("server."+name, reqID).Attr("request", reqID)
 		defer sp.End()
+		ctx = obs.ContextWithSpan(ctx, sp)
 
 		key := req.fingerprint(name)
+		fp = key
 		resp, hit, aerr := s.cache.do(ctx, key, func() (*cachedResponse, *apiError) {
 			if aerr := s.adm.acquire(ctx); aerr != nil {
 				return nil, aerr
@@ -254,7 +306,7 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 			// byte-identical request takes the zero-allocation path.
 			s.cache.addAlias(st.raw, key)
 		}
-		cacheState := "miss"
+		cacheState = "miss"
 		if hit {
 			cacheState = "hit"
 		}
@@ -286,14 +338,38 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		if !tooLarge {
 			st.raw = sha256.Sum256(st.buf)
 			st.hasRaw = true
-			if resp, ok := s.cache.fastGet(st.raw); ok {
+			if resp, key, ok := s.cache.fastGet(st.raw); ok {
+				// Request ID without minting garbage: a valid
+				// traceparent's trace-id is a substring of the header
+				// value; a minted ID formats into the pooled idBuf.
+				// idVal[:] goes into the header map as-is.
+				reqID := ""
+				if tp := r.Header["Traceparent"]; len(tp) > 0 {
+					if id, pok := obs.ParseTraceparent(tp[0]); pok {
+						reqID = id
+					}
+				}
+				if reqID == "" {
+					reqID = st.mintRequestID(seq)
+				}
+				st.idVal[0] = reqID
 				hdr := w.Header()
 				hdr[headerContentType] = headerJSON
 				hdr[headerCacheState] = headerCacheHit
+				hdr[headerRequestID] = st.idVal[:]
 				w.WriteHeader(resp.status)
 				w.Write(resp.body)
+				// The minted ID aliases pooled memory and net/http may
+				// serialize headers after this handler returns; flushing
+				// forces serialization now, before the fastReq is pooled.
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
 				status200.Add(1)
-				latency.Observe(time.Since(start))
+				dur := time.Since(start)
+				latency.Observe(dur)
+				s.slo.Observe(name, 200, dur)
+				s.access.fastLine(name, 200, reqID, key, "hit", dur)
 				putFastReq(st)
 				s.endRequest()
 				return
@@ -369,37 +445,46 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Stats is a point-in-time operational snapshot, used by tests and
 // /readyz.
 type Stats struct {
-	Workers       int   `json:"workers"`
-	QueueDepth    int64 `json:"queue_depth"`
-	QueueCapacity int   `json:"queue_capacity"`
-	MaxQueueDepth int64 `json:"max_queue_depth"`
-	Admitted      int64 `json:"admitted"`
-	Completed     int64 `json:"completed"`
-	QueueRejected int64 `json:"queue_rejected"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	CacheEntries  int   `json:"cache_entries"`
+	Workers        int   `json:"workers"`
+	QueueDepth     int64 `json:"queue_depth"`
+	QueueCapacity  int   `json:"queue_capacity"`
+	MaxQueueDepth  int64 `json:"max_queue_depth"`
+	Admitted       int64 `json:"admitted"`
+	Completed      int64 `json:"completed"`
+	QueueRejected  int64 `json:"queue_rejected"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheAliasHits int64 `json:"cache_alias_hits"`
+	CacheEntries   int   `json:"cache_entries"`
 }
 
 // Stats snapshots the server's admission and cache counters.
 func (s *Server) Stats() Stats {
 	hits, misses := s.cache.stats()
 	return Stats{
-		Workers:       s.cfg.Workers,
-		QueueDepth:    s.adm.depth(),
-		QueueCapacity: s.cfg.QueueDepth,
-		MaxQueueDepth: s.adm.maxDepth.Load(),
-		Admitted:      s.admitted.Load(),
-		Completed:     s.completed.Load(),
-		QueueRejected: s.adm.rejects.Value(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  s.cache.len(),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.adm.depth(),
+		QueueCapacity:  s.cfg.QueueDepth,
+		MaxQueueDepth:  s.adm.maxDepth.Load(),
+		Admitted:       s.admitted.Load(),
+		Completed:      s.completed.Load(),
+		QueueRejected:  s.adm.rejects.Value(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheAliasHits: s.cache.aliasHits.Load(),
+		CacheEntries:   s.cache.len(),
 	}
 }
 
+// handleHealthz answers 200 for the life of the process — draining
+// included, so orchestrators can tell "draining" (healthz ok, readyz
+// 503) from "dead" (nothing answers). The body names the state.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"slms/internal/obs/slo"
+)
+
+// StatusResponse is the /v1/status body: the rolling-window SLO
+// accounting plus the cumulative operational stats /readyz reports.
+// Unlike the /v1 pipeline endpoints, /v1/status is a GET and answers
+// even while draining — it is how an operator watches a drain finish.
+type StatusResponse struct {
+	// Status is "ok" when every endpoint is inside its error and
+	// throttle budgets, "degraded" otherwise, "draining" during drain.
+	Status   string     `json:"status"`
+	Draining bool       `json:"draining"`
+	SLO      slo.Status `json:"slo"`
+	Stats    Stats      `json:"stats"`
+}
+
+// StatusSnapshot builds the /v1/status response (exported for the load
+// smoke test and CLI tooling).
+func (s *Server) StatusSnapshot() StatusResponse {
+	st := StatusResponse{
+		Draining: s.Draining(),
+		SLO:      s.slo.Snapshot(),
+		Stats:    s.Stats(),
+	}
+	switch {
+	case st.Draining:
+		st.Status = "draining"
+	case !st.SLO.OK:
+		st.Status = "degraded"
+	default:
+		st.Status = "ok"
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, `{"error":{"code":"method_not_allowed","message":"status requires GET"}}`, http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	blob, err := json.MarshalIndent(s.StatusSnapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(blob, '\n'))
+}

@@ -32,8 +32,15 @@ func ParseCacheStats() (hits, misses int64) {
 	return pcHits.Load(), pcMisses.Load()
 }
 
+// The parse cache participates in the obs cache-reset registry so
+// obs.ResetCaches clears all three caching layers (parse, transform,
+// compile) as one operation.
+func init() { obs.RegisterCacheReset(ResetParseCache) }
+
 // ResetParseCache drops every cached parse and zeroes the hit/miss
-// counters. Outstanding ASTs stay valid; subsequent identical sources
+// counters — the stat atomics and their mirrored registry counters
+// together, so ParseCacheStats and a metrics dump never disagree after
+// a reset. Outstanding ASTs stay valid; subsequent identical sources
 // reparse (and mint fresh Fingerprint identities).
 func ResetParseCache() {
 	parseMemo.Range(func(k, _ any) bool {
@@ -42,6 +49,8 @@ func ResetParseCache() {
 	})
 	pcHits.Store(0)
 	pcMisses.Store(0)
+	pcHitsCtr.Reset()
+	pcMissesCtr.Reset()
 }
 
 // ParseCached parses src through a process-wide cache: identical source
