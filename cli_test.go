@@ -403,6 +403,136 @@ func runSlmsdOnce(t *testing.T, bin string, extra ...string) (string, error) {
 	return buf.String(), err
 }
 
+// TestCLIFlagParity pins the shared observability flag surface across
+// every binary in cmd/. The list is enumerated from the directory, not
+// hard-coded, so adding a ninth binary without obs.RegisterFlags fails
+// here instead of silently shipping a CLI that cannot be correlated,
+// traced or quieted like the rest.
+func TestCLIFlagParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 8 {
+		t.Fatalf("cmd/ lists %d binaries (%v), want at least the 8 known ones", len(names), names)
+	}
+	// The contract every binary carries: request correlation, tracing,
+	// metrics export, quiet mode.
+	required := []string{"-request-id", "-trace", "-trace-format", "-metrics", "-q"}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := buildTool(t, name)
+			out, err := exec.Command(bin, "-h").CombinedOutput()
+			if err != nil { // flag package exits 0 on -h
+				t.Fatalf("%s -h: %v\n%s", name, err, out)
+			}
+			usage := string(out)
+			for _, f := range required {
+				// Usage lines render flags as "  -request-id string".
+				if !regexp.MustCompile(`(?m)^\s+` + f + `\b`).MatchString(usage) {
+					t.Errorf("%s usage does not list %s", name, f)
+				}
+			}
+		})
+	}
+}
+
+// TestCLISlmsfr covers the postmortem reader end to end on a golden
+// dump: lint, the request-ID-joined timeline, verbose bodies/spans,
+// filters, in-process replay reproducing each recorded outcome, and
+// the typed-failure exit codes for corrupt dumps.
+func TestCLISlmsfr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "slmsfr")
+	golden := filepath.Join("internal", "obs", "flight", "testdata", "golden-sigquit.json")
+
+	out, _ := runTool(t, bin, "", "-q", "-lint", golden)
+	_ = out // -q suppresses the ok line; exit 0 is the assertion
+
+	lintOut, lintErr := runTool(t, bin, "", "-lint", golden)
+	if !strings.Contains(lintOut+lintErr, "flightdump/v1 ok") {
+		t.Errorf("lint output unexpected:\nstdout: %s\nstderr: %s", lintOut, lintErr)
+	}
+
+	// The timeline joins decision records to requests by ID.
+	print, _ := runTool(t, bin, "", golden)
+	for _, want := range []string{
+		"flightdump/v1 seq=1 reason=sigquit",
+		"req=r00000001", "req=r00000002",
+		"decision SLMS220 skip loop=1:14",
+		"decision SLMS422 error loop=1:16",
+		"== slowest: compile",
+	} {
+		if !strings.Contains(print, want) {
+			t.Errorf("print output lacks %q:\n%s", want, print)
+		}
+	}
+	if strings.Contains(print, "float A[16]") {
+		t.Errorf("bodies printed without -v:\n%s", print)
+	}
+
+	verbose, _ := runTool(t, bin, "", "-v", golden)
+	for _, want := range []string{"span server.compile", "span   transform", "body: {\"source\""} {
+		if !strings.Contains(verbose, want) {
+			t.Errorf("-v output lacks %q:\n%s", want, verbose)
+		}
+	}
+
+	// -request-id narrows the timeline to one request.
+	one, _ := runTool(t, bin, "", "-request-id", "r00000002", golden)
+	if strings.Contains(one, "req=r00000001") || !strings.Contains(one, "req=r00000002") {
+		t.Errorf("-request-id filter leaked other requests:\n%s", one)
+	}
+
+	// In-process replay: both captured outcomes (a 200 and an SLMS422)
+	// reproduce from the dump alone, so the command exits 0.
+	rep, _ := runTool(t, bin, "", "-replay", golden)
+	for _, want := range []string{
+		"want=200 got=200 reproduced",
+		"want=422/SLMS422 got=422/SLMS422 reproduced",
+		"replayed 2 requests: 2 reproduced, 0 diverged",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("replay output lacks %q:\n%s", want, rep)
+		}
+	}
+
+	// A dump read from stdin works; a corrupt one is a typed exit-1
+	// failure, never a panic.
+	blob, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdinOut, _ := runTool(t, bin, string(blob), "-q", "-")
+	if !strings.Contains(stdinOut, "req=r00000001") {
+		t.Errorf("stdin dump not printed:\n%s", stdinOut)
+	}
+	cmd := exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader(string(blob[:len(blob)/2]))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	if ee, isExit := err.(*exec.ExitError); !isExit || ee.ExitCode() != 1 {
+		t.Errorf("corrupt dump: want exit 1, got %v", err)
+	}
+	if !strings.Contains(stderr.String(), "not valid JSON") || strings.Contains(stderr.String(), "goroutine") {
+		t.Errorf("corrupt dump error not typed (or panicked):\n%s", stderr.String())
+	}
+}
+
 // TestExamplesRun builds and runs every example program end to end.
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
@@ -463,6 +593,11 @@ func TestCLIContract(t *testing.T) {
 		{"slmssim", []string{"-machine", "arm7", "-"}, []string{"-machine", "cray1", "-"}, 1},
 		{"slmsprof", []string{"-machine", "arm7", "-top", "3", "-"}, []string{"-format", "yaml", "-"}, 1},
 		{"slmsbench", []string{"-figure", "caseB"}, []string{"-compare", "only-one.json"}, 1},
+		{"slmsfr", []string{"-"}, []string{"-lint", "-replay", "-"}, 1},
+	}
+	goldenDump, err := os.ReadFile(filepath.Join("internal", "obs", "flight", "testdata", "golden-sigquit.json"))
+	if err != nil {
+		t.Fatal(err)
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -470,8 +605,11 @@ func TestCLIContract(t *testing.T) {
 			t.Parallel()
 			bin := buildTool(t, tc.name)
 			stdin := cliLoop
-			if tc.name == "slmsbench" {
+			switch tc.name {
+			case "slmsbench":
 				stdin = ""
+			case "slmsfr": // reads a flight dump, not mini-C source
+				stdin = string(goldenDump)
 			}
 
 			// Success: exit 0, and -q leaves stderr free of info lines.

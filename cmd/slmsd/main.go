@@ -19,6 +19,14 @@
 // line per request) goes to -access-log: stderr by default, a file
 // path, stdout, or off.
 //
+// Postmortem: a flight recorder (internal/obs/flight) keeps recent
+// requests per endpoint in fixed memory and dumps a self-contained
+// flightdump/v1 snapshot on 5xx, deadline expiry, panic, SLO budget
+// breach, SIGQUIT or drain — rate-limited to one per -flight-cooldown.
+// Dumps land in -flight-dir and are served at /debug/flight; SIGQUIT
+// forces a dump and then drains like SIGTERM. slmsfr pretty-prints and
+// replays them.
+//
 // Usage:
 //
 //	slmsd [flags]
@@ -34,6 +42,11 @@
 //	-max-body BYTES        request body limit (default 1 MiB)
 //	-drain-timeout DUR     graceful shutdown budget (default 30s)
 //	-access-log DEST       access-log destination: stderr (default), stdout, off, or a file path
+//	-flight-dir DIR        flight-dump directory (default "" = keep dumps in memory only)
+//	-flight-cooldown DUR   minimum spacing between anomaly dumps (default 30s)
+//	-flight-ring N         per-endpoint flight ring capacity (default 64)
+//	-flight-body-cap N     request-body bytes retained per flight record (default 4096)
+//	-no-flight             disable the flight recorder
 //	-trace FILE            write a pipeline trace at exit
 //	-trace-format chrome|jsonl
 //	-metrics FILE          write a metrics dump at exit ("-" = stdout)
@@ -53,6 +66,7 @@ import (
 	"time"
 
 	"slms/internal/obs"
+	"slms/internal/obs/flight"
 	"slms/internal/server"
 )
 
@@ -66,6 +80,11 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	accessLog := flag.String("access-log", "stderr", "access-log destination: stderr, stdout, off, or a file path")
+	flightDir := flag.String("flight-dir", "", "flight-dump directory (empty keeps dumps in memory only)")
+	flightCooldown := flag.Duration("flight-cooldown", 30*time.Second, "minimum spacing between anomaly-triggered flight dumps")
+	flightRing := flag.Int("flight-ring", 64, "per-endpoint flight ring capacity in requests")
+	flightBodyCap := flag.Int("flight-body-cap", 4096, "request-body bytes retained per flight record")
+	noFlight := flag.Bool("no-flight", false, "disable the flight recorder")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
@@ -85,6 +104,12 @@ func main() {
 	if *timeout > *maxTimeout {
 		obs.Usagef("-timeout %v exceeds -max-timeout %v", *timeout, *maxTimeout)
 	}
+	if *flightCooldown <= 0 {
+		obs.Usagef("-flight-cooldown must be positive, got %v", *flightCooldown)
+	}
+	if *flightRing <= 0 || *flightBodyCap <= 0 {
+		obs.Usagef("-flight-ring and -flight-body-cap must be positive")
+	}
 
 	accessDst, closeAccess, err := openAccessLog(*accessLog)
 	if err != nil {
@@ -99,6 +124,13 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		MaxBodyBytes:   *maxBody,
 		AccessLog:      accessDst,
+		Flight: flight.Config{
+			Dir:      *flightDir,
+			Cooldown: *flightCooldown,
+			RingSize: *flightRing,
+			BodyCap:  *flightBodyCap,
+			Disabled: *noFlight,
+		},
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -116,18 +148,34 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	// SIGQUIT is the operator's "dump everything": force a flight dump
+	// (bypassing the anomaly cooldown), then drain and exit cleanly like
+	// SIGTERM. Registering the handler replaces the Go runtime's
+	// stack-dump-and-die default.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	exit := 0
+	drain := false
 	select {
 	case err := <-serveErr:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			obs.Errorf("serve: %v", err)
 			exit = 1
 		}
+	case <-sigq:
+		obs.Logf("slmsd caught SIGQUIT: writing flight dump, then draining")
+		srv.Flight().ForceTrigger(flight.TrigSigquit, "")
+		drain = true
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
+		drain = true
+	}
+	if drain {
 		obs.Logf("slmsd draining (budget %v)", *drainTimeout)
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		// Drain first so /v1 requests finish and new ones see 503, then
@@ -143,6 +191,9 @@ func main() {
 		cancel()
 		obs.Logf("slmsd stopped")
 	}
+	// Let in-flight dumps (SIGQUIT's, drain's, any late anomaly's)
+	// finish writing before the process exits.
+	srv.Flight().Sync()
 	if err := tele.Finish(); err != nil {
 		obs.Errorf("%v", err)
 		exit = 1

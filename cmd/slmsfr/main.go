@@ -1,0 +1,355 @@
+// Command slmsfr reads slmsd flight dumps (flightdump/v1): postmortem
+// snapshots the flight recorder writes on 5xx, deadline expiry, panic,
+// SLO budget breach, SIGQUIT or drain. It renders the per-request
+// timeline — every captured request joined with its span summary and
+// SLMS decision records by request ID — and can replay the captured
+// request bodies against the in-process pipeline or a live slmsd, so a
+// failure seen in production reproduces on a laptop from the dump file
+// alone.
+//
+// Usage:
+//
+//	slmsfr [flags] dump.json   (use - for stdin)
+//
+// Flags:
+//
+//	-lint                      validate the dump schema and exit
+//	-replay                    replay captured request bodies and compare outcomes
+//	-addr HOST:PORT            replay against a live slmsd instead of in-process
+//	-endpoint NAME             restrict printing/replay to one endpoint
+//	-v                         also print span summaries and request bodies
+//	-request-id ID             restrict printing/replay to one request ID
+//	-trace FILE                write a pipeline trace at exit (in-process replay)
+//	-trace-format chrome|jsonl trace file format (default chrome)
+//	-metrics FILE              write a metrics dump at exit ("-" = stdout)
+//	-q                         suppress status output
+//
+// Exit status: 0 on success (lint ok, print ok, every replayed request
+// reproduced its recorded outcome), 1 when the dump is corrupt or a
+// replay diverges, 2 on usage errors.
+//
+// Replay covers records whose outcome is deterministic from the body
+// alone: statuses 200, 400 and 422 on the standard /v1 endpoints, with
+// untruncated bodies. Load-dependent outcomes (429, 503), timing (504,
+// 499) and requests to nonstandard endpoints (a test-mounted panic
+// route) are skipped and counted.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"slms/internal/obs"
+	"slms/internal/obs/flight"
+	"slms/internal/server"
+)
+
+var (
+	lint     = flag.Bool("lint", false, "validate the dump schema and exit")
+	replay   = flag.Bool("replay", false, "replay captured request bodies and compare outcomes")
+	addr     = flag.String("addr", "", "replay against a live slmsd at this address instead of in-process")
+	endpoint = flag.String("endpoint", "", "restrict printing/replay to one endpoint")
+	verbose  = flag.Bool("v", false, "also print span summaries and request bodies")
+)
+
+func main() {
+	tele := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	tele.Activate()
+	defer tele.MustFinish()
+	if flag.NArg() != 1 {
+		obs.Usagef("usage: slmsfr [flags] dump.json  (use - for stdin)")
+	}
+	if *lint && *replay {
+		obs.Usagef("-lint and -replay are mutually exclusive")
+	}
+	if *addr != "" && !*replay {
+		obs.Usagef("-addr only makes sense with -replay")
+	}
+
+	d, err := readDump(flag.Arg(0))
+	if err != nil {
+		obs.Fatalf("%v", err)
+	}
+
+	switch {
+	case *lint:
+		records := 0
+		for _, ed := range d.Endpoints {
+			records += len(ed.Records)
+		}
+		obs.Logf("%s ok: seq=%d reason=%s endpoints=%d records=%d",
+			flight.Schema, d.Seq, d.Reason, len(d.Endpoints), records)
+	case *replay:
+		if !replayDump(d, tele.RequestID) {
+			os.Exit(1)
+		}
+	default:
+		printDump(d, tele.RequestID)
+	}
+}
+
+func readDump(path string) (*flight.Dump, error) {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return flight.Decode(data)
+	}
+	return flight.DecodeFile(path)
+}
+
+// selected applies the -endpoint and -request-id filters.
+func selected(rec flight.Record, reqID string) bool {
+	if *endpoint != "" && rec.Endpoint != *endpoint {
+		return false
+	}
+	if reqID != "" && rec.RequestID != reqID {
+		return false
+	}
+	return true
+}
+
+func printDump(d *flight.Dump, reqID string) {
+	fmt.Printf("%s seq=%d reason=%s time=%s\n",
+		d.Schema, d.Seq, d.Reason, d.Time.Format(time.RFC3339))
+	if d.Detail != "" {
+		fmt.Printf("detail: %s\n", d.Detail)
+	}
+	fmt.Printf("goroutines=%d heap=%s dropped_triggers=%d\n",
+		d.NumGoroutine, sizeOf(d.Mem.HeapAllocBytes), d.DroppedTriggers)
+
+	timeline := d.Timeline()
+	shown := 0
+	fmt.Printf("== timeline (%d captured requests) ==\n", len(timeline))
+	for _, rec := range timeline {
+		if !selected(rec, reqID) {
+			continue
+		}
+		shown++
+		printRecord(rec)
+	}
+	if shown == 0 {
+		fmt.Println("  (no records match the filters)")
+	}
+
+	for _, ed := range d.Endpoints {
+		if *endpoint != "" && ed.Endpoint != *endpoint {
+			continue
+		}
+		if len(ed.Slowest) == 0 {
+			continue
+		}
+		fmt.Printf("== slowest: %s (%d exemplars) ==\n", ed.Endpoint, len(ed.Slowest))
+		for _, rec := range ed.Slowest {
+			if reqID != "" && rec.RequestID != reqID {
+				continue
+			}
+			fmt.Printf("  seq=%-6d %s %d %8dus req=%s\n",
+				rec.Seq, padEndpoint(rec.Endpoint), rec.Status, rec.DurUS, rec.RequestID)
+		}
+	}
+}
+
+func printRecord(rec flight.Record) {
+	when := time.Unix(0, rec.TimeUnixNS).UTC().Format("15:04:05.000")
+	code := rec.ErrCode
+	if code == "" {
+		code = "-"
+	}
+	fmt.Printf("  seq=%-6d %s %s %d %-5s %8dus req=%s fp=%s %s\n",
+		rec.Seq, when, padEndpoint(rec.Endpoint), rec.Status, dash(rec.Cache),
+		rec.DurUS, rec.RequestID, short(rec.Fingerprint), code)
+	for _, dn := range rec.Decisions {
+		loc := ""
+		if dn.Loop != "" {
+			loc = " loop=" + dn.Loop
+		}
+		reason := ""
+		if dn.Reason != "" {
+			reason = " (" + dn.Reason + ")"
+		}
+		fmt.Printf("      decision %s %s%s%s\n", dn.Code, dn.Verdict, loc, reason)
+	}
+	if *verbose {
+		for _, sn := range rec.Spans {
+			fmt.Printf("      span %s%s %dus\n", strings.Repeat("  ", sn.Depth), sn.Name, sn.DurUS)
+		}
+		if rec.Body != "" {
+			marker := ""
+			if rec.Truncated {
+				marker = fmt.Sprintf(" (truncated, %d of %d bytes)", len(rec.Body), rec.BodyLen)
+			}
+			fmt.Printf("      body%s: %s\n", marker, strings.TrimSpace(rec.Body))
+		}
+	}
+}
+
+// replayable endpoints: the standard /v1 surface. Dumps from tests can
+// carry records for mounted misbehaving routes; those have no stable
+// target to replay against.
+var v1Endpoints = map[string]bool{
+	"compile": true, "schedule": true, "explain": true, "profile": true,
+}
+
+// deterministic statuses: reproducible from the body alone, neither
+// load- (429, 503) nor timing-dependent (504, 499, panic 500s from
+// test-mounted routes).
+func deterministic(status int) bool {
+	return status == 200 || status == 400 || status == 422
+}
+
+// replayDump re-POSTs every replayable captured body and compares the
+// resulting status and SLMS error code against the record. Reports
+// whether every replayed request reproduced its recorded outcome.
+func replayDump(d *flight.Dump, reqID string) bool {
+	post := livePoster(*addr)
+	if *addr == "" {
+		// In-process: a private server instance with its own recorder
+		// disabled — the replay should read a dump, not write one.
+		srv := server.New(server.Config{Flight: flight.Config{Disabled: true}})
+		post = inprocPoster(srv)
+	}
+
+	replayed, matched, skipped := 0, 0, 0
+	for _, rec := range d.Timeline() {
+		if !selected(rec, reqID) {
+			continue
+		}
+		if !v1Endpoints[rec.Endpoint] || !deterministic(rec.Status) ||
+			rec.Truncated || rec.Body == "" {
+			skipped++
+			continue
+		}
+		replayed++
+		gotStatus, gotCode, err := post("/v1/"+rec.Endpoint, rec.Body)
+		if err != nil {
+			fmt.Printf("replay seq=%-6d %s: %v\n", rec.Seq, rec.Endpoint, err)
+			continue
+		}
+		wantCode := rec.ErrCode
+		verdict := "reproduced"
+		ok := gotStatus == rec.Status && gotCode == wantCode
+		if ok {
+			matched++
+		} else {
+			verdict = "DIVERGED"
+		}
+		fmt.Printf("replay seq=%-6d %s want=%d%s got=%d%s %s\n",
+			rec.Seq, padEndpoint(rec.Endpoint),
+			rec.Status, codeSuffix(wantCode), gotStatus, codeSuffix(gotCode), verdict)
+	}
+	fmt.Printf("replayed %d requests: %d reproduced, %d diverged, %d skipped (non-deterministic, truncated or non-/v1)\n",
+		replayed, matched, replayed-matched, skipped)
+	return matched == replayed
+}
+
+type poster func(path, body string) (status int, slmsCode string, err error)
+
+// inprocPoster serves replays straight through the server's handler —
+// the same pipeline, admission and error model as a live slmsd, no
+// network.
+func inprocPoster(srv *server.Server) poster {
+	h := srv.Handler()
+	return func(path, body string) (int, string, error) {
+		req, err := http.NewRequest(http.MethodPost, "http://slmsfr.replay"+path, strings.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		w := &memWriter{hdr: http.Header{}, status: 200}
+		h.ServeHTTP(w, req)
+		return w.status, errCodeOf(w.buf.Bytes(), w.status), nil
+	}
+}
+
+// livePoster replays over HTTP against a running slmsd.
+func livePoster(addr string) poster {
+	base := addr
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	return func(path, body string) (int, string, error) {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, "", err
+		}
+		return resp.StatusCode, errCodeOf(blob, resp.StatusCode), nil
+	}
+}
+
+// errCodeOf extracts the stable SLMS code from an error envelope; 200s
+// carry none, matching the empty ErrCode of a successful record.
+func errCodeOf(body []byte, status int) string {
+	if status == 200 {
+		return ""
+	}
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		return ""
+	}
+	return envelope.Error.Code
+}
+
+// memWriter is a minimal in-memory http.ResponseWriter for in-process
+// replay.
+type memWriter struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *memWriter) Header() http.Header         { return w.hdr }
+func (w *memWriter) WriteHeader(code int)        { w.status = code }
+func (w *memWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func short(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return dash(fp)
+}
+
+func codeSuffix(code string) string {
+	if code == "" {
+		return ""
+	}
+	return "/" + code
+}
+
+func padEndpoint(name string) string { return fmt.Sprintf("%-8s", name) }
+
+func sizeOf(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -2,6 +2,7 @@ package trajectory
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -169,6 +170,60 @@ func TestNumericOrdering(t *testing.T) {
 	}
 	if s.Points[0].Seq != 2 || s.Points[1].Seq != 10 {
 		t.Fatalf("seqs wrong: %d, %d", s.Points[0].Seq, s.Points[1].Seq)
+	}
+}
+
+// TestNumberingGaps: BENCH numbering is a PR sequence, and PRs get
+// skipped (no bench change) or reverted — the series must tolerate
+// absent numbers (here 2, 5 and 8), keep numeric order across the
+// holes, and compare each point against its actual predecessor.
+func TestNumberingGaps(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	present := []int{1, 3, 4, 6, 7, 9, 10}
+	for i, n := range present {
+		// Monotonically improving throughput, so no regression fires.
+		paths = append(paths, snapshot(t, dir,
+			fmt.Sprintf("BENCH_%d.json", n),
+			run(1000, float64(i+1)*1e6, kernel("dot", 600, 400))))
+	}
+	// Feed them shuffled to prove ordering is by sequence, not input.
+	paths[0], paths[len(paths)-1] = paths[len(paths)-1], paths[0]
+
+	s, err := Build(paths, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != len(present) {
+		t.Fatalf("points = %d, want %d (gaps must not drop neighbors)", len(s.Points), len(present))
+	}
+	for i, p := range s.Points {
+		if p.Seq != present[i] {
+			t.Errorf("point %d: seq = %d, want %d (numeric order across gaps)", i, p.Seq, present[i])
+		}
+		if want := fmt.Sprintf("BENCH_%d", present[i]); p.Label != want {
+			t.Errorf("point %d: label = %q, want %q", i, p.Label, want)
+		}
+	}
+	if s.Failed() {
+		t.Errorf("improving series across gaps flagged regressions: %v", s.Regressions)
+	}
+
+	// A regression across a gap names the true neighbors: 4 -> 6.
+	paths = append(paths, snapshot(t, dir, "BENCH_6.json",
+		run(1300, 3e6, kernel("dot", 600, 900))))
+	s2, err := Build([]string{paths[1], paths[2], paths[len(paths)-1]}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range s2.Regressions {
+		if strings.Contains(r, "BENCH_4 -> BENCH_6") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regression across the 5-gap not attributed to BENCH_4 -> BENCH_6: %v", s2.Regressions)
 	}
 }
 

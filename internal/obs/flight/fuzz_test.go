@@ -1,0 +1,58 @@
+package flight
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzFlightDumpDecode drives Decode with mutated dumps. The contract
+// under test: Decode never panics, and every failure is a *FormatError
+// — the same typed error slmsfr and /debug/flight surface. Seeds are
+// the golden dumps plus the boundary shapes from TestDecodeErrors.
+func FuzzFlightDumpDecode(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeded := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		seeded++
+	}
+	if seeded == 0 {
+		f.Fatal("no golden dumps in testdata/")
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"schema":"flightdump/v1"}`))
+	f.Add([]byte(`{"schema":"flightdump/v2","reason":"5xx"}`))
+	f.Add([]byte(`{"schema":"flightdump/v1","reason":"5xx","endpoints":[{"endpoint":"compile","records":[{"seq":1}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Decode error = %T (%v), want *FormatError", err, err)
+			}
+			if fe.Reason == "" {
+				t.Fatalf("FormatError with empty reason: %v", err)
+			}
+			return
+		}
+		if d.Schema != Schema || d.Reason == "" {
+			t.Fatalf("Decode accepted an invalid dump: schema=%q reason=%q", d.Schema, d.Reason)
+		}
+		// Everything slmsfr touches on a decoded dump must hold up.
+		d.Timeline()
+	})
+}

@@ -1,0 +1,189 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The read-only postmortem surface:
+//
+//	GET /debug/flight          — index: dumps on disk, ring occupancy, counters
+//	GET /debug/flight/latest   — the most recent dump (memory or disk)
+//	GET /debug/flight/<name>   — one dump file by name
+//
+// Every dump served from disk is revalidated through Decode first, so
+// a truncated or corrupt file on disk answers a typed error, never a
+// panic or a half-served blob.
+
+// Handler serves the recorder's debug surface.
+func Handler(r *Recorder) http.Handler { return handler{r} }
+
+type handler struct{ rec *Recorder }
+
+// IndexResponse is the GET /debug/flight body.
+type IndexResponse struct {
+	Schema          string     `json:"schema"`
+	Enabled         bool       `json:"enabled"`
+	Dir             string     `json:"dir,omitempty"`
+	Latest          string     `json:"latest,omitempty"`
+	Dumps           []DumpInfo `json:"dumps"`
+	Rings           []RingInfo `json:"rings"`
+	Records         int64      `json:"records"`
+	DumpsWritten    int64      `json:"dumps_written"`
+	DroppedTriggers int64      `json:"dropped_triggers"`
+}
+
+// DumpInfo is one on-disk dump in the index.
+type DumpInfo struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// RingInfo is one endpoint's ring occupancy in the index.
+type RingInfo struct {
+	Endpoint string `json:"endpoint"`
+	Records  int    `json:"records"`
+}
+
+func (h handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeFlightErr(w, 405, "flight_method_not_allowed", "/debug/flight is read-only; use GET")
+		return
+	}
+	rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/debug/flight"), "/")
+	switch rest {
+	case "":
+		h.serveIndex(w)
+	case "latest":
+		h.serveLatest(w)
+	default:
+		h.serveNamed(w, rest)
+	}
+}
+
+func (h handler) serveIndex(w http.ResponseWriter) {
+	r := h.rec
+	idx := IndexResponse{
+		Schema:  "flightindex/v1",
+		Enabled: r.Enabled(),
+		Dumps:   []DumpInfo{},
+		Rings:   []RingInfo{},
+	}
+	if r != nil {
+		idx.Dir = r.cfg.Dir
+		idx.Records = r.records.Value()
+		idx.DumpsWritten = r.written.Value()
+		idx.DroppedTriggers = r.dropped.Value()
+		if _, name, ok := r.Latest(); ok {
+			idx.Latest = name
+		}
+		for _, name := range r.dumpNames() {
+			info, err := os.Stat(filepath.Join(r.cfg.Dir, name))
+			size := int64(0)
+			if err == nil {
+				size = info.Size()
+			}
+			idx.Dumps = append(idx.Dumps, DumpInfo{Name: name, Size: size})
+		}
+		r.mu.Lock()
+		for _, n := range r.order {
+			idx.Rings = append(idx.Rings, RingInfo{Endpoint: n, Records: r.rings[n].n})
+		}
+		r.mu.Unlock()
+	}
+	writeFlightJSON(w, 200, idx)
+}
+
+// dumpNames lists on-disk dump files, oldest first (the zero-padded
+// sequence in the name makes lexicographic order chronological).
+func (r *Recorder) dumpNames() []string {
+	if r == nil || r.cfg.Dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "flight-") && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (h handler) serveLatest(w http.ResponseWriter) {
+	if blob, _, ok := h.rec.Latest(); ok {
+		h.serveValidated(w, blob, "")
+		return
+	}
+	// Nothing in memory (e.g. a fresh process pointed at yesterday's
+	// dir): fall back to the newest file.
+	if names := h.rec.dumpNames(); len(names) > 0 {
+		h.serveFile(w, names[len(names)-1])
+		return
+	}
+	writeFlightErr(w, 404, "flight_no_dumps", "no flight dump has been captured yet")
+}
+
+func (h handler) serveNamed(w http.ResponseWriter, name string) {
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") ||
+		!strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".json") {
+		writeFlightErr(w, 400, "flight_bad_name", "dump names look like flight-000001-<reason>.json")
+		return
+	}
+	if blob, lastName, ok := h.rec.Latest(); ok && name == lastName {
+		h.serveValidated(w, blob, name)
+		return
+	}
+	h.serveFile(w, name)
+}
+
+func (h handler) serveFile(w http.ResponseWriter, name string) {
+	if h.rec == nil || h.rec.cfg.Dir == "" {
+		writeFlightErr(w, 404, "flight_not_found", "no such dump: "+name)
+		return
+	}
+	blob, err := os.ReadFile(filepath.Join(h.rec.cfg.Dir, name))
+	if err != nil {
+		writeFlightErr(w, 404, "flight_not_found", "no such dump: "+name)
+		return
+	}
+	h.serveValidated(w, blob, name)
+}
+
+// serveValidated decodes before serving so corrupt bytes become a
+// typed error response instead of a half-served dump.
+func (h handler) serveValidated(w http.ResponseWriter, blob []byte, name string) {
+	if _, err := Decode(blob); err != nil {
+		fe := err.(*FormatError)
+		fe.Path = name
+		writeFlightErr(w, 500, "flight_corrupt_dump", fe.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", len(blob)))
+	w.WriteHeader(200)
+	w.Write(blob)
+}
+
+func writeFlightJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, _ := json.MarshalIndent(body, "", "  ")
+	w.Write(append(blob, '\n'))
+}
+
+func writeFlightErr(w http.ResponseWriter, status int, code, msg string) {
+	writeFlightJSON(w, status, map[string]map[string]string{
+		"error": {"code": code, "message": msg},
+	})
+}

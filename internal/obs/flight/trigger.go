@@ -1,0 +1,95 @@
+package flight
+
+import "time"
+
+// Trigger reasons. The reason is part of the dump filename
+// (flight-%06d-<reason>.json), so the set stays lowercase-hyphen.
+const (
+	// Trig5xx: a request finished with an unexpected 5xx (panics and
+	// deadlines have their own reasons; 503 drain refusals are designed
+	// behavior and never trigger).
+	Trig5xx = "5xx"
+	// TrigDeadline: a request's deadline expired before the pipeline
+	// finished (504).
+	TrigDeadline = "deadline"
+	// TrigPanic: a handler panicked (the request still answered 500).
+	TrigPanic = "panic"
+	// TrigSLOBreach: an endpoint's rolling window crossed its error or
+	// throttle budget (see internal/obs/slo).
+	TrigSLOBreach = "slo-breach"
+	// TrigSigquit: the operator sent SIGQUIT to slmsd.
+	TrigSigquit = "sigquit"
+	// TrigDrain: the server drained for shutdown; the dump is the
+	// process's last words.
+	TrigDrain = "drain"
+)
+
+// Trigger requests a dump for the given reason, rate-limited: once a
+// dump fires, further triggers inside the cooldown are counted into
+// flight.triggers.dropped and discarded, so an error storm costs one
+// dump. The dump itself is built asynchronously (goroutine stacks and
+// ring serialization have no business on a request's critical path);
+// Sync waits for outstanding dumps. Reports whether a dump was
+// scheduled.
+func (r *Recorder) Trigger(reason, detail string) bool {
+	if !r.Enabled() {
+		return false
+	}
+	now := time.Now().UnixNano()
+	for {
+		last := r.lastNS.Load()
+		if last != 0 && now-last < int64(r.cfg.Cooldown) {
+			r.dropped.Add(1)
+			return false
+		}
+		if r.lastNS.CompareAndSwap(last, now) {
+			break
+		}
+	}
+	r.fire(reason, detail)
+	return true
+}
+
+// ForceTrigger dumps regardless of the cooldown — for operator
+// requests (SIGQUIT) and drain, which happen once and must not lose to
+// an earlier anomaly's rate limit. It still arms the cooldown so a
+// forced dump quiets the anomaly triggers behind it.
+func (r *Recorder) ForceTrigger(reason, detail string) bool {
+	if !r.Enabled() {
+		return false
+	}
+	r.lastNS.Store(time.Now().UnixNano())
+	r.fire(reason, detail)
+	return true
+}
+
+func (r *Recorder) fire(reason, detail string) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.dump(reason, detail)
+	}()
+}
+
+// Sync blocks until every scheduled dump has been built and written.
+func (r *Recorder) Sync() {
+	if r != nil {
+		r.wg.Wait()
+	}
+}
+
+// DroppedTriggers reports how many triggers the cooldown discarded.
+func (r *Recorder) DroppedTriggers() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Value()
+}
+
+// DumpsWritten reports how many dumps have been completed.
+func (r *Recorder) DumpsWritten() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.written.Value()
+}

@@ -10,6 +10,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,6 +51,11 @@ type slot struct {
 type Endpoint struct {
 	name  string
 	slots [slotCount]slot
+	// breached latches "the window is over budget" so the breach hook
+	// fires once per transition, not once per failing request; it
+	// resets when an error-path observation finds the window healthy
+	// again.
+	breached atomic.Bool
 }
 
 // Tracker holds per-endpoint windows. The zero value is not usable;
@@ -59,6 +65,19 @@ type Tracker struct {
 	endpoints map[string]*Endpoint
 	order     []string
 	now       func() time.Time // injectable for tests
+
+	onBreach atomic.Value // func(endpoint string, s EndpointStatus)
+}
+
+// SetOnBreach installs fn to run when an endpoint's rolling window
+// transitions into budget breach (error rate past ErrorBudget or
+// throttle rate past ThrottleBudget). The check runs only on 5xx/429
+// observations — a healthy request can't create a breach — so the
+// success path cost is unchanged. fn runs on the observing request's
+// goroutine with the breaching window's snapshot; it fires once per
+// transition and re-arms when the window recovers.
+func (t *Tracker) SetOnBreach(fn func(endpoint string, s EndpointStatus)) {
+	t.onBreach.Store(fn)
 }
 
 // New returns an empty tracker.
@@ -92,7 +111,29 @@ func (t *Tracker) Observe(endpoint string, status int, d time.Duration) {
 	t.mu.Lock()
 	now := t.now()
 	t.mu.Unlock()
-	t.Endpoint(endpoint).observe(now, status, d)
+	e := t.Endpoint(endpoint)
+	e.observe(now, status, d)
+	if status == 429 || status >= 500 {
+		t.checkBreach(e, now)
+	}
+}
+
+// checkBreach evaluates the endpoint's window after a budget-burning
+// observation and fires the breach hook on a healthy→breached
+// transition.
+func (t *Tracker) checkBreach(e *Endpoint, now time.Time) {
+	fn, _ := t.onBreach.Load().(func(string, EndpointStatus))
+	if fn == nil {
+		return
+	}
+	es := e.snapshot(now)
+	if !es.ErrorBudgetOK || !es.ThrottleOK {
+		if e.breached.CompareAndSwap(false, true) {
+			fn(e.name, es)
+		}
+		return
+	}
+	e.breached.Store(false)
 }
 
 func (e *Endpoint) observe(now time.Time, status int, d time.Duration) {

@@ -147,6 +147,55 @@ func TestEndpointsSorted(t *testing.T) {
 	}
 }
 
+// TestOnBreachFiresOncePerTransition proves the breach hook fires on
+// the healthy→breached transition only — not per failing request — and
+// re-arms after the window recovers.
+func TestOnBreachFiresOncePerTransition(t *testing.T) {
+	now, clock := fixedClock()
+	tr := New()
+	tr.SetClock(clock)
+	var fired []string
+	tr.SetOnBreach(func(endpoint string, es EndpointStatus) {
+		if es.ErrorBudgetOK && es.ThrottleOK {
+			t.Errorf("hook fired with budgets OK: %+v", es)
+		}
+		fired = append(fired, endpoint)
+	})
+
+	// A lone 500 is a 100% error rate: breach. More 5xx inside the same
+	// breach must not re-fire.
+	tr.Observe("compile", 500, time.Millisecond)
+	tr.Observe("compile", 500, time.Millisecond)
+	tr.Observe("compile", 500, time.Millisecond)
+	if len(fired) != 1 || fired[0] != "compile" {
+		t.Fatalf("fired = %v, want exactly one breach for compile", fired)
+	}
+
+	// Age the window out, dilute with successes, and breach again: the
+	// hook re-arms. The intermediate 5xx finds a healthy window (1 error
+	// in 300), which resets the latch without firing.
+	*now = now.Add(slotDur * (slotCount + 1))
+	for i := 0; i < 299; i++ {
+		tr.Observe("compile", 200, time.Millisecond)
+	}
+	tr.Observe("compile", 500, time.Millisecond) // 1/300 ≈ 0.3%: healthy, re-arms
+	if len(fired) != 1 {
+		t.Fatalf("hook fired inside the budget: %v", fired)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe("compile", 500, time.Millisecond) // pushes past 1%
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want a second breach after recovery", fired)
+	}
+
+	// Healthy endpoints never evaluate the hook.
+	tr.Observe("schedule", 200, time.Millisecond)
+	if len(fired) != 2 {
+		t.Errorf("success observation fired the hook: %v", fired)
+	}
+}
+
 // TestConcurrentObserve runs Observe from many goroutines under the
 // race detector and checks nothing is lost within one slot.
 func TestConcurrentObserve(t *testing.T) {

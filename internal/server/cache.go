@@ -23,7 +23,7 @@ type respCache struct {
 	max      int
 	entries  map[string]*list.Element // key -> *cacheSlot element
 	lru      *list.List               // front = most recent
-	inflight map[string]*flight
+	inflight map[string]*call
 
 	// aliases indexes entries by raw request-body digest for the
 	// zero-allocation fast path: the canonical key (hex of the
@@ -56,19 +56,27 @@ type cacheSlot struct {
 // iterating cosmetic variants cannot grow the alias map unboundedly.
 const maxAliasesPerSlot = 8
 
-// flight is one in-progress computation; followers block on done.
-type flight struct {
+// call is one in-progress singleflight computation; followers block on
+// done.
+type call struct {
 	done chan struct{}
 	resp *cachedResponse
 	err  *apiError
 }
+
+// errLeaderDied marks a singleflight whose leader's compute panicked
+// (the server's panic isolation turns that into a 500 for the leader).
+// Followers treat it like a leader deadline: retry as the new leader,
+// so each request keeps its own panic isolation and none deadlocks on
+// a done channel that would otherwise never close.
+var errLeaderDied = errors.New("singleflight leader panicked")
 
 func newRespCache(max int) *respCache {
 	return &respCache{
 		max:         max,
 		entries:     map[string]*list.Element{},
 		lru:         list.New(),
-		inflight:    map[string]*flight{},
+		inflight:    map[string]*call{},
 		aliases:     map[[32]byte]*list.Element{},
 		hitCtr:      obs.CounterName("server.cache.hits"),
 		missCtr:     obs.CounterName("server.cache.misses"),
@@ -98,8 +106,9 @@ func (c *respCache) do(ctx context.Context, key string, compute func() (*cachedR
 			select {
 			case <-f.done:
 				if f.err != nil {
-					if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
-						continue // leader's own deadline, not ours: retry
+					if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) ||
+						errors.Is(f.err, errLeaderDied) {
+						continue // leader's own deadline or panic, not ours: retry
 					}
 					return nil, true, f.err
 				}
@@ -110,13 +119,30 @@ func (c *respCache) do(ctx context.Context, key string, compute func() (*cachedR
 				return nil, false, ctxError(ctx, ctx.Err())
 			}
 		}
-		f := &flight{done: make(chan struct{})}
+		f := &call{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.mu.Unlock()
 
 		c.misses.Add(1)
 		c.missCtr.Add(1)
+		// A panicking compute (a handler bug; the panic propagates to the
+		// server's isolation layer) must still release the flight: without
+		// this, followers — including every future identical request —
+		// block on done until their deadlines.
+		completed := false
+		defer func() {
+			if completed {
+				return
+			}
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			f.err = &apiError{status: 500, code: CodeInternal,
+				msg: "deduplicated computation panicked", cause: errLeaderDied}
+			close(f.done)
+		}()
 		resp, err := compute()
+		completed = true
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if err == nil && resp != nil && resp.status == 200 {

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -32,7 +33,40 @@ func TestMain(m *testing.M) {
 	flag.Parse()
 	obs.SetQuiet(true)
 	obs.SetLogOutput(io.Discard) // panic-isolation tests log stacks
-	os.Exit(m.Run())
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := checkGoroutineLeak(before); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// checkGoroutineLeak fails the suite when it leaves goroutines behind:
+// every server the tests built must wind down with its listener. Late
+// finishers (async flight dumps, drain waiters, closing HTTP conns)
+// get a grace window; a real leak is still here after it.
+func checkGoroutineLeak(before int) error {
+	// Keep-alive conns from the package-level http client hold a read
+	// goroutine each until told otherwise.
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	const slack = 3
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("goroutine leak: %d before the suite, %d after (slack %d)\n%s",
+		before, runtime.NumGoroutine(), slack, buf)
 }
 
 // dotSource is the paper's dot-product kernel: two loops' worth of

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"slms/internal/obs/flight"
+)
+
+// flightDumpDir returns a per-test dump directory. When CI sets
+// SLMS_FLIGHT_ARTIFACT_DIR, dumps land there instead, so a failed
+// server test uploads its flight dumps as build artifacts.
+func flightDumpDir(t *testing.T) string {
+	t.Helper()
+	if base := os.Getenv("SLMS_FLIGHT_ARTIFACT_DIR"); base != "" {
+		dir := filepath.Join(base, t.Name())
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			return dir
+		}
+	}
+	return t.TempDir()
+}
+
+func flightFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestPostmortemE2E is the flight recorder's end-to-end contract: a
+// 5xx under load produces exactly one rate-limited dump that carries
+// the failing request's ID, body, span summary and error code, plus
+// the surrounding traffic's cache states and decision records — and a
+// second anomaly inside the cooldown is counted, not dumped.
+func TestPostmortemE2E(t *testing.T) {
+	dir := flightDumpDir(t)
+	s := New(Config{Flight: flight.Config{Dir: dir, Cooldown: time.Hour}})
+	s.handle("boom", "/v1/boom", func(ctx context.Context, req *Request) (any, *apiError) {
+		panic("postmortem test")
+	})
+	url := serveHTTP(t, s)
+
+	// Load before the anomaly: a cache miss, three hits, one 422.
+	for i := 0; i < 4; i++ {
+		if resp, blob := post(t, url+"/v1/compile", jsonBody(dotSource, "")); resp.StatusCode != 200 {
+			t.Fatalf("compile %d = %d: %s", i, resp.StatusCode, blob)
+		}
+	}
+	badBody := `{"source": "for (i = 0; i <"}`
+	if resp, blob := post(t, url+"/v1/compile", badBody); resp.StatusCode != 422 {
+		t.Fatalf("bad compile = %d: %s", resp.StatusCode, blob)
+	}
+
+	// The anomaly: a panicking handler answers 500 and trips one dump.
+	boomBody := `{"source": "x = 1; y = x + 2;"}`
+	resp, _ := post(t, url+"/v1/boom", boomBody)
+	if resp.StatusCode != 500 {
+		t.Fatalf("boom = %d, want 500", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	if reqID == "" {
+		t.Fatal("500 response carries no X-Request-ID")
+	}
+
+	// A second anomaly inside the cooldown: dropped and counted. The
+	// response is written before the server's capture/trigger defers
+	// finish, so the counter is polled, not read once.
+	dropsBefore := s.Flight().DroppedTriggers()
+	if resp, _ := post(t, url+"/v1/boom", boomBody); resp.StatusCode != 500 {
+		t.Fatalf("second boom = %d, want 500", resp.StatusCode)
+	}
+	for wait := time.Now().Add(2 * time.Second); s.Flight().DroppedTriggers() == dropsBefore; {
+		if time.Now().After(wait) {
+			t.Errorf("dropped-trigger counter never moved; the cooldown is not counting")
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Flight().Sync()
+
+	files := flightFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("dump files = %v, want exactly one (rate-limited)", files)
+	}
+	// The first 500 trips two trigger paths — the SLO breach hook fires
+	// inside Observe, then the panic trigger — and the cooldown lets
+	// exactly one through. Either reason is a correct postmortem.
+	if base := filepath.Base(files[0]); !strings.Contains(base, "-slo-breach.json") && !strings.Contains(base, "-panic.json") {
+		t.Errorf("dump name = %s, want an slo-breach or panic dump", base)
+	}
+
+	d, err := flight.DecodeFile(files[0])
+	if err != nil {
+		t.Fatalf("decoding own dump: %v", err)
+	}
+	timeline := d.Timeline()
+	var boom, bad *flight.Record
+	hits, decided := 0, 0
+	for i := range timeline {
+		rec := &timeline[i]
+		switch {
+		case rec.RequestID == reqID:
+			boom = rec
+		case rec.Status == 422:
+			bad = rec
+		case rec.Status == 200 && rec.Cache == "hit":
+			hits++
+		}
+		if rec.Status == 200 && len(rec.Decisions) > 0 {
+			decided++
+		}
+	}
+
+	if boom == nil {
+		t.Fatalf("failing request %s not in the dump timeline (%d records)", reqID, len(timeline))
+	}
+	if boom.Endpoint != "boom" || boom.Status != 500 || boom.ErrCode != "SLMS500" {
+		t.Errorf("failing record = %s/%d/%s, want boom/500/SLMS500", boom.Endpoint, boom.Status, boom.ErrCode)
+	}
+	if boom.Body != boomBody {
+		t.Errorf("failing record body = %q, want the posted body", boom.Body)
+	}
+	if len(boom.Spans) == 0 {
+		t.Error("failing record has no span summary")
+	}
+	if bad == nil {
+		t.Fatal("the 422 request is not in the dump")
+	}
+	if bad.ErrCode != "SLMS422" || len(bad.Decisions) == 0 || bad.Decisions[0].Code != "SLMS422" {
+		t.Errorf("422 record lost its diagnostics: code=%s decisions=%+v", bad.ErrCode, bad.Decisions)
+	}
+	if hits == 0 {
+		t.Error("no cached-hit records in the dump; the fast path is not recording")
+	}
+	if decided == 0 {
+		t.Error("no 200 record carries SLMS decision records")
+	}
+}
+
+// TestDrainWritesDump: the drain dump is the process's last words and
+// includes every request served before shutdown.
+func TestDrainWritesDump(t *testing.T) {
+	dir := flightDumpDir(t)
+	s := New(Config{Flight: flight.Config{Dir: dir, Cooldown: time.Hour}})
+	url := serveHTTP(t, s)
+	if resp, blob := post(t, url+"/v1/compile", jsonBody(dotSource, "")); resp.StatusCode != 200 {
+		t.Fatalf("compile = %d: %s", resp.StatusCode, blob)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	s.Flight().Sync()
+
+	files := flightFiles(t, dir)
+	if len(files) != 1 || !strings.Contains(filepath.Base(files[0]), "-drain.json") {
+		t.Fatalf("dump files = %v, want one *-drain.json", files)
+	}
+	d, err := flight.DecodeFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Timeline()) != 1 {
+		t.Errorf("drain dump timeline = %d records, want the one served request", len(d.Timeline()))
+	}
+}
+
+// TestFlightDisabled: -no-flight leaves the server fully functional
+// with an inert debug surface.
+func TestFlightDisabled(t *testing.T) {
+	s := New(Config{Flight: flight.Config{Disabled: true}})
+	url := serveHTTP(t, s)
+	if resp, blob := post(t, url+"/v1/compile", jsonBody(dotSource, "")); resp.StatusCode != 200 {
+		t.Fatalf("compile = %d: %s", resp.StatusCode, blob)
+	}
+	resp, err := http.Get(url + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var idx flight.IndexResponse
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("/debug/flight = %d (%v)", resp.StatusCode, err)
+	}
+	if idx.Enabled {
+		t.Error("disabled recorder reports enabled")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain with recorder disabled: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"strconv"
+
+	"slms/internal/obs/flight"
+)
+
+// Flight-record decision capture. A postmortem is only as good as the
+// "why" it retains: every captured request carries the SLMS2xx/3xx
+// decision records its response reported (success) or the positioned
+// SLMS4xx diagnostics its error envelope carried (failure), so a dump
+// joins "what the request was" with "what the compiler decided" without
+// needing the tracer to have been on.
+
+// loopReporter is implemented by every response DTO that carries
+// per-loop decision records.
+type loopReporter interface{ flightLoops() []LoopReport }
+
+func (r *CompileResponse) flightLoops() []LoopReport  { return r.Loops }
+func (r *ScheduleResponse) flightLoops() []LoopReport { return r.Loops }
+func (r *ExplainResponse) flightLoops() []LoopReport  { return r.Loops }
+func (r *ProfileResponse) flightLoops() []LoopReport  { return r.Loops }
+
+// responseDecisions extracts the decision notes from a successful
+// response body; nil for bodies without loop reports (e.g. a test
+// handler's custom DTO).
+func responseDecisions(body any) []flight.DecisionNote {
+	lr, ok := body.(loopReporter)
+	if !ok {
+		return nil
+	}
+	loops := lr.flightLoops()
+	if len(loops) == 0 {
+		return nil
+	}
+	notes := make([]flight.DecisionNote, 0, len(loops))
+	for _, l := range loops {
+		notes = append(notes, flight.DecisionNote{
+			Loop:    l.Loop,
+			Code:    l.Decision.Code,
+			Verdict: l.Decision.Verdict,
+			Reason:  l.Decision.Reason,
+		})
+	}
+	return notes
+}
+
+// diagNotes renders an error envelope's positioned diagnostics as
+// decision notes, so a captured SLMS422 explains itself in the dump.
+func diagNotes(diags []Diagnostic) []flight.DecisionNote {
+	notes := make([]flight.DecisionNote, 0, len(diags))
+	for _, d := range diags {
+		n := flight.DecisionNote{Code: d.Code, Verdict: d.Severity, Reason: d.Message}
+		if d.Line > 0 {
+			n.Loop = strconv.Itoa(d.Line) + ":" + strconv.Itoa(d.Col)
+		}
+		notes = append(notes, n)
+	}
+	return notes
+}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"slms/internal/obs"
+	"slms/internal/obs/flight"
 	"slms/internal/obs/promexp"
 	"slms/internal/obs/slo"
 )
@@ -68,6 +69,10 @@ type Config struct {
 	// one Write each — so any destination shared with other loggers
 	// stays interleaving-free.
 	AccessLog io.Writer
+	// Flight tunes the flight recorder (see internal/obs/flight). The
+	// zero value enables it with defaults: always-on in-memory capture,
+	// dumps kept in memory only until Flight.Dir names a directory.
+	Flight flight.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +108,7 @@ type Server struct {
 	mux    *http.ServeMux
 	access *accessLog
 	slo    *slo.Tracker
+	flight *flight.Recorder
 	// routes maps endpoint names to their wrapped handlers so benchmarks
 	// can invoke an endpoint directly, without mux routing.
 	routes map[string]http.HandlerFunc
@@ -139,6 +145,15 @@ func New(cfg Config) *Server {
 		panicCtr:    obs.CounterName("server.panics"),
 		inflightGge: obs.GaugeName("server.inflight"),
 	}
+	s.flight = flight.New(cfg.Flight)
+	s.flight.AddState("server", func() any { return s.Stats() })
+	s.flight.AddState("slo", func() any { return s.slo.Snapshot() })
+	// An endpoint window crossing its error or throttle budget is an
+	// anomaly worth a dump; the recorder's cooldown keeps a sustained
+	// breach from flooding the dump dir.
+	s.slo.SetOnBreach(func(endpoint string, _ slo.EndpointStatus) {
+		s.flight.Trigger(flight.TrigSLOBreach, endpoint)
+	})
 	s.handle("compile", "/v1/compile", s.handleCompile)
 	s.handle("schedule", "/v1/schedule", s.handleSchedule)
 	s.handle("explain", "/v1/explain", s.handleExplain)
@@ -147,11 +162,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.Handle("/metrics", promexp.Handler(obs.Default))
+	s.mux.Handle("/debug/flight", flight.Handler(s.flight))
+	s.mux.Handle("/debug/flight/", flight.Handler(s.flight))
 	return s
 }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Flight returns the server's flight recorder (never nil; it may be
+// disabled).
+func (s *Server) Flight() *flight.Recorder { return s.flight }
 
 // handlerFunc is one endpoint implementation: it returns the rendered
 // response or an API error; the wrapper owns serialization, request
@@ -175,6 +196,10 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 	errors := obs.CounterName("server." + name + ".errors")
 	latency := obs.HistName("server." + name + ".latency")
 	status200 := obs.CounterName("server." + name + ".status.200")
+	// The endpoint's flight-recorder ring, hoisted so neither path pays
+	// a lookup. Nil when the recorder is disabled; every Ring method
+	// no-ops on nil.
+	ring := s.flight.Endpoint(name)
 
 	// slow is the full request path. st, when non-nil, holds the already
 	// read body (endpoint-prefixed) and its digest; began reports that
@@ -195,36 +220,82 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		w.Header().Set("X-Request-ID", reqID)
 
 		status := 0
-		fp, cacheState := "", ""
+		fp, cacheState, errCode := "", "", ""
 		var deadline time.Time
-		defer func() {
-			if st != nil {
-				putFastReq(st)
+		var sp *obs.Span
+		var decisions []flight.DecisionNote
+		panicked := false
+		// fail renders the error envelope while capturing the stable
+		// code (and any positioned diagnostics) for the flight record.
+		fail := func(ae *apiError) {
+			errCode = ae.code
+			if len(ae.diags) > 0 {
+				decisions = diagNotes(ae.diags)
 			}
+			status = s.writeError(w, reqID, ae)
+		}
+		defer func() {
 			dur := time.Since(start)
 			latency.Observe(dur)
 			obs.CounterName(fmt.Sprintf("server.%s.status.%d", name, status)).Add(1)
 			if status >= 400 {
 				errors.Add(1)
 			}
-			s.slo.Observe(name, status, dur)
 			deadlineMS := int64(-1)
 			if !deadline.IsZero() {
 				deadlineMS = time.Until(deadline).Milliseconds()
 			}
+
+			// Flight capture: every finished request lands in the
+			// endpoint's ring before its pooled state is recycled (the
+			// recorder copies the body and ID bytes out) and before any
+			// trigger can snapshot — the SLO breach hook fires inside
+			// Observe below, and its dump must already contain this
+			// request. With tracing off there is no span tree; a
+			// one-note summary keeps the record's shape uniform.
+			var body []byte
+			if st != nil {
+				body = st.body(len(name) + 1)
+			}
+			spans := flight.SpanTree(obs.Active(), sp)
+			if spans == nil {
+				spans = []flight.SpanNote{{Name: "server." + name, DurUS: dur.Microseconds()}}
+			}
+			ring.Record(flight.Obs{
+				Status: status, RequestID: reqID, Fingerprint: fp, Cache: cacheState,
+				DeadlineMS: deadlineMS, Dur: dur, ErrCode: errCode,
+				Body: body, Truncated: tooLarge, Spans: spans, Decisions: decisions,
+			})
+			if st != nil {
+				putFastReq(st)
+			}
+
+			s.slo.Observe(name, status, dur)
 			s.access.record(name, status, reqID, fp, cacheState, deadlineMS, dur)
+			// Anomalies dump after the record lands so the dump contains
+			// the request that triggered it. Drain refusals (503) are
+			// designed shedding, not an anomaly — drain fires its own
+			// forced dump.
+			switch {
+			case panicked:
+				s.flight.Trigger(flight.TrigPanic, name+" "+reqID)
+			case status == 504:
+				s.flight.Trigger(flight.TrigDeadline, name+" "+reqID)
+			case status >= 500 && status != 503:
+				s.flight.Trigger(flight.Trig5xx, name+" "+reqID)
+			}
 		}()
 
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			status = s.writeError(w, reqID, &apiError{
+			fail(&apiError{
 				status: 405, code: CodeMethodNotAllowed,
 				msg: fmt.Sprintf("%s requires POST", pattern)})
 			return
 		}
 		if !began {
 			if !s.beginRequest() {
-				status = s.writeError(w, reqID, errDraining)
+				fail(errDraining)
 				return
 			}
 		}
@@ -235,9 +306,10 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		// request keep going.
 		defer func() {
 			if rec := recover(); rec != nil {
+				panicked = true
 				s.panicCtr.Add(1)
 				obs.Errorf("server: %s: panic serving %s: %v\n%s", reqID, pattern, rec, debug.Stack())
-				status = s.writeError(w, reqID, &apiError{
+				fail(&apiError{
 					status: 500, code: CodeInternal,
 					msg: "internal error; see server log for request " + reqID})
 			}
@@ -250,12 +322,12 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		}
 		req, aerr := decodeRequestBytes(st.body(len(name)+1), s.cfg.MaxBodyBytes, tooLarge)
 		if aerr != nil {
-			status = s.writeError(w, reqID, aerr)
+			fail(aerr)
 			return
 		}
 		budget, aerr := req.deadline(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 		if aerr != nil {
-			status = s.writeError(w, reqID, aerr)
+			fail(aerr)
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
@@ -267,7 +339,7 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		// decision records they emit; the context carries it to code
 		// that only sees ctx.
 		ctx = obs.ContextWithRequestID(ctx, reqID)
-		sp := obs.RootRequest("server."+name, reqID).Attr("request", reqID)
+		sp = obs.RootRequest("server."+name, reqID).Attr("request", reqID)
 		defer sp.End()
 		ctx = obs.ContextWithSpan(ctx, sp)
 
@@ -288,6 +360,11 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 			if aerr != nil {
 				return nil, aerr
 			}
+			// Capture the response's SLMS2xx/3xx decision records for
+			// the flight ring. Only the singleflight leader computes, so
+			// deduplicated followers record without decisions — like any
+			// cache hit, their work happened elsewhere.
+			decisions = responseDecisions(body)
 			blob, err := json.MarshalIndent(body, "", "  ")
 			if err != nil {
 				obs.Errorf("server: %s: marshaling %s response: %v", reqID, pattern, err)
@@ -298,7 +375,7 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 		})
 		if aerr != nil {
 			sp.Attr("error", aerr.code)
-			status = s.writeError(w, reqID, aerr)
+			fail(aerr)
 			return
 		}
 		if st.hasRaw && resp.status == 200 {
@@ -370,6 +447,11 @@ func (s *Server) handle(name, pattern string, h handlerFunc) {
 				latency.Observe(dur)
 				s.slo.Observe(name, 200, dur)
 				s.access.fastLine(name, 200, reqID, key, "hit", dur)
+				// Flight capture stays on the 0 allocs/op budget:
+				// RecordFast copies the pooled ID and body bytes into
+				// the ring's preallocated slot before putFastReq recycles
+				// them.
+				ring.RecordFast(200, reqID, key, dur, st.body(len(name)+1))
 				putFastReq(st)
 				s.endRequest()
 				return
@@ -433,8 +515,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// The process's last words: a forced dump after the final
+		// request has recorded, so the postmortem shows the complete
+		// serving history. Sync is the caller's choice (cmd/slmsd syncs
+		// before exit); Drain itself stays fast.
+		s.flight.ForceTrigger(flight.TrigDrain, "")
 		return nil
 	case <-ctx.Done():
+		s.flight.ForceTrigger(flight.TrigDrain, "interrupted")
 		return fmt.Errorf("server: drain interrupted with requests in flight: %w", ctx.Err())
 	}
 }
