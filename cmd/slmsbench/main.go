@@ -6,6 +6,7 @@
 //	slmsbench              # all figures + BENCH_1.json harness stats
 //	slmsbench -figure 14   # one figure
 //	slmsbench -ablations   # design-choice ablation studies
+//	slmsbench -optgap      # heuristic-vs-exact scheduler optimality census
 //	slmsbench -list        # list available figures
 //
 // The all-figures run writes a machine-readable harness trajectory
@@ -55,6 +56,8 @@ func main() {
 	list := flag.Bool("list", false, "list available figures")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation studies instead")
 	census := flag.Bool("census", false, "report machine-MS application before/after SLMS (paper §9.2)")
+	optgap := flag.Bool("optgap", false, "report the machine-level optimality census: heuristic II vs the exact scheduler's proven minimum, per corpus loop")
+	effort := flag.String("effort", "standard", "exact-prover effort for -optgap: quick, standard or max")
 	extensions := flag.Bool("extensions", false, "measure the §10 while-loop and frequent-path extensions")
 	summary := flag.Bool("summary", false, "one line per figure: the reproduction scoreboard")
 	legs := flag.Bool("legs", false, "run the suite twice (serial + parallel legs, cold caches) and write a two-leg trajectory")
@@ -121,6 +124,20 @@ func main() {
 				obs.Errorf("%v", err)
 			}
 		}()
+	}
+
+	if *optgap {
+		rows, sum, err := bench.OptgapCensus(bench.OptgapCorpus(), *effort)
+		if err != nil {
+			obs.Errorf("%v", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.OptgapTable(rows, sum))
+		if err := tele.Finish(); err != nil {
+			obs.Errorf("%v", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	err := run(*figure, *list, *ablations, *census, *extensions, *summary, *legs, *jsonPath)

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"slms/internal/analysis"
 	"slms/internal/core"
@@ -47,6 +48,7 @@ import (
 	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/prof"
+	"slms/internal/sched"
 	"slms/internal/slc"
 	"slms/internal/source"
 )
@@ -61,6 +63,8 @@ func main() {
 	useSLC := flag.Bool("slc", false, "run the full source-level-compiler driver (SLMS + fusion/interchange/mirroring/reduction-splitting)")
 	verify := flag.Bool("verify", false, "verify every transformation before printing (static proof, differential fallback)")
 	profPath := flag.String("profile", "", "simulate the transformed program on the reference machine and write its cycle profile (pprof) here")
+	schedName := flag.String("scheduler", "", "profile under the strong final compiler using this modulo-scheduling backend: one of "+strings.Join(sched.Names(), ", "))
+	effort := flag.String("effort", "", "exact-scheduler effort for -scheduler profiles: quick, standard or max")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	tele.Activate()
@@ -77,6 +81,9 @@ func main() {
 	case "mve", "array":
 	default:
 		obs.Usagef("unknown -expand mode %q (want mve or array)", *expand)
+	}
+	if _, err := pipeline.SchedulerConfig(*schedName, *effort); err != nil {
+		obs.Usagef("%v", err)
 	}
 	var text []byte
 	var err error
@@ -131,7 +138,7 @@ func main() {
 			fmt.Print(source.Print(res.Program))
 		}
 		if *profPath != "" {
-			if err := profileTransformed(*profPath, flag.Arg(0), res.Program); err != nil {
+			if err := profileTransformed(*profPath, flag.Arg(0), res.Program, *schedName, *effort); err != nil {
 				obs.Fatalf("%v", err)
 			}
 		}
@@ -168,7 +175,7 @@ func main() {
 		fmt.Print(source.Print(out))
 	}
 	if *profPath != "" {
-		if err := profileTransformed(*profPath, flag.Arg(0), out); err != nil {
+		if err := profileTransformed(*profPath, flag.Arg(0), out, *schedName, *effort); err != nil {
 			obs.Fatalf("%v", err)
 		}
 	}
@@ -176,13 +183,21 @@ func main() {
 
 // profileTransformed compiles and simulates the transformed program on
 // the reference machine (ia64-like VLIW, weak -O3 — the paper's primary
-// target) and writes the run's cycle-attribution profile. Cross-machine
-// or base-vs-slms profiling lives in cmd/slmsprof.
-func profileTransformed(path, label string, p *source.Program) error {
+// target) and writes the run's cycle-attribution profile. A -scheduler
+// or -effort selection switches the profile to the strong final
+// compiler, the only class that runs machine-level modulo scheduling,
+// with that backend. Cross-machine or base-vs-slms profiling lives in
+// cmd/slmsprof.
+func profileTransformed(path, label string, p *source.Program, scheduler, effort string) error {
 	if label == "-" {
 		label = "stdin"
 	}
-	m, _, err := pipeline.Run(p, machine.IA64Like(), pipeline.WeakO3, interp.NewEnv())
+	cc := pipeline.WeakO3
+	if scheduler != "" || effort != "" {
+		cc = pipeline.StrongO3
+		cc.Scheduler, cc.Effort = scheduler, effort
+	}
+	m, _, err := pipeline.Run(p, machine.IA64Like(), cc, interp.NewEnv())
 	if err != nil {
 		return fmt.Errorf("-profile: %w", err)
 	}

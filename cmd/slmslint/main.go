@@ -37,7 +37,9 @@ import (
 
 	"slms/internal/analysis"
 	"slms/internal/core"
+	"slms/internal/machine"
 	"slms/internal/obs"
+	"slms/internal/source"
 )
 
 func main() {
@@ -50,6 +52,9 @@ func main() {
 	speculate := flag.Bool("speculate", false, "schedule across unproven dependences")
 	expand := flag.String("expand", "mve", "variant expansion: mve or array")
 	noGuard := flag.Bool("noguard", false, "omit the short-trip guard")
+	optgap := flag.Bool("optgap", false, "audit machine-level modulo schedules: prove each heuristic II against the exact scheduler (SLMS31x diagnostics)")
+	machineName := flag.String("machine", "ia64", "target machine for -optgap: ia64, power4, pentium or arm7")
+	effort := flag.String("effort", "standard", "exact-prover effort for -optgap: quick, standard or max")
 	tele := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	obs.SetQuiet(*quiet)
@@ -77,6 +82,18 @@ func main() {
 	if *threshold < 0 || *threshold > 1 {
 		obs.Usagef("-threshold must be in [0,1], got %v", *threshold)
 	}
+	var optMachine *machine.Desc
+	if *optgap {
+		var err error
+		if optMachine, err = machine.ByName(*machineName); err != nil {
+			obs.Usagef("%v", err)
+		}
+		switch *effort {
+		case "quick", "standard", "max":
+		default:
+			obs.Usagef("unknown -effort %q (want quick, standard or max)", *effort)
+		}
+	}
 
 	failed := false
 	for _, name := range flag.Args() {
@@ -93,9 +110,20 @@ func main() {
 			// the slog wrapper keeps diagnostics uniform across commands.
 			obs.Usagef("%v", err)
 		}
-		rep, err := analysis.LintSource(name, string(text), opts)
+		prog, err := source.Parse(string(text))
 		if err != nil {
 			obs.Usagef("%s: %v", name, err)
+		}
+		rep, err := analysis.LintProgram(name, prog, opts)
+		if err != nil {
+			obs.Usagef("%s: %v", name, err)
+		}
+		if *optgap {
+			diags, err := analysis.Optgap(prog, analysis.OptgapOptions{Machine: optMachine, Effort: *effort})
+			if err != nil {
+				obs.Usagef("%s: optgap: %v", name, err)
+			}
+			rep.Diags = append(rep.Diags, diags...)
 		}
 		if *jsonOut {
 			raw, err := rep.JSON()

@@ -35,12 +35,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"slms/internal/core"
 	"slms/internal/machine"
 	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/prof"
+	"slms/internal/sched"
 	"slms/internal/source"
 )
 
@@ -48,6 +50,8 @@ func main() {
 	machineName := flag.String("machine", "ia64", "ia64, power4, pentium or arm7")
 	compiler := flag.String("compiler", "weak", "weak (GCC-like) or strong (ICC/XLC-like)")
 	o0 := flag.Bool("O0", false, "disable compiler scheduling")
+	scheduler := flag.String("scheduler", "", "modulo-scheduling backend for strong compiles: one of "+strings.Join(sched.Names(), ", ")+" (default ims)")
+	effort := flag.String("effort", "", "exact-scheduler effort: quick, standard or max (under ims, also proves the optimality gap)")
 	format := flag.String("format", "text", "text, json or pprof")
 	top := flag.Int("top", 20, "lines per hot-line table (text format)")
 	outPath := flag.String("o", "", "output file (default stdout)")
@@ -79,6 +83,10 @@ func main() {
 	if err != nil {
 		obs.Usagef("%v", err)
 	}
+	if _, err := pipeline.SchedulerConfig(*scheduler, *effort); err != nil {
+		obs.Usagef("%v", err)
+	}
+	cc.Scheduler, cc.Effort = *scheduler, *effort
 
 	label := flag.Arg(0)
 	var text []byte

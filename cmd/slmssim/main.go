@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"slms/internal/analysis"
 	"slms/internal/core"
@@ -39,6 +40,7 @@ import (
 	"slms/internal/obs"
 	"slms/internal/pipeline"
 	"slms/internal/prof"
+	"slms/internal/sched"
 	"slms/internal/sim"
 	"slms/internal/source"
 )
@@ -47,6 +49,8 @@ func main() {
 	machineName := flag.String("machine", "ia64", "ia64, power4, pentium or arm7")
 	compiler := flag.String("compiler", "weak", "weak (GCC-like) or strong (ICC/XLC-like)")
 	o0 := flag.Bool("O0", false, "disable compiler scheduling")
+	scheduler := flag.String("scheduler", "", "modulo-scheduling backend for strong compiles: one of "+strings.Join(sched.Names(), ", ")+" (default ims)")
+	effort := flag.String("effort", "", "exact-scheduler effort: quick, standard or max (under ims, also proves the optimality gap)")
 	slms := flag.Bool("slms", false, "apply SLMS before compiling")
 	compare := flag.Bool("compare", false, "measure base vs SLMS and report the speedup")
 	dump := flag.Bool("dump", false, "print the lowered virtual ISA")
@@ -75,6 +79,10 @@ func main() {
 	if err != nil {
 		obs.Usagef("%v", err)
 	}
+	if _, err := pipeline.SchedulerConfig(*scheduler, *effort); err != nil {
+		obs.Usagef("%v", err)
+	}
+	cc.Scheduler, cc.Effort = *scheduler, *effort
 
 	var text []byte
 	if flag.Arg(0) == "-" {

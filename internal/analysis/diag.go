@@ -77,6 +77,22 @@ const (
 	// CodeBindingCycle: no candidate II was valid; the message exhibits
 	// the positive recurrence cycle and the II it would require.
 	CodeBindingCycle = "SLMS303"
+
+	// The 31x family reports machine-level optimality: for every loop
+	// the strong final compiler modulo-schedules, how the heuristic's
+	// initiation interval compares to the proven minimum (see
+	// analysis.Optgap and the exact scheduler in internal/sched/exact).
+
+	// CodeSchedOptimal: the heuristic's II is proven minimal; the message
+	// carries the UNSAT certificate forbidding II−1.
+	CodeSchedOptimal = "SLMS310"
+	// CodeSchedGap: the exact scheduler placed the loop at a strictly
+	// smaller II than the heuristic (or the heuristic failed outright);
+	// the message carries the gap and the certificate at the exact II−1.
+	CodeSchedGap = "SLMS311"
+	// CodeSchedBudget: the exact search exhausted its budget (or proved
+	// the loop infeasible at every probed II) — optimality undecided.
+	CodeSchedBudget = "SLMS312"
 )
 
 // Severity grades a diagnostic.

@@ -309,8 +309,8 @@ func TestAllFiguresGenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 12 {
-		t.Errorf("expected 12 figures, got %d", len(figs))
+	if len(figs) != 13 {
+		t.Errorf("expected 13 figures, got %d", len(figs))
 	}
 	for _, f := range figs {
 		if len(f.Rows) == 0 {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"slms/internal/bench"
+	"slms/internal/sched"
 )
 
 // Options configures a comparison.
@@ -115,6 +116,11 @@ type Report struct {
 	// count is gated: it must not grow against the baseline).
 	OldPrecision *bench.PrecisionStat `json:"old_precision,omitempty"`
 	NewPrecision *bench.PrecisionStat `json:"new_precision,omitempty"`
+	// Optimality census of each side, when recorded (per loop: a
+	// previously proven-optimal verdict must not regress, and the proven
+	// minimal II must not grow).
+	OldOptimality *bench.OptgapStat `json:"old_optimality,omitempty"`
+	NewOptimality *bench.OptgapStat `json:"new_optimality,omitempty"`
 }
 
 // Failed reports whether any kernel regressed beyond the threshold.
@@ -194,7 +200,50 @@ func Compare(old, new []*bench.RunStats, opts Options) (*Report, error) {
 				op.NewlyPipelined+op.LowerII, np.NewlyPipelined+np.LowerII))
 		}
 	}
+
+	// Optimality gate: scheduling is deterministic, so a loop whose
+	// heuristic II was proven minimal must stay proven minimal, at an II
+	// no larger than the baseline's. Gated per loop, keyed by
+	// kernel+loop; loops absent from either side are not gated.
+	if oo, no := optimalityOf(old), optimalityOf(new); oo != nil && no != nil {
+		rep.OldOptimality, rep.NewOptimality = oo, no
+		newRows := map[string]bench.OptgapRow{}
+		for _, r := range no.Rows {
+			newRows[fmt.Sprintf("%s#%d", r.Kernel, r.Loop)] = r
+		}
+		for _, r := range oo.Rows {
+			if r.Verdict != sched.VerdictOptimal {
+				continue
+			}
+			key := fmt.Sprintf("%s#%d", r.Kernel, r.Loop)
+			nr, ok := newRows[key]
+			if !ok {
+				continue
+			}
+			switch {
+			case nr.Verdict != sched.VerdictOptimal:
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"optimality regressed: %s was proven optimal (II=%d), now %q (heur II=%d, exact II=%d)",
+					key, r.ExactII, nr.Verdict, nr.HeurII, nr.ExactII))
+			case nr.ExactII > r.ExactII:
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"optimality regressed: %s proven-minimal II grew %d -> %d",
+					key, r.ExactII, nr.ExactII))
+			}
+		}
+	}
 	return rep, nil
+}
+
+// optimalityOf returns the first sample's optimality census (samples of
+// one side agree; the census is deterministic).
+func optimalityOf(side []*bench.RunStats) *bench.OptgapStat {
+	for _, s := range side {
+		if s.Optimality != nil {
+			return s.Optimality
+		}
+	}
+	return nil
 }
 
 // precisionOf returns the first sample's precision census (samples of

@@ -197,3 +197,74 @@ func TestCompareGatesPrecision(t *testing.T) {
 		t.Errorf("census-less baseline must not gate: %v", rep.Regressions)
 	}
 }
+
+// TestCompareGatesOptimality: a loop whose heuristic II was proven
+// minimal in the baseline must stay proven minimal at an II no larger;
+// verdict flips and minimal-II growth are regressions, improvements and
+// census-less sides are not.
+func TestCompareGatesOptimality(t *testing.T) {
+	withO := func(rows ...bench.OptgapRow) *bench.RunStats {
+		s := side(1.0, kernel("k", 100, 80, 0.1))
+		st := &bench.OptgapStat{Loops: len(rows), Rows: rows}
+		s.Optimality = st
+		return s
+	}
+	opt := func(ii int) bench.OptgapRow {
+		return bench.OptgapRow{Kernel: "dot", Loop: 1, Verdict: "proven-optimal", HeurII: ii, ExactII: ii}
+	}
+
+	rep, err := Compare([]*bench.RunStats{withO(opt(3))}, []*bench.RunStats{withO(opt(3))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("unchanged proven-optimal loop flagged: %v", rep.Regressions)
+	}
+	if rep.OldOptimality == nil || rep.NewOptimality == nil {
+		t.Error("report lost the optimality censuses")
+	}
+
+	// Verdict flip: proven-optimal -> budget-exhausted.
+	flip := bench.OptgapRow{Kernel: "dot", Loop: 1, Verdict: "budget-exhausted", HeurII: 3}
+	rep, err = Compare([]*bench.RunStats{withO(opt(3))}, []*bench.RunStats{withO(flip)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || !strings.Contains(strings.Join(rep.Regressions, "\n"), "was proven optimal") {
+		t.Errorf("verdict flip not gated: %v", rep.Regressions)
+	}
+
+	// Proven-minimal II grew 3 -> 4.
+	rep, err = Compare([]*bench.RunStats{withO(opt(3))}, []*bench.RunStats{withO(opt(4))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || !strings.Contains(strings.Join(rep.Regressions, "\n"), "grew 3 -> 4") {
+		t.Errorf("minimal-II growth not gated: %v", rep.Regressions)
+	}
+
+	// Improvement (4 -> 3) and a dropped loop pass.
+	rep, err = Compare([]*bench.RunStats{withO(opt(4))}, []*bench.RunStats{withO(opt(3))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("improvement flagged as regression: %v", rep.Regressions)
+	}
+	rep, err = Compare([]*bench.RunStats{withO(opt(3))}, []*bench.RunStats{withO()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("dropped loop must not gate: %v", rep.Regressions)
+	}
+
+	// A baseline predating the census gates nothing.
+	rep, err = Compare([]*bench.RunStats{side(1.0)}, []*bench.RunStats{withO(flip)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("census-less baseline must not gate: %v", rep.Regressions)
+	}
+}

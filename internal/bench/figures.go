@@ -625,6 +625,10 @@ type RunStats struct {
 	// (legacy vs exact solver); the compare gate fails when the unknown
 	// edge count grows against the committed baseline.
 	Precision *PrecisionStat `json:"precision,omitempty"`
+	// Optimality is the machine-level optimality census over the corpus
+	// (heuristic vs exact scheduler, per loop); the compare gate fails
+	// when a previously proven-optimal loop regresses.
+	Optimality *OptgapStat `json:"optimality,omitempty"`
 }
 
 var figureGens = []struct {
@@ -636,6 +640,7 @@ var figureGens = []struct {
 	{"21", Figure21}, {"22", Figure22},
 	{"caseA", CaseA}, {"caseB", CaseB},
 	{"precision", FigurePrecision},
+	{"optgap", FigureOptgap},
 }
 
 // AllFigures regenerates every evaluation figure in order. Figures are
@@ -714,6 +719,12 @@ func AllFiguresTimed() ([]*Figure, *RunStats, error) {
 	if _, psum, perr := PrecisionCensus(PrecisionCorpus()); perr == nil {
 		stats.Precision = &psum
 	}
+	// So is the optimality census (static scheduling only): stamping it
+	// on every trajectory lets the compare gate hold each loop's
+	// proven-optimal verdict at its baseline.
+	if _, osum, oerr := OptgapCensus(OptgapCorpus(), "standard"); oerr == nil {
+		stats.Optimality = &osum
+	}
 	return out, stats, nil
 }
 
@@ -740,7 +751,7 @@ func phaseDelta(before, after obs.Snapshot) []PhaseStat {
 
 // FigureIDs lists the available figure identifiers.
 func FigureIDs() []string {
-	ids := []string{"14", "15", "16", "17", "18", "19", "20", "21", "22", "caseA", "caseB", "precision"}
+	ids := []string{"14", "15", "16", "17", "18", "19", "20", "21", "22", "caseA", "caseB", "precision", "optgap"}
 	sort.Strings(ids)
 	return ids
 }

@@ -46,6 +46,8 @@ type Point struct {
 	Phases []bench.PhaseStat `json:"phases,omitempty"`
 
 	Precision *bench.PrecisionStat `json:"precision,omitempty"`
+
+	Optimality *bench.OptgapStat `json:"optimality,omitempty"`
 }
 
 // Delta is the compare-gate outcome between two adjacent snapshots.
@@ -172,6 +174,7 @@ func pointOf(path string, rs *bench.RunStats, legs *bench.LegsStats) Point {
 		Caches:          rs.Caches,
 		Phases:          rs.Phases,
 		Precision:       rs.Precision,
+		Optimality:      rs.Optimality,
 	}
 	p.Seq, _ = seqOf(path)
 	if legs != nil {
@@ -230,6 +233,13 @@ func (s *Series) Markdown() string {
 		b.WriteString(rows)
 	}
 
+	if rows := optimalityRows(s.Points); len(rows) > 0 {
+		b.WriteString("\n## Scheduler optimality\n\n")
+		b.WriteString("| snapshot | loops | proven optimal | gaps (max) | exact-only | budget-exhausted |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		b.WriteString(rows)
+	}
+
 	if rows := phaseRows(s.Points); len(rows) > 0 {
 		b.WriteString("\n## Phase seconds\n\n")
 		b.WriteString(rows)
@@ -281,6 +291,20 @@ func precisionRows(points []Point) string {
 		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d |\n",
 			p.Label, pc.UnknownExact, pc.ResolvedPairs,
 			pc.NewlyPipelined, pc.LowerII)
+	}
+	return b.String()
+}
+
+func optimalityRows(points []Point) string {
+	var b strings.Builder
+	for _, p := range points {
+		if p.Optimality == nil {
+			continue
+		}
+		oc := p.Optimality
+		fmt.Fprintf(&b, "| %s | %d | %d | %d (%d) | %d | %d |\n",
+			p.Label, oc.Loops, oc.ProvenOptimal, oc.Gaps, oc.MaxGap,
+			oc.ExactOnly, oc.Budget)
 	}
 	return b.String()
 }

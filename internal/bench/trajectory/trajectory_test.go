@@ -255,3 +255,28 @@ func TestBuildErrors(t *testing.T) {
 		t.Error("missing file did not error")
 	}
 }
+
+func TestOptimalityRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	a := run(1000, 1e6, kernel("dot", 600, 400))
+	a.Optimality = &bench.OptgapStat{Loops: 1, ProvenOptimal: 1, Rows: []bench.OptgapRow{
+		{Kernel: "dot", Loop: 1, Verdict: "proven-optimal", HeurII: 3, ExactII: 3},
+	}}
+	b := run(1000, 1e6, kernel("dot", 600, 400))
+	b.Optimality = &bench.OptgapStat{Loops: 1, Budget: 1, Rows: []bench.OptgapRow{
+		{Kernel: "dot", Loop: 1, Verdict: "budget-exhausted", HeurII: 3},
+	}}
+	s, err := Build([]string{
+		snapshot(t, dir, "BENCH_1.json", a),
+		snapshot(t, dir, "BENCH_2.json", b),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Failed() {
+		t.Fatal("proven-optimal verdict flip not flagged")
+	}
+	if md := s.Markdown(); !strings.Contains(md, "## Scheduler optimality") {
+		t.Errorf("markdown missing the optimality section:\n%s", md)
+	}
+}

@@ -1,0 +1,95 @@
+package ims
+
+import (
+	"slms/internal/dep"
+	"slms/internal/ir"
+	"slms/internal/machine"
+	"slms/internal/sched"
+)
+
+// BuildGraph constructs the machine-level dependence graph of a loop
+// body in the backend-neutral sched representation: one node per
+// instruction (functional unit + latency) and <distance, latency>
+// edges from register and memory dependences. useTags enables affine
+// memory disambiguation (the strong-compiler front end forwards
+// subscript analysis to the back end).
+func BuildGraph(ins []*ir.Instr, d *machine.Desc, useTags bool) *sched.Graph {
+	g := &sched.Graph{Nodes: make([]sched.Node, len(ins))}
+	for i, in := range ins {
+		g.Nodes[i] = sched.Node{FU: machine.UnitOf(in), Lat: d.Latency(in)}
+	}
+
+	// Register dependences. Block-local temporaries are written before
+	// every use; scalar home registers (accumulators, induction
+	// variables) have upward-exposed uses that carry values between
+	// iterations.
+	firstDef := map[int]int{}
+	for i, in := range ins {
+		if in.Dst >= 0 {
+			if _, ok := firstDef[in.Dst]; !ok {
+				firstDef[in.Dst] = i
+			}
+		}
+	}
+	lastDef := map[int]int{}
+	for j, in := range ins {
+		for _, r := range in.Uses() {
+			if i, ok := lastDef[r]; ok {
+				g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 0, Lat: int64(d.Latency(ins[i]))}) // RAW
+			} else if i, ok := firstDef[r]; ok {
+				// Upward-exposed use: value from the previous iteration.
+				g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 1, Lat: int64(d.Latency(ins[i]))})
+			}
+		}
+		if in.Dst >= 0 {
+			lastDef[in.Dst] = j
+		}
+	}
+	// Rotating-register model: carried WAR/WAW on registers are handled
+	// by modulo variable expansion, so no edges — their cost shows up as
+	// register pressure instead.
+
+	// Memory dependences.
+	n := len(ins)
+	for j := 0; j < n; j++ {
+		if !ins[j].Op.IsMem() {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if !ins[i].Op.IsMem() || ins[i].Arr != ins[j].Arr {
+				continue
+			}
+			if ins[i].Op == ir.Load && ins[j].Op == ir.Load {
+				continue
+			}
+			lat := int64(0)
+			if ins[i].Op == ir.Store {
+				lat = int64(d.Lat.Store)
+			}
+			if !useTags {
+				g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 0, Lat: lat})
+				g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 1, Lat: lat})
+				g.Edges = append(g.Edges, sched.Edge{From: j, To: i, Dist: 1, Lat: int64(d.Lat.Store)})
+				continue
+			}
+			res, dist := ir.TagDistance(ins[i].Tag, ins[j].Tag)
+			switch res {
+			case dep.DistNone:
+			case dep.DistExact:
+				switch {
+				case dist == 0:
+					g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 0, Lat: lat})
+				case dist > 0:
+					g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: dist, Lat: lat})
+				default:
+					g.Edges = append(g.Edges, sched.Edge{From: j, To: i, Dist: -dist, Lat: int64(d.Lat.Store)})
+				}
+			default:
+				g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 0, Lat: lat})
+				g.Edges = append(g.Edges, sched.Edge{From: i, To: j, Dist: 1, Lat: lat})
+				g.Edges = append(g.Edges, sched.Edge{From: j, To: i, Dist: 1, Lat: int64(d.Lat.Store)})
+			}
+		}
+	}
+	return g
+}

@@ -3,20 +3,25 @@
 // strong final compilers (ICC, XLC) apply to innermost loops, and the
 // baseline SLMS is compared against. The scheduler computes
 // ResMII/RecMII from the instruction-level dependence graph (using the
-// affine memory tags for disambiguation), fills a modulo reservation
-// table with a height-priority worklist and a backtracking budget, and
-// rejects schedules whose register pressure exceeds the machine file —
-// the failure mode of the paper's Figure 11.
+// affine memory tags for disambiguation), then probes candidate IIs
+// with a pluggable sched.Scheduler backend — by default the Rau-style
+// height-priority heuristic this package registers as "ims"; the
+// "exact" SDC backend (package sched/exact) turns the same search into
+// an optimality proof. Schedules whose register pressure exceeds the
+// machine file are rejected — the failure mode of the paper's
+// Figure 11.
 package ims
 
 import (
+	"errors"
 	"fmt"
 
 	"slms/internal/ddg"
-	"slms/internal/dep"
 	"slms/internal/ir"
 	"slms/internal/machine"
 	"slms/internal/mii"
+	"slms/internal/sched"
+	"slms/internal/sched/exact"
 	"slms/internal/source"
 )
 
@@ -31,31 +36,84 @@ type Result struct {
 	RecMII     int
 	PressInt   int // estimated integer register pressure
 	PressFloat int
+	// Scheduler is the backend that produced (or failed to produce)
+	// the schedule.
+	Scheduler string
+	// Opt is the optimality verdict when a prover ran (Config.Prove or
+	// an exact scheduling backend); nil otherwise.
+	Opt *sched.Optimality
 }
 
-// edge is an instruction-level dependence with <distance, latency>.
-type edge struct {
-	from, to int
-	dist     int64
-	lat      int64
+// Config selects the scheduling backend and the optional optimality
+// proof for one Schedule call.
+type Config struct {
+	// Scheduler is the placement backend; nil resolves the registry
+	// default ("ims").
+	Scheduler sched.Scheduler
+	// Prove, when non-nil, runs after the II search: an exact backend
+	// that establishes the proven-minimal II and the optimality gap
+	// (Result.Opt). Ignored when Scheduler itself is exact — its first
+	// accepted II is already proven minimal.
+	Prove sched.Scheduler
 }
 
-// Schedule modulo-schedules the body block of an innermost loop.
-// useTags enables affine memory disambiguation. maxII bounds the search;
-// budgetFactor controls backtracking effort (Rau uses a small multiple
-// of the instruction count).
+// EffortConfig resolves a scheduler name and effort level into a
+// backend configuration — the single validation point the pipeline, the
+// CLIs and slmsd share. The scheduler name goes through the sched
+// registry ("" = the default heuristic); effort tunes the exact search
+// budget ("" or "standard" = the exact backend's default, "quick" = a
+// small budget, "max" = unlimited). Under the heuristic backend a
+// non-empty effort additionally configures the exact prover, so every
+// schedule comes back with its optimality verdict.
+func EffortConfig(scheduler, effort string) (Config, error) {
+	s, err := sched.Get(scheduler)
+	if err != nil {
+		return Config{}, err
+	}
+	var budget int
+	switch effort {
+	case "", "standard":
+		budget = 0
+	case "quick":
+		budget = 20_000
+	case "max":
+		budget = -1
+	default:
+		return Config{}, fmt.Errorf("unknown effort %q (want quick, standard or max)", effort)
+	}
+	cfg := Config{Scheduler: s}
+	if ex, ok := s.(*exact.Sched); ok {
+		cfg.Scheduler = ex.WithBudget(budget)
+	} else if effort != "" {
+		cfg.Prove = (&exact.Sched{}).WithBudget(budget)
+	}
+	return cfg, nil
+}
+
+// Schedule modulo-schedules the body block of an innermost loop with
+// the default heuristic backend. useTags enables affine memory
+// disambiguation.
 func Schedule(b *ir.Block, d *machine.Desc, useTags bool) *Result {
+	return ScheduleWith(b, d, useTags, Config{})
+}
+
+// ScheduleWith is Schedule with an explicit backend configuration.
+func ScheduleWith(b *ir.Block, d *machine.Desc, useTags bool, cfg Config) *Result {
+	s := cfg.Scheduler
+	if s == nil {
+		s, _ = sched.Get(sched.DefaultName)
+	}
 	ins := withoutBranch(b.Instrs)
 	n := len(ins)
-	res := &Result{}
+	res := &Result{Scheduler: s.Name()}
 	if n == 0 {
 		res.Reason = "empty body"
 		return res
 	}
-	edges := buildDDG(ins, d, useTags)
+	g := BuildGraph(ins, d, useTags)
 
-	res.ResMII = resMII(ins, d)
-	res.RecMII = recMII(n, edges, 4*n+16)
+	res.ResMII = sched.ResourceMinII(g, d)
+	res.RecMII = recMII(g, 4*n+16)
 	if res.RecMII < 0 {
 		res.Reason = "no feasible II (unresolvable recurrence)"
 		return res
@@ -68,14 +126,26 @@ func Schedule(b *ir.Block, d *machine.Desc, useTags bool) *Result {
 		start = 1
 	}
 	maxII := start + n + 8
+	exact := s.Caps().Exact
+	var lastUnsat *sched.Unsat
+	budgetCut := false
 	for ii := start; ii <= maxII; ii++ {
-		sigma, ok := tryII(ins, edges, d, ii, 6*n+32)
-		if !ok {
+		sc, err := s.Schedule(g, d, ii)
+		if sc == nil {
+			var u *sched.Unsat
+			var bd *sched.Budget
+			switch {
+			case errors.As(err, &u):
+				lastUnsat = u
+			case errors.As(err, &bd):
+				budgetCut = true
+			}
 			continue
 		}
+		sigma := sc.Time
 		sl := 0
-		for i, s := range sigma {
-			if e := s + d.Latency(ins[i]); e > sl {
+		for i, t := range sigma {
+			if e := t + g.Nodes[i].Lat; e > sl {
 				sl = e
 			}
 		}
@@ -83,16 +153,53 @@ func Schedule(b *ir.Block, d *machine.Desc, useTags bool) *Result {
 		res.SL = sl + d.Lat.Branch
 		res.Stages = (res.SL + ii - 1) / ii
 		res.PressInt, res.PressFloat = pressure(ins, sigma, ii)
+		if exact {
+			res.Opt = exactVerdict(ii, lastUnsat, budgetCut)
+		}
 		if res.PressInt > d.IntRegs || res.PressFloat > d.FPRegs {
 			res.Reason = fmt.Sprintf("register pressure (%d int / %d fp) exceeds file (%d/%d)",
 				res.PressInt, res.PressFloat, d.IntRegs, d.FPRegs)
+			runProver(res, g, d, cfg, maxII)
 			return res
 		}
 		res.OK = true
+		runProver(res, g, d, cfg, maxII)
 		return res
 	}
 	res.Reason = fmt.Sprintf("no schedule up to II=%d", maxII)
+	runProver(res, g, d, cfg, maxII)
 	return res
+}
+
+// exactVerdict synthesizes the optimality record for a search driven
+// directly by an exact backend: the accepted II is proven minimal when
+// every smaller probe was refuted (no budget cut swallowed one).
+func exactVerdict(ii int, lastUnsat *sched.Unsat, budgetCut bool) *sched.Optimality {
+	o := &sched.Optimality{HeurII: ii, ExactII: ii, Verdict: sched.VerdictOptimal}
+	if budgetCut {
+		o.Verdict = sched.VerdictBudget
+		o.Cert = "a smaller II was cut by budget, not refuted"
+		return o
+	}
+	switch {
+	case ii == 1:
+		o.Cert = "II=1 is the unconditional minimum"
+	case lastUnsat != nil:
+		o.Cert = lastUnsat.Describe()
+	default:
+		o.Cert = fmt.Sprintf("II=%d is the analytic lower bound (ResMII/RecMII)", ii)
+	}
+	return o
+}
+
+// runProver fills Result.Opt with the exact prover's verdict when one
+// is configured. The heuristic's achieved II counts even when register
+// pressure rejected the schedule — the gap question is about the II.
+func runProver(res *Result, g *sched.Graph, d *machine.Desc, cfg Config, maxII int) {
+	if cfg.Prove == nil || res.Opt != nil {
+		return
+	}
+	res.Opt = sched.Prove(g, d, cfg.Prove, res.II, maxII)
 }
 
 func withoutBranch(ins []*ir.Instr) []*ir.Instr {
@@ -102,289 +209,20 @@ func withoutBranch(ins []*ir.Instr) []*ir.Instr {
 	return ins
 }
 
-// buildDDG constructs the <dist, latency> dependence edges.
-func buildDDG(ins []*ir.Instr, d *machine.Desc, useTags bool) []edge {
-	var edges []edge
-	n := len(ins)
-
-	// Register dependences. Block-local temporaries are written before
-	// every use; scalar home registers (accumulators, induction
-	// variables) have upward-exposed uses that carry values between
-	// iterations.
-	firstDef := map[int]int{}
-	for i, in := range ins {
-		if in.Dst >= 0 {
-			if _, ok := firstDef[in.Dst]; !ok {
-				firstDef[in.Dst] = i
-			}
-		}
-	}
-	lastDef := map[int]int{}
-	for j, in := range ins {
-		for _, r := range in.Uses() {
-			if i, ok := lastDef[r]; ok {
-				edges = append(edges, edge{i, j, 0, int64(d.Latency(ins[i]))}) // RAW
-			} else if i, ok := firstDef[r]; ok {
-				// Upward-exposed use: value from the previous iteration.
-				edges = append(edges, edge{i, j, 1, int64(d.Latency(ins[i]))})
-			}
-		}
-		if in.Dst >= 0 {
-			lastDef[in.Dst] = j
-		}
-	}
-	// Rotating-register model: carried WAR/WAW on registers are handled
-	// by modulo variable expansion, so no edges — their cost shows up as
-	// register pressure instead.
-
-	// Memory dependences.
-	for j := 0; j < n; j++ {
-		if !ins[j].Op.IsMem() {
-			continue
-		}
-		for i := 0; i < j; i++ {
-			if !ins[i].Op.IsMem() || ins[i].Arr != ins[j].Arr {
-				continue
-			}
-			if ins[i].Op == ir.Load && ins[j].Op == ir.Load {
-				continue
-			}
-			lat := int64(0)
-			if ins[i].Op == ir.Store {
-				lat = int64(d.Lat.Store)
-			}
-			if !useTags {
-				edges = append(edges, edge{i, j, 0, lat})
-				edges = append(edges, edge{i, j, 1, lat})
-				edges = append(edges, edge{j, i, 1, int64(d.Lat.Store)})
-				continue
-			}
-			res, dist := ir.TagDistance(ins[i].Tag, ins[j].Tag)
-			switch res {
-			case dep.DistNone:
-			case dep.DistExact:
-				switch {
-				case dist == 0:
-					edges = append(edges, edge{i, j, 0, lat})
-				case dist > 0:
-					edges = append(edges, edge{i, j, dist, lat})
-				default:
-					edges = append(edges, edge{j, i, -dist, int64(d.Lat.Store)})
-				}
-			default:
-				edges = append(edges, edge{i, j, 0, lat})
-				edges = append(edges, edge{i, j, 1, lat})
-				edges = append(edges, edge{j, i, 1, int64(d.Lat.Store)})
-			}
-		}
-	}
-	return edges
-}
-
-// resMII is the resource-constrained lower bound.
-func resMII(ins []*ir.Instr, d *machine.Desc) int {
-	var counts [4]int
-	for _, in := range ins {
-		counts[machine.UnitOf(in)]++
-	}
-	m := (len(ins) + d.IssueWidth - 1) / d.IssueWidth
-	for fu, c := range counts {
-		if c == 0 {
-			continue
-		}
-		units := d.Units[fu]
-		if units == 0 {
-			units = 1
-		}
-		if v := (c + units - 1) / units; v > m {
-			m = v
-		}
-	}
-	if m < 1 {
-		m = 1
-	}
-	return m
-}
-
 // recMII is the recurrence-constrained lower bound: the smallest II
 // that admits no positive-weight cycle (reusing the difMin/ISP
 // machinery, found by binary search — validity is monotone in II).
 // Returns -1 when no II up to maxII works.
-func recMII(n int, edges []edge, maxII int) int {
-	g := &ddg.Graph{N: n}
-	g.Edges = make([]ddg.Edge, 0, len(edges))
-	for _, e := range edges {
-		g.Edges = append(g.Edges, ddg.Edge{From: e.from, To: e.to, Dist: e.dist, Delay: e.lat})
+func recMII(g *sched.Graph, maxII int) int {
+	dg := &ddg.Graph{N: g.N()}
+	dg.Edges = make([]ddg.Edge, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		dg.Edges = append(dg.Edges, ddg.Edge{From: e.From, To: e.To, Dist: e.Dist, Delay: e.Lat})
 	}
-	if ii := mii.FindMinValid(g, int64(maxII)); ii > 0 {
+	if ii := mii.FindMinValid(dg, int64(maxII)); ii > 0 {
 		return int(ii)
 	}
 	return -1
-}
-
-// tryII attempts to place every instruction into a modulo reservation
-// table with the given II, with eviction-based backtracking (Rau's
-// iterative scheme).
-func tryII(ins []*ir.Instr, edges []edge, d *machine.Desc, ii int, budget int) ([]int, bool) {
-	n := len(ins)
-	preds := make([][]edge, n)
-	succs := make([][]edge, n)
-	for _, e := range edges {
-		preds[e.to] = append(preds[e.to], e)
-		succs[e.from] = append(succs[e.from], e)
-	}
-	// Height priority on the distance-0 subgraph.
-	height := make([]int64, n)
-	for changed, rounds := true, 0; changed && rounds < n+2; rounds++ {
-		changed = false
-		for i := n - 1; i >= 0; i-- {
-			h := int64(0)
-			for _, e := range succs[i] {
-				if e.dist == 0 {
-					if v := height[e.to] + e.lat; v > h {
-						h = v
-					}
-				}
-			}
-			if h > height[i] {
-				height[i] = h
-				changed = true
-			}
-		}
-	}
-
-	sigma := make([]int, n)
-	placed := make([]bool, n)
-	prevTime := make([]int, n)
-	for i := range prevTime {
-		prevTime[i] = -1
-	}
-	// Modulo reservation table: per row, per FU usage and total issue.
-	type rowUse struct {
-		fu    [4]int
-		total int
-	}
-	rt := make([]rowUse, ii)
-
-	fits := func(i, t int) bool {
-		row := ((t % ii) + ii) % ii
-		fu := machine.UnitOf(ins[i])
-		return rt[row].fu[fu] < d.Units[fu] && rt[row].total < d.IssueWidth
-	}
-	place := func(i, t int) {
-		row := ((t % ii) + ii) % ii
-		fu := machine.UnitOf(ins[i])
-		rt[row].fu[fu]++
-		rt[row].total++
-		sigma[i] = t
-		placed[i] = true
-		prevTime[i] = t
-	}
-	remove := func(i int) {
-		row := ((sigma[i] % ii) + ii) % ii
-		fu := machine.UnitOf(ins[i])
-		rt[row].fu[fu]--
-		rt[row].total--
-		placed[i] = false
-	}
-
-	// Worklist ordered by height (simple priority queue by rescan).
-	work := make([]int, n)
-	for i := range work {
-		work[i] = i
-	}
-	pick := func() int {
-		best := -1
-		for _, i := range work {
-			if placed[i] {
-				continue
-			}
-			if best == -1 || height[i] > height[best] || (height[i] == height[best] && i < best) {
-				best = i
-			}
-		}
-		return best
-	}
-
-	for remaining := n; remaining > 0; {
-		i := pick()
-		if i < 0 {
-			break
-		}
-		est := 0
-		for _, e := range preds[i] {
-			if placed[e.from] {
-				if v := sigma[e.from] + int(e.lat) - ii*int(e.dist); v > est {
-					est = v
-				}
-			}
-		}
-		if prevTime[i] >= 0 && est <= prevTime[i] {
-			est = prevTime[i] + 1
-		}
-		slot := -1
-		for t := est; t < est+ii; t++ {
-			if fits(i, t) {
-				slot = t
-				break
-			}
-		}
-		force := false
-		if slot < 0 {
-			slot = est
-			force = true
-		}
-		if force {
-			// Evict conflicting instructions in the target row.
-			row := ((slot % ii) + ii) % ii
-			fu := machine.UnitOf(ins[i])
-			for j := 0; j < n; j++ {
-				if !placed[j] || j == i {
-					continue
-				}
-				jr := ((sigma[j] % ii) + ii) % ii
-				if jr == row && (machine.UnitOf(ins[j]) == fu || rt[row].total >= d.IssueWidth) {
-					remove(j)
-					remaining++
-				}
-				if fits(i, slot) {
-					break
-				}
-			}
-			if !fits(i, slot) {
-				return nil, false
-			}
-		}
-		place(i, slot)
-		remaining--
-		// Displace placed successors whose constraint broke.
-		for _, e := range succs[i] {
-			if placed[e.to] && sigma[e.to] < sigma[i]+int(e.lat)-ii*int(e.dist) {
-				remove(e.to)
-				remaining++
-			}
-		}
-		budget--
-		if budget <= 0 && remaining > 0 {
-			return nil, false
-		}
-	}
-	for i := 0; i < n; i++ {
-		if !placed[i] {
-			return nil, false
-		}
-	}
-	// Normalize: shift so the earliest slot is 0.
-	min := sigma[0]
-	for _, s := range sigma {
-		if s < min {
-			min = s
-		}
-	}
-	for i := range sigma {
-		sigma[i] -= min
-	}
-	return sigma, true
 }
 
 // pressure estimates register pressure of the pipelined schedule: each

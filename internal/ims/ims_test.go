@@ -11,7 +11,7 @@ import (
 )
 
 // loopBody compiles src and returns its innermost loop body block.
-func loopBody(t *testing.T, src string) *ir.Block {
+func loopBody(t testing.TB, src string) *ir.Block {
 	t.Helper()
 	f, err := backend.Compile(source.MustParse(src))
 	if err != nil {

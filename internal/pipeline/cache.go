@@ -159,7 +159,7 @@ func compileForCachedCtxSpan(ctx context.Context, sp *obs.Span, p *source.Progra
 			e.err = err
 			return
 		}
-		e.art = scheduleFor(f.Clone(), d, cc)
+		e.art, e.err = scheduleFor(f.Clone(), d, cc)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: compile aborted: %w", err)

@@ -43,6 +43,26 @@ type Compiler struct {
 	// Window bounds the list scheduler's program-order lookahead
 	// (0 = unbounded). Weak compilers schedule within a small window.
 	Window int
+	// Scheduler names the modulo-scheduling backend for IMS-bearing
+	// compiles: "" or "ims" (Rau's heuristic, the default) or "exact"
+	// (the SDC-based exact scheduler, whose first accepted II is proven
+	// minimal). Resolved through the sched registry, so an unknown name
+	// is a compile-time error, never a silent fallback.
+	Scheduler string
+	// Effort tunes the exact search budget: "" or "standard" (the
+	// default budget), "quick" (a small budget), "max" (unlimited).
+	// Under the heuristic backend a non-empty effort additionally runs
+	// the exact prover after the II search, attaching the optimality
+	// verdict (Result.Opt) at that effort.
+	Effort string
+}
+
+// SchedulerConfig resolves a scheduler name and effort level into the
+// ims backend configuration (see ims.EffortConfig). The pipeline, the
+// CLIs and slmsd all validate through it, so unknown names and effort
+// levels come back as errors listing the accepted values.
+func SchedulerConfig(scheduler, effort string) (ims.Config, error) {
+	return ims.EffortConfig(scheduler, effort)
 }
 
 // Standard final-compiler configurations.
@@ -152,9 +172,10 @@ func lower(p *source.Program) (*ir.Func, error) {
 // scheduleFor runs the machine-dependent back half: register
 // allocation, block scheduling and (for strong static compilers) IMS.
 // It mutates f — pass a Clone when the lowered function is shared.
-func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) *Artifact {
-	art, _ := scheduleForCtx(context.Background(), f, d, cc) // never errs without a deadline
-	return art
+// Without a deadline the only failure mode is an invalid scheduler
+// configuration.
+func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) (*Artifact, error) {
+	return scheduleForCtx(context.Background(), f, d, cc)
 }
 
 // scheduleForCtx is scheduleFor with a cancellation checkpoint before
@@ -169,6 +190,10 @@ func scheduleFor(f *ir.Func, d *machine.Desc, cc Compiler) *Artifact {
 // out of the concurrent phase).
 func scheduleForCtx(ctx context.Context, f *ir.Func, d *machine.Desc, cc Compiler) (*Artifact, error) {
 	done := ctx.Done()
+	imsCfg, err := SchedulerConfig(cc.Scheduler, cc.Effort)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
 	alloc := backend.Allocate(f, d)
 	art := &Artifact{
 		Func: f, Alloc: alloc,
@@ -203,7 +228,7 @@ func scheduleForCtx(ctx context.Context, f *ir.Func, d *machine.Desc, cc Compile
 		}
 		outs[i].sched = sched
 		if b.IsLoopBody && cc.IMS && d.Policy == machine.Static && b.Counted {
-			outs[i].ims = ims.Schedule(b, d, cc.Tags)
+			outs[i].ims = ims.ScheduleWith(b, d, cc.Tags, imsCfg)
 		}
 	})
 	if canceled.Load() {

@@ -1,0 +1,332 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"slms/internal/machine"
+	"slms/internal/sched"
+)
+
+// testMachine builds a minimal description: unit counts per class and
+// an issue width, unit latencies elsewhere.
+func testMachine(intU, fpU, memU, iw int) *machine.Desc {
+	return &machine.Desc{
+		Name:       "test",
+		IssueWidth: iw,
+		Units:      [4]int{intU, fpU, memU, 1},
+		Lat:        machine.Lat{IntOp: 1, FloatOp: 1, Load: 1, Store: 1, Branch: 1},
+		IntRegs:    64, FPRegs: 64,
+	}
+}
+
+func intNode(lat int) sched.Node { return sched.Node{FU: machine.FUInt, Lat: lat} }
+
+func mustSchedule(t *testing.T, s *Sched, g *sched.Graph, d *machine.Desc, ii int) *sched.Schedule {
+	t.Helper()
+	sc, err := s.Schedule(g, d, ii)
+	if err != nil {
+		t.Fatalf("Schedule(II=%d): %v", ii, err)
+	}
+	if err := sched.Check(g, d, sc); err != nil {
+		t.Fatalf("Schedule(II=%d) returned invalid schedule: %v", ii, err)
+	}
+	return sc
+}
+
+func mustUnsat(t *testing.T, s *Sched, g *sched.Graph, d *machine.Desc, ii int) *sched.Unsat {
+	t.Helper()
+	sc, err := s.Schedule(g, d, ii)
+	if sc != nil {
+		t.Fatalf("Schedule(II=%d) succeeded, want UNSAT", ii)
+	}
+	var u *sched.Unsat
+	if !errors.As(err, &u) {
+		t.Fatalf("Schedule(II=%d) failed with %v, want *sched.Unsat", ii, err)
+	}
+	if err := u.Recheck(g, d); err != nil {
+		t.Fatalf("certificate at II=%d does not recheck: %v", ii, err)
+	}
+	return u
+}
+
+func TestEmptyGraph(t *testing.T) {
+	s := &Sched{}
+	sc, err := s.Schedule(&sched.Graph{}, testMachine(1, 1, 1, 1), 1)
+	if err != nil || sc == nil || sc.II != 1 || len(sc.Time) != 0 {
+		t.Fatalf("empty graph: got %v, %v", sc, err)
+	}
+}
+
+func TestInvalidII(t *testing.T) {
+	s := &Sched{}
+	g := &sched.Graph{Nodes: []sched.Node{intNode(1)}}
+	if _, err := s.Schedule(g, testMachine(1, 1, 1, 1), 0); err == nil {
+		t.Fatal("II=0 must fail")
+	}
+}
+
+// Three independent int ops on one int unit: resource-bound at II=3.
+func TestResourceBound(t *testing.T) {
+	s := &Sched{}
+	d := testMachine(1, 1, 1, 1)
+	g := &sched.Graph{Nodes: []sched.Node{intNode(1), intNode(1), intNode(1)}}
+
+	u := mustUnsat(t, s, g, d, 2)
+	if u.Kind != sched.UnsatResource {
+		t.Fatalf("II=2 certificate kind = %v, want resource", u.Kind)
+	}
+	mustSchedule(t, s, g, d, 3)
+}
+
+// A two-node recurrence a→b (lat 2), b→a (lat 2, dist 1) needs
+// II ≥ ⌈4/1⌉ = 4; II=3 must yield a cycle certificate.
+func TestRecurrenceBound(t *testing.T) {
+	s := &Sched{}
+	d := testMachine(2, 2, 2, 4)
+	g := &sched.Graph{
+		Nodes: []sched.Node{intNode(2), intNode(2)},
+		Edges: []sched.Edge{
+			{From: 0, To: 1, Dist: 0, Lat: 2},
+			{From: 1, To: 0, Dist: 1, Lat: 2},
+		},
+	}
+	u := mustUnsat(t, s, g, d, 3)
+	if u.Kind != sched.UnsatCycle {
+		t.Fatalf("II=3 certificate kind = %v, want cycle", u.Kind)
+	}
+	sc := mustSchedule(t, s, g, d, 4)
+	if sc.Time[1]-sc.Time[0] < 2 {
+		t.Fatalf("dependence violated: times %v", sc.Time)
+	}
+}
+
+// An intra-iteration positive self-cycle (dist 0) is infeasible at
+// every II.
+func TestIntraIterationCycle(t *testing.T) {
+	s := &Sched{}
+	d := testMachine(2, 2, 2, 4)
+	g := &sched.Graph{
+		Nodes: []sched.Node{intNode(1), intNode(1)},
+		Edges: []sched.Edge{
+			{From: 0, To: 1, Dist: 0, Lat: 1},
+			{From: 1, To: 0, Dist: 0, Lat: 1},
+		},
+	}
+	for ii := 1; ii <= 6; ii++ {
+		u := mustUnsat(t, s, g, d, ii)
+		if u.Kind != sched.UnsatCycle {
+			t.Fatalf("II=%d certificate kind = %v, want cycle", ii, u.Kind)
+		}
+	}
+}
+
+// The search path (not the root certificates) must also refute: craft a
+// graph where counting and recurrence bounds both admit the II but the
+// interaction of residues and resources does not. Two int ops that must
+// issue in the same cycle (zero-latency chain with a tight recurrence)
+// on a 1-wide int unit.
+func TestSearchRefutation(t *testing.T) {
+	s := &Sched{}
+	d := testMachine(1, 1, 1, 2)
+	// a →[lat 0] b and b →[lat 2, dist 1] a force t(b) ≥ t(a) and
+	// t(a) + 2 ≤ t(b) + 2·1 at II=2 ⟹ t(b) ∈ {t(a), t(a)+1} won't both
+	// fit... enumerate: feasible iff both can share rows under 1 int/row.
+	g := &sched.Graph{
+		Nodes: []sched.Node{intNode(1), intNode(1), intNode(1)},
+		Edges: []sched.Edge{
+			{From: 0, To: 1, Dist: 0, Lat: 0},
+			{From: 1, To: 2, Dist: 0, Lat: 0},
+			{From: 2, To: 0, Dist: 1, Lat: 0},
+		},
+	}
+	// 3 int ops, 1 unit: II=3 is the counting bound; II=3 with the
+	// zero-latency ring is feasible (one per row).
+	mustSchedule(t, s, g, d, 3)
+}
+
+func TestBudgetCut(t *testing.T) {
+	s := &Sched{Budget: 1}
+	d := testMachine(1, 1, 1, 1)
+	// Infeasible-by-search instance would need enumeration; budget 1
+	// must cut before completing it. Use a feasible instance large
+	// enough that one node expansion cannot finish.
+	g := &sched.Graph{Nodes: []sched.Node{intNode(1), intNode(1), intNode(1), intNode(1)}}
+	_, err := s.Schedule(g, d, 4)
+	var bd *sched.Budget
+	if !errors.As(err, &bd) {
+		t.Fatalf("budget 1: got %v, want *sched.Budget", err)
+	}
+	if bd.II != 4 || bd.Visited < 1 {
+		t.Fatalf("budget record %+v", bd)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	s := &Sched{Budget: -1}
+	d := testMachine(1, 1, 1, 1)
+	g := &sched.Graph{Nodes: []sched.Node{intNode(1), intNode(1)}}
+	mustSchedule(t, s, g, d, 2)
+}
+
+// bruteFeasible is the independent oracle: enumerate every residue
+// assignment (resource rows are a function of residues alone), and for
+// each resource-feasible one decide the σ-difference system by plain
+// synchronous Bellman–Ford from zero potentials — n rounds converge
+// when no positive cycle exists, and a round-n+1 relaxation refutes.
+// No incremental state, no trail, no pruning order: a different code
+// path from the scheduler under test.
+func bruteFeasible(g *sched.Graph, d *machine.Desc, ii int) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	iw := sched.IssueWidthOf(d)
+	rho := make([]int, n)
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n {
+			// Resource rows.
+			rowFU := make([][4]int, ii)
+			rowT := make([]int, ii)
+			for v := 0; v < n; v++ {
+				r := rho[v]
+				fu := g.Nodes[v].FU
+				rowFU[r][fu]++
+				rowT[r]++
+				if rowFU[r][fu] > sched.UnitsOf(d, fu) || rowT[r] > iw {
+					return false
+				}
+			}
+			// σ-system feasibility.
+			pot := make([]int64, n)
+			for pass := 0; pass < n; pass++ {
+				changed := false
+				for _, e := range g.Edges {
+					w := ceilDiv(e.Lat-int64(ii)*e.Dist-int64(rho[e.To])+int64(rho[e.From]), int64(ii))
+					if v := pot[e.From] + w; v > pot[e.To] {
+						pot[e.To] = v
+						changed = true
+					}
+				}
+				if !changed {
+					return true
+				}
+			}
+			for _, e := range g.Edges {
+				w := ceilDiv(e.Lat-int64(ii)*e.Dist-int64(rho[e.To])+int64(rho[e.From]), int64(ii))
+				if pot[e.From]+w > pot[e.To] {
+					return false // positive cycle
+				}
+			}
+			return true
+		}
+		for r := 0; r < ii; r++ {
+			rho[k] = r
+			if try(k + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0)
+}
+
+// TestDifferentialBruteForce cross-checks the scheduler against the
+// oracle on random small instances: agreement on feasibility, valid
+// schedules, recheckable certificates.
+func TestDifferentialBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &Sched{Budget: -1}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		g := &sched.Graph{Nodes: make([]sched.Node, n)}
+		for i := range g.Nodes {
+			g.Nodes[i] = sched.Node{FU: machine.FU(rng.Intn(3)), Lat: 1 + rng.Intn(3)}
+		}
+		ne := rng.Intn(2 * n)
+		for e := 0; e < ne; e++ {
+			g.Edges = append(g.Edges, sched.Edge{
+				From: rng.Intn(n), To: rng.Intn(n),
+				Dist: int64(rng.Intn(3)), Lat: int64(1 + rng.Intn(3)),
+			})
+		}
+		d := testMachine(1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(3))
+		for ii := 1; ii <= 4; ii++ {
+			want := bruteFeasible(g, d, ii)
+			sc, err := s.Schedule(g, d, ii)
+			if sc != nil != want {
+				t.Fatalf("trial %d II=%d: scheduler=%v oracle=%v\nnodes=%+v\nedges=%+v\nmachine=%+v",
+					trial, ii, sc != nil, want, g.Nodes, g.Edges, d.Units)
+			}
+			if sc != nil {
+				if err := sched.Check(g, d, sc); err != nil {
+					t.Fatalf("trial %d II=%d: invalid schedule: %v", trial, ii, err)
+				}
+			} else {
+				var u *sched.Unsat
+				if !errors.As(err, &u) {
+					t.Fatalf("trial %d II=%d: non-proof failure %v with unlimited budget", trial, ii, err)
+				}
+				if rerr := u.Recheck(g, d); rerr != nil {
+					t.Fatalf("trial %d II=%d: certificate does not recheck: %v", trial, ii, rerr)
+				}
+			}
+		}
+	}
+}
+
+// Monotonicity: feasibility at II implies feasibility at II+1 (the
+// scheduler must never refute a larger II after accepting a smaller).
+func TestMonotoneInII(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := &Sched{Budget: -1}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(3)
+		g := &sched.Graph{Nodes: make([]sched.Node, n)}
+		for i := range g.Nodes {
+			g.Nodes[i] = sched.Node{FU: machine.FU(rng.Intn(3)), Lat: 1 + rng.Intn(2)}
+		}
+		for e := 0; e < n; e++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			dist := int64(0)
+			if to <= from {
+				dist = 1 + int64(rng.Intn(2))
+			}
+			g.Edges = append(g.Edges, sched.Edge{From: from, To: to, Dist: dist, Lat: int64(1 + rng.Intn(2))})
+		}
+		d := testMachine(1, 1, 1, 2)
+		feasibleSeen := false
+		for ii := 1; ii <= 6; ii++ {
+			sc, _ := s.Schedule(g, d, ii)
+			if sc != nil {
+				feasibleSeen = true
+			} else if feasibleSeen {
+				t.Fatalf("trial %d: feasible at a smaller II but refuted at II=%d", trial, ii)
+			}
+		}
+	}
+}
+
+func TestRegistryHasExact(t *testing.T) {
+	s, err := sched.Get("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Caps().Exact {
+		t.Fatal("registered exact backend does not claim Caps().Exact")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 4}, {6, 2, 3}, {-7, 2, -3}, {-6, 2, -3}, {0, 3, 0}, {1, 3, 1}, {-1, 3, 0},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Fatalf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

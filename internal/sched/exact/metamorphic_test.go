@@ -1,0 +1,122 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"slms/internal/machine"
+	"slms/internal/sched"
+)
+
+// provenMinII probes IIs upward with the unlimited-budget exact backend
+// and returns the first feasible one (0 when none up to maxII is).
+func provenMinII(t *testing.T, g *sched.Graph, d *machine.Desc, maxII int) int {
+	t.Helper()
+	s := &Sched{Budget: -1}
+	for ii := 1; ii <= maxII; ii++ {
+		if sc, _ := s.Schedule(g, d, ii); sc != nil {
+			return ii
+		}
+	}
+	return 0
+}
+
+func randomGraph(rng *rand.Rand, n int) *sched.Graph {
+	g := &sched.Graph{Nodes: make([]sched.Node, n)}
+	for i := range g.Nodes {
+		g.Nodes[i] = sched.Node{FU: machine.FU(rng.Intn(3)), Lat: 1 + rng.Intn(3)}
+	}
+	for e := 0; e < n+rng.Intn(n+1); e++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		dist := int64(rng.Intn(3))
+		if dist == 0 && to <= from {
+			dist = 1 // keep dist-0 edges forward: no intra-iteration cycles
+		}
+		g.Edges = append(g.Edges, sched.Edge{From: from, To: to, Dist: dist, Lat: int64(1 + rng.Intn(3))})
+	}
+	return g
+}
+
+// Metamorphic property 1 — latency scaling. Multiplying every node and
+// edge latency by k brackets the proven-minimal II: a schedule t at II
+// maps to k·t at k·II for the scaled graph (residues scale injectively,
+// so resource rows are preserved), and any schedule of the scaled graph
+// satisfies the original (k ≥ 1 only tightens constraints). Hence
+//
+//	minII(g) ≤ minII(scale(g, k)) ≤ k · minII(g).
+func TestMetamorphicLatencyScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(3)
+		g := randomGraph(rng, n)
+		d := testMachine(1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(3))
+		base := provenMinII(t, g, d, 24)
+		if base == 0 {
+			continue
+		}
+		for _, k := range []int64{2, 3} {
+			scaled := &sched.Graph{Nodes: make([]sched.Node, n)}
+			for i, nd := range g.Nodes {
+				scaled.Nodes[i] = sched.Node{FU: nd.FU, Lat: nd.Lat * int(k)}
+			}
+			for _, e := range g.Edges {
+				scaled.Edges = append(scaled.Edges, sched.Edge{From: e.From, To: e.To, Dist: e.Dist, Lat: e.Lat * k})
+			}
+			got := provenMinII(t, scaled, d, int(k)*24)
+			if got < base || got > int(k)*base {
+				t.Fatalf("trial %d k=%d: minII(scaled)=%d outside [%d, %d]\nnodes=%+v edges=%+v",
+					trial, k, got, base, int(k)*base, g.Nodes, g.Edges)
+			}
+		}
+	}
+}
+
+// Metamorphic property 2 — permutation invariance. Relabeling the nodes
+// by any permutation never changes the proven-minimal II: the search
+// order may differ wildly, the proof may take a different path, but the
+// verdict is a property of the graph, not of its encoding.
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		g := randomGraph(rng, n)
+		d := testMachine(1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(3))
+		base := provenMinII(t, g, d, 24)
+		for p := 0; p < 3; p++ {
+			perm := rng.Perm(n)
+			pg := &sched.Graph{Nodes: make([]sched.Node, n)}
+			for i, nd := range g.Nodes {
+				pg.Nodes[perm[i]] = nd
+			}
+			for _, e := range g.Edges {
+				pg.Edges = append(pg.Edges, sched.Edge{From: perm[e.From], To: perm[e.To], Dist: e.Dist, Lat: e.Lat})
+			}
+			if got := provenMinII(t, pg, d, 24); got != base {
+				t.Fatalf("trial %d perm %v: minII %d ≠ %d\nnodes=%+v edges=%+v",
+					trial, perm, got, base, g.Nodes, g.Edges)
+			}
+		}
+	}
+}
+
+// Metamorphic property 3 — unit monotonicity. Adding functional units
+// never raises the proven-minimal II.
+func TestMetamorphicUnitMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		g := randomGraph(rng, n)
+		narrow := testMachine(1, 1, 1, 1)
+		wide := testMachine(2, 2, 2, 4)
+		a := provenMinII(t, g, narrow, 24)
+		b := provenMinII(t, g, wide, 24)
+		if a == 0 || b == 0 {
+			continue
+		}
+		if b > a {
+			t.Fatalf("trial %d: wider machine raised minII %d → %d\nnodes=%+v edges=%+v",
+				trial, a, b, g.Nodes, g.Edges)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package exact
+
+import (
+	"slms/internal/ddg"
+	"slms/internal/mii"
+	"slms/internal/sched"
+)
+
+// cycleUnsat checks the t-SDC for a positive cycle at ii — a dependence
+// cycle whose total latency exceeds ii·(total distance), which no
+// assignment of issue times can satisfy regardless of resources. The
+// extraction reuses the mii Bellman–Ford machinery (Delay ← Lat); the
+// returned certificate's edges are copied field-for-field from the
+// graph so Unsat.Recheck's membership test verifies them exactly.
+// Returns nil when the recurrence constraints alone admit ii.
+func cycleUnsat(g *sched.Graph, ii int) *sched.Unsat {
+	dg := &ddg.Graph{N: g.N()}
+	dg.Edges = make([]ddg.Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		dg.Edges[i] = ddg.Edge{From: e.From, To: e.To, Dist: e.Dist, Delay: e.Lat}
+	}
+	cyc := mii.BindingCycle(dg, int64(ii))
+	if cyc == nil {
+		return nil
+	}
+	u := &sched.Unsat{II: ii, Kind: sched.UnsatCycle, Visited: 1}
+	for _, e := range cyc {
+		u.Cycle = append(u.Cycle, sched.Edge{From: e.From, To: e.To, Dist: e.Dist, Lat: e.Delay})
+	}
+	return u
+}

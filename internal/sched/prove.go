@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"slms/internal/ddg"
+	"slms/internal/machine"
+	"slms/internal/mii"
+)
+
+// Optimality verdicts. Every corpus loop the prover visits gets exactly
+// one of these.
+const (
+	// VerdictOptimal: the heuristic's II is proven minimal — every
+	// smaller II carries an UNSAT certificate (or is below a lower
+	// bound that is its own certificate).
+	VerdictOptimal = "proven-optimal"
+	// VerdictGap: the exact backend scheduled at a strictly smaller II
+	// than the heuristic, with an UNSAT certificate at that II−1.
+	VerdictGap = "gap"
+	// VerdictBudget: the exact search ran out of budget before either
+	// finding a schedule or refuting the II it was probing.
+	VerdictBudget = "budget-exhausted"
+	// VerdictExactOnly: the heuristic produced no schedule at all but
+	// the exact backend found one (and proved it minimal).
+	VerdictExactOnly = "exact-only"
+	// VerdictInfeasible: no II up to the search bound admits a
+	// schedule; the certificate names the binding recurrence.
+	VerdictInfeasible = "infeasible"
+)
+
+// Optimality is the prover's verdict on one loop: how the heuristic's
+// II compares to the proven-minimal one.
+type Optimality struct {
+	Verdict string `json:"verdict"`
+	// HeurII is the heuristic's achieved II (0 = it produced none).
+	HeurII int `json:"heur_ii,omitempty"`
+	// ExactII is the smallest II the exact backend scheduled at
+	// (0 = none found within budget/bound).
+	ExactII int `json:"exact_ii,omitempty"`
+	// Gap is HeurII − ExactII when the exact backend strictly wins.
+	Gap int `json:"gap,omitempty"`
+	// Cert describes why ExactII−1 (or every probed II) is infeasible.
+	Cert string `json:"cert,omitempty"`
+	// Visited is the branch-and-bound effort the proof spent.
+	Visited int `json:"visited,omitempty"`
+}
+
+// Prove establishes the minimal feasible II of the graph with an exact
+// backend and compares it against the heuristic's heurII (0 = the
+// heuristic failed). It probes IIs from the analytic lower bound
+// upward to maxII (or heurII, whichever is smaller and positive): every
+// probe either schedules — proving minimality, since all smaller IIs
+// are refuted — or yields an UNSAT certificate; a budget cut ends the
+// proof with VerdictBudget. The backend must be exact (Caps().Exact).
+func Prove(g *Graph, d *machine.Desc, ex Scheduler, heurII, maxII int) *Optimality {
+	if !ex.Caps().Exact {
+		return &Optimality{Verdict: VerdictBudget, HeurII: heurII,
+			Cert: fmt.Sprintf("backend %q is not exact; nothing can be proven", ex.Name())}
+	}
+	n := g.N()
+	if n == 0 {
+		return &Optimality{Verdict: VerdictOptimal, HeurII: heurII, ExactII: heurII,
+			Cert: "empty body"}
+	}
+	hi := maxII
+	if heurII > 0 && heurII < hi {
+		hi = heurII
+	}
+	if hi < 1 {
+		hi = 1
+	}
+
+	resLB := ResourceMinII(g, d)
+	recLB, recCert := recurrenceMinII(g, hi)
+	if recLB == 0 {
+		// No II up to the bound beats the recurrence: infeasible, and
+		// the positive cycle at the bound is the certificate.
+		o := &Optimality{Verdict: VerdictInfeasible, HeurII: heurII}
+		if recCert != nil {
+			o.Cert = recCert.Describe()
+		}
+		return o
+	}
+	lb := resLB
+	lbCert := &Unsat{II: resLB - 1, Kind: UnsatResource}
+	fillResourceCert(g, d, resLB-1, lbCert)
+	if recLB > lb {
+		lb = recLB
+		lbCert = recCert // the cycle forbidding recLB−1
+	}
+
+	lastUnsat := lbCert
+	visited := 0
+	for ii := lb; ii <= hi; ii++ {
+		s, err := ex.Schedule(g, d, ii)
+		if s != nil {
+			o := &Optimality{HeurII: heurII, ExactII: ii, Visited: visited}
+			if ii > 1 && lastUnsat != nil {
+				o.Cert = lastUnsat.Describe()
+			} else if ii == 1 {
+				o.Cert = "II=1 is the unconditional minimum"
+			}
+			switch {
+			case heurII == 0:
+				o.Verdict = VerdictExactOnly
+			case ii < heurII:
+				o.Verdict = VerdictGap
+				o.Gap = heurII - ii
+			default:
+				o.Verdict = VerdictOptimal
+			}
+			return o
+		}
+		var u *Unsat
+		var bd *Budget
+		switch {
+		case errors.As(err, &u):
+			lastUnsat = u
+			visited += u.Visited
+		case errors.As(err, &bd):
+			return &Optimality{Verdict: VerdictBudget, HeurII: heurII,
+				Visited: visited + bd.Visited,
+				Cert:    fmt.Sprintf("budget cut while probing II=%d (%d nodes expanded)", ii, visited+bd.Visited)}
+		default:
+			// A non-proof failure from a backend claiming exactness is a
+			// contract violation; surface it rather than mislabeling.
+			return &Optimality{Verdict: VerdictBudget, HeurII: heurII, Visited: visited,
+				Cert: fmt.Sprintf("exact backend failed without a proof at II=%d: %v", ii, err)}
+		}
+	}
+	// Every II up to the bound refuted. If the heuristic scheduled at
+	// heurII this is a contradiction (its schedule is a feasibility
+	// witness) — report it loudly instead of inventing a verdict.
+	o := &Optimality{Verdict: VerdictInfeasible, HeurII: heurII, Visited: visited}
+	if lastUnsat != nil {
+		o.Cert = lastUnsat.Describe()
+	}
+	if heurII > 0 && heurII <= hi {
+		o.Verdict = VerdictBudget
+		o.Cert = fmt.Sprintf("CONTRADICTION: exact refuted II=%d but the heuristic scheduled there; %s", heurII, o.Cert)
+	}
+	return o
+}
+
+// recurrenceMinII is the recurrence-constrained lower bound: the
+// smallest II admitting no positive-weight cycle, plus the cycle
+// certificate forbidding the II below it (nil when that II is 0).
+// Returns (0, cert-at-bound) when no II up to maxII is valid.
+func recurrenceMinII(g *Graph, maxII int) (int, *Unsat) {
+	dg := toDDG(g)
+	ii := mii.FindMinValid(dg, int64(maxII))
+	if ii == 0 {
+		return 0, cycleCert(g, dg, maxII)
+	}
+	if ii <= 1 {
+		return int(ii), nil
+	}
+	return int(ii), cycleCert(g, dg, int(ii)-1)
+}
+
+// toDDG views the machine-level graph through the ddg/mii cycle
+// machinery (Delay ← Lat): the positive-cycle test and the binding-
+// cycle extraction are shared with the source-level MII search.
+func toDDG(g *Graph) *ddg.Graph {
+	dg := &ddg.Graph{N: g.N()}
+	dg.Edges = make([]ddg.Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		dg.Edges[i] = ddg.Edge{From: e.From, To: e.To, Dist: e.Dist, Delay: e.Lat}
+	}
+	return dg
+}
+
+// cycleCert extracts the positive cycle forbidding ii as an Unsat
+// certificate (nil when ii admits a schedule recurrence-wise).
+func cycleCert(g *Graph, dg *ddg.Graph, ii int) *Unsat {
+	if ii < 1 {
+		return nil
+	}
+	cyc := mii.BindingCycle(dg, int64(ii))
+	if cyc == nil {
+		return nil
+	}
+	u := &Unsat{II: ii, Kind: UnsatCycle}
+	for _, e := range cyc {
+		u.Cycle = append(u.Cycle, Edge{From: e.From, To: e.To, Dist: e.Dist, Lat: e.Delay})
+	}
+	return u
+}
+
+// fillResourceCert completes a resource certificate for the class that
+// overflows ii rows (FU = −1 when the issue width is the bound).
+func fillResourceCert(g *Graph, d *machine.Desc, ii int, u *Unsat) {
+	u.FU = -1
+	u.Count = len(g.Nodes)
+	u.Units = IssueWidthOf(d)
+	if ii < 1 {
+		return
+	}
+	var counts [4]int
+	for _, n := range g.Nodes {
+		counts[n.FU]++
+	}
+	for fu, c := range counts {
+		if c > ii*UnitsOf(d, machine.FU(fu)) {
+			u.FU = fu
+			u.Count = c
+			u.Units = UnitsOf(d, machine.FU(fu))
+			return
+		}
+	}
+}

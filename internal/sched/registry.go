@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps stable backend names to Scheduler implementations.
+// Backends register from init (package ims registers "ims", package
+// sched/exact registers "exact"); the pipeline, the CLIs and slmsd
+// resolve requests through Get so an unknown name is a validation
+// error, never a silent fallback.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Scheduler
+}{m: map[string]Scheduler{}}
+
+// DefaultName is the scheduler used when a configuration names none:
+// the paper's Rau-style iterative modulo scheduling heuristic.
+const DefaultName = "ims"
+
+// Register installs a backend under its Name. Registering a duplicate
+// name panics — backend names are part of the public configuration
+// surface and must be unambiguous.
+func Register(s Scheduler) {
+	registry.Lock()
+	defer registry.Unlock()
+	name := s.Name()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate scheduler %q", name))
+	}
+	registry.m[name] = s
+}
+
+// Get resolves a backend by name; the empty name resolves to
+// DefaultName. The error lists the registered names so CLI and server
+// validation messages are self-serve.
+func Get(name string) (Scheduler, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	registry.RLock()
+	s, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown scheduler %q (want one of %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,256 @@
+// Package sched defines the pluggable machine-level modulo-scheduler
+// interface the strong final compilers draw from. A Scheduler attempts
+// to place the instructions of one loop body into a modulo reservation
+// table at a fixed candidate initiation interval; the II search, the
+// MII lower bounds and the register-pressure rejection stay in the
+// driver (package ims), so heuristic and exact backends are
+// interchangeable per attempt.
+//
+// Two backends register here: "ims", Rau's iterative modulo scheduling
+// heuristic (package ims), and "exact", an SDC-based exact scheduler
+// (package sched/exact) whose per-II failures are proofs — it returns
+// an UNSAT certificate instead of giving up, which is what turns the II
+// search into an optimality prover (see prove.go).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"slms/internal/machine"
+)
+
+// Node is one schedulable instruction of a loop body: its functional
+// unit class and result latency are all a modulo scheduler needs.
+type Node struct {
+	FU  machine.FU
+	Lat int
+}
+
+// Edge is a machine-level dependence with its <iteration-distance,
+// latency> label: any schedule must satisfy
+//
+//	t(To) ≥ t(From) + Lat − II·Dist.
+type Edge struct {
+	From, To int
+	Dist     int64
+	Lat      int64
+}
+
+// Graph is the instruction-level dependence graph of one loop body,
+// the common input of every Scheduler backend.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+
+	// prio/heights memoize the height-based priority (see
+	// PriorityOrder): heights depend only on the distance-0 subgraph
+	// and latencies, never on the candidate II, so one computation
+	// serves every retry of the II search.
+	prio     []int
+	heights  []int64
+	prioOnce sync.Once
+}
+
+// N is the node count.
+func (g *Graph) N() int { return len(g.Nodes) }
+
+// Schedule is a modulo schedule at initiation interval II: Time[i] is
+// the issue cycle of node i (normalized so the earliest is 0); the
+// reservation-table row of node i is Time[i] mod II.
+type Schedule struct {
+	II   int
+	Time []int
+}
+
+// Caps describes what a backend's answers mean.
+type Caps struct {
+	// Exact: a failure at II proves no schedule exists at that II (the
+	// backend returns *Unsat certificates, not ErrGiveUp), so the first
+	// II it schedules is the proven minimum.
+	Exact bool
+}
+
+// Scheduler is one modulo-scheduling backend.
+type Scheduler interface {
+	// Name is the stable registry key ("ims", "exact").
+	Name() string
+	// Caps reports the backend's capability flags.
+	Caps() Caps
+	// Schedule attempts to place every node at initiation interval ii.
+	// Failures are ErrGiveUp (heuristic exhausted, proves nothing), an
+	// *Unsat certificate (exact backends), or *Budget (exact backend
+	// ran out of search budget before either outcome).
+	Schedule(g *Graph, d *machine.Desc, ii int) (*Schedule, error)
+}
+
+// ErrGiveUp reports a heuristic failure at one II: the backend could
+// not place every instruction within its effort bound. It proves
+// nothing about feasibility — the II search just moves on.
+var ErrGiveUp = errors.New("sched: backend gave up at this II (not a proof of infeasibility)")
+
+// Budget reports that an exact backend exhausted its search budget at
+// one II with neither a schedule nor an UNSAT proof.
+type Budget struct {
+	II      int
+	Visited int // branch-and-bound nodes expanded before the cut
+}
+
+func (b *Budget) Error() string {
+	return fmt.Sprintf("sched: exact search budget exhausted at II=%d after %d nodes", b.II, b.Visited)
+}
+
+// UnitsOf returns the machine's unit count for a class, normalized the
+// way every backend (and resMII) treats a description: a class with no
+// declared units still executes, one at a time.
+func UnitsOf(d *machine.Desc, fu machine.FU) int {
+	if u := d.Units[fu]; u > 0 {
+		return u
+	}
+	return 1
+}
+
+// IssueWidthOf normalizes the issue width the same way.
+func IssueWidthOf(d *machine.Desc) int {
+	if d.IssueWidth > 0 {
+		return d.IssueWidth
+	}
+	return 1
+}
+
+// Check verifies a schedule against the graph and machine: every
+// dependence edge holds under the modulo timing, and no reservation-
+// table row overflows a functional unit or the issue width. A nil
+// return is the self-check every backend's output must pass (the fuzz
+// harness and the differential battery both enforce it).
+func Check(g *Graph, d *machine.Desc, s *Schedule) error {
+	if s == nil {
+		return errors.New("sched: nil schedule")
+	}
+	if s.II < 1 {
+		return fmt.Errorf("sched: invalid II=%d", s.II)
+	}
+	if len(s.Time) != len(g.Nodes) {
+		return fmt.Errorf("sched: schedule covers %d of %d nodes", len(s.Time), len(g.Nodes))
+	}
+	for _, e := range g.Edges {
+		if int64(s.Time[e.To]) < int64(s.Time[e.From])+e.Lat-int64(s.II)*e.Dist {
+			return fmt.Errorf("sched: edge %d->%d <dist=%d,lat=%d> violated: t=%d vs t=%d at II=%d",
+				e.From, e.To, e.Dist, e.Lat, s.Time[e.From], s.Time[e.To], s.II)
+		}
+	}
+	type rowUse struct {
+		fu    [4]int
+		total int
+	}
+	rows := make([]rowUse, s.II)
+	for i, n := range g.Nodes {
+		row := ((s.Time[i] % s.II) + s.II) % s.II
+		rows[row].fu[n.FU]++
+		rows[row].total++
+		if rows[row].fu[n.FU] > UnitsOf(d, n.FU) {
+			return fmt.Errorf("sched: row %d overflows %v units (%d > %d)",
+				row, n.FU, rows[row].fu[n.FU], UnitsOf(d, n.FU))
+		}
+		if rows[row].total > IssueWidthOf(d) {
+			return fmt.Errorf("sched: row %d overflows issue width (%d > %d)",
+				row, rows[row].total, IssueWidthOf(d))
+		}
+	}
+	return nil
+}
+
+// ResourceMinII is the resource-constrained lower bound over the graph:
+// the smallest II whose reservation table has a row for every node.
+func ResourceMinII(g *Graph, d *machine.Desc) int {
+	var counts [4]int
+	for _, n := range g.Nodes {
+		counts[n.FU]++
+	}
+	iw := IssueWidthOf(d)
+	m := (len(g.Nodes) + iw - 1) / iw
+	for fu, c := range counts {
+		if c == 0 {
+			continue
+		}
+		units := UnitsOf(d, machine.FU(fu))
+		if v := (c + units - 1) / units; v > m {
+			m = v
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// priorityComputations counts how many times a Graph actually derived
+// its height order — the regression guard for the II-retry path, which
+// used to recompute (and re-sort) the invariant priority on every II
+// bump. See TestPriorityComputedOncePerGraph.
+var priorityComputations atomic.Int64
+
+// PriorityComputations reads the process-wide priority-derivation
+// count (test hook).
+func PriorityComputations() int64 { return priorityComputations.Load() }
+
+// Heights returns the height-based priority of every node: the longest
+// latency path to any sink through distance-0 edges — the classic Rau
+// ordering. The result is memoized on the graph; callers must not
+// mutate it.
+func (g *Graph) Heights() []int64 {
+	g.prioOnce.Do(g.derivePriority)
+	return g.heights
+}
+
+// PriorityOrder returns the node indices sorted by (height descending,
+// index ascending) — the exact pick order of the IMS worklist. It is
+// computed once per graph: the order depends only on the distance-0
+// subgraph and latencies, which the II search never changes, so every
+// retry at a bumped II reuses it.
+func (g *Graph) PriorityOrder() []int {
+	g.prioOnce.Do(g.derivePriority)
+	return g.prio
+}
+
+func (g *Graph) derivePriority() {
+	priorityComputations.Add(1)
+	n := len(g.Nodes)
+	succs := make([][]Edge, n)
+	for _, e := range g.Edges {
+		succs[e.From] = append(succs[e.From], e)
+	}
+	height := make([]int64, n)
+	for changed, rounds := true, 0; changed && rounds < n+2; rounds++ {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			h := int64(0)
+			for _, e := range succs[i] {
+				if e.Dist == 0 {
+					if v := height[e.To] + e.Lat; v > h {
+						h = v
+					}
+				}
+			}
+			if h > height[i] {
+				height[i] = h
+				changed = true
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if height[order[a]] != height[order[b]] {
+			return height[order[a]] > height[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	g.heights = height
+	g.prio = order
+}

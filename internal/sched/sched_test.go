@@ -1,0 +1,197 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"slms/internal/machine"
+	"slms/internal/sched"
+	"slms/internal/sched/exact"
+
+	_ "slms/internal/ims" // register "ims"
+)
+
+func testMachine(intU, fpU, memU, iw int) *machine.Desc {
+	return &machine.Desc{
+		Name:       "test",
+		IssueWidth: iw,
+		Units:      [4]int{intU, fpU, memU, 1},
+		Lat:        machine.Lat{IntOp: 1, FloatOp: 1, Load: 1, Store: 1, Branch: 1},
+		IntRegs:    64, FPRegs: 64,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := sched.Names()
+	for _, want := range []string{"ims", "exact"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry %v missing %q", names, want)
+		}
+	}
+	def, err := sched.Get("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != sched.DefaultName {
+		t.Fatalf("empty name resolved %q, want %q", def.Name(), sched.DefaultName)
+	}
+	if _, err := sched.Get("no-such-backend"); err == nil {
+		t.Fatal("unknown name must error")
+	} else if !strings.Contains(err.Error(), "ims") {
+		t.Fatalf("error should list registered names, got: %v", err)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	d := testMachine(1, 1, 1, 1)
+	g := &sched.Graph{
+		Nodes: []sched.Node{{FU: machine.FUInt, Lat: 2}, {FU: machine.FUInt, Lat: 1}},
+		Edges: []sched.Edge{{From: 0, To: 1, Dist: 0, Lat: 2}},
+	}
+	ok := &sched.Schedule{II: 2, Time: []int{0, 3}} // rows 0 and 1 on the 1-unit machine
+	if err := sched.Check(g, d, ok); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	for name, s := range map[string]*sched.Schedule{
+		"nil":           nil,
+		"bad II":        {II: 0, Time: []int{0, 2}},
+		"short":         {II: 2, Time: []int{0}},
+		"edge violated": {II: 2, Time: []int{0, 1}},
+	} {
+		if err := sched.Check(g, d, s); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// Row overflow: two int ops sharing row 0 of a 1-int-unit machine.
+	g2 := &sched.Graph{Nodes: []sched.Node{{FU: machine.FUInt, Lat: 1}, {FU: machine.FUInt, Lat: 1}}}
+	if err := sched.Check(g2, d, &sched.Schedule{II: 2, Time: []int{0, 2}}); err == nil {
+		t.Fatal("row overflow accepted")
+	}
+	// Issue-width overflow: different FUs, same row, width 1.
+	g3 := &sched.Graph{Nodes: []sched.Node{{FU: machine.FUInt, Lat: 1}, {FU: machine.FUMem, Lat: 1}}}
+	if err := sched.Check(g3, d, &sched.Schedule{II: 1, Time: []int{0, 1}}); err == nil {
+		t.Fatal("issue-width overflow accepted")
+	}
+}
+
+func TestResourceMinII(t *testing.T) {
+	d := testMachine(2, 1, 1, 2)
+	g := &sched.Graph{Nodes: []sched.Node{
+		{FU: machine.FUInt}, {FU: machine.FUInt}, {FU: machine.FUInt}, {FU: machine.FUInt},
+		{FU: machine.FUMem},
+	}}
+	// 4 int / 2 units = 2; 5 total / width 2 = 3 (ceil). Bound is 3.
+	if got := sched.ResourceMinII(g, d); got != 3 {
+		t.Fatalf("ResourceMinII = %d, want 3", got)
+	}
+}
+
+func TestPriorityOrderMemoized(t *testing.T) {
+	g := &sched.Graph{
+		Nodes: []sched.Node{{Lat: 1}, {Lat: 1}, {Lat: 1}},
+		Edges: []sched.Edge{{From: 0, To: 1, Lat: 3}, {From: 1, To: 2, Lat: 2}},
+	}
+	before := sched.PriorityComputations()
+	o1 := g.PriorityOrder()
+	h := g.Heights()
+	o2 := g.PriorityOrder()
+	if d := sched.PriorityComputations() - before; d != 1 {
+		t.Fatalf("priority derived %d times on one graph, want 1", d)
+	}
+	if &o1[0] != &o2[0] {
+		t.Fatal("PriorityOrder not memoized")
+	}
+	// Chain 0→1→2 with latencies: heights 5, 2, 0 ⇒ order 0,1,2.
+	if h[0] != 5 || h[1] != 2 || h[2] != 0 {
+		t.Fatalf("heights = %v, want [5 2 0]", h)
+	}
+	if o1[0] != 0 || o1[1] != 1 || o1[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", o1)
+	}
+}
+
+func TestProveOptimal(t *testing.T) {
+	d := testMachine(1, 1, 1, 1)
+	g := &sched.Graph{Nodes: []sched.Node{
+		{FU: machine.FUInt, Lat: 1}, {FU: machine.FUInt, Lat: 1}, {FU: machine.FUInt, Lat: 1},
+	}}
+	ex := &exact.Sched{Budget: -1}
+	o := sched.Prove(g, d, ex, 3, 10)
+	if o.Verdict != sched.VerdictOptimal || o.ExactII != 3 || o.Gap != 0 {
+		t.Fatalf("verdict %+v, want proven-optimal at 3", o)
+	}
+	if o.Cert == "" {
+		t.Fatal("optimal verdict above II=1 must carry the II−1 certificate")
+	}
+}
+
+func TestProveGap(t *testing.T) {
+	d := testMachine(2, 2, 2, 4)
+	g := &sched.Graph{Nodes: []sched.Node{
+		{FU: machine.FUInt, Lat: 1}, {FU: machine.FUInt, Lat: 1},
+	}}
+	ex := &exact.Sched{Budget: -1}
+	// Pretend the heuristic needed II=3; exact schedules at 1.
+	o := sched.Prove(g, d, ex, 3, 10)
+	if o.Verdict != sched.VerdictGap || o.ExactII != 1 || o.Gap != 2 {
+		t.Fatalf("verdict %+v, want gap=2 at exact II=1", o)
+	}
+}
+
+func TestProveExactOnly(t *testing.T) {
+	d := testMachine(1, 1, 1, 2)
+	g := &sched.Graph{Nodes: []sched.Node{{FU: machine.FUInt, Lat: 1}}}
+	o := sched.Prove(g, d, &exact.Sched{Budget: -1}, 0, 8)
+	if o.Verdict != sched.VerdictExactOnly || o.ExactII != 1 {
+		t.Fatalf("verdict %+v, want exact-only at 1", o)
+	}
+}
+
+func TestProveInfeasible(t *testing.T) {
+	d := testMachine(2, 2, 2, 4)
+	g := &sched.Graph{
+		Nodes: []sched.Node{{FU: machine.FUInt, Lat: 1}, {FU: machine.FUInt, Lat: 1}},
+		Edges: []sched.Edge{
+			{From: 0, To: 1, Dist: 0, Lat: 1},
+			{From: 1, To: 0, Dist: 0, Lat: 1},
+		},
+	}
+	o := sched.Prove(g, d, &exact.Sched{Budget: -1}, 0, 6)
+	if o.Verdict != sched.VerdictInfeasible {
+		t.Fatalf("verdict %+v, want infeasible", o)
+	}
+	if !strings.Contains(o.Cert, "recurrence") {
+		t.Fatalf("infeasible cert should name the cycle, got %q", o.Cert)
+	}
+}
+
+func TestProveBudget(t *testing.T) {
+	d := testMachine(1, 1, 1, 1)
+	nodes := make([]sched.Node, 8)
+	for i := range nodes {
+		nodes[i] = sched.Node{FU: machine.FUInt, Lat: 1}
+	}
+	g := &sched.Graph{Nodes: nodes}
+	o := sched.Prove(g, d, &exact.Sched{Budget: 2}, 9, 20)
+	if o.Verdict != sched.VerdictBudget {
+		t.Fatalf("verdict %+v, want budget-exhausted", o)
+	}
+}
+
+func TestProveRejectsNonExact(t *testing.T) {
+	heur, err := sched.Get("ims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &sched.Graph{Nodes: []sched.Node{{FU: machine.FUInt, Lat: 1}}}
+	o := sched.Prove(g, testMachine(1, 1, 1, 1), heur, 1, 4)
+	if o.Verdict != sched.VerdictBudget || !strings.Contains(o.Cert, "not exact") {
+		t.Fatalf("non-exact backend accepted: %+v", o)
+	}
+}

@@ -201,6 +201,19 @@ func (s *Server) handleExplain(ctx context.Context, req *Request) (any, *apiErro
 	if diags == nil {
 		diags = []analysis.Diag{}
 	}
+	// An explicit effort opts the request into the machine-level
+	// optimality audit: one SLMS31x diagnostic per modulo-scheduled loop.
+	if req.Effort != "" {
+		d, _, aerr := req.target()
+		if aerr != nil {
+			return nil, aerr
+		}
+		optDiags, err := analysis.Optgap(prog, analysis.OptgapOptions{Machine: d, Effort: req.Effort})
+		if err != nil {
+			return nil, classifyPipelineErr(ctx, err)
+		}
+		diags = append(diags, optDiags...)
+	}
 	return &ExplainResponse{
 		Diagnostics: diags,
 		Summary:     report.Summary,

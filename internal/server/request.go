@@ -27,6 +27,12 @@ type Request struct {
 	Machine  string `json:"machine,omitempty"`
 	Compiler string `json:"compiler,omitempty"`
 	O0       bool   `json:"o0,omitempty"`
+	// Scheduler selects the modulo-scheduling backend for strong-compiler
+	// targets: "ims" (default) or "exact". Effort tunes the exact search
+	// budget ("quick", "standard", "max"); under "ims" a non-empty effort
+	// additionally proves the optimality gap of every scheduled loop.
+	Scheduler string `json:"scheduler,omitempty"`
+	Effort    string `json:"effort,omitempty"`
 	// Paper selects the paper's `a; || b;` par-group rendering for
 	// /v1/compile output.
 	Paper bool `json:"paper,omitempty"`
@@ -81,6 +87,9 @@ func decodeRequestBytes(body []byte, maxBody int64, tooLarge bool) (*Request, *a
 	}
 	if req.TimeoutMS < 0 {
 		return nil, errBadRequest("timeout_ms must be non-negative, got %d", req.TimeoutMS)
+	}
+	if _, err := pipeline.SchedulerConfig(req.Scheduler, req.Effort); err != nil {
+		return nil, errBadRequest("%v", err)
 	}
 	if o := req.Options; o != nil {
 		switch o.Expansion {
@@ -139,6 +148,8 @@ func (r *Request) target() (*machine.Desc, pipeline.Compiler, *apiError) {
 	if err != nil {
 		return nil, pipeline.Compiler{}, errBadRequest("%v", err)
 	}
+	cc.Scheduler = r.Scheduler
+	cc.Effort = r.Effort
 	return d, cc, nil
 }
 
